@@ -1,0 +1,37 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's tables/figures and
+prints the rows it plots (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them).  Assertions check the *shape* of
+each result against the paper — who wins, by roughly what factor —
+not absolute beam-time numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic experiment exactly once under timing.
+
+    pytest-benchmark's default calibration re-runs the callable many
+    times; campaign-scale experiments are seconds long, so one round
+    is both faster and statistically honest (the simulation is
+    seeded).
+    """
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+
+
+@pytest.fixture
+def announce(capsys):
+    """Print a block of experiment output past pytest's capture."""
+
+    def _announce(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _announce

@@ -1,0 +1,68 @@
+"""A5 — ablation: AVF decomposition behind the E8 code dependence.
+
+The per-code cross-section spread of experiment E8 is, in the
+simulator, entirely a masking story: codes differ in what fraction of
+their state bits matter.  This bench measures the AVF of each code
+class and checks the orderings the paper family reports — CNNs mask
+almost everything (low SDC AVF), graph traversal turns flips into
+crashes (DUE-dominated), dense linear algebra sits in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.workloads import create_workload
+from repro.workloads.metrics import measure_vulnerability, workload_avf
+
+CASES = [
+    ("MxM", dict(n=16, block=8)),
+    ("LUD", dict(n=16)),
+    ("SC", dict(n=128)),
+    ("BFS", dict(n_nodes=64)),
+    ("MNIST", dict()),
+    ("YOLO", dict()),
+]
+
+
+def _avf_sweep():
+    out = {}
+    for name, kwargs in CASES:
+        vulns = measure_vulnerability(
+            create_workload(name, **kwargs),
+            samples_per_array=20,
+            seed=5,
+        )
+        out[name] = workload_avf(vulns)
+    return out
+
+
+def test_bench_avf_by_code(benchmark, announce):
+    avf = run_once(benchmark, _avf_sweep)
+
+    rows = [
+        [name, f"{sdc:.2f}", f"{due:.2f}", f"{sdc + due:.2f}"]
+        for name, (sdc, due) in avf.items()
+    ]
+    announce(
+        format_table(
+            ["code", "SDC AVF", "DUE AVF", "total"],
+            rows,
+            title="A5 — bit-weighted vulnerability by code",
+        )
+    )
+
+    # CNN argmax absorbs nearly everything.
+    for cnn in ("MNIST", "YOLO"):
+        sdc, due = avf[cnn]
+        assert sdc + due < 0.10, f"{cnn} should mask most flips"
+    # Dense linear algebra is visibly SDC-prone.
+    assert avf["MxM"][0] > 0.15
+    assert avf["LUD"][0] > 0.10
+    # BFS converts flips into crashes: DUE AVF exceeds SDC AVF.
+    assert avf["BFS"][1] > avf["BFS"][0]
+    # And the CNNs sit far below the HPC kernels — the root of the
+    # per-code cross-section spread in E8.
+    assert avf["MNIST"][0] < avf["MxM"][0] / 2.0

@@ -1,0 +1,67 @@
+"""A1 — ablation: exact (Garwood) vs normal Poisson CIs at low counts.
+
+ROTAX SDC counts are small (single-digit per exposure is common); the
+paper's 95 % error bars need the exact interval.  The ablation
+quantifies the coverage gap: at low counts the normal approximation
+undercovers badly, while the exact interval keeps ~95 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.analysis.poisson import (
+    poisson_interval,
+    poisson_interval_normal,
+)
+
+
+def _coverage(interval_fn, mean: float, trials: int = 3000) -> float:
+    rng = np.random.default_rng(42)
+    hits = 0
+    for count in rng.poisson(mean, size=trials):
+        lo, hi = interval_fn(int(count))
+        if lo <= mean <= hi:
+            hits += 1
+    return hits / trials
+
+
+def _run_ablation():
+    rows = []
+    for mean in (1.0, 3.0, 7.0, 20.0, 100.0):
+        exact = _coverage(poisson_interval, mean)
+        normal = _coverage(poisson_interval_normal, mean)
+        rows.append((mean, exact, normal))
+    return rows
+
+
+def test_bench_ci_coverage(benchmark, announce):
+    rows = run_once(benchmark, _run_ablation)
+
+    announce(
+        format_table(
+            ["true mean", "exact coverage", "normal coverage"],
+            [
+                [f"{m:.0f}", f"{e:.3f}", f"{n:.3f}"]
+                for m, e, n in rows
+            ],
+            title="A1 — Poisson 95% CI coverage, exact vs normal",
+        )
+    )
+
+    for mean, exact, normal in rows:
+        # The exact interval covers >= 93% everywhere.
+        assert exact > 0.93, f"exact undercovers at mean {mean}"
+        # The normal interval never beats the exact one by much.
+        assert exact >= normal - 0.02
+    # At ROTAX-like counts the gap is material.
+    low = rows[0]
+    assert low[1] - low[2] > 0.05, (
+        "normal approximation should visibly undercover at mean ~1"
+    )
+    # The two converge at high counts.
+    high = rows[-1]
+    assert abs(high[1] - high[2]) < 0.03

@@ -1,0 +1,95 @@
+"""E2 — Figure 4: high-energy / thermal cross-section ratio per device.
+
+Runs the full virtual ChipIR + ROTAX campaign (same device, same
+codes, both beams) and checks every measured ratio against the
+published value: Xeon Phi 10.14/6.37, K20 ~2/~3, TitanX ~3/~7, APU
+CPU+GPU DUE 1.18 (the headline), FPGA SDC 2.33.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.beam import IrradiationCampaign, chipir, rotax
+from repro.devices import DEVICES
+from repro.faults.models import Outcome
+
+#: (device, outcome, published ratio, relative tolerance).
+PAPER_TARGETS = [
+    ("XeonPhi", Outcome.SDC, 10.14, 0.25),
+    ("XeonPhi", Outcome.DUE, 6.37, 0.25),
+    ("K20", Outcome.SDC, 1.85, 0.25),
+    ("K20", Outcome.DUE, 3.0, 0.25),
+    ("TitanX", Outcome.SDC, 3.0, 0.25),
+    ("TitanX", Outcome.DUE, 7.0, 0.25),
+    ("TitanV", Outcome.SDC, 2.0, 0.30),
+    ("APU-CPU+GPU", Outcome.DUE, 1.18, 0.30),
+    ("FPGA", Outcome.SDC, 2.33, 0.30),
+]
+
+
+def _run_campaign() -> IrradiationCampaign:
+    campaign = IrradiationCampaign(seed=2020)
+    chip, rot = chipir(), rotax()
+    for device in DEVICES.values():
+        for code in device.supported_codes:
+            campaign.expose_counting(chip, device, code, 1800.0)
+            campaign.expose_counting(rot, device, code, 4 * 3600.0)
+    return campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return _run_campaign()
+
+
+def test_bench_cross_section_ratios(benchmark, announce):
+    campaign = run_once(benchmark, _run_campaign)
+
+    rows = []
+    for name, outcome, paper, rtol in PAPER_TARGETS:
+        ratio = campaign.result.beam_ratio(name, outcome)
+        rows.append(
+            [
+                name,
+                outcome.value.upper(),
+                f"{ratio.ratio:.2f}"
+                f" [{ratio.lower:.2f}, {ratio.upper:.2f}]",
+                f"{paper:.2f}",
+            ]
+        )
+        assert ratio.ratio == pytest.approx(paper, rel=rtol), (
+            f"{name} {outcome.value} ratio off the paper value"
+        )
+    announce(
+        format_table(
+            ["device", "outcome", "measured ratio [95% CI]", "paper"],
+            rows,
+            title="E2 / Fig. 4 — HE/thermal cross-section ratios",
+        )
+    )
+
+
+def test_bench_ratio_ordering(campaign, benchmark):
+    """The paper's qualitative ordering: Xeon Phi is by far the most
+    thermal-immune; the APU CPU+GPU DUE ratio is the closest to 1."""
+    result = run_once(benchmark, lambda: campaign.result)
+    sdc_ratios = {
+        name: result.beam_ratio(name, Outcome.SDC).ratio
+        for name in result.device_names()
+    }
+    assert max(sdc_ratios, key=sdc_ratios.get) == "XeonPhi"
+    due_ratios = {
+        name: result.beam_ratio(name, Outcome.DUE).ratio
+        for name in result.device_names()
+        if name != "FPGA"  # DUEs never observed on the FPGA
+    }
+    # The three APU configs publish DUE ratios of 1.18-1.5; which of
+    # them measures lowest is within counting noise, but the minimum
+    # must be an APU config and must sit near 1.
+    lowest = min(due_ratios, key=due_ratios.get)
+    assert lowest.startswith("APU")
+    assert due_ratios[lowest] < 1.6
+    assert due_ratios["APU-CPU+GPU"] < 1.6

@@ -1,0 +1,77 @@
+"""E4 — DDR_errors: single- vs multi-bit error distribution and ECC.
+
+The paper: *all* observed transient and intermittent errors were
+single-bit — SECDED is sufficient for them — while SEFIs corrupt many
+bits.  Regenerates the distribution and the SECDED scoring.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.memory import (
+    CorrectLoopTester,
+    DDR3_SENSITIVITY,
+    DDR4_SENSITIVITY,
+    ErrorCategory,
+    non_sefi_fraction_correctable,
+    score_errors,
+)
+from repro.spectra import ROTAX_THERMAL_FLUX
+
+
+def _run():
+    results = {}
+    for sensitivity, gbit in (
+        (DDR3_SENSITIVITY, 32.0),
+        (DDR4_SENSITIVITY, 64.0),
+    ):
+        tester = CorrectLoopTester(sensitivity, gbit, seed=77)
+        results[sensitivity.generation] = tester.run(
+            flux_per_cm2_s=ROTAX_THERMAL_FLUX,
+            duration_s=3.0 * 3600.0,
+        )
+    return results
+
+
+def test_bench_bit_distribution(benchmark, announce):
+    results = run_once(benchmark, _run)
+
+    rows = []
+    for gen, r in results.items():
+        single, multi = r.single_bit_count(), r.multi_bit_count()
+        ecc = score_errors(r.errors)
+        rows.append(
+            [
+                f"DDR{gen}", single, multi,
+                ecc.corrected, ecc.detected, ecc.undetected,
+            ]
+        )
+        # Every single-bit error is a non-SEFI error and vice versa.
+        non_sefi = len(r.errors) - r.count(ErrorCategory.SEFI)
+        assert single == non_sefi
+        assert multi == r.count(ErrorCategory.SEFI)
+        # SECDED corrects all non-SEFI thermal errors (the paper's
+        # conclusion about ECC sufficiency).
+        assert non_sefi_fraction_correctable(r.errors) == 1.0
+        # Multi-bit events exist and defeat correction.
+        assert ecc.detected + ecc.undetected == multi
+
+    announce(
+        format_table(
+            ["module", "single-bit", "multi-bit",
+             "ECC corrected", "ECC detected", "ECC undetected"],
+            rows,
+            title="E4 — single vs multi-bit errors and SECDED scoring",
+        )
+    )
+
+
+def test_bench_single_bit_dominate(benchmark):
+    results = run_once(benchmark, _run)
+    for r in results.values():
+        assert r.single_bit_count() > 10 * r.multi_bit_count(), (
+            "cell upsets must dominate SEFIs in count"
+        )

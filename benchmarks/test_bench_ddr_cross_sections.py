@@ -1,0 +1,91 @@
+"""E3 — Figure 3 (DDRCS): DDR3/DDR4 thermal cross sections by class.
+
+Runs the correct-loop tester on both virtual modules at ROTAX and
+checks the published shape: DDR4 about one order of magnitude below
+DDR3; >95 % of flips in one direction (1->0 on DDR3, 0->1 on DDR4);
+permanent errors >50 % of DDR4 errors but <30 % on DDR3; SEFIs present
+on both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.memory import (
+    CorrectLoopTester,
+    DDR3_SENSITIVITY,
+    DDR4_SENSITIVITY,
+    DdrTestResult,
+    ErrorCategory,
+    FlipDirection,
+)
+from repro.spectra import ROTAX_THERMAL_FLUX
+
+
+def _run_ddr_campaign():
+    results = {}
+    for sensitivity, gbit in (
+        (DDR3_SENSITIVITY, 32.0),
+        (DDR4_SENSITIVITY, 64.0),
+    ):
+        tester = CorrectLoopTester(sensitivity, gbit, seed=2020)
+        results[sensitivity.generation] = tester.run(
+            flux_per_cm2_s=ROTAX_THERMAL_FLUX,
+            duration_s=3.0 * 3600.0,
+        )
+    return results
+
+
+def test_bench_ddr_cross_sections(benchmark, announce):
+    results = run_once(benchmark, _run_ddr_campaign)
+    ddr3: DdrTestResult = results[3]
+    ddr4: DdrTestResult = results[4]
+
+    rows = []
+    for gen, r in results.items():
+        for cat in ErrorCategory:
+            sigma, lo, hi = r.cross_section_per_gbit(cat)
+            rows.append(
+                [
+                    f"DDR{gen}", cat.value, r.count(cat),
+                    f"{sigma:.2e}", f"[{lo:.2e}, {hi:.2e}]",
+                ]
+            )
+    announce(
+        format_table(
+            ["module", "category", "errors", "sigma/GBit cm^2",
+             "95% CI"],
+            rows,
+            title="E3 / Fig. 3 — DDR thermal cross sections",
+        )
+    )
+
+    # DDR4 is about an order of magnitude less sensitive.
+    gap = (
+        ddr3.total_cell_cross_section_per_gbit()
+        / ddr4.total_cell_cross_section_per_gbit()
+    )
+    assert 5.0 < gap < 20.0, f"DDR3/DDR4 gap {gap} not ~10x"
+
+    # >95 % single-direction, and the directions are opposite.
+    assert ddr3.dominant_direction_fraction() > 0.90
+    assert ddr4.dominant_direction_fraction() > 0.90
+    assert ddr3.count_direction(
+        FlipDirection.ONE_TO_ZERO
+    ) > ddr3.count_direction(FlipDirection.ZERO_TO_ONE)
+    assert ddr4.count_direction(
+        FlipDirection.ZERO_TO_ONE
+    ) > ddr4.count_direction(FlipDirection.ONE_TO_ZERO)
+
+    # Permanent-error proportions: >50 % on DDR4, <30 % on DDR3.
+    ddr3_perm = ddr3.count(ErrorCategory.PERMANENT) / len(ddr3.errors)
+    ddr4_perm = ddr4.count(ErrorCategory.PERMANENT) / len(ddr4.errors)
+    assert ddr3_perm < 0.35
+    assert ddr4_perm > 0.45
+    assert ddr4_perm > ddr3_perm
+
+    # SEFIs appear on both generations.
+    assert ddr3.count(ErrorCategory.SEFI) >= 1
+    assert ddr4.count(ErrorCategory.SEFI) >= 1

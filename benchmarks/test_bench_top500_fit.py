@@ -1,0 +1,61 @@
+"""E7 — HPC_FIT: projected DDR thermal FIT for the Top-10 machines.
+
+Checks the projection's shape: Trinity (2231 m) dominates despite not
+having the most memory; DDR3 machines pay ~10x per GBit; liquid
+cooling adds its +24 %; SECDED removes everything but SEFIs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_once
+from repro.core import project_machine, project_top10, top10_table
+from repro.environment import Supercomputer, Site, TOP10_BY_NAME
+
+
+def test_bench_top10_projection(benchmark, announce):
+    projections = run_once(benchmark, project_top10)
+    announce(top10_table(projections))
+
+    by_name = {p.machine.name: p for p in projections}
+
+    # Trinity's altitude makes it the highest-FIT machine.
+    worst = max(projections, key=lambda p: p.fit_no_ecc)
+    assert worst.machine.name == "Trinity"
+
+    # Summit has the most memory but sits low: its per-TiB FIT is
+    # far below Trinity's.
+    summit, trinity = by_name["Summit"], by_name["Trinity"]
+    assert (
+        trinity.fit_no_ecc / trinity.machine.memory_tib
+        > 5.0 * summit.fit_no_ecc / summit.machine.memory_tib
+    )
+
+    # DDR3 machines pay roughly the 10x per-GBit penalty: TaihuLight
+    # (DDR3, 1280 TiB, sea level) out-FITs Sierra (DDR4, 1382 TiB).
+    assert (
+        by_name["Sunway TaihuLight"].fit_no_ecc
+        > 3.0 * by_name["Sierra"].fit_no_ecc
+    )
+
+    # SECDED removes >99 % of the projected FIT everywhere.
+    for p in projections:
+        assert p.ecc_reduction > 0.99
+
+
+def test_bench_liquid_cooling_penalty(benchmark):
+    """The water modifier raises a machine's DDR FIT by ~24 %/1.2."""
+    base = TOP10_BY_NAME["Summit"]
+    dry = Supercomputer(
+        name="Summit (air-cooled)",
+        site=base.site,
+        memory_tib=base.memory_tib,
+        ddr_generation=base.ddr_generation,
+        liquid_cooled=False,
+    )
+    wet_fit = run_once(
+        benchmark, lambda: project_machine(base).fit_no_ecc
+    )
+    dry_fit = project_machine(dry).fit_no_ecc
+    assert wet_fit / dry_fit == pytest.approx(1.44 / 1.20, rel=1e-6)

@@ -1,0 +1,76 @@
+"""Autonomous-vehicle reliability: YOLO on a GPU, sunny vs rain.
+
+The paper's automotive corner case: object detection must run on a
+cheap COTS GPU, but the thermal flux around a car changes with the
+road material, the fuel tank, the passengers, and above all the
+weather.  We assess a Pascal-class GPU running YOLO across those
+conditions and run an event-level virtual beam test of the detector
+network itself.
+
+Run:  python examples/autonomous_vehicle.py
+"""
+
+from repro.beam import IrradiationCampaign, chipir, rotax
+from repro.core import FitCalculator
+from repro.devices import get_device
+from repro.environment import (
+    ASPHALT_ROAD,
+    FUEL_TANK,
+    FluxScenario,
+    HUMAN_BODY,
+    NEW_YORK,
+    WeatherCondition,
+)
+from repro.workloads import create_workload
+
+
+def main() -> None:
+    gpu = get_device("TitanX")
+    calc = FitCalculator()
+
+    base = FluxScenario(site=NEW_YORK, name="test track (bare)")
+    street = FluxScenario(
+        site=NEW_YORK,
+        materials=(ASPHALT_ROAD, FUEL_TANK, HUMAN_BODY, HUMAN_BODY),
+        name="city street, 2 passengers",
+    )
+    storm = street.with_weather(WeatherCondition.RAIN)
+
+    print(f"{gpu} running YOLO:")
+    for scenario in (base, street, storm):
+        report = calc.report(gpu, scenario, code="YOLO")
+        print(
+            f"  {scenario.label:28s} SDC {report.sdc.total:6.2f} FIT"
+            f" ({report.sdc.thermal_share:.0%} thermal)"
+            f"   DUE {report.due.total:6.2f} FIT"
+            f" ({report.due.thermal_share:.0%} thermal)"
+        )
+
+    # Event-level virtual beam test: inject faults into the actual
+    # detector network and watch the outcome distribution.
+    print()
+    print("Virtual beam test of the YOLO network (event-level):")
+    campaign = IrradiationCampaign(seed=7)
+    workload = create_workload("YOLO")
+    for beamline, hours in ((chipir(), 1.0), (rotax(), 3.0)):
+        exposure = campaign.expose_simulated(
+            beamline, gpu, workload, duration_s=hours * 3600.0,
+            max_events=400,
+        )
+        total = (
+            exposure.sdc_count
+            + exposure.due_count
+            + exposure.masked_count
+        )
+        print(
+            f"  {beamline.name:7s} {total:4d} strikes ->"
+            f" {exposure.masked_count} masked,"
+            f" {exposure.sdc_count} SDC,"
+            f" {exposure.due_count} DUE"
+            " (detection argmax absorbs most data flips; DUEs"
+            " dominate the visible errors)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Avionics: a COTS GPU flying a transatlantic route.
+
+The paper notes the fast-neutron flux grows exponentially with
+altitude, peaking near 60,000 ft — and avionics is where COTS parts
+meet that flux head-on.  This example integrates a flight profile,
+compares the per-flight upset expectation against a year on the
+ground, and shows what the fuel/passenger moderation does to the
+thermal share.
+
+Run:  python examples/avionics.py
+"""
+
+from repro.core import FitCalculator, fit_rate
+from repro.devices import get_device
+from repro.environment import NEW_YORK, outdoor_scenario
+from repro.environment.avionics import (
+    FlightSegment,
+    cruise_acceleration,
+    route_fluence_per_cm2,
+    thermal_flux_aboard_per_h,
+)
+from repro.faults.models import BeamKind, Outcome
+
+
+def main() -> None:
+    gpu = get_device("TitanX")
+
+    # A ~7 h transatlantic profile.
+    route = [
+        FlightSegment(altitude_m=3_000.0, duration_h=0.4,
+                      geomagnetic_latitude_deg=51.0),
+        FlightSegment(altitude_m=11_000.0, duration_h=6.0,
+                      geomagnetic_latitude_deg=60.0),
+        FlightSegment(altitude_m=3_000.0, duration_h=0.6,
+                      geomagnetic_latitude_deg=53.0),
+    ]
+    fluence = route_fluence_per_cm2(route)
+    sigma_sdc = gpu.sigma(BeamKind.HIGH_ENERGY, Outcome.SDC)
+    per_flight = fluence * sigma_sdc
+
+    ground = outdoor_scenario(NEW_YORK)
+    ground_fit = FitCalculator().decompose(
+        gpu, ground, Outcome.SDC
+    ).total
+    ground_per_year = ground_fit / 1e9 * 24.0 * 365.0
+
+    print(f"{gpu} on a 7 h transatlantic flight:")
+    print(f"  cruise flux acceleration: "
+          f"{cruise_acceleration(11_000.0):.0f}x sea level")
+    print(f"  route fast fluence: {fluence:.3e} n/cm^2")
+    print(f"  expected SDCs this flight: {per_flight:.2e}")
+    print(f"  expected SDCs per year parked at NYC:"
+          f" {ground_per_year:.2e}")
+    print(f"  -> one flight ~ "
+          f"{per_flight / (ground_per_year / 365.0):.0f} ground-days")
+
+    # Onboard thermal population: the airframe, fuel and passengers
+    # moderate the cascade around the avionics bay.
+    fast, thermal = thermal_flux_aboard_per_h(
+        11_000.0, moderation_enhancement=0.5
+    )
+    sigma_th = gpu.sigma(BeamKind.THERMAL, Outcome.SDC)
+    fit_fast = fit_rate(sigma_sdc, fast)
+    fit_th = fit_rate(sigma_th, thermal)
+    print()
+    print("At cruise, inside the bay (fuel + passengers moderate):")
+    print(f"  fast SDC FIT {fit_fast:.0f},"
+          f" thermal SDC FIT {fit_th:.0f}"
+          f" ({fit_th / (fit_fast + fit_th):.0%} thermal)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Machine-room planning: FIT map of a heterogeneous supercomputer.
+
+The scenario the paper's Section II-B motivates: a liquid-cooled HPC
+room at altitude (Los Alamos / Trinity-like).  We assess every device
+in the catalog in that room, compare nodes near vs far from the
+cooling loops, project the DDR fleet FIT, and show what a rainy day
+does to the checkpoint budget.
+
+Run:  python examples/datacenter_fit.py
+"""
+
+from repro import RiskAssessment, datacenter_scenario, get_device
+from repro.core import FitCalculator, project_top10, top10_table
+from repro.devices import DEVICES
+from repro.environment import (
+    FluxScenario,
+    CONCRETE_FLOOR,
+    LOS_ALAMOS,
+    WeatherCondition,
+)
+from repro.faults.models import Outcome
+
+
+def main() -> None:
+    room = datacenter_scenario(LOS_ALAMOS, liquid_cooled=True)
+    dry_node = FluxScenario(
+        site=LOS_ALAMOS,
+        materials=(CONCRETE_FLOOR,),
+        name="Los Alamos machine room (air-cooled aisle)",
+    )
+
+    assessment = RiskAssessment()
+    report = assessment.assess(list(DEVICES.values()), [room])
+    print(report.to_table())
+    print()
+    worst_device, worst_share = report.worst_thermal_share()
+    print(
+        f"Most thermally-exposed part: {worst_device}"
+        f" ({worst_share:.0%} of one FIT component is thermal)."
+    )
+
+    # Nodes next to the water loop vs an air-cooled aisle.
+    calc = FitCalculator()
+    k20 = get_device("K20")
+    wet = calc.report(k20, room)
+    dry = calc.report(k20, dry_node)
+    print()
+    print(
+        f"{k20.name} SDC FIT near the cooling loop:"
+        f" {wet.sdc.total:.2f} vs {dry.sdc.total:.2f} in a dry aisle"
+        f" (+{wet.sdc.total / dry.sdc.total - 1.0:.0%})."
+    )
+
+    # Weather sensitivity: the paper notes checkpoint frequency may
+    # need to consider the forecast.
+    rainy = room.with_weather(WeatherCondition.RAIN)
+    ratio = assessment.compare_scenarios(
+        k20, room, rainy, outcome=Outcome.DUE
+    )
+    print(
+        f"A thunderstorm multiplies the {k20.name} DUE FIT by"
+        f" {ratio:.2f}x — plan checkpoints accordingly."
+    )
+
+    print()
+    print(top10_table(project_top10()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""The DDR correct-loop experiment: taxonomy, asymmetry, ECC.
+
+Reruns the paper's Section IV on virtual DDR3 and DDR4 modules at the
+ROTAX thermal beamline: the read/write correct loop classifies every
+observed error from its read history, and the report shows the
+generation differences the paper highlights — the ~10x cross-section
+gap, the opposite flip directions, the permanent-error shift, and why
+SECDED handles everything but SEFIs.
+
+Run:  python examples/ddr_memory_test.py
+"""
+
+from repro.analysis import format_table
+from repro.memory import (
+    CorrectLoopTester,
+    DDR3_SENSITIVITY,
+    DDR4_SENSITIVITY,
+    ErrorCategory,
+    FlipDirection,
+    score_errors,
+)
+from repro.spectra import ROTAX_THERMAL_FLUX
+
+
+def main() -> None:
+    results = {}
+    for sensitivity, gbit in (
+        (DDR3_SENSITIVITY, 32.0),  # 4 GB module
+        (DDR4_SENSITIVITY, 64.0),  # 8 GB module
+    ):
+        tester = CorrectLoopTester(sensitivity, gbit, seed=2020)
+        results[sensitivity.generation] = tester.run(
+            flux_per_cm2_s=ROTAX_THERMAL_FLUX,
+            duration_s=2.0 * 3600.0,
+        )
+
+    rows = []
+    for gen, r in results.items():
+        rows.append(
+            [
+                f"DDR{gen}",
+                len(r.errors),
+                r.count(ErrorCategory.TRANSIENT),
+                r.count(ErrorCategory.INTERMITTENT),
+                r.count(ErrorCategory.PERMANENT),
+                r.count(ErrorCategory.SEFI),
+                f"{r.total_cell_cross_section_per_gbit():.2e}",
+                f"{r.dominant_direction_fraction():.0%}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "module", "errors", "transient", "intermittent",
+                "permanent", "SEFI", "sigma/GBit (cm^2)",
+                "dominant dir",
+            ],
+            rows,
+            title="DDR thermal-neutron correct-loop results (ROTAX)",
+        )
+    )
+
+    ddr3, ddr4 = results[3], results[4]
+    print()
+    print(
+        f"DDR4 / DDR3 cell cross-section ratio:"
+        f" {ddr4.total_cell_cross_section_per_gbit() / ddr3.total_cell_cross_section_per_gbit():.2f}"
+        " (paper: about one order of magnitude lower)"
+    )
+    print(
+        "DDR3 dominant direction:"
+        f" {max(FlipDirection, key=ddr3.count_direction).value};"
+        " DDR4 dominant direction:"
+        f" {max(FlipDirection, key=ddr4.count_direction).value}"
+        " (opposite -> complementary cell logic)"
+    )
+    for gen, r in results.items():
+        ecc = score_errors(r.errors)
+        print(
+            f"DDR{gen} under SECDED: {ecc.corrected} corrected,"
+            f" {ecc.detected} detected, {ecc.undetected} undetected"
+            f" ({ecc.coverage():.0%} coverage — only SEFIs escape)"
+        )
+
+
+if __name__ == "__main__":
+    main()

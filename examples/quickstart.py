@@ -1,0 +1,41 @@
+"""Quickstart: how much of my device's error rate is thermal neutrons?
+
+Assesses one GPU (the paper's K20) deployed in a liquid-cooled machine
+room at sea level, and prints the FIT decomposition the paper's
+Section VI builds — including the share a conventional
+high-energy-only qualification would miss.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RiskAssessment, datacenter_scenario, get_device
+from repro.environment import NEW_YORK, outdoor_scenario
+
+
+def main() -> None:
+    device = get_device("K20")
+    machine_room = datacenter_scenario(NEW_YORK, liquid_cooled=True)
+    open_field = outdoor_scenario(NEW_YORK)
+
+    assessment = RiskAssessment()
+    report = assessment.assess([device], [open_field, machine_room])
+
+    print(report.to_table())
+    print()
+    for finding in report.findings:
+        print(f"[{finding.severity}] {finding.message}")
+
+    penalty = assessment.compare_scenarios(
+        device, open_field, machine_room
+    )
+    print()
+    print(
+        f"Moving {device.name} from an open field into a liquid-cooled"
+        f" machine room multiplies its SDC FIT by {penalty:.2f}x"
+        " (concrete + cooling water moderate neutrons into the"
+        " thermal band)."
+    )
+
+
+if __name__ == "__main__":
+    main()

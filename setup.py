@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` / `setup.py develop` on
+environments whose pip lacks the `wheel` package (offline boxes)."""
+
+from setuptools import setup
+
+setup()

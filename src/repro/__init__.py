@@ -1,0 +1,51 @@
+"""thermal-neutron-repro: reproduction of "An Overview of the Risk
+Posed by Thermal Neutrons to the Reliability of Computing Devices"
+(Oliveira et al., DSN 2020).
+
+The library simulates the paper's whole experimental stack — beamlines,
+devices, workloads, DDR memory, an FPGA, the Tin-II detector, and the
+natural neutron environment — and implements its analytical core: the
+high-energy vs thermal cross-section comparison and the FIT-rate
+decomposition.
+
+Quick start::
+
+    from repro import RiskAssessment, get_device, datacenter_scenario
+    from repro.environment import NEW_YORK
+
+    report = RiskAssessment().assess(
+        [get_device("K20")], [datacenter_scenario(NEW_YORK)]
+    )
+    print(report.to_table())
+"""
+
+from repro.core import (
+    FitCalculator,
+    RiskAssessment,
+    ShieldingEvaluator,
+    project_top10,
+)
+from repro.devices import DEVICES, get_device
+from repro.environment import (
+    FluxScenario,
+    datacenter_scenario,
+    outdoor_scenario,
+)
+from repro.faults.models import BeamKind, Outcome
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FitCalculator",
+    "RiskAssessment",
+    "ShieldingEvaluator",
+    "project_top10",
+    "get_device",
+    "DEVICES",
+    "FluxScenario",
+    "datacenter_scenario",
+    "outdoor_scenario",
+    "BeamKind",
+    "Outcome",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Statistics and reporting: Poisson CIs, rate ratios, changepoints."""
+
+from repro.analysis.poisson import (
+    cross_section,
+    poisson_interval,
+    poisson_interval_normal,
+)
+from repro.analysis.ratios import RateRatio, bootstrap_ci, rate_ratio
+from repro.analysis.changepoint import (
+    StepChange,
+    detect_step,
+    step_magnitude,
+)
+from repro.analysis.sensitivity import (
+    PropagationResult,
+    UncertainParameter,
+    propagate,
+    thermal_share_with_uncertainty,
+)
+from repro.analysis.tables import (
+    format_percent,
+    format_quantity,
+    format_table,
+)
+
+__all__ = [
+    "cross_section",
+    "poisson_interval",
+    "poisson_interval_normal",
+    "RateRatio",
+    "bootstrap_ci",
+    "rate_ratio",
+    "StepChange",
+    "detect_step",
+    "step_magnitude",
+    "PropagationResult",
+    "UncertainParameter",
+    "propagate",
+    "thermal_share_with_uncertainty",
+    "format_percent",
+    "format_quantity",
+    "format_table",
+]

@@ -1,0 +1,119 @@
+"""Step-change detection for detector count series.
+
+The Tin-II experiment (Fig. 5) is a single step change in a Poisson
+count-rate time series: the moment the water box goes on, the thermal
+rate jumps ~24 %.  :func:`detect_step` finds the most likely change
+point by maximizing the two-segment Poisson log-likelihood, and
+:func:`step_magnitude` reports the rate ratio across it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StepChange:
+    """A detected rate step in a count series.
+
+    Attributes:
+        index: first sample index of the post-step segment.
+        rate_before: mean counts/sample before the step.
+        rate_after: mean counts/sample after the step.
+        log_likelihood_gain: improvement over the no-step model —
+            use as a detection confidence score.
+    """
+
+    index: int
+    rate_before: float
+    rate_after: float
+    log_likelihood_gain: float
+
+    @property
+    def relative_change(self) -> float:
+        """Fractional rate change, e.g. +0.24 for the water step."""
+        if self.rate_before == 0.0:
+            raise ValueError("zero pre-step rate; change undefined")
+        return self.rate_after / self.rate_before - 1.0
+
+
+def _poisson_loglik(counts: np.ndarray) -> float:
+    """Max log-likelihood of a constant-rate Poisson segment.
+
+    Up to count-only terms that cancel in comparisons:
+    ``sum(k) * ln(mean) - n * mean``.
+    """
+    if counts.size == 0:
+        return 0.0
+    mean = counts.mean()
+    if mean <= 0.0:
+        return 0.0
+    return float(counts.sum() * math.log(mean) - counts.size * mean)
+
+
+def detect_step(
+    counts: Sequence[float], min_segment: int = 3
+) -> StepChange:
+    """Find the most likely single step change in a count series.
+
+    Args:
+        counts: per-interval event counts.
+        min_segment: minimum samples on each side of the step.
+
+    Returns:
+        The best :class:`StepChange`.
+
+    Raises:
+        ValueError: if the series is too short.
+    """
+    arr = np.asarray(counts, dtype=float)
+    if min_segment < 1:
+        raise ValueError(
+            f"min_segment must be >= 1, got {min_segment}"
+        )
+    if arr.size < 2 * min_segment:
+        raise ValueError(
+            f"need >= {2 * min_segment} samples, got {arr.size}"
+        )
+    base = _poisson_loglik(arr)
+    best_idx = min_segment
+    best_gain = -math.inf
+    for idx in range(min_segment, arr.size - min_segment + 1):
+        gain = (
+            _poisson_loglik(arr[:idx])
+            + _poisson_loglik(arr[idx:])
+            - base
+        )
+        if gain > best_gain:
+            best_gain = gain
+            best_idx = idx
+    return StepChange(
+        index=best_idx,
+        rate_before=float(arr[:best_idx].mean()),
+        rate_after=float(arr[best_idx:].mean()),
+        log_likelihood_gain=best_gain,
+    )
+
+
+def step_magnitude(
+    counts: Sequence[float], true_index: int
+) -> float:
+    """Rate ratio across a *known* change point (minus one).
+
+    Used when the experiment log records when the water went on; the
+    detector analysis then only needs the magnitude.
+    """
+    arr = np.asarray(counts, dtype=float)
+    if not 0 < true_index < arr.size:
+        raise ValueError(
+            f"index {true_index} outside series of {arr.size}"
+        )
+    before = arr[:true_index].mean()
+    after = arr[true_index:].mean()
+    if before == 0.0:
+        raise ValueError("zero pre-step rate; magnitude undefined")
+    return after / before - 1.0

@@ -1,0 +1,114 @@
+"""Rate ratios with error propagation and bootstrap utilities.
+
+The paper's Figure 4 is a ratio of two independently measured Poisson
+rates (high-energy sigma / thermal sigma).  The CI here uses the
+standard log-normal propagation: ``var(ln R) = 1/n1 + 1/n2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.poisson import _normal_quantile
+
+
+@dataclass(frozen=True)
+class RateRatio:
+    """A ratio of two measured rates with its confidence interval.
+
+    Attributes:
+        ratio: point estimate.
+        lower: CI lower bound.
+        upper: CI upper bound.
+        n_numerator: event count behind the numerator.
+        n_denominator: event count behind the denominator.
+    """
+
+    ratio: float
+    lower: float
+    upper: float
+    n_numerator: int
+    n_denominator: int
+
+
+def rate_ratio(
+    count_num: int,
+    exposure_num: float,
+    count_den: int,
+    exposure_den: float,
+    confidence: float = 0.95,
+) -> RateRatio:
+    """Ratio of two Poisson rates with a log-normal CI.
+
+    Args:
+        count_num: numerator event count.
+        exposure_num: numerator exposure (fluence).
+        count_den: denominator event count.
+        exposure_den: denominator exposure (fluence).
+        confidence: CI level.
+
+    Raises:
+        ValueError: if either count is zero (ratio undefined) or the
+            exposures are not positive.
+    """
+    if count_num < 0 or count_den < 0:
+        raise ValueError("counts must be >= 0")
+    if exposure_num <= 0.0 or exposure_den <= 0.0:
+        raise ValueError("exposures must be positive")
+    if count_den == 0 or count_num == 0:
+        raise ValueError(
+            "cannot form a ratio CI with zero counts; collect more"
+            " fluence"
+        )
+    rate_n = count_num / exposure_num
+    rate_d = count_den / exposure_den
+    ratio = rate_n / rate_d
+    z = _normal_quantile(1.0 - (1.0 - confidence) / 2.0)
+    sd_log = math.sqrt(1.0 / count_num + 1.0 / count_den)
+    return RateRatio(
+        ratio=ratio,
+        lower=ratio * math.exp(-z * sd_log),
+        upper=ratio * math.exp(z * sd_log),
+        n_numerator=count_num,
+        n_denominator=count_den,
+    )
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float],
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """Percentile bootstrap CI of an arbitrary statistic.
+
+    Args:
+        samples: the observed sample.
+        statistic: function of a 1-D array.
+        n_resamples: bootstrap resamples.
+        confidence: CI level.
+        seed: RNG seed.
+
+    Returns:
+        ``(point, lower, upper)``.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    if n_resamples <= 0:
+        raise ValueError(
+            f"n_resamples must be positive, got {n_resamples}"
+        )
+    rng = np.random.default_rng(seed)
+    point = float(statistic(arr))
+    stats = np.empty(n_resamples)
+    for i in range(n_resamples):
+        stats[i] = statistic(rng.choice(arr, size=arr.size))
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(stats, [alpha, 1.0 - alpha])
+    return point, float(lo), float(hi)

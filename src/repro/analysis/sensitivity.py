@@ -1,0 +1,172 @@
+"""Uncertainty propagation for the headline conclusions.
+
+The FIT shares rest on calibrated inputs — the device sigma ratios
+(beam statistics) and the thermal/fast flux ratio (environment model).
+This module Monte-Carlo-propagates log-normal uncertainties on those
+inputs through any scalar conclusion and reports the resulting band,
+so statements like "39 % of the APU DUE FIT is thermal" carry error
+bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UncertainParameter:
+    """A positive input known up to a relative (log-normal) sigma.
+
+    Attributes:
+        name: key passed to the model function.
+        nominal: central value (> 0).
+        relative_sigma: one-sigma relative uncertainty.
+    """
+
+    name: str
+    nominal: float
+    relative_sigma: float
+
+    def __post_init__(self) -> None:
+        if self.nominal <= 0.0:
+            raise ValueError(
+                f"{self.name}: nominal must be positive,"
+                f" got {self.nominal}"
+            )
+        if self.relative_sigma < 0.0:
+            raise ValueError(
+                f"{self.name}: relative sigma must be >= 0,"
+                f" got {self.relative_sigma}"
+            )
+
+    def sample(
+        self, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        """Log-normal draws centred (in median) on the nominal."""
+        if self.relative_sigma == 0.0:
+            return np.full(n, self.nominal)
+        sigma_log = np.sqrt(
+            np.log1p(self.relative_sigma ** 2)
+        )
+        # Median-centred log-normal: the nominal is the median, so
+        # multiplicative errors up and down are symmetric.
+        return self.nominal * np.exp(
+            rng.normal(0.0, sigma_log, size=n)
+        )
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """Distribution summary of a propagated conclusion.
+
+    Attributes:
+        nominal: value at the nominal inputs.
+        mean / std: moments over the samples.
+        q05 / q95: the 90 % band.
+    """
+
+    nominal: float
+    mean: float
+    std: float
+    q05: float
+    q95: float
+
+    @property
+    def band_width(self) -> float:
+        """Width of the 90 % band."""
+        return self.q95 - self.q05
+
+    def contains(self, value: float) -> bool:
+        """Is ``value`` inside the 90 % band?"""
+        return self.q05 <= value <= self.q95
+
+
+def propagate(
+    model: Callable[[Mapping[str, float]], float],
+    parameters: Sequence[UncertainParameter],
+    n_samples: int = 2000,
+    seed: int = 0,
+) -> PropagationResult:
+    """Monte Carlo propagation of input uncertainty through a model.
+
+    Args:
+        model: scalar function of a ``{name: value}`` mapping.
+        parameters: the uncertain inputs.
+        n_samples: Monte Carlo sample count.
+        seed: RNG seed.
+
+    Raises:
+        ValueError: on empty parameters or non-positive samples.
+    """
+    if not parameters:
+        raise ValueError("no parameters to propagate")
+    if n_samples <= 0:
+        raise ValueError(
+            f"n_samples must be positive, got {n_samples}"
+        )
+    rng = np.random.default_rng(seed)
+    draws: Dict[str, np.ndarray] = {
+        p.name: p.sample(rng, n_samples) for p in parameters
+    }
+    nominal = model({p.name: p.nominal for p in parameters})
+    values = np.empty(n_samples)
+    for i in range(n_samples):
+        values[i] = model(
+            {name: arr[i] for name, arr in draws.items()}
+        )
+    q05, q95 = np.quantile(values, [0.05, 0.95])
+    return PropagationResult(
+        nominal=float(nominal),
+        mean=float(values.mean()),
+        std=float(values.std()),
+        q05=float(q05),
+        q95=float(q95),
+    )
+
+
+def thermal_share_with_uncertainty(
+    sigma_ratio: float,
+    flux_ratio: float,
+    sigma_ratio_rel_sigma: float = 0.10,
+    flux_ratio_rel_sigma: float = 0.20,
+    n_samples: int = 2000,
+    seed: int = 0,
+) -> PropagationResult:
+    """Error band on the thermal FIT share ``r / (r + R)``.
+
+    Args:
+        sigma_ratio: device HE/thermal sigma ratio ``R``.
+        flux_ratio: environment thermal/fast flux ratio ``r``.
+        sigma_ratio_rel_sigma: beam-statistics uncertainty on ``R``.
+        flux_ratio_rel_sigma: environment-model uncertainty on ``r``
+            (the flux ratio is the softer number, hence the default
+            20 %).
+        n_samples: Monte Carlo samples.
+        seed: RNG seed.
+    """
+    params = [
+        UncertainParameter(
+            "sigma_ratio", sigma_ratio, sigma_ratio_rel_sigma
+        ),
+        UncertainParameter(
+            "flux_ratio", flux_ratio, flux_ratio_rel_sigma
+        ),
+    ]
+
+    def share(values: Mapping[str, float]) -> float:
+        r = values["flux_ratio"]
+        big_r = values["sigma_ratio"]
+        return r / (r + big_r)
+
+    return propagate(share, params, n_samples=n_samples, seed=seed)
+
+
+__all__ = [
+    "PropagationResult",
+    "UncertainParameter",
+    "propagate",
+    "thermal_share_with_uncertainty",
+]

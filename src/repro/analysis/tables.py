@@ -1,0 +1,68 @@
+"""Plain-text table/report formatting for benches and examples.
+
+Every benchmark prints the rows the paper's figures plot; this module
+keeps that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: column headers.
+        rows: row cells; values are converted with ``str``.
+        title: optional title line above the table.
+
+    Raises:
+        ValueError: if any row width differs from the header width.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        cells.append([str(c) for c in row])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(
+        " | ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    )
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_quantity(value: float, unit: str = "", sig: int = 3) -> str:
+    """Format a physical quantity compactly (``1.23e-08 cm^2``)."""
+    if sig <= 0:
+        raise ValueError(f"sig must be positive, got {sig}")
+    if value == 0.0:
+        text = "0"
+    elif 1e-3 <= abs(value) < 1e4:
+        text = f"{value:.{sig}g}"
+    else:
+        text = f"{value:.{max(sig - 1, 0)}e}"
+    return f"{text} {unit}".strip()
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{fraction * 100.0:.{digits}f}%"

@@ -1,0 +1,34 @@
+"""Virtual beam campaigns at ChipIR (high-energy) and ROTAX (thermal)."""
+
+from repro.beam.beamline import Beamline, DeratingModel, chipir, rotax
+from repro.beam.campaign import IrradiationCampaign
+from repro.beam.planner import (
+    BeamTimePlanner,
+    ExposurePlan,
+    events_for_relative_precision,
+)
+from repro.beam.logbook import (
+    CampaignLogbook,
+    device_summary,
+)
+from repro.beam.results import (
+    CampaignResult,
+    CrossSectionEstimate,
+    ExposureResult,
+)
+
+__all__ = [
+    "Beamline",
+    "DeratingModel",
+    "chipir",
+    "rotax",
+    "BeamTimePlanner",
+    "ExposurePlan",
+    "events_for_relative_precision",
+    "IrradiationCampaign",
+    "CampaignLogbook",
+    "device_summary",
+    "CampaignResult",
+    "CrossSectionEstimate",
+    "ExposureResult",
+]

@@ -1,0 +1,142 @@
+"""Beamline models: ChipIR and ROTAX as campaign drivers.
+
+A :class:`Beamline` couples a spectrum, a nominal flux at the device
+position, and a derating model.  At ChipIR several boards are aligned
+with the beam and a distance derating factor scales the flux each one
+sees (paper Section III-C / Fig. 3); at ROTAX the device under test
+stops most of the beam, so one device is tested at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.models import BeamKind
+from repro.spectra.beamlines import (
+    CHIPIR_FLUX_ABOVE_10MEV,
+    ROTAX_THERMAL_FLUX,
+    chipir_spectrum,
+    rotax_spectrum,
+)
+from repro.spectra.spectrum import Spectrum
+
+
+@dataclass(frozen=True)
+class DeratingModel:
+    """Distance derating for boards stacked along the beam axis.
+
+    Attributes:
+        reference_distance_cm: distance from the beam exit at which
+            the nominal flux is quoted.
+        board_pitch_cm: spacing between consecutive boards.
+        attenuation_per_board: fractional beam loss per traversed
+            board (upstream boards shadow downstream ones).
+    """
+
+    reference_distance_cm: float = 200.0
+    board_pitch_cm: float = 25.0
+    attenuation_per_board: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.reference_distance_cm <= 0.0:
+            raise ValueError("reference distance must be positive")
+        if self.board_pitch_cm < 0.0:
+            raise ValueError("board pitch must be >= 0")
+        if not 0.0 <= self.attenuation_per_board < 1.0:
+            raise ValueError(
+                "attenuation per board must be in [0, 1),"
+                f" got {self.attenuation_per_board}"
+            )
+
+    def factor(self, position: int) -> float:
+        """Flux factor at board ``position`` (0 = closest).
+
+        Inverse-square of the distance growth times the shadowing of
+        the ``position`` upstream boards.
+        """
+        if position < 0:
+            raise ValueError(
+                f"position must be >= 0, got {position}"
+            )
+        d = (
+            self.reference_distance_cm
+            + position * self.board_pitch_cm
+        )
+        geometric = (self.reference_distance_cm / d) ** 2
+        shadowing = (1.0 - self.attenuation_per_board) ** position
+        return geometric * shadowing
+
+
+@dataclass(frozen=True)
+class Beamline:
+    """An irradiation beamline.
+
+    Attributes:
+        name: facility label.
+        kind: beam regime (drives which device sigma applies).
+        nominal_flux_per_cm2_s: flux at the reference position, in the
+            energy band that defines the device cross sections for
+            this beam (>10 MeV for ChipIR, thermal for ROTAX).
+        spectrum: full energy spectrum (for plots and transport).
+        derating: distance derating model.
+        max_parallel_boards: how many DUTs can share the beam.
+    """
+
+    name: str
+    kind: BeamKind
+    nominal_flux_per_cm2_s: float
+    spectrum: Spectrum
+    derating: DeratingModel = DeratingModel()
+    max_parallel_boards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.nominal_flux_per_cm2_s <= 0.0:
+            raise ValueError("nominal flux must be positive")
+        if self.max_parallel_boards < 1:
+            raise ValueError("need at least one board position")
+
+    def flux_at(self, position: int = 0) -> float:
+        """Flux at a board position, n/cm^2/s.
+
+        Raises:
+            ValueError: if the position exceeds the beamline's
+                parallel-board capacity.
+        """
+        if position >= self.max_parallel_boards:
+            raise ValueError(
+                f"{self.name} supports {self.max_parallel_boards}"
+                f" parallel board(s); position {position} invalid"
+            )
+        return self.nominal_flux_per_cm2_s * self.derating.factor(
+            position
+        )
+
+    def fluence(self, duration_s: float, position: int = 0) -> float:
+        """Delivered fluence over an exposure, n/cm^2."""
+        if duration_s < 0.0:
+            raise ValueError(
+                f"duration must be >= 0, got {duration_s}"
+            )
+        return self.flux_at(position) * duration_s
+
+
+def chipir() -> Beamline:
+    """The ChipIR high-energy beamline (multi-board capable)."""
+    return Beamline(
+        name="ChipIR",
+        kind=BeamKind.HIGH_ENERGY,
+        nominal_flux_per_cm2_s=CHIPIR_FLUX_ABOVE_10MEV,
+        spectrum=chipir_spectrum(),
+        max_parallel_boards=4,
+    )
+
+
+def rotax() -> Beamline:
+    """The ROTAX thermal beamline (single device at a time)."""
+    return Beamline(
+        name="ROTAX",
+        kind=BeamKind.THERMAL,
+        nominal_flux_per_cm2_s=ROTAX_THERMAL_FLUX,
+        spectrum=rotax_spectrum(),
+        max_parallel_boards=1,
+    )

@@ -1,0 +1,160 @@
+"""Beam-time planning: how many hours buy how much certainty.
+
+Beam time at ChipIR/ROTAX is scarce; the question every campaign
+proposal answers is *how much fluence do we need for the error bars we
+want*.  For a Poisson count ``n`` the relative 95 % CI half-width is
+~``1.96 / sqrt(n)``, and a ratio of two counts needs
+``1/n1 + 1/n2`` in log space (see :mod:`repro.analysis.ratios`).  The
+planner inverts those relations against a device's expected cross
+sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.beam.beamline import Beamline
+from repro.devices.model import Device
+from repro.faults.models import Outcome
+
+#: z-score for two-sided 95 %.
+_Z95: float = 1.959964
+
+
+def events_for_relative_precision(relative_half_width: float) -> float:
+    """Counts needed so the 95 % CI half-width is a given fraction.
+
+    ``n = (z / w)^2``; e.g. 10 % precision needs ~384 events.
+
+    Raises:
+        ValueError: if the requested width is not in (0, 1].
+    """
+    if not 0.0 < relative_half_width <= 1.0:
+        raise ValueError(
+            "relative half-width must be in (0, 1],"
+            f" got {relative_half_width}"
+        )
+    return (_Z95 / relative_half_width) ** 2
+
+
+@dataclass(frozen=True)
+class ExposurePlan:
+    """Beam time required for one measurement.
+
+    Attributes:
+        beamline_name: where.
+        device_name: what.
+        outcome: which cross section.
+        target_events: counts needed.
+        fluence_per_cm2: fluence delivering them in expectation.
+        hours: beam hours at the nominal flux.
+    """
+
+    beamline_name: str
+    device_name: str
+    outcome: Outcome
+    target_events: float
+    fluence_per_cm2: float
+    hours: float
+
+
+class BeamTimePlanner:
+    """Plans exposures against expected cross sections."""
+
+    def plan_exposure(
+        self,
+        beamline: Beamline,
+        device: Device,
+        outcome: Outcome,
+        relative_half_width: float = 0.10,
+        position: int = 0,
+    ) -> ExposurePlan:
+        """Hours needed to pin one cross section to a precision.
+
+        Raises:
+            ValueError: if the device's expected cross section for
+                this beam/outcome is zero (cannot plan against it).
+        """
+        sigma = device.sigma(beamline.kind, outcome)
+        if sigma <= 0.0:
+            raise ValueError(
+                f"{device.name} has zero expected"
+                f" {outcome.value} cross section in"
+                f" {beamline.kind.value}"
+            )
+        n = events_for_relative_precision(relative_half_width)
+        fluence = n / sigma
+        flux = beamline.flux_at(position)
+        return ExposurePlan(
+            beamline_name=beamline.name,
+            device_name=device.name,
+            outcome=outcome,
+            target_events=n,
+            fluence_per_cm2=fluence,
+            hours=fluence / flux / 3600.0,
+        )
+
+    def plan_ratio(
+        self,
+        high_energy: Beamline,
+        thermal: Beamline,
+        device: Device,
+        outcome: Outcome,
+        relative_half_width: float = 0.15,
+    ) -> tuple:
+        """(HE plan, thermal plan) pinning the *ratio* to a precision.
+
+        The ratio's log-variance is ``1/n1 + 1/n2``; splitting the
+        error budget equally gives each beam ``2 * (z/w)^2`` events.
+        """
+        if not 0.0 < relative_half_width <= 1.0:
+            raise ValueError(
+                "relative half-width must be in (0, 1],"
+                f" got {relative_half_width}"
+            )
+        n_each = 2.0 * (_Z95 / relative_half_width) ** 2
+        plans = []
+        for beamline in (high_energy, thermal):
+            sigma = device.sigma(beamline.kind, outcome)
+            if sigma <= 0.0:
+                raise ValueError(
+                    f"zero cross section at {beamline.name}"
+                )
+            fluence = n_each / sigma
+            plans.append(
+                ExposurePlan(
+                    beamline_name=beamline.name,
+                    device_name=device.name,
+                    outcome=outcome,
+                    target_events=n_each,
+                    fluence_per_cm2=fluence,
+                    hours=fluence / beamline.flux_at(0) / 3600.0,
+                )
+            )
+        return tuple(plans)
+
+    def acceleration_factor(
+        self,
+        beamline: Beamline,
+        natural_flux_per_cm2_h: float,
+        position: int = 0,
+    ) -> float:
+        """How many field-hours one beam-second emulates.
+
+        The classic accelerated-test figure of merit: beam flux over
+        natural flux.
+        """
+        if natural_flux_per_cm2_h <= 0.0:
+            raise ValueError(
+                "natural flux must be positive,"
+                f" got {natural_flux_per_cm2_h}"
+            )
+        beam_per_h = beamline.flux_at(position) * 3600.0
+        return beam_per_h / natural_flux_per_cm2_h
+
+
+__all__ = [
+    "BeamTimePlanner",
+    "ExposurePlan",
+    "events_for_relative_precision",
+]

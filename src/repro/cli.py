@@ -1,0 +1,435 @@
+"""Command-line interface: the paper's analyses from a shell.
+
+Examples::
+
+    python -m repro assess --device K20 --site leadville --room --rain
+    python -m repro campaign --seed 7
+    python -m repro top10
+    python -m repro ddr --generation 4 --hours 2
+    python -m repro water
+    python -m repro shield --device K20
+    python -m repro checkpoint --device K20 --site lanl --nodes 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.analysis import format_table
+from repro.beam import IrradiationCampaign, chipir, rotax
+from repro.core import (
+    BORATED_POLY_SLAB,
+    CADMIUM_SHEET,
+    RiskAssessment,
+    ShieldingEvaluator,
+    project_top10,
+    top10_table,
+)
+from repro.core.checkpoint import CheckpointPlanner
+from repro.detector import water_step_experiment
+from repro.devices import DEVICES, get_device
+from repro.environment import (
+    ISIS,
+    LEADVILLE,
+    LOS_ALAMOS,
+    NEW_YORK,
+    Site,
+    WeatherCondition,
+    datacenter_scenario,
+    outdoor_scenario,
+)
+from repro.faults.models import Outcome
+from repro.memory import (
+    CorrectLoopTester,
+    DDR_SENSITIVITIES,
+    ErrorCategory,
+)
+from repro.spectra import ROTAX_THERMAL_FLUX
+
+#: Named sites accepted by ``--site``.
+SITES = {
+    "nyc": NEW_YORK,
+    "leadville": LEADVILLE,
+    "lanl": LOS_ALAMOS,
+    "isis": ISIS,
+}
+
+
+def _site(args: argparse.Namespace) -> Site:
+    if args.altitude is not None:
+        return Site("custom", args.altitude, args.latitude)
+    return SITES[args.site]
+
+
+def _scenario(args: argparse.Namespace):
+    site = _site(args)
+    weather = (
+        WeatherCondition.RAIN if args.rain else WeatherCondition.SUNNY
+    )
+    if args.room:
+        scenario = datacenter_scenario(
+            site, liquid_cooled=not args.air_cooled, weather=weather
+        )
+    else:
+        scenario = outdoor_scenario(site, weather=weather)
+    return scenario
+
+
+def _add_site_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--site", choices=sorted(SITES), default="nyc",
+        help="named deployment site",
+    )
+    parser.add_argument(
+        "--altitude", type=float, default=None,
+        help="custom altitude in metres (overrides --site)",
+    )
+    parser.add_argument(
+        "--latitude", type=float, default=45.0,
+        help="geomagnetic latitude for a custom site",
+    )
+    parser.add_argument(
+        "--room", action="store_true",
+        help="machine-room scenario (concrete + cooling water)",
+    )
+    parser.add_argument(
+        "--air-cooled", action="store_true",
+        help="machine room without liquid cooling",
+    )
+    parser.add_argument(
+        "--rain", action="store_true", help="thunderstorm weather"
+    )
+
+
+def cmd_assess(args: argparse.Namespace) -> int:
+    devices = [get_device(name) for name in args.device] or list(
+        DEVICES.values()
+    )
+    report = RiskAssessment().assess(devices, [_scenario(args)])
+    print(report.to_table())
+    for finding in report.findings:
+        print(f"[{finding.severity}] {finding.message}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    campaign = IrradiationCampaign(seed=args.seed)
+    chip, rot = chipir(), rotax()
+    for device in DEVICES.values():
+        for code in device.supported_codes:
+            campaign.expose_counting(
+                chip, device, code, args.chipir_hours * 3600.0
+            )
+            campaign.expose_counting(
+                rot, device, code, args.rotax_hours * 3600.0
+            )
+    if args.save:
+        from repro.beam.logbook import CampaignLogbook
+
+        CampaignLogbook(
+            result=campaign.result,
+            seed=args.seed,
+            notes="virtual ChipIR+ROTAX campaign via CLI",
+        ).save(args.save)
+        print(f"logbook written to {args.save}")
+    rows = []
+    for name in campaign.result.device_names():
+        sdc = campaign.result.beam_ratio(name, Outcome.SDC)
+        try:
+            due = campaign.result.beam_ratio(name, Outcome.DUE)
+            due_cell = f"{due.ratio:.2f} [{due.lower:.2f}, {due.upper:.2f}]"
+        except ValueError:
+            due_cell = "(too few DUEs)"
+        rows.append(
+            [
+                name,
+                f"{sdc.ratio:.2f} [{sdc.lower:.2f}, {sdc.upper:.2f}]",
+                due_cell,
+            ]
+        )
+    print(
+        format_table(
+            ["device", "SDC HE/thermal ratio", "DUE HE/thermal ratio"],
+            rows,
+            title="Virtual ChipIR + ROTAX campaign (Figure 4)",
+        )
+    )
+    return 0
+
+
+def cmd_top10(args: argparse.Namespace) -> int:
+    del args
+    print(top10_table(project_top10()))
+    return 0
+
+
+def cmd_ddr(args: argparse.Namespace) -> int:
+    sensitivity = DDR_SENSITIVITIES[args.generation]
+    capacity = 32.0 if args.generation == 3 else 64.0
+    tester = CorrectLoopTester(sensitivity, capacity, seed=args.seed)
+    result = tester.run(
+        ROTAX_THERMAL_FLUX, duration_s=args.hours * 3600.0
+    )
+    rows = [
+        [cat.value, result.count(cat)] for cat in ErrorCategory
+    ]
+    print(
+        format_table(
+            ["category", "errors"],
+            rows,
+            title=(
+                f"DDR{args.generation} correct-loop:"
+                f" {len(result.errors)} errors,"
+                f" sigma/GBit"
+                f" {result.total_cell_cross_section_per_gbit():.2e}"
+                f" cm^2, dominant direction"
+                f" {result.dominant_direction_fraction():.0%}"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_water(args: argparse.Namespace) -> int:
+    result = water_step_experiment(seed=args.seed)
+    print(
+        "Tin-II water experiment: step detected at sample"
+        f" {result.step.index}"
+        f" (water on at hour {result.true_water_start_h:.0f}),"
+        f" thermal rate {result.measured_enhancement:+.1%}"
+        " (paper: +24%)"
+    )
+    return 0
+
+
+def cmd_shield(args: argparse.Namespace) -> int:
+    evaluator = ShieldingEvaluator(n_neutrons=args.histories)
+    device = get_device(args.device[0] if args.device else "K20")
+    scenario = _scenario(args)
+    rows = []
+    for option in (CADMIUM_SHEET, BORATED_POLY_SLAB):
+        ev = evaluator.evaluate(option, device, scenario)
+        rows.append(
+            [
+                option.material.name,
+                f"{option.thickness_cm:.2f}",
+                f"{ev.thermal_transmission:.4f}",
+                f"{ev.fit_reduction:.1%}",
+                "yes" if ev.practical else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["shield", "cm", "thermal transmission",
+             "FIT reduction", "practical"],
+            rows,
+            title=f"Shielding options for {device.name}",
+        )
+    )
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    planner = CheckpointPlanner()
+    device = get_device(args.device[0] if args.device else "K20")
+    scenario = _scenario(args)
+    plan = planner.plan(
+        device,
+        scenario,
+        n_devices=args.nodes,
+        checkpoint_cost_hours=args.cost_minutes / 60.0,
+    )
+    print(
+        f"{args.nodes} x {device.name} in {scenario.label}:"
+        f" fleet DUE MTBF {plan.mtbf_hours:.2f} h,"
+        f" checkpoint every {plan.interval_hours:.2f} h,"
+        f" efficiency {plan.expected_efficiency:.1%}"
+    )
+    rainy = scenario.with_weather(WeatherCondition.RAIN)
+    penalty = planner.weather_penalty(
+        device, scenario, rainy, args.nodes, args.cost_minutes / 60.0
+    )
+    print(
+        "Running the fair-weather plan through a thunderstorm costs"
+        f" {penalty:.2%} efficiency vs re-planning."
+    )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import ReportOptions, generate_report
+
+    devices = [get_device(name) for name in args.device] or list(
+        DEVICES.values()
+    )
+    text = generate_report(
+        devices,
+        _scenario(args),
+        ReportOptions(
+            fleet_size=args.nodes,
+            checkpoint_cost_hours=args.cost_minutes / 60.0,
+            mc_histories=args.histories,
+        ),
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_avf(args: argparse.Namespace) -> int:
+    from repro.workloads import create_workload
+    from repro.workloads.metrics import (
+        measure_vulnerability,
+        most_vulnerable_surface,
+        workload_avf,
+    )
+
+    workload = create_workload(args.code)
+    vulns = measure_vulnerability(
+        workload, samples_per_array=args.samples, seed=args.seed
+    )
+    rows = [
+        [
+            v.stage, v.array, v.bits,
+            f"{v.sdc_fraction:.2f}", f"{v.due_fraction:.2f}",
+        ]
+        for v in sorted(
+            vulns, key=lambda v: v.weighted_avf, reverse=True
+        )[: args.top]
+    ]
+    print(
+        format_table(
+            ["stage", "array", "bits", "SDC AVF", "DUE AVF"],
+            rows,
+            title=f"Most vulnerable surfaces of {args.code}",
+        )
+    )
+    sdc, due = workload_avf(vulns)
+    hot = most_vulnerable_surface(vulns)
+    print(
+        f"workload AVF: SDC {sdc:.2f}, DUE {due:.2f};"
+        f" hottest surface: {hot.array!r} at stage {hot.stage!r}"
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.validation import (
+        all_passed,
+        validate_reproduction,
+        validation_table,
+    )
+
+    checks = validate_reproduction(seed=args.seed)
+    print(validation_table(checks))
+    if all_passed(checks):
+        print("All paper anchors reproduced.")
+        return 0
+    print("Some anchors FAILED — see the table above.")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Thermal-neutron reliability analyses (DSN 2020"
+            " reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser(
+        "assess", help="FIT decomposition for devices in a scenario"
+    )
+    p.add_argument(
+        "--device", action="append", default=[],
+        help="device name (repeatable; default: all)",
+    )
+    _add_site_args(p)
+    p.set_defaults(func=cmd_assess)
+
+    p = sub.add_parser(
+        "campaign", help="virtual ChipIR + ROTAX ratio campaign"
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--chipir-hours", type=float, default=0.5)
+    p.add_argument("--rotax-hours", type=float, default=4.0)
+    p.add_argument(
+        "--save", default="",
+        help="write a JSON campaign logbook to this path",
+    )
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "top10", help="Top-10 supercomputer DDR FIT projection"
+    )
+    p.set_defaults(func=cmd_top10)
+
+    p = sub.add_parser("ddr", help="DDR correct-loop experiment")
+    p.add_argument("--generation", type=int, choices=(3, 4), default=4)
+    p.add_argument("--hours", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=2020)
+    p.set_defaults(func=cmd_ddr)
+
+    p = sub.add_parser("water", help="Tin-II water-box experiment")
+    p.add_argument("--seed", type=int, default=2019)
+    p.set_defaults(func=cmd_water)
+
+    p = sub.add_parser("shield", help="shielding trade-off analysis")
+    p.add_argument("--device", action="append", default=[])
+    p.add_argument("--histories", type=int, default=2000)
+    _add_site_args(p)
+    p.set_defaults(func=cmd_shield)
+
+    p = sub.add_parser(
+        "avf", help="per-array vulnerability factors of a workload"
+    )
+    p.add_argument("--code", default="LUD")
+    p.add_argument("--samples", type=int, default=25)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2020)
+    p.set_defaults(func=cmd_avf)
+
+    p = sub.add_parser(
+        "validate",
+        help="recompute every paper anchor and report PASS/FAIL",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "report", help="full Markdown reliability report"
+    )
+    p.add_argument("--device", action="append", default=[])
+    p.add_argument("--nodes", type=int, default=1000)
+    p.add_argument("--cost-minutes", type=float, default=10.0)
+    p.add_argument("--histories", type=int, default=1500)
+    p.add_argument(
+        "--output", default="", help="write to a file instead of stdout"
+    )
+    _add_site_args(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "checkpoint", help="checkpoint-interval planning"
+    )
+    p.add_argument("--device", action="append", default=[])
+    p.add_argument("--nodes", type=int, default=1000)
+    p.add_argument("--cost-minutes", type=float, default=10.0)
+    _add_site_args(p)
+    p.set_defaults(func=cmd_checkpoint)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,102 @@
+"""The paper's analytical core: FIT decomposition and risk assessment.
+
+Public entry points:
+
+* :class:`~repro.core.fit.FitCalculator` — cross section x flux ->
+  FIT, decomposed into high-energy and thermal components;
+* :class:`~repro.core.assessment.RiskAssessment` — the end-to-end
+  pipeline over devices x scenarios, with risk findings;
+* :class:`~repro.core.shielding.ShieldingEvaluator` — the Cd /
+  borated-poly trade-off of Section VI;
+* :func:`~repro.core.supercomputers.project_top10` — the Top-10 DDR
+  thermal-FIT projection.
+"""
+
+from repro.core.fit import (
+    DeviceFitReport,
+    FitCalculator,
+    FitDecomposition,
+    fit_rate,
+)
+from repro.core.assessment import (
+    AssessmentReport,
+    RiskAssessment,
+    RiskFinding,
+    THERMAL_SHARE_WARNING,
+)
+from repro.core.shielding import (
+    BORATED_POLY_SLAB,
+    CADMIUM_SHEET,
+    ShieldEvaluation,
+    ShieldOption,
+    ShieldingEvaluator,
+)
+from repro.core.checkpoint import (
+    CheckpointPlan,
+    CheckpointPlanner,
+    plan_efficiency,
+    young_daly_interval,
+)
+from repro.core.crossover import (
+    crossover_altitude_m,
+    thermal_share_at_altitude,
+)
+from repro.core.fleet import FleetDay, FleetSimulator, FleetYearResult
+from repro.core.report import ReportOptions, generate_report
+from repro.core.validation import (
+    CheckResult,
+    all_passed,
+    validate_reproduction,
+    validation_table,
+)
+from repro.core.selection import (
+    DeviceSelector,
+    SelectionRequirement,
+    SelectionVerdict,
+)
+from repro.core.supercomputers import (
+    GBIT_PER_TIB,
+    MachineFitProjection,
+    project_machine,
+    project_top10,
+    top10_table,
+)
+
+__all__ = [
+    "DeviceFitReport",
+    "FitCalculator",
+    "FitDecomposition",
+    "fit_rate",
+    "AssessmentReport",
+    "RiskAssessment",
+    "RiskFinding",
+    "THERMAL_SHARE_WARNING",
+    "BORATED_POLY_SLAB",
+    "CADMIUM_SHEET",
+    "ShieldEvaluation",
+    "ShieldOption",
+    "ShieldingEvaluator",
+    "CheckpointPlan",
+    "CheckpointPlanner",
+    "plan_efficiency",
+    "young_daly_interval",
+    "crossover_altitude_m",
+    "thermal_share_at_altitude",
+    "FleetDay",
+    "FleetSimulator",
+    "FleetYearResult",
+    "CheckResult",
+    "all_passed",
+    "validate_reproduction",
+    "validation_table",
+    "ReportOptions",
+    "generate_report",
+    "DeviceSelector",
+    "SelectionRequirement",
+    "SelectionVerdict",
+    "GBIT_PER_TIB",
+    "MachineFitProjection",
+    "project_machine",
+    "project_top10",
+    "top10_table",
+]

@@ -1,0 +1,191 @@
+"""The end-to-end risk-assessment pipeline — the library's front door.
+
+``RiskAssessment`` answers the paper's practical question for a
+deployment: *given this COTS device, this code, and this environment,
+what is the error rate, and how much of it comes from thermal neutrons
+that a conventional analysis would miss?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_percent, format_table
+from repro.core.fit import DeviceFitReport, FitCalculator
+from repro.devices.model import Device
+from repro.environment.scenario import FluxScenario
+from repro.faults.models import Outcome
+
+#: Thermal share above which the assessment flags the device.
+THERMAL_SHARE_WARNING: float = 0.25
+
+
+@dataclass(frozen=True)
+class RiskFinding:
+    """One flagged risk in an assessment.
+
+    Attributes:
+        severity: "info" | "warning" | "critical".
+        message: human-readable explanation.
+    """
+
+    severity: str
+    message: str
+
+
+@dataclass
+class AssessmentReport:
+    """Aggregated output of a :class:`RiskAssessment` run.
+
+    Attributes:
+        reports: per-(device, scenario) FIT reports.
+        findings: flagged risks.
+    """
+
+    reports: List[DeviceFitReport] = field(default_factory=list)
+    findings: List[RiskFinding] = field(default_factory=list)
+
+    def worst_thermal_share(self) -> Tuple[str, float]:
+        """(device, share): the most thermally-exposed entry."""
+        if not self.reports:
+            raise ValueError("empty assessment")
+        worst = max(
+            self.reports,
+            key=lambda r: max(
+                r.sdc.thermal_share, r.due.thermal_share
+            ),
+        )
+        share = max(
+            worst.sdc.thermal_share, worst.due.thermal_share
+        )
+        return worst.device_name, share
+
+    def to_table(self) -> str:
+        """Render the assessment as an aligned text table."""
+        rows = []
+        for r in self.reports:
+            rows.append(
+                [
+                    r.device_name,
+                    r.code or "(avg)",
+                    r.scenario_label,
+                    f"{r.sdc.total:.2f}",
+                    format_percent(r.sdc.thermal_share),
+                    f"{r.due.total:.2f}",
+                    format_percent(r.due.thermal_share),
+                ]
+            )
+        return format_table(
+            [
+                "device", "code", "scenario",
+                "SDC FIT", "SDC thermal", "DUE FIT", "DUE thermal",
+            ],
+            rows,
+            title="Thermal-neutron risk assessment",
+        )
+
+
+class RiskAssessment:
+    """Assess devices across deployment scenarios.
+
+    Args:
+        calculator: FIT engine (injectable for testing).
+    """
+
+    def __init__(
+        self, calculator: Optional[FitCalculator] = None
+    ) -> None:
+        self.calculator = calculator or FitCalculator()
+
+    def assess(
+        self,
+        devices: Sequence[Device],
+        scenarios: Sequence[FluxScenario],
+        code: Optional[str] = None,
+    ) -> AssessmentReport:
+        """Produce FIT reports and findings for a deployment matrix.
+
+        Args:
+            devices: candidate devices.
+            scenarios: environments to evaluate.
+            code: optional specific workload.
+
+        Raises:
+            ValueError: on an empty device or scenario list.
+        """
+        if not devices or not scenarios:
+            raise ValueError(
+                "need at least one device and one scenario"
+            )
+        report = AssessmentReport()
+        for device in devices:
+            for scenario in scenarios:
+                fit = self.calculator.report(device, scenario, code)
+                report.reports.append(fit)
+                self._flag(report, device, fit)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _flag(
+        self,
+        report: AssessmentReport,
+        device: Device,
+        fit: DeviceFitReport,
+    ) -> None:
+        for decomposition, label in (
+            (fit.sdc, "SDC"),
+            (fit.due, "DUE"),
+        ):
+            share = decomposition.thermal_share
+            if share >= THERMAL_SHARE_WARNING:
+                report.findings.append(
+                    RiskFinding(
+                        severity="warning",
+                        message=(
+                            f"{device.name} in {fit.scenario_label}:"
+                            f" {format_percent(share)} of the {label}"
+                            " FIT rate is thermal-neutron induced —"
+                            " a high-energy-only qualification"
+                            " underestimates the error rate by"
+                            f" {format_percent(share)}"
+                        ),
+                    )
+                )
+        if fit.due.thermal_share > 0.45:
+            report.findings.append(
+                RiskFinding(
+                    severity="critical",
+                    message=(
+                        f"{device.name}: thermal neutrons cause"
+                        " about as many DUEs as high-energy ones"
+                        " (the paper's APU CPU+GPU case) — check"
+                        " for 10B in the process before deploying"
+                        " in a safety-critical role"
+                    ),
+                )
+            )
+
+    def compare_scenarios(
+        self,
+        device: Device,
+        baseline: FluxScenario,
+        alternative: FluxScenario,
+        outcome: Outcome = Outcome.SDC,
+        code: Optional[str] = None,
+    ) -> float:
+        """Total-FIT ratio alternative/baseline for one device.
+
+        Quantifies questions like "how much worse is a rainy day" or
+        "what does liquid cooling cost in FIT".
+        """
+        base = self.calculator.decompose(
+            device, baseline, outcome, code
+        ).total
+        alt = self.calculator.decompose(
+            device, alternative, outcome, code
+        ).total
+        if base == 0.0:
+            raise ValueError("baseline FIT is zero")
+        return alt / base

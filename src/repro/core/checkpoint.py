@@ -1,0 +1,172 @@
+"""Checkpoint-interval planning from FIT rates.
+
+The paper's Section VI remark: *"when supercomputer time is allocated,
+the checkpoint frequency may need to consider weather conditions"* —
+because the DUE rate, and with it the optimal checkpoint interval,
+moves with the thermal flux.  This module turns a FIT decomposition
+into a checkpoint plan using the Young/Daly first-order optimum
+
+    tau* = sqrt(2 * delta * MTBF)
+
+with ``delta`` the checkpoint write cost, and quantifies the efficiency
+lost when the interval was planned for the wrong weather.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.fit import FitCalculator
+from repro.devices.model import Device
+from repro.environment.scenario import FluxScenario
+from repro.faults.models import Outcome
+from repro.physics.units import HOURS_PER_BILLION
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """A checkpoint schedule for one job/fleet.
+
+    Attributes:
+        interval_hours: optimal time between checkpoints.
+        mtbf_hours: the failure MTBF the plan is built on.
+        checkpoint_cost_hours: time to write one checkpoint.
+        expected_efficiency: fraction of wall-clock doing useful work
+            under this plan (first-order Young/Daly estimate).
+    """
+
+    interval_hours: float
+    mtbf_hours: float
+    checkpoint_cost_hours: float
+    expected_efficiency: float
+
+
+def young_daly_interval(
+    mtbf_hours: float, checkpoint_cost_hours: float
+) -> float:
+    """First-order optimal checkpoint interval, hours.
+
+    Raises:
+        ValueError: on non-positive inputs.
+    """
+    if mtbf_hours <= 0.0:
+        raise ValueError(f"MTBF must be positive, got {mtbf_hours}")
+    if checkpoint_cost_hours <= 0.0:
+        raise ValueError(
+            "checkpoint cost must be positive,"
+            f" got {checkpoint_cost_hours}"
+        )
+    return math.sqrt(2.0 * checkpoint_cost_hours * mtbf_hours)
+
+
+def plan_efficiency(
+    interval_hours: float,
+    mtbf_hours: float,
+    checkpoint_cost_hours: float,
+) -> float:
+    """Useful-work fraction for a given interval (first order).
+
+    Overhead = checkpoint writes (``delta / tau``) plus expected
+    rework after failures (``tau / (2 * MTBF)``).
+    """
+    if interval_hours <= 0.0:
+        raise ValueError(
+            f"interval must be positive, got {interval_hours}"
+        )
+    if mtbf_hours <= 0.0 or checkpoint_cost_hours < 0.0:
+        raise ValueError("MTBF/cost out of range")
+    overhead = (
+        checkpoint_cost_hours / interval_hours
+        + interval_hours / (2.0 * mtbf_hours)
+    )
+    return max(0.0, 1.0 - overhead)
+
+
+class CheckpointPlanner:
+    """Plans checkpoints for a device fleet in a flux scenario.
+
+    Only DUEs force a restart (SDCs are silent), so plans are built
+    from the DUE FIT.
+
+    Args:
+        calculator: FIT engine.
+    """
+
+    def __init__(
+        self, calculator: Optional[FitCalculator] = None
+    ) -> None:
+        self.calculator = calculator or FitCalculator()
+
+    def fleet_mtbf_hours(
+        self,
+        device: Device,
+        scenario: FluxScenario,
+        n_devices: int,
+        code: Optional[str] = None,
+    ) -> float:
+        """DUE MTBF of a fleet of identical devices, hours."""
+        if n_devices <= 0:
+            raise ValueError(
+                f"fleet size must be positive, got {n_devices}"
+            )
+        due_fit = self.calculator.decompose(
+            device, scenario, Outcome.DUE, code
+        ).total
+        if due_fit == 0.0:
+            raise ValueError("zero DUE FIT; MTBF infinite")
+        return HOURS_PER_BILLION / (due_fit * n_devices)
+
+    def plan(
+        self,
+        device: Device,
+        scenario: FluxScenario,
+        n_devices: int,
+        checkpoint_cost_hours: float,
+        code: Optional[str] = None,
+    ) -> CheckpointPlan:
+        """Build the optimal plan for a fleet in a scenario."""
+        mtbf = self.fleet_mtbf_hours(
+            device, scenario, n_devices, code
+        )
+        interval = young_daly_interval(mtbf, checkpoint_cost_hours)
+        return CheckpointPlan(
+            interval_hours=interval,
+            mtbf_hours=mtbf,
+            checkpoint_cost_hours=checkpoint_cost_hours,
+            expected_efficiency=plan_efficiency(
+                interval, mtbf, checkpoint_cost_hours
+            ),
+        )
+
+    def weather_penalty(
+        self,
+        device: Device,
+        baseline: FluxScenario,
+        actual: FluxScenario,
+        n_devices: int,
+        checkpoint_cost_hours: float,
+        code: Optional[str] = None,
+    ) -> float:
+        """Efficiency lost by planning for the wrong weather.
+
+        The plan is optimized for ``baseline`` but the machine runs
+        under ``actual`` (e.g. a thunderstorm).  Returns the
+        efficiency difference between the re-optimized plan and the
+        stale plan under the actual conditions — the paper's
+        checkpoint-vs-forecast argument quantified.
+        """
+        stale = self.plan(
+            device, baseline, n_devices, checkpoint_cost_hours, code
+        )
+        actual_mtbf = self.fleet_mtbf_hours(
+            device, actual, n_devices, code
+        )
+        stale_eff = plan_efficiency(
+            stale.interval_hours, actual_mtbf, checkpoint_cost_hours
+        )
+        fresh = self.plan(
+            device, actual, n_devices, checkpoint_cost_hours, code
+        )
+        return fresh.expected_efficiency - stale_eff

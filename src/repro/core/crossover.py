@@ -1,0 +1,111 @@
+"""Crossover analysis: where does the thermal component take over?
+
+The FIT share grows with altitude (the thermal/fast flux ratio rises)
+and with the surroundings.  For planning it is useful to invert that:
+*at what altitude does device X's thermal share cross Y %?* — e.g. the
+altitude above which a thermal-blind qualification underestimates the
+error rate by more than a quarter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.fit import FitCalculator
+from repro.devices.model import Device
+from repro.environment.scenario import FluxScenario
+from repro.environment.sites import Site
+from repro.faults.models import Outcome
+
+#: Search ceiling: the flux model is calibrated for ground sites.
+MAX_SEARCH_ALTITUDE_M: float = 5000.0
+
+
+def thermal_share_at_altitude(
+    device: Device,
+    altitude_m: float,
+    outcome: Outcome,
+    scenario_template: Optional[FluxScenario] = None,
+) -> float:
+    """Thermal FIT share for a device at an arbitrary altitude.
+
+    Args:
+        device: the DUT.
+        altitude_m: site altitude.
+        outcome: SDC or DUE.
+        scenario_template: optional scenario whose materials/weather
+            are reused (the site is replaced); default open field.
+    """
+    site = Site("probe", altitude_m, 45.0)
+    if scenario_template is None:
+        scenario = FluxScenario(site=site)
+    else:
+        scenario = FluxScenario(
+            site=site,
+            materials=scenario_template.materials,
+            weather=scenario_template.weather,
+        )
+    return FitCalculator().thermal_share(device, scenario, outcome)
+
+
+def crossover_altitude_m(
+    device: Device,
+    outcome: Outcome,
+    target_share: float,
+    scenario_template: Optional[FluxScenario] = None,
+    tolerance_m: float = 1.0,
+) -> Optional[float]:
+    """Lowest altitude where the thermal share reaches the target.
+
+    Bisection over [0, MAX_SEARCH_ALTITUDE_M]; the share is monotone
+    in altitude (the thermal ratio grows linearly).
+
+    Args:
+        device: the DUT.
+        outcome: SDC or DUE.
+        target_share: share threshold in (0, 1).
+        scenario_template: materials/weather context.
+        tolerance_m: bisection resolution.
+
+    Returns:
+        The crossover altitude in metres, or ``None`` if the share
+        never reaches the target below the search ceiling (or
+        already exceeds it at sea level, in which case 0.0 is
+        returned instead of None).
+
+    Raises:
+        ValueError: on a target outside (0, 1).
+    """
+    if not 0.0 < target_share < 1.0:
+        raise ValueError(
+            f"target share must be in (0, 1), got {target_share}"
+        )
+    if tolerance_m <= 0.0:
+        raise ValueError(
+            f"tolerance must be positive, got {tolerance_m}"
+        )
+
+    def share(altitude: float) -> float:
+        return thermal_share_at_altitude(
+            device, altitude, outcome, scenario_template
+        )
+
+    lo, hi = 0.0, MAX_SEARCH_ALTITUDE_M
+    if share(lo) >= target_share:
+        return 0.0
+    if share(hi) < target_share:
+        return None
+    while hi - lo > tolerance_m:
+        mid = 0.5 * (lo + hi)
+        if share(mid) < target_share:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+__all__ = [
+    "MAX_SEARCH_ALTITUDE_M",
+    "crossover_altitude_m",
+    "thermal_share_at_altitude",
+]

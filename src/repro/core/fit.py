@@ -1,0 +1,172 @@
+"""FIT-rate arithmetic: cross sections x fluxes -> error rates.
+
+This is the paper's Section VI: the cross section is the device
+property, the flux is the environment property, and
+
+    FIT = sigma (cm^2) x flux (n/cm^2/h) x 1e9
+
+for each (beam band, outcome) pair.  The **thermal share** of the
+total FIT is the paper's headline decomposition (up to ~40 % for the
+soft devices, and the amount by which a high-energy-only analysis
+underestimates the error rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.devices.model import Device
+from repro.environment.scenario import FluxScenario
+from repro.faults.models import BeamKind, Outcome
+from repro.physics.units import HOURS_PER_BILLION
+
+
+def fit_rate(sigma_cm2: float, flux_per_cm2_h: float) -> float:
+    """FIT from a cross section and a flux.
+
+    Raises:
+        ValueError: on negative inputs.
+    """
+    if sigma_cm2 < 0.0:
+        raise ValueError(f"sigma must be >= 0, got {sigma_cm2}")
+    if flux_per_cm2_h < 0.0:
+        raise ValueError(
+            f"flux must be >= 0, got {flux_per_cm2_h}"
+        )
+    return sigma_cm2 * flux_per_cm2_h * HOURS_PER_BILLION
+
+
+@dataclass(frozen=True)
+class FitDecomposition:
+    """FIT of one outcome split by beam band.
+
+    Attributes:
+        outcome: SDC or DUE.
+        fit_high_energy: FIT from the fast (>10 MeV) flux.
+        fit_thermal: FIT from the thermal (<0.5 eV) flux.
+    """
+
+    outcome: Outcome
+    fit_high_energy: float
+    fit_thermal: float
+
+    @property
+    def total(self) -> float:
+        """Combined FIT."""
+        return self.fit_high_energy + self.fit_thermal
+
+    @property
+    def thermal_share(self) -> float:
+        """Fraction of the total FIT due to thermal neutrons."""
+        if self.total == 0.0:
+            raise ValueError("zero total FIT; share undefined")
+        return self.fit_thermal / self.total
+
+    @property
+    def underestimate_if_thermals_ignored(self) -> float:
+        """How much a fast-only analysis underestimates the rate.
+
+        E.g. 0.66 means the true FIT is 1/0.66 = 1.5x the fast-only
+        estimate.
+        """
+        if self.total == 0.0:
+            raise ValueError("zero total FIT")
+        return self.fit_high_energy / self.total
+
+
+@dataclass(frozen=True)
+class DeviceFitReport:
+    """Full FIT report for one device in one scenario.
+
+    Attributes:
+        device_name: the DUT.
+        scenario_label: environment description.
+        sdc: SDC decomposition.
+        due: DUE decomposition.
+        code: optional specific code (None = device average).
+    """
+
+    device_name: str
+    scenario_label: str
+    sdc: FitDecomposition
+    due: FitDecomposition
+    code: Optional[str] = None
+
+    @property
+    def total_fit(self) -> float:
+        """SDC + DUE FIT."""
+        return self.sdc.total + self.due.total
+
+    def mtbf_hours(self) -> float:
+        """Mean time between (any) errors for one device, hours."""
+        if self.total_fit == 0.0:
+            raise ValueError("zero FIT; MTBF infinite")
+        return HOURS_PER_BILLION / self.total_fit
+
+    def fleet_error_rate_per_day(self, n_devices: int) -> float:
+        """Expected errors/day across a fleet of identical devices."""
+        if n_devices < 0:
+            raise ValueError(
+                f"fleet size must be >= 0, got {n_devices}"
+            )
+        return (
+            self.total_fit / HOURS_PER_BILLION * 24.0 * n_devices
+        )
+
+
+class FitCalculator:
+    """Computes FIT reports for devices in flux scenarios."""
+
+    def decompose(
+        self,
+        device: Device,
+        scenario: FluxScenario,
+        outcome: Outcome,
+        code: Optional[str] = None,
+    ) -> FitDecomposition:
+        """FIT decomposition of one outcome."""
+        sigma_he = device.sigma(BeamKind.HIGH_ENERGY, outcome, code)
+        sigma_th = device.sigma(BeamKind.THERMAL, outcome, code)
+        return FitDecomposition(
+            outcome=outcome,
+            fit_high_energy=fit_rate(
+                sigma_he, scenario.fast_flux_per_h()
+            ),
+            fit_thermal=fit_rate(
+                sigma_th, scenario.thermal_flux_per_h()
+            ),
+        )
+
+    def report(
+        self,
+        device: Device,
+        scenario: FluxScenario,
+        code: Optional[str] = None,
+    ) -> DeviceFitReport:
+        """Full SDC+DUE report for a device in a scenario."""
+        return DeviceFitReport(
+            device_name=device.name,
+            scenario_label=scenario.label,
+            sdc=self.decompose(device, scenario, Outcome.SDC, code),
+            due=self.decompose(device, scenario, Outcome.DUE, code),
+            code=code,
+        )
+
+    def thermal_share(
+        self,
+        device: Device,
+        scenario: FluxScenario,
+        outcome: Outcome,
+        code: Optional[str] = None,
+    ) -> float:
+        """Shortcut: thermal share of one outcome's FIT.
+
+        Analytically this is ``r / (r + R)`` where ``r`` is the
+        scenario's thermal/fast flux ratio and ``R`` the device's
+        HE/thermal sigma ratio — the identity the paper's FIT
+        percentages are built on.
+        """
+        return self.decompose(
+            device, scenario, outcome, code
+        ).thermal_share

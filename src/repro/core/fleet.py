@@ -1,0 +1,205 @@
+"""Year-long fleet simulation: weather, solar cycle, error counts.
+
+The paper's operational punchline — error rates move with the weather
+and the surroundings — becomes concrete when you run a machine for a
+year: this simulator draws daily weather from a two-state Markov
+chain, modulates the fast flux with the solar cycle, converts the
+day's fluxes to expected error counts through the device cross
+sections, and draws Poisson counts.  The output answers questions the
+FIT tables cannot: how bursty are the bad days, and how much of the
+annual error budget arrives during storms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.core.fit import FitCalculator
+from repro.devices.model import Device
+from repro.environment.scenario import FluxScenario
+from repro.environment.modifiers import WeatherCondition
+from repro.environment.solar import solar_modulation_factor
+from repro.faults.models import Outcome
+from repro.physics.units import HOURS_PER_BILLION
+
+
+@dataclass(frozen=True)
+class FleetDay:
+    """One simulated day.
+
+    Attributes:
+        day: index from simulation start.
+        weather: that day's condition.
+        sdc_count / due_count: fleet-wide observed errors.
+        expected_sdc / expected_due: Poisson means used.
+    """
+
+    day: int
+    weather: WeatherCondition
+    sdc_count: int
+    due_count: int
+    expected_sdc: float
+    expected_due: float
+
+
+@dataclass
+class FleetYearResult:
+    """A year of fleet operation."""
+
+    days: List[FleetDay] = field(default_factory=list)
+
+    def total(self, outcome: Outcome) -> int:
+        """Total observed errors of one kind."""
+        if outcome is Outcome.SDC:
+            return sum(d.sdc_count for d in self.days)
+        if outcome is Outcome.DUE:
+            return sum(d.due_count for d in self.days)
+        raise ValueError(f"no counts for outcome {outcome}")
+
+    def rainy_day_share(self, outcome: Outcome) -> float:
+        """Fraction of the year's errors that fell on rainy days."""
+        total = self.total(outcome)
+        if total == 0:
+            raise ValueError("no errors observed; share undefined")
+        rainy = sum(
+            (
+                d.sdc_count
+                if outcome is Outcome.SDC
+                else d.due_count
+            )
+            for d in self.days
+            if d.weather is WeatherCondition.RAIN
+        )
+        return rainy / total
+
+    def rainy_day_fraction(self) -> float:
+        """Fraction of days that were rainy."""
+        if not self.days:
+            raise ValueError("empty simulation")
+        rainy = sum(
+            1
+            for d in self.days
+            if d.weather is WeatherCondition.RAIN
+        )
+        return rainy / len(self.days)
+
+
+class FleetSimulator:
+    """Simulates a device fleet through a year of weather.
+
+    Args:
+        device: the deployed part.
+        scenario: the machine-room scenario on a *sunny* day; weather
+            is varied by the simulator.
+        n_devices: fleet size.
+        rain_probability: stationary probability of a rainy day.
+        rain_persistence: probability a rainy day is followed by
+            another rainy day (weather is autocorrelated).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        scenario: FluxScenario,
+        n_devices: int,
+        rain_probability: float = 0.15,
+        rain_persistence: float = 0.5,
+        seed: int = 2020,
+    ) -> None:
+        if n_devices <= 0:
+            raise ValueError(
+                f"fleet size must be positive, got {n_devices}"
+            )
+        if not 0.0 <= rain_probability < 1.0:
+            raise ValueError(
+                "rain probability must be in [0, 1),"
+                f" got {rain_probability}"
+            )
+        if not 0.0 <= rain_persistence < 1.0:
+            raise ValueError(
+                "rain persistence must be in [0, 1),"
+                f" got {rain_persistence}"
+            )
+        self.device = device
+        self.scenario = scenario.with_weather(
+            WeatherCondition.SUNNY
+        )
+        self.n_devices = n_devices
+        self.rain_probability = rain_probability
+        self.rain_persistence = rain_persistence
+        self.rng = np.random.default_rng(seed)
+        self.calculator = FitCalculator()
+
+    # ------------------------------------------------------------------
+
+    def _transition(self, raining: bool) -> bool:
+        if raining:
+            return self.rng.random() < self.rain_persistence
+        # Stationarity: p(dry->rain) chosen so the long-run rain
+        # fraction equals rain_probability.
+        p_stay_dry_needed = (
+            self.rain_probability
+            * (1.0 - self.rain_persistence)
+            / max(1.0 - self.rain_probability, 1e-12)
+        )
+        return self.rng.random() < p_stay_dry_needed
+
+    def _expected_daily(
+        self, weather: WeatherCondition, solar_factor: float
+    ) -> tuple:
+        scenario = self.scenario.with_weather(weather)
+        out = []
+        for outcome in (Outcome.SDC, Outcome.DUE):
+            d = self.calculator.decompose(
+                self.device, scenario, outcome
+            )
+            fit = (
+                d.fit_high_energy * solar_factor
+                + d.fit_thermal * solar_factor
+            )
+            out.append(
+                fit / HOURS_PER_BILLION * 24.0 * self.n_devices
+            )
+        return tuple(out)
+
+    def run_year(
+        self, years_since_solar_minimum: float = 0.0
+    ) -> FleetYearResult:
+        """Simulate 365 days.
+
+        Args:
+            years_since_solar_minimum: solar-cycle phase at start.
+        """
+        result = FleetYearResult()
+        raining = self.rng.random() < self.rain_probability
+        for day in range(365):
+            weather = (
+                WeatherCondition.RAIN
+                if raining
+                else WeatherCondition.SUNNY
+            )
+            solar = solar_modulation_factor(
+                years_since_solar_minimum + day / 365.0
+            )
+            expected_sdc, expected_due = self._expected_daily(
+                weather, solar
+            )
+            result.days.append(
+                FleetDay(
+                    day=day,
+                    weather=weather,
+                    sdc_count=int(self.rng.poisson(expected_sdc)),
+                    due_count=int(self.rng.poisson(expected_due)),
+                    expected_sdc=expected_sdc,
+                    expected_due=expected_due,
+                )
+            )
+            raining = self._transition(raining)
+        return result
+
+
+__all__ = ["FleetDay", "FleetSimulator", "FleetYearResult"]

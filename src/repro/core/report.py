@@ -1,0 +1,175 @@
+"""One-shot Markdown reliability report.
+
+Bundles the library's analyses for a deployment into a single
+document — the artifact a reliability engineer would attach to a
+design review: FIT decomposition, findings, shielding options,
+checkpoint plan, and (for machine rooms) the DDR scrubbing story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.sensitivity import thermal_share_with_uncertainty
+from repro.core.assessment import RiskAssessment
+from repro.core.checkpoint import CheckpointPlanner
+from repro.core.fit import FitCalculator
+from repro.core.shielding import (
+    BORATED_POLY_SLAB,
+    CADMIUM_SHEET,
+    ShieldingEvaluator,
+)
+from repro.devices.model import Device
+from repro.environment.scenario import FluxScenario
+from repro.faults.models import Outcome
+
+
+@dataclass(frozen=True)
+class ReportOptions:
+    """Knobs for the generated document.
+
+    Attributes:
+        fleet_size: devices deployed (checkpoint section).
+        checkpoint_cost_hours: checkpoint write time.
+        include_shielding: evaluate Cd / borated poly.
+        mc_histories: MC budget for the shielding section.
+    """
+
+    fleet_size: int = 1000
+    checkpoint_cost_hours: float = 0.2
+    include_shielding: bool = True
+    mc_histories: int = 1500
+
+    def __post_init__(self) -> None:
+        if self.fleet_size <= 0:
+            raise ValueError(
+                f"fleet size must be positive, got {self.fleet_size}"
+            )
+        if self.checkpoint_cost_hours <= 0.0:
+            raise ValueError(
+                "checkpoint cost must be positive,"
+                f" got {self.checkpoint_cost_hours}"
+            )
+
+
+def generate_report(
+    devices: Sequence[Device],
+    scenario: FluxScenario,
+    options: Optional[ReportOptions] = None,
+) -> str:
+    """Produce the Markdown reliability report.
+
+    Args:
+        devices: candidate/deployed devices.
+        scenario: the deployment environment.
+        options: report knobs.
+
+    Raises:
+        ValueError: on an empty device list.
+    """
+    if not devices:
+        raise ValueError("no devices to report on")
+    opts = options or ReportOptions()
+    calc = FitCalculator()
+    lines: List[str] = []
+    add = lines.append
+
+    add(f"# Thermal-neutron reliability report — {scenario.label}")
+    add("")
+    add(
+        f"Fast flux {scenario.fast_flux_per_h():.2f} n/cm^2/h,"
+        f" thermal flux {scenario.thermal_flux_per_h():.2f} n/cm^2/h"
+        f" (thermal/fast ratio"
+        f" {scenario.thermal_to_fast_ratio():.3f})."
+    )
+    add("")
+
+    # ---- FIT table ----
+    add("## FIT decomposition")
+    add("")
+    add(
+        "| device | SDC FIT | SDC thermal share (90% band) |"
+        " DUE FIT | DUE thermal share |"
+    )
+    add("|---|---|---|---|---|")
+    for device in devices:
+        sdc = calc.decompose(device, scenario, Outcome.SDC)
+        due = calc.decompose(device, scenario, Outcome.DUE)
+        band = thermal_share_with_uncertainty(
+            device.sdc_ratio(), scenario.thermal_to_fast_ratio()
+        )
+        add(
+            f"| {device.name} | {sdc.total:.1f} |"
+            f" {sdc.thermal_share:.1%}"
+            f" [{band.q05:.1%}, {band.q95:.1%}] |"
+            f" {due.total:.1f} | {due.thermal_share:.1%} |"
+        )
+    add("")
+
+    # ---- findings ----
+    assessment = RiskAssessment(calc).assess(
+        list(devices), [scenario]
+    )
+    if assessment.findings:
+        add("## Findings")
+        add("")
+        for finding in assessment.findings:
+            add(f"- **{finding.severity}**: {finding.message}")
+        add("")
+
+    # ---- shielding ----
+    if opts.include_shielding:
+        add("## Shielding options")
+        add("")
+        evaluator = ShieldingEvaluator(
+            n_neutrons=opts.mc_histories
+        )
+        worst = max(
+            devices,
+            key=lambda d: calc.thermal_share(
+                d, scenario, Outcome.SDC
+            ),
+        )
+        for option in (CADMIUM_SHEET, BORATED_POLY_SLAB):
+            ev = evaluator.evaluate(option, worst, scenario)
+            verdict = (
+                "practical"
+                if ev.practical
+                else "NOT practical near a hot device"
+            )
+            add(
+                f"- {option.material.name}"
+                f" ({option.thickness_cm} cm): thermal"
+                f" transmission {ev.thermal_transmission:.3f},"
+                f" FIT reduction {ev.fit_reduction:.1%} on"
+                f" {worst.name} — {verdict}."
+            )
+        add("")
+
+    # ---- checkpointing ----
+    add("## Checkpoint plan")
+    add("")
+    planner = CheckpointPlanner(calc)
+    for device in devices:
+        plan = planner.plan(
+            device,
+            scenario,
+            n_devices=opts.fleet_size,
+            checkpoint_cost_hours=opts.checkpoint_cost_hours,
+        )
+        add(
+            f"- {opts.fleet_size} x {device.name}: fleet DUE MTBF"
+            f" {plan.mtbf_hours:.2f} h -> checkpoint every"
+            f" {plan.interval_hours:.2f} h"
+            f" (efficiency {plan.expected_efficiency:.1%})."
+        )
+    add("")
+    add(
+        "*Generated by thermal-neutron-repro (DSN 2020"
+        " reproduction).*"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["ReportOptions", "generate_report"]

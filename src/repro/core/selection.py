@@ -1,0 +1,166 @@
+"""Device selection under a reliability budget.
+
+Figure 1's market argument: one COTS architecture gets reused from
+consumer boxes to HPC and vehicles, and that only works "if the COTS
+device reliability is carefully evaluated and found to be sufficient
+for the project requirements".  This module is that evaluation: rank
+the catalog against a FIT budget in the *deployment* environment —
+thermal component included — and report which devices a fast-only
+analysis would have wrongly accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.fit import FitCalculator
+from repro.devices.model import Device
+from repro.environment.scenario import FluxScenario
+from repro.faults.models import Outcome
+
+
+@dataclass(frozen=True)
+class SelectionRequirement:
+    """What the project needs.
+
+    Attributes:
+        max_sdc_fit: SDC FIT budget (None = unconstrained).
+        max_due_fit: DUE FIT budget (None = unconstrained).
+        code: optional workload the device must support.
+    """
+
+    max_sdc_fit: Optional[float] = None
+    max_due_fit: Optional[float] = None
+    code: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_sdc_fit is not None and self.max_sdc_fit <= 0.0:
+            raise ValueError("SDC budget must be positive")
+        if self.max_due_fit is not None and self.max_due_fit <= 0.0:
+            raise ValueError("DUE budget must be positive")
+
+
+@dataclass(frozen=True)
+class SelectionVerdict:
+    """One device's evaluation against a requirement.
+
+    Attributes:
+        device_name: candidate.
+        sdc_fit / due_fit: totals in the deployment scenario.
+        accepted: meets every stated budget.
+        accepted_fast_only: would have been accepted if thermal FIT
+            were (wrongly) ignored — the paper's underestimation trap.
+    """
+
+    device_name: str
+    sdc_fit: float
+    due_fit: float
+    accepted: bool
+    accepted_fast_only: bool
+
+    @property
+    def wrongly_accepted_without_thermals(self) -> bool:
+        """True if a fast-only analysis passes a failing device."""
+        return self.accepted_fast_only and not self.accepted
+
+
+class DeviceSelector:
+    """Ranks devices against a requirement in a scenario."""
+
+    def __init__(
+        self, calculator: Optional[FitCalculator] = None
+    ) -> None:
+        self.calculator = calculator or FitCalculator()
+
+    def evaluate(
+        self,
+        device: Device,
+        scenario: FluxScenario,
+        requirement: SelectionRequirement,
+    ) -> SelectionVerdict:
+        """Evaluate one candidate."""
+        code = requirement.code
+        if (
+            code is not None
+            and device.supported_codes
+            and code not in device.supported_codes
+        ):
+            # Not tested with this code: cannot qualify.
+            return SelectionVerdict(
+                device_name=device.name,
+                sdc_fit=float("nan"),
+                due_fit=float("nan"),
+                accepted=False,
+                accepted_fast_only=False,
+            )
+        sdc = self.calculator.decompose(
+            device, scenario, Outcome.SDC, code
+        )
+        due = self.calculator.decompose(
+            device, scenario, Outcome.DUE, code
+        )
+
+        def _meets(sdc_fit: float, due_fit: float) -> bool:
+            ok = True
+            if requirement.max_sdc_fit is not None:
+                ok &= sdc_fit <= requirement.max_sdc_fit
+            if requirement.max_due_fit is not None:
+                ok &= due_fit <= requirement.max_due_fit
+            return ok
+
+        return SelectionVerdict(
+            device_name=device.name,
+            sdc_fit=sdc.total,
+            due_fit=due.total,
+            accepted=_meets(sdc.total, due.total),
+            accepted_fast_only=_meets(
+                sdc.fit_high_energy, due.fit_high_energy
+            ),
+        )
+
+    def select(
+        self,
+        devices: Sequence[Device],
+        scenario: FluxScenario,
+        requirement: SelectionRequirement,
+    ) -> List[SelectionVerdict]:
+        """Evaluate candidates, accepted first, lowest total FIT first.
+
+        Raises:
+            ValueError: on an empty candidate list.
+        """
+        if not devices:
+            raise ValueError("no candidate devices")
+        verdicts = [
+            self.evaluate(d, scenario, requirement) for d in devices
+        ]
+        return sorted(
+            verdicts,
+            key=lambda v: (
+                not v.accepted,
+                v.sdc_fit + v.due_fit
+                if v.sdc_fit == v.sdc_fit  # NaN-safe
+                else float("inf"),
+            ),
+        )
+
+    def underestimation_traps(
+        self,
+        devices: Sequence[Device],
+        scenario: FluxScenario,
+        requirement: SelectionRequirement,
+    ) -> List[str]:
+        """Devices a fast-only qualification wrongly accepts."""
+        return [
+            v.device_name
+            for v in self.select(devices, scenario, requirement)
+            if v.wrongly_accepted_without_thermals
+        ]
+
+
+__all__ = [
+    "DeviceSelector",
+    "SelectionRequirement",
+    "SelectionVerdict",
+]

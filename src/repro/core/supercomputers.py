@@ -1,0 +1,117 @@
+"""Top-10 supercomputer DDR thermal-FIT projection (experiment E7).
+
+For each machine of the paper-era Top-10 list: take its site's thermal
+flux (with the machine-room concrete — and water if liquid-cooled),
+the per-GBit DDR thermal cross section for its memory generation, and
+its memory inventory, and project the fleet-level thermal FIT — with
+and without SECDED (which removes everything but SEFIs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.fit import fit_rate
+from repro.environment.scenario import datacenter_scenario
+from repro.environment.sites import (
+    Supercomputer,
+    TOP10_SUPERCOMPUTERS,
+)
+from repro.memory.errors import DDR_SENSITIVITIES
+
+#: GBit per TiB of memory.
+GBIT_PER_TIB = 8.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class MachineFitProjection:
+    """Projected DDR thermal FIT for one machine.
+
+    Attributes:
+        machine: the supercomputer.
+        thermal_flux_per_cm2_h: machine-room thermal flux.
+        fit_no_ecc: fleet thermal FIT with ECC disabled (cell upsets
+            plus SEFIs).
+        fit_with_ecc: fleet thermal FIT with SECDED (SEFIs only).
+    """
+
+    machine: Supercomputer
+    thermal_flux_per_cm2_h: float
+    fit_no_ecc: float
+    fit_with_ecc: float
+
+    @property
+    def errors_per_day_no_ecc(self) -> float:
+        """Fleet-level expected memory errors per day, no ECC."""
+        return self.fit_no_ecc / 1e9 * 24.0
+
+    @property
+    def ecc_reduction(self) -> float:
+        """Fractional FIT reduction SECDED buys this machine."""
+        if self.fit_no_ecc == 0.0:
+            raise ValueError("zero unprotected FIT")
+        return 1.0 - self.fit_with_ecc / self.fit_no_ecc
+
+
+def project_machine(machine: Supercomputer) -> MachineFitProjection:
+    """Project one machine's DDR thermal FIT."""
+    scenario = datacenter_scenario(
+        machine.site, liquid_cooled=machine.liquid_cooled
+    )
+    flux = scenario.thermal_flux_per_h()
+    sens = DDR_SENSITIVITIES[machine.ddr_generation]
+    capacity_gbit = machine.memory_tib * GBIT_PER_TIB
+    # Cell upsets scale with capacity; SEFIs scale with module count
+    # (one module ~ 64 GBit of DDR4 / 32 GBit of DDR3).
+    module_gbit = 64.0 if machine.ddr_generation == 4 else 32.0
+    n_modules = capacity_gbit / module_gbit
+    fit_cells = fit_rate(
+        sens.sigma_cell_per_gbit_cm2 * capacity_gbit, flux
+    )
+    fit_sefi = fit_rate(sens.sigma_sefi_cm2 * n_modules, flux)
+    return MachineFitProjection(
+        machine=machine,
+        thermal_flux_per_cm2_h=flux,
+        fit_no_ecc=fit_cells + fit_sefi,
+        fit_with_ecc=fit_sefi,
+    )
+
+
+def project_top10(
+    machines: Sequence[Supercomputer] = TOP10_SUPERCOMPUTERS,
+) -> List[MachineFitProjection]:
+    """Project the whole list, preserving Top500 order."""
+    if not machines:
+        raise ValueError("no machines given")
+    return [project_machine(m) for m in machines]
+
+
+def top10_table(
+    projections: Sequence[MachineFitProjection],
+) -> str:
+    """Render projections as the HPC_FIT comparison table."""
+    rows = []
+    for p in projections:
+        rows.append(
+            [
+                p.machine.name,
+                f"DDR{p.machine.ddr_generation}",
+                f"{p.machine.memory_tib:.0f}",
+                "yes" if p.machine.liquid_cooled else "no",
+                f"{p.thermal_flux_per_cm2_h:.1f}",
+                f"{p.fit_no_ecc:.3g}",
+                f"{p.fit_with_ecc:.3g}",
+                f"{p.errors_per_day_no_ecc:.2f}",
+            ]
+        )
+    return format_table(
+        [
+            "machine", "DDR", "mem TiB", "liquid",
+            "th.flux /cm2/h", "FIT (no ECC)", "FIT (SECDED)",
+            "errors/day",
+        ],
+        rows,
+        title="Top-10 supercomputers: projected DDR thermal FIT",
+    )

@@ -1,0 +1,185 @@
+"""Self-validation: recompute every paper anchor and compare.
+
+``validate_reproduction()`` reruns the fast end of each experiment and
+checks the result against the registry in :mod:`repro.paper` — the
+one-command answer to "does this install still reproduce the paper?".
+Exposed on the CLI as ``python -m repro validate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.tables import format_table
+from repro.core.fit import FitCalculator
+from repro.detector.experiment import water_step_experiment
+from repro.devices.catalog import get_device
+from repro.environment.scenario import datacenter_scenario
+from repro.environment.sites import LEADVILLE, NEW_YORK
+from repro.faults.models import Outcome
+from repro.memory.errors import DDR3_SENSITIVITY, DDR4_SENSITIVITY
+from repro.memory.tester import CorrectLoopTester
+from repro.paper import paper_value
+from repro.spectra.beamlines import chipir_spectrum, rotax_spectrum
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One anchor check.
+
+    Attributes:
+        name: what was checked.
+        measured: the recomputed value.
+        expected: the published value.
+        tolerance: relative tolerance applied.
+        passed: verdict.
+    """
+
+    name: str
+    measured: float
+    expected: float
+    tolerance: float
+    passed: bool
+
+
+def _check(
+    name: str, measured: float, expected: float, rel_tol: float
+) -> CheckResult:
+    ok = abs(measured - expected) <= rel_tol * abs(expected)
+    return CheckResult(
+        name=name,
+        measured=measured,
+        expected=expected,
+        tolerance=rel_tol,
+        passed=ok,
+    )
+
+
+def validate_reproduction(seed: int = 2020) -> List[CheckResult]:
+    """Recompute the anchors; returns one result per check.
+
+    Args:
+        seed: seed for the stochastic checks (detector, DDR).
+    """
+    checks: List[CheckResult] = []
+
+    # --- beamline fluxes (deterministic) ---
+    chip = chipir_spectrum()
+    rot = rotax_spectrum()
+    checks.append(
+        _check(
+            "ChipIR flux > 10 MeV",
+            chip.fast_flux(),
+            paper_value("chipir_flux_above_10mev"),
+            0.01,
+        )
+    )
+    checks.append(
+        _check(
+            "ChipIR thermal component",
+            chip.thermal_flux(),
+            paper_value("chipir_thermal_flux"),
+            0.05,
+        )
+    )
+    checks.append(
+        _check(
+            "ROTAX thermal flux",
+            rot.total_flux(),
+            paper_value("rotax_thermal_flux"),
+            0.01,
+        )
+    )
+
+    # --- FIT shares (deterministic identities) ---
+    calc = FitCalculator()
+    share_cases = [
+        ("Xeon Phi SDC share @ NYC", "XeonPhi", Outcome.SDC,
+         NEW_YORK, "xeonphi_nyc_sdc_share"),
+        ("Xeon Phi DUE share @ Leadville", "XeonPhi", Outcome.DUE,
+         LEADVILLE, "xeonphi_leadville_due_share"),
+        ("K20 SDC share @ Leadville", "K20", Outcome.SDC,
+         LEADVILLE, "k20_leadville_sdc_share"),
+        ("APU CPU+GPU DUE share @ Leadville", "APU-CPU+GPU",
+         Outcome.DUE, LEADVILLE, "apu_leadville_due_share"),
+    ]
+    for name, device, outcome, site, slug in share_cases:
+        measured = calc.thermal_share(
+            get_device(device), datacenter_scenario(site), outcome
+        )
+        checks.append(
+            _check(name, measured, paper_value(slug), 0.06)
+        )
+
+    # --- detector water step (stochastic) ---
+    water = water_step_experiment(
+        background_hours=96.0, water_hours=48.0,
+        interval_h=2.0, seed=seed,
+    )
+    checks.append(
+        _check(
+            "Tin-II water enhancement",
+            water.measured_enhancement,
+            paper_value("water_thermal_enhancement"),
+            0.25,
+        )
+    )
+
+    # --- DDR generation gap (stochastic) ---
+    ddr3 = CorrectLoopTester(
+        DDR3_SENSITIVITY, 32.0, seed=seed
+    ).run(paper_value("rotax_thermal_flux"), 2.0 * 3600.0)
+    ddr4 = CorrectLoopTester(
+        DDR4_SENSITIVITY, 64.0, seed=seed
+    ).run(paper_value("rotax_thermal_flux"), 2.0 * 3600.0)
+    gap = (
+        ddr3.total_cell_cross_section_per_gbit()
+        / ddr4.total_cell_cross_section_per_gbit()
+    )
+    checks.append(
+        _check("DDR3/DDR4 cross-section gap (~10x)", gap, 10.0, 0.5)
+    )
+    checks.append(
+        _check(
+            "DDR3 dominant-direction fraction",
+            ddr3.dominant_direction_fraction(),
+            paper_value("ddr_direction_dominance"),
+            0.05,
+        )
+    )
+    return checks
+
+
+def validation_table(checks: List[CheckResult]) -> str:
+    """Render checks as an aligned table."""
+    rows = [
+        [
+            c.name,
+            f"{c.measured:.4g}",
+            f"{c.expected:.4g}",
+            f"{c.tolerance:.0%}",
+            "PASS" if c.passed else "FAIL",
+        ]
+        for c in checks
+    ]
+    return format_table(
+        ["check", "measured", "paper", "tol", "verdict"],
+        rows,
+        title="Reproduction self-validation",
+    )
+
+
+def all_passed(checks: List[CheckResult]) -> bool:
+    """True when every anchor check passed."""
+    if not checks:
+        raise ValueError("no checks run")
+    return all(c.passed for c in checks)
+
+
+__all__ = [
+    "CheckResult",
+    "all_passed",
+    "validate_reproduction",
+    "validation_table",
+]

@@ -1,0 +1,49 @@
+"""The Tin-II thermal-neutron detector and the water-box experiment."""
+
+from repro.detector.tubes import CadmiumShield, He3Tube
+from repro.detector.tin2 import CountSample, TinII
+from repro.detector.calibration import (
+    CalibrationResult,
+    calibrate_tube_pair,
+    corrected_thermal_counts,
+    uncalibrated_bias,
+)
+from repro.detector.corrections import (
+    correct_series,
+    estimate_beta,
+    pressure_correction_factor,
+)
+from repro.detector.unfolding import (
+    BANDS,
+    UnfoldingResult,
+    response_matrix,
+    simulate_measurement,
+    unfold,
+)
+from repro.detector.experiment import (
+    WaterStepResult,
+    predicted_water_enhancement,
+    water_step_experiment,
+)
+
+__all__ = [
+    "CadmiumShield",
+    "He3Tube",
+    "CountSample",
+    "TinII",
+    "CalibrationResult",
+    "calibrate_tube_pair",
+    "corrected_thermal_counts",
+    "uncalibrated_bias",
+    "correct_series",
+    "estimate_beta",
+    "pressure_correction_factor",
+    "BANDS",
+    "UnfoldingResult",
+    "response_matrix",
+    "simulate_measurement",
+    "unfold",
+    "WaterStepResult",
+    "predicted_water_enhancement",
+    "water_step_experiment",
+]

@@ -1,0 +1,112 @@
+"""Barometric pressure correction for neutron count rates.
+
+Every neutron-monitor analysis corrects counts for atmospheric
+pressure: more air overhead attenuates the cascade, so the raw rate
+anti-correlates with the barometer.  Long Tin-II series need the same
+correction before a step as small as +24 % can be attributed to the
+water box rather than a passing weather front:
+
+    N_corrected = N_raw * exp(beta * (P - P_ref))
+
+with ``beta`` the barometric coefficient (~0.7 %/hPa for the nucleonic
+component).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+#: Standard barometric coefficient for neutrons, 1/hPa.
+BAROMETRIC_COEFFICIENT_PER_HPA: float = 0.0072
+
+#: Reference station pressure, hPa.
+REFERENCE_PRESSURE_HPA: float = 1013.25
+
+
+def pressure_correction_factor(
+    pressure_hpa: float,
+    reference_hpa: float = REFERENCE_PRESSURE_HPA,
+    beta_per_hpa: float = BAROMETRIC_COEFFICIENT_PER_HPA,
+) -> float:
+    """Multiplier bringing a raw count to reference pressure.
+
+    Above-reference pressure suppresses the raw rate, so the factor
+    exceeds one there.
+
+    Raises:
+        ValueError: for non-positive pressures.
+    """
+    if pressure_hpa <= 0.0 or reference_hpa <= 0.0:
+        raise ValueError("pressures must be positive")
+    return float(
+        np.exp(beta_per_hpa * (pressure_hpa - reference_hpa))
+    )
+
+
+def correct_series(
+    counts: Sequence[float],
+    pressures_hpa: Sequence[float],
+    reference_hpa: float = REFERENCE_PRESSURE_HPA,
+    beta_per_hpa: float = BAROMETRIC_COEFFICIENT_PER_HPA,
+) -> List[float]:
+    """Pressure-correct a count series.
+
+    Args:
+        counts: raw per-interval counts.
+        pressures_hpa: station pressure per interval.
+        reference_hpa: pressure to correct to.
+        beta_per_hpa: barometric coefficient.
+
+    Raises:
+        ValueError: on length mismatch.
+    """
+    if len(counts) != len(pressures_hpa):
+        raise ValueError(
+            f"{len(counts)} counts vs {len(pressures_hpa)} pressures"
+        )
+    return [
+        c
+        * pressure_correction_factor(
+            p, reference_hpa, beta_per_hpa
+        )
+        for c, p in zip(counts, pressures_hpa)
+    ]
+
+
+def estimate_beta(
+    counts: Sequence[float], pressures_hpa: Sequence[float]
+) -> float:
+    """Fit the barometric coefficient from a series.
+
+    Ordinary least squares of ``ln(N)`` on ``-(P - mean(P))``; needs
+    real pressure variation in the series.
+
+    Raises:
+        ValueError: on mismatched/short series or zero counts.
+    """
+    counts_arr = np.asarray(counts, dtype=float)
+    pressures = np.asarray(pressures_hpa, dtype=float)
+    if counts_arr.shape != pressures.shape:
+        raise ValueError("series lengths differ")
+    if counts_arr.size < 3:
+        raise ValueError("need at least 3 samples")
+    if np.any(counts_arr <= 0.0):
+        raise ValueError("counts must be positive to take logs")
+    dp = pressures - pressures.mean()
+    if np.allclose(dp, 0.0):
+        raise ValueError("no pressure variation; beta unidentifiable")
+    log_n = np.log(counts_arr)
+    slope = float(np.polyfit(dp, log_n, 1)[0])
+    return -slope
+
+
+__all__ = [
+    "BAROMETRIC_COEFFICIENT_PER_HPA",
+    "REFERENCE_PRESSURE_HPA",
+    "correct_series",
+    "estimate_beta",
+    "pressure_correction_factor",
+]

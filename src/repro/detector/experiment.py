@@ -1,0 +1,97 @@
+"""The water-box experiment (paper Fig. 5, "turkeypan").
+
+Several days of background counting in a LANL-like building, then a
+box with 2 inches of water is placed over the detector and the thermal
+count rate jumps ~24 %.  :func:`water_step_experiment` simulates the
+series and analyses it with the changepoint detector; the MC-transport
+cross-check (:func:`predicted_water_enhancement`) shows the +24 % is
+physically reasonable moderation albedo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.changepoint import StepChange, detect_step
+from repro.detector.tin2 import CountSample, TinII
+from repro.environment.modifiers import WATER_COOLING
+from repro.environment.scenario import FluxScenario
+from repro.environment.sites import LOS_ALAMOS
+from repro.transport.materials import WATER
+from repro.transport.montecarlo import thermal_albedo_enhancement
+
+
+@dataclass(frozen=True)
+class WaterStepResult:
+    """Outcome of the simulated Fig. 5 experiment.
+
+    Attributes:
+        samples: full count time series.
+        step: detected change point in the thermal series.
+        measured_enhancement: fractional thermal-rate increase across
+            the detected step (paper: ~0.24).
+        true_water_start_h: when the water actually went on.
+    """
+
+    samples: List[CountSample]
+    step: StepChange
+    measured_enhancement: float
+    true_water_start_h: float
+
+
+def water_step_experiment(
+    background_hours: float = 96.0,
+    water_hours: float = 48.0,
+    interval_h: float = 2.0,
+    seed: int = 2019,
+) -> WaterStepResult:
+    """Simulate the Tin-II water experiment and analyse the series.
+
+    Args:
+        background_hours: counting time before the water goes on
+            (the paper collected "several days").
+        water_hours: counting time with the water box in place.
+        interval_h: counting interval.
+        seed: RNG seed.
+    """
+    if background_hours <= 0.0 or water_hours <= 0.0:
+        raise ValueError("phase durations must be positive")
+    detector = TinII(rng=np.random.default_rng(seed))
+    building = FluxScenario(
+        site=LOS_ALAMOS, name="LANL building (background)"
+    )
+    with_water = building.with_materials(WATER_COOLING)
+    samples = detector.record_series(
+        [(building, background_hours), (with_water, water_hours)],
+        interval_h=interval_h,
+    )
+    thermal = TinII.thermal_series(samples)
+    step = detect_step(thermal)
+    return WaterStepResult(
+        samples=samples,
+        step=step,
+        measured_enhancement=step.relative_change,
+        true_water_start_h=background_hours,
+    )
+
+
+def predicted_water_enhancement(
+    thickness_cm: float = 5.08,
+    n_neutrons: int = 8000,
+    seed: int = 2019,
+) -> float:
+    """MC-transport prediction of the water albedo enhancement.
+
+    Transports fast neutrons into a water slab of the experiment's
+    thickness and reports the thermal albedo — the fraction reflected
+    back as thermals, which adds to the local thermal population.
+    The geometry factor (solid angle of the box over the detector)
+    pushes the pure-albedo number toward the measured +24 %.
+    """
+    albedo, _ = thermal_albedo_enhancement(
+        WATER, thickness_cm, n_neutrons=n_neutrons, seed=seed
+    )
+    return albedo

@@ -1,0 +1,118 @@
+"""He-3 proportional counter tubes and the cadmium difference method.
+
+Tin-II is two identical cylindrical 3He detectors; one is wrapped in
+cadmium.  Cadmium blocks thermal neutrons (113Cd's 20.6 kb capture)
+while passing everything else, so
+
+    thermal rate = (bare counts - shielded counts) / efficiency.
+
+The tube model keeps just enough physics to make that subtraction
+honest: a thermal detection efficiency from the 3He(n,p) cross section
+and gas column density, plus an energy-independent background response
+(gammas, betas, fast neutrons) common to both tubes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.physics.isotopes import isotope
+from repro.physics.units import BARN_CM2
+
+#: Loschmidt-like conversion: gas atoms/cm^3 per atmosphere at 20 C.
+_ATOMS_PER_CM3_PER_ATM = 2.5e19
+
+
+@dataclass(frozen=True)
+class He3Tube:
+    """One cylindrical 3He proportional counter.
+
+    Attributes:
+        diameter_cm: tube diameter (neutron path length scale).
+        length_cm: active length.
+        pressure_atm: 3He fill pressure.
+        background_rate_per_h: non-neutron response (gammas, betas,
+            electronics), counts/hour.
+    """
+
+    diameter_cm: float = 2.54
+    length_cm: float = 30.0
+    pressure_atm: float = 4.0
+    background_rate_per_h: float = 30.0
+
+    def __post_init__(self) -> None:
+        if min(self.diameter_cm, self.length_cm, self.pressure_atm) <= 0:
+            raise ValueError("tube geometry/fill must be positive")
+        if self.background_rate_per_h < 0.0:
+            raise ValueError("background rate must be >= 0")
+
+    @property
+    def frontal_area_cm2(self) -> float:
+        """Projected area facing the ambient flux."""
+        return self.diameter_cm * self.length_cm
+
+    def thermal_efficiency(self) -> float:
+        """Detection probability for a thermal neutron crossing the tube.
+
+        ``1 - exp(-n * sigma * d)`` with the 3He(n,p) thermal cross
+        section over the mean chord (the diameter).
+        """
+        n_density = self.pressure_atm * _ATOMS_PER_CM3_PER_ATM
+        sigma_cm2 = (
+            isotope("He3").sigma_capture_thermal_b * BARN_CM2
+        )
+        return 1.0 - math.exp(
+            -n_density * sigma_cm2 * self.diameter_cm
+        )
+
+    def thermal_count_rate_per_h(
+        self, thermal_flux_per_cm2_h: float
+    ) -> float:
+        """Expected thermal-neutron counts/hour in a given flux."""
+        if thermal_flux_per_cm2_h < 0.0:
+            raise ValueError(
+                "flux must be >= 0,"
+                f" got {thermal_flux_per_cm2_h}"
+            )
+        return (
+            thermal_flux_per_cm2_h
+            * self.frontal_area_cm2
+            * self.thermal_efficiency()
+        )
+
+
+@dataclass(frozen=True)
+class CadmiumShield:
+    """A cadmium wrap around a tube.
+
+    Attributes:
+        thickness_cm: wrap thickness; 1 mm of Cd transmits ~nothing in
+            the thermal band.
+    """
+
+    thickness_cm: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.thickness_cm <= 0.0:
+            raise ValueError(
+                f"thickness must be positive, got {self.thickness_cm}"
+            )
+
+    def thermal_transmission(self) -> float:
+        """Fraction of thermal neutrons passing the wrap.
+
+        Exponential attenuation with the 113Cd macroscopic thermal
+        cross section in natural cadmium metal.
+        """
+        cd113 = isotope("Cd113")
+        # Natural Cd number density ~4.6e22 atoms/cm^3.
+        n_density = 4.6e22 * cd113.abundance
+        sigma_cm2 = cd113.sigma_capture_thermal_b * BARN_CM2
+        return math.exp(
+            -n_density * sigma_cm2 * self.thickness_cm
+        )
+
+    def epithermal_transmission(self) -> float:
+        """Fraction of above-cutoff neutrons passing (essentially 1)."""
+        return 0.98

@@ -1,0 +1,51 @@
+"""Device-under-test models and the paper's device catalog."""
+
+from repro.devices.model import (
+    Device,
+    SensitivityProfile,
+    TransistorProcess,
+    profile_from_ratios,
+)
+from repro.devices.catalog import (
+    APU_CONFIGS,
+    DEVICES,
+    HETEROGENEOUS_CODES,
+    HPC_CODES,
+    NEURAL_CODES,
+    devices_for_code,
+    get_device,
+)
+from repro.devices.scaling import (
+    TechnologyNode,
+    finfet_advantage,
+)
+from repro.devices.boron import (
+    BoronEstimate,
+    DEFAULT_UPSET_PER_CAPTURE,
+    b10_areal_density_from_sigma,
+    estimate_boron_content,
+    maxwellian_averaged_sigma_b,
+    sigma_from_b10_areal_density,
+)
+
+__all__ = [
+    "Device",
+    "SensitivityProfile",
+    "TransistorProcess",
+    "profile_from_ratios",
+    "APU_CONFIGS",
+    "DEVICES",
+    "HETEROGENEOUS_CODES",
+    "HPC_CODES",
+    "NEURAL_CODES",
+    "devices_for_code",
+    "get_device",
+    "TechnologyNode",
+    "finfet_advantage",
+    "BoronEstimate",
+    "DEFAULT_UPSET_PER_CAPTURE",
+    "b10_areal_density_from_sigma",
+    "estimate_boron_content",
+    "maxwellian_averaged_sigma_b",
+    "sigma_from_b10_areal_density",
+]

@@ -1,0 +1,153 @@
+"""Inferring 10B content from a thermal cross section (and back).
+
+The paper's argument: the only way to learn how much 10B a COTS part
+contains is to expose it to thermal neutrons.  This module implements
+the arithmetic that links the two:
+
+    sigma_thermal_device =
+        N_B10 (areal, atoms/cm^2) x sigma_capture(Maxwell-averaged)
+        x P(upset | capture)
+
+With the Westcott factor for a 1/v absorber in a Maxwellian flux,
+``sigma_avg = sigma_0 * sqrt(pi)/2`` at the reference temperature.
+``P(upset | capture)`` folds the geometry: only captures whose alpha or
+7Li track crosses a sensitive node upset a bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.faults.models import BeamKind, Outcome
+from repro.devices.model import Device
+from repro.physics.constants import (
+    BOLTZMANN_EV_PER_K,
+    ROOM_TEMPERATURE_K,
+)
+from repro.physics.isotopes import isotope
+from repro.physics.units import BARN_CM2, THERMAL_ENERGY_EV
+
+#: Default geometric upset-per-capture probability.  Roughly the
+#: solid-angle-and-range fraction of B10 captures in the BEOL/doping
+#: whose products reach a sensitive volume with charge above Qcrit.
+DEFAULT_UPSET_PER_CAPTURE: float = 0.05
+
+
+def maxwellian_averaged_sigma_b(
+    sigma_thermal_b: float,
+    temperature_k: float = ROOM_TEMPERATURE_K,
+) -> float:
+    """Maxwellian-flux-averaged cross section of a 1/v absorber, barns.
+
+    ``<sigma> = sigma(E0) * (sqrt(pi)/2) * sqrt(E0 / kT)``; at the
+    reference temperature (kT = E0) the factor is sqrt(pi)/2 ~ 0.886.
+    """
+    if sigma_thermal_b < 0.0:
+        raise ValueError(
+            f"cross section must be >= 0, got {sigma_thermal_b}"
+        )
+    if temperature_k <= 0.0:
+        raise ValueError(
+            f"temperature must be positive, got {temperature_k}"
+        )
+    kt = BOLTZMANN_EV_PER_K * temperature_k
+    return (
+        sigma_thermal_b
+        * (math.sqrt(math.pi) / 2.0)
+        * math.sqrt(THERMAL_ENERGY_EV / kt)
+    )
+
+
+@dataclass(frozen=True)
+class BoronEstimate:
+    """Result of inverting a thermal cross section to 10B content.
+
+    Attributes:
+        areal_density_per_cm2: inferred 10B atoms per cm^2 of die.
+        upset_per_capture: the geometry factor assumed.
+        device_name: which device this is for.
+    """
+
+    areal_density_per_cm2: float
+    upset_per_capture: float
+    device_name: str
+
+
+def b10_areal_density_from_sigma(
+    sigma_thermal_cm2: float,
+    upset_per_capture: float = DEFAULT_UPSET_PER_CAPTURE,
+    temperature_k: float = ROOM_TEMPERATURE_K,
+) -> float:
+    """Invert a device thermal cross section to a 10B areal density.
+
+    Args:
+        sigma_thermal_cm2: measured thermal cross section, cm^2/device
+            (upsets per unit thermal fluence).
+        upset_per_capture: P(upset | capture).
+        temperature_k: spectrum temperature.
+
+    Returns:
+        10B atoms per cm^2.
+
+    Raises:
+        ValueError: on non-positive geometry factor or negative sigma.
+    """
+    if sigma_thermal_cm2 < 0.0:
+        raise ValueError(
+            f"cross section must be >= 0, got {sigma_thermal_cm2}"
+        )
+    if upset_per_capture <= 0.0:
+        raise ValueError(
+            f"upset_per_capture must be > 0, got {upset_per_capture}"
+        )
+    sigma_capture_cm2 = (
+        maxwellian_averaged_sigma_b(
+            isotope("B10").sigma_capture_thermal_b, temperature_k
+        )
+        * BARN_CM2
+    )
+    return sigma_thermal_cm2 / (sigma_capture_cm2 * upset_per_capture)
+
+
+def sigma_from_b10_areal_density(
+    areal_density_per_cm2: float,
+    upset_per_capture: float = DEFAULT_UPSET_PER_CAPTURE,
+    temperature_k: float = ROOM_TEMPERATURE_K,
+) -> float:
+    """Forward model: 10B areal density -> thermal cross section, cm^2."""
+    if areal_density_per_cm2 < 0.0:
+        raise ValueError(
+            f"areal density must be >= 0, got {areal_density_per_cm2}"
+        )
+    if upset_per_capture <= 0.0:
+        raise ValueError(
+            f"upset_per_capture must be > 0, got {upset_per_capture}"
+        )
+    sigma_capture_cm2 = (
+        maxwellian_averaged_sigma_b(
+            isotope("B10").sigma_capture_thermal_b, temperature_k
+        )
+        * BARN_CM2
+    )
+    return areal_density_per_cm2 * sigma_capture_cm2 * upset_per_capture
+
+
+def estimate_boron_content(
+    device: Device,
+    upset_per_capture: float = DEFAULT_UPSET_PER_CAPTURE,
+) -> BoronEstimate:
+    """Estimate a device's 10B content from its thermal SDC sigma.
+
+    A low number (like the Xeon Phi's) is the paper's signature of
+    depleted or reduced boron; a high one (K20) flags natural boron in
+    the process.
+    """
+    sigma = device.sigma(BeamKind.THERMAL, Outcome.SDC)
+    return BoronEstimate(
+        areal_density_per_cm2=b10_areal_density_from_sigma(
+            sigma, upset_per_capture
+        ),
+        upset_per_capture=upset_per_capture,
+        device_name=device.name,
+    )

@@ -1,0 +1,226 @@
+"""The paper's device catalog, calibrated to its published numbers.
+
+High-energy/thermal cross-section **ratios** are the paper's Figure 4
+values (Section V):
+
+==============  ==========  ==========
+device          SDC ratio   DUE ratio
+==============  ==========  ==========
+Xeon Phi        10.14       6.37
+K20             ~2x         ~3x
+TitanX          ~3x         ~7x
+TitanV          ~2x (MxM)   ~5x
+APU (CPU)       ~2.5x       ~1.5x
+APU (GPU)       ~2.8x       ~1.3x
+APU (CPU+GPU)   ~2.6x       1.18x
+FPGA            2.33        (DUEs never observed)
+==============  ==========  ==========
+
+Absolute magnitudes are synthetic (the paper normalizes them away to
+protect business-sensitive data); they are chosen at realistic
+1e-9..1e-7 cm^2 scales so FIT numbers come out in the usual range.
+The K20's SDC ratio is set to 1.85 — the value that reproduces the
+paper's "29 % of K20 SDC FIT is thermal at Leadville".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.devices.model import (
+    Device,
+    TransistorProcess,
+    profile_from_ratios,
+)
+
+#: Codes grouped the way Section III-B assigns them to devices.
+HPC_CODES: Tuple[str, ...] = ("MxM", "LUD", "LavaMD", "HotSpot")
+HETEROGENEOUS_CODES: Tuple[str, ...] = ("SC", "CED", "BFS")
+NEURAL_CODES: Tuple[str, ...] = ("YOLO", "MNIST")
+
+
+def _make_catalog() -> Dict[str, Device]:
+    devices = [
+        Device(
+            name="XeonPhi",
+            vendor="Intel",
+            architecture="Knights Corner",
+            technology_nm=22,
+            process=TransistorProcess.TRIGATE,
+            foundry="Intel",
+            profile=profile_from_ratios(
+                sigma_he_sdc_cm2=2.2e-8,
+                sigma_he_due_cm2=3.6e-8,
+                sdc_ratio=10.14,
+                due_ratio=6.37,
+            ),
+            code_factors={
+                "MxM": 1.3, "LUD": 1.1, "LavaMD": 0.8, "HotSpot": 0.8,
+            },
+            control_fraction=0.35,
+            supported_codes=HPC_CODES,
+        ),
+        Device(
+            name="K20",
+            vendor="NVIDIA",
+            architecture="Kepler",
+            technology_nm=28,
+            process=TransistorProcess.PLANAR_CMOS,
+            foundry="TSMC",
+            profile=profile_from_ratios(
+                sigma_he_sdc_cm2=4.5e-8,
+                sigma_he_due_cm2=2.8e-8,
+                sdc_ratio=1.85,
+                due_ratio=3.0,
+            ),
+            code_factors={
+                # HotSpot has the largest cross section on K20 for
+                # both beams (companion study).
+                "MxM": 0.9, "LUD": 0.8, "LavaMD": 0.9, "HotSpot": 1.6,
+                "YOLO": 0.8,
+            },
+            control_fraction=0.25,
+            supported_codes=HPC_CODES + ("YOLO",),
+        ),
+        Device(
+            name="TitanX",
+            vendor="NVIDIA",
+            architecture="Pascal",
+            technology_nm=16,
+            process=TransistorProcess.FINFET,
+            foundry="TSMC",
+            profile=profile_from_ratios(
+                sigma_he_sdc_cm2=2.4e-8,
+                sigma_he_due_cm2=1.9e-8,
+                sdc_ratio=3.0,
+                due_ratio=7.0,
+            ),
+            code_factors={
+                "MxM": 1.1, "LUD": 1.0, "LavaMD": 0.9, "HotSpot": 1.2,
+                "YOLO": 0.8,
+            },
+            control_fraction=0.25,
+            supported_codes=HPC_CODES + ("YOLO",),
+        ),
+        Device(
+            name="TitanV",
+            vendor="NVIDIA",
+            architecture="Volta",
+            technology_nm=12,
+            process=TransistorProcess.FINFET,
+            foundry="TSMC",
+            profile=profile_from_ratios(
+                sigma_he_sdc_cm2=1.8e-8,
+                sigma_he_due_cm2=1.5e-8,
+                # Only MxM was tested; its thermal SDC cross section
+                # nearly doubled vs TitanX, hence the lower ratio.
+                sdc_ratio=2.0,
+                due_ratio=5.0,
+            ),
+            code_factors={"MxM": 1.0},
+            control_fraction=0.25,
+            supported_codes=("MxM",),
+        ),
+        Device(
+            name="APU-CPU",
+            vendor="AMD",
+            architecture="Kaveri (Steamroller CPU)",
+            technology_nm=28,
+            process=TransistorProcess.PLANAR_CMOS,
+            foundry="GlobalFoundries",
+            profile=profile_from_ratios(
+                sigma_he_sdc_cm2=6.0e-9,
+                sigma_he_due_cm2=3.0e-9,
+                sdc_ratio=2.5,
+                due_ratio=1.5,
+            ),
+            code_factors={"SC": 1.4, "CED": 1.0, "BFS": 0.7},
+            control_fraction=0.3,
+            supported_codes=HETEROGENEOUS_CODES,
+        ),
+        Device(
+            name="APU-GPU",
+            vendor="AMD",
+            architecture="Kaveri (GCN GPU)",
+            technology_nm=28,
+            process=TransistorProcess.PLANAR_CMOS,
+            foundry="GlobalFoundries",
+            profile=profile_from_ratios(
+                sigma_he_sdc_cm2=4.0e-9,
+                sigma_he_due_cm2=3.5e-9,
+                sdc_ratio=2.8,
+                due_ratio=1.3,
+            ),
+            code_factors={"SC": 1.2, "CED": 1.1, "BFS": 0.8},
+            control_fraction=0.4,
+            supported_codes=HETEROGENEOUS_CODES,
+        ),
+        Device(
+            name="APU-CPU+GPU",
+            vendor="AMD",
+            architecture="Kaveri (CPU+GPU, 50/50 split)",
+            technology_nm=28,
+            process=TransistorProcess.PLANAR_CMOS,
+            foundry="GlobalFoundries",
+            profile=profile_from_ratios(
+                sigma_he_sdc_cm2=8.0e-9,
+                sigma_he_due_cm2=6.0e-9,
+                sdc_ratio=2.6,
+                # The CPU-GPU synchronization fabric is the paper's
+                # headline thermal-DUE result: ratio almost 1.
+                due_ratio=1.18,
+            ),
+            code_factors={"SC": 1.2, "CED": 1.0, "BFS": 0.9},
+            control_fraction=0.5,
+            supported_codes=HETEROGENEOUS_CODES,
+        ),
+        Device(
+            name="FPGA",
+            vendor="Xilinx",
+            architecture="Zynq-7000",
+            technology_nm=28,
+            process=TransistorProcess.PLANAR_CMOS,
+            foundry="TSMC",
+            profile=profile_from_ratios(
+                sigma_he_sdc_cm2=3.0e-9,
+                # DUEs were never observed on the FPGA: the bare
+                # fabric has no OS/runtime to crash.  Keep a tiny
+                # non-zero value so ratios stay defined.
+                sigma_he_due_cm2=1.0e-11,
+                sdc_ratio=2.33,
+                due_ratio=2.0,
+            ),
+            code_factors={"MNIST": 1.0, "YOLO": 1.8},
+            control_fraction=0.02,
+            supported_codes=("MNIST", "YOLO"),
+        ),
+    ]
+    return {d.name: d for d in devices}
+
+
+#: All devices-under-test, keyed by name.
+DEVICES: Dict[str, Device] = _make_catalog()
+
+#: The APU's three execution configurations.
+APU_CONFIGS: Tuple[str, ...] = ("APU-CPU", "APU-GPU", "APU-CPU+GPU")
+
+
+def get_device(name: str) -> Device:
+    """Look up a device by name.
+
+    Raises:
+        KeyError: with the list of valid names.
+    """
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; valid: {sorted(DEVICES)}"
+        ) from None
+
+
+def devices_for_code(code: str) -> Tuple[Device, ...]:
+    """All devices that were tested with ``code``."""
+    return tuple(
+        d for d in DEVICES.values() if code in d.supported_codes
+    )

@@ -1,0 +1,204 @@
+"""Parametric device model.
+
+A :class:`Device` carries everything the campaign and FIT layers need:
+
+* identity (vendor, architecture, technology node, transistor type);
+* a :class:`SensitivityProfile` — per-beam, per-outcome cross
+  sections (cm^2/device).  The paper publishes *normalized* values and
+  ratios to protect business-sensitive data; our absolute magnitudes
+  are therefore synthetic-but-plausible (1e-9..1e-7 cm^2), while the
+  high-energy/thermal **ratios** are the paper's published numbers;
+* per-code sensitivity factors (codes stress resources differently);
+* an event-level split between *data* and *control* strikes used when
+  a campaign simulates workload execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.faults.models import BeamKind, Outcome
+
+
+class TransistorProcess(enum.Enum):
+    """Transistor family — the paper contrasts planar CMOS vs FinFET."""
+
+    PLANAR_CMOS = "planar CMOS"
+    FINFET = "FinFET"
+    TRIGATE = "3-D Tri-Gate"
+
+
+@dataclass(frozen=True)
+class SensitivityProfile:
+    """Per-beam, per-outcome cross sections of one device config.
+
+    Attributes:
+        sigma_cm2: mapping ``(beam, outcome) -> cross section`` in cm^2
+            per device.  Only SDC and DUE have entries; MASKED is not a
+            measurable cross section.
+    """
+
+    sigma_cm2: Mapping[Tuple[BeamKind, Outcome], float]
+
+    def __post_init__(self) -> None:
+        for key, value in self.sigma_cm2.items():
+            if value < 0.0:
+                raise ValueError(
+                    f"cross section for {key} must be >= 0, got {value}"
+                )
+            if key[1] is Outcome.MASKED:
+                raise ValueError("MASKED has no cross section")
+
+    def sigma(self, beam: BeamKind, outcome: Outcome) -> float:
+        """Cross section for one beam/outcome, cm^2 (0 if absent)."""
+        return float(self.sigma_cm2.get((beam, outcome), 0.0))
+
+    def ratio(self, outcome: Outcome) -> float:
+        """High-energy / thermal cross-section ratio for an outcome.
+
+        This is the paper's Figure 4 quantity: 10.14 means a
+        high-energy neutron is 10.14x more likely than a thermal one
+        to cause that outcome.
+
+        Raises:
+            ZeroDivisionError: if the thermal cross section is zero.
+        """
+        thermal = self.sigma(BeamKind.THERMAL, outcome)
+        high = self.sigma(BeamKind.HIGH_ENERGY, outcome)
+        if thermal == 0.0:
+            raise ZeroDivisionError(
+                f"thermal cross section for {outcome} is zero"
+            )
+        return high / thermal
+
+
+def profile_from_ratios(
+    sigma_he_sdc_cm2: float,
+    sigma_he_due_cm2: float,
+    sdc_ratio: float,
+    due_ratio: float,
+) -> SensitivityProfile:
+    """Build a profile from HE magnitudes and published HE/thermal ratios.
+
+    Args:
+        sigma_he_sdc_cm2: high-energy SDC cross section, cm^2.
+        sigma_he_due_cm2: high-energy DUE cross section, cm^2.
+        sdc_ratio: published HE/thermal SDC ratio (>0).
+        due_ratio: published HE/thermal DUE ratio (>0).
+    """
+    if sdc_ratio <= 0.0 or due_ratio <= 0.0:
+        raise ValueError("ratios must be positive")
+    return SensitivityProfile(
+        sigma_cm2={
+            (BeamKind.HIGH_ENERGY, Outcome.SDC): sigma_he_sdc_cm2,
+            (BeamKind.HIGH_ENERGY, Outcome.DUE): sigma_he_due_cm2,
+            (BeamKind.THERMAL, Outcome.SDC): sigma_he_sdc_cm2 / sdc_ratio,
+            (BeamKind.THERMAL, Outcome.DUE): sigma_he_due_cm2 / due_ratio,
+        }
+    )
+
+
+@dataclass(frozen=True)
+class Device:
+    """One device-under-test.
+
+    Attributes:
+        name: short label used everywhere (e.g. ``"K20"``).
+        vendor: manufacturer.
+        architecture: microarchitecture name.
+        technology_nm: feature size.
+        process: transistor family.
+        foundry: fab (the paper stresses foundry matters for 10B).
+        profile: device-average sensitivity.
+        code_factors: per-code multiplier applied to both SDC and DUE
+            cross sections (1.0 = device average).  Captures the >2x
+            spread across codes the companion paper reports.
+        control_fraction: fraction of raw upsets landing in control
+            logic (drives DUEs in the event-level simulation).  The
+            APU's CPU+GPU synchronization sensitivity lives here.
+        supported_codes: codes the paper actually ran on this device.
+    """
+
+    name: str
+    vendor: str
+    architecture: str
+    technology_nm: int
+    process: TransistorProcess
+    foundry: str
+    profile: SensitivityProfile
+    code_factors: Mapping[str, float] = field(default_factory=dict)
+    control_fraction: float = 0.2
+    supported_codes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.technology_nm <= 0:
+            raise ValueError(
+                f"technology must be positive, got {self.technology_nm}"
+            )
+        if not 0.0 <= self.control_fraction <= 1.0:
+            raise ValueError(
+                f"control fraction must be in [0, 1],"
+                f" got {self.control_fraction}"
+            )
+        for code, factor in self.code_factors.items():
+            if factor <= 0.0:
+                raise ValueError(
+                    f"code factor for {code} must be > 0, got {factor}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def sigma(
+        self,
+        beam: BeamKind,
+        outcome: Outcome,
+        code: Optional[str] = None,
+    ) -> float:
+        """Cross section, cm^2, optionally for a specific code."""
+        base = self.profile.sigma(beam, outcome)
+        if code is None:
+            return base
+        if self.supported_codes and code not in self.supported_codes:
+            raise ValueError(
+                f"{self.name} was not tested with code {code!r}"
+            )
+        return base * float(self.code_factors.get(code, 1.0))
+
+    def sdc_ratio(self) -> float:
+        """Published HE/thermal SDC ratio."""
+        return self.profile.ratio(Outcome.SDC)
+
+    def due_ratio(self) -> float:
+        """Published HE/thermal DUE ratio."""
+        return self.profile.ratio(Outcome.DUE)
+
+    def raw_upset_sigma(self, beam: BeamKind) -> float:
+        """Total raw upset cross section for event-level simulation.
+
+        The observable SDC/DUE cross sections are the visible tip of a
+        larger raw-upset rate (most flips are masked).  We reconstruct
+        the raw rate assuming the workload-average masking the
+        event-level simulator itself produces (~50 % of data strikes
+        visible), so that simulated campaigns land near the published
+        cross sections.
+        """
+        sdc = self.profile.sigma(beam, Outcome.SDC)
+        due = self.profile.sigma(beam, Outcome.DUE)
+        data_visible = 0.5
+        return sdc / data_visible + due
+
+    def control_sigma(self, beam: BeamKind) -> float:
+        """Cross section of control-logic strikes (direct DUEs)."""
+        return self.profile.sigma(beam, Outcome.DUE)
+
+    def data_sigma(self, beam: BeamKind) -> float:
+        """Cross section of data-state strikes (pre-masking)."""
+        return self.raw_upset_sigma(beam) - self.control_sigma(beam)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.vendor} {self.architecture},"
+            f" {self.technology_nm} nm {self.process.value})"
+        )

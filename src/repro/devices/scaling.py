@@ -1,0 +1,148 @@
+"""Technology-scaling model for thermal-neutron sensitivity.
+
+The paper's Section II observation: *"10B presence does not depend on
+the technology node but on the quality of the manufacturing process
+(smaller transistors will have less Boron, but also less Silicon; the
+Boron/Silicon percentage is not necessarily reduced)"* — and its
+Section V hint that FinFETs look less thermal-soft than planar CMOS.
+
+This model makes those statements quantitative.  Per capture, the
+alpha/7Li pair deposits a fixed charge budget; whether a bit flips
+depends on the node's critical charge and its charge-collection
+efficiency.  Scaling shrinks Qcrit (bad) but shrinks the collection
+volume faster on FinFET (good — the fin decouples the channel from the
+substrate track), which is exactly the K20-vs-TitanX pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.boron import sigma_from_b10_areal_density
+from repro.devices.model import TransistorProcess
+from repro.physics.charge import (
+    CriticalCharge,
+    collected_charge_fc,
+    upset_probability,
+)
+from repro.physics.reactions import B10_N_ALPHA
+
+#: Reference node for the normalization, nm.
+REFERENCE_NODE_NM: float = 28.0
+
+#: Qcrit at the reference node, fC (planar 28 nm SRAM ballpark).
+REFERENCE_QCRIT_FC: float = 3.0
+
+#: Collection efficiency at the reference node (planar bulk).
+REFERENCE_COLLECTION: float = 0.03
+
+#: Qcrit threshold smearing as a fraction of Qcrit.
+QCRIT_SPREAD_FRACTION: float = 0.35
+
+#: How much a FinFET's collection efficiency is suppressed relative to
+#: planar bulk at the same node (fin isolation from substrate tracks).
+FINFET_COLLECTION_SUPPRESSION: float = 0.35
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One (node, transistor family) point of the scaling model.
+
+    Attributes:
+        feature_nm: feature size.
+        process: transistor family.
+    """
+
+    feature_nm: float
+    process: TransistorProcess
+
+    def __post_init__(self) -> None:
+        if self.feature_nm <= 0.0:
+            raise ValueError(
+                f"feature size must be positive, got {self.feature_nm}"
+            )
+
+    def qcrit_fc(self) -> float:
+        """Critical charge: scales roughly linearly with feature size."""
+        return REFERENCE_QCRIT_FC * (
+            self.feature_nm / REFERENCE_NODE_NM
+        )
+
+    def collection_efficiency(self) -> float:
+        """Charge-collection efficiency of the struck node.
+
+        Shrinks with the *junction area* under the track —
+        quadratically in the feature size — while Qcrit shrinks only
+        linearly, so the per-capture upset probability falls at
+        smaller nodes.  (Per-device sensitivity falls more slowly:
+        the transistor count per mm^2 rises — which is why the paper
+        stresses that the boron/silicon *ratio*, not the node, sets
+        the exposure.)  FinFETs collect a further-suppressed
+        fraction: the fin decouples the channel from substrate
+        tracks.
+        """
+        base = REFERENCE_COLLECTION * (
+            self.feature_nm / REFERENCE_NODE_NM
+        ) ** 2
+        if self.process is TransistorProcess.FINFET:
+            base *= FINFET_COLLECTION_SUPPRESSION
+        return min(base, 1.0)
+
+    def upset_per_capture(self) -> float:
+        """P(bit flip | 10B capture nearby) at this node.
+
+        Branch-weighted over the B10(n,alpha)7Li exit channels with
+        the node's collection efficiency and smeared Qcrit.
+        """
+        crit = CriticalCharge(
+            qcrit_fc=self.qcrit_fc(),
+            sigma_fc=self.qcrit_fc() * QCRIT_SPREAD_FRACTION,
+        )
+        prob = 0.0
+        for branch in B10_N_ALPHA.branches:
+            for _, energy_mev in branch.charged_products:
+                collected = collected_charge_fc(
+                    energy_mev, self.collection_efficiency()
+                )
+                # Either product can flip the node; weight each track
+                # by half the branch probability (they fly back to
+                # back — one of them heads toward the node).
+                prob += (
+                    0.5
+                    * branch.probability
+                    * upset_probability(collected, crit)
+                )
+        return min(prob, 1.0)
+
+    def thermal_sigma_cm2(
+        self, b10_areal_density_per_cm2: float
+    ) -> float:
+        """Device thermal cross section at this node, cm^2.
+
+        Same boron contamination, different node: the cross section
+        moves only through P(upset | capture).
+        """
+        return sigma_from_b10_areal_density(
+            b10_areal_density_per_cm2,
+            upset_per_capture=self.upset_per_capture(),
+        )
+
+
+def finfet_advantage(feature_nm: float) -> float:
+    """Planar/FinFET thermal-sigma ratio at the same node and boron.
+
+    > 1 means FinFET is less thermal-soft — the paper's K20 (planar,
+    28 nm, ratio ~2) vs TitanX (FinFET, 16 nm, ratio ~3) pattern.
+    """
+    planar = TechnologyNode(
+        feature_nm, TransistorProcess.PLANAR_CMOS
+    ).upset_per_capture()
+    finfet = TechnologyNode(
+        feature_nm, TransistorProcess.FINFET
+    ).upset_per_capture()
+    if finfet == 0.0:
+        raise ValueError(
+            "FinFET upset probability is zero at this node;"
+            " ratio undefined"
+        )
+    return planar / finfet

@@ -1,0 +1,103 @@
+"""Natural neutron environment: location fluxes, materials, weather.
+
+The fast (>10 MeV) flux is a property of altitude/latitude alone; the
+thermal flux is local and is assembled as
+``outdoor thermal flux x material enhancements x weather multiplier``
+by :class:`~repro.environment.scenario.FluxScenario`.
+"""
+
+from repro.environment.flux import (
+    NYC_FAST_FLUX_PER_H,
+    SEA_LEVEL_THERMAL_RATIO,
+    altitude_acceleration,
+    atmospheric_depth_g_cm2,
+    fast_flux_per_h,
+    latitude_factor,
+    outdoor_thermal_ratio,
+    thermal_flux_per_h,
+)
+from repro.environment.modifiers import (
+    ASPHALT_ROAD,
+    CONCRETE_FLOOR,
+    FUEL_TANK,
+    HUMAN_BODY,
+    MaterialModifier,
+    RAISED_FLOOR,
+    WATER_COOLING,
+    WeatherCondition,
+    combined_fast_factor,
+    combined_thermal_factor,
+    describe,
+)
+from repro.environment.sites import (
+    ISIS,
+    LEADVILLE,
+    LOS_ALAMOS,
+    NEW_YORK,
+    Site,
+    Supercomputer,
+    TOP10_BY_NAME,
+    TOP10_SUPERCOMPUTERS,
+)
+from repro.environment.avionics import (
+    FlightSegment,
+    cruise_acceleration,
+    flight_level_to_m,
+    flux_at_altitude_per_h,
+    route_fluence_per_cm2,
+    thermal_flux_aboard_per_h,
+)
+from repro.environment.solar import (
+    ForbushDecrease,
+    flux_series,
+    solar_modulation_factor,
+)
+from repro.environment.scenario import (
+    FluxScenario,
+    datacenter_scenario,
+    expected_thermal_ratio,
+    outdoor_scenario,
+)
+
+__all__ = [
+    "NYC_FAST_FLUX_PER_H",
+    "SEA_LEVEL_THERMAL_RATIO",
+    "altitude_acceleration",
+    "atmospheric_depth_g_cm2",
+    "fast_flux_per_h",
+    "latitude_factor",
+    "outdoor_thermal_ratio",
+    "thermal_flux_per_h",
+    "ASPHALT_ROAD",
+    "CONCRETE_FLOOR",
+    "FUEL_TANK",
+    "HUMAN_BODY",
+    "MaterialModifier",
+    "RAISED_FLOOR",
+    "WATER_COOLING",
+    "WeatherCondition",
+    "combined_fast_factor",
+    "combined_thermal_factor",
+    "describe",
+    "ISIS",
+    "LEADVILLE",
+    "LOS_ALAMOS",
+    "NEW_YORK",
+    "Site",
+    "Supercomputer",
+    "TOP10_BY_NAME",
+    "TOP10_SUPERCOMPUTERS",
+    "FlightSegment",
+    "cruise_acceleration",
+    "flight_level_to_m",
+    "flux_at_altitude_per_h",
+    "route_fluence_per_cm2",
+    "thermal_flux_aboard_per_h",
+    "ForbushDecrease",
+    "flux_series",
+    "solar_modulation_factor",
+    "FluxScenario",
+    "datacenter_scenario",
+    "expected_thermal_ratio",
+    "outdoor_scenario",
+]

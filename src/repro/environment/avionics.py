@@ -1,0 +1,153 @@
+"""Flight-altitude neutron environment.
+
+Section II of the paper notes the fast flux "increases exponentially
+with altitude, reaching a maximum at about 60,000 ft".  Avionics is the
+classic market where COTS parts meet that flux, so the library extends
+the ground-level model to flight levels: the barometric scaling holds
+up to the Pfotzer maximum, above which the cascade has not fully
+developed and the flux rolls off.
+
+The thermal population aboard an aircraft is dominated by the airframe
+and fuel (hydrogenous moderators around the avionics bay), handled with
+the usual material modifiers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.environment.flux import (
+    altitude_acceleration,
+    fast_flux_per_h,
+    outdoor_thermal_ratio,
+)
+
+#: Altitude of the Pfotzer maximum, metres (~60,000 ft).
+PFOTZER_ALTITUDE_M: float = 18_300.0
+
+#: Roll-off scale above the Pfotzer maximum, metres.
+PFOTZER_ROLLOFF_M: float = 7_000.0
+
+#: Feet per metre, for flight-level conversions.
+FEET_PER_M: float = 3.28084
+
+
+def flight_level_to_m(flight_level: float) -> float:
+    """Convert a flight level (hundreds of feet) to metres."""
+    if flight_level < 0.0:
+        raise ValueError(
+            f"flight level must be >= 0, got {flight_level}"
+        )
+    return flight_level * 100.0 / FEET_PER_M
+
+
+def flux_at_altitude_per_h(
+    altitude_m: float, geomagnetic_latitude_deg: float = 45.0
+) -> float:
+    """Fast (>10 MeV) flux at any altitude including flight levels.
+
+    Barometric growth up to the Pfotzer maximum, then a Gaussian-like
+    roll-off (the cascade is underdeveloped in thin air).
+    """
+    if altitude_m <= PFOTZER_ALTITUDE_M:
+        return fast_flux_per_h(altitude_m, geomagnetic_latitude_deg)
+    peak = fast_flux_per_h(
+        PFOTZER_ALTITUDE_M, geomagnetic_latitude_deg
+    )
+    excess = (altitude_m - PFOTZER_ALTITUDE_M) / PFOTZER_ROLLOFF_M
+    return peak * math.exp(-(excess ** 2))
+
+
+@dataclass(frozen=True)
+class FlightSegment:
+    """One leg of a flight profile.
+
+    Attributes:
+        altitude_m: cruise altitude of the segment.
+        duration_h: time spent on the segment.
+        geomagnetic_latitude_deg: representative latitude.
+    """
+
+    altitude_m: float
+    duration_h: float
+    geomagnetic_latitude_deg: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.duration_h < 0.0:
+            raise ValueError(
+                f"duration must be >= 0, got {self.duration_h}"
+            )
+        if self.altitude_m < 0.0:
+            raise ValueError(
+                f"altitude must be >= 0, got {self.altitude_m}"
+            )
+
+    def fluence_per_cm2(self) -> float:
+        """Fast-neutron fluence accumulated on this segment."""
+        return (
+            flux_at_altitude_per_h(
+                self.altitude_m, self.geomagnetic_latitude_deg
+            )
+            * self.duration_h
+        )
+
+
+def route_fluence_per_cm2(segments: Sequence[FlightSegment]) -> float:
+    """Total fast fluence over a flight profile, n/cm^2.
+
+    Raises:
+        ValueError: on an empty profile.
+    """
+    if not segments:
+        raise ValueError("flight profile has no segments")
+    return sum(s.fluence_per_cm2() for s in segments)
+
+
+def cruise_acceleration(cruise_altitude_m: float = 11_000.0) -> float:
+    """Flux multiplier at cruise relative to NYC sea level.
+
+    ~300-500x at typical commercial cruise — the number avionics
+    reliability engineers carry around.
+    """
+    return flux_at_altitude_per_h(cruise_altitude_m) / fast_flux_per_h(
+        0.0, 45.0
+    )
+
+
+def thermal_flux_aboard_per_h(
+    altitude_m: float,
+    moderation_enhancement: float = 0.5,
+    geomagnetic_latitude_deg: float = 45.0,
+) -> Tuple[float, float]:
+    """(fast, thermal) flux in an avionics bay.
+
+    The cabin/airframe/fuel moderate the local cascade; the
+    ``moderation_enhancement`` (default +50 %: fuel + passengers +
+    structure, cf. the paper's materials table) scales the outdoor
+    thermal ratio at altitude.
+    """
+    if moderation_enhancement < 0.0:
+        raise ValueError(
+            "enhancement must be >= 0,"
+            f" got {moderation_enhancement}"
+        )
+    fast = flux_at_altitude_per_h(
+        altitude_m, geomagnetic_latitude_deg
+    )
+    ratio = outdoor_thermal_ratio(min(altitude_m, 5_000.0))
+    thermal = fast * ratio * (1.0 + moderation_enhancement)
+    return fast, thermal
+
+
+__all__ = [
+    "FEET_PER_M",
+    "PFOTZER_ALTITUDE_M",
+    "FlightSegment",
+    "cruise_acceleration",
+    "flight_level_to_m",
+    "flux_at_altitude_per_h",
+    "route_fluence_per_cm2",
+    "thermal_flux_aboard_per_h",
+]

@@ -1,0 +1,123 @@
+"""Natural neutron flux model: altitude, latitude and the thermal ratio.
+
+The fast (>10 MeV) flux follows the standard JESD89A-style barometric
+scaling anchored to the New York City reference value.  The thermal
+(<0.5 eV) flux is modelled as a *ratio* to the fast flux: unlike the
+fast flux it depends strongly on surroundings, so the outdoor ratio
+computed here is only the starting point that
+:mod:`repro.environment.modifiers` then adjusts for materials/weather.
+
+Calibration (documented in DESIGN.md Section 5): the outdoor
+thermal-to-fast ratio is chosen so that, after the paper's +44 %
+concrete+water indoor adjustment, the thermal FIT shares published for
+Xeon Phi / K20 / APU at NYC and Leadville are reproduced:
+``ratio(NYC) = 0.445`` and ``ratio(Leadville) = 0.755`` indoors.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Reference fast (>10 MeV) flux at NYC sea level, n/cm^2/h.
+NYC_FAST_FLUX_PER_H: float = 13.0
+
+#: Sea-level atmospheric depth, g/cm^2.
+SEA_LEVEL_DEPTH_G_CM2: float = 1033.0
+
+#: Atmospheric scale height used to convert altitude to depth, m.
+ATMOSPHERE_SCALE_HEIGHT_M: float = 8400.0
+
+#: Neutron attenuation length in air, g/cm^2.  Tuned (within the
+#: published 120-148 range) so Leadville, CO (3109 m) comes out at the
+#: ~12.9x acceleration the FIT literature uses for that site.
+NEUTRON_ATTENUATION_LENGTH_G_CM2: float = 125.0
+
+#: Outdoor thermal/fast flux ratio at sea level (calibrated, see module
+#: docstring): 0.445 indoor / 1.44 materials adjustment.
+SEA_LEVEL_THERMAL_RATIO: float = 0.309
+
+#: Linear growth of the outdoor thermal/fast ratio with altitude, 1/m.
+#: Calibrated so the indoor Leadville ratio is 0.755.
+THERMAL_RATIO_ALTITUDE_SLOPE_PER_M: float = 2.24e-4
+
+
+def atmospheric_depth_g_cm2(altitude_m: float) -> float:
+    """Atmospheric depth above ``altitude_m``, g/cm^2 (isothermal)."""
+    if altitude_m < -500.0:
+        raise ValueError(f"altitude implausibly low: {altitude_m} m")
+    return SEA_LEVEL_DEPTH_G_CM2 * math.exp(
+        -altitude_m / ATMOSPHERE_SCALE_HEIGHT_M
+    )
+
+
+def altitude_acceleration(altitude_m: float) -> float:
+    """Fast-flux multiplier relative to sea level at ``altitude_m``.
+
+    ``exp((d0 - d(h)) / L)`` with ``L`` the neutron attenuation length.
+    Leadville (3109 m) gives ~12.9; aircraft altitudes give hundreds.
+    """
+    depth = atmospheric_depth_g_cm2(altitude_m)
+    return math.exp(
+        (SEA_LEVEL_DEPTH_G_CM2 - depth) / NEUTRON_ATTENUATION_LENGTH_G_CM2
+    )
+
+
+def latitude_factor(geomagnetic_latitude_deg: float) -> float:
+    """Fast-flux multiplier for geomagnetic latitude.
+
+    The geomagnetic cutoff rigidity suppresses the flux near the
+    equator (factor ~0.65) and saturates past ~55 degrees (factor ~1.1
+    relative to the NYC reference at ~51 degrees).  A smooth cosine
+    interpolation is adequate for FIT bookkeeping.
+    """
+    lat = abs(geomagnetic_latitude_deg)
+    if lat > 90.0:
+        raise ValueError(
+            f"latitude must be within [-90, 90], got"
+            f" {geomagnetic_latitude_deg}"
+        )
+    low, high, knee = 0.65, 1.1, 55.0
+    if lat >= knee:
+        return high
+    # Smooth rise from `low` at the equator to `high` at the knee.
+    t = lat / knee
+    return low + (high - low) * 0.5 * (1.0 - math.cos(math.pi * t))
+
+
+def fast_flux_per_h(
+    altitude_m: float, geomagnetic_latitude_deg: float = 51.0
+) -> float:
+    """Outdoor fast (>10 MeV) flux at a location, n/cm^2/h.
+
+    NYC reference (sea level, ~51 deg geomagnetic) times the altitude
+    and latitude factors.
+    """
+    return (
+        NYC_FAST_FLUX_PER_H
+        * altitude_acceleration(altitude_m)
+        * latitude_factor(geomagnetic_latitude_deg)
+        / latitude_factor(51.0)
+    )
+
+
+def outdoor_thermal_ratio(altitude_m: float) -> float:
+    """Outdoor thermal/fast flux ratio at ``altitude_m``.
+
+    Grows with altitude because the thermalized population builds up
+    relative to the hard cascade (calibrated against the paper's
+    Leadville numbers — see module docstring).
+    """
+    if altitude_m < -500.0:
+        raise ValueError(f"altitude implausibly low: {altitude_m} m")
+    return SEA_LEVEL_THERMAL_RATIO * (
+        1.0 + THERMAL_RATIO_ALTITUDE_SLOPE_PER_M * max(altitude_m, 0.0)
+    )
+
+
+def thermal_flux_per_h(
+    altitude_m: float, geomagnetic_latitude_deg: float = 51.0
+) -> float:
+    """Outdoor thermal (<0.5 eV) flux at a location, n/cm^2/h."""
+    return fast_flux_per_h(
+        altitude_m, geomagnetic_latitude_deg
+    ) * outdoor_thermal_ratio(altitude_m)

@@ -1,0 +1,141 @@
+"""Flux scenarios: site + surroundings -> the fluxes a device sees.
+
+A :class:`FluxScenario` is the environment half of a FIT calculation:
+it yields the fast and thermal fluxes (n/cm^2/h) at the device after
+applying material and weather modifiers to the site's outdoor fluxes.
+It can also synthesize a full :class:`~repro.spectra.spectrum.Spectrum`
+for transport or folding studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.environment.flux import outdoor_thermal_ratio
+from repro.environment.modifiers import (
+    CONCRETE_FLOOR,
+    MaterialModifier,
+    WATER_COOLING,
+    WeatherCondition,
+    combined_fast_factor,
+    combined_thermal_factor,
+)
+from repro.environment.sites import NEW_YORK, Site
+from repro.physics.units import per_hour_to_per_second
+from repro.spectra.analytic import atmospheric_spectrum
+from repro.spectra.spectrum import Spectrum
+
+
+@dataclass(frozen=True)
+class FluxScenario:
+    """The neutron environment of a deployed device.
+
+    Attributes:
+        site: geographic location.
+        materials: nearby moderator bodies (concrete, water...).
+        weather: weather condition (thermal multiplier).
+        name: optional label; defaults to a descriptive composite.
+    """
+
+    site: Site = NEW_YORK
+    materials: Tuple[MaterialModifier, ...] = field(default_factory=tuple)
+    weather: WeatherCondition = WeatherCondition.SUNNY
+    name: str = ""
+
+    @property
+    def label(self) -> str:
+        """Report label: explicit name or a generated description."""
+        if self.name:
+            return self.name
+        mats = "+".join(m.name for m in self.materials) or "open field"
+        return f"{self.site.name} ({mats}, {self.weather.name.lower()})"
+
+    def fast_flux_per_h(self) -> float:
+        """Fast (>10 MeV) flux at the device, n/cm^2/h."""
+        return self.site.fast_flux_per_h() * combined_fast_factor(
+            self.materials
+        )
+
+    def thermal_flux_per_h(self) -> float:
+        """Thermal (<0.5 eV) flux at the device, n/cm^2/h."""
+        return self.site.thermal_flux_per_h() * combined_thermal_factor(
+            self.materials, self.weather
+        )
+
+    def thermal_to_fast_ratio(self) -> float:
+        """Thermal/fast flux ratio at the device."""
+        fast = self.fast_flux_per_h()
+        if fast == 0.0:
+            raise ValueError("fast flux is zero; ratio undefined")
+        return self.thermal_flux_per_h() / fast
+
+    def thermal_factor(self) -> float:
+        """Total enhancement applied to the outdoor thermal flux."""
+        return combined_thermal_factor(self.materials, self.weather)
+
+    def with_materials(
+        self, *materials: MaterialModifier
+    ) -> "FluxScenario":
+        """A copy with additional material modifiers."""
+        return replace(
+            self, materials=self.materials + tuple(materials), name=""
+        )
+
+    def with_weather(self, weather: WeatherCondition) -> "FluxScenario":
+        """A copy under different weather."""
+        return replace(self, weather=weather, name="")
+
+    def spectrum(self) -> Spectrum:
+        """Full environmental spectrum (n/cm^2/s) for transport/folding."""
+        return atmospheric_spectrum(
+            flux_above_10mev=per_hour_to_per_second(
+                self.fast_flux_per_h()
+            ),
+            thermal_fraction_flux=per_hour_to_per_second(
+                self.thermal_flux_per_h()
+            ),
+            name=self.label,
+        )
+
+
+def datacenter_scenario(
+    site: Site,
+    liquid_cooled: bool = True,
+    weather: WeatherCondition = WeatherCondition.SUNNY,
+) -> FluxScenario:
+    """The paper's machine-room scenario: concrete plus cooling water.
+
+    This is the +44 % adjustment used for the FIT graphs (concrete
+    +20 % and water +24 %, additively).
+    """
+    materials: Tuple[MaterialModifier, ...] = (CONCRETE_FLOOR,)
+    if liquid_cooled:
+        materials = materials + (WATER_COOLING,)
+    return FluxScenario(
+        site=site,
+        materials=materials,
+        weather=weather,
+        name=f"{site.name} machine room"
+        + (" (liquid cooled)" if liquid_cooled else ""),
+    )
+
+
+def outdoor_scenario(
+    site: Site, weather: WeatherCondition = WeatherCondition.SUNNY
+) -> FluxScenario:
+    """Bare outdoor environment at a site."""
+    return FluxScenario(site=site, weather=weather)
+
+
+def expected_thermal_ratio(scenario: FluxScenario) -> float:
+    """Analytic thermal/fast ratio for cross-checking scenarios.
+
+    Equals ``outdoor_thermal_ratio(site) * thermal_factor /
+    fast_factor`` — exposed for tests and calibration audits.
+    """
+    return (
+        outdoor_thermal_ratio(scenario.site.altitude_m)
+        * combined_thermal_factor(scenario.materials, scenario.weather)
+        / combined_fast_factor(scenario.materials)
+    )

@@ -1,0 +1,141 @@
+"""Reference sites: the paper's two FIT locations plus the Top-10 list.
+
+The paper computes FIT shares at New York City (the JEDEC sea-level
+reference) and Leadville, CO (10 151 ft, the classic high-altitude
+stress case), and projects DDR FIT rates for the ten fastest machines of
+the Top500 list of its era.  Altitudes and geomagnetic latitudes here
+are approximate but representative; memory inventories are
+order-of-magnitude machine-room figures used only for the relative
+comparison in experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.environment.flux import fast_flux_per_h, thermal_flux_per_h
+
+
+@dataclass(frozen=True)
+class Site:
+    """A geographic location hosting computing equipment.
+
+    Attributes:
+        name: label.
+        altitude_m: altitude above sea level, metres.
+        geomagnetic_latitude_deg: approximate geomagnetic latitude.
+    """
+
+    name: str
+    altitude_m: float
+    geomagnetic_latitude_deg: float = 51.0
+
+    def fast_flux_per_h(self) -> float:
+        """Outdoor fast (>10 MeV) flux, n/cm^2/h."""
+        return fast_flux_per_h(
+            self.altitude_m, self.geomagnetic_latitude_deg
+        )
+
+    def thermal_flux_per_h(self) -> float:
+        """Outdoor thermal (<0.5 eV) flux, n/cm^2/h."""
+        return thermal_flux_per_h(
+            self.altitude_m, self.geomagnetic_latitude_deg
+        )
+
+
+#: The JEDEC reference location.
+NEW_YORK = Site("New York City", altitude_m=0.0,
+                geomagnetic_latitude_deg=51.0)
+
+#: The paper's high-altitude comparison point (10,151 ft).
+LEADVILLE = Site("Leadville, CO", altitude_m=3094.0,
+                 geomagnetic_latitude_deg=48.0)
+
+#: Los Alamos National Laboratory (Trinity's home, Tin-II deployment).
+LOS_ALAMOS = Site("Los Alamos, NM", altitude_m=2231.0,
+                  geomagnetic_latitude_deg=44.0)
+
+#: ISIS / Rutherford Appleton Laboratory (the beam experiments).
+ISIS = Site("ISIS, UK", altitude_m=130.0, geomagnetic_latitude_deg=53.0)
+
+
+@dataclass(frozen=True)
+class Supercomputer:
+    """A Top500 machine for the DDR FIT projection (experiment E7).
+
+    Attributes:
+        name: machine name.
+        site: hosting location.
+        memory_tib: total main-memory capacity, TiB.
+        ddr_generation: 3 or 4.
+        liquid_cooled: whether the machine uses liquid cooling (adds
+            the water modifier in the projection).
+    """
+
+    name: str
+    site: Site
+    memory_tib: float
+    ddr_generation: int
+    liquid_cooled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ddr_generation not in (3, 4):
+            raise ValueError(
+                f"only DDR3/DDR4 are modelled, got {self.ddr_generation}"
+            )
+        if self.memory_tib <= 0.0:
+            raise ValueError(
+                f"memory must be positive, got {self.memory_tib}"
+            )
+
+
+#: The ten fastest machines of the paper's era (Top500, June 2019),
+#: with approximate altitudes and machine-room memory inventories.
+TOP10_SUPERCOMPUTERS: Tuple[Supercomputer, ...] = (
+    Supercomputer(
+        "Summit",
+        Site("Oak Ridge, TN", 260.0, 46.0), 2800.0, 4, True,
+    ),
+    Supercomputer(
+        "Sierra",
+        Site("Livermore, CA", 180.0, 43.0), 1382.0, 4, True,
+    ),
+    Supercomputer(
+        "Sunway TaihuLight",
+        Site("Wuxi, China", 5.0, 22.0), 1280.0, 3, True,
+    ),
+    Supercomputer(
+        "Tianhe-2A",
+        Site("Guangzhou, China", 20.0, 13.0), 1375.0, 3, False,
+    ),
+    Supercomputer(
+        "Frontera",
+        Site("Austin, TX", 150.0, 39.0), 1500.0, 4, True,
+    ),
+    Supercomputer(
+        "Piz Daint",
+        Site("Lugano, Switzerland", 273.0, 47.0), 365.0, 4, True,
+    ),
+    Supercomputer(
+        "Trinity",
+        Site("Los Alamos, NM", 2231.0, 44.0), 2070.0, 4, True,
+    ),
+    Supercomputer(
+        "ABCI",
+        Site("Kashiwa, Japan", 10.0, 27.0), 417.0, 4, True,
+    ),
+    Supercomputer(
+        "SuperMUC-NG",
+        Site("Garching, Germany", 480.0, 49.0), 719.0, 4, True,
+    ),
+    Supercomputer(
+        "Lassen",
+        Site("Livermore, CA", 180.0, 43.0), 253.0, 4, True,
+    ),
+)
+
+#: Convenience lookup by machine name.
+TOP10_BY_NAME: Dict[str, Supercomputer] = {
+    m.name: m for m in TOP10_SUPERCOMPUTERS
+}

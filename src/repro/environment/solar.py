@@ -1,0 +1,129 @@
+"""Solar modulation of the atmospheric neutron flux.
+
+Section II: "Under normal solar conditions, the fast neutron flux is
+almost constant for a given latitude, longitude, and altitude."  The
+caveat is *normal*: the galactic-cosmic-ray intensity anti-correlates
+with the ~11-year solar cycle (ground-level neutron monitors swing
+roughly ±10-15 %), and a coronal mass ejection produces a *Forbush
+decrease* — a sudden few-percent-to-20 % drop recovering over days.
+
+This module provides those multipliers so campaigns and FIT estimates
+can be placed at a moment of the cycle, and a time-series generator
+for detector simulations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+#: Solar cycle length, years.
+SOLAR_CYCLE_YEARS: float = 11.0
+
+#: Peak-to-peak fractional swing of the ground-level fast flux over
+#: the cycle (neutron-monitor amplitude).
+CYCLE_AMPLITUDE: float = 0.15
+
+
+def solar_modulation_factor(years_since_minimum: float) -> float:
+    """Fast-flux multiplier at a point of the solar cycle.
+
+    1 + amplitude/2 at solar minimum (GCR maximum), 1 - amplitude/2
+    at solar maximum, sinusoidal in between.
+
+    Raises:
+        ValueError: for a negative phase.
+    """
+    if years_since_minimum < 0.0:
+        raise ValueError(
+            "phase must be >= 0,"
+            f" got {years_since_minimum}"
+        )
+    phase = (
+        2.0 * math.pi * years_since_minimum / SOLAR_CYCLE_YEARS
+    )
+    return 1.0 + (CYCLE_AMPLITUDE / 2.0) * math.cos(phase)
+
+
+@dataclass(frozen=True)
+class ForbushDecrease:
+    """A Forbush decrease: sudden GCR drop, exponential recovery.
+
+    Attributes:
+        onset_h: event start, hours from series start.
+        magnitude: fractional flux drop at onset (0.2 = 20 %).
+        recovery_h: e-folding recovery time, hours (~2-4 days).
+    """
+
+    onset_h: float
+    magnitude: float
+    recovery_h: float = 72.0
+
+    def __post_init__(self) -> None:
+        if self.onset_h < 0.0:
+            raise ValueError(
+                f"onset must be >= 0, got {self.onset_h}"
+            )
+        if not 0.0 < self.magnitude < 1.0:
+            raise ValueError(
+                f"magnitude must be in (0, 1), got {self.magnitude}"
+            )
+        if self.recovery_h <= 0.0:
+            raise ValueError(
+                f"recovery must be positive, got {self.recovery_h}"
+            )
+
+    def factor(self, time_h: float) -> float:
+        """Flux multiplier at ``time_h``."""
+        if time_h < self.onset_h:
+            return 1.0
+        elapsed = time_h - self.onset_h
+        return 1.0 - self.magnitude * math.exp(
+            -elapsed / self.recovery_h
+        )
+
+
+def flux_series(
+    duration_h: float,
+    interval_h: float,
+    years_since_minimum: float = 0.0,
+    forbush_events: List[ForbushDecrease] | None = None,
+) -> List[float]:
+    """Fast-flux multiplier time series.
+
+    Args:
+        duration_h: series length.
+        interval_h: sample spacing.
+        years_since_minimum: solar-cycle phase (fixed over the
+            series — the cycle is slow).
+        forbush_events: transient decreases to overlay.
+
+    Returns:
+        One multiplier per interval.
+
+    Raises:
+        ValueError: on non-positive durations.
+    """
+    if duration_h <= 0.0 or interval_h <= 0.0:
+        raise ValueError("durations must be positive")
+    events = forbush_events or []
+    base = solar_modulation_factor(years_since_minimum)
+    out = []
+    t = 0.0
+    while t < duration_h:
+        factor = base
+        for event in events:
+            factor *= event.factor(t)
+        out.append(factor)
+        t += interval_h
+    return out
+
+
+__all__ = [
+    "CYCLE_AMPLITUDE",
+    "SOLAR_CYCLE_YEARS",
+    "ForbushDecrease",
+    "flux_series",
+    "solar_modulation_factor",
+]

@@ -1,0 +1,39 @@
+"""Fault models, Poisson event sampling and bit-level injection."""
+
+from repro.faults.models import (
+    BeamKind,
+    DueError,
+    FaultEvent,
+    FaultKind,
+    Outcome,
+)
+from repro.faults.sampler import (
+    PoissonEventSampler,
+    expected_events,
+    sample_event_count,
+    sample_event_times,
+)
+from repro.faults.injector import (
+    Injection,
+    flip_bit_in_array,
+    flip_float_bit,
+    injectable_bit_count,
+    random_injection_for,
+)
+
+__all__ = [
+    "BeamKind",
+    "DueError",
+    "FaultEvent",
+    "FaultKind",
+    "Outcome",
+    "PoissonEventSampler",
+    "expected_events",
+    "sample_event_count",
+    "sample_event_times",
+    "Injection",
+    "flip_bit_in_array",
+    "flip_float_bit",
+    "injectable_bit_count",
+    "random_injection_for",
+]

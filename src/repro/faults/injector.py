@@ -1,0 +1,136 @@
+"""Bit-level fault injection into NumPy state.
+
+Workloads expose named arrays per pipeline stage; an
+:class:`Injection` names (stage, array, element, bit) and
+:func:`flip_bit_in_array` applies it by flipping the raw bit through an
+integer view — exactly what a particle strike does to a word of SRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+#: Integer views used to flip bits in typed arrays.
+_INT_VIEW = {
+    np.dtype(np.float64): np.uint64,
+    np.dtype(np.float32): np.uint32,
+    np.dtype(np.int64): np.uint64,
+    np.dtype(np.int32): np.uint32,
+    np.dtype(np.uint64): np.uint64,
+    np.dtype(np.uint32): np.uint32,
+    np.dtype(np.uint8): np.uint8,
+    np.dtype(np.bool_): np.uint8,
+    np.dtype(np.int8): np.uint8,
+    np.dtype(np.int16): np.uint16,
+    np.dtype(np.uint16): np.uint16,
+}
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A planned single-bit upset.
+
+    Attributes:
+        stage: pipeline stage *before* which the flip is applied.
+        array: name of the state array to corrupt.
+        flat_index: element index into the flattened array.
+        bit: bit position within the element (0 = LSB).
+    """
+
+    stage: str
+    array: str
+    flat_index: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.flat_index < 0:
+            raise ValueError(
+                f"flat_index must be >= 0, got {self.flat_index}"
+            )
+        if self.bit < 0:
+            raise ValueError(f"bit must be >= 0, got {self.bit}")
+
+
+def flip_float_bit(value: float, bit: int) -> float:
+    """Flip one bit of a scalar float64 and return the result."""
+    if not 0 <= bit < 64:
+        raise ValueError(f"bit must be in [0, 64), got {bit}")
+    raw = np.float64(value).view(np.uint64)
+    flipped = np.uint64(raw) ^ np.uint64(1 << bit)
+    return float(flipped.view(np.float64))
+
+
+def flip_bit_in_array(
+    array: np.ndarray, flat_index: int, bit: int
+) -> None:
+    """Flip one bit of one element of ``array``, in place.
+
+    Args:
+        array: a writable numeric NumPy array.
+        flat_index: element index into the flattened array.
+        bit: bit position within the element.
+
+    Raises:
+        ValueError: for unsupported dtypes or out-of-range targets.
+    """
+    dtype = array.dtype
+    if dtype not in _INT_VIEW:
+        raise ValueError(f"unsupported dtype for injection: {dtype}")
+    if not 0 <= flat_index < array.size:
+        raise ValueError(
+            f"flat_index {flat_index} out of range for size {array.size}"
+        )
+    bits = dtype.itemsize * 8
+    if not 0 <= bit < bits:
+        raise ValueError(
+            f"bit {bit} out of range for {bits}-bit dtype {dtype}"
+        )
+    view = array.reshape(-1).view(_INT_VIEW[dtype])
+    view[flat_index] ^= _INT_VIEW[dtype](1 << bit)
+
+
+def random_injection_for(
+    rng: np.random.Generator,
+    stage_arrays: Mapping[str, Mapping[str, np.ndarray]],
+) -> Injection:
+    """Draw a uniform random injection over all bits of all state.
+
+    Weighting is by bit count, i.e. physically by storage area: a big
+    matrix soaks up proportionally more strikes than a small vector.
+
+    Args:
+        rng: generator.
+        stage_arrays: ``{stage: {array name: array}}`` as produced by a
+            workload's :meth:`injection_space`.
+    """
+    entries = []
+    weights = []
+    for stage, arrays in stage_arrays.items():
+        for name, arr in arrays.items():
+            if arr.dtype not in _INT_VIEW or arr.size == 0:
+                continue
+            entries.append((stage, name, arr))
+            weights.append(arr.size * arr.dtype.itemsize * 8)
+    if not entries:
+        raise ValueError("no injectable arrays in the given space")
+    probs = np.asarray(weights, dtype=float)
+    probs /= probs.sum()
+    stage, name, arr = entries[int(rng.choice(len(entries), p=probs))]
+    flat_index = int(rng.integers(arr.size))
+    bit = int(rng.integers(arr.dtype.itemsize * 8))
+    return Injection(stage=stage, array=name, flat_index=flat_index, bit=bit)
+
+
+def injectable_bit_count(
+    stage_arrays: Mapping[str, Mapping[str, np.ndarray]],
+) -> int:
+    """Total number of injectable bits in a workload state space."""
+    total = 0
+    for arrays in stage_arrays.values():
+        for arr in arrays.values():
+            if arr.dtype in _INT_VIEW:
+                total += arr.size * arr.dtype.itemsize * 8
+    return total

@@ -1,0 +1,78 @@
+"""Fault taxonomy shared by the beam, memory and workload simulators.
+
+The vocabulary follows the paper exactly:
+
+* **SDC** — Silent Data Corruption: wrong output, no indication;
+* **DUE** — Detected Unrecoverable Error: crash, hang, device drop;
+* **Masked** — the fault existed but the output was still correct.
+
+Beams come in two kinds — **high-energy** (ChipIR-like) and **thermal**
+(ROTAX-like) — and faults strike either *data* state (register file,
+caches, array values) or *control* state (schedulers, sequencers,
+DMA/synchronization logic; the APU result in the paper suggests the
+CPU-GPU communication fabric belongs here).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class BeamKind(enum.Enum):
+    """The two irradiation regimes compared by the paper."""
+
+    HIGH_ENERGY = "high-energy"
+    THERMAL = "thermal"
+
+
+class Outcome(enum.Enum):
+    """Observable outcome of one fault event."""
+
+    MASKED = "masked"
+    SDC = "sdc"
+    DUE = "due"
+
+
+class FaultKind(enum.Enum):
+    """Where the upset landed."""
+
+    #: A bit in data state (values being computed on).
+    DATA_BIT = "data-bit"
+    #: Control/sequencing logic: leads to a DUE directly.
+    CONTROL = "control"
+    #: Memory-array control circuit (DDR SEFI).
+    SEFI = "sefi"
+    #: FPGA configuration-memory bit (persistent until reprogramming).
+    CONFIG_BIT = "config-bit"
+
+
+class DueError(RuntimeError):
+    """Raised by a simulated execution that crashed or hung.
+
+    Carries the mechanism so campaigns can report *why* executions
+    died (NaN poisoning, out-of-bounds access, control upset...).
+    """
+
+    def __init__(self, mechanism: str) -> None:
+        super().__init__(f"detected unrecoverable error: {mechanism}")
+        self.mechanism = mechanism
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One particle-induced fault during an exposure.
+
+    Attributes:
+        time_s: event time within the exposure window.
+        kind: what was struck.
+        beam: which beam produced it.
+    """
+
+    time_s: float
+    kind: FaultKind
+    beam: BeamKind
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0.0:
+            raise ValueError(f"event time must be >= 0, got {self.time_s}")

@@ -1,0 +1,28 @@
+"""SRAM-FPGA configuration memory and the reprogram-on-error protocol."""
+
+from repro.fpga.configuration import (
+    ConfigurationMemory,
+    FpgaDesign,
+    MNIST_DOUBLE,
+    MNIST_SINGLE,
+)
+from repro.fpga.campaign import FpgaCampaign, FpgaCampaignResult
+from repro.fpga.scrubber import (
+    ScrubPolicy,
+    ScrubRunResult,
+    compare_policies,
+    run_policy,
+)
+
+__all__ = [
+    "ConfigurationMemory",
+    "FpgaDesign",
+    "MNIST_DOUBLE",
+    "MNIST_SINGLE",
+    "ScrubPolicy",
+    "ScrubRunResult",
+    "compare_policies",
+    "run_policy",
+    "FpgaCampaign",
+    "FpgaCampaignResult",
+]

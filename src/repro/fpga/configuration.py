@@ -1,0 +1,154 @@
+"""SRAM-FPGA configuration-memory model (Zynq-7000-like).
+
+The paper's FPGA observation: configuration-memory upsets are
+*persistent* — a flipped bit rewires the implemented circuit until a
+new bitstream is loaded.  The experimental protocol reprograms the
+device at each observed output error to avoid collecting a stream of
+corrupted outputs; DUEs are essentially never seen because the bare
+fabric runs with no OS to crash.
+
+The model: frames x words x bits of configuration storage, an
+*essential bits* mask (the fraction that actually affects the mapped
+design), and a design-level error probability when essential bits are
+corrupted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FpgaDesign:
+    """A design mapped onto the fabric.
+
+    Attributes:
+        name: design label (e.g. ``"MNIST-single"``).
+        essential_fraction: fraction of configuration bits that are
+            essential to this design (Xilinx reports ~2-10 %).
+        error_per_essential_upset: probability an essential-bit upset
+            corrupts the output (not all essential bits matter on
+            every cycle).
+        resource_scale: relative configuration footprint (the paper's
+            double-precision MNIST uses ~2x the resources of single
+            precision and shows ~4x the thermal cross section).
+    """
+
+    name: str
+    essential_fraction: float
+    error_per_essential_upset: float
+    resource_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.essential_fraction <= 1.0:
+            raise ValueError(
+                "essential fraction must be in (0, 1],"
+                f" got {self.essential_fraction}"
+            )
+        if not 0.0 < self.error_per_essential_upset <= 1.0:
+            raise ValueError(
+                "error probability must be in (0, 1],"
+                f" got {self.error_per_essential_upset}"
+            )
+        if self.resource_scale <= 0.0:
+            raise ValueError(
+                f"resource scale must be > 0, got {self.resource_scale}"
+            )
+
+
+#: Single-precision MNIST mapping (paper Section V, FPGA part).
+MNIST_SINGLE = FpgaDesign(
+    "MNIST-single", essential_fraction=0.05,
+    error_per_essential_upset=0.35, resource_scale=1.0,
+)
+
+#: Double-precision MNIST: ~2x resources, ~4x thermal cross section.
+MNIST_DOUBLE = FpgaDesign(
+    "MNIST-double", essential_fraction=0.10,
+    error_per_essential_upset=0.35, resource_scale=2.0,
+)
+
+
+class ConfigurationMemory:
+    """The device's configuration SRAM with persistent upsets.
+
+    Args:
+        n_frames: configuration frames.
+        words_per_frame: 32-bit words per frame.
+        design: the mapped design.
+        rng: generator.
+    """
+
+    WORD_BITS = 32
+
+    def __init__(
+        self,
+        design: FpgaDesign,
+        n_frames: int = 2000,
+        words_per_frame: int = 101,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_frames <= 0 or words_per_frame <= 0:
+            raise ValueError("geometry must be positive")
+        self.design = design
+        self.n_frames = n_frames
+        self.words_per_frame = words_per_frame
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.upset_bits: Set[int] = set()
+        self._design_broken = False
+        self.reprogram_count = 0
+
+    @property
+    def n_bits(self) -> int:
+        """Total configuration bits."""
+        return self.n_frames * self.words_per_frame * self.WORD_BITS
+
+    @property
+    def design_broken(self) -> bool:
+        """True if an essential upset has corrupted the circuit."""
+        return self._design_broken
+
+    def upset(self, address: int | None = None) -> bool:
+        """Flip one configuration bit (persistent).
+
+        Returns:
+            True if this upset (newly) broke the design.
+        """
+        if address is None:
+            address = int(self.rng.integers(self.n_bits))
+        if not 0 <= address < self.n_bits:
+            raise ValueError(
+                f"address {address} outside {self.n_bits} bits"
+            )
+        self.upset_bits.add(address)
+        if self._design_broken:
+            return False
+        essential = (
+            self.rng.random() < self.design.essential_fraction
+        )
+        if essential and (
+            self.rng.random()
+            < self.design.error_per_essential_upset
+        ):
+            self._design_broken = True
+            return True
+        return False
+
+    def output_correct(self) -> bool:
+        """Does the implemented circuit currently compute correctly?"""
+        return not self._design_broken
+
+    def reprogram(self) -> int:
+        """Load a fresh bitstream, clearing all accumulated upsets.
+
+        Returns:
+            The number of upset bits that were cleared.
+        """
+        cleared = len(self.upset_bits)
+        self.upset_bits.clear()
+        self._design_broken = False
+        self.reprogram_count += 1
+        return cleared

@@ -1,0 +1,63 @@
+"""Bit-level DDR3/DDR4 simulation: module, correct-loop tester, ECC."""
+
+from repro.memory.errors import (
+    DDR3_SENSITIVITY,
+    DDR4_SENSITIVITY,
+    DDR_SENSITIVITIES,
+    DdrSensitivity,
+    ErrorCategory,
+    FlipDirection,
+)
+from repro.memory.module import (
+    BITS_PER_GBIT,
+    CellFault,
+    DdrModule,
+    SefiFault,
+)
+from repro.memory.tester import (
+    CorrectLoopTester,
+    DdrTestResult,
+    ObservedError,
+)
+from repro.memory.application import (
+    MemoryBackedWorkload,
+    MemoryExposureResult,
+)
+from repro.memory.scrubbing import (
+    ScrubbingAnalysis,
+    required_scrub_interval_h,
+    upset_fit_per_gbit_from_sensitivity,
+)
+from repro.memory.ecc import (
+    EccOutcome,
+    EccReport,
+    classify_event,
+    non_sefi_fraction_correctable,
+    score_errors,
+)
+
+__all__ = [
+    "DDR3_SENSITIVITY",
+    "DDR4_SENSITIVITY",
+    "DDR_SENSITIVITIES",
+    "DdrSensitivity",
+    "ErrorCategory",
+    "FlipDirection",
+    "BITS_PER_GBIT",
+    "CellFault",
+    "DdrModule",
+    "SefiFault",
+    "CorrectLoopTester",
+    "DdrTestResult",
+    "ObservedError",
+    "MemoryBackedWorkload",
+    "MemoryExposureResult",
+    "ScrubbingAnalysis",
+    "required_scrub_interval_h",
+    "upset_fit_per_gbit_from_sensitivity",
+    "EccOutcome",
+    "EccReport",
+    "classify_event",
+    "non_sefi_fraction_correctable",
+    "score_errors",
+]

@@ -1,0 +1,198 @@
+"""Memory-backed workloads: DDR upsets propagating into applications.
+
+The paper studies DDR and compute devices separately; this bridge runs
+a workload whose *input arrays live in simulated DRAM* under thermal
+flux.  Memory upsets either get corrected by SECDED (the paper's
+conclusion: every non-SEFI thermal error is single-bit, hence
+correctable), or — with ECC off — land in the data and propagate
+through the application with the usual masking/SDC/DUE phenomenology.
+A SEFI is uncorrectable either way and halts the run (DUE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.faults.injector import Injection
+from repro.faults.models import DueError, Outcome
+from repro.faults.sampler import sample_event_count
+from repro.memory.errors import DdrSensitivity
+from repro.memory.module import BITS_PER_GBIT
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class MemoryExposureResult:
+    """One run of a workload on irradiated memory.
+
+    Attributes:
+        outcome: application-level outcome.
+        upsets: memory cell upsets during the exposure.
+        corrected: upsets removed by SECDED before execution.
+        sefi: whether a control-logic SEFI occurred (always a DUE).
+    """
+
+    outcome: Outcome
+    upsets: int
+    corrected: int
+    sefi: bool
+
+
+class MemoryBackedWorkload:
+    """A workload whose inputs sit in a DDR region under beam/field.
+
+    Args:
+        workload: the application.
+        sensitivity: DDR generation parameters.
+        ecc_enabled: SECDED on the region.
+        seed: RNG seed.
+    """
+
+    #: Bits of the module whose control logic a SEFI takes out.
+    MODULE_GBIT: float = 32.0
+
+    def __init__(
+        self,
+        workload: Workload,
+        sensitivity: DdrSensitivity,
+        ecc_enabled: bool = True,
+        seed: int = 2020,
+    ) -> None:
+        self.workload = workload
+        self.sensitivity = sensitivity
+        self.ecc_enabled = ecc_enabled
+        self.rng = np.random.default_rng(seed)
+        first_stage = workload.stage_names()[0]
+        space = workload.injection_space()[first_stage]
+        self._arrays: List[Tuple[str, int]] = [
+            (name, arr.size * arr.dtype.itemsize * 8)
+            for name, arr in space.items()
+        ]
+        self._first_stage = first_stage
+
+    @property
+    def footprint_bits(self) -> int:
+        """Bits of application state resident in the DDR region."""
+        return sum(bits for _, bits in self._arrays)
+
+    def _sigma_region_cm2(self) -> float:
+        """Cell-upset cross section of the resident footprint."""
+        per_bit = (
+            self.sensitivity.sigma_cell_per_gbit_cm2 / BITS_PER_GBIT
+        )
+        return per_bit * self.footprint_bits
+
+    def _draw_injection(self) -> Injection:
+        weights = np.asarray(
+            [bits for _, bits in self._arrays], dtype=float
+        )
+        weights /= weights.sum()
+        idx = int(self.rng.choice(len(self._arrays), p=weights))
+        name, bits = self._arrays[idx]
+        bit_address = int(self.rng.integers(bits))
+        # Recover element/bit from the flat bit address; the injector
+        # re-modulos against the live array, so element width is
+        # resolved there.
+        return Injection(
+            stage=self._first_stage,
+            array=name,
+            flat_index=bit_address // 8,  # resolved modulo size
+            bit=bit_address % 64,
+        )
+
+    def expose_and_run(
+        self,
+        thermal_flux_per_cm2_s: float,
+        duration_s: float,
+    ) -> MemoryExposureResult:
+        """Accumulate memory upsets over an exposure, then execute.
+
+        Args:
+            thermal_flux_per_cm2_s: thermal flux at the DIMM.
+            duration_s: time since the data was written/scrubbed.
+
+        Raises:
+            ValueError: on negative flux or non-positive duration.
+        """
+        if thermal_flux_per_cm2_s < 0.0:
+            raise ValueError(
+                "flux must be >= 0,"
+                f" got {thermal_flux_per_cm2_s}"
+            )
+        if duration_s <= 0.0:
+            raise ValueError(
+                f"duration must be positive, got {duration_s}"
+            )
+        fluence = thermal_flux_per_cm2_s * duration_s
+        upsets = sample_event_count(
+            self.rng, self._sigma_region_cm2(), fluence
+        )
+        # A SEFI only matters here if the burst lands in our region:
+        # scale the module-level SEFI cross section by the footprint
+        # fraction of the module.
+        sefi_sigma = (
+            self.sensitivity.sigma_sefi_cm2
+            * self.footprint_bits
+            / (self.MODULE_GBIT * BITS_PER_GBIT)
+        )
+        sefi_count = sample_event_count(
+            self.rng, sefi_sigma, fluence
+        )
+        if sefi_count > 0:
+            # Control-logic SEFI: uncorrectable burst, machine halts.
+            return MemoryExposureResult(
+                outcome=Outcome.DUE,
+                upsets=upsets,
+                corrected=0,
+                sefi=True,
+            )
+        if self.ecc_enabled:
+            # Every cell upset is single-bit -> SECDED corrects all.
+            return MemoryExposureResult(
+                outcome=Outcome.MASKED,
+                upsets=upsets,
+                corrected=upsets,
+                sefi=False,
+            )
+        injections = [self._draw_injection() for _ in range(upsets)]
+        try:
+            output = self.workload.execute(injections)
+        except DueError:
+            return MemoryExposureResult(
+                outcome=Outcome.DUE,
+                upsets=upsets,
+                corrected=0,
+                sefi=False,
+            )
+        return MemoryExposureResult(
+            outcome=self.workload.classify(output),
+            upsets=upsets,
+            corrected=0,
+            sefi=False,
+        )
+
+    def sdc_probability(
+        self,
+        thermal_flux_per_cm2_s: float,
+        duration_s: float,
+        n_runs: int = 50,
+    ) -> float:
+        """Monte Carlo SDC probability per execution window."""
+        if n_runs <= 0:
+            raise ValueError(
+                f"n_runs must be positive, got {n_runs}"
+            )
+        sdc = 0
+        for _ in range(n_runs):
+            result = self.expose_and_run(
+                thermal_flux_per_cm2_s, duration_s
+            )
+            if result.outcome is Outcome.SDC:
+                sdc += 1
+        return sdc / n_runs
+
+
+__all__ = ["MemoryBackedWorkload", "MemoryExposureResult"]

@@ -1,0 +1,120 @@
+"""DDR error taxonomy and per-generation sensitivity parameters.
+
+The paper's Section IV classifies DDR thermal-neutron errors into four
+categories (transient / intermittent / permanent / SEFI) and reports:
+
+* the DDR4 cross section is ~**one order of magnitude lower** than
+  DDR3;
+* **>95 %** of bit flips go in a single direction — **1->0 on DDR3**
+  and **0->1 on DDR4** (complementary cell logic);
+* permanent errors are **>50 %** of DDR4 errors but **<30 %** on DDR3;
+* all transient and intermittent errors were **single-bit** (SECDED
+  would catch them); SEFIs are multi-bit.
+
+Absolute cross sections are nominal (the paper anonymizes vendors);
+the DDR4/DDR3 ratio and the category/direction proportions are the
+published observables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class ErrorCategory(enum.Enum):
+    """The paper's four DDR error categories."""
+
+    TRANSIENT = "transient"
+    INTERMITTENT = "intermittent"
+    PERMANENT = "permanent"
+    SEFI = "sefi"
+
+
+class FlipDirection(enum.Enum):
+    """Bit-flip direction (the read/write loop distinguishes these)."""
+
+    ONE_TO_ZERO = "1->0"
+    ZERO_TO_ONE = "0->1"
+
+
+@dataclass(frozen=True)
+class DdrSensitivity:
+    """Thermal-neutron sensitivity of one DDR generation.
+
+    Attributes:
+        generation: 3 or 4.
+        sigma_cell_per_gbit_cm2: thermal cross section of cell upsets
+            (everything but SEFI), cm^2 per GBit.
+        sigma_sefi_cm2: thermal cross section of control-logic SEFIs,
+            cm^2 per module.
+        dominant_direction: the >95 % flip direction.
+        dominant_fraction: probability a flip goes the dominant way.
+        category_mix: probabilities of TRANSIENT/INTERMITTENT/PERMANENT
+            for a cell upset (SEFI is sampled separately).
+    """
+
+    generation: int
+    sigma_cell_per_gbit_cm2: float
+    sigma_sefi_cm2: float
+    dominant_direction: FlipDirection
+    dominant_fraction: float
+    category_mix: Dict[ErrorCategory, float]
+
+    def __post_init__(self) -> None:
+        if self.generation not in (3, 4):
+            raise ValueError(
+                f"only DDR3/DDR4 modelled, got {self.generation}"
+            )
+        if self.sigma_cell_per_gbit_cm2 < 0.0:
+            raise ValueError("cell cross section must be >= 0")
+        if self.sigma_sefi_cm2 < 0.0:
+            raise ValueError("SEFI cross section must be >= 0")
+        if not 0.5 <= self.dominant_fraction <= 1.0:
+            raise ValueError(
+                "dominant fraction must be in [0.5, 1],"
+                f" got {self.dominant_fraction}"
+            )
+        if ErrorCategory.SEFI in self.category_mix:
+            raise ValueError("SEFI is not part of the cell-upset mix")
+        total = sum(self.category_mix.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"category mix must sum to 1, got {total}"
+            )
+
+
+#: DDR3: 4 GB, 1.5 V, 1866 MHz, timings 10-11-10 (paper Section IV).
+DDR3_SENSITIVITY = DdrSensitivity(
+    generation=3,
+    sigma_cell_per_gbit_cm2=1.1e-9,
+    sigma_sefi_cm2=6.0e-11,
+    dominant_direction=FlipDirection.ONE_TO_ZERO,
+    dominant_fraction=0.96,
+    category_mix={
+        ErrorCategory.TRANSIENT: 0.45,
+        ErrorCategory.INTERMITTENT: 0.27,
+        ErrorCategory.PERMANENT: 0.28,
+    },
+)
+
+#: DDR4: 8 GB, 1.2 V, 2133 MHz, timings 13-15-15-28.
+DDR4_SENSITIVITY = DdrSensitivity(
+    generation=4,
+    sigma_cell_per_gbit_cm2=1.2e-10,
+    sigma_sefi_cm2=5.0e-11,
+    dominant_direction=FlipDirection.ZERO_TO_ONE,
+    dominant_fraction=0.97,
+    category_mix={
+        ErrorCategory.TRANSIENT: 0.26,
+        ErrorCategory.INTERMITTENT: 0.19,
+        ErrorCategory.PERMANENT: 0.55,
+    },
+)
+
+#: Sensitivities keyed by generation.
+DDR_SENSITIVITIES: Dict[int, DdrSensitivity] = {
+    3: DDR3_SENSITIVITY,
+    4: DDR4_SENSITIVITY,
+}

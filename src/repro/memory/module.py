@@ -1,0 +1,209 @@
+"""Sparse bit-level DDR module model.
+
+A real 8 GB module has 6.9e10 bits; only a handful ever go bad in an
+experiment, so the module tracks *defects*, not bits: reads return the
+written pattern except where an active fault says otherwise.  The four
+fault behaviours implement the paper's taxonomy:
+
+* **transient** — the cell reads wrong until it is rewritten, then is
+  healthy again;
+* **intermittent** — after the strike the cell sporadically (with a
+  per-read probability) returns the wrong value, surviving rewrites;
+* **permanent** — stuck-at: every read returns the stuck value, and
+  rewriting does not help;
+* **SEFI** — a control-logic upset corrupts a whole block of one read
+  burst; subsequent reads are correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.memory.errors import ErrorCategory, FlipDirection
+
+#: Bits per GBit — addresses are plain bit indices into the module.
+BITS_PER_GBIT = 2 ** 30
+
+
+@dataclass
+class CellFault:
+    """One struck memory cell.
+
+    Attributes:
+        address: bit address within the module.
+        category: ground-truth behaviour class.
+        direction: which way the cell flips.
+        intermittent_rate: per-read wrong-value probability for
+            INTERMITTENT cells.
+        pending: for TRANSIENT cells — True until the wrong value has
+            been read once (a transient is consumed by rewrite).
+    """
+
+    address: int
+    category: ErrorCategory
+    direction: FlipDirection
+    intermittent_rate: float = 0.35
+    pending: bool = True
+
+
+@dataclass
+class SefiFault:
+    """A control-logic upset affecting a block of addresses once.
+
+    Attributes:
+        start_address: first corrupted bit address.
+        span: number of consecutive bit addresses corrupted.
+        consumed: True once the burst has been observed.
+    """
+
+    start_address: int
+    span: int
+    consumed: bool = False
+
+
+class DdrModule:
+    """A DDR module under test.
+
+    Args:
+        generation: 3 or 4.
+        capacity_gbit: module capacity in GBit (paper: DDR3 = 32,
+            DDR4 = 64 — 4 GB and 8 GB modules).
+        pattern_bit: the background pattern written by the correct
+            loop: 1 for 0xFF banks, 0 for 0x00 banks.
+        rng: generator used for intermittent behaviour.
+    """
+
+    def __init__(
+        self,
+        generation: int,
+        capacity_gbit: float,
+        pattern_bit: int = 1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if generation not in (3, 4):
+            raise ValueError(
+                f"only DDR3/DDR4 modelled, got {generation}"
+            )
+        if capacity_gbit <= 0.0:
+            raise ValueError(
+                f"capacity must be positive, got {capacity_gbit}"
+            )
+        if pattern_bit not in (0, 1):
+            raise ValueError(
+                f"pattern bit must be 0 or 1, got {pattern_bit}"
+            )
+        self.generation = generation
+        self.capacity_gbit = capacity_gbit
+        self.pattern_bit = pattern_bit
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.cell_faults: Dict[int, CellFault] = {}
+        self.sefi_faults: List[SefiFault] = []
+
+    @property
+    def n_bits(self) -> int:
+        """Total bit count of the module."""
+        return int(self.capacity_gbit * BITS_PER_GBIT)
+
+    # ------------------------------------------------------------------
+    # Fault arrival
+    # ------------------------------------------------------------------
+
+    def strike_cell(
+        self,
+        category: ErrorCategory,
+        direction: FlipDirection,
+        address: int | None = None,
+    ) -> CellFault:
+        """Apply a particle strike to a (random) cell.
+
+        A strike whose flip direction matches the stored pattern is
+        *visible* to the correct loop; the tester decides visibility,
+        the module just records the defect.
+        """
+        if category is ErrorCategory.SEFI:
+            raise ValueError("use strike_sefi for SEFI events")
+        if address is None:
+            address = int(self.rng.integers(self.n_bits))
+        if not 0 <= address < self.n_bits:
+            raise ValueError(
+                f"address {address} outside module of {self.n_bits} bits"
+            )
+        fault = CellFault(
+            address=address, category=category, direction=direction
+        )
+        self.cell_faults[address] = fault
+        return fault
+
+    def strike_sefi(self, span: int = 4096) -> SefiFault:
+        """Apply a control-logic SEFI corrupting ``span`` bits once."""
+        if span <= 0:
+            raise ValueError(f"span must be positive, got {span}")
+        start = int(self.rng.integers(max(self.n_bits - span, 1)))
+        fault = SefiFault(start_address=start, span=span)
+        self.sefi_faults.append(fault)
+        return fault
+
+    # ------------------------------------------------------------------
+    # The read/write correct loop's view
+    # ------------------------------------------------------------------
+
+    def _flip_visible(self, direction: FlipDirection) -> bool:
+        """Would a flip in ``direction`` disturb the stored pattern?"""
+        if self.pattern_bit == 1:
+            return direction is FlipDirection.ONE_TO_ZERO
+        return direction is FlipDirection.ZERO_TO_ONE
+
+    def read_errors(self) -> Tuple[Set[int], List[SefiFault]]:
+        """One full read pass: which bit addresses read wrong?
+
+        Returns:
+            ``(bad_cell_addresses, sefi_bursts_observed_this_pass)``.
+            SEFI bursts are returned once and then consumed.
+        """
+        bad: Set[int] = set()
+        for addr, fault in self.cell_faults.items():
+            if not self._flip_visible(fault.direction):
+                continue
+            if fault.category is ErrorCategory.TRANSIENT:
+                if fault.pending:
+                    bad.add(addr)
+            elif fault.category is ErrorCategory.INTERMITTENT:
+                if self.rng.random() < fault.intermittent_rate:
+                    bad.add(addr)
+            elif fault.category is ErrorCategory.PERMANENT:
+                bad.add(addr)
+        bursts = []
+        for sefi in self.sefi_faults:
+            if not sefi.consumed:
+                sefi.consumed = True
+                bursts.append(sefi)
+        return bad, bursts
+
+    def rewrite(self) -> None:
+        """Rewrite the pattern (the loop's repair after an error).
+
+        Clears pending transients; permanent and intermittent defects
+        survive — that persistence is what the tester's classifier
+        keys on.
+        """
+        for fault in self.cell_faults.values():
+            if fault.category is ErrorCategory.TRANSIENT:
+                fault.pending = False
+
+    def anneal(self) -> int:
+        """Heat the device, repairing permanent displacement damage.
+
+        Returns the number of permanent faults removed (the paper
+        notes annealing can repair displacement damage).
+        """
+        permanent = [
+            a
+            for a, f in self.cell_faults.items()
+            if f.category is ErrorCategory.PERMANENT
+        ]
+        for addr in permanent:
+            del self.cell_faults[addr]
+        return len(permanent)

@@ -1,0 +1,139 @@
+"""Memory-scrubbing policy analysis.
+
+SECDED corrects any *single* bad bit per 72-bit word — but upsets
+accumulate.  If two independent single-bit upsets land in the same
+word between scrubs, the word becomes uncorrectable.  The scrub
+interval therefore trades bandwidth against the double-upset rate:
+
+    rate_double ~ (lambda_word^2 * T) / 2   per word, interval T
+
+with ``lambda_word`` the per-word upset rate.  This module computes the
+uncorrectable-error rate as a function of scrub interval and finds the
+interval that meets a FIT budget — the knob HPC operators actually
+turn, and a direct consumer of the paper's DDR cross sections.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.memory.errors import DdrSensitivity
+from repro.memory.module import BITS_PER_GBIT
+from repro.memory.ecc import WORD_DATA_BITS
+from repro.physics.units import HOURS_PER_BILLION
+
+
+@dataclass(frozen=True)
+class ScrubbingAnalysis:
+    """Double-upset exposure of a scrubbed ECC memory.
+
+    Attributes:
+        capacity_gbit: protected capacity.
+        upset_fit_per_gbit: single-bit upset rate, FIT/GBit (from the
+            DDR sensitivity x the site's thermal flux).
+        scrub_interval_h: time between full scrubs.
+    """
+
+    capacity_gbit: float
+    upset_fit_per_gbit: float
+    scrub_interval_h: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_gbit <= 0.0:
+            raise ValueError(
+                f"capacity must be positive, got {self.capacity_gbit}"
+            )
+        if self.upset_fit_per_gbit < 0.0:
+            raise ValueError(
+                "upset FIT must be >= 0,"
+                f" got {self.upset_fit_per_gbit}"
+            )
+        if self.scrub_interval_h <= 0.0:
+            raise ValueError(
+                "scrub interval must be positive,"
+                f" got {self.scrub_interval_h}"
+            )
+
+    @property
+    def n_words(self) -> float:
+        """Protected 64-bit data words."""
+        return self.capacity_gbit * BITS_PER_GBIT / WORD_DATA_BITS
+
+    @property
+    def word_upset_rate_per_h(self) -> float:
+        """Per-word single-bit upset rate, 1/h."""
+        per_gbit_rate = self.upset_fit_per_gbit / HOURS_PER_BILLION
+        return per_gbit_rate / (BITS_PER_GBIT / WORD_DATA_BITS)
+
+    def double_upset_rate_per_h(self) -> float:
+        """Fleet uncorrectable (2 upsets/word/interval) rate, 1/h.
+
+        Poisson within a word over one interval: P(>=2) ~ (lam*T)^2/2;
+        rate = n_words * P / T = n_words * lam^2 * T / 2.
+        """
+        lam = self.word_upset_rate_per_h
+        return (
+            self.n_words
+            * lam
+            * lam
+            * self.scrub_interval_h
+            / 2.0
+        )
+
+    def uncorrectable_fit(self) -> float:
+        """Uncorrectable-error FIT of the whole memory."""
+        return self.double_upset_rate_per_h() * HOURS_PER_BILLION
+
+
+def required_scrub_interval_h(
+    capacity_gbit: float,
+    upset_fit_per_gbit: float,
+    fit_budget: float,
+) -> float:
+    """Longest scrub interval meeting an uncorrectable-FIT budget.
+
+    Inverts :meth:`ScrubbingAnalysis.uncorrectable_fit`, which is
+    linear in the interval.
+
+    Raises:
+        ValueError: if the budget or rates are out of range.
+    """
+    if fit_budget <= 0.0:
+        raise ValueError(
+            f"FIT budget must be positive, got {fit_budget}"
+        )
+    if upset_fit_per_gbit <= 0.0:
+        return math.inf
+    probe = ScrubbingAnalysis(
+        capacity_gbit=capacity_gbit,
+        upset_fit_per_gbit=upset_fit_per_gbit,
+        scrub_interval_h=1.0,
+    )
+    per_hour_fit = probe.uncorrectable_fit()
+    if per_hour_fit == 0.0:
+        return math.inf
+    return fit_budget / per_hour_fit
+
+
+def upset_fit_per_gbit_from_sensitivity(
+    sensitivity: DdrSensitivity, thermal_flux_per_cm2_h: float
+) -> float:
+    """Single-bit upset FIT/GBit from a DDR sensitivity and a flux."""
+    if thermal_flux_per_cm2_h < 0.0:
+        raise ValueError(
+            "flux must be >= 0,"
+            f" got {thermal_flux_per_cm2_h}"
+        )
+    return (
+        sensitivity.sigma_cell_per_gbit_cm2
+        * thermal_flux_per_cm2_h
+        * HOURS_PER_BILLION
+    )
+
+
+__all__ = [
+    "ScrubbingAnalysis",
+    "required_scrub_interval_h",
+    "upset_fit_per_gbit_from_sensitivity",
+]

@@ -1,0 +1,326 @@
+"""The correct-loop DDR test harness (paper Section IV).
+
+Banks are set to 0xFF or 0x00 and continually read under beam; on a
+mismatch the error counters increment, the corrupted data is logged
+and the bank is rewritten.  Running both patterns makes both flip
+directions observable.  The tester then *classifies each bad address
+from its observed read history* — exactly like the real experiment,
+where ground truth is unknown:
+
+* seen in exactly one pass and cured by rewrite -> **transient**;
+* seen in every pass after first observation -> **permanent**;
+* anything else -> **intermittent**;
+* a whole corrupted block in a single pass -> **SEFI**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.poisson import poisson_interval
+from repro.faults.sampler import sample_event_count
+from repro.memory.errors import (
+    DdrSensitivity,
+    ErrorCategory,
+    FlipDirection,
+)
+from repro.memory.module import DdrModule
+
+
+@dataclass(frozen=True)
+class ObservedError:
+    """One classified error from the read history.
+
+    Attributes:
+        address: bit address (SEFI: start address).
+        category: classification inferred from the history.
+        direction: observed flip direction.
+        corrupted_bits: bits involved (1 for cells, burst size for
+            SEFIs).
+        first_pass: read pass of first observation.
+    """
+
+    address: int
+    category: ErrorCategory
+    direction: FlipDirection
+    corrupted_bits: int
+    first_pass: int
+
+
+@dataclass
+class DdrTestResult:
+    """Everything the DDR experiment reports.
+
+    Attributes:
+        generation: DDR generation tested.
+        capacity_gbit: module capacity.
+        fluence_per_cm2: thermal fluence delivered.
+        errors: the classified observations.
+        n_passes: read passes performed.
+    """
+
+    generation: int
+    capacity_gbit: float
+    fluence_per_cm2: float
+    errors: List[ObservedError] = field(default_factory=list)
+    n_passes: int = 0
+
+    # -- counting helpers ------------------------------------------------
+
+    def count(self, category: ErrorCategory) -> int:
+        """Observed errors in one category."""
+        return sum(1 for e in self.errors if e.category is category)
+
+    def count_direction(self, direction: FlipDirection) -> int:
+        """Observed non-SEFI errors with a given flip direction."""
+        return sum(
+            1
+            for e in self.errors
+            if e.direction is direction
+            and e.category is not ErrorCategory.SEFI
+        )
+
+    def dominant_direction_fraction(self) -> float:
+        """Fraction of cell errors in the more common direction."""
+        one = self.count_direction(FlipDirection.ONE_TO_ZERO)
+        zero = self.count_direction(FlipDirection.ZERO_TO_ONE)
+        total = one + zero
+        if total == 0:
+            raise ValueError("no cell errors observed")
+        return max(one, zero) / total
+
+    def single_bit_count(self) -> int:
+        """Errors involving exactly one bit."""
+        return sum(1 for e in self.errors if e.corrupted_bits == 1)
+
+    def multi_bit_count(self) -> int:
+        """Errors involving more than one bit (SEFIs)."""
+        return sum(1 for e in self.errors if e.corrupted_bits > 1)
+
+    # -- cross sections ----------------------------------------------------
+
+    def cross_section_per_gbit(
+        self, category: ErrorCategory
+    ) -> Tuple[float, float, float]:
+        """Cross section per GBit for one category, with 95 % CI.
+
+        Returns:
+            ``(sigma, lo, hi)`` in cm^2/GBit.
+        """
+        n = self.count(category)
+        denom = self.fluence_per_cm2 * self.capacity_gbit
+        if denom <= 0.0:
+            raise ValueError("no fluence delivered")
+        lo, hi = poisson_interval(n)
+        return n / denom, lo / denom, hi / denom
+
+    def total_cell_cross_section_per_gbit(self) -> float:
+        """Total non-SEFI cross section per GBit, cm^2."""
+        n = sum(
+            1
+            for e in self.errors
+            if e.category is not ErrorCategory.SEFI
+        )
+        return n / (self.fluence_per_cm2 * self.capacity_gbit)
+
+
+class CorrectLoopTester:
+    """Runs the correct-loop experiment on a virtual module pair.
+
+    Two modules are exposed — one filled with 0xFF, one with 0x00 — so
+    both flip directions are observable, mirroring the paper's
+    alternating-pattern loop.
+
+    Args:
+        sensitivity: per-generation sensitivity parameters.
+        capacity_gbit: module capacity, GBit.
+        seed: RNG seed (deterministic campaigns).
+    """
+
+    def __init__(
+        self,
+        sensitivity: DdrSensitivity,
+        capacity_gbit: float,
+        seed: int = 2020,
+    ) -> None:
+        self.sensitivity = sensitivity
+        self.capacity_gbit = capacity_gbit
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def _sample_category(self) -> ErrorCategory:
+        mix = self.sensitivity.category_mix
+        cats = list(mix)
+        probs = np.asarray([mix[c] for c in cats])
+        return cats[int(self.rng.choice(len(cats), p=probs))]
+
+    def _sample_direction(self) -> FlipDirection:
+        if self.rng.random() < self.sensitivity.dominant_fraction:
+            return self.sensitivity.dominant_direction
+        if (
+            self.sensitivity.dominant_direction
+            is FlipDirection.ONE_TO_ZERO
+        ):
+            return FlipDirection.ZERO_TO_ONE
+        return FlipDirection.ONE_TO_ZERO
+
+    def run(
+        self,
+        flux_per_cm2_s: float,
+        duration_s: float,
+        n_passes: int = 40,
+    ) -> DdrTestResult:
+        """Expose the module pair and classify what the loop saw.
+
+        Args:
+            flux_per_cm2_s: thermal beam flux.
+            duration_s: exposure time.
+            n_passes: read passes across the exposure.
+
+        Returns:
+            A :class:`DdrTestResult` with classified errors.
+        """
+        if flux_per_cm2_s < 0.0:
+            raise ValueError(
+                f"flux must be >= 0, got {flux_per_cm2_s}"
+            )
+        if duration_s <= 0.0:
+            raise ValueError(
+                f"duration must be positive, got {duration_s}"
+            )
+        if n_passes < 2:
+            raise ValueError(
+                f"need >= 2 read passes, got {n_passes}"
+            )
+        fluence = flux_per_cm2_s * duration_s
+        modules = {
+            1: DdrModule(
+                self.sensitivity.generation,
+                self.capacity_gbit,
+                pattern_bit=1,
+                rng=self.rng,
+            ),
+            0: DdrModule(
+                self.sensitivity.generation,
+                self.capacity_gbit,
+                pattern_bit=0,
+                rng=self.rng,
+            ),
+        }
+
+        # Total strikes over the whole exposure, split across passes.
+        sigma_cells = (
+            self.sensitivity.sigma_cell_per_gbit_cm2 * self.capacity_gbit
+        )
+        n_cell = sample_event_count(self.rng, sigma_cells, fluence)
+        n_sefi = sample_event_count(
+            self.rng, self.sensitivity.sigma_sefi_cm2, fluence
+        )
+        cell_pass = self.rng.integers(0, n_passes, size=n_cell)
+        sefi_pass = self.rng.integers(0, n_passes, size=n_sefi)
+
+        history: Dict[Tuple[int, int], List[int]] = {}
+        directions: Dict[Tuple[int, int], FlipDirection] = {}
+        sefi_seen: List[Tuple[int, SefiObservation]] = []
+
+        result = DdrTestResult(
+            generation=self.sensitivity.generation,
+            capacity_gbit=self.capacity_gbit,
+            fluence_per_cm2=fluence,
+            n_passes=n_passes,
+        )
+
+        for pass_idx in range(n_passes):
+            # Strikes that arrive before this pass.
+            for _ in range(int((cell_pass == pass_idx).sum())):
+                direction = self._sample_direction()
+                # A 1->0 upset can only happen to a cell storing a 1:
+                # the strike lands in the pattern half that holds the
+                # vulnerable value, so every sampled event is visible
+                # and the measured cross section matches the
+                # sensitivity's (measured) value.
+                half = (
+                    1
+                    if direction is FlipDirection.ONE_TO_ZERO
+                    else 0
+                )
+                fault = modules[half].strike_cell(
+                    self._sample_category(), direction
+                )
+                directions[(half, fault.address)] = direction
+            for _ in range(int((sefi_pass == pass_idx).sum())):
+                half = int(self.rng.integers(2))
+                span = int(self.rng.integers(2, 4096))
+                modules[half].strike_sefi(span)
+
+            for half, module in modules.items():
+                bad, bursts = module.read_errors()
+                for addr in bad:
+                    history.setdefault((half, addr), []).append(
+                        pass_idx
+                    )
+                for sefi in bursts:
+                    sefi_seen.append(
+                        (
+                            half,
+                            SefiObservation(
+                                start=sefi.start_address,
+                                span=sefi.span,
+                                pass_idx=pass_idx,
+                            ),
+                        )
+                    )
+                if bad or bursts:
+                    module.rewrite()
+
+        # ---- classification from observed histories ----
+        for (half, addr), passes in history.items():
+            first = passes[0]
+            direction = directions.get(
+                (half, addr),
+                modules[half].cell_faults[addr].direction,
+            )
+            if len(passes) == 1:
+                category = ErrorCategory.TRANSIENT
+            elif passes == list(range(first, n_passes)):
+                category = ErrorCategory.PERMANENT
+            else:
+                category = ErrorCategory.INTERMITTENT
+            result.errors.append(
+                ObservedError(
+                    address=addr,
+                    category=category,
+                    direction=direction,
+                    corrupted_bits=1,
+                    first_pass=first,
+                )
+            )
+        for half, obs in sefi_seen:
+            direction = (
+                FlipDirection.ONE_TO_ZERO
+                if half == 1
+                else FlipDirection.ZERO_TO_ONE
+            )
+            result.errors.append(
+                ObservedError(
+                    address=obs.start,
+                    category=ErrorCategory.SEFI,
+                    direction=direction,
+                    corrupted_bits=obs.span,
+                    first_pass=obs.pass_idx,
+                )
+            )
+        return result
+
+
+@dataclass(frozen=True)
+class SefiObservation:
+    """A SEFI burst as seen by one read pass."""
+
+    start: int
+    span: int
+    pass_idx: int

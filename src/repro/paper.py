@@ -1,0 +1,162 @@
+"""Every number the paper publishes, in one place.
+
+The calibration constants are scattered across the modules that use
+them; this registry collects the *published* values with their source
+section, so benches, tests and docs cite a single source of truth.
+Values are exactly as printed in the paper (DSN 2020).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PaperValue:
+    """One published number.
+
+    Attributes:
+        value: the number as printed.
+        units: physical units ("" for ratios/fractions).
+        source: paper section/figure.
+        note: what it means.
+    """
+
+    value: float
+    units: str
+    source: str
+    note: str
+
+
+#: Registry keyed by a stable slug.
+PAPER_VALUES: Dict[str, PaperValue] = {
+    # --- Section III-C: beamlines ---
+    "chipir_flux_above_10mev": PaperValue(
+        5.4e6, "n/cm^2/s", "Sec. III-C",
+        "ChipIR flux with neutron energy above 10 MeV",
+    ),
+    "chipir_thermal_flux": PaperValue(
+        4.0e5, "n/cm^2/s", "Sec. III-C",
+        "ChipIR thermal (E < 0.5 eV) component",
+    ),
+    "rotax_thermal_flux": PaperValue(
+        2.72e6, "n/cm^2/s", "Sec. III-C",
+        "ROTAX thermal beam flux",
+    ),
+    "thermal_cutoff": PaperValue(
+        0.5, "eV", "Sec. II-A",
+        "upper bound of the thermal band (cadmium cutoff)",
+    ),
+    # --- Section II / V: boron and ratios ---
+    "b10_natural_abundance": PaperValue(
+        0.20, "", "Sec. II",
+        "approximately 20% of naturally occurring boron is 10B",
+    ),
+    "bpsg_error_multiplier": PaperValue(
+        8.0, "", "Sec. II (history)",
+        "BPSG-era 10B increased the device error rate by 8x",
+    ),
+    "xeonphi_sdc_ratio": PaperValue(
+        10.14, "", "Fig. 4",
+        "Xeon Phi high-energy/thermal SDC cross-section ratio",
+    ),
+    "xeonphi_due_ratio": PaperValue(
+        6.37, "", "Fig. 4",
+        "Xeon Phi high-energy/thermal DUE cross-section ratio",
+    ),
+    "apu_cpu_gpu_due_ratio": PaperValue(
+        1.18, "", "Fig. 4 / Sec. V",
+        "APU CPU+GPU DUE ratio — thermals nearly as dangerous",
+    ),
+    "fpga_sdc_ratio": PaperValue(
+        2.33, "", "Sec. V",
+        "FPGA SDC cross-section ratio",
+    ),
+    # --- Section IV: DDR ---
+    "ddr_direction_dominance": PaperValue(
+        0.95, "", "Sec. IV",
+        "more than 95% of errors in one flip direction",
+    ),
+    "ddr4_permanent_share_min": PaperValue(
+        0.50, "", "Sec. IV",
+        "permanent errors exceed 50% of DDR4 errors",
+    ),
+    "ddr3_permanent_share_max": PaperValue(
+        0.30, "", "Sec. IV",
+        "permanent errors below 30% of DDR3 errors",
+    ),
+    # --- Section VI: fluxes and environment ---
+    "water_thermal_enhancement": PaperValue(
+        0.24, "", "Fig. 5 / Sec. VI",
+        "2 inches of water raise thermal counts by ~24%",
+    ),
+    "concrete_thermal_enhancement": PaperValue(
+        0.20, "", "Sec. VI (literature)",
+        "concrete slab raises thermal rates by up to 20%",
+    ),
+    "machine_room_adjustment": PaperValue(
+        0.44, "", "Sec. VI",
+        "overall thermal-flux increase applied to FIT graphs",
+    ),
+    "rain_thermal_multiplier": PaperValue(
+        2.0, "", "Sec. VI (Ziegler)",
+        "thunderstorm thermal flux up to 2x a sunny day",
+    ),
+    "max_thermal_fit_share": PaperValue(
+        0.40, "", "Sec. VII",
+        "thermal contribution to total error rate up to 40%",
+    ),
+    "xeonphi_nyc_sdc_share": PaperValue(
+        0.042, "", "Sec. VI",
+        "Xeon Phi thermal share of SDC FIT at NYC",
+    ),
+    "xeonphi_leadville_due_share": PaperValue(
+        0.106, "", "Sec. VI",
+        "Xeon Phi thermal share of DUE FIT at Leadville",
+    ),
+    "k20_leadville_sdc_share": PaperValue(
+        0.29, "", "Sec. VI",
+        "K20 thermal share of SDC FIT at Leadville",
+    ),
+    "apu_leadville_due_share": PaperValue(
+        0.39, "", "Sec. VI",
+        "APU CPU+GPU thermal share of DUE FIT at Leadville",
+    ),
+}
+
+
+def paper_value(slug: str) -> float:
+    """The published number for a slug.
+
+    Raises:
+        KeyError: listing valid slugs.
+    """
+    try:
+        return PAPER_VALUES[slug].value
+    except KeyError:
+        raise KeyError(
+            f"unknown paper value {slug!r}; valid:"
+            f" {sorted(PAPER_VALUES)}"
+        ) from None
+
+
+def citation(slug: str) -> str:
+    """Human-readable citation line for a slug."""
+    entry = PAPER_VALUES[slug]
+    units = f" {entry.units}" if entry.units else ""
+    return f"{entry.value}{units} ({entry.source}): {entry.note}"
+
+
+def all_anchors() -> Tuple[str, ...]:
+    """All registered slugs, sorted."""
+    return tuple(sorted(PAPER_VALUES))
+
+
+__all__ = [
+    "PAPER_VALUES",
+    "PaperValue",
+    "all_anchors",
+    "citation",
+    "paper_value",
+]

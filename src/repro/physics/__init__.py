@@ -1,0 +1,120 @@
+"""Nuclear-physics substrate shared by every other subsystem.
+
+This package provides the minimal — but physically meaningful — set of
+primitives the reproduction needs:
+
+* :mod:`repro.physics.units` — unit constants and conversion helpers
+  (energies in eV internally, fluxes in n/cm^2/s, FIT bookkeeping).
+* :mod:`repro.physics.constants` — physical constants.
+* :mod:`repro.physics.isotopes` — isotope/element/material composition
+  data including thermal capture cross sections.
+* :mod:`repro.physics.reactions` — neutron capture reactions relevant to
+  the paper: ``10B(n,alpha)7Li`` (the error mechanism) and
+  ``3He(n,p)3H`` (the Tin-II detector mechanism).
+* :mod:`repro.physics.interactions` — microscopic interaction laws:
+  the 1/v capture law, elastic-scattering kinematics, and lethargy.
+* :mod:`repro.physics.charge` — charge deposition by the capture
+  products and the critical-charge upset criterion.
+"""
+
+from repro.physics.units import (
+    EV,
+    KEV,
+    MEV,
+    BARN_CM2,
+    THERMAL_ENERGY_EV,
+    THERMAL_CUTOFF_EV,
+    FAST_CUTOFF_EV,
+    HOURS_PER_BILLION,
+    SECONDS_PER_HOUR,
+    ev_to_mev,
+    mev_to_ev,
+    barns_to_cm2,
+    cm2_to_barns,
+    per_second_to_per_hour,
+    per_hour_to_per_second,
+    fit_from_rate_per_hour,
+    rate_per_hour_from_fit,
+)
+from repro.physics.constants import (
+    NEUTRON_MASS_MEV,
+    AVOGADRO,
+    BOLTZMANN_EV_PER_K,
+    ROOM_TEMPERATURE_K,
+    ELECTRON_CHARGE_FC,
+    SILICON_EHP_ENERGY_EV,
+)
+from repro.physics.isotopes import (
+    Isotope,
+    Element,
+    ISOTOPES,
+    ELEMENTS,
+    isotope,
+    element,
+)
+from repro.physics.reactions import (
+    CaptureReaction,
+    ReactionBranch,
+    B10_N_ALPHA,
+    HE3_N_P,
+    CD113_N_GAMMA,
+)
+from repro.physics.interactions import (
+    one_over_v_cross_section,
+    elastic_alpha,
+    average_lethargy_gain,
+    collisions_to_thermalize,
+    scattered_energy,
+)
+from repro.physics.charge import (
+    collected_charge_fc,
+    deposited_charge_fc,
+    CriticalCharge,
+    upset_probability,
+)
+
+__all__ = [
+    "EV",
+    "KEV",
+    "MEV",
+    "BARN_CM2",
+    "THERMAL_ENERGY_EV",
+    "THERMAL_CUTOFF_EV",
+    "FAST_CUTOFF_EV",
+    "HOURS_PER_BILLION",
+    "SECONDS_PER_HOUR",
+    "ev_to_mev",
+    "mev_to_ev",
+    "barns_to_cm2",
+    "cm2_to_barns",
+    "per_second_to_per_hour",
+    "per_hour_to_per_second",
+    "fit_from_rate_per_hour",
+    "rate_per_hour_from_fit",
+    "NEUTRON_MASS_MEV",
+    "AVOGADRO",
+    "BOLTZMANN_EV_PER_K",
+    "ROOM_TEMPERATURE_K",
+    "ELECTRON_CHARGE_FC",
+    "SILICON_EHP_ENERGY_EV",
+    "Isotope",
+    "Element",
+    "ISOTOPES",
+    "ELEMENTS",
+    "isotope",
+    "element",
+    "CaptureReaction",
+    "ReactionBranch",
+    "B10_N_ALPHA",
+    "HE3_N_P",
+    "CD113_N_GAMMA",
+    "one_over_v_cross_section",
+    "elastic_alpha",
+    "average_lethargy_gain",
+    "collisions_to_thermalize",
+    "scattered_energy",
+    "collected_charge_fc",
+    "deposited_charge_fc",
+    "CriticalCharge",
+    "upset_probability",
+]

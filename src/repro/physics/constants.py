@@ -1,0 +1,24 @@
+"""Physical constants used by the transport, reaction and charge models."""
+
+from __future__ import annotations
+
+#: Neutron rest mass in MeV/c^2.
+NEUTRON_MASS_MEV: float = 939.565
+
+#: Avogadro's number, 1/mol.
+AVOGADRO: float = 6.02214076e23
+
+#: Boltzmann constant in eV/K.
+BOLTZMANN_EV_PER_K: float = 8.617333262e-5
+
+#: Reference "room" temperature for thermal spectra, in kelvin.
+#: 293.6 K makes kT equal the conventional 0.0253 eV thermal point.
+ROOM_TEMPERATURE_K: float = 293.6
+
+#: Elementary charge expressed in femtocoulombs (charge-collection unit
+#: used by the SEU literature: Qcrit values are quoted in fC).
+ELECTRON_CHARGE_FC: float = 1.602176634e-4
+
+#: Mean energy to create one electron-hole pair in silicon, in eV.
+#: The canonical value is 3.6 eV/pair.
+SILICON_EHP_ENERGY_EV: float = 3.6

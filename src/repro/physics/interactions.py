@@ -1,0 +1,97 @@
+"""Microscopic interaction laws: 1/v capture and elastic scattering.
+
+These closed forms drive both the slowing-down Monte Carlo
+(:mod:`repro.transport`) and the spectrum-folding integrals
+(:mod:`repro.spectra`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.physics.units import THERMAL_ENERGY_EV
+
+
+def one_over_v_cross_section(
+    sigma_thermal_b: float, energy_ev: float
+) -> float:
+    """Capture cross section at ``energy_ev`` under the 1/v law, barns.
+
+    ``sigma(E) = sigma(E0) * sqrt(E0 / E)`` with ``E0 = 0.0253 eV``.
+    Neutron speed scales as ``sqrt(E)``, so a capture probability
+    proportional to the time spent near the nucleus scales as
+    ``1/sqrt(E)``.
+
+    Args:
+        sigma_thermal_b: cross section at 0.0253 eV, barns.
+        energy_ev: neutron energy, eV; must be positive.
+
+    Raises:
+        ValueError: if ``energy_ev`` is not positive.
+    """
+    if energy_ev <= 0.0:
+        raise ValueError(f"energy must be positive, got {energy_ev}")
+    return sigma_thermal_b * math.sqrt(THERMAL_ENERGY_EV / energy_ev)
+
+
+def elastic_alpha(mass_number: int) -> float:
+    """Minimum retained energy fraction after elastic scattering.
+
+    See :attr:`repro.physics.isotopes.Isotope.elastic_alpha`; exposed as
+    a free function for callers that only have a mass number.
+    """
+    if mass_number < 1:
+        raise ValueError(f"mass number must be >= 1, got {mass_number}")
+    a = float(mass_number)
+    return ((a - 1.0) / (a + 1.0)) ** 2
+
+
+def scattered_energy(energy_ev: float, mass_number: int, u: float) -> float:
+    """Energy after one isotropic (CM) elastic collision.
+
+    In the centre-of-mass frame the post-collision energy is uniform on
+    ``[alpha * E, E]``; ``u`` is a uniform variate in [0, 1).
+
+    Args:
+        energy_ev: incident energy, eV.
+        mass_number: target nucleus ``A``.
+        u: uniform random variate.
+
+    Returns:
+        The outgoing energy in eV.
+    """
+    alpha = elastic_alpha(mass_number)
+    return energy_ev * (alpha + (1.0 - alpha) * u)
+
+
+def average_lethargy_gain(mass_number: int) -> float:
+    """Mean lethargy gain per collision, the moderation parameter xi.
+
+    ``xi = 1 + alpha * ln(alpha) / (1 - alpha)``; hydrogen gives
+    ``xi = 1`` exactly, heavy nuclei give ``xi ~ 2 / (A + 2/3)``.
+    """
+    alpha = elastic_alpha(mass_number)
+    if alpha == 0.0:
+        return 1.0
+    return 1.0 + alpha * math.log(alpha) / (1.0 - alpha)
+
+
+def collisions_to_thermalize(
+    mass_number: int,
+    start_ev: float = 2.0e6,
+    end_ev: float = THERMAL_ENERGY_EV,
+) -> float:
+    """Expected elastic collisions to slow from ``start_ev`` to ``end_ev``.
+
+    ``n = ln(E_start / E_end) / xi``.  For hydrogen from 2 MeV to
+    thermal this is ~18 collisions — the "10-20 interactions" the paper
+    quotes for atmospheric thermalization.
+
+    Raises:
+        ValueError: if the energies are not positive or not descending.
+    """
+    if start_ev <= 0.0 or end_ev <= 0.0:
+        raise ValueError("energies must be positive")
+    if end_ev >= start_ev:
+        raise ValueError("end energy must be below start energy")
+    return math.log(start_ev / end_ev) / average_lethargy_gain(mass_number)

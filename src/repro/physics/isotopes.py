@@ -1,0 +1,182 @@
+"""Isotope and element data.
+
+Only the nuclides the reproduction actually touches are tabulated:
+
+* the upset mechanism: boron (natural, 19.9 % ``10B``), silicon, oxygen;
+* moderators: hydrogen, oxygen, carbon, calcium (water / concrete /
+  polyethylene);
+* absorbers: ``10B``, ``113Cd`` (cadmium shield), ``3He`` (detector gas);
+* nitrogen for air.
+
+Thermal capture cross sections are the 2200 m/s (0.0253 eV) values from
+the standard nuclear-data compilations, in barns.  Scattering cross
+sections are free-atom epithermal values, adequate for the slowing-down
+Monte Carlo in :mod:`repro.transport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Isotope:
+    """A single nuclide.
+
+    Attributes:
+        name: conventional label, e.g. ``"B10"``.
+        mass_number: nucleon count ``A`` (sets elastic-scattering
+            kinematics).
+        atomic_mass: atomic mass in g/mol (close to ``A`` but kept
+            separate for number-density arithmetic).
+        abundance: natural isotopic abundance as a fraction of the
+            element, in [0, 1].
+        sigma_capture_thermal_b: (n, capture) cross section at
+            0.0253 eV, barns.  Includes (n,alpha) for B10 and (n,p)
+            for He3 — i.e. the dominant absorption channel.
+        sigma_scatter_b: free-atom elastic scattering cross section,
+            barns (epithermal plateau value).
+    """
+
+    name: str
+    mass_number: int
+    atomic_mass: float
+    abundance: float
+    sigma_capture_thermal_b: float
+    sigma_scatter_b: float
+
+    @property
+    def elastic_alpha(self) -> float:
+        """Minimum energy fraction retained after elastic scattering.
+
+        ``alpha = ((A - 1) / (A + 1))^2``: a neutron scattering off a
+        nucleus of mass number ``A`` keeps between ``alpha * E`` and
+        ``E`` of its energy.  Hydrogen (``A = 1``) gives ``alpha = 0``:
+        a single collision can stop the neutron entirely, which is why
+        water is such an effective moderator.
+        """
+        a = float(self.mass_number)
+        return ((a - 1.0) / (a + 1.0)) ** 2
+
+
+@dataclass(frozen=True)
+class Element:
+    """A natural element: weighted mixture of isotopes.
+
+    Attributes:
+        symbol: chemical symbol.
+        isotopes: the tabulated isotopes with abundances summing to
+            (approximately) one.  Trace isotopes may be folded into the
+            dominant one.
+    """
+
+    symbol: str
+    isotopes: Tuple[Isotope, ...] = field(default_factory=tuple)
+
+    @property
+    def atomic_mass(self) -> float:
+        """Abundance-weighted atomic mass, g/mol."""
+        return sum(i.atomic_mass * i.abundance for i in self.isotopes)
+
+    @property
+    def sigma_capture_thermal_b(self) -> float:
+        """Abundance-weighted thermal capture cross section, barns."""
+        return sum(
+            i.sigma_capture_thermal_b * i.abundance for i in self.isotopes
+        )
+
+    @property
+    def sigma_scatter_b(self) -> float:
+        """Abundance-weighted scattering cross section, barns."""
+        return sum(i.sigma_scatter_b * i.abundance for i in self.isotopes)
+
+
+def _iso(
+    name: str,
+    a: int,
+    mass: float,
+    abundance: float,
+    capture: float,
+    scatter: float,
+) -> Isotope:
+    return Isotope(
+        name=name,
+        mass_number=a,
+        atomic_mass=mass,
+        abundance=abundance,
+        sigma_capture_thermal_b=capture,
+        sigma_scatter_b=scatter,
+    )
+
+
+#: All tabulated isotopes, keyed by label.
+ISOTOPES: Dict[str, Isotope] = {
+    i.name: i
+    for i in [
+        _iso("H1", 1, 1.008, 0.99985, 0.332, 20.5),
+        _iso("H2", 2, 2.014, 0.00015, 0.000519, 3.39),
+        _iso("B10", 10, 10.013, 0.199, 3837.0, 2.23),
+        _iso("B11", 11, 11.009, 0.801, 0.0055, 4.84),
+        _iso("C12", 12, 12.000, 0.989, 0.00353, 4.74),
+        _iso("C13", 13, 13.003, 0.011, 0.00137, 4.19),
+        _iso("N14", 14, 14.003, 0.9964, 1.91, 10.05),
+        _iso("O16", 16, 15.995, 0.9976, 0.00019, 3.78),
+        _iso("O18", 18, 17.999, 0.0024, 0.00016, 3.2),
+        _iso("Na23", 23, 22.990, 1.0, 0.53, 3.28),
+        _iso("Al27", 27, 26.982, 1.0, 0.231, 1.41),
+        _iso("Si28", 28, 27.977, 0.9223, 0.177, 2.12),
+        _iso("Si29", 29, 28.976, 0.0467, 0.101, 2.78),
+        _iso("Si30", 30, 29.974, 0.031, 0.107, 2.64),
+        _iso("Ca40", 40, 39.963, 0.96941, 0.41, 2.9),
+        _iso("Fe56", 56, 55.935, 0.9175, 2.59, 12.42),
+        # He3: the detector gas. Essentially zero natural abundance in
+        # helium; used as a pure gas so abundance is set to 1.
+        _iso("He3", 3, 3.016, 1.0, 5333.0, 3.1),
+        _iso("He4", 4, 4.003, 1.0, 0.0, 0.76),
+        # Cd113 carries effectively all of cadmium's thermal capture.
+        _iso("Cd113", 113, 112.904, 0.1222, 20600.0, 5.0),
+        _iso("Cd114", 114, 113.903, 0.8778, 0.34, 5.0),
+    ]
+}
+
+
+def isotope(name: str) -> Isotope:
+    """Look up an isotope by its label, e.g. ``"B10"``.
+
+    Raises:
+        KeyError: if the nuclide is not tabulated.
+    """
+    return ISOTOPES[name]
+
+
+def _elem(symbol: str, names: List[str]) -> Element:
+    return Element(symbol=symbol, isotopes=tuple(ISOTOPES[n] for n in names))
+
+
+#: Natural elements assembled from the isotope table.
+ELEMENTS: Dict[str, Element] = {
+    e.symbol: e
+    for e in [
+        _elem("H", ["H1", "H2"]),
+        _elem("B", ["B10", "B11"]),
+        _elem("C", ["C12", "C13"]),
+        _elem("N", ["N14"]),
+        _elem("O", ["O16", "O18"]),
+        _elem("Na", ["Na23"]),
+        _elem("Al", ["Al27"]),
+        _elem("Si", ["Si28", "Si29", "Si30"]),
+        _elem("Ca", ["Ca40"]),
+        _elem("Fe", ["Fe56"]),
+        _elem("Cd", ["Cd113", "Cd114"]),
+    ]
+}
+
+
+def element(symbol: str) -> Element:
+    """Look up a natural element by symbol, e.g. ``"B"``.
+
+    Raises:
+        KeyError: if the element is not tabulated.
+    """
+    return ELEMENTS[symbol]

@@ -1,0 +1,121 @@
+"""Neutron capture reactions relevant to the paper.
+
+The paper's error mechanism is thermal-neutron capture on ``10B``::
+
+    10B + n -> 7Li (0.84 MeV) + alpha (1.47 MeV) + gamma (0.478 MeV)   [93.7 %]
+    10B + n -> 7Li (1.015 MeV) + alpha (1.777 MeV)                      [6.3 %]
+
+Both the lithium recoil and the alpha deposit enough charge in a modern
+sensitive volume to upset a bit.  The Tin-II detector instead exploits::
+
+    3He + n -> 3H (0.191 MeV) + p (0.573 MeV)
+
+and the cadmium shield works through radiative capture on ``113Cd``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.physics.interactions import one_over_v_cross_section
+from repro.physics.isotopes import Isotope, isotope
+
+
+@dataclass(frozen=True)
+class ReactionBranch:
+    """One exit channel of a capture reaction.
+
+    Attributes:
+        probability: branching ratio in [0, 1].
+        products: (label, kinetic energy in MeV) for each charged
+            product.  Gammas are listed too but deposit negligible
+            local charge; callers filter by ``charged_products``.
+    """
+
+    probability: float
+    products: Tuple[Tuple[str, float], ...]
+
+    @property
+    def charged_products(self) -> Tuple[Tuple[str, float], ...]:
+        """Products that deposit dense local charge (not gammas)."""
+        return tuple(p for p in self.products if not p[0].startswith("gamma"))
+
+    @property
+    def charged_energy_mev(self) -> float:
+        """Total kinetic energy carried by charged products, MeV."""
+        return sum(e for _, e in self.charged_products)
+
+
+@dataclass(frozen=True)
+class CaptureReaction:
+    """A thermal-capture reaction on a specific target nuclide.
+
+    Attributes:
+        target: the capturing isotope.
+        branches: exit channels, probabilities summing to one.
+    """
+
+    target: Isotope
+    branches: Tuple[ReactionBranch, ...]
+
+    def cross_section_b(self, energy_ev: float) -> float:
+        """Capture cross section at ``energy_ev``, barns (1/v law).
+
+        The 1/v law is an excellent approximation for B10, He3 and Cd
+        below ~1 keV, which covers the entire thermal and epithermal
+        range this library folds against.
+        """
+        return one_over_v_cross_section(
+            self.target.sigma_capture_thermal_b, energy_ev
+        )
+
+    def mean_charged_energy_mev(self) -> float:
+        """Branch-weighted charged-product energy per capture, MeV."""
+        return sum(
+            b.probability * b.charged_energy_mev for b in self.branches
+        )
+
+    def sample_branch(self, u: float) -> ReactionBranch:
+        """Pick a branch from a uniform variate ``u`` in [0, 1)."""
+        acc = 0.0
+        for branch in self.branches:
+            acc += branch.probability
+            if u < acc:
+                return branch
+        return self.branches[-1]
+
+
+#: 10B(n,alpha)7Li — the mechanism that makes COTS parts thermal-soft.
+B10_N_ALPHA = CaptureReaction(
+    target=isotope("B10"),
+    branches=(
+        ReactionBranch(
+            probability=0.937,
+            products=(("Li7", 0.840), ("alpha", 1.470), ("gamma", 0.478)),
+        ),
+        ReactionBranch(
+            probability=0.063,
+            products=(("Li7", 1.015), ("alpha", 1.777)),
+        ),
+    ),
+)
+
+#: 3He(n,p)3H — the Tin-II detector reaction.
+HE3_N_P = CaptureReaction(
+    target=isotope("He3"),
+    branches=(
+        ReactionBranch(
+            probability=1.0,
+            products=(("triton", 0.191), ("proton", 0.573)),
+        ),
+    ),
+)
+
+#: 113Cd(n,gamma) — why a cadmium sheet blanks the thermal band.
+CD113_N_GAMMA = CaptureReaction(
+    target=isotope("Cd113"),
+    branches=(
+        ReactionBranch(probability=1.0, products=(("gamma", 9.043),)),
+    ),
+)

@@ -1,0 +1,85 @@
+"""Unit constants and conversions.
+
+Internal conventions used throughout the library:
+
+* energies are **electron-volts** (eV);
+* microscopic cross sections are **barns** at API boundaries and cm^2
+  internally;
+* device cross sections are **cm^2** (per device or per GBit, stated at
+  each call site);
+* fluxes are **n / cm^2 / s** for beamlines and **n / cm^2 / h** for the
+  natural environment (the unit the FIT literature uses);
+* error rates are **FIT** — failures per 10^9 device-hours.
+"""
+
+from __future__ import annotations
+
+#: One electron-volt, the base energy unit (dimensionless scale anchor).
+EV: float = 1.0
+
+#: Kilo-electron-volt in eV.
+KEV: float = 1.0e3
+
+#: Mega-electron-volt in eV.
+MEV: float = 1.0e6
+
+#: One barn expressed in cm^2.
+BARN_CM2: float = 1.0e-24
+
+#: The most probable energy of a Maxwellian thermal spectrum at 293.6 K.
+#: Nuclear data tabulates "thermal" cross sections at this energy.
+THERMAL_ENERGY_EV: float = 0.0253
+
+#: Cadmium cutoff: the conventional upper bound of the "thermal" band.
+#: The paper uses E < 0.5 eV for the thermal component of beam fluxes.
+THERMAL_CUTOFF_EV: float = 0.5
+
+#: Conventional lower bound for the "high-energy" band used when quoting
+#: atmospheric-like fluxes (JEDEC JESD89A quotes flux above 10 MeV).
+FAST_CUTOFF_EV: float = 10.0e6
+
+#: Device-hours in one FIT denominator.
+HOURS_PER_BILLION: float = 1.0e9
+
+#: Seconds per hour, for beam (per-second) vs field (per-hour) fluxes.
+SECONDS_PER_HOUR: float = 3600.0
+
+
+def ev_to_mev(energy_ev: float) -> float:
+    """Convert an energy from eV to MeV."""
+    return energy_ev / MEV
+
+
+def mev_to_ev(energy_mev: float) -> float:
+    """Convert an energy from MeV to eV."""
+    return energy_mev * MEV
+
+
+def barns_to_cm2(sigma_barns: float) -> float:
+    """Convert a microscopic cross section from barns to cm^2."""
+    return sigma_barns * BARN_CM2
+
+
+def cm2_to_barns(sigma_cm2: float) -> float:
+    """Convert a microscopic cross section from cm^2 to barns."""
+    return sigma_cm2 / BARN_CM2
+
+
+def per_second_to_per_hour(flux_per_s: float) -> float:
+    """Convert a flux from n/cm^2/s to n/cm^2/h."""
+    return flux_per_s * SECONDS_PER_HOUR
+
+
+def per_hour_to_per_second(flux_per_h: float) -> float:
+    """Convert a flux from n/cm^2/h to n/cm^2/s."""
+    return flux_per_h / SECONDS_PER_HOUR
+
+
+def fit_from_rate_per_hour(rate_per_hour: float) -> float:
+    """Convert an event rate (events/hour) to FIT (events per 1e9 hours)."""
+    return rate_per_hour * HOURS_PER_BILLION
+
+
+def rate_per_hour_from_fit(fit: float) -> float:
+    """Convert a FIT value back to an hourly event rate."""
+    return fit / HOURS_PER_BILLION

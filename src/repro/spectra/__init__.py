@@ -1,0 +1,38 @@
+"""Neutron energy spectra.
+
+A :class:`~repro.spectra.spectrum.Spectrum` is a group-wise flux on a
+logarithmic energy grid.  Analytic builders produce the canonical shapes
+(Maxwellian thermal, Watt fission, 1/E slowing-down, atmospheric
+cosmic-ray) and :mod:`repro.spectra.beamlines` assembles the two ISIS
+beamlines used by the paper — ChipIR (atmospheric-like, high energy) and
+ROTAX (thermal) — calibrated to the published integral fluxes.
+"""
+
+from repro.spectra.spectrum import Spectrum, default_energy_grid
+from repro.spectra.analytic import (
+    maxwellian_spectrum,
+    watt_spectrum,
+    one_over_e_spectrum,
+    atmospheric_spectrum,
+)
+from repro.spectra.beamlines import (
+    chipir_spectrum,
+    rotax_spectrum,
+    CHIPIR_FLUX_ABOVE_10MEV,
+    CHIPIR_THERMAL_FLUX,
+    ROTAX_THERMAL_FLUX,
+)
+
+__all__ = [
+    "Spectrum",
+    "default_energy_grid",
+    "maxwellian_spectrum",
+    "watt_spectrum",
+    "one_over_e_spectrum",
+    "atmospheric_spectrum",
+    "chipir_spectrum",
+    "rotax_spectrum",
+    "CHIPIR_FLUX_ABOVE_10MEV",
+    "CHIPIR_THERMAL_FLUX",
+    "ROTAX_THERMAL_FLUX",
+]

@@ -1,0 +1,202 @@
+"""Analytic spectrum shapes.
+
+Four canonical building blocks:
+
+* :func:`maxwellian_spectrum` — a thermalized bath at temperature T
+  (ROTAX, and the thermal tail of the natural environment);
+* :func:`watt_spectrum` — an evaporation/fission-like fast hump;
+* :func:`one_over_e_spectrum` — the slowing-down (epithermal) region;
+* :func:`atmospheric_spectrum` — a cosmic-ray-induced ground-level
+  shape after Gordon et al., assembled from the pieces above plus the
+  high-energy cascade plateau, normalized to a requested >10 MeV flux.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.physics.constants import BOLTZMANN_EV_PER_K, ROOM_TEMPERATURE_K
+from repro.physics.units import FAST_CUTOFF_EV, THERMAL_CUTOFF_EV
+from repro.spectra.spectrum import Spectrum, default_energy_grid
+
+
+def maxwellian_spectrum(
+    total_flux: float,
+    temperature_k: float = ROOM_TEMPERATURE_K,
+    edges: Sequence[float] | None = None,
+    name: str = "maxwellian",
+) -> Spectrum:
+    """Maxwell-Boltzmann flux spectrum at ``temperature_k``.
+
+    The flux-weighted Maxwellian is ``dPhi/dE ~ E * exp(-E / kT)``
+    (the extra factor of speed relative to the density spectrum).
+
+    Args:
+        total_flux: integral flux, n/cm^2/s.
+        temperature_k: moderator temperature, K.
+        edges: optional custom grid.
+        name: label.
+
+    Raises:
+        ValueError: on non-positive flux or temperature.
+    """
+    if total_flux < 0.0:
+        raise ValueError(f"flux must be >= 0, got {total_flux}")
+    if temperature_k <= 0.0:
+        raise ValueError(
+            f"temperature must be positive, got {temperature_k}"
+        )
+    kt = BOLTZMANN_EV_PER_K * temperature_k
+
+    def density(e: np.ndarray) -> np.ndarray:
+        return e * np.exp(-e / kt)
+
+    spec = Spectrum.from_differential(density, edges=edges, name=name)
+    if total_flux == 0.0:
+        return spec.scaled(0.0, name=name)
+    return spec.normalized(total_flux)
+
+
+def watt_spectrum(
+    total_flux: float,
+    a_mev: float = 0.965,
+    b_per_mev: float = 2.29,
+    edges: Sequence[float] | None = None,
+    name: str = "watt",
+) -> Spectrum:
+    """Watt evaporation spectrum, the classic fast-neutron hump.
+
+    ``dPhi/dE ~ exp(-E/a) * sinh(sqrt(b * E))`` with E in MeV.
+
+    Args:
+        total_flux: integral flux, n/cm^2/s.
+        a_mev: Watt ``a`` parameter, MeV.
+        b_per_mev: Watt ``b`` parameter, 1/MeV.
+        edges: optional custom grid.
+        name: label.
+    """
+    if total_flux < 0.0:
+        raise ValueError(f"flux must be >= 0, got {total_flux}")
+
+    def density(e: np.ndarray) -> np.ndarray:
+        e_mev = e / 1.0e6
+        return np.exp(-e_mev / a_mev) * np.sinh(
+            np.sqrt(b_per_mev * e_mev)
+        )
+
+    spec = Spectrum.from_differential(density, edges=edges, name=name)
+    if total_flux == 0.0:
+        return spec.scaled(0.0, name=name)
+    return spec.normalized(total_flux)
+
+
+def one_over_e_spectrum(
+    total_flux: float,
+    emin_ev: float,
+    emax_ev: float,
+    edges: Sequence[float] | None = None,
+    name: str = "1/E",
+) -> Spectrum:
+    """Slowing-down spectrum: flat in lethargy between two energies.
+
+    Args:
+        total_flux: integral flux in the band, n/cm^2/s.
+        emin_ev: lower bound of the 1/E region.
+        emax_ev: upper bound of the 1/E region.
+        edges: optional custom grid.
+        name: label.
+    """
+    if emax_ev <= emin_ev:
+        raise ValueError("emax must exceed emin")
+    if total_flux < 0.0:
+        raise ValueError(f"flux must be >= 0, got {total_flux}")
+
+    def density(e: np.ndarray) -> np.ndarray:
+        inside = (e >= emin_ev) & (e <= emax_ev)
+        out = np.zeros_like(e)
+        out[inside] = 1.0 / e[inside]
+        return out
+
+    spec = Spectrum.from_differential(
+        density, edges=edges, name=name, points_per_group=16
+    )
+    if total_flux == 0.0:
+        return spec.scaled(0.0, name=name)
+    return spec.normalized(total_flux)
+
+
+def atmospheric_spectrum(
+    flux_above_10mev: float,
+    thermal_fraction_flux: float = 0.0,
+    edges: Sequence[float] | None = None,
+    name: str = "atmospheric",
+) -> Spectrum:
+    """Ground-level cosmic-ray neutron spectrum (Gordon-style shape).
+
+    Assembled from three components: a 1/E epithermal region (0.5 eV to
+    1 MeV), a Watt-like evaporation hump (~1 MeV), and a cascade
+    plateau from 10 MeV to 10 GeV (lethargy-flat with a gentle
+    high-energy roll-off).  An optional Maxwellian thermal component is
+    stacked at the bottom, since the thermal population at ground level
+    is entirely environment-dependent.
+
+    The result is normalized so its >10 MeV band equals
+    ``flux_above_10mev`` and (if requested) its thermal band equals
+    ``thermal_fraction_flux``.
+
+    Args:
+        flux_above_10mev: target flux above 10 MeV, n/cm^2/s.
+        thermal_fraction_flux: target flux below 0.5 eV, n/cm^2/s.
+        edges: optional custom grid.
+        name: label.
+    """
+    if flux_above_10mev < 0.0:
+        raise ValueError(
+            f"flux_above_10mev must be >= 0, got {flux_above_10mev}"
+        )
+    if thermal_fraction_flux < 0.0:
+        raise ValueError(
+            f"thermal flux must be >= 0, got {thermal_fraction_flux}"
+        )
+    grid = (
+        np.asarray(edges, dtype=float)
+        if edges is not None
+        else default_energy_grid()
+    )
+
+    # Relative component weights follow the measured ground-level
+    # spectrum: roughly equal lethargy content in the evaporation and
+    # cascade peaks, with the epithermal plateau a factor ~4 below.
+    epithermal = one_over_e_spectrum(
+        0.25, THERMAL_CUTOFF_EV, 1.0e6, edges=grid, name="epi"
+    )
+    evaporation = watt_spectrum(0.5, edges=grid, name="evap")
+
+    def cascade_density(e: np.ndarray) -> np.ndarray:
+        inside = (e >= 1.0e6) & (e <= grid[-1])
+        out = np.zeros_like(e)
+        # Lethargy-flat with a mild roll-off above 1 GeV.
+        rolloff = 1.0 / (1.0 + (e / 2.0e9) ** 2)
+        out[inside] = rolloff[inside] / e[inside]
+        return out
+
+    cascade = Spectrum.from_differential(
+        cascade_density, edges=grid, name="cascade"
+    ).normalized(1.0)
+
+    fast_part = epithermal + evaporation + cascade
+    above = fast_part.fast_flux(FAST_CUTOFF_EV)
+    if above <= 0.0:
+        raise ValueError("grid does not cover the > 10 MeV band")
+    fast_part = fast_part.scaled(flux_above_10mev / above)
+
+    if thermal_fraction_flux > 0.0:
+        thermal = maxwellian_spectrum(
+            thermal_fraction_flux, edges=grid, name="thermal"
+        )
+        combined = fast_part + thermal
+    else:
+        combined = fast_part
+    return Spectrum(grid, combined.group_flux, name=name)

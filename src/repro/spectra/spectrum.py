@@ -1,0 +1,277 @@
+"""Group-wise neutron spectra on a logarithmic energy grid.
+
+The representation is deliberately simple: ``edges`` (eV, increasing)
+bound ``len(edges) - 1`` groups and ``group_flux[g]`` is the integral
+flux in group ``g`` (n/cm^2/s).  Within a group the flux is assumed flat
+in lethargy (i.e. proportional to 1/E in energy), which is the natural
+interpolation for reactor-physics-style spectra and makes band integrals
+and sampling exact and cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.physics.units import FAST_CUTOFF_EV, THERMAL_CUTOFF_EV
+
+#: Default grid: 1 meV to 10 GeV, 20 groups per decade.
+_DEFAULT_EMIN_EV = 1.0e-3
+_DEFAULT_EMAX_EV = 1.0e10
+_GROUPS_PER_DECADE = 20
+
+
+def default_energy_grid(
+    emin_ev: float = _DEFAULT_EMIN_EV,
+    emax_ev: float = _DEFAULT_EMAX_EV,
+    groups_per_decade: int = _GROUPS_PER_DECADE,
+) -> np.ndarray:
+    """Logarithmic group edges spanning ``[emin_ev, emax_ev]``.
+
+    Args:
+        emin_ev: lowest edge, eV.
+        emax_ev: highest edge, eV.
+        groups_per_decade: resolution of the grid.
+
+    Raises:
+        ValueError: on a non-positive or inverted range.
+    """
+    if emin_ev <= 0.0 or emax_ev <= emin_ev:
+        raise ValueError(
+            f"invalid energy range [{emin_ev}, {emax_ev}]"
+        )
+    decades = math.log10(emax_ev / emin_ev)
+    n_groups = max(1, int(round(decades * groups_per_decade)))
+    return np.logspace(
+        math.log10(emin_ev), math.log10(emax_ev), n_groups + 1
+    )
+
+
+class Spectrum:
+    """An immutable group-wise neutron flux spectrum.
+
+    Attributes:
+        edges: group boundaries, eV, strictly increasing.
+        group_flux: per-group integral flux, n/cm^2/s, non-negative.
+        name: human-readable label used in reports.
+    """
+
+    def __init__(
+        self,
+        edges: Sequence[float],
+        group_flux: Sequence[float],
+        name: str = "spectrum",
+    ) -> None:
+        edges_arr = np.asarray(edges, dtype=float)
+        flux_arr = np.asarray(group_flux, dtype=float)
+        if edges_arr.ndim != 1 or edges_arr.size < 2:
+            raise ValueError("edges must be a 1-D array of >= 2 values")
+        if np.any(np.diff(edges_arr) <= 0.0):
+            raise ValueError("edges must be strictly increasing")
+        if edges_arr[0] <= 0.0:
+            raise ValueError("edges must be positive (log grid)")
+        if flux_arr.shape != (edges_arr.size - 1,):
+            raise ValueError(
+                f"group_flux must have {edges_arr.size - 1} entries,"
+                f" got {flux_arr.size}"
+            )
+        if np.any(flux_arr < 0.0):
+            raise ValueError("group fluxes must be non-negative")
+        self.edges = edges_arr
+        self.edges.setflags(write=False)
+        self.group_flux = flux_arr
+        self.group_flux.setflags(write=False)
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_differential(
+        cls,
+        density: Callable[[np.ndarray], np.ndarray],
+        edges: Sequence[float] | None = None,
+        name: str = "spectrum",
+        points_per_group: int = 8,
+    ) -> "Spectrum":
+        """Build a spectrum by integrating a differential flux.
+
+        Args:
+            density: vectorized ``dPhi/dE`` in n/cm^2/s/eV.
+            edges: group edges; defaults to :func:`default_energy_grid`.
+            name: label.
+            points_per_group: log-trapezoid resolution per group.
+        """
+        edges_arr = (
+            np.asarray(edges, dtype=float)
+            if edges is not None
+            else default_energy_grid()
+        )
+        fluxes = np.empty(edges_arr.size - 1)
+        for g in range(edges_arr.size - 1):
+            pts = np.logspace(
+                math.log10(edges_arr[g]),
+                math.log10(edges_arr[g + 1]),
+                points_per_group,
+            )
+            fluxes[g] = float(np.trapezoid(density(pts), pts))
+        return cls(edges_arr, np.maximum(fluxes, 0.0), name=name)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n_groups(self) -> int:
+        """Number of energy groups."""
+        return self.group_flux.size
+
+    @property
+    def group_midpoints(self) -> np.ndarray:
+        """Geometric group midpoints, eV."""
+        return np.sqrt(self.edges[:-1] * self.edges[1:])
+
+    def total_flux(self) -> float:
+        """Integral flux over the whole grid, n/cm^2/s."""
+        return float(self.group_flux.sum())
+
+    def band_flux(self, emin_ev: float, emax_ev: float) -> float:
+        """Integral flux in ``[emin_ev, emax_ev]``, n/cm^2/s.
+
+        Partial group overlaps are resolved assuming a lethargy-flat
+        distribution inside each group.
+        """
+        if emax_ev <= emin_ev:
+            raise ValueError("band must have emax > emin")
+        lo = np.maximum(self.edges[:-1], emin_ev)
+        hi = np.minimum(self.edges[1:], emax_ev)
+        overlap = hi > lo
+        if not np.any(overlap):
+            return 0.0
+        width_u = np.log(self.edges[1:] / self.edges[:-1])
+        frac = np.zeros_like(self.group_flux)
+        frac[overlap] = (
+            np.log(hi[overlap] / lo[overlap]) / width_u[overlap]
+        )
+        return float((self.group_flux * frac).sum())
+
+    def thermal_flux(self, cutoff_ev: float = THERMAL_CUTOFF_EV) -> float:
+        """Flux below the cadmium cutoff (default 0.5 eV), n/cm^2/s."""
+        return self.band_flux(self.edges[0], cutoff_ev)
+
+    def fast_flux(self, cutoff_ev: float = FAST_CUTOFF_EV) -> float:
+        """Flux above the fast cutoff (default 10 MeV), n/cm^2/s."""
+        return self.band_flux(cutoff_ev, self.edges[-1])
+
+    def epithermal_flux(
+        self,
+        thermal_cutoff_ev: float = THERMAL_CUTOFF_EV,
+        fast_cutoff_ev: float = FAST_CUTOFF_EV,
+    ) -> float:
+        """Flux between the thermal and fast cutoffs, n/cm^2/s."""
+        return self.band_flux(thermal_cutoff_ev, fast_cutoff_ev)
+
+    def mean_energy_ev(self) -> float:
+        """Flux-weighted mean group-midpoint energy, eV."""
+        total = self.total_flux()
+        if total == 0.0:
+            return 0.0
+        return float(
+            (self.group_flux * self.group_midpoints).sum() / total
+        )
+
+    # ------------------------------------------------------------------
+    # Lethargy representation (what Figure 2 of the paper plots)
+    # ------------------------------------------------------------------
+
+    def lethargy_density(self) -> np.ndarray:
+        """Per-group flux per unit lethargy, ``E * dPhi/dE``.
+
+        This is the quantity the paper plots on its log-log beamline
+        comparison: areas under the curve are proportional to flux.
+        """
+        width_u = np.log(self.edges[1:] / self.edges[:-1])
+        return self.group_flux / width_u
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def scaled(self, factor: float, name: str | None = None) -> "Spectrum":
+        """Return a copy with all group fluxes multiplied by ``factor``."""
+        if factor < 0.0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return Spectrum(
+            self.edges,
+            self.group_flux * factor,
+            name=name or self.name,
+        )
+
+    def normalized(self, total: float = 1.0) -> "Spectrum":
+        """Return a copy rescaled so the integral flux equals ``total``."""
+        current = self.total_flux()
+        if current == 0.0:
+            raise ValueError("cannot normalize an empty spectrum")
+        return self.scaled(total / current)
+
+    def __add__(self, other: "Spectrum") -> "Spectrum":
+        """Sum two spectra defined on the same grid."""
+        if not isinstance(other, Spectrum):
+            return NotImplemented
+        if self.edges.shape != other.edges.shape or not np.allclose(
+            self.edges, other.edges
+        ):
+            raise ValueError("spectra must share the same energy grid")
+        return Spectrum(
+            self.edges,
+            self.group_flux + other.group_flux,
+            name=f"{self.name}+{other.name}",
+        )
+
+    # ------------------------------------------------------------------
+    # Folding and sampling
+    # ------------------------------------------------------------------
+
+    def fold(self, sigma_b: Callable[[np.ndarray], np.ndarray]) -> float:
+        """Reaction rate per target atom: sum of flux x sigma(E).
+
+        Args:
+            sigma_b: vectorized microscopic cross section in **barns**
+                evaluated at group midpoints.
+
+        Returns:
+            Rate in reactions per atom per second x 1e-24 x ... —
+            concretely ``sum(flux_g * sigma(E_g))`` in barn * n/cm^2/s;
+            multiply by 1e-24 to get per-atom per-second.
+        """
+        mids = self.group_midpoints
+        return float((self.group_flux * np.asarray(sigma_b(mids))).sum())
+
+    def sample_energies(
+        self, rng: np.random.Generator, n: int
+    ) -> np.ndarray:
+        """Draw ``n`` neutron energies distributed like this spectrum.
+
+        Groups are chosen with probability proportional to their flux;
+        within a group the energy is log-uniform (lethargy-flat).
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        total = self.total_flux()
+        if total <= 0.0:
+            raise ValueError("cannot sample from an empty spectrum")
+        probs = self.group_flux / total
+        groups = rng.choice(self.n_groups, size=n, p=probs)
+        lo = self.edges[groups]
+        hi = self.edges[groups + 1]
+        u = rng.random(n)
+        return lo * (hi / lo) ** u
+
+    def __repr__(self) -> str:
+        return (
+            f"Spectrum(name={self.name!r}, groups={self.n_groups},"
+            f" total={self.total_flux():.3e} n/cm^2/s)"
+        )

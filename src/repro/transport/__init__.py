@@ -1,0 +1,52 @@
+"""1-D Monte Carlo neutron moderation, albedo and shielding."""
+
+from repro.transport.materials import (
+    AIR,
+    BORATED_POLYETHYLENE,
+    CADMIUM,
+    CONCRETE,
+    GASOLINE,
+    Material,
+    Nuclide,
+    POLYETHYLENE,
+    SILICON,
+    WATER,
+)
+from repro.transport.montecarlo import (
+    Layer,
+    SlabGeometry,
+    SlabTransport,
+    shield_transmission,
+    thermal_albedo_enhancement,
+)
+from repro.transport.analytic import (
+    absorber_transmission,
+    diffusion_coefficient_cm,
+    diffusion_length_cm,
+    uncollided_transmission,
+)
+from repro.transport.tallies import TransportResult, TransportTally
+
+__all__ = [
+    "AIR",
+    "BORATED_POLYETHYLENE",
+    "CADMIUM",
+    "CONCRETE",
+    "GASOLINE",
+    "Material",
+    "Nuclide",
+    "POLYETHYLENE",
+    "SILICON",
+    "WATER",
+    "Layer",
+    "SlabGeometry",
+    "SlabTransport",
+    "shield_transmission",
+    "thermal_albedo_enhancement",
+    "absorber_transmission",
+    "diffusion_coefficient_cm",
+    "diffusion_length_cm",
+    "uncollided_transmission",
+    "TransportResult",
+    "TransportTally",
+]

@@ -1,0 +1,202 @@
+"""Bulk materials for the slowing-down Monte Carlo.
+
+A :class:`Material` is a density plus an atomic composition; it exposes
+macroscopic scattering and absorption cross sections (1/cm).  Absorption
+follows the 1/v law from the isotope table; scattering uses the
+epithermal free-atom values, which is the right fidelity for a
+moderation/albedo study (we are not doing criticality here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.physics.constants import AVOGADRO
+from repro.physics.interactions import one_over_v_cross_section
+from repro.physics.isotopes import Element, element
+from repro.physics.units import BARN_CM2
+
+
+@dataclass(frozen=True)
+class Nuclide:
+    """One element inside a material, with its number density.
+
+    Attributes:
+        elem: the natural element.
+        number_density: atoms/cm^3 of this element in the material.
+    """
+
+    elem: Element
+    number_density: float
+
+
+class Material:
+    """A homogeneous bulk material.
+
+    Args:
+        name: label.
+        density_g_cm3: mass density.
+        composition: mapping ``element symbol -> atoms per formula
+            unit`` (e.g. water: ``{"H": 2, "O": 1}``).
+        enrichment_b10: optional fraction of boron that is 10B
+            (defaults to natural 19.9 %). Only used when the material
+            contains boron; lets us model depleted/enriched boron.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        density_g_cm3: float,
+        composition: Dict[str, float],
+        enrichment_b10: float | None = None,
+    ) -> None:
+        if density_g_cm3 <= 0.0:
+            raise ValueError(
+                f"density must be positive, got {density_g_cm3}"
+            )
+        if not composition:
+            raise ValueError("composition must not be empty")
+        if enrichment_b10 is not None and not 0.0 <= enrichment_b10 <= 1.0:
+            raise ValueError(
+                f"B10 enrichment must be in [0, 1], got {enrichment_b10}"
+            )
+        self.name = name
+        self.density_g_cm3 = density_g_cm3
+        self.enrichment_b10 = enrichment_b10
+
+        formula_mass = sum(
+            element(sym).atomic_mass * n for sym, n in composition.items()
+        )
+        units_per_cm3 = density_g_cm3 * AVOGADRO / formula_mass
+        self.nuclides: Tuple[Nuclide, ...] = tuple(
+            Nuclide(element(sym), units_per_cm3 * n)
+            for sym, n in composition.items()
+        )
+
+    # ------------------------------------------------------------------
+
+    def _element_capture_b(self, nuc: Nuclide) -> float:
+        """Thermal capture cross section of one element, honouring the
+        boron enrichment override, barns."""
+        if nuc.elem.symbol == "B" and self.enrichment_b10 is not None:
+            b10 = next(
+                i for i in nuc.elem.isotopes if i.name == "B10"
+            )
+            b11 = next(
+                i for i in nuc.elem.isotopes if i.name == "B11"
+            )
+            return (
+                self.enrichment_b10 * b10.sigma_capture_thermal_b
+                + (1.0 - self.enrichment_b10)
+                * b11.sigma_capture_thermal_b
+            )
+        return nuc.elem.sigma_capture_thermal_b
+
+    def sigma_scatter_per_cm(self, energy_ev: float) -> float:
+        """Macroscopic scattering cross section, 1/cm.
+
+        Energy-independent in this model (free-atom plateau values).
+        The argument is accepted for interface symmetry.
+        """
+        del energy_ev
+        return sum(
+            n.number_density * n.elem.sigma_scatter_b * BARN_CM2
+            for n in self.nuclides
+        )
+
+    def sigma_absorb_per_cm(self, energy_ev: float) -> float:
+        """Macroscopic absorption cross section at ``energy_ev``, 1/cm."""
+        return sum(
+            n.number_density
+            * one_over_v_cross_section(
+                self._element_capture_b(n), energy_ev
+            )
+            * BARN_CM2
+            for n in self.nuclides
+        )
+
+    def sigma_total_per_cm(self, energy_ev: float) -> float:
+        """Macroscopic total cross section, 1/cm."""
+        return self.sigma_scatter_per_cm(
+            energy_ev
+        ) + self.sigma_absorb_per_cm(energy_ev)
+
+    def scatter_nuclide(
+        self, energy_ev: float, u: float
+    ) -> Nuclide:
+        """Pick the scattering element for a collision.
+
+        Args:
+            energy_ev: neutron energy (unused with flat scattering, but
+                kept so energy-dependent laws can slot in).
+            u: uniform variate in [0, 1).
+        """
+        del energy_ev
+        weights: List[float] = [
+            n.number_density * n.elem.sigma_scatter_b
+            for n in self.nuclides
+        ]
+        total = sum(weights)
+        target = u * total
+        acc = 0.0
+        for nuc, w in zip(self.nuclides, weights):
+            acc += w
+            if target < acc:
+                return nuc
+        return self.nuclides[-1]
+
+    def dominant_scatter_mass(self, u: float) -> int:
+        """Mass number of the isotope struck in a scattering event.
+
+        Picks the element via :meth:`scatter_nuclide` and then an
+        isotope by abundance within it.
+        """
+        nuc = self.scatter_nuclide(1.0, u)
+        # Re-use the fractional part of u to pick the isotope, keeping
+        # the function single-variate for callers.
+        frac = (u * 997.0) % 1.0
+        acc = 0.0
+        for iso in nuc.elem.isotopes:
+            acc += iso.abundance
+            if frac < acc:
+                return iso.mass_number
+        return nuc.elem.isotopes[-1].mass_number
+
+    def __repr__(self) -> str:
+        return (
+            f"Material({self.name!r}, rho={self.density_g_cm3} g/cm^3)"
+        )
+
+
+#: Light water (the cooling-loop moderator).
+WATER = Material("water", 1.0, {"H": 2, "O": 1})
+
+#: Ordinary concrete (simplified oxide composition with bound water).
+CONCRETE = Material(
+    "concrete",
+    2.3,
+    {"O": 52.0, "Si": 19.0, "Ca": 6.0, "Al": 2.0, "Fe": 0.5, "H": 10.0,
+     "Na": 1.0, "C": 1.0},
+)
+
+#: Polyethylene (CH2)n.
+POLYETHYLENE = Material("polyethylene", 0.94, {"C": 1, "H": 2})
+
+#: 5 wt%-boron borated polyethylene — the practical thermal shield the
+#: paper discusses (and rejects for thermal-isolation reasons).
+BORATED_POLYETHYLENE = Material(
+    "borated polyethylene", 1.0, {"C": 1, "H": 2, "B": 0.028}
+)
+
+#: Cadmium metal — the detector shield / thermal blanket.
+CADMIUM = Material("cadmium", 8.65, {"Cd": 1})
+
+#: Dry air at sea level (mostly nitrogen).
+AIR = Material("air", 1.205e-3, {"N": 1.56, "O": 0.42})
+
+#: Bulk silicon (the chip substrate).
+SILICON = Material("silicon", 2.33, {"Si": 1})
+
+#: Gasoline surrogate (C8H18) for the vehicle scenario.
+GASOLINE = Material("gasoline", 0.74, {"C": 8, "H": 18})

@@ -1,0 +1,133 @@
+"""Tallies and results for the slowing-down Monte Carlo."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TransportTally:
+    """Mutable event counters filled by a transport run."""
+
+    source: int = 0
+    transmitted_thermal: int = 0
+    transmitted_epithermal: int = 0
+    transmitted_fast: int = 0
+    reflected_thermal: int = 0
+    reflected_epithermal: int = 0
+    reflected_fast: int = 0
+    absorbed: int = 0
+    absorbed_by_material: Dict[str, int] = field(default_factory=dict)
+    collisions: int = 0
+
+    def record_absorption(self, material_name: str) -> None:
+        """Count an absorption, attributing it to a material."""
+        self.absorbed += 1
+        self.absorbed_by_material[material_name] = (
+            self.absorbed_by_material.get(material_name, 0) + 1
+        )
+
+
+@dataclass(frozen=True)
+class TransportResult:
+    """Frozen summary of a transport run.
+
+    All fractions are per source neutron; ``*_stderr`` are binomial
+    standard errors, so callers can put error bars on MC answers.
+    """
+
+    source: int
+    transmitted_thermal: int
+    transmitted_epithermal: int
+    transmitted_fast: int
+    reflected_thermal: int
+    reflected_epithermal: int
+    reflected_fast: int
+    absorbed: int
+    collisions: int
+    absorbed_by_material: Dict[str, int]
+
+    @classmethod
+    def from_tally(cls, tally: TransportTally) -> "TransportResult":
+        """Freeze a mutable tally."""
+        return cls(
+            source=tally.source,
+            transmitted_thermal=tally.transmitted_thermal,
+            transmitted_epithermal=tally.transmitted_epithermal,
+            transmitted_fast=tally.transmitted_fast,
+            reflected_thermal=tally.reflected_thermal,
+            reflected_epithermal=tally.reflected_epithermal,
+            reflected_fast=tally.reflected_fast,
+            absorbed=tally.absorbed,
+            collisions=tally.collisions,
+            absorbed_by_material=dict(tally.absorbed_by_material),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _fraction(self, count: int) -> float:
+        if self.source == 0:
+            raise ValueError("empty run: no source neutrons")
+        return count / self.source
+
+    def _stderr(self, count: int) -> float:
+        p = self._fraction(count)
+        return math.sqrt(max(p * (1.0 - p), 0.0) / self.source)
+
+    @property
+    def transmitted(self) -> int:
+        """All neutrons leaving through the far face."""
+        return (
+            self.transmitted_thermal
+            + self.transmitted_epithermal
+            + self.transmitted_fast
+        )
+
+    @property
+    def reflected(self) -> int:
+        """All neutrons leaving back through the entry face."""
+        return (
+            self.reflected_thermal
+            + self.reflected_epithermal
+            + self.reflected_fast
+        )
+
+    def transmission_fraction(self) -> float:
+        """Fraction of source neutrons transmitted (any energy)."""
+        return self._fraction(self.transmitted)
+
+    def thermal_transmission_fraction(self) -> float:
+        """Fraction transmitted below the cadmium cutoff."""
+        return self._fraction(self.transmitted_thermal)
+
+    def thermal_albedo(self) -> float:
+        """Fraction reflected back *as thermal neutrons*.
+
+        This is the quantity behind the paper's material enhancements:
+        a moderator body next to a device sends a thermalized fraction
+        of the incident fast population back at it.
+        """
+        return self._fraction(self.reflected_thermal)
+
+    def thermal_albedo_stderr(self) -> float:
+        """Binomial standard error of :meth:`thermal_albedo`."""
+        return self._stderr(self.reflected_thermal)
+
+    def absorption_fraction(self) -> float:
+        """Fraction absorbed anywhere in the stack."""
+        return self._fraction(self.absorbed)
+
+    def mean_collisions(self) -> float:
+        """Average number of collisions per source neutron."""
+        if self.source == 0:
+            raise ValueError("empty run: no source neutrons")
+        return self.collisions / self.source
+
+    def balance_check(self) -> bool:
+        """True if every source neutron is accounted for."""
+        return (
+            self.transmitted + self.reflected + self.absorbed
+            == self.source
+        )

@@ -1,0 +1,55 @@
+"""The paper's nine benchmark codes as injectable staged pipelines."""
+
+from repro.workloads.base import (
+    State,
+    Workload,
+    WorkloadDomain,
+    bounded_loop,
+)
+from repro.workloads.hpc import HotSpot, LUD, LavaMD, MxM
+from repro.workloads.heterogeneous import (
+    BreadthFirstSearch,
+    CannyEdgeDetection,
+    StreamCompaction,
+)
+from repro.workloads.neural import MnistClassifier, YoloDetector
+from repro.workloads.hardening import DuplicatedWorkload, DwcOutcome
+from repro.workloads.heterogeneous_exec import SplitExecution, SplitOutcome
+from repro.workloads.metrics import (
+    ArrayVulnerability,
+    measure_vulnerability,
+    most_vulnerable_surface,
+    workload_avf,
+)
+from repro.workloads.registry import (
+    ALL_CODES,
+    WORKLOAD_FACTORIES,
+    create_workload,
+)
+
+__all__ = [
+    "State",
+    "Workload",
+    "WorkloadDomain",
+    "bounded_loop",
+    "HotSpot",
+    "LUD",
+    "LavaMD",
+    "MxM",
+    "BreadthFirstSearch",
+    "CannyEdgeDetection",
+    "StreamCompaction",
+    "MnistClassifier",
+    "YoloDetector",
+    "SplitExecution",
+    "SplitOutcome",
+    "ArrayVulnerability",
+    "measure_vulnerability",
+    "most_vulnerable_surface",
+    "workload_avf",
+    "DuplicatedWorkload",
+    "DwcOutcome",
+    "ALL_CODES",
+    "WORKLOAD_FACTORIES",
+    "create_workload",
+]

@@ -1,0 +1,239 @@
+"""Workload framework: staged execution with bit-level fault injection.
+
+Each of the paper's nine codes is implemented as a :class:`Workload`:
+a pipeline of named stages transforming a dict of NumPy arrays.  The
+driver (:meth:`Workload.execute`) applies planned
+:class:`~repro.faults.injector.Injection` flips at stage entry, runs
+the stages, and classifies the result against a cached golden output:
+
+* identical (within the workload's own tolerance) -> **MASKED**;
+* different -> **SDC**;
+* the execution raised / went out of bounds / exceeded its iteration
+  budget -> **DUE** (:class:`~repro.faults.models.DueError`).
+
+This produces the paper's phenomenology organically: compute-bound
+codes mask low-order mantissa flips, index-heavy codes (BFS, SC) turn
+data flips into crashes, CNNs absorb almost anything that does not
+change the argmax.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.injector import Injection, flip_bit_in_array
+from repro.faults.models import DueError, Outcome
+
+#: State arrays are dicts of name -> ndarray.
+State = Dict[str, np.ndarray]
+
+
+class WorkloadDomain(enum.Enum):
+    """The three application classes of Section III-B."""
+
+    HPC = "HPC"
+    HETEROGENEOUS = "heterogeneous"
+    NEURAL = "neural network"
+
+
+class Workload(abc.ABC):
+    """A deterministic staged computation with injection hooks.
+
+    Subclasses implement :meth:`build_input`, :meth:`stage_names` and
+    :meth:`run_stage`; everything else (golden caching, injection,
+    classification, DUE detection) is provided here.
+
+    Args:
+        seed: seed for input generation — fixed input vector per the
+            paper's methodology (same input at ChipIR and ROTAX).
+    """
+
+    #: Short name matching the paper ("MxM", "LUD", ...).
+    name: str = "workload"
+    #: Application class.
+    domain: WorkloadDomain = WorkloadDomain.HPC
+    #: Relative tolerance when comparing against the golden output.
+    rtol: float = 1e-9
+    #: Absolute tolerance for the same comparison.
+    atol: float = 1e-12
+
+    def __init__(self, seed: int = 1234) -> None:
+        self.seed = seed
+        self._input = self.build_input(np.random.default_rng(seed))
+        self._golden: Optional[np.ndarray] = None
+        self._space: Optional[Dict[str, Dict[str, np.ndarray]]] = None
+
+    # ----------------------------------------------------------------
+    # Abstract pipeline definition
+    # ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build_input(self, rng: np.random.Generator) -> State:
+        """Create the initial state arrays."""
+
+    @abc.abstractmethod
+    def stage_names(self) -> Tuple[str, ...]:
+        """Ordered pipeline stage names."""
+
+    @abc.abstractmethod
+    def run_stage(self, stage: str, state: State) -> State:
+        """Execute one stage, returning the (possibly new) state."""
+
+    @abc.abstractmethod
+    def output_of(self, state: State) -> np.ndarray:
+        """Extract the final output array from the terminal state."""
+
+    # ----------------------------------------------------------------
+    # Driver
+    # ----------------------------------------------------------------
+
+    def _initial_state(self) -> State:
+        return {k: v.copy() for k, v in self._input.items()}
+
+    def execute(
+        self, injections: Sequence[Injection] = ()
+    ) -> np.ndarray:
+        """Run the pipeline, applying ``injections`` at stage entry.
+
+        Raises:
+            DueError: if the (possibly corrupted) execution crashes,
+                accesses memory out of bounds, or exceeds its
+                iteration budget.
+        """
+        by_stage: Dict[str, list] = {}
+        for inj in injections:
+            by_stage.setdefault(inj.stage, []).append(inj)
+        unknown = set(by_stage) - set(self.stage_names())
+        if unknown:
+            raise ValueError(
+                f"injections target unknown stages {sorted(unknown)};"
+                f" valid: {self.stage_names()}"
+            )
+
+        state = self._initial_state()
+        for stage in self.stage_names():
+            for inj in by_stage.get(stage, []):
+                self._apply(inj, state)
+            try:
+                # Corrupted values legitimately overflow to inf/NaN —
+                # that is the SDC path, not a diagnostic.
+                with np.errstate(all="ignore"):
+                    state = self.run_stage(stage, state)
+            except DueError:
+                raise
+            except (IndexError, ValueError, KeyError, ZeroDivisionError,
+                    OverflowError, FloatingPointError) as exc:
+                # A corrupted index/shape/value killed the execution —
+                # on real hardware this is the segfault/exception that
+                # the paper logs as a DUE.
+                raise DueError(
+                    f"{type(exc).__name__} in stage {stage!r}"
+                ) from exc
+        return self.output_of(state)
+
+    def _apply(self, injection: Injection, state: State) -> None:
+        if injection.array not in state:
+            raise ValueError(
+                f"injection targets unknown array {injection.array!r}"
+                f" at stage {injection.stage!r};"
+                f" available: {sorted(state)}"
+            )
+        arr = state[injection.array]
+        # Injection indices are taken modulo the array size so plans
+        # drawn against the golden space stay valid if a stage resizes
+        # state (SC's compacted array shrinks, for instance).
+        flip_bit_in_array(
+            arr,
+            injection.flat_index % arr.size,
+            injection.bit % (arr.dtype.itemsize * 8),
+        )
+
+    # ----------------------------------------------------------------
+    # Golden run and classification
+    # ----------------------------------------------------------------
+
+    def golden(self) -> np.ndarray:
+        """The fault-free output (computed once, cached)."""
+        if self._golden is None:
+            self._golden = self.execute(())
+        return self._golden
+
+    def classify(self, output: np.ndarray) -> Outcome:
+        """Compare an output against the golden copy.
+
+        Subclasses with semantic outputs (CNN labels/boxes) override
+        this; the default is element-wise numerical comparison.
+        """
+        gold = self.golden()
+        if output.shape != gold.shape:
+            return Outcome.SDC
+        if np.allclose(
+            output, gold, rtol=self.rtol, atol=self.atol, equal_nan=False
+        ):
+            return Outcome.MASKED
+        return Outcome.SDC
+
+    def run_and_classify(
+        self, injections: Sequence[Injection] = ()
+    ) -> Outcome:
+        """Execute with injections and fold DUEs into the outcome."""
+        try:
+            output = self.execute(injections)
+        except DueError:
+            return Outcome.DUE
+        return self.classify(output)
+
+    # ----------------------------------------------------------------
+    # Injection space
+    # ----------------------------------------------------------------
+
+    def injection_space(self) -> Mapping[str, Mapping[str, np.ndarray]]:
+        """State arrays visible at each stage entry of a golden run.
+
+        Used by :func:`repro.faults.injector.random_injection_for` to
+        draw area-weighted random targets.  Computed once and cached;
+        the returned arrays are snapshots (mutating them is harmless).
+        """
+        if self._space is None:
+            space: Dict[str, Dict[str, np.ndarray]] = {}
+            state = self._initial_state()
+            for stage in self.stage_names():
+                space[stage] = {
+                    k: v.copy() for k, v in state.items()
+                }
+                state = self.run_stage(stage, state)
+            self._space = space
+        return self._space
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r},"
+            f" domain={self.domain.value!r}, seed={self.seed})"
+        )
+
+
+def bounded_loop(limit: int, what: str):
+    """Iteration guard: raise a DUE instead of hanging.
+
+    Usage::
+
+        for _ in bounded_loop(10_000, "BFS frontier"):
+            ...
+            if done: break
+
+    On real hardware a corrupted loop bound shows up as a hang that
+    the watchdog kills — the paper counts that as a DUE.
+    """
+    if limit <= 0:
+        raise ValueError(f"limit must be positive, got {limit}")
+
+    def _gen():
+        for i in range(limit):
+            yield i
+        raise DueError(f"iteration budget exceeded in {what}")
+
+    return _gen()

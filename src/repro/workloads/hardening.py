@@ -1,0 +1,135 @@
+"""Software hardening: duplication with comparison (DWC).
+
+The paper's remedy space is physical (boron depletion, shielding); the
+standard *software* remedy for SDCs is redundant execution.  A
+:class:`DuplicatedWorkload` runs the wrapped workload twice per
+"execution" and compares: a mismatch is a *detection* (the SDC becomes
+a DUE-like recoverable event), an agreement passes through.  Faults in
+one replica are therefore never silent — at 2x the compute cost.
+
+Used by the hardening ablation to show what fraction of the thermal
+SDC FIT duplication buys back on each device class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.faults.injector import Injection
+from repro.faults.models import DueError, Outcome
+from repro.workloads.base import Workload
+
+
+class DwcOutcome(enum.Enum):
+    """Outcome of one duplicated execution."""
+
+    #: Replicas agreed and matched the golden output.
+    CORRECT = "correct"
+    #: Replicas disagreed: error detected, recovery possible.
+    DETECTED = "detected"
+    #: Replicas agreed on a *wrong* output (fault before the fork,
+    #: or symmetric corruption): still silent.
+    SILENT = "silent"
+    #: A replica crashed: ordinary DUE.
+    CRASHED = "crashed"
+
+
+@dataclass
+class DuplicatedWorkload:
+    """Duplication-with-comparison wrapper around a workload.
+
+    Faults are injected into *one* replica (radiation strikes one
+    physical execution); inputs shared by both replicas are modelled
+    by ``shared_input_stages`` — an injection into one of those
+    stages corrupts both replicas identically and stays silent.
+
+    Attributes:
+        workload: the wrapped workload.
+        shared_input_stages: stages whose state is physically shared
+            (e.g. the input buffers both replicas read).
+    """
+
+    workload: Workload
+    shared_input_stages: Sequence[str] = ()
+
+    def run(self, injections: Sequence[Injection] = ()) -> DwcOutcome:
+        """One duplicated execution with faults in replica A."""
+        shared = [
+            i
+            for i in injections
+            if i.stage in self.shared_input_stages
+        ]
+        private = [
+            i
+            for i in injections
+            if i.stage not in self.shared_input_stages
+        ]
+        try:
+            out_a = self.workload.execute(list(injections))
+        except DueError:
+            return DwcOutcome.CRASHED
+        try:
+            # Replica B sees only the shared-input corruption.
+            out_b = self.workload.execute(shared)
+        except DueError:
+            return DwcOutcome.CRASHED
+        if out_a.shape != out_b.shape or not np.allclose(
+            out_a,
+            out_b,
+            rtol=self.workload.rtol,
+            atol=self.workload.atol,
+            equal_nan=True,
+        ):
+            return DwcOutcome.DETECTED
+        # Replicas agree; are they right?
+        if self.workload.classify(out_a) is Outcome.MASKED:
+            return DwcOutcome.CORRECT
+        del private
+        return DwcOutcome.SILENT
+
+    def sdc_coverage(
+        self,
+        rng: np.random.Generator,
+        n_trials: int = 100,
+    ) -> float:
+        """Fraction of would-be SDCs that duplication detects.
+
+        Draws random injections, keeps the ones that are SDCs on the
+        bare workload, and checks what DWC does with them.
+
+        Raises:
+            ValueError: if no SDC-producing injections are found in
+                ``n_trials`` draws (coverage undefined).
+        """
+        from repro.faults.injector import random_injection_for
+
+        if n_trials <= 0:
+            raise ValueError(
+                f"n_trials must be positive, got {n_trials}"
+            )
+        space = self.workload.injection_space()
+        sdc_total = 0
+        detected = 0
+        for _ in range(n_trials):
+            injection = random_injection_for(rng, space)
+            if (
+                self.workload.run_and_classify([injection])
+                is not Outcome.SDC
+            ):
+                continue
+            sdc_total += 1
+            if self.run([injection]) is DwcOutcome.DETECTED:
+                detected += 1
+        if sdc_total == 0:
+            raise ValueError(
+                "no SDC-producing injections found; increase"
+                " n_trials"
+            )
+        return detected / sdc_total
+
+
+__all__ = ["DwcOutcome", "DuplicatedWorkload"]

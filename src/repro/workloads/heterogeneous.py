@@ -1,0 +1,270 @@
+"""The three heterogeneous (APU) codes: SC, CED and BFS.
+
+These are the codes the paper runs split across the APU's CPU and GPU;
+our stage structure mirrors that split (CPU half / GPU half) so control
+injections can target the synchronization boundary — the resource the
+paper found unusually thermal-soft.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.faults.models import DueError
+from repro.workloads.base import (
+    State,
+    Workload,
+    WorkloadDomain,
+    bounded_loop,
+)
+
+
+class StreamCompaction(Workload):
+    """SC: remove elements matching a predicate (memory-bound).
+
+    Scan/compact structure: flag, prefix-sum, scatter.  A flipped flag
+    or prefix value corrupts the output layout (SDC); a corrupted
+    element count breaks the scatter (DUE).
+    """
+
+    name = "SC"
+    domain = WorkloadDomain.HETEROGENEOUS
+
+    def __init__(self, n: int = 512, seed: int = 1234):
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = n
+        super().__init__(seed)
+
+    def build_input(self, rng: np.random.Generator) -> State:
+        values = rng.integers(0, 100, size=self.n).astype(np.int64)
+        return {"values": values}
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return ("flag", "scan", "scatter")
+
+    def run_stage(self, stage: str, state: State) -> State:
+        if stage == "flag":
+            # Keep elements >= 50 (removes roughly half).
+            state["flags"] = (state["values"] >= 50).astype(np.int64)
+        elif stage == "scan":
+            flags = state["flags"]
+            # Exclusive prefix sum.
+            scan = np.zeros_like(flags)
+            np.cumsum(flags[:-1], out=scan[1:])
+            state["scan"] = scan
+            state["count"] = np.array(
+                [int(flags.sum())], dtype=np.int64
+            )
+        elif stage == "scatter":
+            count = int(state["count"][0])
+            if count < 0 or count > state["values"].size:
+                raise DueError("corrupted element count in scatter")
+            out = np.zeros(count, dtype=np.int64)
+            flags, scan, values = (
+                state["flags"],
+                state["scan"],
+                state["values"],
+            )
+            idx = scan[flags != 0]
+            if idx.size and (idx.min() < 0 or idx.max() >= max(count, 1)):
+                raise DueError("scatter index out of bounds")
+            out[idx] = values[flags != 0]
+            state["output"] = out
+        return state
+
+    def output_of(self, state: State) -> np.ndarray:
+        return state["output"]
+
+
+class CannyEdgeDetection(Workload):
+    """CED: Sobel gradients, non-maximum suppression, hysteresis.
+
+    CPU and GPU work on different frames in the paper; we model one
+    frame with the full operator chain.
+    """
+
+    name = "CED"
+    domain = WorkloadDomain.HETEROGENEOUS
+    rtol = 0.0
+    atol = 0.0
+
+    def __init__(self, size: int = 32, seed: int = 1234):
+        if size < 8:
+            raise ValueError(f"size must be >= 8, got {size}")
+        self.size = size
+        super().__init__(seed)
+
+    def build_input(self, rng: np.random.Generator) -> State:
+        # A synthetic "urban" frame: blocks (buildings) and a gradient
+        # sky so there are real edges to find.
+        img = np.zeros((self.size, self.size))
+        img += np.linspace(0.0, 0.4, self.size)[None, :]
+        for _ in range(4):
+            x0, y0 = rng.integers(0, self.size - 6, size=2)
+            w, h = rng.integers(3, 6, size=2)
+            img[y0 : y0 + h, x0 : x0 + w] = rng.random() * 0.6 + 0.4
+        return {"image": img}
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return ("blur", "gradient", "nms", "hysteresis")
+
+    def run_stage(self, stage: str, state: State) -> State:
+        if stage == "blur":
+            img = state["image"]
+            padded = np.pad(img, 1, mode="edge")
+            out = np.zeros_like(img)
+            kernel = np.array(
+                [[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=float
+            ) / 16.0
+            for dy in range(3):
+                for dx in range(3):
+                    out += kernel[dy, dx] * padded[
+                        dy : dy + img.shape[0], dx : dx + img.shape[1]
+                    ]
+            state["blurred"] = out
+        elif stage == "gradient":
+            img = np.pad(state["blurred"], 1, mode="edge")
+            h, w = state["blurred"].shape
+            gx = (
+                img[0:h, 2:] + 2 * img[1 : h + 1, 2:] + img[2:, 2:]
+                - img[0:h, :w] - 2 * img[1 : h + 1, :w] - img[2:, :w]
+            )
+            gy = (
+                img[2:, 0:w] + 2 * img[2:, 1 : w + 1] + img[2:, 2:]
+                - img[:h, 0:w] - 2 * img[:h, 1 : w + 1] - img[:h, 2:]
+            )
+            state["magnitude"] = np.hypot(gx, gy)
+            state["direction"] = np.arctan2(gy, gx)
+        elif stage == "nms":
+            mag = state["magnitude"]
+            ang = state["direction"]
+            # Quantize direction to 4 sectors and suppress non-maxima.
+            sector = (
+                np.round(ang / (np.pi / 4.0)).astype(int) % 4
+            )
+            offsets = {
+                0: (0, 1), 1: (1, 1), 2: (1, 0), 3: (1, -1),
+            }
+            out = np.zeros_like(mag)
+            h, w = mag.shape
+            for s, (dy, dx) in offsets.items():
+                ys, xs = np.nonzero(sector == s)
+                for y, x in zip(ys, xs):
+                    y1, x1 = y + dy, x + dx
+                    y2, x2 = y - dy, x - dx
+                    m1 = mag[y1, x1] if 0 <= y1 < h and 0 <= x1 < w else 0
+                    m2 = mag[y2, x2] if 0 <= y2 < h and 0 <= x2 < w else 0
+                    if mag[y, x] >= m1 and mag[y, x] >= m2:
+                        out[y, x] = mag[y, x]
+            state["thin"] = out
+        elif stage == "hysteresis":
+            thin = state["thin"]
+            high = 0.35 * float(thin.max()) if thin.size else 0.0
+            low = 0.5 * high
+            strong = thin >= high
+            weak = (thin >= low) & ~strong
+            edges = strong.copy()
+            # Grow strong edges into connected weak pixels.
+            for _ in bounded_loop(thin.size + 1, "CED hysteresis"):
+                padded = np.pad(edges, 1)
+                neighbour = (
+                    padded[:-2, 1:-1] | padded[2:, 1:-1]
+                    | padded[1:-1, :-2] | padded[1:-1, 2:]
+                    | padded[:-2, :-2] | padded[:-2, 2:]
+                    | padded[2:, :-2] | padded[2:, 2:]
+                )
+                grown = edges | (weak & neighbour)
+                if np.array_equal(grown, edges):
+                    break
+                edges = grown
+            state["edges"] = edges.astype(np.uint8)
+        return state
+
+    def output_of(self, state: State) -> np.ndarray:
+        return state["edges"]
+
+
+class BreadthFirstSearch(Workload):
+    """BFS over a road-network-like graph (non-uniform memory access).
+
+    The CSR representation makes index corruption consequential: a
+    flipped offset sends the traversal out of bounds — the crash the
+    paper's GPS-navigation motivation implies.
+    """
+
+    name = "BFS"
+    domain = WorkloadDomain.HETEROGENEOUS
+    rtol = 0.0
+    atol = 0.0
+
+    def __init__(self, n_nodes: int = 256, degree: int = 4,
+                 seed: int = 1234):
+        if n_nodes <= 1:
+            raise ValueError(f"need > 1 node, got {n_nodes}")
+        if degree <= 0:
+            raise ValueError(f"degree must be positive, got {degree}")
+        self.n_nodes = n_nodes
+        self.degree = degree
+        super().__init__(seed)
+
+    def build_input(self, rng: np.random.Generator) -> State:
+        # Ring + random chords: connected, low diameter, road-like.
+        edges = set()
+        for v in range(self.n_nodes):
+            edges.add((v, (v + 1) % self.n_nodes))
+            edges.add(((v + 1) % self.n_nodes, v))
+        extra = self.n_nodes * (self.degree - 2) // 2
+        for _ in range(max(extra, 0)):
+            a, b = rng.integers(0, self.n_nodes, size=2)
+            if a != b:
+                edges.add((int(a), int(b)))
+                edges.add((int(b), int(a)))
+        by_src: dict = {}
+        for a, b in sorted(edges):
+            by_src.setdefault(a, []).append(b)
+        offsets = np.zeros(self.n_nodes + 1, dtype=np.int64)
+        targets = []
+        for v in range(self.n_nodes):
+            nbrs = by_src.get(v, [])
+            targets.extend(nbrs)
+            offsets[v + 1] = offsets[v] + len(nbrs)
+        return {
+            "offsets": offsets,
+            "targets": np.asarray(targets, dtype=np.int64),
+            "distance": np.full(self.n_nodes, -1, dtype=np.int64),
+        }
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return ("traverse",)
+
+    def run_stage(self, stage: str, state: State) -> State:
+        offsets, targets = state["offsets"], state["targets"]
+        dist = state["distance"]
+        dist[:] = -1
+        dist[0] = 0
+        frontier = [0]
+        for _ in bounded_loop(self.n_nodes + 1, "BFS traversal"):
+            if not frontier:
+                break
+            nxt = []
+            for v in frontier:
+                if not 0 <= v < self.n_nodes:
+                    raise DueError("BFS vertex id out of bounds")
+                lo, hi = int(offsets[v]), int(offsets[v + 1])
+                if lo < 0 or hi < lo or hi > targets.size:
+                    raise DueError("BFS CSR offsets corrupted")
+                for w in targets[lo:hi]:
+                    w = int(w)
+                    if not 0 <= w < self.n_nodes:
+                        raise DueError("BFS edge target out of bounds")
+                    if dist[w] < 0:
+                        dist[w] = dist[v] + 1
+                        nxt.append(w)
+            frontier = nxt
+        return state
+
+    def output_of(self, state: State) -> np.ndarray:
+        return state["distance"]

@@ -1,0 +1,171 @@
+"""CPU+GPU split execution with a vulnerable synchronization fabric.
+
+The paper's strongest thermal result is *where* the APU is soft: "the
+mechanism responsible for communication and synchronism between CPU
+and GPU is particularly sensitive to thermal neutrons" (DUE ratio
+1.18).  This wrapper executes a workload the way the APU campaign did
+— the input split 50/50 between a CPU half and a GPU half, results
+joined at a synchronization point — and exposes that fabric as an
+injectable surface: descriptors corrupted at the join are exactly the
+hangs/crashes the paper counted as DUEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.faults.injector import Injection, flip_bit_in_array
+from repro.faults.models import DueError, Outcome
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class SplitOutcome:
+    """Result of one split execution.
+
+    Attributes:
+        outcome: application outcome.
+        sync_fault: True if the synchronization fabric was struck.
+    """
+
+    outcome: Outcome
+    sync_fault: bool
+
+
+class SplitExecution:
+    """Runs a workload split across two compute halves.
+
+    The split is along the stage list: the first half of the stages
+    plays the "CPU" role, the second the "GPU" role (the paper's
+    heterogeneous codes pipeline CPU and GPU phases).  Between them
+    sits a descriptor block — addresses, lengths, ready flags — whose
+    corruption stalls the join.
+
+    Args:
+        workload: the wrapped workload (needs >= 2 stages).
+        sync_words: size of the synchronization descriptor block.
+        seed: RNG seed for descriptor layout.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        sync_words: int = 16,
+        seed: int = 2020,
+    ) -> None:
+        if len(workload.stage_names()) < 2:
+            raise ValueError(
+                "split execution needs a workload with >= 2 stages"
+            )
+        if sync_words <= 0:
+            raise ValueError(
+                f"sync_words must be positive, got {sync_words}"
+            )
+        self.workload = workload
+        self.rng = np.random.default_rng(seed)
+        # Descriptor block: plausible addresses/lengths/flags. Any
+        # bit flip here is checked against the expected copy at the
+        # join, like real command queues validate doorbells.
+        self._sync_golden = self.rng.integers(
+            0, 2 ** 48, size=sync_words, dtype=np.uint64
+        )
+
+    @property
+    def cpu_stages(self) -> Sequence[str]:
+        """Stages executed by the CPU half."""
+        names = self.workload.stage_names()
+        return names[: len(names) // 2]
+
+    @property
+    def gpu_stages(self) -> Sequence[str]:
+        """Stages executed by the GPU half."""
+        names = self.workload.stage_names()
+        return names[len(names) // 2 :]
+
+    def run(
+        self,
+        injections: Sequence[Injection] = (),
+        sync_injection: Optional[int] = None,
+    ) -> SplitOutcome:
+        """Execute with optional data and sync-fabric faults.
+
+        Args:
+            injections: ordinary workload injections (either half).
+            sync_injection: flat bit index into the descriptor block
+                to flip, or None.
+
+        Returns:
+            A :class:`SplitOutcome`.
+        """
+        sync_block = self._sync_golden.copy()
+        if sync_injection is not None:
+            total_bits = sync_block.size * 64
+            if not 0 <= sync_injection < total_bits:
+                raise ValueError(
+                    f"sync bit {sync_injection} outside block of"
+                    f" {total_bits} bits"
+                )
+            flip_bit_in_array(
+                sync_block, sync_injection // 64, sync_injection % 64
+            )
+        # The join validates the descriptors; any corruption means
+        # the GPU half never gets (or never signals) its work: hang.
+        if not np.array_equal(sync_block, self._sync_golden):
+            return SplitOutcome(outcome=Outcome.DUE, sync_fault=True)
+        try:
+            output = self.workload.execute(list(injections))
+        except DueError:
+            return SplitOutcome(
+                outcome=Outcome.DUE, sync_fault=False
+            )
+        return SplitOutcome(
+            outcome=self.workload.classify(output),
+            sync_fault=False,
+        )
+
+    def due_fraction(
+        self,
+        rng: np.random.Generator,
+        sync_strike_probability: float,
+        n_trials: int = 100,
+    ) -> float:
+        """DUE fraction under a mixed data/sync strike population.
+
+        Args:
+            rng: generator for strike placement.
+            sync_strike_probability: chance a strike hits the fabric
+                rather than data (the APU's thermal-soft resource —
+                raise it to reproduce the CPU+GPU DUE excess).
+            n_trials: strikes to simulate.
+        """
+        if not 0.0 <= sync_strike_probability <= 1.0:
+            raise ValueError(
+                "probability must be in [0, 1],"
+                f" got {sync_strike_probability}"
+            )
+        if n_trials <= 0:
+            raise ValueError(
+                f"n_trials must be positive, got {n_trials}"
+            )
+        from repro.faults.injector import random_injection_for
+
+        space = self.workload.injection_space()
+        dues = 0
+        for _ in range(n_trials):
+            if rng.random() < sync_strike_probability:
+                bit = int(
+                    rng.integers(self._sync_golden.size * 64)
+                )
+                result = self.run(sync_injection=bit)
+            else:
+                injection = random_injection_for(rng, space)
+                result = self.run([injection])
+            if result.outcome is Outcome.DUE:
+                dues += 1
+        return dues / n_trials
+
+
+__all__ = ["SplitExecution", "SplitOutcome"]

@@ -1,0 +1,266 @@
+"""The four HPC codes: MxM, LUD, LavaMD and HotSpot (Section III-B).
+
+All are NumPy implementations sized to run in milliseconds so that a
+virtual beam campaign can execute thousands of injected runs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.faults.models import DueError
+from repro.workloads.base import State, Workload, WorkloadDomain
+
+
+class MxM(Workload):
+    """Blocked matrix multiplication — the compute-bound archetype.
+
+    ``C = A @ B`` computed block-by-block (the blocking gives the
+    pipeline distinct stages so injections can land mid-computation).
+    """
+
+    name = "MxM"
+    domain = WorkloadDomain.HPC
+
+    def __init__(
+        self,
+        n: int = 24,
+        block: int = 8,
+        seed: int = 1234,
+        dtype: str = "float64",
+    ):
+        if n <= 0 or block <= 0 or n % block:
+            raise ValueError(
+                f"n ({n}) must be a positive multiple of block ({block})"
+            )
+        if dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"dtype must be float64 or float32, got {dtype!r}"
+            )
+        self.n = n
+        self.block = block
+        # Single vs double precision: the paper's FPGA comparison
+        # motivates exposing the precision knob — single-precision
+        # state has fewer ignorable mantissa bits, so a larger
+        # fraction of flips is visible.
+        self.dtype = np.dtype(dtype)
+        super().__init__(seed)
+
+    def build_input(self, rng: np.random.Generator) -> State:
+        return {
+            "A": rng.standard_normal((self.n, self.n)).astype(
+                self.dtype
+            ),
+            "B": rng.standard_normal((self.n, self.n)).astype(
+                self.dtype
+            ),
+            "C": np.zeros((self.n, self.n), dtype=self.dtype),
+        }
+
+    def stage_names(self) -> Tuple[str, ...]:
+        blocks = self.n // self.block
+        return tuple(
+            f"block-{i}-{j}" for i in range(blocks) for j in range(blocks)
+        )
+
+    def run_stage(self, stage: str, state: State) -> State:
+        _, si, sj = stage.split("-")
+        i, j = int(si) * self.block, int(sj) * self.block
+        a = state["A"][i : i + self.block, :]
+        b = state["B"][:, j : j + self.block]
+        state["C"][i : i + self.block, j : j + self.block] = a @ b
+        return state
+
+    def output_of(self, state: State) -> np.ndarray:
+        return state["C"]
+
+
+class LUD(Workload):
+    """LU decomposition (Doolittle, partial pivoting) of a dense system.
+
+    Output is the solution of ``A x = b`` via the computed factors, so
+    corrupted pivots show up as wrong answers; a zero pivot (possible
+    after a high-order-bit flip) raises — a DUE, exactly like the
+    device dividing by zero.
+    """
+
+    name = "LUD"
+    domain = WorkloadDomain.HPC
+    rtol = 1e-7
+
+    def __init__(self, n: int = 24, seed: int = 1234):
+        if n <= 1:
+            raise ValueError(f"n must be > 1, got {n}")
+        self.n = n
+        super().__init__(seed)
+
+    def build_input(self, rng: np.random.Generator) -> State:
+        a = rng.standard_normal((self.n, self.n))
+        # Diagonal dominance keeps the golden run well-conditioned.
+        a += np.eye(self.n) * self.n
+        return {
+            "A": a,
+            "b": rng.standard_normal(self.n),
+            "x": np.zeros(self.n),
+        }
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return ("factor", "forward", "backward")
+
+    def run_stage(self, stage: str, state: State) -> State:
+        if stage == "factor":
+            lu = state["A"].copy()
+            n = self.n
+            perm = np.arange(n)
+            for k in range(n - 1):
+                pivot_row = k + int(np.argmax(np.abs(lu[k:, k])))
+                if lu[pivot_row, k] == 0.0:
+                    raise DueError("zero pivot in LUD factorization")
+                if pivot_row != k:
+                    lu[[k, pivot_row]] = lu[[pivot_row, k]]
+                    perm[[k, pivot_row]] = perm[[pivot_row, k]]
+                lu[k + 1 :, k] /= lu[k, k]
+                lu[k + 1 :, k + 1 :] -= np.outer(
+                    lu[k + 1 :, k], lu[k, k + 1 :]
+                )
+            state["LU"] = lu
+            state["perm"] = perm
+        elif stage == "forward":
+            lu, perm = state["LU"], state["perm"]
+            y = state["b"][perm].astype(float)
+            for i in range(1, self.n):
+                y[i] -= lu[i, :i] @ y[:i]
+            state["y"] = y
+        elif stage == "backward":
+            lu, y = state["LU"], state["y"]
+            x = y.copy()
+            for i in range(self.n - 1, -1, -1):
+                x[i] -= lu[i, i + 1 :] @ x[i + 1 :]
+                if lu[i, i] == 0.0:
+                    raise DueError("zero pivot in back substitution")
+                x[i] /= lu[i, i]
+            state["x"] = x
+        return state
+
+    def output_of(self, state: State) -> np.ndarray:
+        return state["x"]
+
+
+class LavaMD(Workload):
+    """Particle interactions in a 3-D box grid (cutoff pair potential).
+
+    Mirrors the Rodinia kernel: for each box, accumulate forces from
+    particles in the box and its neighbours, dominated by dot products.
+    """
+
+    name = "LavaMD"
+    domain = WorkloadDomain.HPC
+    rtol = 1e-8
+
+    def __init__(
+        self, boxes_per_side: int = 2, per_box: int = 8, seed: int = 1234
+    ):
+        if boxes_per_side <= 0 or per_box <= 0:
+            raise ValueError("box grid and occupancy must be positive")
+        self.boxes_per_side = boxes_per_side
+        self.per_box = per_box
+        super().__init__(seed)
+
+    def build_input(self, rng: np.random.Generator) -> State:
+        n_boxes = self.boxes_per_side ** 3
+        n = n_boxes * self.per_box
+        positions = rng.random((n, 3)) * self.boxes_per_side
+        charges = rng.random(n)
+        return {
+            "positions": positions,
+            "charges": charges,
+            "forces": np.zeros((n, 3)),
+        }
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(
+            f"box-{b}" for b in range(self.boxes_per_side ** 3)
+        )
+
+    def _box_of(self, positions: np.ndarray) -> np.ndarray:
+        cells = np.floor(positions).astype(int)
+        cells = np.clip(cells, 0, self.boxes_per_side - 1)
+        s = self.boxes_per_side
+        return cells[:, 0] * s * s + cells[:, 1] * s + cells[:, 2]
+
+    def run_stage(self, stage: str, state: State) -> State:
+        box_id = int(stage.split("-")[1])
+        positions, charges = state["positions"], state["charges"]
+        box_index = self._box_of(positions)
+        mine = np.nonzero(box_index == box_id)[0]
+        if mine.size == 0:
+            return state
+        cutoff_sq = 1.0
+        deltas = positions[None, :, :] - positions[mine][:, None, :]
+        dist_sq = (deltas ** 2).sum(axis=2)
+        mask = (dist_sq > 0.0) & (dist_sq < cutoff_sq)
+        # Screened-Coulomb-like kernel, vectorized over pairs.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv = np.where(mask, 1.0 / np.maximum(dist_sq, 1e-300), 0.0)
+        weights = inv * charges[None, :] * mask
+        state["forces"][mine] += (
+            deltas * weights[:, :, None]
+        ).sum(axis=1)
+        return state
+
+    def output_of(self, state: State) -> np.ndarray:
+        return state["forces"]
+
+
+class HotSpot(Workload):
+    """Stencil thermal solver on an architectural floor plan.
+
+    Jacobi iterations of the 5-point heat stencil with a power map,
+    matching the Rodinia HotSpot structure.
+    """
+
+    name = "HotSpot"
+    domain = WorkloadDomain.HPC
+    rtol = 1e-8
+
+    def __init__(
+        self, grid: int = 32, iterations: int = 12, seed: int = 1234
+    ):
+        if grid < 3:
+            raise ValueError(f"grid must be >= 3, got {grid}")
+        if iterations <= 0:
+            raise ValueError(
+                f"iterations must be positive, got {iterations}"
+            )
+        self.grid = grid
+        self.iterations = iterations
+        super().__init__(seed)
+
+    def build_input(self, rng: np.random.Generator) -> State:
+        return {
+            "temperature": np.full((self.grid, self.grid), 45.0)
+            + rng.random((self.grid, self.grid)),
+            "power": rng.random((self.grid, self.grid)) * 2.0,
+        }
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(f"iter-{i}" for i in range(self.iterations))
+
+    def run_stage(self, stage: str, state: State) -> State:
+        t = state["temperature"]
+        p = state["power"]
+        inner = t[1:-1, 1:-1]
+        neighbours = (
+            t[:-2, 1:-1] + t[2:, 1:-1] + t[1:-1, :-2] + t[1:-1, 2:]
+        )
+        new = t.copy()
+        new[1:-1, 1:-1] = inner + 0.1 * (
+            neighbours - 4.0 * inner
+        ) + 0.05 * p[1:-1, 1:-1]
+        state["temperature"] = new
+        return state
+
+    def output_of(self, state: State) -> np.ndarray:
+        return state["temperature"]

@@ -1,0 +1,208 @@
+"""The two neural-network codes: a YOLO-like detector and MNIST.
+
+Both classify semantically, like the paper does: an output is an SDC
+only if the *detections/labels* change, not if some internal activation
+wiggles.  This reproduces the companion result that CNN object
+detection has low SDC sensitivity (most flips are absorbed by the
+argmax) while its long pipeline leaves room for DUEs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.faults.models import Outcome
+from repro.workloads.base import State, Workload, WorkloadDomain
+
+
+def _conv2d(image: np.ndarray, kernels: np.ndarray) -> np.ndarray:
+    """Valid 2-D convolution: (H, W, Cin) x (K, K, Cin, Cout)."""
+    k = kernels.shape[0]
+    h, w, cin = image.shape
+    if kernels.shape[2] != cin:
+        raise ValueError(
+            f"kernel Cin {kernels.shape[2]} != image Cin {cin}"
+        )
+    oh, ow = h - k + 1, w - k + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError("kernel larger than image")
+    out = np.zeros((oh, ow, kernels.shape[3]))
+    for dy in range(k):
+        for dx in range(k):
+            patch = image[dy : dy + oh, dx : dx + ow, :]
+            out += np.einsum("hwc,co->hwo", patch, kernels[dy, dx])
+    return out
+
+
+def _maxpool2(x: np.ndarray) -> np.ndarray:
+    """2x2 max pooling (truncating odd edges)."""
+    h, w, c = x.shape
+    h2, w2 = h // 2, w // 2
+    x = x[: h2 * 2, : w2 * 2, :]
+    return x.reshape(h2, 2, w2, 2, c).max(axis=(1, 3))
+
+
+class YoloDetector(Workload):
+    """A miniature single-shot detector in the YOLO mould.
+
+    Pipeline: conv -> relu -> pool -> conv -> relu -> pool -> per-cell
+    heads (objectness + class scores).  The output is a small detection
+    grid; classification compares detected (cell, class) sets.
+    """
+
+    name = "YOLO"
+    domain = WorkloadDomain.NEURAL
+
+    #: Objectness threshold for a detection.
+    threshold = 0.5
+
+    def __init__(self, size: int = 18, n_classes: int = 4,
+                 seed: int = 1234):
+        if size < 12:
+            raise ValueError(f"size must be >= 12, got {size}")
+        if n_classes < 2:
+            raise ValueError(
+                f"need >= 2 classes, got {n_classes}"
+            )
+        self.size = size
+        self.n_classes = n_classes
+        super().__init__(seed)
+
+    def build_input(self, rng: np.random.Generator) -> State:
+        # A frame with a few bright blobs ("vehicles/pedestrians").
+        img = rng.random((self.size, self.size, 1)) * 0.1
+        for _ in range(3):
+            y, x = rng.integers(1, self.size - 4, size=2)
+            img[y : y + 3, x : x + 3, 0] += rng.random() * 0.8 + 0.4
+        w1 = rng.standard_normal((3, 3, 1, 4)) * 0.5
+        w2 = rng.standard_normal((3, 3, 4, 8)) * 0.3
+        # Heads: one objectness + n_classes scores per cell feature.
+        w_head = rng.standard_normal((8, 1 + self.n_classes)) * 0.4
+        return {
+            "image": img, "w1": w1, "w2": w2, "w_head": w_head,
+        }
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return ("conv1", "conv2", "head")
+
+    def run_stage(self, stage: str, state: State) -> State:
+        if stage == "conv1":
+            act = _conv2d(state["image"], state["w1"])
+            state["act1"] = _maxpool2(np.maximum(act, 0.0))
+        elif stage == "conv2":
+            act = _conv2d(state["act1"], state["w2"])
+            state["act2"] = _maxpool2(np.maximum(act, 0.0))
+        elif stage == "head":
+            feats = state["act2"]
+            scores = feats @ state["w_head"]
+            obj = 1.0 / (1.0 + np.exp(-scores[..., 0]))
+            cls = scores[..., 1:].argmax(axis=-1)
+            # Detection grid: 0 = background, else class id + 1.
+            det = np.where(obj > self.threshold, cls + 1, 0)
+            state["detections"] = det.astype(np.int64)
+        return state
+
+    def output_of(self, state: State) -> np.ndarray:
+        return state["detections"]
+
+    def classify(self, output: np.ndarray) -> Outcome:
+        gold = self.golden()
+        if output.shape != gold.shape or not np.array_equal(
+            output, gold
+        ):
+            return Outcome.SDC
+        return Outcome.MASKED
+
+
+class MnistClassifier(Workload):
+    """Handwritten-digit classification on a synthetic 8x8 MNIST.
+
+    A nearest-template classifier expressed as a dense layer (the
+    templates are the weights) followed by argmax — structurally a
+    one-layer network, semantically exact on the clean inputs.  An
+    injection is an SDC only if a predicted label changes.
+    """
+
+    name = "MNIST"
+    domain = WorkloadDomain.NEURAL
+
+    def __init__(self, n_images: int = 16, seed: int = 1234):
+        if n_images <= 0:
+            raise ValueError(
+                f"need at least one image, got {n_images}"
+            )
+        self.n_images = n_images
+        super().__init__(seed)
+
+    @staticmethod
+    def _templates() -> np.ndarray:
+        """8x8 pixel-art digit templates, shape (10, 64)."""
+        rows = {
+            0: ["01111110", "11000011", "11000011", "11000011",
+                "11000011", "11000011", "11000011", "01111110"],
+            1: ["00011000", "00111000", "00011000", "00011000",
+                "00011000", "00011000", "00011000", "01111110"],
+            2: ["01111110", "11000011", "00000011", "00001110",
+                "00111000", "11100000", "11000000", "11111111"],
+            3: ["01111110", "11000011", "00000011", "00111110",
+                "00000011", "00000011", "11000011", "01111110"],
+            4: ["00001100", "00011100", "00111100", "01101100",
+                "11001100", "11111111", "00001100", "00001100"],
+            5: ["11111111", "11000000", "11000000", "11111110",
+                "00000011", "00000011", "11000011", "01111110"],
+            6: ["01111110", "11000000", "11000000", "11111110",
+                "11000011", "11000011", "11000011", "01111110"],
+            7: ["11111111", "00000011", "00000110", "00001100",
+                "00011000", "00110000", "01100000", "11000000"],
+            8: ["01111110", "11000011", "11000011", "01111110",
+                "11000011", "11000011", "11000011", "01111110"],
+            9: ["01111110", "11000011", "11000011", "01111111",
+                "00000011", "00000011", "00000011", "01111110"],
+        }
+        out = np.zeros((10, 64))
+        for digit, pattern in rows.items():
+            bits = [int(c) for line in pattern for c in line]
+            out[digit] = np.asarray(bits, dtype=float)
+        return out
+
+    def build_input(self, rng: np.random.Generator) -> State:
+        templates = self._templates()
+        labels = rng.integers(0, 10, size=self.n_images)
+        images = templates[labels] + rng.random(
+            (self.n_images, 64)
+        ) * 0.2
+        # Weight matrix = normalized templates (nearest-template as a
+        # dense layer); bias centres the dot products.
+        weights = templates / np.linalg.norm(
+            templates, axis=1, keepdims=True
+        )
+        return {
+            "images": images,
+            "weights": weights,
+            "labels": np.zeros(self.n_images, dtype=np.int64),
+        }
+
+    def stage_names(self) -> Tuple[str, ...]:
+        return ("dense", "argmax")
+
+    def run_stage(self, stage: str, state: State) -> State:
+        if stage == "dense":
+            state["scores"] = state["images"] @ state["weights"].T
+        elif stage == "argmax":
+            state["labels"] = state["scores"].argmax(
+                axis=1
+            ).astype(np.int64)
+        return state
+
+    def output_of(self, state: State) -> np.ndarray:
+        return state["labels"]
+
+    def classify(self, output: np.ndarray) -> Outcome:
+        gold = self.golden()
+        if output.shape != gold.shape or not np.array_equal(
+            output, gold
+        ):
+            return Outcome.SDC
+        return Outcome.MASKED

@@ -1,0 +1,50 @@
+"""Workload registry: name -> factory, matching the paper's code list."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.workloads.base import Workload
+from repro.workloads.heterogeneous import (
+    BreadthFirstSearch,
+    CannyEdgeDetection,
+    StreamCompaction,
+)
+from repro.workloads.hpc import HotSpot, LUD, LavaMD, MxM
+from repro.workloads.neural import MnistClassifier, YoloDetector
+
+#: Factories keyed by the paper's code names.
+WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "MxM": MxM,
+    "LUD": LUD,
+    "LavaMD": LavaMD,
+    "HotSpot": HotSpot,
+    "SC": StreamCompaction,
+    "CED": CannyEdgeDetection,
+    "BFS": BreadthFirstSearch,
+    "YOLO": YoloDetector,
+    "MNIST": MnistClassifier,
+}
+
+#: All code names, in the paper's presentation order.
+ALL_CODES: Tuple[str, ...] = tuple(WORKLOAD_FACTORIES)
+
+
+def create_workload(name: str, seed: int = 1234, **kwargs) -> Workload:
+    """Instantiate a workload by its paper name.
+
+    Args:
+        name: one of :data:`ALL_CODES`.
+        seed: input-generation seed.
+        **kwargs: size parameters forwarded to the workload.
+
+    Raises:
+        KeyError: for an unknown code name.
+    """
+    try:
+        factory = WORKLOAD_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; valid: {sorted(ALL_CODES)}"
+        ) from None
+    return factory(seed=seed, **kwargs)

@@ -1,0 +1,74 @@
+"""Changepoint detection on Poisson count series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.changepoint import (
+    detect_step,
+    step_magnitude,
+)
+
+
+class TestDetectStep:
+    def test_clean_step_found_exactly(self):
+        counts = [100] * 20 + [124] * 20
+        step = detect_step(counts)
+        assert step.index == 20
+        assert step.relative_change == pytest.approx(0.24)
+
+    def test_noisy_step_found_nearby(self):
+        rng = np.random.default_rng(0)
+        counts = np.concatenate(
+            [rng.poisson(200.0, 30), rng.poisson(248.0, 30)]
+        )
+        step = detect_step(counts)
+        assert abs(step.index - 30) <= 3
+        assert step.relative_change == pytest.approx(0.24, abs=0.08)
+
+    def test_no_step_small_gain(self):
+        rng = np.random.default_rng(1)
+        flat = rng.poisson(100.0, 60)
+        step_flat = detect_step(flat)
+        stepped = np.concatenate(
+            [rng.poisson(100.0, 30), rng.poisson(200.0, 30)]
+        )
+        step_real = detect_step(stepped)
+        assert (
+            step_real.log_likelihood_gain
+            > 10.0 * max(step_flat.log_likelihood_gain, 0.1)
+        )
+
+    def test_min_segment_respected(self):
+        counts = [1, 100, 100, 100, 100, 100, 100, 100]
+        step = detect_step(counts, min_segment=3)
+        assert 3 <= step.index <= len(counts) - 3
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            detect_step([1, 2, 3], min_segment=3)
+
+    def test_bad_min_segment(self):
+        with pytest.raises(ValueError):
+            detect_step([1, 2, 3, 4], min_segment=0)
+
+    def test_zero_pre_rate_change_undefined(self):
+        step = detect_step([0, 0, 0, 0, 10, 10, 10, 10])
+        if step.rate_before == 0.0:
+            with pytest.raises(ValueError):
+                _ = step.relative_change
+
+
+class TestStepMagnitude:
+    def test_known_index(self):
+        counts = [100] * 10 + [120] * 10
+        assert step_magnitude(counts, 10) == pytest.approx(0.20)
+
+    def test_rejects_boundary_index(self):
+        with pytest.raises(ValueError):
+            step_magnitude([1, 2, 3], 0)
+        with pytest.raises(ValueError):
+            step_magnitude([1, 2, 3], 3)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            step_magnitude([0, 0, 5, 5], 2)

@@ -1,0 +1,109 @@
+"""Poisson statistics: exact intervals vs scipy, coverage sanity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.poisson import (
+    _chi2_quantile,
+    _normal_quantile,
+    _regularized_gamma_p,
+    cross_section,
+    poisson_interval,
+    poisson_interval_normal,
+)
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestNumericalKernels:
+    @given(st.floats(min_value=0.001, max_value=0.999))
+    @settings(max_examples=50, deadline=None)
+    def test_normal_quantile_vs_scipy(self, p):
+        assert _normal_quantile(p) == pytest.approx(
+            scipy_stats.norm.ppf(p), abs=2e-4
+        )
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.5, max_value=200.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_chi2_quantile_vs_scipy(self, p, k):
+        assert _chi2_quantile(p, k) == pytest.approx(
+            scipy_stats.chi2.ppf(p, k), rel=1e-6, abs=1e-8
+        )
+
+    @given(
+        st.floats(min_value=0.5, max_value=50.0),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_gamma_p_vs_scipy(self, s, x):
+        assert _regularized_gamma_p(s, x) == pytest.approx(
+            scipy_stats.gamma.cdf(x, s), abs=1e-10
+        )
+
+
+class TestPoissonInterval:
+    def test_zero_count(self):
+        lo, hi = poisson_interval(0)
+        assert lo == 0.0
+        # The textbook 95% upper bound for zero counts is 3.689.
+        assert hi == pytest.approx(3.689, abs=0.01)
+
+    def test_textbook_ten_counts(self):
+        lo, hi = poisson_interval(10)
+        assert lo == pytest.approx(4.795, abs=0.01)
+        assert hi == pytest.approx(18.39, abs=0.02)
+
+    def test_interval_brackets_count(self):
+        for n in (1, 5, 50, 500):
+            lo, hi = poisson_interval(n)
+            assert lo < n < hi
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            poisson_interval(-1)
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            poisson_interval(5, confidence=1.0)
+
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_wider_than_or_close_to_normal(self, n):
+        exact_lo, exact_hi = poisson_interval(n)
+        norm_lo, norm_hi = poisson_interval_normal(n)
+        # The exact interval's upper bound always exceeds normal's.
+        assert exact_hi >= norm_hi - 1e-9
+
+    def test_large_count_converges_to_normal(self):
+        n = 10_000
+        exact = poisson_interval(n)
+        normal = poisson_interval_normal(n)
+        assert exact[0] == pytest.approx(normal[0], rel=0.01)
+        assert exact[1] == pytest.approx(normal[1], rel=0.01)
+
+    def test_coverage_simulation(self):
+        """~95 % of exact intervals contain the true mean."""
+        rng = np.random.default_rng(0)
+        mean = 7.0
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            lo, hi = poisson_interval(int(rng.poisson(mean)))
+            if lo <= mean <= hi:
+                hits += 1
+        assert hits / trials > 0.92
+
+
+class TestCrossSection:
+    def test_point_and_ci(self):
+        sigma, lo, hi = cross_section(50, 1e10)
+        assert sigma == pytest.approx(5e-9)
+        assert lo < sigma < hi
+
+    def test_rejects_zero_fluence(self):
+        with pytest.raises(ValueError):
+            cross_section(5, 0.0)

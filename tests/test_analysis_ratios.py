@@ -1,0 +1,80 @@
+"""Rate ratios and bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ratios import bootstrap_ci, rate_ratio
+
+
+class TestRateRatio:
+    def test_point_estimate(self):
+        r = rate_ratio(100, 10.0, 50, 10.0)
+        assert r.ratio == pytest.approx(2.0)
+
+    def test_exposure_normalization(self):
+        r = rate_ratio(100, 10.0, 100, 20.0)
+        assert r.ratio == pytest.approx(2.0)
+
+    def test_ci_brackets_point(self):
+        r = rate_ratio(30, 1.0, 15, 1.0)
+        assert r.lower < r.ratio < r.upper
+
+    def test_ci_narrows_with_counts(self):
+        small = rate_ratio(10, 1.0, 5, 1.0)
+        large = rate_ratio(1000, 100.0, 500, 100.0)
+        assert (large.upper - large.lower) < (
+            small.upper - small.lower
+        )
+
+    def test_zero_counts_rejected(self):
+        with pytest.raises(ValueError, match="zero"):
+            rate_ratio(0, 1.0, 5, 1.0)
+        with pytest.raises(ValueError, match="zero"):
+            rate_ratio(5, 1.0, 0, 1.0)
+
+    def test_bad_exposure_rejected(self):
+        with pytest.raises(ValueError):
+            rate_ratio(5, 0.0, 5, 1.0)
+
+    def test_counts_recorded(self):
+        r = rate_ratio(7, 1.0, 3, 1.0)
+        assert r.n_numerator == 7
+        assert r.n_denominator == 3
+
+    def test_coverage_simulation(self):
+        """~95 % of ratio CIs contain the true ratio."""
+        rng = np.random.default_rng(1)
+        true_ratio = 3.0
+        hits = trials = 0
+        for _ in range(300):
+            a = int(rng.poisson(60.0))
+            b = int(rng.poisson(20.0))
+            if a == 0 or b == 0:
+                continue
+            trials += 1
+            r = rate_ratio(a, 1.0, b, 1.0)
+            if r.lower <= true_ratio <= r.upper:
+                hits += 1
+        assert hits / trials > 0.90
+
+
+class TestBootstrap:
+    def test_mean_recovery(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(10.0, 2.0, size=200)
+        point, lo, hi = bootstrap_ci(data, np.mean, seed=3)
+        assert lo < 10.0 < hi
+        assert point == pytest.approx(data.mean())
+
+    def test_percentiles_ordered(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        point, lo, hi = bootstrap_ci(data, np.median, seed=4)
+        assert lo <= point <= hi
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], np.mean)
+
+    def test_bad_resamples_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], np.mean, n_resamples=0)

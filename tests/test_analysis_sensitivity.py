@@ -1,0 +1,105 @@
+"""Uncertainty propagation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    PropagationResult,
+    UncertainParameter,
+    propagate,
+    thermal_share_with_uncertainty,
+)
+
+
+class TestUncertainParameter:
+    def test_zero_sigma_is_constant(self):
+        p = UncertainParameter("x", 5.0, 0.0)
+        samples = p.sample(np.random.default_rng(0), 100)
+        assert (samples == 5.0).all()
+
+    def test_median_near_nominal(self):
+        p = UncertainParameter("x", 5.0, 0.3)
+        samples = p.sample(np.random.default_rng(1), 20_000)
+        assert np.median(samples) == pytest.approx(5.0, rel=0.02)
+
+    def test_samples_positive(self):
+        p = UncertainParameter("x", 1.0, 0.8)
+        samples = p.sample(np.random.default_rng(2), 5000)
+        assert (samples > 0.0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UncertainParameter("x", 0.0, 0.1)
+        with pytest.raises(ValueError):
+            UncertainParameter("x", 1.0, -0.1)
+
+
+class TestPropagate:
+    def test_identity_model(self):
+        p = UncertainParameter("x", 2.0, 0.1)
+        result = propagate(
+            lambda v: v["x"], [p], n_samples=4000, seed=3
+        )
+        assert result.nominal == 2.0
+        assert result.q05 < 2.0 < result.q95
+        assert result.contains(2.0)
+
+    def test_constant_model_zero_band(self):
+        p = UncertainParameter("x", 2.0, 0.5)
+        result = propagate(
+            lambda v: 7.0, [p], n_samples=500, seed=4
+        )
+        assert result.band_width == 0.0
+        assert result.std == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            propagate(lambda v: 0.0, [], n_samples=10)
+        with pytest.raises(ValueError):
+            propagate(
+                lambda v: 0.0,
+                [UncertainParameter("x", 1.0, 0.1)],
+                n_samples=0,
+            )
+
+    def test_deterministic(self):
+        p = UncertainParameter("x", 1.0, 0.2)
+        a = propagate(lambda v: v["x"] ** 2, [p], seed=5)
+        b = propagate(lambda v: v["x"] ** 2, [p], seed=5)
+        assert a == b
+
+
+class TestThermalShareUncertainty:
+    def test_nominal_matches_identity(self):
+        result = thermal_share_with_uncertainty(1.18, 0.755)
+        assert result.nominal == pytest.approx(
+            0.755 / (0.755 + 1.18)
+        )
+
+    def test_band_brackets_nominal(self):
+        result = thermal_share_with_uncertainty(10.14, 0.445)
+        assert result.q05 < result.nominal < result.q95
+
+    def test_share_stays_in_unit_interval(self):
+        result = thermal_share_with_uncertainty(
+            1.18, 0.755, flux_ratio_rel_sigma=0.5, seed=6
+        )
+        assert 0.0 < result.q05 and result.q95 < 1.0
+
+    def test_softer_flux_knowledge_wider_band(self):
+        tight = thermal_share_with_uncertainty(
+            2.0, 0.5, flux_ratio_rel_sigma=0.05, seed=7
+        )
+        loose = thermal_share_with_uncertainty(
+            2.0, 0.5, flux_ratio_rel_sigma=0.40, seed=7
+        )
+        assert loose.band_width > tight.band_width
+
+    def test_paper_conclusions_robust(self):
+        """Even with 20 % flux-model uncertainty, the qualitative
+        conclusions survive: the Xeon Phi share stays below 10 % and
+        the APU CPU+GPU share stays above 25 %."""
+        xeon = thermal_share_with_uncertainty(10.14, 0.445, seed=8)
+        apu = thermal_share_with_uncertainty(1.18, 0.755, seed=8)
+        assert xeon.q95 < 0.10
+        assert apu.q05 > 0.25

@@ -1,0 +1,55 @@
+"""Table/report formatting."""
+
+import pytest
+
+from repro.analysis.tables import (
+    format_percent,
+    format_quantity,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["a", "bb"], [["xxx", 1], ["y", 22]]
+        )
+        lines = table.splitlines()
+        # Header, separator, two rows.
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title_line(self):
+        table = format_table(["a"], [["x"]], title="My table")
+        assert table.splitlines()[0] == "My table"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_rows_ok(self):
+        table = format_table(["a"], [])
+        assert "a" in table
+
+
+class TestFormatQuantity:
+    def test_plain_range(self):
+        assert format_quantity(12.3, "cm") == "12.3 cm"
+
+    def test_scientific_small(self):
+        assert "e-09" in format_quantity(4.5e-9, "cm^2")
+
+    def test_zero(self):
+        assert format_quantity(0.0) == "0"
+
+    def test_rejects_bad_sig(self):
+        with pytest.raises(ValueError):
+            format_quantity(1.0, sig=0)
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.245) == "24.5%"
+
+    def test_digits(self):
+        assert format_percent(0.245, digits=0) == "24%"

@@ -1,0 +1,105 @@
+"""Analytic spectrum shapes: Maxwellian, Watt, 1/E, atmospheric."""
+
+import numpy as np
+import pytest
+
+from repro.physics.constants import BOLTZMANN_EV_PER_K
+from repro.spectra.analytic import (
+    atmospheric_spectrum,
+    maxwellian_spectrum,
+    one_over_e_spectrum,
+    watt_spectrum,
+)
+
+
+class TestMaxwellian:
+    def test_normalization(self):
+        s = maxwellian_spectrum(5.0)
+        assert s.total_flux() == pytest.approx(5.0)
+
+    def test_room_temperature_is_thermal(self):
+        s = maxwellian_spectrum(1.0)
+        assert s.thermal_flux() > 0.99
+
+    def test_peak_scales_with_temperature(self):
+        cold = maxwellian_spectrum(1.0, temperature_k=20.0)
+        hot = maxwellian_spectrum(1.0, temperature_k=600.0)
+        peak = lambda s: s.group_midpoints[
+            int(np.argmax(s.lethargy_density()))
+        ]
+        assert peak(cold) < peak(hot)
+
+    def test_mean_energy_near_2kt(self):
+        # Flux-weighted Maxwellian has <E> = 2 kT.
+        t = 293.6
+        s = maxwellian_spectrum(1.0, temperature_k=t)
+        assert s.mean_energy_ev() == pytest.approx(
+            2.0 * BOLTZMANN_EV_PER_K * t, rel=0.05
+        )
+
+    def test_rejects_negative_flux(self):
+        with pytest.raises(ValueError):
+            maxwellian_spectrum(-1.0)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            maxwellian_spectrum(1.0, temperature_k=0.0)
+
+    def test_zero_flux_allowed(self):
+        assert maxwellian_spectrum(0.0).total_flux() == 0.0
+
+
+class TestWatt:
+    def test_normalization(self):
+        assert watt_spectrum(3.0).total_flux() == pytest.approx(3.0)
+
+    def test_peaks_in_mev_range(self):
+        s = watt_spectrum(1.0)
+        peak = s.group_midpoints[int(np.argmax(s.lethargy_density()))]
+        assert 1.0e5 < peak < 1.0e7
+
+    def test_no_thermal_content(self):
+        assert watt_spectrum(1.0).thermal_flux() < 1e-6
+
+
+class TestOneOverE:
+    def test_normalization(self):
+        s = one_over_e_spectrum(2.0, 1.0, 1.0e6)
+        assert s.total_flux() == pytest.approx(2.0, rel=0.01)
+
+    def test_flat_in_lethargy_inside_band(self):
+        s = one_over_e_spectrum(1.0, 10.0, 1.0e5)
+        leth = s.lethargy_density()
+        inside = (s.group_midpoints > 30.0) & (
+            s.group_midpoints < 3.0e4
+        )
+        vals = leth[inside]
+        assert vals.max() / vals.min() < 1.3
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            one_over_e_spectrum(1.0, 100.0, 10.0)
+
+
+class TestAtmospheric:
+    def test_fast_flux_normalization(self):
+        s = atmospheric_spectrum(13.0)
+        assert s.fast_flux() == pytest.approx(13.0, rel=1e-3)
+
+    def test_thermal_component_honoured(self):
+        s = atmospheric_spectrum(13.0, thermal_fraction_flux=5.0)
+        assert s.thermal_flux() == pytest.approx(5.0, rel=0.05)
+
+    def test_no_thermal_by_default(self):
+        s = atmospheric_spectrum(13.0)
+        assert s.thermal_flux() < 0.01 * s.total_flux()
+
+    def test_epithermal_bridge_exists(self):
+        s = atmospheric_spectrum(13.0)
+        assert s.epithermal_flux() > 0.0
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            atmospheric_spectrum(-1.0)
+        with pytest.raises(ValueError):
+            atmospheric_spectrum(1.0, thermal_fraction_flux=-1.0)

@@ -1,0 +1,81 @@
+"""Beamline models: fluxes, fluence, derating."""
+
+import pytest
+
+from repro.beam.beamline import Beamline, DeratingModel, chipir, rotax
+from repro.faults.models import BeamKind
+from repro.spectra import (
+    CHIPIR_FLUX_ABOVE_10MEV,
+    ROTAX_THERMAL_FLUX,
+)
+
+
+class TestDerating:
+    def test_position_zero_unity(self):
+        assert DeratingModel().factor(0) == 1.0
+
+    def test_monotone_decreasing(self):
+        model = DeratingModel()
+        factors = [model.factor(i) for i in range(4)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_geometry_and_shadowing_combine(self):
+        model = DeratingModel(
+            reference_distance_cm=100.0,
+            board_pitch_cm=100.0,
+            attenuation_per_board=0.5,
+        )
+        # Position 1: (100/200)^2 * 0.5 = 0.125.
+        assert model.factor(1) == pytest.approx(0.125)
+
+    def test_rejects_negative_position(self):
+        with pytest.raises(ValueError):
+            DeratingModel().factor(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeratingModel(reference_distance_cm=0.0)
+        with pytest.raises(ValueError):
+            DeratingModel(attenuation_per_board=1.0)
+
+
+class TestBeamlines:
+    def test_chipir_identity(self):
+        chip = chipir()
+        assert chip.kind is BeamKind.HIGH_ENERGY
+        assert chip.nominal_flux_per_cm2_s == CHIPIR_FLUX_ABOVE_10MEV
+        assert chip.max_parallel_boards > 1
+
+    def test_rotax_identity(self):
+        rot = rotax()
+        assert rot.kind is BeamKind.THERMAL
+        assert rot.nominal_flux_per_cm2_s == ROTAX_THERMAL_FLUX
+        # ROTAX: one device at a time (DUT blocks the beam).
+        assert rot.max_parallel_boards == 1
+
+    def test_fluence_linear_in_time(self):
+        chip = chipir()
+        assert chip.fluence(100.0) == pytest.approx(
+            100.0 * chip.flux_at(0)
+        )
+
+    def test_rotax_rejects_second_board(self):
+        with pytest.raises(ValueError, match="parallel"):
+            rotax().flux_at(1)
+
+    def test_chipir_derates_downstream_boards(self):
+        chip = chipir()
+        assert chip.flux_at(1) < chip.flux_at(0)
+
+    def test_fluence_rejects_negative(self):
+        with pytest.raises(ValueError):
+            chipir().fluence(-1.0)
+
+    def test_beamline_validation(self):
+        with pytest.raises(ValueError):
+            Beamline(
+                name="bad",
+                kind=BeamKind.THERMAL,
+                nominal_flux_per_cm2_s=0.0,
+                spectrum=rotax().spectrum,
+            )

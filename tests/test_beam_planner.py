@@ -1,0 +1,102 @@
+"""Beam-time planning."""
+
+import pytest
+
+from repro.beam import chipir, rotax
+from repro.beam.planner import (
+    BeamTimePlanner,
+    events_for_relative_precision,
+)
+from repro.devices import get_device
+from repro.environment import NEW_YORK, outdoor_scenario
+from repro.faults.models import Outcome
+
+
+class TestEventsForPrecision:
+    def test_ten_percent_needs_384(self):
+        assert events_for_relative_precision(0.10) == pytest.approx(
+            384.1, abs=0.5
+        )
+
+    def test_tighter_needs_more(self):
+        assert events_for_relative_precision(
+            0.05
+        ) > events_for_relative_precision(0.10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            events_for_relative_precision(0.0)
+        with pytest.raises(ValueError):
+            events_for_relative_precision(1.5)
+
+
+class TestPlanExposure:
+    @pytest.fixture
+    def planner(self):
+        return BeamTimePlanner()
+
+    def test_plan_consistent(self, planner):
+        plan = planner.plan_exposure(
+            chipir(), get_device("K20"), Outcome.SDC
+        )
+        sigma = get_device("K20").sigma(
+            chipir().kind, Outcome.SDC
+        )
+        assert plan.fluence_per_cm2 == pytest.approx(
+            plan.target_events / sigma
+        )
+        assert plan.hours > 0.0
+
+    def test_thermal_measurement_needs_longer(self, planner):
+        """The HE/thermal sigma gap and flux gap both stretch ROTAX
+        time: the same precision costs more thermal hours."""
+        device = get_device("XeonPhi")  # ratio 10.14
+        he = planner.plan_exposure(chipir(), device, Outcome.SDC)
+        th = planner.plan_exposure(rotax(), device, Outcome.SDC)
+        assert th.hours > 5.0 * he.hours
+
+    def test_zero_sigma_rejected(self, planner):
+        from repro.devices.model import (
+            Device,
+            SensitivityProfile,
+            TransistorProcess,
+        )
+
+        dead = Device(
+            name="dead", vendor="x", architecture="y",
+            technology_nm=28,
+            process=TransistorProcess.PLANAR_CMOS,
+            foundry="z",
+            profile=SensitivityProfile({}),
+        )
+        with pytest.raises(ValueError):
+            planner.plan_exposure(chipir(), dead, Outcome.SDC)
+
+    def test_ratio_plan_splits_budget(self, planner):
+        he_plan, th_plan = planner.plan_ratio(
+            chipir(), rotax(), get_device("K20"), Outcome.SDC
+        )
+        assert he_plan.target_events == th_plan.target_events
+        assert he_plan.beamline_name == "ChipIR"
+        assert th_plan.beamline_name == "ROTAX"
+
+    def test_ratio_precision_validation(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan_ratio(
+                chipir(), rotax(), get_device("K20"),
+                Outcome.SDC, relative_half_width=0.0,
+            )
+
+
+class TestAcceleration:
+    def test_chipir_acceleration_enormous(self):
+        planner = BeamTimePlanner()
+        natural = outdoor_scenario(NEW_YORK).fast_flux_per_h()
+        accel = planner.acceleration_factor(chipir(), natural)
+        # ~1.5e9 field-hours per beam-hour: the whole point of
+        # accelerated testing.
+        assert accel > 1e8
+
+    def test_rejects_bad_natural_flux(self):
+        with pytest.raises(ValueError):
+            BeamTimePlanner().acceleration_factor(chipir(), 0.0)

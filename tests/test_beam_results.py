@@ -1,0 +1,104 @@
+"""Campaign results: cross-section estimation and beam ratios."""
+
+import pytest
+
+from repro.beam.results import (
+    CampaignResult,
+    CrossSectionEstimate,
+    ExposureResult,
+)
+from repro.faults.models import BeamKind, Outcome
+
+
+def _exposure(beam, sdc=10, due=5, fluence=1e10, code="MxM"):
+    return ExposureResult(
+        device_name="DUT",
+        code=code,
+        beam=beam,
+        fluence_per_cm2=fluence,
+        sdc_count=sdc,
+        due_count=due,
+    )
+
+
+class TestCrossSectionEstimate:
+    def test_point_estimate(self):
+        est = CrossSectionEstimate.from_counts(100, 1e10)
+        assert est.sigma_cm2 == pytest.approx(1e-8)
+
+    def test_ci_brackets_point(self):
+        est = CrossSectionEstimate.from_counts(7, 1e10)
+        assert est.lower_cm2 <= est.sigma_cm2 <= est.upper_cm2
+
+    def test_zero_count_lower_bound_zero(self):
+        est = CrossSectionEstimate.from_counts(0, 1e10)
+        assert est.sigma_cm2 == 0.0
+        assert est.lower_cm2 == 0.0
+        assert est.upper_cm2 > 0.0
+
+
+class TestExposureResult:
+    def test_record_outcomes(self):
+        exp = _exposure(BeamKind.THERMAL, sdc=0, due=0)
+        exp.record(Outcome.SDC)
+        exp.record(Outcome.DUE, mechanism="hang")
+        exp.record(Outcome.MASKED)
+        assert exp.sdc_count == 1
+        assert exp.due_count == 1
+        assert exp.masked_count == 1
+        assert exp.due_mechanisms == {"hang": 1}
+
+    def test_cross_sections(self):
+        exp = _exposure(BeamKind.THERMAL, sdc=20, due=10)
+        assert exp.sdc_cross_section().sigma_cm2 == pytest.approx(
+            2e-9
+        )
+        assert exp.due_cross_section().sigma_cm2 == pytest.approx(
+            1e-9
+        )
+
+
+class TestCampaignResult:
+    def test_pooling_across_exposures(self):
+        result = CampaignResult()
+        result.add(_exposure(BeamKind.THERMAL, sdc=10, fluence=1e10))
+        result.add(_exposure(BeamKind.THERMAL, sdc=30, fluence=3e10))
+        est = result.sigma("DUT", BeamKind.THERMAL, Outcome.SDC)
+        assert est.count == 40
+        assert est.sigma_cm2 == pytest.approx(1e-9)
+
+    def test_beam_ratio(self):
+        result = CampaignResult()
+        result.add(
+            _exposure(BeamKind.HIGH_ENERGY, sdc=100, fluence=1e10)
+        )
+        result.add(_exposure(BeamKind.THERMAL, sdc=50, fluence=1e10))
+        ratio = result.beam_ratio("DUT", Outcome.SDC)
+        assert ratio.ratio == pytest.approx(2.0)
+        assert ratio.lower < 2.0 < ratio.upper
+
+    def test_code_filter(self):
+        result = CampaignResult()
+        result.add(
+            _exposure(BeamKind.THERMAL, sdc=10, code="MxM")
+        )
+        result.add(
+            _exposure(BeamKind.THERMAL, sdc=90, code="LUD")
+        )
+        est = result.sigma(
+            "DUT", BeamKind.THERMAL, Outcome.SDC, code="MxM"
+        )
+        assert est.count == 10
+
+    def test_missing_device_raises(self):
+        result = CampaignResult()
+        with pytest.raises(KeyError):
+            result.sigma("ghost", BeamKind.THERMAL, Outcome.SDC)
+
+    def test_device_names_order(self):
+        result = CampaignResult()
+        for name in ("B", "A", "B"):
+            exp = _exposure(BeamKind.THERMAL)
+            exp.device_name = name
+            result.add(exp)
+        assert result.device_names() == ["B", "A"]

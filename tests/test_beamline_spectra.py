@@ -1,0 +1,72 @@
+"""ChipIR and ROTAX beamline spectra against the published fluxes."""
+
+import numpy as np
+import pytest
+
+from repro.spectra.beamlines import (
+    CHIPIR_FLUX_ABOVE_10MEV,
+    CHIPIR_THERMAL_FLUX,
+    ROTAX_THERMAL_FLUX,
+    chipir_spectrum,
+    rotax_spectrum,
+)
+
+
+class TestChipir:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return chipir_spectrum()
+
+    def test_published_fast_flux(self, spec):
+        assert spec.fast_flux() == pytest.approx(
+            CHIPIR_FLUX_ABOVE_10MEV, rel=1e-3
+        )
+
+    def test_published_thermal_component(self, spec):
+        assert spec.thermal_flux() == pytest.approx(
+            CHIPIR_THERMAL_FLUX, rel=0.05
+        )
+
+    def test_atmospheric_like_ratio(self, spec):
+        # Fast dominates thermal by >10x, like the real beam.
+        assert spec.fast_flux() > 10.0 * spec.thermal_flux()
+
+    def test_has_epithermal_bridge(self, spec):
+        assert spec.epithermal_flux() > 0.0
+
+
+class TestRotax:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return rotax_spectrum()
+
+    def test_published_total_flux(self, spec):
+        assert spec.total_flux() == pytest.approx(
+            ROTAX_THERMAL_FLUX, rel=1e-6
+        )
+
+    def test_almost_entirely_thermal(self, spec):
+        assert spec.thermal_flux() / spec.total_flux() > 0.99
+
+    def test_cold_moderator_peak(self, spec):
+        # Liquid methane at ~110 K peaks below room temperature.
+        peak = spec.group_midpoints[
+            int(np.argmax(spec.lethargy_density()))
+        ]
+        assert peak < 0.05
+
+    def test_no_fast_content(self, spec):
+        assert spec.fast_flux() == 0.0
+
+
+class TestComparison:
+    def test_figure2_shape(self):
+        # "most neutrons in ROTAX are thermals and most neutrons in
+        # ChipIR are high energy ones"
+        chip, rot = chipir_spectrum(), rotax_spectrum()
+        assert rot.thermal_flux() > chip.thermal_flux()
+        assert chip.fast_flux() > rot.fast_flux()
+
+    def test_shared_grid(self):
+        chip, rot = chipir_spectrum(), rotax_spectrum()
+        assert np.allclose(chip.edges, rot.edges)

@@ -1,0 +1,132 @@
+"""CLI: every subcommand runs and prints the expected shape."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_site_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["assess", "--site", "atlantis"]
+            )
+
+
+class TestAssess:
+    def test_single_device(self, capsys):
+        assert main(["assess", "--device", "K20"]) == 0
+        out = capsys.readouterr().out
+        assert "K20" in out
+        assert "SDC FIT" in out
+
+    def test_all_devices_default(self, capsys):
+        assert main(["assess", "--site", "leadville", "--room"]) == 0
+        out = capsys.readouterr().out
+        assert "XeonPhi" in out and "FPGA" in out
+        # Leadville machine room triggers warnings.
+        assert "[warning]" in out
+
+    def test_custom_altitude(self, capsys):
+        assert main(
+            ["assess", "--device", "TitanX", "--altitude", "3000"]
+        ) == 0
+        assert "custom" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_ratio_table(self, capsys):
+        assert main(
+            [
+                "campaign", "--seed", "1",
+                "--chipir-hours", "0.2",
+                "--rotax-hours", "1.0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "SDC HE/thermal ratio" in out
+        assert "XeonPhi" in out
+
+    def test_save_logbook(self, capsys, tmp_path):
+        from repro.beam.logbook import CampaignLogbook
+
+        target = tmp_path / "trip.json"
+        assert main(
+            [
+                "campaign", "--seed", "1",
+                "--chipir-hours", "0.2",
+                "--rotax-hours", "1.0",
+                "--save", str(target),
+            ]
+        ) == 0
+        assert target.exists()
+        logbook = CampaignLogbook.load(target)
+        assert logbook.seed == 1
+        assert logbook.result.exposures
+
+
+class TestTop10:
+    def test_table(self, capsys):
+        assert main(["top10"]) == 0
+        out = capsys.readouterr().out
+        assert "Trinity" in out and "Summit" in out
+
+
+class TestDdr:
+    @pytest.mark.parametrize("gen", ["3", "4"])
+    def test_generations(self, capsys, gen):
+        assert main(
+            ["ddr", "--generation", gen, "--hours", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"DDR{gen}" in out
+        assert "transient" in out
+
+
+class TestWater:
+    def test_step_reported(self, capsys):
+        assert main(["water"]) == 0
+        out = capsys.readouterr().out
+        assert "+24" in out
+
+
+class TestShield:
+    def test_options_listed(self, capsys):
+        assert main(
+            ["shield", "--device", "K20", "--histories", "500"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cadmium" in out
+        assert "borated polyethylene" in out
+        assert "NO" in out  # nothing effective is practical
+
+
+class TestAvf:
+    def test_vulnerability_table(self, capsys):
+        assert main(
+            ["avf", "--code", "SC", "--samples", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Most vulnerable surfaces of SC" in out
+        assert "workload AVF" in out
+
+
+class TestCheckpoint:
+    def test_plan_printed(self, capsys):
+        assert main(
+            [
+                "checkpoint", "--device", "K20", "--site", "lanl",
+                "--room", "--nodes", "2000",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint every" in out
+        assert "thunderstorm" in out

@@ -1,0 +1,118 @@
+"""Risk assessment pipeline: reports, findings, comparisons."""
+
+import pytest
+
+from repro.core.assessment import (
+    RiskAssessment,
+    THERMAL_SHARE_WARNING,
+)
+from repro.devices import DEVICES, get_device
+from repro.environment import (
+    LEADVILLE,
+    NEW_YORK,
+    WeatherCondition,
+    datacenter_scenario,
+    outdoor_scenario,
+)
+from repro.faults.models import Outcome
+
+
+class TestAssess:
+    def test_matrix_size(self):
+        report = RiskAssessment().assess(
+            [get_device("K20"), get_device("TitanX")],
+            [outdoor_scenario(NEW_YORK), outdoor_scenario(LEADVILLE)],
+        )
+        assert len(report.reports) == 4
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            RiskAssessment().assess([], [outdoor_scenario(NEW_YORK)])
+        with pytest.raises(ValueError):
+            RiskAssessment().assess([get_device("K20")], [])
+
+    def test_apu_flags_critical_due(self):
+        report = RiskAssessment().assess(
+            [get_device("APU-CPU+GPU")],
+            [datacenter_scenario(LEADVILLE)],
+        )
+        severities = {f.severity for f in report.findings}
+        assert "warning" in severities
+
+    def test_xeon_phi_no_warnings_at_sea_level(self):
+        report = RiskAssessment().assess(
+            [get_device("XeonPhi")],
+            [datacenter_scenario(NEW_YORK)],
+        )
+        assert report.findings == []
+
+    def test_warning_threshold_honoured(self):
+        report = RiskAssessment().assess(
+            list(DEVICES.values()),
+            [datacenter_scenario(LEADVILLE)],
+        )
+        for fit in report.reports:
+            flagged = any(
+                fit.device_name in f.message
+                for f in report.findings
+            )
+            exposed = (
+                fit.sdc.thermal_share >= THERMAL_SHARE_WARNING
+                or fit.due.thermal_share >= THERMAL_SHARE_WARNING
+            )
+            if exposed:
+                assert flagged
+
+    def test_worst_thermal_share(self):
+        report = RiskAssessment().assess(
+            list(DEVICES.values()),
+            [datacenter_scenario(LEADVILLE)],
+        )
+        name, share = report.worst_thermal_share()
+        assert name == "APU-CPU+GPU"
+        assert share == pytest.approx(0.39, abs=0.02)
+
+    def test_empty_report_worst_raises(self):
+        from repro.core.assessment import AssessmentReport
+
+        with pytest.raises(ValueError):
+            AssessmentReport().worst_thermal_share()
+
+    def test_table_renders_all_rows(self):
+        report = RiskAssessment().assess(
+            [get_device("K20")], [outdoor_scenario(NEW_YORK)]
+        )
+        table = report.to_table()
+        assert "K20" in table
+        assert "SDC FIT" in table
+
+
+class TestCompareScenarios:
+    def test_rain_increases_fit(self):
+        assessment = RiskAssessment()
+        base = datacenter_scenario(NEW_YORK)
+        rainy = base.with_weather(WeatherCondition.RAIN)
+        ratio = assessment.compare_scenarios(
+            get_device("K20"), base, rainy
+        )
+        assert ratio > 1.05
+
+    def test_identity_comparison(self):
+        assessment = RiskAssessment()
+        base = outdoor_scenario(NEW_YORK)
+        assert assessment.compare_scenarios(
+            get_device("K20"), base, base
+        ) == pytest.approx(1.0)
+
+    def test_thermal_immune_device_insensitive_to_rain(self):
+        # The Xeon Phi's FIT barely moves with the thermal flux.
+        assessment = RiskAssessment()
+        base = datacenter_scenario(NEW_YORK)
+        rainy = base.with_weather(WeatherCondition.RAIN)
+        xeon = assessment.compare_scenarios(
+            get_device("XeonPhi"), base, rainy
+        )
+        k20 = assessment.compare_scenarios(
+            get_device("K20"), base, rainy
+        )
+        assert xeon < k20

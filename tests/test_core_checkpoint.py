@@ -1,0 +1,120 @@
+"""Checkpoint planning from DUE FIT rates."""
+
+import math
+
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointPlanner,
+    plan_efficiency,
+    young_daly_interval,
+)
+from repro.devices import get_device
+from repro.environment import (
+    LOS_ALAMOS,
+    NEW_YORK,
+    WeatherCondition,
+    datacenter_scenario,
+)
+
+
+class TestYoungDaly:
+    def test_formula(self):
+        assert young_daly_interval(100.0, 0.5) == pytest.approx(
+            math.sqrt(2.0 * 0.5 * 100.0)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            young_daly_interval(0.0, 1.0)
+        with pytest.raises(ValueError):
+            young_daly_interval(1.0, 0.0)
+
+    def test_optimum_is_efficiency_peak(self):
+        mtbf, cost = 50.0, 0.25
+        tau = young_daly_interval(mtbf, cost)
+        best = plan_efficiency(tau, mtbf, cost)
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            assert plan_efficiency(
+                tau * factor, mtbf, cost
+            ) <= best + 1e-12
+
+
+class TestPlanEfficiency:
+    def test_bounded(self):
+        assert 0.0 <= plan_efficiency(1.0, 100.0, 0.1) <= 1.0
+
+    def test_zero_floor(self):
+        # Absurd interval vs MTBF: clipped to zero, not negative.
+        assert plan_efficiency(1000.0, 1.0, 0.1) == 0.0
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            plan_efficiency(0.0, 1.0, 0.1)
+
+
+class TestPlanner:
+    @pytest.fixture
+    def planner(self):
+        return CheckpointPlanner()
+
+    def test_fleet_mtbf_scales_inverse_with_size(self, planner):
+        device = get_device("K20")
+        scenario = datacenter_scenario(LOS_ALAMOS)
+        one = planner.fleet_mtbf_hours(device, scenario, 1)
+        thousand = planner.fleet_mtbf_hours(device, scenario, 1000)
+        assert thousand == pytest.approx(one / 1000.0)
+
+    def test_fleet_size_validation(self, planner):
+        with pytest.raises(ValueError):
+            planner.fleet_mtbf_hours(
+                get_device("K20"),
+                datacenter_scenario(NEW_YORK),
+                0,
+            )
+
+    def test_plan_consistency(self, planner):
+        plan = planner.plan(
+            get_device("K20"),
+            datacenter_scenario(LOS_ALAMOS),
+            n_devices=4000,
+            checkpoint_cost_hours=10.0 / 60.0,
+        )
+        assert plan.interval_hours == pytest.approx(
+            young_daly_interval(
+                plan.mtbf_hours, plan.checkpoint_cost_hours
+            )
+        )
+        assert 0.5 < plan.expected_efficiency < 1.0
+
+    def test_rain_shortens_interval(self, planner):
+        device = get_device("K20")
+        fair = datacenter_scenario(LOS_ALAMOS)
+        storm = fair.with_weather(WeatherCondition.RAIN)
+        fair_plan = planner.plan(device, fair, 4000, 0.2)
+        storm_plan = planner.plan(device, storm, 4000, 0.2)
+        # Higher DUE rate -> checkpoint more often.
+        assert storm_plan.interval_hours < fair_plan.interval_hours
+
+    def test_weather_penalty_nonnegative(self, planner):
+        device = get_device("APU-CPU+GPU")
+        fair = datacenter_scenario(LOS_ALAMOS)
+        storm = fair.with_weather(WeatherCondition.RAIN)
+        penalty = planner.weather_penalty(
+            device, fair, storm, 4000, 0.2
+        )
+        # Re-planning can only help (Young/Daly optimum).
+        assert penalty >= 0.0
+
+    def test_thermal_soft_device_pays_more_in_rain(self, planner):
+        """The APU (DUE ratio 1.18) loses more to a stale plan than
+        the Xeon Phi (6.37) — the paper's weather argument."""
+        fair = datacenter_scenario(LOS_ALAMOS)
+        storm = fair.with_weather(WeatherCondition.RAIN)
+        apu = planner.weather_penalty(
+            get_device("APU-CPU+GPU"), fair, storm, 4000, 0.2
+        )
+        xeon = planner.weather_penalty(
+            get_device("XeonPhi"), fair, storm, 4000, 0.2
+        )
+        assert apu >= xeon

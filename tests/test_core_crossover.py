@@ -1,0 +1,107 @@
+"""Crossover-altitude analysis."""
+
+import pytest
+
+from repro.core.crossover import (
+    MAX_SEARCH_ALTITUDE_M,
+    crossover_altitude_m,
+    thermal_share_at_altitude,
+)
+from repro.devices import get_device
+from repro.environment import NEW_YORK, datacenter_scenario
+from repro.faults.models import Outcome
+
+
+class TestShareAtAltitude:
+    def test_monotone_in_altitude(self):
+        device = get_device("K20")
+        shares = [
+            thermal_share_at_altitude(
+                device, h, Outcome.SDC
+            )
+            for h in (0.0, 1000.0, 2000.0, 3000.0)
+        ]
+        assert shares == sorted(shares)
+
+    def test_scenario_template_materials_applied(self):
+        device = get_device("K20")
+        bare = thermal_share_at_altitude(
+            device, 1000.0, Outcome.SDC
+        )
+        room = thermal_share_at_altitude(
+            device,
+            1000.0,
+            Outcome.SDC,
+            scenario_template=datacenter_scenario(NEW_YORK),
+        )
+        assert room > bare
+
+
+class TestCrossover:
+    def test_k20_crosses_25_percent_below_leadville(self):
+        """The K20's SDC share reaches 25 % somewhere between sea
+        level (19 %) and Leadville (29 %) in a machine room."""
+        altitude = crossover_altitude_m(
+            get_device("K20"),
+            Outcome.SDC,
+            0.25,
+            scenario_template=datacenter_scenario(NEW_YORK),
+        )
+        assert altitude is not None
+        assert 500.0 < altitude < 3094.0
+
+    def test_crossover_is_exact(self):
+        device = get_device("K20")
+        template = datacenter_scenario(NEW_YORK)
+        altitude = crossover_altitude_m(
+            device, Outcome.SDC, 0.25,
+            scenario_template=template,
+        )
+        share = thermal_share_at_altitude(
+            device, altitude, Outcome.SDC, template
+        )
+        assert share == pytest.approx(0.25, abs=0.002)
+
+    def test_already_above_at_sea_level(self):
+        # APU CPU+GPU DUE share in a machine room is ~27 % at NYC.
+        altitude = crossover_altitude_m(
+            get_device("APU-CPU+GPU"),
+            Outcome.DUE,
+            0.20,
+            scenario_template=datacenter_scenario(NEW_YORK),
+        )
+        assert altitude == 0.0
+
+    def test_never_reached_returns_none(self):
+        # The Xeon Phi SDC share cannot reach 50 % below the ceiling.
+        assert crossover_altitude_m(
+            get_device("XeonPhi"), Outcome.SDC, 0.5
+        ) is None
+
+    def test_xeon_phi_needs_more_altitude_than_k20(self):
+        template = datacenter_scenario(NEW_YORK)
+        k20 = crossover_altitude_m(
+            get_device("K20"), Outcome.SDC, 0.25,
+            scenario_template=template,
+        )
+        xeon = crossover_altitude_m(
+            get_device("XeonPhi"), Outcome.SDC, 0.10,
+            scenario_template=template,
+        )
+        # Even a 10% share is further away for the Xeon Phi than 25%
+        # is for the K20.
+        assert xeon is None or xeon > k20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossover_altitude_m(
+                get_device("K20"), Outcome.SDC, 0.0
+            )
+        with pytest.raises(ValueError):
+            crossover_altitude_m(
+                get_device("K20"), Outcome.SDC, 0.25,
+                tolerance_m=0.0,
+            )
+
+    def test_search_ceiling_exported(self):
+        assert MAX_SEARCH_ALTITUDE_M == 5000.0

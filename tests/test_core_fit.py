@@ -1,0 +1,122 @@
+"""FIT arithmetic and decomposition."""
+
+import pytest
+
+from repro.core.fit import (
+    FitCalculator,
+    FitDecomposition,
+    fit_rate,
+)
+from repro.devices import get_device
+from repro.environment import (
+    LEADVILLE,
+    NEW_YORK,
+    datacenter_scenario,
+    outdoor_scenario,
+)
+from repro.faults.models import Outcome
+
+
+class TestFitRate:
+    def test_definition(self):
+        # 1e-8 cm^2 x 13 n/cm^2/h x 1e9 = 130 FIT.
+        assert fit_rate(1e-8, 13.0) == pytest.approx(130.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            fit_rate(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            fit_rate(1.0, -1.0)
+
+
+class TestDecomposition:
+    def test_thermal_share_identity(self):
+        d = FitDecomposition(
+            outcome=Outcome.SDC,
+            fit_high_energy=75.0,
+            fit_thermal=25.0,
+        )
+        assert d.total == 100.0
+        assert d.thermal_share == pytest.approx(0.25)
+        assert d.underestimate_if_thermals_ignored == pytest.approx(
+            0.75
+        )
+
+    def test_zero_total_raises(self):
+        d = FitDecomposition(
+            outcome=Outcome.SDC,
+            fit_high_energy=0.0,
+            fit_thermal=0.0,
+        )
+        with pytest.raises(ValueError):
+            _ = d.thermal_share
+
+
+class TestCalculator:
+    def test_share_matches_analytic_identity(self):
+        """thermal share == r / (r + R) with r the flux ratio and R
+        the device sigma ratio."""
+        calc = FitCalculator()
+        device = get_device("K20")
+        scenario = datacenter_scenario(NEW_YORK)
+        r = scenario.thermal_to_fast_ratio()
+        big_r = device.sdc_ratio()
+        assert calc.thermal_share(
+            device, scenario, Outcome.SDC
+        ) == pytest.approx(r / (r + big_r))
+
+    def test_report_contains_both_outcomes(self):
+        calc = FitCalculator()
+        report = calc.report(
+            get_device("TitanX"), outdoor_scenario(NEW_YORK)
+        )
+        assert report.sdc.outcome is Outcome.SDC
+        assert report.due.outcome is Outcome.DUE
+        assert report.total_fit == pytest.approx(
+            report.sdc.total + report.due.total
+        )
+
+    def test_code_specific_report(self):
+        calc = FitCalculator()
+        device = get_device("K20")
+        scenario = outdoor_scenario(NEW_YORK)
+        avg = calc.report(device, scenario)
+        hotspot = calc.report(device, scenario, code="HotSpot")
+        assert hotspot.sdc.total == pytest.approx(
+            avg.sdc.total * 1.6
+        )
+
+    def test_mtbf(self):
+        calc = FitCalculator()
+        report = calc.report(
+            get_device("K20"), outdoor_scenario(NEW_YORK)
+        )
+        assert report.mtbf_hours() == pytest.approx(
+            1e9 / report.total_fit
+        )
+
+    def test_fleet_rate(self):
+        calc = FitCalculator()
+        report = calc.report(
+            get_device("K20"), outdoor_scenario(NEW_YORK)
+        )
+        one = report.fleet_error_rate_per_day(1)
+        assert report.fleet_error_rate_per_day(
+            1000
+        ) == pytest.approx(1000.0 * one)
+
+    def test_fleet_rejects_negative(self):
+        calc = FitCalculator()
+        report = calc.report(
+            get_device("K20"), outdoor_scenario(NEW_YORK)
+        )
+        with pytest.raises(ValueError):
+            report.fleet_error_rate_per_day(-1)
+
+    def test_altitude_multiplies_both_components(self):
+        calc = FitCalculator()
+        device = get_device("TitanX")
+        nyc = calc.report(device, datacenter_scenario(NEW_YORK))
+        lead = calc.report(device, datacenter_scenario(LEADVILLE))
+        assert lead.sdc.fit_high_energy > 10.0 * nyc.sdc.fit_high_energy
+        assert lead.sdc.fit_thermal > 10.0 * nyc.sdc.fit_thermal

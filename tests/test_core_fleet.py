@@ -1,0 +1,118 @@
+"""Fleet-year simulation."""
+
+import pytest
+
+from repro.core.fleet import FleetSimulator, FleetYearResult
+from repro.devices import get_device
+from repro.environment import (
+    LOS_ALAMOS,
+    WeatherCondition,
+    datacenter_scenario,
+)
+from repro.faults.models import Outcome
+
+
+@pytest.fixture(scope="module")
+def year():
+    sim = FleetSimulator(
+        get_device("K20"),
+        datacenter_scenario(LOS_ALAMOS),
+        n_devices=4000,
+        seed=1,
+    )
+    return sim.run_year()
+
+
+class TestSimulation:
+    def test_365_days(self, year):
+        assert len(year.days) == 365
+
+    def test_errors_occur(self, year):
+        assert year.total(Outcome.SDC) > 50
+        assert year.total(Outcome.DUE) > 20
+
+    def test_masked_has_no_counts(self, year):
+        with pytest.raises(ValueError):
+            year.total(Outcome.MASKED)
+
+    def test_rain_fraction_near_target(self, year):
+        assert year.rainy_day_fraction() == pytest.approx(
+            0.15, abs=0.08
+        )
+
+    def test_rainy_days_overloaded(self, year):
+        """Rainy days carry more than their share of SDCs — the
+        paper's weather-dependence, observed in counts."""
+        assert year.rainy_day_share(
+            Outcome.SDC
+        ) > year.rainy_day_fraction()
+
+    def test_rainy_expectation_strictly_higher(self, year):
+        rainy = [
+            d.expected_sdc
+            for d in year.days
+            if d.weather is WeatherCondition.RAIN
+        ]
+        sunny = [
+            d.expected_sdc
+            for d in year.days
+            if d.weather is WeatherCondition.SUNNY
+        ]
+        assert rainy and sunny
+        assert min(rainy) > max(sunny) * 0.99
+
+    def test_deterministic(self):
+        def run():
+            sim = FleetSimulator(
+                get_device("TitanX"),
+                datacenter_scenario(LOS_ALAMOS),
+                n_devices=1000,
+                seed=9,
+            )
+            return sim.run_year().total(Outcome.SDC)
+
+        assert run() == run()
+
+    def test_thermal_immune_device_flat_in_weather(self):
+        """The Xeon Phi's daily expectation barely moves with rain."""
+        sim = FleetSimulator(
+            get_device("XeonPhi"),
+            datacenter_scenario(LOS_ALAMOS),
+            n_devices=4000,
+            rain_probability=0.3,
+            seed=2,
+        )
+        year = sim.run_year()
+        rainy = [
+            d.expected_sdc
+            for d in year.days
+            if d.weather is WeatherCondition.RAIN
+        ]
+        sunny = [
+            d.expected_sdc
+            for d in year.days
+            if d.weather is WeatherCondition.SUNNY
+        ]
+        # Xeon Phi: rain adds ~7% x share(6%) ~ small.
+        assert max(rainy) / max(sunny) < 1.15
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        scenario = datacenter_scenario(LOS_ALAMOS)
+        device = get_device("K20")
+        with pytest.raises(ValueError):
+            FleetSimulator(device, scenario, n_devices=0)
+        with pytest.raises(ValueError):
+            FleetSimulator(
+                device, scenario, 10, rain_probability=1.0
+            )
+        with pytest.raises(ValueError):
+            FleetSimulator(
+                device, scenario, 10, rain_persistence=-0.1
+            )
+
+    def test_empty_result_guards(self):
+        empty = FleetYearResult()
+        with pytest.raises(ValueError):
+            empty.rainy_day_fraction()

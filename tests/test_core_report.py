@@ -1,0 +1,100 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.core.report import ReportOptions, generate_report
+from repro.devices import get_device
+from repro.environment import (
+    LOS_ALAMOS,
+    NEW_YORK,
+    datacenter_scenario,
+    outdoor_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(
+        [get_device("K20"), get_device("XeonPhi")],
+        datacenter_scenario(LOS_ALAMOS),
+        ReportOptions(
+            fleet_size=500,
+            checkpoint_cost_hours=0.25,
+            mc_histories=500,
+        ),
+    )
+
+
+class TestContent:
+    def test_title_names_scenario(self, report_text):
+        assert report_text.startswith(
+            "# Thermal-neutron reliability report"
+        )
+        assert "Los Alamos" in report_text
+
+    def test_fit_table_rows(self, report_text):
+        assert "| K20 |" in report_text
+        assert "| XeonPhi |" in report_text
+
+    def test_uncertainty_band_rendered(self, report_text):
+        # The SDC share column carries a [q05, q95] band.
+        assert "[" in report_text and "%]" in report_text
+
+    def test_findings_for_thermal_soft_device(self, report_text):
+        assert "## Findings" in report_text
+        assert "K20" in report_text
+
+    def test_shielding_verdicts(self, report_text):
+        assert "cadmium" in report_text
+        assert "NOT practical" in report_text
+
+    def test_checkpoint_plan(self, report_text):
+        assert "checkpoint every" in report_text
+        assert "500 x K20" in report_text
+
+
+class TestOptions:
+    def test_shielding_can_be_skipped(self):
+        text = generate_report(
+            [get_device("XeonPhi")],
+            outdoor_scenario(NEW_YORK),
+            ReportOptions(include_shielding=False),
+        )
+        assert "Shielding" not in text
+
+    def test_empty_devices_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report([], outdoor_scenario(NEW_YORK))
+
+    def test_option_validation(self):
+        with pytest.raises(ValueError):
+            ReportOptions(fleet_size=0)
+        with pytest.raises(ValueError):
+            ReportOptions(checkpoint_cost_hours=0.0)
+
+
+class TestCliIntegration:
+    def test_report_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            [
+                "report", "--device", "K20", "--site", "lanl",
+                "--room", "--histories", "300",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "reliability report" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "report.md"
+        assert main(
+            [
+                "report", "--device", "XeonPhi",
+                "--histories", "300", "--output", str(target),
+            ]
+        ) == 0
+        assert target.exists()
+        assert "XeonPhi" in target.read_text()

@@ -1,0 +1,124 @@
+"""Device selection under FIT budgets."""
+
+import math
+
+import pytest
+
+from repro.core.fit import FitCalculator
+from repro.core.selection import (
+    DeviceSelector,
+    SelectionRequirement,
+)
+from repro.devices import DEVICES, get_device
+from repro.environment import (
+    LEADVILLE,
+    NEW_YORK,
+    datacenter_scenario,
+)
+from repro.faults.models import Outcome
+
+
+@pytest.fixture
+def selector():
+    return DeviceSelector()
+
+
+@pytest.fixture
+def room():
+    return datacenter_scenario(LEADVILLE)
+
+
+class TestRequirement:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            SelectionRequirement(max_sdc_fit=0.0)
+        with pytest.raises(ValueError):
+            SelectionRequirement(max_due_fit=-1.0)
+
+
+class TestEvaluate:
+    def test_unconstrained_accepts(self, selector, room):
+        verdict = selector.evaluate(
+            get_device("K20"), room, SelectionRequirement()
+        )
+        assert verdict.accepted
+
+    def test_tight_budget_rejects(self, selector, room):
+        verdict = selector.evaluate(
+            get_device("K20"),
+            room,
+            SelectionRequirement(max_sdc_fit=1.0),
+        )
+        assert not verdict.accepted
+
+    def test_unsupported_code_disqualifies(self, selector, room):
+        verdict = selector.evaluate(
+            get_device("XeonPhi"),
+            room,
+            SelectionRequirement(code="BFS"),
+        )
+        assert not verdict.accepted
+        assert math.isnan(verdict.sdc_fit)
+
+    def test_fast_only_trap(self, selector, room):
+        """Pick a budget between the fast-only and total SDC FIT of
+        the K20: a fast-only analysis accepts, the honest one
+        rejects — the paper's underestimation scenario."""
+        calc = FitCalculator()
+        sdc = calc.decompose(get_device("K20"), room, Outcome.SDC)
+        budget = (sdc.fit_high_energy + sdc.total) / 2.0
+        verdict = selector.evaluate(
+            get_device("K20"),
+            room,
+            SelectionRequirement(max_sdc_fit=budget),
+        )
+        assert verdict.accepted_fast_only
+        assert not verdict.accepted
+        assert verdict.wrongly_accepted_without_thermals
+
+
+class TestSelect:
+    def test_accepted_sorted_first(self, selector, room):
+        verdicts = selector.select(
+            list(DEVICES.values()),
+            room,
+            SelectionRequirement(max_sdc_fit=3000.0),
+        )
+        flags = [v.accepted for v in verdicts]
+        # Once a rejection appears, no acceptance follows.
+        assert flags == sorted(flags, reverse=True)
+
+    def test_lowest_fit_first_within_accepted(self, selector, room):
+        verdicts = selector.select(
+            list(DEVICES.values()), room, SelectionRequirement()
+        )
+        totals = [v.sdc_fit + v.due_fit for v in verdicts]
+        assert totals == sorted(totals)
+
+    def test_empty_candidates_rejected(self, selector, room):
+        with pytest.raises(ValueError):
+            selector.select([], room, SelectionRequirement())
+
+    def test_traps_reported(self, selector, room):
+        calc = FitCalculator()
+        sdc = calc.decompose(get_device("K20"), room, Outcome.SDC)
+        budget = (sdc.fit_high_energy + sdc.total) / 2.0
+        traps = selector.underestimation_traps(
+            [get_device("K20"), get_device("XeonPhi")],
+            room,
+            SelectionRequirement(max_sdc_fit=budget),
+        )
+        assert "K20" in traps
+
+    def test_thermal_immune_device_never_trapped(self, selector):
+        """The Xeon Phi's thermal FIT is so small that almost no
+        budget separates its fast-only and total FIT."""
+        room = datacenter_scenario(NEW_YORK)
+        calc = FitCalculator()
+        sdc = calc.decompose(
+            get_device("XeonPhi"), room, Outcome.SDC
+        )
+        # Its thermal share is 4%: the window is tiny.
+        assert (
+            sdc.total - sdc.fit_high_energy
+        ) / sdc.total < 0.05

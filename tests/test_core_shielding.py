@@ -1,0 +1,84 @@
+"""Shielding evaluator: attenuation, FIT impact, practicality."""
+
+import pytest
+
+from repro.core.shielding import (
+    BORATED_POLY_SLAB,
+    CADMIUM_SHEET,
+    ShieldOption,
+    ShieldingEvaluator,
+)
+from repro.devices import get_device
+from repro.environment import NEW_YORK, datacenter_scenario
+from repro.transport.materials import CADMIUM, POLYETHYLENE
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return ShieldingEvaluator(n_neutrons=1500, seed=1)
+
+
+@pytest.fixture(scope="module")
+def k20():
+    return get_device("K20")
+
+
+@pytest.fixture(scope="module")
+def room():
+    return datacenter_scenario(NEW_YORK)
+
+
+class TestOptions:
+    def test_cadmium_is_impractical(self):
+        assert not CADMIUM_SHEET.practical_near_hpc
+
+    def test_borated_poly_is_impractical(self):
+        assert not BORATED_POLY_SLAB.practical_near_hpc
+
+    def test_plain_poly_would_be_practical(self):
+        benign = ShieldOption(POLYETHYLENE, 2.0)
+        assert benign.practical_near_hpc
+
+    def test_thickness_validation(self):
+        with pytest.raises(ValueError):
+            ShieldOption(CADMIUM, 0.0)
+
+
+class TestEvaluation:
+    def test_cadmium_removes_thermal_fit(self, evaluator, k20, room):
+        evaluation = evaluator.evaluate(CADMIUM_SHEET, k20, room)
+        assert evaluation.thermal_transmission < 0.01
+        assert evaluation.fit_shielded < evaluation.fit_unshielded
+        # Reduction approaches (but cannot exceed) the thermal share.
+        assert 0.05 < evaluation.fit_reduction < 0.45
+
+    def test_rank_orders_by_remaining_fit(self, evaluator, k20, room):
+        ranked = evaluator.rank(
+            [BORATED_POLY_SLAB, CADMIUM_SHEET], k20, room
+        )
+        fits = [e.fit_shielded for e in ranked]
+        assert fits == sorted(fits)
+
+    def test_require_practical_filters(self, evaluator, k20, room):
+        ranked = evaluator.rank(
+            [BORATED_POLY_SLAB, CADMIUM_SHEET],
+            k20,
+            room,
+            require_practical=True,
+        )
+        assert ranked == []
+
+    def test_xeon_phi_gains_little(self, evaluator, room):
+        # Shielding thermal neutrons barely helps a device that was
+        # never thermal-soft.
+        xeon_eval = evaluator.evaluate(
+            CADMIUM_SHEET, get_device("XeonPhi"), room
+        )
+        k20_eval = evaluator.evaluate(
+            CADMIUM_SHEET, get_device("K20"), room
+        )
+        assert xeon_eval.fit_reduction < k20_eval.fit_reduction
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShieldingEvaluator(n_neutrons=0)

@@ -1,0 +1,78 @@
+"""Top-10 DDR FIT projection."""
+
+import pytest
+
+from repro.core.supercomputers import (
+    GBIT_PER_TIB,
+    project_machine,
+    project_top10,
+    top10_table,
+)
+from repro.environment import Site, Supercomputer, TOP10_BY_NAME
+
+
+class TestProjection:
+    def test_all_ten_projected(self):
+        projections = project_top10()
+        assert len(projections) == 10
+
+    def test_fit_scales_with_memory(self):
+        site = Site("flat", 0.0, 45.0)
+        small = project_machine(
+            Supercomputer("s", site, 100.0, 4, True)
+        )
+        big = project_machine(
+            Supercomputer("b", site, 1000.0, 4, True)
+        )
+        # Cell and SEFI contributions both scale linearly.
+        assert big.fit_no_ecc == pytest.approx(
+            10.0 * small.fit_no_ecc
+        )
+
+    def test_ddr3_pays_per_gbit_penalty(self):
+        site = Site("flat", 0.0, 45.0)
+        ddr3 = project_machine(
+            Supercomputer("3", site, 500.0, 3, True)
+        )
+        ddr4 = project_machine(
+            Supercomputer("4", site, 500.0, 4, True)
+        )
+        assert ddr3.fit_no_ecc > 5.0 * ddr4.fit_no_ecc
+
+    def test_ecc_reduction_large(self):
+        for p in project_top10():
+            assert p.ecc_reduction > 0.99
+            assert p.fit_with_ecc < p.fit_no_ecc
+
+    def test_errors_per_day_consistent(self):
+        p = project_machine(TOP10_BY_NAME["Summit"])
+        assert p.errors_per_day_no_ecc == pytest.approx(
+            p.fit_no_ecc / 1e9 * 24.0
+        )
+
+    def test_altitude_dominates(self):
+        projections = {
+            p.machine.name: p for p in project_top10()
+        }
+        trinity = projections["Trinity"]
+        sierra = projections["Sierra"]
+        # Per-TiB, Trinity's altitude beats Sierra by a wide margin.
+        assert (
+            trinity.fit_no_ecc / trinity.machine.memory_tib
+            > 5.0 * sierra.fit_no_ecc / sierra.machine.memory_tib
+        )
+
+    def test_gbit_per_tib(self):
+        assert GBIT_PER_TIB == 8192.0
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            project_top10([])
+
+
+class TestTable:
+    def test_table_lists_every_machine(self):
+        projections = project_top10()
+        table = top10_table(projections)
+        for p in projections:
+            assert p.machine.name in table

@@ -1,0 +1,64 @@
+"""The reproduction self-check."""
+
+import pytest
+
+from repro.core.validation import (
+    CheckResult,
+    all_passed,
+    validate_reproduction,
+    validation_table,
+)
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return validate_reproduction(seed=2020)
+
+
+class TestValidation:
+    def test_every_anchor_passes(self, checks):
+        failing = [c.name for c in checks if not c.passed]
+        assert not failing, f"anchors failed: {failing}"
+        assert all_passed(checks)
+
+    def test_covers_all_experiment_families(self, checks):
+        names = " ".join(c.name for c in checks)
+        for keyword in ("ChipIR", "ROTAX", "share", "water", "DDR"):
+            assert keyword in names
+
+    def test_at_least_ten_checks(self, checks):
+        assert len(checks) >= 10
+
+    def test_table_renders_verdicts(self, checks):
+        table = validation_table(checks)
+        assert "PASS" in table
+        assert "paper" in table
+
+    def test_all_passed_empty_raises(self):
+        with pytest.raises(ValueError):
+            all_passed([])
+
+    def test_failed_check_detected(self):
+        bad = CheckResult(
+            name="x", measured=2.0, expected=1.0,
+            tolerance=0.1, passed=False,
+        )
+        good = CheckResult(
+            name="y", measured=1.0, expected=1.0,
+            tolerance=0.1, passed=True,
+        )
+        assert not all_passed([good, bad])
+
+    def test_different_seed_still_passes(self):
+        # The stochastic checks have tolerances wide enough to hold
+        # across seeds.
+        assert all_passed(validate_reproduction(seed=7))
+
+
+class TestCliValidate:
+    def test_exit_zero_on_pass(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "All paper anchors reproduced" in out

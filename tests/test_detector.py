@@ -1,0 +1,131 @@
+"""Tin-II detector: tubes, cadmium difference, water experiment."""
+
+import numpy as np
+import pytest
+
+from repro.detector.experiment import (
+    predicted_water_enhancement,
+    water_step_experiment,
+)
+from repro.detector.tin2 import TinII
+from repro.detector.tubes import CadmiumShield, He3Tube
+from repro.environment import (
+    LOS_ALAMOS,
+    NEW_YORK,
+    WATER_COOLING,
+    FluxScenario,
+)
+
+
+class TestHe3Tube:
+    def test_thermal_efficiency_high(self):
+        # 4 atm of 3He over an inch is nearly black to thermals.
+        assert He3Tube().thermal_efficiency() > 0.7
+
+    def test_efficiency_grows_with_pressure(self):
+        low = He3Tube(pressure_atm=0.5).thermal_efficiency()
+        high = He3Tube(pressure_atm=8.0).thermal_efficiency()
+        assert high > low
+
+    def test_count_rate_linear_in_flux(self):
+        tube = He3Tube()
+        assert tube.thermal_count_rate_per_h(
+            20.0
+        ) == pytest.approx(2.0 * tube.thermal_count_rate_per_h(10.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            He3Tube(pressure_atm=0.0)
+        with pytest.raises(ValueError):
+            He3Tube().thermal_count_rate_per_h(-1.0)
+
+
+class TestCadmiumShield:
+    def test_thermal_opaque(self):
+        assert CadmiumShield(0.1).thermal_transmission() < 1e-4
+
+    def test_epithermal_transparent(self):
+        assert CadmiumShield(0.1).epithermal_transmission() > 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CadmiumShield(0.0)
+
+
+class TestTinII:
+    def test_bare_exceeds_shielded(self):
+        detector = TinII(rng=np.random.default_rng(0))
+        scenario = FluxScenario(site=LOS_ALAMOS)
+        bare, shielded = detector.expected_rates_per_h(scenario)
+        assert bare > shielded
+
+    def test_difference_tracks_thermal_flux(self):
+        detector = TinII(rng=np.random.default_rng(0))
+        base = FluxScenario(site=NEW_YORK)
+        wet = base.with_materials(WATER_COOLING)
+        diff = lambda sc: np.subtract(
+            *detector.expected_rates_per_h(sc)
+        )
+        assert diff(wet) / diff(base) == pytest.approx(
+            1.24, abs=0.02
+        )
+
+    def test_measure_poisson_noise(self):
+        detector = TinII(rng=np.random.default_rng(1))
+        scenario = FluxScenario(site=LOS_ALAMOS)
+        samples = [
+            detector.measure(scenario, 1.0) for _ in range(50)
+        ]
+        counts = [s.bare_counts for s in samples]
+        assert np.std(counts) > 0.0
+
+    def test_measure_validation(self):
+        detector = TinII()
+        with pytest.raises(ValueError):
+            detector.measure(FluxScenario(site=NEW_YORK), 0.0)
+
+    def test_record_series_timeline(self):
+        detector = TinII(rng=np.random.default_rng(2))
+        a = FluxScenario(site=NEW_YORK)
+        samples = detector.record_series(
+            [(a, 4.0), (a, 2.0)], interval_h=1.0
+        )
+        assert len(samples) == 6
+        starts = [s.start_h for s in samples]
+        assert starts == sorted(starts)
+
+    def test_flux_inversion_round_trip(self):
+        detector = TinII(rng=np.random.default_rng(3))
+        scenario = FluxScenario(site=LOS_ALAMOS)
+        # Long integration beats Poisson noise.
+        sample = detector.measure(scenario, 500.0)
+        recovered = detector.thermal_flux_from_counts(sample)
+        assert recovered == pytest.approx(
+            scenario.thermal_flux_per_h(), rel=0.15
+        )
+
+
+class TestWaterExperiment:
+    def test_step_detected_at_water_on(self):
+        result = water_step_experiment(
+            background_hours=48.0, water_hours=24.0,
+            interval_h=2.0, seed=3,
+        )
+        true_idx = int(48.0 / 2.0)
+        assert abs(result.step.index - true_idx) <= 2
+
+    def test_enhancement_near_24_percent(self):
+        result = water_step_experiment(seed=2019)
+        assert result.measured_enhancement == pytest.approx(
+            0.24, abs=0.06
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            water_step_experiment(background_hours=0.0)
+
+    def test_transport_prediction_positive(self):
+        albedo = predicted_water_enhancement(
+            n_neutrons=1500, seed=4
+        )
+        assert albedo > 0.05

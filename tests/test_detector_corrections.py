@@ -1,0 +1,85 @@
+"""Barometric pressure corrections."""
+
+import numpy as np
+import pytest
+
+from repro.detector.corrections import (
+    BAROMETRIC_COEFFICIENT_PER_HPA,
+    REFERENCE_PRESSURE_HPA,
+    correct_series,
+    estimate_beta,
+    pressure_correction_factor,
+)
+
+
+class TestCorrectionFactor:
+    def test_reference_pressure_unity(self):
+        assert pressure_correction_factor(
+            REFERENCE_PRESSURE_HPA
+        ) == pytest.approx(1.0)
+
+    def test_high_pressure_boosts_counts(self):
+        # High pressure suppresses the raw rate -> factor > 1.
+        assert pressure_correction_factor(1030.0) > 1.0
+
+    def test_low_pressure_reduces_counts(self):
+        assert pressure_correction_factor(990.0) < 1.0
+
+    def test_magnitude_textbook(self):
+        # ~0.72%/hPa: a 10 hPa excess corrects by ~7.5%.
+        factor = pressure_correction_factor(
+            REFERENCE_PRESSURE_HPA + 10.0
+        )
+        assert factor == pytest.approx(
+            np.exp(10 * BAROMETRIC_COEFFICIENT_PER_HPA)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pressure_correction_factor(0.0)
+
+
+class TestCorrectSeries:
+    def test_removes_pressure_signal(self):
+        rng = np.random.default_rng(0)
+        pressures = 1013.25 + rng.normal(0.0, 8.0, size=200)
+        true_rate = 1000.0
+        raw = true_rate * np.exp(
+            -BAROMETRIC_COEFFICIENT_PER_HPA
+            * (pressures - REFERENCE_PRESSURE_HPA)
+        )
+        corrected = correct_series(raw, pressures)
+        assert np.std(corrected) < 0.01 * np.std(raw) + 1e-9
+        assert np.mean(corrected) == pytest.approx(true_rate)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            correct_series([1.0, 2.0], [1013.0])
+
+
+class TestEstimateBeta:
+    def test_recovers_true_beta(self):
+        rng = np.random.default_rng(1)
+        pressures = 1013.25 + rng.normal(0.0, 10.0, size=500)
+        raw = 5000.0 * np.exp(
+            -BAROMETRIC_COEFFICIENT_PER_HPA
+            * (pressures - REFERENCE_PRESSURE_HPA)
+        )
+        beta = estimate_beta(raw, pressures)
+        assert beta == pytest.approx(
+            BAROMETRIC_COEFFICIENT_PER_HPA, rel=0.02
+        )
+
+    def test_flat_pressure_unidentifiable(self):
+        with pytest.raises(ValueError):
+            estimate_beta([10.0, 11.0, 9.0], [1000.0] * 3)
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_beta([1.0, 2.0], [1000.0, 1001.0])
+
+    def test_zero_counts_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_beta(
+                [0.0, 1.0, 2.0], [1000.0, 1001.0, 1002.0]
+            )

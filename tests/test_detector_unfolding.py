@@ -1,0 +1,92 @@
+"""Bonner-sphere-style spectrum unfolding."""
+
+import numpy as np
+import pytest
+
+from repro.detector.unfolding import (
+    BANDS,
+    response_matrix,
+    simulate_measurement,
+    unfold,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return response_matrix(
+        [0.0, 2.0, 6.0, 12.0], n_neutrons=1200, seed=1
+    )
+
+
+class TestResponseMatrix:
+    def test_shape(self, matrix):
+        assert matrix.shape == (4, 3)
+
+    def test_bare_tube_thermal_dominated(self, matrix):
+        bare = matrix[0]
+        assert bare[0] > 10.0 * bare[1]
+        assert bare[0] > 100.0 * bare[2]
+
+    def test_moderator_shifts_response_to_fast(self, matrix):
+        # Relative fast response grows with moderator thickness
+        # (that's the entire Bonner-sphere principle).
+        bare_ratio = matrix[0, 2] / matrix[0, 0]
+        thick_ratio = matrix[2, 2] / max(matrix[2, 0], 1e-9)
+        assert thick_ratio > bare_ratio
+
+    def test_overmoderation_kills_everything(self, matrix):
+        assert matrix[3].max() < matrix[1].max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            response_matrix([])
+        with pytest.raises(ValueError):
+            response_matrix([-1.0])
+
+
+class TestUnfolding:
+    def test_exact_recovery_noiseless(self, matrix):
+        true = {"thermal": 5.0, "epithermal": 2.0, "fast": 10.0}
+        counts = simulate_measurement(true, matrix)
+        result = unfold(counts, matrix)
+        for band in BANDS:
+            assert result.flux(band) == pytest.approx(
+                true[band], rel=1e-6
+            )
+        assert result.residual < 1e-9
+
+    def test_recovery_under_poisson_noise(self, matrix):
+        true = {"thermal": 5.0, "epithermal": 2.0, "fast": 10.0}
+        rng = np.random.default_rng(2)
+        counts = simulate_measurement(
+            true, matrix, rng=rng, counting_scale=5000.0
+        )
+        result = unfold(counts, matrix)
+        assert result.flux("thermal") == pytest.approx(
+            5.0, rel=0.15
+        )
+        assert result.flux("fast") == pytest.approx(10.0, rel=0.25)
+
+    def test_nonnegative_output(self, matrix):
+        # A pathological measurement cannot produce negative fluxes.
+        counts = np.zeros(matrix.shape[0])
+        counts[3] = 1.0  # only the over-moderated config counted
+        result = unfold(counts, matrix)
+        assert (result.fluxes >= 0.0).all()
+
+    def test_unknown_band_raises(self, matrix):
+        counts = simulate_measurement(
+            {"thermal": 1.0, "epithermal": 1.0, "fast": 1.0},
+            matrix,
+        )
+        result = unfold(counts, matrix)
+        with pytest.raises(KeyError):
+            result.flux("relativistic")
+
+    def test_shape_validation(self, matrix):
+        with pytest.raises(ValueError):
+            unfold([1.0, 2.0], matrix)
+        with pytest.raises(ValueError):
+            unfold([1.0, 2.0], np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            simulate_measurement({"thermal": 1.0}, matrix)

@@ -1,0 +1,165 @@
+"""Device models and the calibrated catalog."""
+
+import pytest
+
+from repro.devices import (
+    APU_CONFIGS,
+    DEVICES,
+    devices_for_code,
+    get_device,
+)
+from repro.devices.model import (
+    Device,
+    SensitivityProfile,
+    TransistorProcess,
+    profile_from_ratios,
+)
+from repro.faults.models import BeamKind, Outcome
+
+
+class TestSensitivityProfile:
+    def test_ratio_round_trip(self):
+        profile = profile_from_ratios(1e-8, 2e-8, 5.0, 3.0)
+        assert profile.ratio(Outcome.SDC) == pytest.approx(5.0)
+        assert profile.ratio(Outcome.DUE) == pytest.approx(3.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            SensitivityProfile(
+                {(BeamKind.THERMAL, Outcome.SDC): -1.0}
+            )
+
+    def test_rejects_masked_key(self):
+        with pytest.raises(ValueError):
+            SensitivityProfile(
+                {(BeamKind.THERMAL, Outcome.MASKED): 1.0}
+            )
+
+    def test_rejects_nonpositive_ratio(self):
+        with pytest.raises(ValueError):
+            profile_from_ratios(1e-8, 1e-8, 0.0, 1.0)
+
+    def test_missing_entry_is_zero(self):
+        profile = SensitivityProfile({})
+        assert profile.sigma(BeamKind.THERMAL, Outcome.SDC) == 0.0
+
+    def test_zero_thermal_ratio_raises(self):
+        profile = SensitivityProfile(
+            {(BeamKind.HIGH_ENERGY, Outcome.SDC): 1e-8}
+        )
+        with pytest.raises(ZeroDivisionError):
+            profile.ratio(Outcome.SDC)
+
+
+class TestCatalog:
+    def test_all_six_duts_present(self):
+        # 6 devices, with the APU appearing as 3 configs = 8 entries.
+        assert len(DEVICES) == 8
+        assert set(APU_CONFIGS) <= set(DEVICES)
+
+    def test_get_device_error_message(self):
+        with pytest.raises(KeyError, match="K20"):
+            get_device("GTX9000")
+
+    @pytest.mark.parametrize(
+        "name,sdc_ratio,due_ratio",
+        [
+            ("XeonPhi", 10.14, 6.37),
+            ("K20", 1.85, 3.0),
+            ("TitanX", 3.0, 7.0),
+            ("APU-CPU+GPU", 2.6, 1.18),
+        ],
+    )
+    def test_published_ratios(self, name, sdc_ratio, due_ratio):
+        device = get_device(name)
+        assert device.sdc_ratio() == pytest.approx(sdc_ratio)
+        assert device.due_ratio() == pytest.approx(due_ratio)
+
+    def test_fpga_ratio(self):
+        assert get_device("FPGA").sdc_ratio() == pytest.approx(2.33)
+
+    def test_xeon_phi_least_thermal_sensitive_sdc(self):
+        ratios = {
+            name: dev.sdc_ratio() for name, dev in DEVICES.items()
+        }
+        assert max(ratios, key=ratios.get) == "XeonPhi"
+
+    def test_finfet_devices_flagged(self):
+        assert (
+            get_device("TitanX").process
+            is TransistorProcess.FINFET
+        )
+        assert (
+            get_device("K20").process
+            is TransistorProcess.PLANAR_CMOS
+        )
+
+    def test_devices_for_code(self):
+        mxm_devices = {d.name for d in devices_for_code("MxM")}
+        assert "XeonPhi" in mxm_devices
+        assert "TitanV" in mxm_devices
+        assert "APU-CPU" not in mxm_devices
+
+    def test_supported_codes_respected(self):
+        with pytest.raises(ValueError):
+            get_device("XeonPhi").sigma(
+                BeamKind.THERMAL, Outcome.SDC, code="BFS"
+            )
+
+    def test_code_factor_scales_sigma(self):
+        k20 = get_device("K20")
+        base = k20.sigma(BeamKind.HIGH_ENERGY, Outcome.SDC)
+        hotspot = k20.sigma(
+            BeamKind.HIGH_ENERGY, Outcome.SDC, code="HotSpot"
+        )
+        assert hotspot == pytest.approx(base * 1.6)
+
+    def test_raw_sigma_exceeds_visible(self):
+        for device in DEVICES.values():
+            for beam in BeamKind:
+                raw = device.raw_upset_sigma(beam)
+                visible = device.profile.sigma(
+                    beam, Outcome.SDC
+                ) + device.profile.sigma(beam, Outcome.DUE)
+                assert raw >= visible
+
+    def test_data_plus_control_is_raw(self):
+        device = get_device("TitanX")
+        for beam in BeamKind:
+            assert device.data_sigma(beam) + device.control_sigma(
+                beam
+            ) == pytest.approx(device.raw_upset_sigma(beam))
+
+
+class TestDeviceValidation:
+    def test_rejects_bad_technology(self):
+        with pytest.raises(ValueError):
+            Device(
+                name="bad", vendor="x", architecture="y",
+                technology_nm=0,
+                process=TransistorProcess.FINFET,
+                foundry="z",
+                profile=profile_from_ratios(1e-8, 1e-8, 2.0, 2.0),
+            )
+
+    def test_rejects_bad_control_fraction(self):
+        with pytest.raises(ValueError):
+            Device(
+                name="bad", vendor="x", architecture="y",
+                technology_nm=16,
+                process=TransistorProcess.FINFET,
+                foundry="z",
+                profile=profile_from_ratios(1e-8, 1e-8, 2.0, 2.0),
+                control_fraction=1.5,
+            )
+
+    def test_rejects_bad_code_factor(self):
+        with pytest.raises(ValueError):
+            Device(
+                name="bad", vendor="x", architecture="y",
+                technology_nm=16,
+                process=TransistorProcess.FINFET,
+                foundry="z",
+                profile=profile_from_ratios(1e-8, 1e-8, 2.0, 2.0),
+                code_factors={"MxM": 0.0},
+            )

@@ -1,0 +1,90 @@
+"""Flight-altitude flux model."""
+
+import pytest
+
+from repro.environment.avionics import (
+    FlightSegment,
+    PFOTZER_ALTITUDE_M,
+    cruise_acceleration,
+    flight_level_to_m,
+    flux_at_altitude_per_h,
+    route_fluence_per_cm2,
+    thermal_flux_aboard_per_h,
+)
+from repro.environment.flux import fast_flux_per_h
+
+
+class TestFluxProfile:
+    def test_matches_ground_model_below_pfotzer(self):
+        for altitude in (0.0, 3000.0, 10_000.0):
+            assert flux_at_altitude_per_h(
+                altitude
+            ) == pytest.approx(fast_flux_per_h(altitude, 45.0))
+
+    def test_peak_at_pfotzer_maximum(self):
+        # The paper: the flux "reach[es] a maximum at about
+        # 60,000 ft".
+        peak = flux_at_altitude_per_h(PFOTZER_ALTITUDE_M)
+        assert flux_at_altitude_per_h(
+            PFOTZER_ALTITUDE_M - 3000.0
+        ) < peak
+        assert flux_at_altitude_per_h(
+            PFOTZER_ALTITUDE_M + 5000.0
+        ) < peak
+
+    def test_cruise_acceleration_in_band(self):
+        # Commercial cruise (~36,000 ft): the classic 300-500x.
+        assert 250.0 < cruise_acceleration(11_000.0) < 600.0
+
+    def test_flight_level_conversion(self):
+        # FL360 = 36,000 ft ~ 10,973 m.
+        assert flight_level_to_m(360.0) == pytest.approx(
+            10_973.0, rel=0.001
+        )
+
+    def test_flight_level_rejects_negative(self):
+        with pytest.raises(ValueError):
+            flight_level_to_m(-1.0)
+
+
+class TestRouteFluence:
+    def test_accumulates_segments(self):
+        climb = FlightSegment(5_000.0, 0.5)
+        cruise = FlightSegment(11_000.0, 8.0)
+        total = route_fluence_per_cm2([climb, cruise])
+        assert total == pytest.approx(
+            climb.fluence_per_cm2() + cruise.fluence_per_cm2()
+        )
+
+    def test_cruise_dominates(self):
+        climb = FlightSegment(3_000.0, 0.5)
+        cruise = FlightSegment(11_000.0, 8.0)
+        assert cruise.fluence_per_cm2() > 50.0 * climb.fluence_per_cm2()
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ValueError):
+            route_fluence_per_cm2([])
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            FlightSegment(1000.0, -1.0)
+        with pytest.raises(ValueError):
+            FlightSegment(-1.0, 1.0)
+
+
+class TestOnboardThermal:
+    def test_moderation_raises_thermal(self):
+        fast, bare = thermal_flux_aboard_per_h(
+            11_000.0, moderation_enhancement=0.0
+        )
+        _, moderated = thermal_flux_aboard_per_h(
+            11_000.0, moderation_enhancement=0.5
+        )
+        assert moderated == pytest.approx(1.5 * bare)
+        assert fast > moderated  # fast still dominates at altitude
+
+    def test_rejects_negative_enhancement(self):
+        with pytest.raises(ValueError):
+            thermal_flux_aboard_per_h(
+                11_000.0, moderation_enhancement=-0.1
+            )

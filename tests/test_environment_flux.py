@@ -1,0 +1,104 @@
+"""Natural flux model: altitude/latitude scaling and the calibrated
+thermal ratio."""
+
+import pytest
+
+from repro.environment.flux import (
+    NYC_FAST_FLUX_PER_H,
+    SEA_LEVEL_THERMAL_RATIO,
+    altitude_acceleration,
+    atmospheric_depth_g_cm2,
+    fast_flux_per_h,
+    latitude_factor,
+    outdoor_thermal_ratio,
+    thermal_flux_per_h,
+)
+
+
+class TestAtmosphericDepth:
+    def test_sea_level(self):
+        assert atmospheric_depth_g_cm2(0.0) == pytest.approx(1033.0)
+
+    def test_decreases_with_altitude(self):
+        assert atmospheric_depth_g_cm2(
+            3000.0
+        ) < atmospheric_depth_g_cm2(1000.0)
+
+    def test_rejects_absurd_altitude(self):
+        with pytest.raises(ValueError):
+            atmospheric_depth_g_cm2(-1000.0)
+
+
+class TestAltitudeAcceleration:
+    def test_sea_level_unity(self):
+        assert altitude_acceleration(0.0) == pytest.approx(1.0)
+
+    def test_leadville_about_13x(self):
+        # The classic Leadville acceleration factor.
+        assert altitude_acceleration(3094.0) == pytest.approx(
+            12.9, rel=0.05
+        )
+
+    def test_denver_about_4x(self):
+        # Denver (~1600 m) is usually quoted at 3-5x.
+        assert 3.0 < altitude_acceleration(1609.0) < 5.5
+
+    def test_monotone(self):
+        accels = [
+            altitude_acceleration(h)
+            for h in (0.0, 1000.0, 2000.0, 3000.0)
+        ]
+        assert accels == sorted(accels)
+
+
+class TestLatitudeFactor:
+    def test_equator_suppression(self):
+        assert latitude_factor(0.0) == pytest.approx(0.65)
+
+    def test_polar_saturation(self):
+        assert latitude_factor(60.0) == latitude_factor(85.0) == 1.1
+
+    def test_monotone_to_knee(self):
+        factors = [latitude_factor(lat) for lat in (0, 15, 30, 45, 55)]
+        assert factors == sorted(factors)
+
+    def test_symmetric_in_hemisphere(self):
+        assert latitude_factor(-40.0) == latitude_factor(40.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            latitude_factor(91.0)
+
+
+class TestFluxes:
+    def test_nyc_reference(self):
+        assert fast_flux_per_h(0.0, 51.0) == pytest.approx(
+            NYC_FAST_FLUX_PER_H
+        )
+
+    def test_thermal_ratio_sea_level(self):
+        assert outdoor_thermal_ratio(0.0) == pytest.approx(
+            SEA_LEVEL_THERMAL_RATIO
+        )
+
+    def test_thermal_ratio_grows_with_altitude(self):
+        assert outdoor_thermal_ratio(3000.0) > outdoor_thermal_ratio(
+            0.0
+        )
+
+    def test_thermal_flux_product(self):
+        h, lat = 2000.0, 45.0
+        assert thermal_flux_per_h(h, lat) == pytest.approx(
+            fast_flux_per_h(h, lat) * outdoor_thermal_ratio(h)
+        )
+
+    def test_calibration_nyc_indoor_anchor(self):
+        # DESIGN.md Section 5: indoor ratio 0.445 = outdoor x 1.44.
+        assert outdoor_thermal_ratio(0.0) * 1.44 == pytest.approx(
+            0.445, abs=0.002
+        )
+
+    def test_calibration_leadville_indoor_anchor(self):
+        assert outdoor_thermal_ratio(3094.0) * 1.44 == pytest.approx(
+            0.755, abs=0.01
+        )

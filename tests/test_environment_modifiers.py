@@ -1,0 +1,74 @@
+"""Material/weather modifiers: the paper's +24 %, +20 %, +44 %, x2."""
+
+import pytest
+
+from repro.environment.modifiers import (
+    CONCRETE_FLOOR,
+    MaterialModifier,
+    WATER_COOLING,
+    WeatherCondition,
+    combined_fast_factor,
+    combined_thermal_factor,
+    describe,
+)
+
+
+class TestPublishedValues:
+    def test_water_is_24_percent(self):
+        assert WATER_COOLING.thermal_enhancement == pytest.approx(0.24)
+
+    def test_concrete_is_20_percent(self):
+        assert CONCRETE_FLOOR.thermal_enhancement == pytest.approx(0.20)
+
+    def test_combined_is_44_percent(self):
+        # The paper combines them additively to its "overall increase
+        # of 44%".
+        assert combined_thermal_factor(
+            [WATER_COOLING, CONCRETE_FLOOR]
+        ) == pytest.approx(1.44)
+
+    def test_rain_doubles(self):
+        assert WeatherCondition.RAIN.thermal_multiplier == 2.0
+
+
+class TestCombination:
+    def test_empty_is_unity(self):
+        assert combined_thermal_factor([]) == 1.0
+
+    def test_weather_multiplies_materials(self):
+        factor = combined_thermal_factor(
+            [WATER_COOLING, CONCRETE_FLOOR], WeatherCondition.RAIN
+        )
+        assert factor == pytest.approx(2.88)
+
+    def test_fast_factor_unaffected_by_default(self):
+        assert combined_fast_factor(
+            [WATER_COOLING, CONCRETE_FLOOR]
+        ) == 1.0
+
+    def test_fast_factor_honours_explicit_shielding(self):
+        shield = MaterialModifier("berm", 0.0, fast_enhancement=-0.1)
+        assert combined_fast_factor([shield]) == pytest.approx(0.9)
+
+    def test_over_removal_raises(self):
+        eater = MaterialModifier("void", -0.9)
+        with pytest.raises(ValueError):
+            combined_thermal_factor([eater, eater])
+
+    def test_modifier_validation(self):
+        with pytest.raises(ValueError):
+            MaterialModifier("bad", -1.5)
+
+
+class TestDescribe:
+    def test_lists_materials(self):
+        lines = describe([WATER_COOLING])
+        assert any("water" in line for line in lines)
+
+    def test_sunny_not_mentioned(self):
+        lines = describe([], WeatherCondition.SUNNY)
+        assert lines == ()
+
+    def test_rain_mentioned(self):
+        lines = describe([], WeatherCondition.RAIN)
+        assert any("rain" in line for line in lines)

@@ -1,0 +1,112 @@
+"""Flux scenarios: sites x materials x weather composition."""
+
+import pytest
+
+from repro.environment import (
+    CONCRETE_FLOOR,
+    FluxScenario,
+    LEADVILLE,
+    NEW_YORK,
+    Site,
+    Supercomputer,
+    TOP10_SUPERCOMPUTERS,
+    WATER_COOLING,
+    WeatherCondition,
+    datacenter_scenario,
+    expected_thermal_ratio,
+    outdoor_scenario,
+)
+
+
+class TestScenario:
+    def test_outdoor_matches_site(self):
+        sc = outdoor_scenario(NEW_YORK)
+        assert sc.fast_flux_per_h() == pytest.approx(
+            NEW_YORK.fast_flux_per_h()
+        )
+        assert sc.thermal_flux_per_h() == pytest.approx(
+            NEW_YORK.thermal_flux_per_h()
+        )
+
+    def test_datacenter_applies_44_percent(self):
+        indoor = datacenter_scenario(NEW_YORK)
+        outdoor = outdoor_scenario(NEW_YORK)
+        assert indoor.thermal_flux_per_h() == pytest.approx(
+            1.44 * outdoor.thermal_flux_per_h()
+        )
+
+    def test_air_cooled_room_only_concrete(self):
+        room = datacenter_scenario(NEW_YORK, liquid_cooled=False)
+        assert room.thermal_factor() == pytest.approx(1.20)
+
+    def test_with_materials_returns_new_scenario(self):
+        base = outdoor_scenario(NEW_YORK)
+        wet = base.with_materials(WATER_COOLING)
+        assert wet is not base
+        assert base.materials == ()
+        assert wet.thermal_factor() == pytest.approx(1.24)
+
+    def test_with_weather(self):
+        rainy = outdoor_scenario(NEW_YORK).with_weather(
+            WeatherCondition.RAIN
+        )
+        assert rainy.thermal_factor() == pytest.approx(2.0)
+
+    def test_ratio_consistency(self):
+        sc = datacenter_scenario(LEADVILLE)
+        assert sc.thermal_to_fast_ratio() == pytest.approx(
+            expected_thermal_ratio(sc)
+        )
+
+    def test_label_generated(self):
+        sc = FluxScenario(
+            site=NEW_YORK, materials=(CONCRETE_FLOOR,)
+        )
+        assert "concrete" in sc.label
+
+    def test_explicit_name_wins(self):
+        sc = FluxScenario(site=NEW_YORK, name="lab bench")
+        assert sc.label == "lab bench"
+
+    def test_spectrum_matches_fluxes(self):
+        sc = datacenter_scenario(NEW_YORK)
+        spec = sc.spectrum()
+        assert spec.fast_flux() * 3600.0 == pytest.approx(
+            sc.fast_flux_per_h(), rel=0.01
+        )
+        assert spec.thermal_flux() * 3600.0 == pytest.approx(
+            sc.thermal_flux_per_h(), rel=0.05
+        )
+
+
+class TestSites:
+    def test_leadville_flux_much_higher(self):
+        assert (
+            LEADVILLE.fast_flux_per_h()
+            > 10.0 * NEW_YORK.fast_flux_per_h()
+        )
+
+    def test_top10_has_ten_machines(self):
+        assert len(TOP10_SUPERCOMPUTERS) == 10
+
+    def test_top10_unique_names(self):
+        names = [m.name for m in TOP10_SUPERCOMPUTERS]
+        assert len(set(names)) == 10
+
+    def test_supercomputer_validation(self):
+        with pytest.raises(ValueError):
+            Supercomputer(
+                "bad", Site("x", 0.0), memory_tib=100.0,
+                ddr_generation=5,
+            )
+        with pytest.raises(ValueError):
+            Supercomputer(
+                "bad", Site("x", 0.0), memory_tib=0.0,
+                ddr_generation=4,
+            )
+
+    def test_trinity_is_highest_site(self):
+        altitudes = {
+            m.name: m.site.altitude_m for m in TOP10_SUPERCOMPUTERS
+        }
+        assert max(altitudes, key=altitudes.get) == "Trinity"

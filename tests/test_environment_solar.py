@@ -1,0 +1,86 @@
+"""Solar modulation and Forbush decreases."""
+
+import pytest
+
+from repro.environment.solar import (
+    CYCLE_AMPLITUDE,
+    SOLAR_CYCLE_YEARS,
+    ForbushDecrease,
+    flux_series,
+    solar_modulation_factor,
+)
+
+
+class TestSolarCycle:
+    def test_maximum_at_solar_minimum(self):
+        # GCR flux peaks when the sun is quiet.
+        assert solar_modulation_factor(0.0) == pytest.approx(
+            1.0 + CYCLE_AMPLITUDE / 2.0
+        )
+
+    def test_minimum_at_solar_maximum(self):
+        assert solar_modulation_factor(
+            SOLAR_CYCLE_YEARS / 2.0
+        ) == pytest.approx(1.0 - CYCLE_AMPLITUDE / 2.0)
+
+    def test_periodic(self):
+        assert solar_modulation_factor(
+            SOLAR_CYCLE_YEARS
+        ) == pytest.approx(solar_modulation_factor(0.0))
+
+    def test_bounded(self):
+        for years in (0.0, 2.0, 5.5, 8.0, 11.0, 17.0):
+            f = solar_modulation_factor(years)
+            assert 0.9 <= f <= 1.1
+
+    def test_rejects_negative_phase(self):
+        with pytest.raises(ValueError):
+            solar_modulation_factor(-1.0)
+
+
+class TestForbush:
+    def test_no_effect_before_onset(self):
+        event = ForbushDecrease(onset_h=100.0, magnitude=0.15)
+        assert event.factor(50.0) == 1.0
+
+    def test_full_drop_at_onset(self):
+        event = ForbushDecrease(onset_h=100.0, magnitude=0.15)
+        assert event.factor(100.0) == pytest.approx(0.85)
+
+    def test_exponential_recovery(self):
+        event = ForbushDecrease(
+            onset_h=0.0, magnitude=0.20, recovery_h=72.0
+        )
+        assert event.factor(72.0) == pytest.approx(
+            1.0 - 0.20 / 2.718281828, rel=1e-6
+        )
+        assert event.factor(720.0) == pytest.approx(1.0, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ForbushDecrease(onset_h=-1.0, magnitude=0.1)
+        with pytest.raises(ValueError):
+            ForbushDecrease(onset_h=0.0, magnitude=1.5)
+        with pytest.raises(ValueError):
+            ForbushDecrease(
+                onset_h=0.0, magnitude=0.1, recovery_h=0.0
+            )
+
+
+class TestFluxSeries:
+    def test_length(self):
+        series = flux_series(48.0, 2.0)
+        assert len(series) == 24
+
+    def test_forbush_dip_visible(self):
+        event = ForbushDecrease(onset_h=24.0, magnitude=0.2)
+        series = flux_series(
+            48.0, 1.0, forbush_events=[event]
+        )
+        assert min(series[24:30]) < min(series[:24]) - 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flux_series(0.0, 1.0)
+        with pytest.raises(ValueError):
+            flux_series(10.0, 0.0)

@@ -1,0 +1,119 @@
+"""Statistical properties of the cross-section estimators.
+
+The paper's numbers are estimator outputs; these tests verify the
+estimators themselves: unbiasedness over seeds, CI coverage at
+campaign-realistic counts, and pooling consistency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.beam import IrradiationCampaign, chipir, rotax
+from repro.beam.results import CrossSectionEstimate
+from repro.devices import get_device
+from repro.faults.models import BeamKind, Outcome
+
+
+class TestUnbiasedness:
+    def test_counting_estimator_unbiased_over_seeds(self):
+        """Mean measured sigma over many campaign seeds converges to
+        the device's true value."""
+        device = get_device("TitanX")
+        chip = chipir()
+        true_sigma = device.sigma(
+            BeamKind.HIGH_ENERGY, Outcome.SDC, "MxM"
+        )
+        estimates = []
+        for seed in range(40):
+            campaign = IrradiationCampaign(seed=seed)
+            exposure = campaign.expose_counting(
+                chip, device, "MxM", 600.0
+            )
+            estimates.append(
+                exposure.sdc_cross_section().sigma_cm2
+            )
+        assert np.mean(estimates) == pytest.approx(
+            true_sigma, rel=0.05
+        )
+
+    def test_variance_shrinks_with_fluence(self):
+        device = get_device("TitanX")
+        chip = chipir()
+
+        def spread(duration: float) -> float:
+            values = []
+            for seed in range(25):
+                campaign = IrradiationCampaign(seed=seed)
+                exposure = campaign.expose_counting(
+                    chip, device, "MxM", duration
+                )
+                values.append(
+                    exposure.sdc_cross_section().sigma_cm2
+                )
+            return float(np.std(values) / np.mean(values))
+
+        assert spread(3000.0) < spread(100.0)
+
+
+class TestCiCoverage:
+    def test_sigma_ci_covers_truth(self):
+        """~95 % of campaign CIs should contain the true sigma at
+        ROTAX-realistic counts."""
+        device = get_device("K20")
+        rot = rotax()
+        true_sigma = device.sigma(
+            BeamKind.THERMAL, Outcome.SDC, "MxM"
+        )
+        hits = 0
+        trials = 60
+        for seed in range(trials):
+            campaign = IrradiationCampaign(seed=seed)
+            exposure = campaign.expose_counting(
+                rot, device, "MxM", 1200.0
+            )
+            est = exposure.sdc_cross_section()
+            if est.lower_cm2 <= true_sigma <= est.upper_cm2:
+                hits += 1
+        assert hits / trials > 0.88
+
+    def test_ratio_ci_covers_truth(self):
+        device = get_device("K20")
+        true_ratio = device.sdc_ratio()
+        hits = 0
+        trials = 40
+        for seed in range(trials):
+            campaign = IrradiationCampaign(seed=seed)
+            campaign.expose_counting(
+                chipir(), device, "MxM", 900.0
+            )
+            campaign.expose_counting(
+                rotax(), device, "MxM", 3600.0
+            )
+            ratio = campaign.result.beam_ratio("K20", Outcome.SDC)
+            if ratio.lower <= true_ratio <= ratio.upper:
+                hits += 1
+        assert hits / trials > 0.85
+
+
+class TestPooling:
+    def test_pooled_equals_merged_counts(self):
+        """Pooling exposures is count/fluence addition, not averaging
+        of sigmas — check against the raw arithmetic."""
+        device = get_device("TitanX")
+        chip = chipir()
+        campaign = IrradiationCampaign(seed=3)
+        e1 = campaign.expose_counting(chip, device, "MxM", 500.0)
+        e2 = campaign.expose_counting(chip, device, "MxM", 2500.0)
+        pooled = campaign.result.sigma(
+            "TitanX", BeamKind.HIGH_ENERGY, Outcome.SDC, "MxM"
+        )
+        expected = (e1.sdc_count + e2.sdc_count) / (
+            e1.fluence_per_cm2 + e2.fluence_per_cm2
+        )
+        assert pooled.sigma_cm2 == pytest.approx(expected)
+
+    def test_estimate_fields_consistent(self):
+        est = CrossSectionEstimate.from_counts(25, 5e9)
+        assert est.count == 25
+        assert est.fluence_per_cm2 == 5e9
+        assert est.sigma_cm2 == pytest.approx(5e-9)

@@ -1,0 +1,56 @@
+"""Every example script runs clean and prints its headline result."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "examples"
+)
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name,expected",
+    [
+        ("quickstart", "machine room"),
+        ("datacenter_fit", "Top-10"),
+        ("autonomous_vehicle", "Virtual beam test"),
+        ("beam_campaign", "cross-section ratios"),
+        ("ddr_memory_test", "SECDED"),
+        ("avionics", "transatlantic"),
+        ("fleet_year", "rainy days"),
+    ],
+)
+def test_example_runs(capsys, name, expected):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert expected in out
+    assert len(out.splitlines()) > 3
+
+
+def test_all_examples_covered():
+    scripts = {
+        p.stem for p in EXAMPLES_DIR.glob("*.py")
+    }
+    tested = {
+        "quickstart", "datacenter_fit", "autonomous_vehicle",
+        "beam_campaign", "ddr_memory_test", "avionics",
+        "fleet_year",
+    }
+    assert scripts == tested, (
+        "new example scripts must be added to test_example_runs"
+    )

@@ -1,0 +1,128 @@
+"""Bit-level injection: exactness, involution, target validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.injector import (
+    Injection,
+    flip_bit_in_array,
+    flip_float_bit,
+    injectable_bit_count,
+    random_injection_for,
+)
+
+
+class TestFlipFloatBit:
+    def test_sign_bit(self):
+        assert flip_float_bit(1.0, 63) == -1.0
+
+    def test_lsb_tiny_change(self):
+        flipped = flip_float_bit(1.0, 0)
+        assert flipped != 1.0
+        assert abs(flipped - 1.0) < 1e-15
+
+    def test_involution(self):
+        assert flip_float_bit(flip_float_bit(3.7, 20), 20) == 3.7
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_float_bit(1.0, 64)
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=60)
+    def test_involution_property(self, value, bit):
+        assert flip_float_bit(flip_float_bit(value, bit), bit) == value
+
+
+class TestFlipBitInArray:
+    @pytest.mark.parametrize(
+        "dtype",
+        [np.float64, np.float32, np.int64, np.int32, np.uint8],
+    )
+    def test_flip_changes_exactly_one_element(self, dtype):
+        arr = np.ones(10, dtype=dtype)
+        flip_bit_in_array(arr, 4, 0)
+        changed = np.nonzero(arr != np.ones(10, dtype=dtype))[0]
+        assert list(changed) == [4]
+
+    def test_involution_in_array(self):
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+        original = arr.copy()
+        flip_bit_in_array(arr, 7, 33)
+        assert not np.array_equal(arr, original)
+        flip_bit_in_array(arr, 7, 33)
+        assert np.array_equal(arr, original)
+
+    def test_bool_array(self):
+        arr = np.zeros(4, dtype=np.bool_)
+        flip_bit_in_array(arr, 2, 0)
+        assert arr[2]
+
+    def test_rejects_bad_index(self):
+        arr = np.zeros(4)
+        with pytest.raises(ValueError):
+            flip_bit_in_array(arr, 4, 0)
+
+    def test_rejects_bad_bit(self):
+        arr = np.zeros(4, dtype=np.float32)
+        with pytest.raises(ValueError):
+            flip_bit_in_array(arr, 0, 32)
+
+    def test_rejects_unsupported_dtype(self):
+        arr = np.zeros(4, dtype=complex)
+        with pytest.raises(ValueError):
+            flip_bit_in_array(arr, 0, 0)
+
+
+class TestRandomInjection:
+    def test_draws_valid_targets(self):
+        space = {
+            "stage1": {"a": np.zeros((4, 4)), "b": np.zeros(7)},
+            "stage2": {"a": np.zeros((4, 4))},
+        }
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            inj = random_injection_for(rng, space)
+            assert inj.stage in space
+            arr = space[inj.stage][inj.array]
+            assert 0 <= inj.flat_index < arr.size
+            assert 0 <= inj.bit < arr.dtype.itemsize * 8
+
+    def test_area_weighting(self):
+        # A 100x larger array should soak up almost all strikes.
+        space = {
+            "s": {"big": np.zeros(1000), "small": np.zeros(10)}
+        }
+        rng = np.random.default_rng(1)
+        hits = [
+            random_injection_for(rng, space).array
+            for _ in range(300)
+        ]
+        assert hits.count("big") > 250
+
+    def test_empty_space_raises(self):
+        with pytest.raises(ValueError):
+            random_injection_for(np.random.default_rng(2), {})
+
+    def test_bit_count(self):
+        space = {
+            "s": {
+                "a": np.zeros(10, dtype=np.float64),
+                "b": np.zeros(8, dtype=np.float32),
+            }
+        }
+        assert injectable_bit_count(space) == 10 * 64 + 8 * 32
+
+
+class TestInjectionValidation:
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            Injection(stage="s", array="a", flat_index=-1, bit=0)
+
+    def test_rejects_negative_bit(self):
+        with pytest.raises(ValueError):
+            Injection(stage="s", array="a", flat_index=0, bit=-1)

@@ -1,0 +1,109 @@
+"""Poisson fault arrival: means, validation, event streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.models import BeamKind, FaultKind
+from repro.faults.sampler import (
+    PoissonEventSampler,
+    expected_events,
+    sample_event_count,
+    sample_event_times,
+)
+
+
+class TestExpectedEvents:
+    def test_product(self):
+        assert expected_events(1e-8, 1e10) == pytest.approx(100.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            expected_events(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_events(1.0, -1.0)
+
+    def test_zero_sigma_zero_events(self):
+        assert expected_events(0.0, 1e12) == 0.0
+
+
+class TestSampleCount:
+    def test_zero_mean_always_zero(self):
+        rng = np.random.default_rng(0)
+        assert sample_event_count(rng, 0.0, 1e12) == 0
+
+    def test_mean_matches_poisson(self):
+        rng = np.random.default_rng(1)
+        lam = 50.0
+        counts = [
+            sample_event_count(rng, 1e-8, lam / 1e-8)
+            for _ in range(400)
+        ]
+        assert np.mean(counts) == pytest.approx(lam, rel=0.05)
+        # Poisson: variance ~ mean.
+        assert np.var(counts) == pytest.approx(lam, rel=0.25)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e-6),
+        st.floats(min_value=0.0, max_value=1e8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_counts_non_negative(self, sigma, fluence):
+        rng = np.random.default_rng(2)
+        assert sample_event_count(rng, sigma, fluence) >= 0
+
+
+class TestSampleTimes:
+    def test_sorted_within_window(self):
+        rng = np.random.default_rng(3)
+        times = sample_event_times(rng, 50, 100.0)
+        assert (np.diff(times) >= 0).all()
+        assert times.min() >= 0.0
+        assert times.max() <= 100.0
+
+    def test_zero_events(self):
+        rng = np.random.default_rng(4)
+        assert sample_event_times(rng, 0, 100.0).size == 0
+
+    def test_rejects_negative(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            sample_event_times(rng, -1, 100.0)
+        with pytest.raises(ValueError):
+            sample_event_times(rng, 1, -1.0)
+
+
+class TestEventSampler:
+    def test_event_stream(self):
+        sampler = PoissonEventSampler(
+            rng=np.random.default_rng(6),
+            flux_per_cm2_s=1e6,
+            beam=BeamKind.THERMAL,
+        )
+        events = sampler.events(
+            sigma_cm2=1e-8, duration_s=3600.0,
+            kind=FaultKind.DATA_BIT,
+        )
+        # lambda = 1e-8 * 1e6 * 3600 = 36.
+        assert 10 < len(events) < 80
+        for event in events:
+            assert event.beam is BeamKind.THERMAL
+            assert event.kind is FaultKind.DATA_BIT
+            assert 0.0 <= event.time_s <= 3600.0
+
+    def test_rejects_negative_flux(self):
+        with pytest.raises(ValueError):
+            PoissonEventSampler(
+                rng=np.random.default_rng(7),
+                flux_per_cm2_s=-1.0,
+                beam=BeamKind.THERMAL,
+            )
+
+    def test_rejects_negative_duration(self):
+        sampler = PoissonEventSampler(
+            rng=np.random.default_rng(8),
+            flux_per_cm2_s=1.0,
+            beam=BeamKind.HIGH_ENERGY,
+        )
+        with pytest.raises(ValueError):
+            sampler.events(1e-8, -1.0, FaultKind.CONTROL)

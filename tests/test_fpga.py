@@ -1,0 +1,120 @@
+"""FPGA configuration memory and the reprogram-on-error protocol."""
+
+import numpy as np
+import pytest
+
+from repro.fpga.campaign import FpgaCampaign
+from repro.fpga.configuration import (
+    ConfigurationMemory,
+    FpgaDesign,
+    MNIST_DOUBLE,
+    MNIST_SINGLE,
+)
+
+
+class TestDesign:
+    def test_double_uses_twice_resources(self):
+        assert MNIST_DOUBLE.resource_scale == pytest.approx(
+            2.0 * MNIST_SINGLE.resource_scale
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FpgaDesign("bad", essential_fraction=0.0,
+                       error_per_essential_upset=0.5)
+        with pytest.raises(ValueError):
+            FpgaDesign("bad", essential_fraction=0.5,
+                       error_per_essential_upset=1.5)
+        with pytest.raises(ValueError):
+            FpgaDesign("bad", essential_fraction=0.5,
+                       error_per_essential_upset=0.5,
+                       resource_scale=0.0)
+
+
+class TestConfigurationMemory:
+    def test_upsets_accumulate(self):
+        mem = ConfigurationMemory(
+            MNIST_SINGLE, rng=np.random.default_rng(0)
+        )
+        for _ in range(10):
+            mem.upset()
+        assert len(mem.upset_bits) == 10
+
+    def test_upsets_are_persistent_until_reprogram(self):
+        mem = ConfigurationMemory(
+            MNIST_SINGLE, rng=np.random.default_rng(1)
+        )
+        # Drive until the design breaks.
+        for _ in range(10_000):
+            mem.upset()
+            if mem.design_broken:
+                break
+        assert mem.design_broken
+        # Still broken on subsequent checks (persistence).
+        assert not mem.output_correct()
+        cleared = mem.reprogram()
+        assert cleared > 0
+        assert mem.output_correct()
+        assert mem.upset_bits == set()
+        assert mem.reprogram_count == 1
+
+    def test_upset_rejects_bad_address(self):
+        mem = ConfigurationMemory(MNIST_SINGLE)
+        with pytest.raises(ValueError):
+            mem.upset(address=mem.n_bits)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            ConfigurationMemory(MNIST_SINGLE, n_frames=0)
+
+
+class TestCampaign:
+    def test_thermal_campaign_measures_sdc(self):
+        campaign = FpgaCampaign(
+            MNIST_SINGLE, sigma_config_bit_cm2=5e-15, seed=3
+        )
+        result = campaign.run(
+            flux_per_cm2_s=2.72e6, duration_s=3600.0
+        )
+        assert result.sdc_count > 0
+        assert result.reprogram_count == result.sdc_count
+        sigma, lo, hi = result.sdc_cross_section_ci()
+        assert lo <= sigma <= hi
+
+    def test_double_precision_higher_cross_section(self):
+        # Paper: the double version's cross section is larger (it
+        # uses ~2x resources; thermal measured ~4x).
+        kwargs = dict(flux_per_cm2_s=2.72e6, duration_s=3600.0)
+        single = FpgaCampaign(
+            MNIST_SINGLE, 5e-15, seed=4
+        ).run(**kwargs)
+        double = FpgaCampaign(
+            MNIST_DOUBLE, 5e-15, seed=4
+        ).run(**kwargs)
+        assert (
+            double.sdc_cross_section()
+            > 1.5 * single.sdc_cross_section()
+        )
+
+    def test_no_flux_no_errors(self):
+        campaign = FpgaCampaign(MNIST_SINGLE, 5e-15, seed=5)
+        result = campaign.run(
+            flux_per_cm2_s=0.0, duration_s=100.0
+        )
+        assert result.sdc_count == 0
+        assert result.config_upsets == 0
+
+    def test_zero_fluence_cross_section_raises(self):
+        campaign = FpgaCampaign(MNIST_SINGLE, 5e-15, seed=6)
+        result = campaign.run(0.0, 100.0)
+        with pytest.raises(ValueError):
+            result.sdc_cross_section()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FpgaCampaign(MNIST_SINGLE, -1.0)
+        campaign = FpgaCampaign(MNIST_SINGLE, 1e-16)
+        with pytest.raises(ValueError):
+            campaign.run(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            campaign.run(1.0, 0.0)

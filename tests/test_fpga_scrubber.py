@@ -1,0 +1,88 @@
+"""FPGA scrubbing-policy comparison."""
+
+import pytest
+
+from repro.fpga import MNIST_SINGLE
+from repro.fpga.scrubber import (
+    ScrubPolicy,
+    compare_policies,
+    run_policy,
+)
+
+#: Conditions hot enough to break the design several times per run.
+ARGS = dict(
+    sigma_config_bit_cm2=5e-15,
+    flux_per_cm2_s=2.72e6,
+    duration_s=1800.0,
+)
+
+
+class TestPolicies:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return compare_policies(MNIST_SINGLE, seed=1, **ARGS)
+
+    def test_never_scrubbing_worst(self, results):
+        never = results[ScrubPolicy.NEVER]
+        for policy in (ScrubPolicy.ON_ERROR, ScrubPolicy.PERIODIC):
+            assert (
+                results[policy].availability > never.availability
+            )
+
+    def test_on_error_repairs_immediately(self, results):
+        on_error = results[ScrubPolicy.ON_ERROR]
+        # Every error check triggers exactly one reprogram.
+        assert on_error.reprograms == on_error.error_checks
+
+    def test_periodic_scrubs_blindly(self, results):
+        periodic = results[ScrubPolicy.PERIODIC]
+        # 1800 checks / 60 per scrub = 30 scheduled scrubs.
+        assert periodic.reprograms == 30
+
+    def test_never_accumulates(self, results):
+        never = results[ScrubPolicy.NEVER]
+        assert never.reprograms == 0
+        # Once broken, broken forever: error run reaches the end.
+        assert never.error_checks > 0
+
+    def test_same_seed_same_upset_stream(self):
+        a = run_policy(
+            MNIST_SINGLE, ScrubPolicy.NEVER, seed=7, **ARGS
+        )
+        b = run_policy(
+            MNIST_SINGLE, ScrubPolicy.NEVER, seed=7, **ARGS
+        )
+        assert a == b
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            run_policy(
+                MNIST_SINGLE, ScrubPolicy.NEVER,
+                sigma_config_bit_cm2=-1.0,
+                flux_per_cm2_s=1.0, duration_s=10.0,
+            )
+        with pytest.raises(ValueError):
+            run_policy(
+                MNIST_SINGLE, ScrubPolicy.NEVER,
+                sigma_config_bit_cm2=1e-15,
+                flux_per_cm2_s=1.0, duration_s=0.0,
+            )
+        with pytest.raises(ValueError):
+            run_policy(
+                MNIST_SINGLE, ScrubPolicy.PERIODIC,
+                sigma_config_bit_cm2=1e-15,
+                flux_per_cm2_s=1.0, duration_s=10.0,
+                scrub_every_checks=0,
+            )
+
+    def test_availability_requires_checks(self):
+        from repro.fpga.scrubber import ScrubRunResult
+
+        empty = ScrubRunResult(
+            policy=ScrubPolicy.NEVER,
+            checks=0, error_checks=0, reprograms=0,
+        )
+        with pytest.raises(ValueError):
+            _ = empty.availability

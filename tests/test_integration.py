@@ -1,0 +1,143 @@
+"""End-to-end integration: the paper's full analysis chains."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    RiskAssessment,
+    datacenter_scenario,
+    get_device,
+    outdoor_scenario,
+)
+from repro.beam import IrradiationCampaign, chipir, rotax
+from repro.core import FitCalculator, fit_rate, project_top10
+from repro.detector import TinII, water_step_experiment
+from repro.devices import DEVICES
+from repro.environment import LEADVILLE, NEW_YORK, WeatherCondition
+from repro.faults.models import BeamKind, Outcome
+from repro.memory import (
+    CorrectLoopTester,
+    DDR4_SENSITIVITY,
+    score_errors,
+)
+from repro.workloads import create_workload
+
+
+class TestMeasureThenPredict:
+    """The paper's methodology end to end: measure cross sections in
+    a virtual campaign, then feed the *measured* values into the FIT
+    decomposition and compare with the catalog-based prediction."""
+
+    def test_campaign_to_fit_pipeline(self):
+        device = get_device("K20")
+        campaign = IrradiationCampaign(seed=11)
+        chip, rot = chipir(), rotax()
+        for code in device.supported_codes:
+            campaign.expose_counting(chip, device, code, 3600.0)
+            campaign.expose_counting(rot, device, code, 6 * 3600.0)
+
+        measured_he = campaign.result.sigma(
+            "K20", BeamKind.HIGH_ENERGY, Outcome.SDC
+        ).sigma_cm2
+        measured_th = campaign.result.sigma(
+            "K20", BeamKind.THERMAL, Outcome.SDC
+        ).sigma_cm2
+
+        scenario = datacenter_scenario(NEW_YORK)
+        fit_he = fit_rate(measured_he, scenario.fast_flux_per_h())
+        fit_th = fit_rate(
+            measured_th, scenario.thermal_flux_per_h()
+        )
+        measured_share = fit_th / (fit_he + fit_th)
+
+        predicted_share = FitCalculator().thermal_share(
+            device, scenario, Outcome.SDC
+        )
+        assert measured_share == pytest.approx(
+            predicted_share, abs=0.05
+        )
+
+
+class TestEventLevelConsistency:
+    def test_simulated_ratio_matches_counting_ratio(self):
+        """Event-level (workload-injection) campaigns reproduce the
+        same HE/thermal ratio as counting campaigns — the masking
+        factor cancels between beams."""
+        device = get_device("K20")
+        workload = create_workload("HotSpot", grid=24, iterations=8)
+        campaign = IrradiationCampaign(seed=13)
+        campaign.expose_simulated(
+            chipir(), device, workload, 1200.0, max_events=500
+        )
+        campaign.expose_simulated(
+            rotax(), device, workload, 4000.0, max_events=500
+        )
+        ratio = campaign.result.beam_ratio("K20", Outcome.SDC)
+        assert ratio.ratio == pytest.approx(
+            device.sdc_ratio() * 1.6 / 1.6, rel=0.6
+        )
+
+
+class TestDetectorToScenario:
+    def test_detector_measurement_feeds_fit(self):
+        """Close the loop: the Tin-II water measurement quantifies the
+        same +24 % the scenario model applies."""
+        result = water_step_experiment(seed=99)
+        measured_factor = 1.0 + result.measured_enhancement
+        scenario_factor = (
+            outdoor_scenario(NEW_YORK)
+            .with_materials(
+                __import__(
+                    "repro.environment", fromlist=["WATER_COOLING"]
+                ).WATER_COOLING
+            )
+            .thermal_factor()
+        )
+        assert measured_factor == pytest.approx(
+            scenario_factor, abs=0.07
+        )
+
+
+class TestWholePaperSweep:
+    def test_every_device_assessable_everywhere(self):
+        report = RiskAssessment().assess(
+            list(DEVICES.values()),
+            [
+                datacenter_scenario(NEW_YORK),
+                datacenter_scenario(LEADVILLE),
+                outdoor_scenario(NEW_YORK).with_weather(
+                    WeatherCondition.RAIN
+                ),
+            ],
+        )
+        assert len(report.reports) == len(DEVICES) * 3
+        for fit in report.reports:
+            assert fit.total_fit > 0.0
+            assert 0.0 < fit.sdc.thermal_share < 1.0
+
+    def test_memory_chain(self):
+        """DDR campaign -> ECC scoring -> fleet projection."""
+        tester = CorrectLoopTester(DDR4_SENSITIVITY, 64.0, seed=21)
+        result = tester.run(2.72e6, duration_s=2 * 3600.0)
+        ecc = score_errors(result.errors)
+        assert ecc.corrected > 0
+        projections = project_top10()
+        assert all(p.fit_no_ecc > 0 for p in projections)
+
+    def test_deterministic_end_to_end(self):
+        """Same seeds -> byte-identical conclusions."""
+
+        def run() -> float:
+            campaign = IrradiationCampaign(seed=77)
+            device = get_device("TitanX")
+            campaign.expose_counting(
+                chipir(), device, "MxM", 1800.0
+            )
+            campaign.expose_counting(
+                rotax(), device, "MxM", 7200.0
+            )
+            return campaign.result.beam_ratio(
+                "TitanX", Outcome.SDC
+            ).ratio
+
+        assert run() == run()

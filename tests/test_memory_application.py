@@ -1,0 +1,111 @@
+"""Memory-backed workloads: DDR upsets propagating into applications."""
+
+import pytest
+
+from repro.faults.models import Outcome
+from repro.memory import DDR3_SENSITIVITY
+from repro.memory.application import MemoryBackedWorkload
+from repro.workloads import create_workload
+
+#: Flux giving a handful of upsets/hour in the ~48-Kbit region
+#: (sigma_region ~ 5e-14 cm^2, so ~4 upsets at 9e13 n/cm^2).
+HOT_FLUX = 2.5e10
+HOUR = 3600.0
+
+
+@pytest.fixture
+def mxm():
+    return create_workload("MxM", n=16, block=8)
+
+
+class TestEccOn:
+    def test_all_cell_upsets_corrected(self, mxm):
+        backed = MemoryBackedWorkload(
+            mxm, DDR3_SENSITIVITY, ecc_enabled=True, seed=1
+        )
+        result = backed.expose_and_run(HOT_FLUX, HOUR)
+        if not result.sefi:
+            assert result.outcome is Outcome.MASKED
+            assert result.corrected == result.upsets
+
+    def test_upsets_actually_occur(self, mxm):
+        backed = MemoryBackedWorkload(
+            mxm, DDR3_SENSITIVITY, ecc_enabled=True, seed=2
+        )
+        total = sum(
+            backed.expose_and_run(HOT_FLUX, HOUR).upsets
+            for _ in range(10)
+        )
+        assert total > 0
+
+
+class TestEccOff:
+    def test_sdcs_emerge(self, mxm):
+        backed = MemoryBackedWorkload(
+            mxm, DDR3_SENSITIVITY, ecc_enabled=False, seed=3
+        )
+        outcomes = [
+            backed.expose_and_run(HOT_FLUX * 5, HOUR).outcome
+            for _ in range(30)
+        ]
+        assert Outcome.SDC in outcomes
+
+    def test_low_flux_mostly_clean(self, mxm):
+        backed = MemoryBackedWorkload(
+            mxm, DDR3_SENSITIVITY, ecc_enabled=False, seed=4
+        )
+        results = [
+            backed.expose_and_run(1.0, HOUR) for _ in range(10)
+        ]
+        assert all(r.upsets == 0 for r in results)
+        assert all(
+            r.outcome is Outcome.MASKED for r in results
+        )
+
+    def test_ecc_strictly_better(self, mxm):
+        kwargs = dict(sensitivity=DDR3_SENSITIVITY, seed=5)
+        protected = MemoryBackedWorkload(
+            mxm, ecc_enabled=True, **kwargs
+        )
+        bare = MemoryBackedWorkload(
+            mxm, ecc_enabled=False, **kwargs
+        )
+        p_protected = protected.sdc_probability(
+            HOT_FLUX * 5, HOUR, n_runs=20
+        )
+        p_bare = bare.sdc_probability(
+            HOT_FLUX * 5, HOUR, n_runs=20
+        )
+        assert p_protected <= p_bare
+        assert p_protected == 0.0
+
+
+class TestPlumbing:
+    def test_footprint_counts_first_stage_arrays(self, mxm):
+        backed = MemoryBackedWorkload(mxm, DDR3_SENSITIVITY)
+        space = mxm.injection_space()[mxm.stage_names()[0]]
+        expected = sum(
+            arr.size * arr.dtype.itemsize * 8
+            for arr in space.values()
+        )
+        assert backed.footprint_bits == expected
+
+    def test_validation(self, mxm):
+        backed = MemoryBackedWorkload(mxm, DDR3_SENSITIVITY)
+        with pytest.raises(ValueError):
+            backed.expose_and_run(-1.0, HOUR)
+        with pytest.raises(ValueError):
+            backed.expose_and_run(1.0, 0.0)
+        with pytest.raises(ValueError):
+            backed.sdc_probability(1.0, HOUR, n_runs=0)
+
+    def test_deterministic(self, mxm):
+        a = MemoryBackedWorkload(
+            mxm, DDR3_SENSITIVITY, ecc_enabled=False, seed=9
+        )
+        b = MemoryBackedWorkload(
+            mxm, DDR3_SENSITIVITY, ecc_enabled=False, seed=9
+        )
+        ra = a.expose_and_run(HOT_FLUX, HOUR)
+        rb = b.expose_and_run(HOT_FLUX, HOUR)
+        assert ra == rb

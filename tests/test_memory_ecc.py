@@ -1,0 +1,74 @@
+"""SECDED ECC scoring."""
+
+import pytest
+
+from repro.memory.ecc import (
+    EccOutcome,
+    classify_event,
+    non_sefi_fraction_correctable,
+    score_errors,
+)
+from repro.memory.errors import ErrorCategory, FlipDirection
+from repro.memory.tester import ObservedError
+
+
+def _error(bits: int, category=ErrorCategory.TRANSIENT):
+    return ObservedError(
+        address=0,
+        category=category,
+        direction=FlipDirection.ONE_TO_ZERO,
+        corrupted_bits=bits,
+        first_pass=0,
+    )
+
+
+class TestClassifyEvent:
+    def test_single_bit_corrected(self):
+        assert classify_event(_error(1)) is EccOutcome.CORRECTED
+
+    def test_double_bit_detected(self):
+        assert classify_event(_error(2)) is EccOutcome.DETECTED
+
+    def test_burst_undetected(self):
+        assert classify_event(
+            _error(512, ErrorCategory.SEFI)
+        ) is EccOutcome.UNDETECTED
+
+
+class TestScoreErrors:
+    def test_report_counts(self):
+        errors = [_error(1)] * 5 + [_error(2)] + [
+            _error(100, ErrorCategory.SEFI)
+        ]
+        report = score_errors(errors)
+        assert report.corrected == 5
+        assert report.detected == 1
+        assert report.undetected == 1
+        assert report.total == 7
+
+    def test_coverage(self):
+        report = score_errors([_error(1)] * 9 + [_error(3)])
+        assert report.coverage() == pytest.approx(0.9)
+
+    def test_empty_coverage_raises(self):
+        with pytest.raises(ValueError):
+            score_errors([]).coverage()
+
+
+class TestNonSefiCorrectable:
+    def test_paper_claim(self):
+        # All non-SEFI thermal errors are single-bit -> fully
+        # correctable.
+        errors = [
+            _error(1, ErrorCategory.TRANSIENT),
+            _error(1, ErrorCategory.INTERMITTENT),
+            _error(1, ErrorCategory.PERMANENT),
+            _error(2048, ErrorCategory.SEFI),
+        ]
+        assert non_sefi_fraction_correctable(errors) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            non_sefi_fraction_correctable(
+                [_error(10, ErrorCategory.SEFI)]
+            )

@@ -1,0 +1,107 @@
+"""Property tests: the correct-loop classifier vs known ground truth.
+
+The tester infers categories from read histories; here we strike a
+module with *known* faults and check the inference rules directly on
+the module's observable behaviour.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.errors import ErrorCategory, FlipDirection
+from repro.memory.module import DdrModule
+
+
+def _make_module(seed: int) -> DdrModule:
+    return DdrModule(
+        generation=3,
+        capacity_gbit=1.0,
+        pattern_bit=1,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestGroundTruthBehaviour:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_permanent_always_visible(self, address):
+        module = _make_module(1)
+        module.strike_cell(
+            ErrorCategory.PERMANENT,
+            FlipDirection.ONE_TO_ZERO,
+            address=address,
+        )
+        for _ in range(5):
+            bad, _ = module.read_errors()
+            assert address in bad
+            module.rewrite()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_transient_visible_exactly_until_rewrite(self, address):
+        module = _make_module(2)
+        module.strike_cell(
+            ErrorCategory.TRANSIENT,
+            FlipDirection.ONE_TO_ZERO,
+            address=address,
+        )
+        bad, _ = module.read_errors()
+        assert address in bad
+        module.rewrite()
+        for _ in range(3):
+            bad, _ = module.read_errors()
+            assert address not in bad
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_intermittent_rate_statistical(self, seed):
+        module = _make_module(seed)
+        module.strike_cell(
+            ErrorCategory.INTERMITTENT,
+            FlipDirection.ONE_TO_ZERO,
+            address=123,
+        )
+        hits = sum(
+            123 in module.read_errors()[0] for _ in range(200)
+        )
+        # Default intermittent rate 0.35: expect ~70/200, and never
+        # the permanent (200) or one-shot (<=1 after many reads)
+        # signatures.
+        assert 30 <= hits <= 120
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    ErrorCategory.TRANSIENT,
+                    ErrorCategory.INTERMITTENT,
+                    ErrorCategory.PERMANENT,
+                ]
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fault_count_conserved(self, categories):
+        module = _make_module(3)
+        for category in categories:
+            module.strike_cell(
+                category, FlipDirection.ONE_TO_ZERO
+            )
+        # Dict keyed by address: collisions possible but vanishingly
+        # rare in a 2^30-bit module; the count must never exceed the
+        # strikes.
+        assert len(module.cell_faults) <= len(categories)
+        assert len(module.cell_faults) >= 1
+
+    def test_invisible_direction_never_reads_bad(self):
+        module = _make_module(4)
+        for _ in range(20):
+            module.strike_cell(
+                ErrorCategory.PERMANENT,
+                FlipDirection.ZERO_TO_ONE,
+            )
+        bad, _ = module.read_errors()
+        assert bad == set()

@@ -1,0 +1,133 @@
+"""DDR module model: fault behaviours and the correct loop's view."""
+
+import numpy as np
+import pytest
+
+from repro.memory.errors import ErrorCategory, FlipDirection
+from repro.memory.module import BITS_PER_GBIT, DdrModule
+
+
+@pytest.fixture
+def module():
+    return DdrModule(
+        generation=4,
+        capacity_gbit=1.0,
+        pattern_bit=1,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestConstruction:
+    def test_bit_count(self, module):
+        assert module.n_bits == BITS_PER_GBIT
+
+    def test_rejects_bad_generation(self):
+        with pytest.raises(ValueError):
+            DdrModule(generation=5, capacity_gbit=1.0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            DdrModule(generation=4, capacity_gbit=0.0)
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            DdrModule(generation=4, capacity_gbit=1.0, pattern_bit=2)
+
+
+class TestVisibility:
+    def test_matching_direction_visible(self, module):
+        # Pattern 1: only 1->0 flips disturb the data.
+        module.strike_cell(
+            ErrorCategory.PERMANENT,
+            FlipDirection.ONE_TO_ZERO,
+            address=42,
+        )
+        bad, _ = module.read_errors()
+        assert bad == {42}
+
+    def test_opposite_direction_invisible(self, module):
+        module.strike_cell(
+            ErrorCategory.PERMANENT,
+            FlipDirection.ZERO_TO_ONE,
+            address=42,
+        )
+        bad, _ = module.read_errors()
+        assert bad == set()
+
+
+class TestBehaviours:
+    def test_transient_cured_by_rewrite(self, module):
+        module.strike_cell(
+            ErrorCategory.TRANSIENT,
+            FlipDirection.ONE_TO_ZERO,
+            address=7,
+        )
+        bad, _ = module.read_errors()
+        assert 7 in bad
+        module.rewrite()
+        bad, _ = module.read_errors()
+        assert 7 not in bad
+
+    def test_permanent_survives_rewrite(self, module):
+        module.strike_cell(
+            ErrorCategory.PERMANENT,
+            FlipDirection.ONE_TO_ZERO,
+            address=7,
+        )
+        for _ in range(3):
+            module.rewrite()
+            bad, _ = module.read_errors()
+            assert 7 in bad
+
+    def test_intermittent_sporadic(self, module):
+        module.strike_cell(
+            ErrorCategory.INTERMITTENT,
+            FlipDirection.ONE_TO_ZERO,
+            address=7,
+        )
+        seen = [
+            7 in module.read_errors()[0] for _ in range(60)
+        ]
+        # Sporadic: sometimes bad, sometimes fine.
+        assert any(seen) and not all(seen)
+
+    def test_sefi_observed_once(self, module):
+        module.strike_sefi(span=128)
+        _, bursts = module.read_errors()
+        assert len(bursts) == 1
+        assert bursts[0].span == 128
+        _, bursts = module.read_errors()
+        assert bursts == []
+
+    def test_sefi_rejects_bad_span(self, module):
+        with pytest.raises(ValueError):
+            module.strike_sefi(span=0)
+
+    def test_strike_cell_rejects_sefi_category(self, module):
+        with pytest.raises(ValueError):
+            module.strike_cell(
+                ErrorCategory.SEFI, FlipDirection.ONE_TO_ZERO
+            )
+
+    def test_strike_rejects_bad_address(self, module):
+        with pytest.raises(ValueError):
+            module.strike_cell(
+                ErrorCategory.TRANSIENT,
+                FlipDirection.ONE_TO_ZERO,
+                address=module.n_bits,
+            )
+
+    def test_anneal_repairs_permanent(self, module):
+        module.strike_cell(
+            ErrorCategory.PERMANENT,
+            FlipDirection.ONE_TO_ZERO,
+            address=3,
+        )
+        module.strike_cell(
+            ErrorCategory.TRANSIENT,
+            FlipDirection.ONE_TO_ZERO,
+            address=4,
+        )
+        assert module.anneal() == 1
+        bad, _ = module.read_errors()
+        assert 3 not in bad

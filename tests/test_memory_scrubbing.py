@@ -1,0 +1,110 @@
+"""Scrubbing-policy analysis."""
+
+import math
+
+import pytest
+
+from repro.environment import datacenter_scenario, LOS_ALAMOS
+from repro.memory import DDR3_SENSITIVITY, DDR4_SENSITIVITY
+from repro.memory.scrubbing import (
+    ScrubbingAnalysis,
+    required_scrub_interval_h,
+    upset_fit_per_gbit_from_sensitivity,
+)
+
+
+class TestScrubbingAnalysis:
+    def test_double_rate_linear_in_interval(self):
+        base = ScrubbingAnalysis(100.0, 50.0, scrub_interval_h=1.0)
+        double = ScrubbingAnalysis(100.0, 50.0, scrub_interval_h=2.0)
+        assert double.uncorrectable_fit() == pytest.approx(
+            2.0 * base.uncorrectable_fit()
+        )
+
+    def test_double_rate_quadratic_in_upset_rate(self):
+        base = ScrubbingAnalysis(100.0, 50.0, scrub_interval_h=1.0)
+        hot = ScrubbingAnalysis(100.0, 150.0, scrub_interval_h=1.0)
+        assert hot.uncorrectable_fit() == pytest.approx(
+            9.0 * base.uncorrectable_fit()
+        )
+
+    def test_double_rate_linear_in_capacity(self):
+        """Fixed per-GBit rate: words double, per-word rate fixed."""
+        small = ScrubbingAnalysis(100.0, 50.0, 1.0)
+        big = ScrubbingAnalysis(200.0, 50.0, 1.0)
+        assert big.uncorrectable_fit() == pytest.approx(
+            2.0 * small.uncorrectable_fit()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScrubbingAnalysis(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            ScrubbingAnalysis(1.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            ScrubbingAnalysis(1.0, 1.0, 0.0)
+
+
+class TestRequiredInterval:
+    def test_inversion_round_trip(self):
+        interval = required_scrub_interval_h(
+            1000.0, 500.0, fit_budget=1.0
+        )
+        analysis = ScrubbingAnalysis(1000.0, 500.0, interval)
+        assert analysis.uncorrectable_fit() == pytest.approx(1.0)
+
+    def test_zero_upsets_infinite_interval(self):
+        assert math.isinf(
+            required_scrub_interval_h(1000.0, 0.0, 1.0)
+        )
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            required_scrub_interval_h(1000.0, 1.0, 0.0)
+
+    def test_tighter_budget_shorter_interval(self):
+        loose = required_scrub_interval_h(1000.0, 500.0, 10.0)
+        tight = required_scrub_interval_h(1000.0, 500.0, 1.0)
+        assert tight < loose
+
+
+class TestSensitivityBridge:
+    def test_fit_per_gbit_product(self):
+        fit = upset_fit_per_gbit_from_sensitivity(
+            DDR4_SENSITIVITY, 10.0
+        )
+        assert fit == pytest.approx(
+            DDR4_SENSITIVITY.sigma_cell_per_gbit_cm2 * 10.0 * 1e9
+        )
+
+    def test_ddr3_needs_more_frequent_scrubbing(self):
+        flux = datacenter_scenario(LOS_ALAMOS).thermal_flux_per_h()
+        ddr3 = required_scrub_interval_h(
+            1000.0,
+            upset_fit_per_gbit_from_sensitivity(
+                DDR3_SENSITIVITY, flux
+            ),
+            fit_budget=1.0,
+        )
+        ddr4 = required_scrub_interval_h(
+            1000.0,
+            upset_fit_per_gbit_from_sensitivity(
+                DDR4_SENSITIVITY, flux
+            ),
+            fit_budget=1.0,
+        )
+        # ~10x the upset rate -> ~100x shorter interval (quadratic).
+        assert ddr4 / ddr3 == pytest.approx(
+            (
+                DDR3_SENSITIVITY.sigma_cell_per_gbit_cm2
+                / DDR4_SENSITIVITY.sigma_cell_per_gbit_cm2
+            )
+            ** 2,
+            rel=1e-6,
+        )
+
+    def test_rejects_negative_flux(self):
+        with pytest.raises(ValueError):
+            upset_fit_per_gbit_from_sensitivity(
+                DDR4_SENSITIVITY, -1.0
+            )

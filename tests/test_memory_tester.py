@@ -1,0 +1,149 @@
+"""Correct-loop tester: classification accuracy and paper shapes."""
+
+import pytest
+
+from repro.memory.errors import (
+    DDR3_SENSITIVITY,
+    DDR4_SENSITIVITY,
+    DdrSensitivity,
+    ErrorCategory,
+    FlipDirection,
+)
+from repro.memory.tester import CorrectLoopTester
+from repro.spectra import ROTAX_THERMAL_FLUX
+
+
+@pytest.fixture(scope="module")
+def ddr3_result():
+    tester = CorrectLoopTester(DDR3_SENSITIVITY, 32.0, seed=1)
+    return tester.run(ROTAX_THERMAL_FLUX, duration_s=2.0 * 3600.0)
+
+
+@pytest.fixture(scope="module")
+def ddr4_result():
+    tester = CorrectLoopTester(DDR4_SENSITIVITY, 64.0, seed=1)
+    return tester.run(ROTAX_THERMAL_FLUX, duration_s=2.0 * 3600.0)
+
+
+class TestMeasuredCrossSections:
+    def test_ddr3_matches_sensitivity(self, ddr3_result):
+        measured = ddr3_result.total_cell_cross_section_per_gbit()
+        assert measured == pytest.approx(
+            DDR3_SENSITIVITY.sigma_cell_per_gbit_cm2, rel=0.25
+        )
+
+    def test_ddr4_matches_sensitivity(self, ddr4_result):
+        measured = ddr4_result.total_cell_cross_section_per_gbit()
+        assert measured == pytest.approx(
+            DDR4_SENSITIVITY.sigma_cell_per_gbit_cm2, rel=0.35
+        )
+
+    def test_per_category_ci_brackets_point(self, ddr3_result):
+        sigma, lo, hi = ddr3_result.cross_section_per_gbit(
+            ErrorCategory.TRANSIENT
+        )
+        assert lo <= sigma <= hi
+
+
+class TestDirectionAsymmetry:
+    def test_ddr3_one_to_zero(self, ddr3_result):
+        assert ddr3_result.count_direction(
+            FlipDirection.ONE_TO_ZERO
+        ) > ddr3_result.count_direction(FlipDirection.ZERO_TO_ONE)
+
+    def test_ddr4_zero_to_one(self, ddr4_result):
+        assert ddr4_result.count_direction(
+            FlipDirection.ZERO_TO_ONE
+        ) > ddr4_result.count_direction(FlipDirection.ONE_TO_ZERO)
+
+    def test_dominance_over_90_percent(self, ddr3_result):
+        assert ddr3_result.dominant_direction_fraction() > 0.90
+
+
+class TestClassification:
+    def test_permanent_shift(self, ddr3_result, ddr4_result):
+        ddr3_perm = ddr3_result.count(
+            ErrorCategory.PERMANENT
+        ) / len(ddr3_result.errors)
+        ddr4_perm = ddr4_result.count(
+            ErrorCategory.PERMANENT
+        ) / len(ddr4_result.errors)
+        assert ddr4_perm > ddr3_perm
+
+    def test_all_cell_errors_single_bit(self, ddr3_result):
+        for error in ddr3_result.errors:
+            if error.category is not ErrorCategory.SEFI:
+                assert error.corrupted_bits == 1
+
+    def test_sefis_multi_bit(self, ddr3_result):
+        for error in ddr3_result.errors:
+            if error.category is ErrorCategory.SEFI:
+                assert error.corrupted_bits > 1
+
+    def test_first_pass_recorded(self, ddr3_result):
+        for error in ddr3_result.errors:
+            assert 0 <= error.first_pass < ddr3_result.n_passes
+
+
+class TestValidation:
+    def test_rejects_negative_flux(self):
+        tester = CorrectLoopTester(DDR3_SENSITIVITY, 32.0)
+        with pytest.raises(ValueError):
+            tester.run(-1.0, 10.0)
+
+    def test_rejects_nonpositive_duration(self):
+        tester = CorrectLoopTester(DDR3_SENSITIVITY, 32.0)
+        with pytest.raises(ValueError):
+            tester.run(1.0, 0.0)
+
+    def test_rejects_single_pass(self):
+        tester = CorrectLoopTester(DDR3_SENSITIVITY, 32.0)
+        with pytest.raises(ValueError):
+            tester.run(1.0, 10.0, n_passes=1)
+
+    def test_no_fluence_cross_section_raises(self):
+        tester = CorrectLoopTester(DDR3_SENSITIVITY, 32.0, seed=2)
+        result = tester.run(0.0, 10.0)
+        with pytest.raises(ValueError):
+            result.cross_section_per_gbit(ErrorCategory.TRANSIENT)
+
+    def test_no_errors_direction_fraction_raises(self):
+        tester = CorrectLoopTester(DDR3_SENSITIVITY, 32.0, seed=2)
+        result = tester.run(0.0, 10.0)
+        with pytest.raises(ValueError):
+            result.dominant_direction_fraction()
+
+
+class TestSensitivityValidation:
+    def test_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            DdrSensitivity(
+                generation=3,
+                sigma_cell_per_gbit_cm2=1e-9,
+                sigma_sefi_cm2=1e-11,
+                dominant_direction=FlipDirection.ONE_TO_ZERO,
+                dominant_fraction=0.96,
+                category_mix={ErrorCategory.TRANSIENT: 0.5},
+            )
+
+    def test_rejects_sefi_in_mix(self):
+        with pytest.raises(ValueError):
+            DdrSensitivity(
+                generation=3,
+                sigma_cell_per_gbit_cm2=1e-9,
+                sigma_sefi_cm2=1e-11,
+                dominant_direction=FlipDirection.ONE_TO_ZERO,
+                dominant_fraction=0.96,
+                category_mix={ErrorCategory.SEFI: 1.0},
+            )
+
+    def test_rejects_weak_dominance(self):
+        with pytest.raises(ValueError):
+            DdrSensitivity(
+                generation=3,
+                sigma_cell_per_gbit_cm2=1e-9,
+                sigma_sefi_cm2=1e-11,
+                dominant_direction=FlipDirection.ONE_TO_ZERO,
+                dominant_fraction=0.3,
+                category_mix={ErrorCategory.TRANSIENT: 1.0},
+            )

@@ -1,0 +1,93 @@
+"""The published-values registry is the single source of truth:
+its entries agree with the constants compiled into the modules."""
+
+import pytest
+
+from repro import paper
+from repro.devices import get_device
+from repro.environment.modifiers import (
+    CONCRETE_FLOOR,
+    WATER_COOLING,
+    WeatherCondition,
+)
+from repro.physics.units import THERMAL_CUTOFF_EV
+from repro.spectra import (
+    CHIPIR_FLUX_ABOVE_10MEV,
+    CHIPIR_THERMAL_FLUX,
+    ROTAX_THERMAL_FLUX,
+)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert paper.paper_value("rotax_thermal_flux") == 2.72e6
+
+    def test_unknown_slug_lists_valid(self):
+        with pytest.raises(KeyError, match="valid"):
+            paper.paper_value("warp_core_flux")
+
+    def test_citation_format(self):
+        line = paper.citation("water_thermal_enhancement")
+        assert "Fig. 5" in line
+        assert "0.24" in line
+
+    def test_all_anchors_sorted_unique(self):
+        anchors = paper.all_anchors()
+        assert list(anchors) == sorted(set(anchors))
+        assert len(anchors) >= 15
+
+
+class TestAgreementWithModules:
+    """Every module constant that encodes a published number must
+    match the registry — drift in either place fails here."""
+
+    def test_beamline_fluxes(self):
+        assert CHIPIR_FLUX_ABOVE_10MEV == paper.paper_value(
+            "chipir_flux_above_10mev"
+        )
+        assert CHIPIR_THERMAL_FLUX == paper.paper_value(
+            "chipir_thermal_flux"
+        )
+        assert ROTAX_THERMAL_FLUX == paper.paper_value(
+            "rotax_thermal_flux"
+        )
+
+    def test_thermal_cutoff(self):
+        assert THERMAL_CUTOFF_EV == paper.paper_value(
+            "thermal_cutoff"
+        )
+
+    def test_device_ratios(self):
+        assert get_device("XeonPhi").sdc_ratio() == pytest.approx(
+            paper.paper_value("xeonphi_sdc_ratio")
+        )
+        assert get_device("XeonPhi").due_ratio() == pytest.approx(
+            paper.paper_value("xeonphi_due_ratio")
+        )
+        assert get_device(
+            "APU-CPU+GPU"
+        ).due_ratio() == pytest.approx(
+            paper.paper_value("apu_cpu_gpu_due_ratio")
+        )
+        assert get_device("FPGA").sdc_ratio() == pytest.approx(
+            paper.paper_value("fpga_sdc_ratio")
+        )
+
+    def test_environment_modifiers(self):
+        assert WATER_COOLING.thermal_enhancement == paper.paper_value(
+            "water_thermal_enhancement"
+        )
+        assert (
+            CONCRETE_FLOOR.thermal_enhancement
+            == paper.paper_value("concrete_thermal_enhancement")
+        )
+        assert (
+            WATER_COOLING.thermal_enhancement
+            + CONCRETE_FLOOR.thermal_enhancement
+        ) == pytest.approx(
+            paper.paper_value("machine_room_adjustment")
+        )
+        assert (
+            WeatherCondition.RAIN.thermal_multiplier
+            == paper.paper_value("rain_thermal_multiplier")
+        )

@@ -1,0 +1,83 @@
+"""Charge deposition and the critical-charge criterion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.physics.charge import (
+    CriticalCharge,
+    collected_charge_fc,
+    deposited_charge_fc,
+    upset_probability,
+)
+
+
+class TestDepositedCharge:
+    def test_textbook_anchor(self):
+        # 1 MeV in silicon ~ 44.5 fC (1e6/3.6 pairs x 1.6e-4 fC).
+        assert deposited_charge_fc(1.0) == pytest.approx(44.5, rel=0.01)
+
+    def test_b10_alpha_charge(self):
+        # The 1.47 MeV alpha deposits ~65 fC if fully collected —
+        # far above any modern Qcrit (~1 fC at 16 nm).
+        assert deposited_charge_fc(1.47) > 60.0
+
+    def test_zero_energy(self):
+        assert deposited_charge_fc(0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            deposited_charge_fc(-1.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_linear_in_energy(self, e):
+        assert deposited_charge_fc(2.0 * e) == pytest.approx(
+            2.0 * deposited_charge_fc(e)
+        )
+
+
+class TestCollectedCharge:
+    def test_full_efficiency(self):
+        assert collected_charge_fc(1.0, 1.0) == deposited_charge_fc(1.0)
+
+    def test_zero_efficiency(self):
+        assert collected_charge_fc(1.0, 0.0) == 0.0
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            collected_charge_fc(1.0, 1.5)
+
+
+class TestCriticalCharge:
+    def test_rejects_nonpositive_qcrit(self):
+        with pytest.raises(ValueError):
+            CriticalCharge(qcrit_fc=0.0)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            CriticalCharge(qcrit_fc=1.0, sigma_fc=-0.1)
+
+    def test_hard_threshold(self):
+        crit = CriticalCharge(qcrit_fc=2.0)
+        assert upset_probability(1.9, crit) == 0.0
+        assert upset_probability(2.0, crit) == 1.0
+
+    def test_smeared_threshold_midpoint(self):
+        crit = CriticalCharge(qcrit_fc=2.0, sigma_fc=0.5)
+        assert upset_probability(2.0, crit) == pytest.approx(0.5)
+
+    def test_smeared_threshold_monotone(self):
+        crit = CriticalCharge(qcrit_fc=2.0, sigma_fc=0.5)
+        probs = [
+            upset_probability(q, crit) for q in (0.5, 1.5, 2.0, 2.5, 4.0)
+        ]
+        assert probs == sorted(probs)
+
+    def test_rejects_negative_charge(self):
+        with pytest.raises(ValueError):
+            upset_probability(-1.0, CriticalCharge(qcrit_fc=1.0))
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    def test_probability_in_unit_interval(self, q):
+        crit = CriticalCharge(qcrit_fc=5.0, sigma_fc=2.0)
+        p = upset_probability(q, crit)
+        assert 0.0 <= p <= 1.0

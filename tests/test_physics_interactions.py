@@ -1,0 +1,110 @@
+"""Interaction laws: 1/v, elastic kinematics, lethargy (with
+property-based checks on the kinematic invariants)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.physics.interactions import (
+    average_lethargy_gain,
+    collisions_to_thermalize,
+    elastic_alpha,
+    one_over_v_cross_section,
+    scattered_energy,
+)
+
+
+class TestOneOverV:
+    def test_anchor(self):
+        assert one_over_v_cross_section(100.0, 0.0253) == pytest.approx(
+            100.0
+        )
+
+    def test_rejects_zero_energy(self):
+        with pytest.raises(ValueError):
+            one_over_v_cross_section(100.0, 0.0)
+
+    @given(st.floats(min_value=1e-5, max_value=1e6))
+    def test_scaling_law(self, energy):
+        sigma = one_over_v_cross_section(1.0, energy)
+        assert sigma == pytest.approx(
+            math.sqrt(0.0253 / energy), rel=1e-12
+        )
+
+    @given(
+        st.floats(min_value=1e-5, max_value=1e3),
+        st.floats(min_value=1.01, max_value=100.0),
+    )
+    def test_monotone_decreasing(self, energy, factor):
+        assert one_over_v_cross_section(
+            10.0, energy * factor
+        ) < one_over_v_cross_section(10.0, energy)
+
+
+class TestElasticKinematics:
+    def test_hydrogen_alpha(self):
+        assert elastic_alpha(1) == 0.0
+
+    def test_alpha_formula(self):
+        assert elastic_alpha(12) == pytest.approx(
+            ((12 - 1) / (12 + 1)) ** 2
+        )
+
+    def test_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            elastic_alpha(0)
+
+    @given(
+        st.floats(min_value=1e-2, max_value=1e7),
+        st.integers(min_value=1, max_value=240),
+        st.floats(min_value=0.0, max_value=0.999999),
+    )
+    def test_scattered_energy_in_allowed_band(self, e, a, u):
+        out = scattered_energy(e, a, u)
+        alpha = elastic_alpha(a)
+        assert alpha * e - 1e-12 <= out <= e + 1e-9
+
+    def test_u_one_keeps_energy(self):
+        assert scattered_energy(100.0, 12, 1.0) == pytest.approx(100.0)
+
+    def test_u_zero_gives_alpha_fraction(self):
+        assert scattered_energy(100.0, 12, 0.0) == pytest.approx(
+            100.0 * elastic_alpha(12)
+        )
+
+
+class TestLethargy:
+    def test_hydrogen_xi_is_one(self):
+        assert average_lethargy_gain(1) == 1.0
+
+    def test_carbon_xi_textbook(self):
+        # xi(C-12) = 0.158 in every reactor-physics text.
+        assert average_lethargy_gain(12) == pytest.approx(
+            0.158, abs=0.002
+        )
+
+    @given(st.integers(min_value=2, max_value=240))
+    def test_xi_bounded(self, a):
+        xi = average_lethargy_gain(a)
+        assert 0.0 < xi < 1.0
+
+    def test_xi_decreasing_with_mass(self):
+        xis = [average_lethargy_gain(a) for a in (1, 2, 12, 28, 113)]
+        assert xis == sorted(xis, reverse=True)
+
+    def test_hydrogen_thermalization_count(self):
+        # The paper: thermalization takes 10-20 interactions.
+        n = collisions_to_thermalize(1, start_ev=2.0e6)
+        assert 15.0 < n < 20.0
+
+    def test_carbon_needs_many_more(self):
+        assert collisions_to_thermalize(12) > 100.0
+
+    def test_rejects_ascending_energies(self):
+        with pytest.raises(ValueError):
+            collisions_to_thermalize(1, start_ev=1.0, end_ev=10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            collisions_to_thermalize(1, start_ev=0.0)

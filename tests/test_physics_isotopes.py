@@ -1,0 +1,85 @@
+"""Isotope/element data: abundances, cross sections, kinematics."""
+
+import pytest
+
+from repro.physics.isotopes import ELEMENTS, ISOTOPES, element, isotope
+
+
+class TestIsotopeLookup:
+    def test_b10_lookup(self):
+        b10 = isotope("B10")
+        assert b10.mass_number == 10
+        assert b10.sigma_capture_thermal_b == pytest.approx(3837.0)
+
+    def test_unknown_isotope_raises(self):
+        with pytest.raises(KeyError):
+            isotope("Unobtainium")
+
+    def test_b10_natural_abundance_near_20_percent(self):
+        # The paper: "approximately 20% of naturally occurring Boron
+        # is 10B".
+        assert isotope("B10").abundance == pytest.approx(0.20, abs=0.01)
+
+    def test_he3_huge_capture(self):
+        assert isotope("He3").sigma_capture_thermal_b > 5000.0
+
+    def test_cd113_huge_capture(self):
+        assert isotope("Cd113").sigma_capture_thermal_b > 20000.0
+
+    def test_o16_negligible_capture(self):
+        assert isotope("O16").sigma_capture_thermal_b < 0.001
+
+
+class TestElasticAlpha:
+    def test_hydrogen_alpha_zero(self):
+        # A = 1: a single collision can stop the neutron.
+        assert isotope("H1").elastic_alpha == 0.0
+
+    def test_heavy_alpha_near_one(self):
+        assert isotope("Cd113").elastic_alpha > 0.96
+
+    def test_alpha_monotonic_in_mass(self):
+        masses = ["H1", "C12", "Si28", "Fe56", "Cd113"]
+        alphas = [isotope(m).elastic_alpha for m in masses]
+        assert alphas == sorted(alphas)
+
+
+class TestElements:
+    def test_boron_abundances_sum_to_one(self):
+        b = element("B")
+        assert sum(i.abundance for i in b.isotopes) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_natural_boron_capture_dominated_by_b10(self):
+        b = element("B")
+        expected = 0.199 * 3837.0 + 0.801 * 0.0055
+        assert b.sigma_capture_thermal_b == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_natural_boron_capture_is_about_760_barns(self):
+        # The textbook value for natural boron is ~760 b.
+        assert element("B").sigma_capture_thermal_b == pytest.approx(
+            764.0, rel=0.02
+        )
+
+    def test_element_atomic_mass_weighted(self):
+        si = element("Si")
+        assert 28.0 < si.atomic_mass < 28.2
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(KeyError):
+            element("Xx")
+
+    def test_all_elements_have_isotopes(self):
+        for sym, elem in ELEMENTS.items():
+            assert elem.isotopes, f"{sym} has no isotopes"
+
+    def test_all_isotope_data_physical(self):
+        for name, iso in ISOTOPES.items():
+            assert iso.mass_number >= 1, name
+            assert iso.atomic_mass > 0.0, name
+            assert 0.0 <= iso.abundance <= 1.0, name
+            assert iso.sigma_capture_thermal_b >= 0.0, name
+            assert iso.sigma_scatter_b >= 0.0, name

@@ -1,0 +1,74 @@
+"""Capture reactions: branch bookkeeping, 1/v scaling, sampling."""
+
+import pytest
+
+from repro.physics.reactions import B10_N_ALPHA, CD113_N_GAMMA, HE3_N_P
+
+
+class TestB10Reaction:
+    def test_branch_probabilities_sum_to_one(self):
+        assert sum(
+            b.probability for b in B10_N_ALPHA.branches
+        ) == pytest.approx(1.0)
+
+    def test_dominant_branch_alpha_energy(self):
+        # The famous 1.47 MeV alpha (93.7 % branch).
+        main = B10_N_ALPHA.branches[0]
+        alpha = dict(main.products)["alpha"]
+        assert alpha == pytest.approx(1.47, abs=0.01)
+
+    def test_gamma_excluded_from_charged_products(self):
+        main = B10_N_ALPHA.branches[0]
+        names = [n for n, _ in main.charged_products]
+        assert "Li7" in names and "alpha" in names
+        assert all(not n.startswith("gamma") for n in names)
+
+    def test_charged_energy_dominant_branch(self):
+        main = B10_N_ALPHA.branches[0]
+        assert main.charged_energy_mev == pytest.approx(
+            0.840 + 1.470, abs=1e-9
+        )
+
+    def test_mean_charged_energy_between_branches(self):
+        mean = B10_N_ALPHA.mean_charged_energy_mev()
+        assert 2.31 < mean < 2.792
+
+    def test_cross_section_thermal_anchor(self):
+        assert B10_N_ALPHA.cross_section_b(0.0253) == pytest.approx(
+            3837.0
+        )
+
+    def test_cross_section_one_over_v(self):
+        # 4x the energy -> half the cross section.
+        s1 = B10_N_ALPHA.cross_section_b(0.0253)
+        s2 = B10_N_ALPHA.cross_section_b(4 * 0.0253)
+        assert s2 == pytest.approx(s1 / 2.0)
+
+    def test_cross_section_rejects_nonpositive_energy(self):
+        with pytest.raises(ValueError):
+            B10_N_ALPHA.cross_section_b(0.0)
+
+    def test_sample_branch_boundaries(self):
+        assert B10_N_ALPHA.sample_branch(0.0).probability == 0.937
+        assert B10_N_ALPHA.sample_branch(
+            0.999
+        ).probability == 0.063
+
+
+class TestDetectorReactions:
+    def test_he3_products(self):
+        branch = HE3_N_P.branches[0]
+        products = dict(branch.products)
+        assert products["proton"] == pytest.approx(0.573, abs=0.01)
+        assert products["triton"] == pytest.approx(0.191, abs=0.01)
+
+    def test_he3_q_value(self):
+        # 3He(n,p)3H releases 764 keV total.
+        assert HE3_N_P.branches[0].charged_energy_mev == pytest.approx(
+            0.764, abs=0.01
+        )
+
+    def test_cd113_only_gammas(self):
+        branch = CD113_N_GAMMA.branches[0]
+        assert branch.charged_products == ()
+        assert branch.charged_energy_mev == 0.0

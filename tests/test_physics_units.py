@@ -1,0 +1,62 @@
+"""Unit conversions: round trips, anchors, FIT arithmetic."""
+
+import pytest
+
+from repro.physics import units
+
+
+class TestEnergyConversions:
+    def test_ev_to_mev_anchor(self):
+        assert units.ev_to_mev(1.0e6) == 1.0
+
+    def test_mev_to_ev_anchor(self):
+        assert units.mev_to_ev(1.0) == 1.0e6
+
+    def test_round_trip(self):
+        assert units.ev_to_mev(units.mev_to_ev(3.7)) == pytest.approx(3.7)
+
+    def test_thermal_point(self):
+        assert units.THERMAL_ENERGY_EV == pytest.approx(0.0253)
+
+    def test_cadmium_cutoff(self):
+        assert units.THERMAL_CUTOFF_EV == 0.5
+
+    def test_fast_cutoff_is_10_mev(self):
+        assert units.FAST_CUTOFF_EV == 10.0e6
+
+
+class TestCrossSectionConversions:
+    def test_barn_definition(self):
+        assert units.barns_to_cm2(1.0) == 1.0e-24
+
+    def test_round_trip(self):
+        assert units.cm2_to_barns(
+            units.barns_to_cm2(3837.0)
+        ) == pytest.approx(3837.0)
+
+
+class TestFluxConversions:
+    def test_per_second_to_per_hour(self):
+        assert units.per_second_to_per_hour(1.0) == 3600.0
+
+    def test_round_trip(self):
+        assert units.per_hour_to_per_second(
+            units.per_second_to_per_hour(13.0)
+        ) == pytest.approx(13.0)
+
+
+class TestFitConversions:
+    def test_fit_from_rate(self):
+        # One error per hour = 1e9 FIT.
+        assert units.fit_from_rate_per_hour(1.0) == 1.0e9
+
+    def test_rate_from_fit(self):
+        # 100 FIT = 1e-7 errors/hour.
+        assert units.rate_per_hour_from_fit(100.0) == pytest.approx(
+            1.0e-7
+        )
+
+    def test_round_trip(self):
+        assert units.fit_from_rate_per_hour(
+            units.rate_per_hour_from_fit(42.0)
+        ) == pytest.approx(42.0)

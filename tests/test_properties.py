@@ -1,0 +1,132 @@
+"""Cross-module property-based tests on the library's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.poisson import poisson_interval
+from repro.core.fit import FitDecomposition, fit_rate
+from repro.devices.model import profile_from_ratios
+from repro.environment.flux import (
+    altitude_acceleration,
+    fast_flux_per_h,
+    outdoor_thermal_ratio,
+)
+from repro.faults.models import Outcome
+from repro.spectra.analytic import maxwellian_spectrum
+from repro.spectra.spectrum import Spectrum, default_energy_grid
+
+
+class TestFitInvariants:
+    @given(
+        st.floats(min_value=1e-12, max_value=1e-6),
+        st.floats(min_value=1e-12, max_value=1e-6),
+        st.floats(min_value=0.1, max_value=1e3),
+        st.floats(min_value=0.1, max_value=1e3),
+    )
+    @settings(max_examples=60)
+    def test_thermal_share_in_unit_interval(
+        self, sigma_he, sigma_th, flux_he, flux_th
+    ):
+        d = FitDecomposition(
+            outcome=Outcome.SDC,
+            fit_high_energy=fit_rate(sigma_he, flux_he),
+            fit_thermal=fit_rate(sigma_th, flux_th),
+        )
+        assert 0.0 <= d.thermal_share <= 1.0
+        assert d.thermal_share + (
+            d.underestimate_if_thermals_ignored
+        ) == pytest.approx(1.0)
+
+    @given(
+        st.floats(min_value=0.5, max_value=20.0),
+        st.floats(min_value=0.1, max_value=2.0),
+    )
+    @settings(max_examples=60)
+    def test_share_decreasing_in_sigma_ratio(self, big_r, r):
+        """The paper identity: share = r / (r + R) is decreasing in
+        the device ratio R — more thermal-immune devices have lower
+        thermal shares, always."""
+        share = r / (r + big_r)
+        share_harder = r / (r + big_r * 2.0)
+        assert share_harder < share
+
+
+class TestProfileInvariants:
+    @given(
+        st.floats(min_value=1e-10, max_value=1e-6),
+        st.floats(min_value=1e-10, max_value=1e-6),
+        st.floats(min_value=0.1, max_value=50.0),
+        st.floats(min_value=0.1, max_value=50.0),
+    )
+    @settings(max_examples=60)
+    def test_ratios_recovered_exactly(
+        self, s_sdc, s_due, r_sdc, r_due
+    ):
+        profile = profile_from_ratios(s_sdc, s_due, r_sdc, r_due)
+        assert profile.ratio(Outcome.SDC) == pytest.approx(r_sdc)
+        assert profile.ratio(Outcome.DUE) == pytest.approx(r_due)
+
+
+class TestEnvironmentInvariants:
+    @given(st.floats(min_value=0.0, max_value=5000.0))
+    @settings(max_examples=60)
+    def test_acceleration_at_least_one(self, altitude):
+        assert altitude_acceleration(altitude) >= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=5000.0),
+        st.floats(min_value=0.0, max_value=90.0),
+    )
+    @settings(max_examples=60)
+    def test_fluxes_positive(self, altitude, latitude):
+        assert fast_flux_per_h(altitude, latitude) > 0.0
+        assert outdoor_thermal_ratio(altitude) > 0.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=4999.0),
+        st.floats(min_value=1.0, max_value=1000.0),
+    )
+    @settings(max_examples=60)
+    def test_flux_monotone_in_altitude(self, altitude, climb):
+        assert fast_flux_per_h(altitude + climb) > fast_flux_per_h(
+            altitude
+        )
+
+
+class TestSpectrumInvariants:
+    @given(st.floats(min_value=0.01, max_value=1e8))
+    @settings(max_examples=40, deadline=None)
+    def test_maxwellian_total_flux_conserved(self, flux):
+        s = maxwellian_spectrum(flux)
+        assert s.total_flux() == pytest.approx(flux, rel=1e-9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutes(self, a, b):
+        edges = default_energy_grid(1.0, 1e4, groups_per_decade=3)
+        n = edges.size - 1
+        s1 = Spectrum(edges, np.full(n, a))
+        s2 = Spectrum(edges, np.full(n, b))
+        left = (s1 + s2).group_flux
+        right = (s2 + s1).group_flux
+        assert np.allclose(left, right)
+
+
+class TestPoissonInvariants:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_interval_ordering(self, n):
+        lo, hi = poisson_interval(n)
+        assert 0.0 <= lo <= n + 1e-9
+        assert hi >= max(n, 1e-12)
+
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=40, deadline=None)
+    def test_interval_width_shrinks_relatively(self, n):
+        lo, hi = poisson_interval(n)
+        lo10, hi10 = poisson_interval(n * 10)
+        assert (hi10 - lo10) / (n * 10) < (hi - lo) / n + 1e-9

@@ -1,0 +1,107 @@
+"""Bulk materials: number densities and macroscopic cross sections."""
+
+import pytest
+
+from repro.transport.materials import (
+    AIR,
+    BORATED_POLYETHYLENE,
+    CADMIUM,
+    CONCRETE,
+    Material,
+    POLYETHYLENE,
+    WATER,
+)
+
+
+class TestWater:
+    def test_hydrogen_number_density(self):
+        # Water: 6.7e22 H atoms/cm^3 (2 per molecule).
+        h = next(n for n in WATER.nuclides if n.elem.symbol == "H")
+        assert h.number_density == pytest.approx(6.7e22, rel=0.02)
+
+    def test_scattering_dominated_by_hydrogen(self):
+        # Sigma_s(water) ~ 1.5/cm at epithermal energies.
+        assert WATER.sigma_scatter_per_cm(1.0e4) == pytest.approx(
+            1.5, rel=0.15
+        )
+
+    def test_absorption_small_but_nonzero(self):
+        sigma_a = WATER.sigma_absorb_per_cm(0.0253)
+        assert 0.01 < sigma_a < 0.05
+
+
+class TestCadmium:
+    def test_thermal_absorption_enormous(self):
+        # ~115/cm at thermal: a millimetre is opaque.
+        assert CADMIUM.sigma_absorb_per_cm(0.0253) > 50.0
+
+    def test_one_over_v(self):
+        a1 = CADMIUM.sigma_absorb_per_cm(0.0253)
+        a2 = CADMIUM.sigma_absorb_per_cm(4 * 0.0253)
+        assert a2 == pytest.approx(a1 / 2.0)
+
+
+class TestBoratedPoly:
+    def test_absorbs_more_than_plain_poly(self):
+        assert BORATED_POLYETHYLENE.sigma_absorb_per_cm(
+            0.0253
+        ) > 10.0 * POLYETHYLENE.sigma_absorb_per_cm(0.0253)
+
+    def test_depleted_boron_variant(self):
+        depleted = Material(
+            "depleted BPE", 1.0, {"C": 1, "H": 2, "B": 0.028},
+            enrichment_b10=0.0,
+        )
+        # With the 10B gone, the absorption floor is hydrogen's own
+        # capture — i.e. essentially plain polyethylene.
+        assert depleted.sigma_absorb_per_cm(
+            0.0253
+        ) == pytest.approx(
+            POLYETHYLENE.sigma_absorb_per_cm(0.0253), rel=0.25
+        )
+        assert depleted.sigma_absorb_per_cm(
+            0.0253
+        ) < 0.05 * BORATED_POLYETHYLENE.sigma_absorb_per_cm(0.0253)
+
+    def test_enriched_boron_variant(self):
+        enriched = Material(
+            "enriched BPE", 1.0, {"C": 1, "H": 2, "B": 0.028},
+            enrichment_b10=1.0,
+        )
+        assert enriched.sigma_absorb_per_cm(
+            0.0253
+        ) > BORATED_POLYETHYLENE.sigma_absorb_per_cm(0.0253)
+
+    def test_enrichment_validation(self):
+        with pytest.raises(ValueError):
+            Material("bad", 1.0, {"B": 1}, enrichment_b10=1.5)
+
+
+class TestGeneral:
+    def test_air_is_thin(self):
+        assert AIR.sigma_total_per_cm(1.0e6) < 1e-3
+
+    def test_concrete_denser_than_water_scattering(self):
+        # Concrete scatters less per cm than water despite density:
+        # far fewer hydrogen atoms.
+        assert CONCRETE.sigma_scatter_per_cm(
+            1.0e4
+        ) < WATER.sigma_scatter_per_cm(1.0e4)
+
+    def test_material_validation(self):
+        with pytest.raises(ValueError):
+            Material("void", 0.0, {"H": 1})
+        with pytest.raises(ValueError):
+            Material("empty", 1.0, {})
+
+    def test_scatter_nuclide_selection_covers_all(self):
+        picks = {
+            WATER.scatter_nuclide(1.0, u).elem.symbol
+            for u in (0.0, 0.5, 0.9, 0.999)
+        }
+        assert "H" in picks  # hydrogen dominates water scattering
+
+    def test_dominant_scatter_mass_valid(self):
+        for u in (0.0, 0.3, 0.7, 0.99):
+            mass = WATER.dominant_scatter_mass(u)
+            assert mass in (1, 2, 16, 18)

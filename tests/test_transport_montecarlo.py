@@ -1,0 +1,176 @@
+"""Slab Monte Carlo: balance, moderation, albedo and shielding."""
+
+import numpy as np
+import pytest
+
+from repro.spectra.beamlines import rotax_spectrum
+from repro.transport.materials import (
+    AIR,
+    BORATED_POLYETHYLENE,
+    CADMIUM,
+    POLYETHYLENE,
+    WATER,
+)
+from repro.transport.montecarlo import (
+    Layer,
+    SlabGeometry,
+    SlabTransport,
+    shield_transmission,
+    thermal_albedo_enhancement,
+)
+
+
+class TestGeometry:
+    def test_total_thickness(self):
+        geo = SlabGeometry(
+            [Layer(WATER, 2.0), Layer(CADMIUM, 0.1)]
+        )
+        assert geo.total_thickness_cm == pytest.approx(2.1)
+
+    def test_layer_lookup(self):
+        geo = SlabGeometry(
+            [Layer(WATER, 2.0), Layer(CADMIUM, 0.1)]
+        )
+        assert geo.layer_at(1.0) == 0
+        assert geo.layer_at(2.05) == 1
+
+    def test_layer_lookup_out_of_range(self):
+        geo = SlabGeometry([Layer(WATER, 2.0)])
+        with pytest.raises(ValueError):
+            geo.layer_at(-0.1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SlabGeometry([])
+
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(ValueError):
+            Layer(WATER, 0.0)
+
+
+class TestTransport:
+    def test_balance_always_holds(self):
+        geo = SlabGeometry([Layer(WATER, 5.0)])
+        transport = SlabTransport(
+            geo, rng=np.random.default_rng(1)
+        )
+        result = transport.run(2000, source_energy_ev=1.0e6)
+        assert result.balance_check()
+
+    def test_air_transmits_everything(self):
+        geo = SlabGeometry([Layer(AIR, 10.0)])
+        transport = SlabTransport(
+            geo, rng=np.random.default_rng(2)
+        )
+        result = transport.run(1000, source_energy_ev=1.0e6)
+        assert result.transmission_fraction() > 0.99
+
+    def test_thick_water_stops_fast_beam(self):
+        geo = SlabGeometry([Layer(WATER, 50.0)])
+        transport = SlabTransport(
+            geo, rng=np.random.default_rng(3)
+        )
+        result = transport.run(1000, source_energy_ev=1.0e6)
+        assert result.transmitted_fast == 0
+
+    def test_water_thermalizes(self):
+        geo = SlabGeometry([Layer(WATER, 10.0)])
+        transport = SlabTransport(
+            geo, rng=np.random.default_rng(4)
+        )
+        result = transport.run(2000, source_energy_ev=1.0e6)
+        thermal_out = (
+            result.transmitted_thermal + result.reflected_thermal
+        )
+        assert thermal_out > 0.1 * result.source
+
+    def test_bath_floor_respected(self):
+        # No neutron ends below the bath energy: leaking thermals are
+        # still classified thermal (sanity of the energy floor).
+        geo = SlabGeometry([Layer(WATER, 3.0)])
+        transport = SlabTransport(
+            geo,
+            bath_temperature_k=293.6,
+            rng=np.random.default_rng(5),
+        )
+        result = transport.run(500, source_energy_ev=10.0)
+        assert result.balance_check()
+
+    def test_requires_exactly_one_source(self):
+        geo = SlabGeometry([Layer(WATER, 1.0)])
+        transport = SlabTransport(geo)
+        with pytest.raises(ValueError):
+            transport.run(10)
+        with pytest.raises(ValueError):
+            transport.run(
+                10,
+                source_energy_ev=1.0,
+                source_spectrum=rotax_spectrum(),
+            )
+
+    def test_rejects_bad_counts(self):
+        geo = SlabGeometry([Layer(WATER, 1.0)])
+        with pytest.raises(ValueError):
+            SlabTransport(geo).run(0, source_energy_ev=1.0)
+
+    def test_spectrum_source(self):
+        geo = SlabGeometry([Layer(CADMIUM, 0.1)])
+        transport = SlabTransport(
+            geo, rng=np.random.default_rng(6)
+        )
+        result = transport.run(
+            500, source_spectrum=rotax_spectrum()
+        )
+        assert result.balance_check()
+        # Cadmium eats a thermal beam.
+        assert result.absorption_fraction() > 0.9
+
+
+class TestAlbedo:
+    def test_water_albedo_grows_with_thickness(self):
+        thin, _ = thermal_albedo_enhancement(
+            WATER, 1.0, n_neutrons=2500, seed=7
+        )
+        thick, _ = thermal_albedo_enhancement(
+            WATER, 8.0, n_neutrons=2500, seed=7
+        )
+        assert thick > thin
+
+    def test_two_inches_water_band(self):
+        albedo, stderr = thermal_albedo_enhancement(
+            WATER, 5.08, n_neutrons=3000, seed=8
+        )
+        assert 0.08 < albedo < 0.35
+        assert stderr < 0.02
+
+    def test_borated_poly_reflects_fewer_thermals(self):
+        # The boron eats the thermalized population before it leaves.
+        plain, _ = thermal_albedo_enhancement(
+            POLYETHYLENE, 5.0, n_neutrons=2500, seed=9
+        )
+        borated, _ = thermal_albedo_enhancement(
+            BORATED_POLYETHYLENE, 5.0, n_neutrons=2500, seed=9
+        )
+        assert borated < plain
+
+
+class TestShielding:
+    def test_cadmium_blanks_thermal_beam(self):
+        result = shield_transmission(
+            CADMIUM, 0.1, rotax_spectrum(), n_neutrons=2000, seed=10
+        )
+        assert result.thermal_transmission_fraction() < 0.01
+
+    def test_thicker_shield_transmits_less(self):
+        thin = shield_transmission(
+            BORATED_POLYETHYLENE, 1.0, rotax_spectrum(),
+            n_neutrons=2000, seed=11,
+        )
+        thick = shield_transmission(
+            BORATED_POLYETHYLENE, 6.0, rotax_spectrum(),
+            n_neutrons=2000, seed=11,
+        )
+        assert (
+            thick.thermal_transmission_fraction()
+            <= thin.thermal_transmission_fraction()
+        )

@@ -1,0 +1,69 @@
+"""Tally containers: fractions, errors, balance."""
+
+import pytest
+
+from repro.transport.tallies import TransportResult, TransportTally
+
+
+def _result(**kwargs) -> TransportResult:
+    tally = TransportTally()
+    tally.source = kwargs.pop("source", 100)
+    for key, value in kwargs.items():
+        setattr(tally, key, value)
+    return TransportResult.from_tally(tally)
+
+
+class TestTally:
+    def test_record_absorption(self):
+        tally = TransportTally()
+        tally.record_absorption("water")
+        tally.record_absorption("water")
+        tally.record_absorption("cadmium")
+        assert tally.absorbed == 3
+        assert tally.absorbed_by_material == {
+            "water": 2, "cadmium": 1,
+        }
+
+
+class TestResult:
+    def test_balance_holds(self):
+        r = _result(
+            transmitted_fast=40, reflected_thermal=10, absorbed=50
+        )
+        assert r.balance_check()
+
+    def test_balance_detects_loss(self):
+        r = _result(transmitted_fast=40, absorbed=50)
+        assert not r.balance_check()
+
+    def test_fractions(self):
+        r = _result(
+            transmitted_thermal=5,
+            transmitted_fast=15,
+            reflected_thermal=20,
+            absorbed=60,
+        )
+        assert r.transmission_fraction() == pytest.approx(0.20)
+        assert r.thermal_transmission_fraction() == pytest.approx(
+            0.05
+        )
+        assert r.thermal_albedo() == pytest.approx(0.20)
+        assert r.absorption_fraction() == pytest.approx(0.60)
+
+    def test_stderr_binomial(self):
+        r = _result(reflected_thermal=25, absorbed=75)
+        # sqrt(0.25 * 0.75 / 100)
+        assert r.thermal_albedo_stderr() == pytest.approx(
+            0.0433, abs=1e-3
+        )
+
+    def test_mean_collisions(self):
+        r = _result(absorbed=100, collisions=1800)
+        assert r.mean_collisions() == pytest.approx(18.0)
+
+    def test_empty_run_raises(self):
+        r = _result(source=0)
+        with pytest.raises(ValueError):
+            r.transmission_fraction()
+        with pytest.raises(ValueError):
+            r.mean_collisions()

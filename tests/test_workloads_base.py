@@ -1,0 +1,118 @@
+"""Workload framework: golden caching, injection plumbing, outcomes."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import Injection
+from repro.faults.models import DueError, Outcome
+from repro.workloads import ALL_CODES, create_workload
+from repro.workloads.base import bounded_loop
+
+
+class TestRegistry:
+    def test_all_nine_codes(self):
+        assert set(ALL_CODES) == {
+            "MxM", "LUD", "LavaMD", "HotSpot",
+            "SC", "CED", "BFS", "YOLO", "MNIST",
+        }
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError, match="valid"):
+            create_workload("DOOM")
+
+    def test_factory_passes_kwargs(self):
+        w = create_workload("MxM", n=16, block=4)
+        assert w.n == 16
+
+
+class TestGoldenRun:
+    @pytest.mark.parametrize("name", ALL_CODES)
+    def test_golden_deterministic(self, name):
+        a = create_workload(name, seed=5)
+        b = create_workload(name, seed=5)
+        assert np.array_equal(a.golden(), b.golden())
+
+    @pytest.mark.parametrize("name", ALL_CODES)
+    def test_golden_cached(self, name):
+        w = create_workload(name)
+        first = w.golden()
+        assert w.golden() is first
+
+    @pytest.mark.parametrize("name", ALL_CODES)
+    def test_clean_run_is_masked(self, name):
+        w = create_workload(name)
+        assert w.run_and_classify(()) is Outcome.MASKED
+
+    def test_different_seed_different_input(self):
+        a = create_workload("MxM", seed=1)
+        b = create_workload("MxM", seed=2)
+        assert not np.array_equal(a.golden(), b.golden())
+
+
+class TestInjectionPlumbing:
+    def test_unknown_stage_raises(self):
+        w = create_workload("MxM")
+        bad = Injection(
+            stage="nonexistent", array="A", flat_index=0, bit=0
+        )
+        with pytest.raises(ValueError, match="unknown stages"):
+            w.execute([bad])
+
+    def test_unknown_array_raises(self):
+        w = create_workload("MxM")
+        stage = w.stage_names()[0]
+        bad = Injection(
+            stage=stage, array="Z", flat_index=0, bit=0
+        )
+        with pytest.raises(ValueError, match="unknown array"):
+            w.execute([bad])
+
+    def test_high_bit_flip_in_input_causes_sdc(self):
+        w = create_workload("MxM")
+        stage = w.stage_names()[0]
+        inj = Injection(
+            stage=stage, array="A", flat_index=0, bit=62
+        )
+        assert w.run_and_classify([inj]) is Outcome.SDC
+
+    def test_flip_of_completed_output_block_is_sdc(self):
+        w = create_workload("MxM", n=16, block=8)
+        last = w.stage_names()[-1]  # block-1-1: C[0,0] already final
+        inj = Injection(stage=last, array="C", flat_index=0, bit=60)
+        # C[0,0] belongs to block-0-0, already written; flipping a
+        # high bit at the last stage corrupts the output -> SDC.
+        assert w.run_and_classify([inj]) is Outcome.SDC
+
+    def test_lsb_flip_within_tolerance_is_masked(self):
+        # An LSB flip of a finished double is ~1e-16 relative — below
+        # the comparison tolerance, exactly like a real checker.
+        w = create_workload("MxM", n=16, block=8)
+        last = w.stage_names()[-1]
+        inj = Injection(stage=last, array="C", flat_index=0, bit=1)
+        assert w.run_and_classify([inj]) is Outcome.MASKED
+
+    def test_injection_space_covers_stages(self):
+        w = create_workload("LUD")
+        space = w.injection_space()
+        assert set(space) == set(w.stage_names())
+
+    def test_injection_space_snapshot_isolated(self):
+        w = create_workload("LUD")
+        space = w.injection_space()
+        stage = w.stage_names()[0]
+        space[stage]["A"][0, 0] = 1e9
+        assert w.run_and_classify(()) is Outcome.MASKED
+
+
+class TestBoundedLoop:
+    def test_yields_until_limit(self):
+        assert sum(1 for _ in zip(range(5), bounded_loop(10, "x"))) == 5
+
+    def test_raises_due_on_exhaustion(self):
+        with pytest.raises(DueError, match="iteration budget"):
+            for _ in bounded_loop(3, "spin"):
+                pass
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            bounded_loop(0, "x")

@@ -1,0 +1,85 @@
+"""Duplication-with-comparison hardening."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import Injection
+from repro.workloads import create_workload
+from repro.workloads.hardening import DuplicatedWorkload, DwcOutcome
+
+
+@pytest.fixture
+def mxm():
+    return create_workload("MxM", n=16, block=8)
+
+
+class TestDwcOutcomes:
+    def test_clean_run_correct(self, mxm):
+        dwc = DuplicatedWorkload(mxm)
+        assert dwc.run(()) is DwcOutcome.CORRECT
+
+    def test_sdc_in_one_replica_detected(self, mxm):
+        dwc = DuplicatedWorkload(mxm)
+        inj = Injection(
+            stage=mxm.stage_names()[0], array="A",
+            flat_index=0, bit=62,
+        )
+        assert dwc.run([inj]) is DwcOutcome.DETECTED
+
+    def test_shared_input_corruption_silent(self, mxm):
+        # A fault in the shared input buffer corrupts both replicas
+        # identically — duplication cannot see it.
+        first = mxm.stage_names()[0]
+        dwc = DuplicatedWorkload(mxm, shared_input_stages=[first])
+        inj = Injection(
+            stage=first, array="A", flat_index=0, bit=62
+        )
+        assert dwc.run([inj]) is DwcOutcome.SILENT
+
+    def test_crash_propagates(self):
+        bfs = create_workload("BFS", n_nodes=64)
+        dwc = DuplicatedWorkload(bfs)
+        inj = Injection(
+            stage="traverse", array="offsets",
+            flat_index=5, bit=50,
+        )
+        assert dwc.run([inj]) is DwcOutcome.CRASHED
+
+    def test_masked_fault_correct(self, mxm):
+        dwc = DuplicatedWorkload(mxm)
+        inj = Injection(
+            stage=mxm.stage_names()[0], array="A",
+            flat_index=0, bit=1,
+        )
+        assert dwc.run([inj]) is DwcOutcome.CORRECT
+
+
+class TestCoverage:
+    def test_full_coverage_on_private_faults(self, mxm):
+        dwc = DuplicatedWorkload(mxm)
+        rng = np.random.default_rng(0)
+        coverage = dwc.sdc_coverage(rng, n_trials=60)
+        # Every SDC in a private replica must be detected.
+        assert coverage == 1.0
+
+    def test_shared_inputs_reduce_coverage(self, mxm):
+        # Sharing ALL stages makes every fault common-mode.
+        dwc = DuplicatedWorkload(
+            mxm, shared_input_stages=list(mxm.stage_names())
+        )
+        rng = np.random.default_rng(1)
+        coverage = dwc.sdc_coverage(rng, n_trials=60)
+        assert coverage == 0.0
+
+    def test_validation(self, mxm):
+        dwc = DuplicatedWorkload(mxm)
+        with pytest.raises(ValueError):
+            dwc.sdc_coverage(np.random.default_rng(2), n_trials=0)
+
+    def test_no_sdcs_found_raises(self):
+        # YOLO masks almost everything: 3 trials will not find an
+        # SDC, and coverage must refuse to divide by zero.
+        yolo = create_workload("YOLO")
+        dwc = DuplicatedWorkload(yolo)
+        with pytest.raises(ValueError, match="no SDC"):
+            dwc.sdc_coverage(np.random.default_rng(3), n_trials=3)

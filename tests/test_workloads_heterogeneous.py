@@ -1,0 +1,124 @@
+"""Heterogeneous (APU) workloads: SC, CED, BFS."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import Injection
+from repro.faults.models import DueError, Outcome
+from repro.workloads.heterogeneous import (
+    BreadthFirstSearch,
+    CannyEdgeDetection,
+    StreamCompaction,
+)
+
+
+class TestStreamCompaction:
+    def test_golden_matches_reference(self):
+        w = StreamCompaction(n=128, seed=1)
+        values = w._initial_state()["values"]
+        expected = values[values >= 50]
+        assert np.array_equal(w.golden(), expected)
+
+    def test_output_shorter_than_input(self):
+        w = StreamCompaction(n=256, seed=2)
+        assert 0 < w.golden().size < 256
+
+    def test_flag_flip_changes_output(self):
+        w = StreamCompaction(n=128, seed=1)
+        inj = Injection(
+            stage="scan", array="flags", flat_index=3, bit=0
+        )
+        assert w.run_and_classify([inj]) in (
+            Outcome.SDC, Outcome.DUE,
+        )
+
+    def test_count_corruption_is_due(self):
+        w = StreamCompaction(n=128, seed=1)
+        # Blow the element count sky-high: the scatter must die.
+        inj = Injection(
+            stage="scatter", array="count", flat_index=0, bit=40
+        )
+        assert w.run_and_classify([inj]) is Outcome.DUE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamCompaction(n=0)
+
+
+class TestCannyEdgeDetection:
+    def test_golden_is_binary(self):
+        w = CannyEdgeDetection(size=24, seed=3)
+        out = w.golden()
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_finds_some_edges(self):
+        w = CannyEdgeDetection(size=24, seed=3)
+        assert w.golden().sum() > 0
+
+    def test_stage_pipeline(self):
+        w = CannyEdgeDetection(size=24)
+        assert w.stage_names() == (
+            "blur", "gradient", "nms", "hysteresis",
+        )
+
+    def test_image_corruption_can_move_edges(self):
+        w = CannyEdgeDetection(size=24, seed=3)
+        # Saturate one pixel to a huge value pre-blur.
+        inj = Injection(
+            stage="blur", array="image", flat_index=200, bit=62
+        )
+        assert w.run_and_classify([inj]) in (
+            Outcome.SDC, Outcome.MASKED, Outcome.DUE,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CannyEdgeDetection(size=4)
+
+
+class TestBFS:
+    def test_all_nodes_reachable(self):
+        w = BreadthFirstSearch(n_nodes=64, seed=4)
+        assert (w.golden() >= 0).all()
+
+    def test_source_distance_zero(self):
+        w = BreadthFirstSearch(n_nodes=64, seed=4)
+        assert w.golden()[0] == 0
+
+    def test_triangle_inequality_on_ring(self):
+        # Ring edges guarantee dist <= n/2 with chords only helping.
+        w = BreadthFirstSearch(n_nodes=64, seed=4)
+        assert w.golden().max() <= 32
+
+    def test_offset_corruption_is_due(self):
+        w = BreadthFirstSearch(n_nodes=64, seed=4)
+        inj = Injection(
+            stage="traverse", array="offsets", flat_index=5, bit=50
+        )
+        assert w.run_and_classify([inj]) is Outcome.DUE
+
+    def test_target_corruption_usually_due(self):
+        w = BreadthFirstSearch(n_nodes=64, seed=4)
+        inj = Injection(
+            stage="traverse", array="targets", flat_index=10, bit=30
+        )
+        # A flipped edge target lands far out of range -> DUE.
+        assert w.run_and_classify([inj]) is Outcome.DUE
+
+    def test_low_bit_target_flip_can_be_sdc(self):
+        w = BreadthFirstSearch(n_nodes=64, seed=4)
+        outcomes = set()
+        for idx in range(12):
+            inj = Injection(
+                stage="traverse", array="targets",
+                flat_index=idx, bit=1,
+            )
+            outcomes.add(w.run_and_classify([inj]))
+        # Small redirections stay in range: some SDC or masked runs.
+        assert outcomes & {Outcome.SDC, Outcome.MASKED}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreadthFirstSearch(n_nodes=1)
+        with pytest.raises(ValueError):
+            BreadthFirstSearch(n_nodes=8, degree=0)

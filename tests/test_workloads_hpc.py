@@ -1,0 +1,140 @@
+"""HPC workloads: correctness of the golden computations and fault
+phenomenology."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import Injection, random_injection_for
+from repro.faults.models import Outcome
+from repro.workloads.hpc import HotSpot, LUD, LavaMD, MxM
+
+
+class TestMxM:
+    def test_golden_equals_numpy_matmul(self):
+        w = MxM(n=16, block=4, seed=3)
+        state = w._initial_state()
+        expected = state["A"] @ state["B"]
+        assert np.allclose(w.golden(), expected)
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            MxM(n=10, block=4)
+
+    def test_stage_count(self):
+        assert len(MxM(n=16, block=4).stage_names()) == 16
+
+    def test_mantissa_flip_in_late_block_localized(self):
+        w = MxM(n=16, block=8, seed=1)
+        inj = Injection(
+            stage="block-1-1", array="B", flat_index=0, bit=51
+        )
+        out = w.execute([inj])
+        gold = w.golden()
+        # Only columns 8..15 computed after the flip can differ.
+        assert np.allclose(out[:, :8], gold[:, :8])
+
+
+class TestLUD:
+    def test_solves_linear_system(self):
+        w = LUD(n=16, seed=2)
+        state = w._initial_state()
+        x = w.golden()
+        assert np.allclose(state["A"] @ x, state["b"], atol=1e-8)
+
+    def test_rejects_tiny_system(self):
+        with pytest.raises(ValueError):
+            LUD(n=1)
+
+    def test_factor_stage_produces_lu(self):
+        w = LUD(n=8)
+        state = w.run_stage("factor", w._initial_state())
+        assert "LU" in state and "perm" in state
+
+    def test_pivot_corruption_can_change_solution(self):
+        w = LUD(n=8, seed=2)
+        inj = Injection(
+            stage="factor", array="A", flat_index=0, bit=62
+        )
+        assert w.run_and_classify([inj]) in (
+            Outcome.SDC, Outcome.DUE,
+        )
+
+
+class TestLavaMD:
+    def test_forces_finite(self):
+        w = LavaMD(boxes_per_side=2, per_box=6, seed=4)
+        assert np.isfinite(w.golden()).all()
+
+    def test_some_nonzero_interactions(self):
+        w = LavaMD(boxes_per_side=2, per_box=6, seed=4)
+        assert np.abs(w.golden()).max() > 0.0
+
+    def test_stage_per_box(self):
+        w = LavaMD(boxes_per_side=2, per_box=4)
+        assert len(w.stage_names()) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LavaMD(boxes_per_side=0)
+
+
+class TestHotSpot:
+    def test_temperature_evolves(self):
+        w = HotSpot(grid=16, iterations=8, seed=5)
+        out = w.golden()
+        initial = w._initial_state()["temperature"]
+        assert not np.allclose(out, initial)
+
+    def test_boundary_rows_fixed(self):
+        w = HotSpot(grid=16, iterations=8, seed=5)
+        out = w.golden()
+        initial = w._initial_state()["temperature"]
+        assert np.allclose(out[0, :], initial[0, :])
+        assert np.allclose(out[-1, :], initial[-1, :])
+
+    def test_stable_iteration(self):
+        # The damped stencil must not blow up.
+        w = HotSpot(grid=16, iterations=50, seed=5)
+        assert np.abs(w.golden()).max() < 1e3
+
+    def test_power_map_flip_propagates(self):
+        w = HotSpot(grid=16, iterations=8, seed=5)
+        inj = Injection(
+            stage="iter-0", array="power", flat_index=40, bit=62
+        )
+        assert w.run_and_classify([inj]) is Outcome.SDC
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotSpot(grid=2)
+        with pytest.raises(ValueError):
+            HotSpot(grid=8, iterations=0)
+
+
+class TestMaskingPhenomenology:
+    @pytest.mark.parametrize(
+        "cls", [MxM, LUD, LavaMD, HotSpot], ids=lambda c: c.name
+    )
+    def test_low_bits_mostly_masked_high_bits_mostly_visible(
+        self, cls
+    ):
+        """Low-order mantissa flips should be masked far more often
+        than exponent flips — the physical root of code-dependent
+        cross sections."""
+        w = cls(seed=9)
+        rng = np.random.default_rng(10)
+        space = w.injection_space()
+
+        def rate(bit: int, n: int = 25) -> float:
+            visible = 0
+            for _ in range(n):
+                inj = random_injection_for(rng, space)
+                forced = Injection(
+                    stage=inj.stage, array=inj.array,
+                    flat_index=inj.flat_index, bit=bit,
+                )
+                if w.run_and_classify([forced]) is not Outcome.MASKED:
+                    visible += 1
+            return visible / n
+
+        assert rate(62) >= rate(2)

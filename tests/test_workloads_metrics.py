@@ -1,0 +1,91 @@
+"""AVF-style vulnerability metrics."""
+
+import pytest
+
+from repro.workloads import (
+    create_workload,
+    measure_vulnerability,
+    most_vulnerable_surface,
+    workload_avf,
+)
+
+
+@pytest.fixture(scope="module")
+def lud_vulns():
+    return measure_vulnerability(
+        create_workload("LUD", n=16), samples_per_array=20, seed=1
+    )
+
+
+class TestMeasurement:
+    def test_every_surface_covered(self, lud_vulns):
+        workload = create_workload("LUD", n=16)
+        surfaces = {
+            (stage, name)
+            for stage, arrays in workload.injection_space().items()
+            for name in arrays
+        }
+        measured = {(v.stage, v.array) for v in lud_vulns}
+        assert measured == surfaces
+
+    def test_fractions_bounded(self, lud_vulns):
+        for v in lud_vulns:
+            assert 0.0 <= v.sdc_fraction <= 1.0
+            assert 0.0 <= v.due_fraction <= 1.0
+            assert v.avf <= 1.0
+
+    def test_sample_count_recorded(self, lud_vulns):
+        assert all(v.samples == 20 for v in lud_vulns)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_vulnerability(
+                create_workload("LUD", n=8), samples_per_array=0
+            )
+
+
+class TestAggregation:
+    def test_workload_avf_bit_weighted(self, lud_vulns):
+        sdc, due = workload_avf(lud_vulns)
+        assert 0.0 <= sdc <= 1.0
+        assert 0.0 <= due <= 1.0
+        # LUD: a meaningful fraction of flips is visible.
+        assert sdc > 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            workload_avf([])
+        with pytest.raises(ValueError):
+            most_vulnerable_surface([])
+
+    def test_hot_surface_has_max_weighted_avf(self, lud_vulns):
+        top = most_vulnerable_surface(lud_vulns)
+        assert top.weighted_avf == max(
+            v.weighted_avf for v in lud_vulns
+        )
+
+
+class TestPhenomenology:
+    def test_cnn_avf_far_below_hpc(self):
+        """The companion result, derived: argmax masking gives the
+        CNN a much lower SDC AVF than the linear-algebra kernel."""
+        mnist = measure_vulnerability(
+            create_workload("MNIST"), samples_per_array=25, seed=2
+        )
+        mxm = measure_vulnerability(
+            create_workload("MxM", n=16, block=8),
+            samples_per_array=25,
+            seed=2,
+        )
+        mnist_sdc, _ = workload_avf(mnist)
+        mxm_sdc, _ = workload_avf(mxm)
+        assert mnist_sdc < mxm_sdc / 2.0
+
+    def test_bfs_due_dominated(self):
+        bfs = measure_vulnerability(
+            create_workload("BFS", n_nodes=64),
+            samples_per_array=30,
+            seed=3,
+        )
+        sdc, due = workload_avf(bfs)
+        assert due > sdc

@@ -1,0 +1,142 @@
+"""Neural workloads: YOLO-like detector and MNIST classifier."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import Injection, random_injection_for
+from repro.faults.models import Outcome
+from repro.workloads.neural import (
+    MnistClassifier,
+    YoloDetector,
+    _conv2d,
+    _maxpool2,
+)
+
+
+class TestConvPrimitives:
+    def test_conv_identity_kernel(self):
+        img = np.arange(25, dtype=float).reshape(5, 5, 1)
+        k = np.zeros((3, 3, 1, 1))
+        k[1, 1, 0, 0] = 1.0
+        out = _conv2d(img, k)
+        assert np.allclose(out[:, :, 0], img[1:-1, 1:-1, 0])
+
+    def test_conv_shape(self):
+        img = np.zeros((8, 8, 3))
+        k = np.zeros((3, 3, 3, 5))
+        assert _conv2d(img, k).shape == (6, 6, 5)
+
+    def test_conv_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            _conv2d(np.zeros((8, 8, 2)), np.zeros((3, 3, 3, 5)))
+
+    def test_conv_kernel_too_big(self):
+        with pytest.raises(ValueError):
+            _conv2d(np.zeros((2, 2, 1)), np.zeros((3, 3, 1, 1)))
+
+    def test_maxpool(self):
+        x = np.arange(16, dtype=float).reshape(4, 4, 1)
+        out = _maxpool2(x)
+        assert out.shape == (2, 2, 1)
+        assert out[0, 0, 0] == 5.0
+        assert out[1, 1, 0] == 15.0
+
+
+class TestYolo:
+    def test_detects_something(self):
+        # The default input frame produces detections (some seeds
+        # legitimately yield empty frames, like real dashcam footage).
+        w = YoloDetector()
+        assert (w.golden() > 0).any()
+
+    def test_detection_grid_shape(self):
+        w = YoloDetector(size=18, seed=1)
+        # 18 -> conv 16 -> pool 8 -> conv 6 -> pool 3.
+        assert w.golden().shape == (3, 3)
+
+    def test_classes_within_range(self):
+        w = YoloDetector(n_classes=4, seed=1)
+        assert w.golden().max() <= 4
+
+    def test_weight_lsb_flips_mostly_masked(self):
+        w = YoloDetector(seed=1)
+        rng = np.random.default_rng(2)
+        masked = 0
+        for _ in range(30):
+            inj = random_injection_for(rng, w.injection_space())
+            low_bit = Injection(
+                stage=inj.stage, array=inj.array,
+                flat_index=inj.flat_index, bit=5,
+            )
+            if w.run_and_classify([low_bit]) is Outcome.MASKED:
+                masked += 1
+        # CNN argmax absorbs essentially all low-order noise.
+        assert masked >= 27
+
+    def test_semantic_classification(self):
+        w = YoloDetector(seed=1)
+        gold = w.golden()
+        # Same detections -> masked even if compared by identity.
+        assert w.classify(gold.copy()) is Outcome.MASKED
+        altered = gold.copy()
+        altered.flat[0] = (altered.flat[0] + 1) % 3
+        assert w.classify(altered) is Outcome.SDC
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YoloDetector(size=8)
+        with pytest.raises(ValueError):
+            YoloDetector(n_classes=1)
+
+
+class TestMnist:
+    def test_clean_accuracy_is_perfect(self):
+        w = MnistClassifier(n_images=32, seed=3)
+        state = w._initial_state()
+        templates = w._templates()
+        # Reconstruct true labels by nearest template.
+        scores = state["images"] @ (
+            templates / np.linalg.norm(
+                templates, axis=1, keepdims=True
+            )
+        ).T
+        assert np.array_equal(w.golden(), scores.argmax(axis=1))
+
+    def test_labels_in_range(self):
+        w = MnistClassifier(seed=3)
+        labels = w.golden()
+        assert labels.min() >= 0 and labels.max() <= 9
+
+    def test_templates_distinct(self):
+        t = MnistClassifier._templates()
+        assert t.shape == (10, 64)
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(t[i], t[j])
+
+    def test_weight_exponent_flip_can_misclassify(self):
+        # Blowing up one weight's exponent swamps a dot product.
+        w = MnistClassifier(n_images=16, seed=3)
+        outcomes = {
+            w.run_and_classify(
+                [
+                    Injection(
+                        stage="dense", array="weights",
+                        flat_index=i * 7, bit=62,
+                    )
+                ]
+            )
+            for i in range(20)
+        }
+        assert Outcome.SDC in outcomes
+
+    def test_image_noise_bit_masked(self):
+        w = MnistClassifier(n_images=16, seed=3)
+        inj = Injection(
+            stage="dense", array="images", flat_index=5, bit=3
+        )
+        assert w.run_and_classify([inj]) is Outcome.MASKED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MnistClassifier(n_images=0)

@@ -1,0 +1,48 @@
+"""Single vs double precision fault visibility (MxM dtype knob)."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import random_injection_for
+from repro.faults.models import Outcome
+from repro.workloads.hpc import MxM
+
+
+class TestDtypeSupport:
+    def test_float32_runs_clean(self):
+        w = MxM(n=16, block=8, dtype="float32")
+        assert w.golden().dtype == np.float32
+        assert w.run_and_classify(()) is Outcome.MASKED
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            MxM(n=16, block=8, dtype="float16")
+
+    def test_goldens_agree_across_precisions(self):
+        double = MxM(n=16, block=8, seed=4, dtype="float64")
+        single = MxM(n=16, block=8, seed=4, dtype="float32")
+        assert np.allclose(
+            double.golden(), single.golden(), rtol=1e-4
+        )
+
+
+class TestVisibilityShift:
+    def _masked_fraction(self, workload, n: int = 80) -> float:
+        rng = np.random.default_rng(6)
+        space = workload.injection_space()
+        masked = 0
+        for _ in range(n):
+            inj = random_injection_for(rng, space)
+            if workload.run_and_classify([inj]) is Outcome.MASKED:
+                masked += 1
+        return masked / n
+
+    def test_single_precision_masks_less(self):
+        """The paper's FPGA single-vs-double comparison, software
+        edition: with fewer sub-tolerance mantissa bits per word, a
+        random flip is visible more often in float32."""
+        double = MxM(n=16, block=8, seed=4, dtype="float64")
+        single = MxM(n=16, block=8, seed=4, dtype="float32")
+        assert self._masked_fraction(
+            single
+        ) < self._masked_fraction(double)

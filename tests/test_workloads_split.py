@@ -1,0 +1,79 @@
+"""Split (CPU+GPU) execution and the synchronization fabric."""
+
+import numpy as np
+import pytest
+
+from repro.faults.models import Outcome
+from repro.workloads import SplitExecution, create_workload
+
+
+@pytest.fixture
+def split():
+    return SplitExecution(create_workload("SC", n=128), seed=3)
+
+
+class TestSplitExecution:
+    def test_clean_run_masked(self, split):
+        result = split.run()
+        assert result.outcome is Outcome.MASKED
+        assert not result.sync_fault
+
+    def test_stage_halves_cover_pipeline(self, split):
+        names = split.workload.stage_names()
+        assert (
+            tuple(split.cpu_stages) + tuple(split.gpu_stages)
+            == names
+        )
+        assert split.cpu_stages and split.gpu_stages
+
+    def test_any_sync_bit_flip_is_due(self, split):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            bit = int(rng.integers(16 * 64))
+            result = split.run(sync_injection=bit)
+            assert result.outcome is Outcome.DUE
+            assert result.sync_fault
+
+    def test_sync_bit_range_checked(self, split):
+        with pytest.raises(ValueError):
+            split.run(sync_injection=16 * 64)
+
+    def test_needs_multi_stage_workload(self):
+        with pytest.raises(ValueError):
+            SplitExecution(
+                create_workload("BFS", n_nodes=32)
+            )  # single-stage
+
+    def test_sync_words_validated(self):
+        with pytest.raises(ValueError):
+            SplitExecution(
+                create_workload("SC", n=64), sync_words=0
+            )
+
+
+class TestDueFraction:
+    def test_sync_strikes_raise_due_fraction(self, split):
+        """The paper's APU finding, mechanistically: the more strikes
+        land in the synchronization fabric, the closer the DUE ratio
+        gets to parity."""
+        rng = np.random.default_rng(2)
+        data_only = split.due_fraction(
+            rng, sync_strike_probability=0.0, n_trials=60
+        )
+        sync_heavy = split.due_fraction(
+            rng, sync_strike_probability=0.6, n_trials=60
+        )
+        assert sync_heavy > data_only
+
+    def test_all_sync_strikes_all_due(self, split):
+        rng = np.random.default_rng(3)
+        assert split.due_fraction(
+            rng, sync_strike_probability=1.0, n_trials=20
+        ) == 1.0
+
+    def test_validation(self, split):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            split.due_fraction(rng, 1.5)
+        with pytest.raises(ValueError):
+            split.due_fraction(rng, 0.5, n_trials=0)
