@@ -1,4 +1,8 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+All subcommands — the paper's analyses plus the ``lint``
+static-analysis pass — are defined in :mod:`repro.cli`.
+"""
 
 import sys
 

@@ -9,6 +9,7 @@ Examples::
     python -m repro water
     python -m repro shield --device K20
     python -m repro checkpoint --device K20 --site lanl --nodes 4000
+    python -m repro lint --statistics
 """
 
 from __future__ import annotations
@@ -103,6 +104,7 @@ def _add_site_args(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_assess(args: argparse.Namespace) -> int:
+    """FIT decomposition for devices in a scenario."""
     devices = [get_device(name) for name in args.device] or list(
         DEVICES.values()
     )
@@ -114,6 +116,7 @@ def cmd_assess(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    """Virtual ChipIR + ROTAX ratio campaign (Figure 4)."""
     campaign = IrradiationCampaign(seed=args.seed)
     chip, rot = chipir(), rotax()
     for device in DEVICES.values():
@@ -159,12 +162,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_top10(args: argparse.Namespace) -> int:
+    """Top-10 supercomputer DDR FIT projection."""
     del args
     print(top10_table(project_top10()))
     return 0
 
 
 def cmd_ddr(args: argparse.Namespace) -> int:
+    """DDR correct-loop beam experiment."""
     sensitivity = DDR_SENSITIVITIES[args.generation]
     capacity = 32.0 if args.generation == 3 else 64.0
     tester = CorrectLoopTester(sensitivity, capacity, seed=args.seed)
@@ -192,6 +197,7 @@ def cmd_ddr(args: argparse.Namespace) -> int:
 
 
 def cmd_water(args: argparse.Namespace) -> int:
+    """Tin-II water-box detector experiment (Figure 5)."""
     result = water_step_experiment(seed=args.seed)
     print(
         "Tin-II water experiment: step detected at sample"
@@ -204,6 +210,7 @@ def cmd_water(args: argparse.Namespace) -> int:
 
 
 def cmd_shield(args: argparse.Namespace) -> int:
+    """Shielding trade-off analysis."""
     evaluator = ShieldingEvaluator(n_neutrons=args.histories)
     device = get_device(args.device[0] if args.device else "K20")
     scenario = _scenario(args)
@@ -231,6 +238,7 @@ def cmd_shield(args: argparse.Namespace) -> int:
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Checkpoint-interval planning from DUE FIT."""
     planner = CheckpointPlanner()
     device = get_device(args.device[0] if args.device else "K20")
     scenario = _scenario(args)
@@ -258,6 +266,7 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    """Full Markdown reliability report."""
     from repro.core.report import ReportOptions, generate_report
 
     devices = [get_device(name) for name in args.device] or list(
@@ -283,6 +292,7 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_avf(args: argparse.Namespace) -> int:
+    """Per-array vulnerability factors of a workload."""
     from repro.workloads import create_workload
     from repro.workloads.metrics import (
         measure_vulnerability,
@@ -319,7 +329,15 @@ def cmd_avf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static-analysis pass over the repo (see repro.devtools)."""
+    from repro.devtools.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
+    """Recompute every paper anchor and report PASS/FAIL."""
     from repro.core.validation import (
         all_passed,
         validate_reproduction,
@@ -336,6 +354,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -396,6 +415,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--seed", type=int, default=2020)
     p.set_defaults(func=cmd_avf)
+
+    p = sub.add_parser(
+        "lint",
+        help=(
+            "run the repro static-analysis pass (determinism,"
+            " unit suffixes, API hygiene, mutability)"
+        ),
+    )
+    from repro.devtools.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser(
         "validate",

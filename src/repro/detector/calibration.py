@@ -52,7 +52,9 @@ def calibrate_tube_pair(
         tube_b: tube that will be wrapped in cadmium.
         scenario: ambient environment during calibration.
         duration_h: counting time (paper: 18 h).
-        rng: generator for Poisson noise.
+        rng: generator for Poisson noise; defaults to the fixed-seed
+            ``default_rng(0)`` so repeated calls without an explicit
+            generator reproduce the same counts.
         true_ratio_bias: multiplicative efficiency mismatch of tube B
             relative to its design value (1.0 = perfectly matched;
             real pairs are a few percent off).
@@ -68,7 +70,7 @@ def calibrate_tube_pair(
         raise ValueError(
             f"bias must be positive, got {true_ratio_bias}"
         )
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     flux = scenario.thermal_flux_per_h()
     rate_a = (
         tube_a.thermal_count_rate_per_h(flux)

@@ -1,0 +1,59 @@
+"""Static-analysis pass keeping the reproduction honest.
+
+An AST-based linter (stdlib ``ast`` only) enforcing the invariants the
+rest of the library is built on:
+
+* **REP001 determinism** — all randomness flows through caller-seeded
+  ``numpy.random.Generator`` objects; no hidden global RNG state, no
+  wall-clock reads in library code.
+* **REP002 unit-suffix consistency** — identifiers carry canonical
+  physical-unit suffixes (``_cm2``, ``_fit``, ``_mev``, …) and are
+  never transferred directly across dimensions.
+* **REP003 public-API hygiene** — truthful ``__all__`` in every
+  package, docstrings on everything public.
+* **REP004 mutability hazards** — no shared mutable defaults; frozen
+  result records.
+
+Findings are suppressed per line with ``# repro: noqa REPxxx``.  Run
+``python -m repro lint`` or call :func:`lint` directly; the tier-1
+suite gates the whole tree via ``tests/test_static_analysis.py``.
+"""
+
+from repro.devtools.cli import lint, run_lint
+from repro.devtools.engine import (
+    LintEngine,
+    LintReport,
+    discover_files,
+    profile_for,
+)
+from repro.devtools.registry import (
+    PROFILES,
+    FileContext,
+    Rule,
+    all_rules,
+    get_rule,
+    rules_for,
+)
+from repro.devtools.reporters import render_json, render_text
+from repro.devtools.suppressions import SuppressionIndex, parse_pragma
+from repro.devtools.violations import Violation
+
+__all__ = [
+    "FileContext",
+    "LintEngine",
+    "LintReport",
+    "PROFILES",
+    "Rule",
+    "SuppressionIndex",
+    "Violation",
+    "all_rules",
+    "discover_files",
+    "get_rule",
+    "lint",
+    "parse_pragma",
+    "profile_for",
+    "render_json",
+    "render_text",
+    "rules_for",
+    "run_lint",
+]

@@ -1,0 +1,129 @@
+"""Argument wiring for ``python -m repro lint``.
+
+Kept separate from :mod:`repro.cli` so the linter can be driven
+programmatically (tests, pre-commit hooks) without argparse.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools.engine import LintEngine, LintReport
+from repro.devtools.registry import PROFILES, all_rules
+from repro.devtools.reporters import render_json, render_text
+
+#: Default lint roots, relative to the working directory.
+DEFAULT_ROOTS = ("src/repro", "tests", "benchmarks")
+
+#: Exit codes: clean / violations found / bad invocation.
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` options to an argparse parser."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help=(
+            "files or directories to lint (default:"
+            f" {', '.join(DEFAULT_ROOTS)} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--select", action="append", default=[], metavar="REPxxx",
+        help="run only these rules (repeatable / comma-separated)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=[], metavar="REPxxx",
+        help="skip these rules (repeatable / comma-separated)",
+    )
+    parser.add_argument(
+        "--profile", choices=("auto",) + PROFILES, default="auto",
+        help="force a lint profile instead of deriving it per file",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="append a per-rule violation tally (text format)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns a process exit code."""
+    if args.list_rules:
+        for rule in all_rules():
+            profiles = ",".join(sorted(rule.profiles))
+            print(f"{rule.rule_id} [{profiles}] {rule.description}")
+        return EXIT_OK
+    try:
+        report = lint(
+            paths=[Path(p) for p in args.paths] or None,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+            profile=None if args.profile == "auto" else args.profile,
+        )
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc.args[0]}")
+        return EXIT_USAGE
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}")
+        return EXIT_USAGE
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, statistics=args.statistics))
+    return EXIT_OK if report.ok else EXIT_VIOLATIONS
+
+
+def lint(
+    paths: Optional[Sequence[Path]] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    profile: Optional[str] = None,
+) -> LintReport:
+    """Programmatic entry point used by the CLI and the test gate."""
+    engine = LintEngine(
+        select=select or None, ignore=ignore or None, profile=profile
+    )
+    return engine.lint_paths(_resolve_roots(paths))
+
+
+def _resolve_roots(
+    paths: Optional[Sequence[Path]],
+) -> List[Path]:
+    if paths:
+        return list(paths)
+    found = [Path(root) for root in DEFAULT_ROOTS if Path(root).is_dir()]
+    if not found:
+        raise FileNotFoundError(
+            "no default roots found; pass paths explicitly"
+        )
+    return found
+
+
+def _split_codes(raw: Sequence[str]) -> List[str]:
+    codes: List[str] = []
+    for chunk in raw:
+        codes.extend(c for c in chunk.split(",") if c)
+    return codes
+
+
+__all__ = [
+    "DEFAULT_ROOTS",
+    "EXIT_OK",
+    "EXIT_USAGE",
+    "EXIT_VIOLATIONS",
+    "add_lint_arguments",
+    "lint",
+    "run_lint",
+]

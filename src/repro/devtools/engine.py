@@ -1,0 +1,219 @@
+"""Lint engine: path discovery, profile routing, rule dispatch.
+
+The engine walks the requested paths, parses each Python file once,
+picks the profile from the file's location (``tests/`` and
+``benchmarks/`` get the relaxed sets, everything else is ``library``),
+runs the active rules, and filters out pragma-suppressed findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.devtools.registry import FileContext, Rule, rules_for
+from repro.devtools.violations import SYNTAX_ERROR_RULE, Violation
+
+#: Directory names never descended into during discovery.
+DEFAULT_EXCLUDED_DIRS = frozenset(
+    {
+        "__pycache__", ".git", ".pytest_cache", "build", "dist",
+        "devtools_fixtures",
+    }
+)
+
+#: Directory name suffixes never descended into.
+DEFAULT_EXCLUDED_DIR_SUFFIXES = (".egg-info",)
+
+#: Path components that select the relaxed profiles.
+_PROFILE_MARKERS = (("benchmarks", "benchmarks"), ("tests", "tests"))
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one engine run.
+
+    Attributes:
+        violations: surviving findings, sorted by location.
+        suppressed: findings silenced by ``# repro: noqa`` pragmas.
+        files_checked: number of files parsed and linted.
+        parse_errors: files that failed to parse (also reported as
+            ``REP000`` violations).
+    """
+
+    violations: Tuple[Violation, ...]
+    suppressed: Tuple[Violation, ...] = ()
+    files_checked: int = 0
+    parse_errors: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing (unsuppressed) fired."""
+        return not self.violations
+
+
+@dataclass
+class LintEngine:
+    """Configurable linter front-end.
+
+    Attributes:
+        select: restrict to these rule ids (``None`` = all).
+        ignore: drop these rule ids.
+        profile: force one profile for every file (``None`` = derive
+            from each file's path).
+    """
+
+    select: Optional[Sequence[str]] = None
+    ignore: Optional[Sequence[str]] = None
+    profile: Optional[str] = None
+    _rule_cache: dict = field(default_factory=dict, repr=False)
+
+    def lint_paths(self, paths: Iterable[Path]) -> LintReport:
+        """Lint every Python file reachable from ``paths``."""
+        violations: List[Violation] = []
+        suppressed: List[Violation] = []
+        files = 0
+        errors = 0
+        for file_path in discover_files(paths):
+            files += 1
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                errors += 1
+                violations.append(
+                    _io_violation(file_path, f"unreadable file: {exc}")
+                )
+                continue
+            kept, dropped, parse_ok = self._lint_one(
+                str(file_path), source
+            )
+            if not parse_ok:
+                errors += 1
+            violations.extend(kept)
+            suppressed.extend(dropped)
+        violations.sort(key=Violation.sort_key)
+        suppressed.sort(key=Violation.sort_key)
+        return LintReport(
+            violations=tuple(violations),
+            suppressed=tuple(suppressed),
+            files_checked=files,
+            parse_errors=errors,
+        )
+
+    def lint_source(
+        self,
+        source: str,
+        path: str = "<string>",
+        profile: Optional[str] = None,
+    ) -> List[Violation]:
+        """Lint one in-memory module; pragmas are honoured."""
+        saved = self.profile
+        if profile is not None:
+            self.profile = profile
+        try:
+            kept, _, _ = self._lint_one(path, source)
+        finally:
+            self.profile = saved
+        return kept
+
+    # ------------------------------------------------------------------
+
+    def _lint_one(
+        self, path: str, source: str
+    ) -> Tuple[List[Violation], List[Violation], bool]:
+        profile = self.profile or profile_for(Path(path))
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return (
+                [
+                    Violation(
+                        rule_id=SYNTAX_ERROR_RULE,
+                        path=path,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                ],
+                [],
+                False,
+            )
+        ctx = FileContext(path, source, tree, profile)
+        kept: List[Violation] = []
+        dropped: List[Violation] = []
+        for rule in self._rules(profile):
+            for violation in rule.check(ctx):
+                if ctx.suppressions.is_suppressed(
+                    violation.line, violation.rule_id
+                ):
+                    dropped.append(violation)
+                else:
+                    kept.append(violation)
+        return kept, dropped, True
+
+    def _rules(self, profile: str) -> List[Rule]:
+        if profile not in self._rule_cache:
+            self._rule_cache[profile] = rules_for(
+                profile, self.select, self.ignore
+            )
+        return self._rule_cache[profile]
+
+
+def profile_for(path: Path) -> str:
+    """Derive the lint profile from a file's location."""
+    parts = set(path.parts)
+    for marker, profile in _PROFILE_MARKERS:
+        if marker in parts:
+            return profile
+    if "examples" in parts:
+        return "tests"  # scripts: keep determinism, relax API rules
+    return "library"
+
+
+def discover_files(paths: Iterable[Path]) -> Iterable[Path]:
+    """Yield Python files under ``paths``, honouring the excludes.
+
+    A path given explicitly as a *file* is always yielded, even inside
+    an excluded directory — that is how fixture files with deliberate
+    violations get linted by their own tests.
+
+    Raises:
+        FileNotFoundError: if a requested path does not exist.
+    """
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no such path: {path}")
+        if path.is_file():
+            yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            relative = candidate.relative_to(path)
+            if any(
+                part in DEFAULT_EXCLUDED_DIRS
+                or part.endswith(DEFAULT_EXCLUDED_DIR_SUFFIXES)
+                for part in relative.parts[:-1]
+            ):
+                continue
+            yield candidate
+
+
+def _io_violation(path: Path, message: str) -> Violation:
+    return Violation(
+        rule_id=SYNTAX_ERROR_RULE,
+        path=str(path),
+        line=1,
+        col=0,
+        message=message,
+    )
+
+
+__all__ = [
+    "DEFAULT_EXCLUDED_DIRS",
+    "LintEngine",
+    "LintReport",
+    "discover_files",
+    "profile_for",
+]

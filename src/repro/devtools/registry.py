@@ -1,0 +1,161 @@
+"""Rule base class, lint profiles, and the global rule registry.
+
+Every rule family lives in :mod:`repro.devtools.rules` and registers an
+instance here at import time.  Profiles express the relaxed rule sets
+applied outside library code:
+
+* ``library`` — everything under ``src/repro``; all rules apply.
+* ``tests`` — unit tests; determinism and mutability hazards still
+  matter, but unit-suffix and public-API hygiene do not.
+* ``benchmarks`` — like ``tests``, and wall-clock calls
+  (``time.time()``) are additionally tolerated because timing is the
+  point of a benchmark.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
+
+from repro.devtools.suppressions import SuppressionIndex
+from repro.devtools.violations import Violation
+
+#: The recognised profile names, in documentation order.
+PROFILES = ("library", "tests", "benchmarks")
+
+
+class FileContext:
+    """Everything a rule needs to inspect one parsed source file.
+
+    Attributes:
+        path: display path of the file (relative where possible).
+        source: raw file text.
+        tree: parsed module AST.
+        profile: the lint profile this file is checked under.
+        suppressions: per-line pragma index.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        profile: str,
+    ) -> None:
+        if profile not in PROFILES:
+            raise ValueError(f"unknown profile {profile!r}")
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.profile = profile
+        self.suppressions = SuppressionIndex(source)
+
+    @property
+    def is_package_init(self) -> bool:
+        """True for a package ``__init__.py``."""
+        return Path(self.path).name == "__init__.py"
+
+    def package_parts(self) -> tuple:
+        """Path components, used for package-scoped rules."""
+        return Path(self.path).parts
+
+    def in_packages(self, names: Iterable[str]) -> bool:
+        """True if the file lives under any of the named directories."""
+        parts = set(self.package_parts())
+        return any(name in parts for name in names)
+
+
+class Rule:
+    """Base class for one lint rule family.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        rule_id: the ``REPxxx`` code.
+        name: short kebab-case rule name.
+        description: one-line human description.
+        profiles: profiles in which the rule runs at all.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    description: str = ""
+    profiles: FrozenSet[str] = frozenset(PROFILES)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield violations found in ``ctx``; override in subclasses."""
+        raise NotImplementedError
+
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: Registry of rule instances, keyed by rule id.
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: type) -> type:
+    """Class decorator: instantiate and index a rule by its id."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by its ``REPxxx`` id.
+
+    Raises:
+        KeyError: if no such rule is registered.
+    """
+    _ensure_loaded()
+    return _REGISTRY[rule_id]
+
+
+def rules_for(
+    profile: str,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    """Active rules for a profile, after --select / --ignore filters.
+
+    Raises:
+        KeyError: if a selected/ignored id names no registered rule.
+    """
+    _ensure_loaded()
+    chosen = set(select) if select else set(_REGISTRY)
+    dropped = set(ignore) if ignore else set()
+    for rule_id in chosen | dropped:
+        if rule_id not in _REGISTRY:
+            raise KeyError(f"unknown rule id {rule_id!r}")
+    return [
+        rule
+        for rule in all_rules()
+        if rule.rule_id in chosen
+        and rule.rule_id not in dropped
+        and profile in rule.profiles
+    ]
+
+
+def _ensure_loaded() -> None:
+    """Import the rule modules so their ``@register`` calls run."""
+    from repro.devtools import rules  # noqa: F401  (import side effect)

@@ -1,0 +1,54 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict
+
+from repro.devtools.engine import LintReport
+
+
+def render_text(
+    report: LintReport, statistics: bool = False
+) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines = [v.format() for v in report.violations]
+    if statistics and report.violations:
+        lines.append("")
+        for rule_id, count in sorted(rule_counts(report).items()):
+            lines.append(f"{rule_id:>8}  {count}")
+    lines.append(_summary_line(report))
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "parse_errors": report.parse_errors,
+        "suppressed": len(report.suppressed),
+        "counts": rule_counts(report),
+        "violations": [v.to_dict() for v in report.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def rule_counts(report: LintReport) -> Dict[str, int]:
+    """Violation tally per rule id."""
+    return dict(Counter(v.rule_id for v in report.violations))
+
+
+def _summary_line(report: LintReport) -> str:
+    n = len(report.violations)
+    noun = "violation" if n == 1 else "violations"
+    extra = ""
+    if report.suppressed:
+        extra = f" ({len(report.suppressed)} suppressed)"
+    return (
+        f"{n} {noun} in {report.files_checked} files{extra}"
+    )
+
+
+__all__ = ["render_json", "render_text", "rule_counts"]

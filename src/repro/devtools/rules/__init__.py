@@ -1,0 +1,14 @@
+"""Rule families for the ``repro`` static-analysis pass.
+
+Importing this package registers every rule with
+:mod:`repro.devtools.registry`:
+
+* ``REP001`` — determinism (:mod:`.determinism`)
+* ``REP002`` — unit-suffix consistency (:mod:`.units`)
+* ``REP003`` — public-API hygiene (:mod:`.api`)
+* ``REP004`` — mutability hazards (:mod:`.mutability`)
+"""
+
+from repro.devtools.rules import api, determinism, mutability, units
+
+__all__ = ["api", "determinism", "mutability", "units"]

@@ -1,0 +1,194 @@
+"""REP003 — public-API hygiene.
+
+Three checks, all in the ``library`` profile only:
+
+* every package ``__init__.py`` declares ``__all__`` as a literal
+  list/tuple of strings, with no duplicates, and every entry names
+  something actually bound in the module (imported or defined) — a
+  stale ``__all__`` advertises an API that ``from pkg import name``
+  cannot deliver;
+* every module has a docstring;
+* every *public* module-level function and class has a docstring, and
+  so does every public method of a class without base classes.
+  Methods of subclasses are exempt: they usually override a documented
+  base-class method, and repeating the docstring adds drift, not
+  information.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.devtools.registry import FileContext, Rule, register
+from repro.devtools.violations import Violation
+
+
+@register
+class PublicApiRule(Rule):
+    """Enforce honest ``__all__`` declarations and docstrings."""
+
+    rule_id = "REP003"
+    name = "public-api"
+    description = (
+        "package __init__ must declare a truthful __all__; public"
+        " modules/functions/classes need docstrings"
+    )
+    profiles = frozenset({"library"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Run the ``__all__`` and docstring checks."""
+        if ctx.is_package_init:
+            yield from self._check_all(ctx)
+        yield from self._check_docstrings(ctx)
+
+    # ------------------------------------------------------------------
+
+    def _check_all(self, ctx: FileContext) -> Iterator[Violation]:
+        declared = _find_all(ctx.tree)
+        if declared is None:
+            yield self.violation(
+                ctx,
+                ctx.tree,
+                "package __init__.py does not declare __all__",
+            )
+            return
+        node, names = declared
+        if names is None:
+            yield self.violation(
+                ctx,
+                node,
+                "__all__ must be a literal list/tuple of strings so"
+                " the linter (and readers) can verify it",
+            )
+            return
+        bound = _bound_names(ctx.tree)
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self.violation(
+                    ctx, node, f"__all__ lists {name!r} twice"
+                )
+            seen.add(name)
+            if name not in bound:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"__all__ entry {name!r} is not defined or"
+                    " imported in this module",
+                )
+
+    def _check_docstrings(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ast.get_docstring(ctx.tree):
+            yield self.violation(
+                ctx, ctx.tree, "module has no docstring"
+            )
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                if not ast.get_docstring(node):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"public function {node.name!r} has no"
+                        " docstring",
+                    )
+            elif isinstance(node, ast.ClassDef):
+                if node.name.startswith("_"):
+                    continue
+                if not ast.get_docstring(node):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"public class {node.name!r} has no docstring",
+                    )
+                if node.bases or node.keywords:
+                    continue  # methods presumed documented on the base
+                for item in node.body:
+                    if (
+                        isinstance(
+                            item,
+                            (ast.FunctionDef, ast.AsyncFunctionDef),
+                        )
+                        and not item.name.startswith("_")
+                        and not ast.get_docstring(item)
+                    ):
+                        yield self.violation(
+                            ctx,
+                            item,
+                            f"public method"
+                            f" {node.name}.{item.name} has no"
+                            " docstring",
+                        )
+
+
+def _find_all(tree: ast.Module):
+    """Locate ``__all__ = [...]``.
+
+    Returns:
+        ``None`` if absent; otherwise ``(node, names)`` where ``names``
+        is the list of string entries, or ``None`` when the assignment
+        is not a verifiable literal.
+    """
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return node, _literal_strings(node.value)
+    return None
+
+
+def _literal_strings(node: ast.expr) -> Optional[List[str]]:
+    """Entries of a literal list/tuple of strings, else ``None``."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    names: List[str] = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        names.append(element.value)
+    return names
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module level: imports, defs, assignments."""
+    bound: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                bound.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign):
+            bound.update(_target_names(node.target))
+    return bound
+
+
+def _target_names(target: ast.expr) -> Set[str]:
+    """Plain names bound by an assignment target (incl. unpacking)."""
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: Set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    return set()

@@ -1,0 +1,84 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set, Tuple
+
+
+def dotted_name(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """Resolve a ``Name``-rooted attribute chain to its parts.
+
+    ``np.random.default_rng`` → ``("np", "random", "default_rng")``;
+    returns ``None`` for anything not rooted at a plain name (e.g.
+    ``self.rng.poisson`` or a call result).
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+class ImportTracker(ast.NodeVisitor):
+    """Collect which local names refer to modules of interest.
+
+    After :meth:`visit`-ing a module, the sets hold the local aliases
+    bound to numpy, ``numpy.random``, stdlib ``random``, ``time`` and
+    ``datetime``, plus names imported *from* those modules mapped back
+    to their origin (``from numpy.random import default_rng as rng``
+    records ``rng → default_rng``).
+    """
+
+    def __init__(self) -> None:
+        self.numpy_aliases: Set[str] = set()
+        self.numpy_random_aliases: Set[str] = set()
+        self.stdlib_random_aliases: Set[str] = set()
+        self.time_aliases: Set[str] = set()
+        self.datetime_module_aliases: Set[str] = set()
+        #: local name → original name, per source module.
+        self.from_numpy_random: Dict[str, str] = {}
+        self.from_stdlib_random: Dict[str, str] = {}
+        self.from_time: Dict[str, str] = {}
+        self.from_datetime: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                if alias.name == "numpy.random" and alias.asname:
+                    self.numpy_random_aliases.add(local)
+                else:
+                    self.numpy_aliases.add(local)
+            elif alias.name == "random":
+                self.stdlib_random_aliases.add(local)
+            elif alias.name == "time":
+                self.time_aliases.add(local)
+            elif alias.name == "datetime":
+                self.datetime_module_aliases.add(local)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:  # relative import — not a tracked module
+            return
+        targets = {
+            "numpy.random": self.from_numpy_random,
+            "random": self.from_stdlib_random,
+            "time": self.from_time,
+            "datetime": self.from_datetime,
+        }
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.numpy_random_aliases.add(
+                        alias.asname or alias.name
+                    )
+            return
+        mapping = targets.get(node.module or "")
+        if mapping is None:
+            return
+        for alias in node.names:
+            if alias.name != "*":
+                mapping[alias.asname or alias.name] = alias.name

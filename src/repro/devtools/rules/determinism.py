@@ -1,0 +1,192 @@
+"""REP001 — controlled randomness and wall-clock hygiene.
+
+DESIGN.md promises a seeded, deterministic reproduction: every stream
+of randomness must be a ``numpy.random.Generator`` seeded by the
+caller (or by a documented fixed default).  This rule flags the ways
+that contract silently breaks:
+
+* ``np.random.default_rng()`` called without a seed argument;
+* the legacy global-state API (``np.random.rand``, ``np.random.seed``,
+  ``np.random.RandomState()`` without a seed, …);
+* the stdlib ``random`` module's global functions;
+* wall-clock reads (``time.time()``, ``datetime.now()``, …) in library
+  code — results must not depend on when they are computed.
+
+Wall-clock calls are tolerated in the ``benchmarks`` profile, where
+timing is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.registry import FileContext, Rule, register
+from repro.devtools.rules.common import ImportTracker, dotted_name
+from repro.devtools.violations import Violation
+
+#: Legacy ``numpy.random`` module-level functions that mutate or read
+#: the hidden global state.
+LEGACY_NUMPY_RANDOM = frozenset(
+    {
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "ranf", "sample", "choice", "shuffle", "permutation", "bytes",
+        "uniform", "normal", "standard_normal", "poisson", "binomial",
+        "exponential", "gamma", "beta", "lognormal", "laplace",
+        "geometric", "hypergeometric", "multinomial",
+        "multivariate_normal", "negative_binomial", "pareto", "power",
+        "rayleigh", "triangular", "vonmises", "wald", "weibull", "zipf",
+        "chisquare", "dirichlet", "f", "gumbel", "logistic",
+        "logseries", "noncentral_chisquare", "noncentral_f",
+        "standard_cauchy", "standard_exponential", "standard_gamma",
+        "standard_t", "get_state", "set_state",
+    }
+)
+
+#: Stdlib ``random`` global-state functions we refuse in any profile.
+STDLIB_RANDOM = frozenset(
+    {
+        "seed", "random", "randint", "randrange", "choice", "choices",
+        "uniform", "shuffle", "sample", "gauss", "normalvariate",
+        "betavariate", "expovariate", "gammavariate", "lognormvariate",
+        "paretovariate", "triangular", "vonmisesvariate",
+        "weibullvariate", "getrandbits", "randbytes",
+    }
+)
+
+#: Wall-clock reads, as (module-ish attribute, function) tails.
+CLOCK_TIME_FUNCS = frozenset({"time", "time_ns"})
+CLOCK_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+@register
+class DeterminismRule(Rule):
+    """Flag unseeded/global RNG use and wall-clock dependence."""
+
+    rule_id = "REP001"
+    name = "determinism"
+    description = (
+        "RNGs must be caller-seeded numpy Generators; no legacy"
+        " np.random / stdlib random global state; no wall-clock reads"
+        " in library code"
+    )
+    profiles = frozenset({"library", "tests", "benchmarks"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Scan every call expression in the module."""
+        imports = ImportTracker()
+        imports.visit(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, imports)
+
+    # ------------------------------------------------------------------
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, imports: ImportTracker
+    ) -> Iterator[Violation]:
+        chain = dotted_name(node.func)
+        if chain is None:
+            return
+        root, tail = chain[0], chain[-1]
+
+        # Resolve what the chain actually refers to.
+        is_np_random = (
+            len(chain) >= 3
+            and root in imports.numpy_aliases
+            and chain[1] == "random"
+        ) or (
+            len(chain) == 2 and root in imports.numpy_random_aliases
+        )
+        origin = None
+        if len(chain) == 1:
+            origin = imports.from_numpy_random.get(root)
+
+        func = tail if is_np_random else origin
+        if func is not None:
+            if func == "default_rng" and not _has_seed(node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "unseeded default_rng(): pass an explicit seed or"
+                    " a caller-supplied Generator",
+                )
+            elif func == "RandomState" and not _has_seed(node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "unseeded np.random.RandomState(): legacy and"
+                    " nondeterministic — use a seeded default_rng",
+                )
+            elif func in LEGACY_NUMPY_RANDOM:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"legacy np.random.{func}() uses hidden global"
+                    " state; use a seeded numpy Generator",
+                )
+            return
+
+        # Stdlib random: module attribute or from-imported function.
+        if (
+            len(chain) == 2
+            and root in imports.stdlib_random_aliases
+            and tail in STDLIB_RANDOM
+        ) or (
+            len(chain) == 1
+            and imports.from_stdlib_random.get(root) in STDLIB_RANDOM
+        ):
+            name = tail if len(chain) == 2 else root
+            yield self.violation(
+                ctx,
+                node,
+                f"stdlib random.{name}() draws from unseeded global"
+                " state; use a seeded numpy Generator",
+            )
+            return
+
+        yield from self._check_clock(ctx, node, chain, imports)
+
+    def _check_clock(
+        self,
+        ctx: FileContext,
+        node: ast.Call,
+        chain: tuple,
+        imports: ImportTracker,
+    ) -> Iterator[Violation]:
+        if ctx.profile == "benchmarks":
+            return
+        root, tail = chain[0], chain[-1]
+        clocked = None
+        if (
+            len(chain) == 2
+            and root in imports.time_aliases
+            and tail in CLOCK_TIME_FUNCS
+        ):
+            clocked = f"time.{tail}()"
+        elif (
+            len(chain) == 1
+            and imports.from_time.get(root) in CLOCK_TIME_FUNCS
+        ):
+            clocked = f"time.{imports.from_time[root]}()"
+        elif tail in CLOCK_DATETIME_FUNCS and len(chain) >= 2:
+            base = chain[-2]
+            if base in ("datetime", "date") and (
+                root in imports.datetime_module_aliases
+                or imports.from_datetime.get(root) in ("datetime", "date")
+            ):
+                clocked = f"{base}.{tail}()"
+        if clocked is not None:
+            yield self.violation(
+                ctx,
+                node,
+                f"wall-clock read {clocked} makes results depend on"
+                " when they run; take the timestamp as a parameter",
+            )
+
+
+def _has_seed(call: ast.Call) -> bool:
+    """True if the RNG constructor receives any seed-ish argument."""
+    if call.args:
+        return True
+    return any(kw.arg in (None, "seed") for kw in call.keywords)

@@ -1,0 +1,174 @@
+"""REP004 — mutability hazards.
+
+Two checks:
+
+* **Mutable default arguments** (``def f(x=[])``, ``def f(x={})``,
+  including ``list()``/``dict()``/``set()`` calls): the default is
+  created once and shared by every call — the classic Python trap.
+  Active in every profile.
+* **Unfrozen result records** (``library`` profile): in result-style
+  modules (``results.py``, ``tallies.py``), a ``@dataclass`` that
+  never mutates ``self`` is a record being handed to callers and must
+  be declared ``frozen=True`` so downstream analyses cannot silently
+  edit measured numbers.  Accumulator classes — anything with a method
+  that assigns to, or calls a mutating method on, a ``self``
+  attribute — are exempt by detection, not by annotation.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.devtools.registry import FileContext, Rule, register
+from repro.devtools.violations import Violation
+
+#: Module stems treated as result-style containers.
+RESULT_MODULE_STEMS = frozenset({"results", "tallies"})
+
+#: Literal nodes that make a default argument mutable.
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.DictComp,
+                     ast.ListComp, ast.SetComp)
+
+#: Zero-config constructors that also produce fresh-once mutables.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque",
+     "Counter", "OrderedDict"}
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {"append", "extend", "insert", "add", "update", "remove",
+     "discard", "pop", "popitem", "clear", "setdefault", "sort",
+     "reverse", "appendleft", "popleft"}
+)
+
+
+@register
+class MutabilityRule(Rule):
+    """Flag shared mutable defaults and unfrozen result dataclasses."""
+
+    rule_id = "REP004"
+    name = "mutability"
+    description = (
+        "no mutable default arguments; result-module dataclasses"
+        " without mutator methods must be frozen"
+    )
+    profiles = frozenset({"library", "tests", "benchmarks"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Run both checks (the frozen check only in library code)."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(ctx, node)
+        if (
+            ctx.profile == "library"
+            and Path(ctx.path).stem in RESULT_MODULE_STEMS
+        ):
+            yield from self._check_result_dataclasses(ctx)
+
+    # ------------------------------------------------------------------
+
+    def _check_defaults(
+        self, ctx: FileContext, func: ast.AST
+    ) -> Iterator[Violation]:
+        args = func.args
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield self.violation(
+                    ctx,
+                    default,
+                    f"mutable default argument in {func.name!r} is"
+                    " shared across calls; default to None and build"
+                    " inside the function",
+                )
+
+    def _check_result_dataclasses(
+        self, ctx: FileContext
+    ) -> Iterator[Violation]:
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _is_dataclass(node):
+                continue
+            if _is_frozen(node) or _has_self_mutator(node):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"result dataclass {node.name!r} has no mutator"
+                " methods but is not frozen=True; freeze it so"
+                " measured results cannot be edited downstream",
+            )
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    """True for list/dict/set literals and bare mutable constructors."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    """True if any decorator is ``dataclass`` / ``dataclass(...)``."""
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and (
+            target.attr == "dataclass"
+        ):
+            return True
+    return False
+
+
+def _is_frozen(cls: ast.ClassDef) -> bool:
+    """True for ``@dataclass(frozen=True)``."""
+    for dec in cls.decorator_list:
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if kw.arg == "frozen" and (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    return True
+    return False
+
+
+def _has_self_mutator(cls: ast.ClassDef) -> bool:
+    """True if any method writes to (or mutates) a self attribute."""
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(item):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                if any(_touches_self(t) for t in targets):
+                    return True
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATING_METHODS
+                and _touches_self(node.func.value)
+            ):
+                return True
+    return False
+
+
+def _touches_self(node: ast.expr) -> bool:
+    """True if the expression is rooted at a ``self`` attribute."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"

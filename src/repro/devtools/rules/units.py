@@ -1,0 +1,201 @@
+"""REP002 — physical-unit suffix consistency.
+
+The codebase carries units in identifier suffixes (``sigma_cm2``,
+``flux_per_cm2_h``, ``duration_h``, ``energy_mev`` …).  The registry
+below gives each canonical suffix a dimension label; two checks keep
+the discipline honest:
+
+* **Incompatible transfer** — a *direct* name-to-name assignment or
+  comparison between identifiers whose suffixes carry different
+  dimensions (``rate_fit = sigma_cm2``, ``energy_ev < energy_mev``).
+  Anything computed (``sigma_cm2 * flux``) is out of scope: a
+  conversion factor may legitimately appear anywhere in an expression.
+* **Bare physics parameters** — a public function in the quantitative
+  packages (``physics/``, ``environment/``, ``core/``) taking a
+  parameter named exactly after a physical quantity (``flux``,
+  ``energy``, ``altitude`` …) with no unit suffix.  Callers cannot
+  know what unit such a parameter expects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.devtools.registry import FileContext, Rule, register
+from repro.devtools.violations import Violation
+
+#: Canonical suffix → dimension label.  Longest-match wins, so
+#: compound suffixes must precede their tails (handled by sorting).
+SUFFIX_DIMENSIONS: Dict[str, str] = {
+    "_per_cm2_h": "flux",
+    "_n_cm2_s": "flux",
+    "_per_cm2": "fluence",
+    "_per_gbit": "per-capacity",
+    "_per_h": "rate",
+    "_per_s": "rate",
+    "_cm2": "area",
+    "_b": "area-barn",
+    "_fit": "failure-rate",
+    "_mev": "energy-mev",
+    "_ev": "energy-ev",
+    "_kev": "energy-kev",
+    "_hr": "time-hours",
+    "_h": "time-hours",
+    "_s": "time-seconds",
+    "_ms": "time-milliseconds",
+    "_m": "length-metres",
+    "_km": "length-kilometres",
+    "_cm": "length-centimetres",
+    "_k": "temperature",
+    "_gbit": "capacity",
+}
+
+#: Suffixes ordered longest-first for greedy matching.
+_ORDERED_SUFFIXES = sorted(SUFFIX_DIMENSIONS, key=len, reverse=True)
+
+#: Bare names that denote a physical quantity and therefore demand a
+#: unit suffix when used as a public parameter.
+BARE_QUANTITIES = frozenset(
+    {
+        "flux", "fluence", "energy", "altitude", "thickness",
+        "duration", "temperature", "dose", "wavelength", "pressure",
+        "depth", "distance", "exposure",
+    }
+)
+
+#: Packages in which the bare-parameter check applies.
+QUANTITATIVE_PACKAGES = ("physics", "environment", "core")
+
+
+def suffix_of(identifier: str) -> Optional[str]:
+    """The canonical unit suffix carried by ``identifier``, if any."""
+    lowered = identifier.lower()
+    for suffix in _ORDERED_SUFFIXES:
+        if lowered.endswith(suffix) and len(lowered) > len(suffix):
+            return suffix
+    return None
+
+
+def dimension_of(identifier: str) -> Optional[str]:
+    """Dimension label for ``identifier``'s suffix, if recognised."""
+    suffix = suffix_of(identifier)
+    return None if suffix is None else SUFFIX_DIMENSIONS[suffix]
+
+
+@register
+class UnitSuffixRule(Rule):
+    """Flag unit-incompatible transfers and bare physics parameters."""
+
+    rule_id = "REP002"
+    name = "unit-suffix"
+    description = (
+        "identifiers carrying unit suffixes must not be directly"
+        " assigned/compared across dimensions; public physics"
+        " parameters must carry a unit suffix"
+    )
+    profiles = frozenset({"library"})
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Run both sub-checks over the module."""
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                yield from self._check_assign(ctx, node)
+            elif isinstance(node, ast.AnnAssign):
+                if node.value is not None:
+                    yield from self._check_pair(
+                        ctx, node, node.target, node.value
+                    )
+            elif isinstance(node, ast.Compare):
+                yield from self._check_compare(ctx, node)
+        if ctx.in_packages(QUANTITATIVE_PACKAGES):
+            yield from self._check_bare_parameters(ctx)
+
+    # ------------------------------------------------------------------
+
+    def _check_assign(
+        self, ctx: FileContext, node: ast.Assign
+    ) -> Iterator[Violation]:
+        for target in node.targets:
+            yield from self._check_pair(ctx, node, target, node.value)
+
+    def _check_pair(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        target: ast.expr,
+        value: ast.expr,
+    ) -> Iterator[Violation]:
+        left = _plain_name(target)
+        right = _plain_name(value)
+        if left is None or right is None:
+            return
+        dim_l, dim_r = dimension_of(left), dimension_of(right)
+        if dim_l and dim_r and dim_l != dim_r:
+            yield self.violation(
+                ctx,
+                node,
+                f"assigning {right!r} ({dim_r}) to {left!r} ({dim_l})"
+                " mixes unit dimensions; convert explicitly",
+            )
+
+    def _check_compare(
+        self, ctx: FileContext, node: ast.Compare
+    ) -> Iterator[Violation]:
+        operands = [node.left, *node.comparators]
+        names = [_plain_name(op) for op in operands]
+        for (name_a, name_b) in zip(names, names[1:]):
+            if name_a is None or name_b is None:
+                continue
+            dim_a, dim_b = dimension_of(name_a), dimension_of(name_b)
+            if dim_a and dim_b and dim_a != dim_b:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"comparing {name_a!r} ({dim_a}) with {name_b!r}"
+                    f" ({dim_b}) mixes unit dimensions",
+                )
+
+    def _check_bare_parameters(
+        self, ctx: FileContext
+    ) -> Iterator[Violation]:
+        for func in _public_functions(ctx.tree):
+            args = func.args
+            every = [
+                *args.posonlyargs, *args.args, *args.kwonlyargs
+            ]
+            for arg in every:
+                if arg.arg in BARE_QUANTITIES:
+                    yield self.violation(
+                        ctx,
+                        arg,
+                        f"parameter {arg.arg!r} of public function"
+                        f" {func.name!r} is a physical quantity with"
+                        " no unit suffix (e.g."
+                        f" {arg.arg}_m / {arg.arg}_ev)",
+                    )
+
+
+def _plain_name(node: ast.expr) -> Optional[str]:
+    """The identifier of a bare ``Name`` node, else ``None``."""
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _public_functions(tree: ast.Module):
+    """Module-level public functions and public methods.
+
+    Nested (closure) functions are private by construction and are
+    skipped.
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node
+        elif isinstance(node, ast.ClassDef):
+            if node.name.startswith("_"):
+                continue
+            for item in node.body:
+                if isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and not item.name.startswith("_"):
+                    yield item

@@ -1,0 +1,65 @@
+"""Per-line suppression pragmas: ``# repro: noqa REPxxx``.
+
+A violation reported on a line carrying a matching pragma is dropped.
+Two forms are accepted::
+
+    x = np.random.default_rng()   # repro: noqa REP001
+    y = legacy_helper()           # repro: noqa
+
+The first suppresses only the listed rule ids (comma- or
+space-separated); the second suppresses every rule on that line.
+Blanket pragmas are deliberately discouraged — prefer naming the rule.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Optional
+
+#: Matches the pragma anywhere in a comment tail of a line.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<codes>(?:[\s,]+[A-Z]+[0-9]+)+)?",
+)
+
+#: The blanket marker stored for a bare ``# repro: noqa``.
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+class SuppressionIndex:
+    """Line-number → suppressed-rule-ids map for one source file."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            codes = parse_pragma(text)
+            if codes is not None:
+                self._by_line[lineno] = codes
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True if ``rule_id`` is silenced on ``line``."""
+        codes = self._by_line.get(line)
+        if codes is None:
+            return False
+        return codes is ALL_RULES or "*" in codes or rule_id in codes
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def parse_pragma(line: str) -> Optional[FrozenSet[str]]:
+    """Extract the suppression set from one source line.
+
+    Returns:
+        ``None`` if the line carries no pragma, :data:`ALL_RULES` for a
+        bare ``# repro: noqa``, otherwise the frozen set of rule ids.
+    """
+    match = _PRAGMA_RE.search(line)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if not codes:
+        return ALL_RULES
+    ids = frozenset(
+        token for token in re.split(r"[,\s]+", codes.strip()) if token
+    )
+    return ids or ALL_RULES

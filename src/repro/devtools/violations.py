@@ -1,0 +1,49 @@
+"""Violation records produced by the static-analysis pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+#: Rule id used for files that cannot be parsed at all.
+SYNTAX_ERROR_RULE = "REP000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding at one source location.
+
+    Attributes:
+        rule_id: the ``REPxxx`` code of the rule that fired.
+        path: file the violation was found in (as given to the engine).
+        line: 1-based source line.
+        col: 0-based column offset.
+        message: human-readable description of the problem.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by file, position, then rule id."""
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        """Render as ``path:line:col: REPxxx message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}:"
+            f" {self.rule_id} {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (used by the JSON reporter)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

@@ -79,7 +79,9 @@ class ConfigurationMemory:
         n_frames: configuration frames.
         words_per_frame: 32-bit words per frame.
         design: the mapped design.
-        rng: generator.
+        rng: generator; defaults to the fixed-seed
+            ``default_rng(0)`` so default-constructed memories are
+            deterministic (the repo-wide seeding contract).
     """
 
     WORD_BITS = 32
@@ -96,7 +98,7 @@ class ConfigurationMemory:
         self.design = design
         self.n_frames = n_frames
         self.words_per_frame = words_per_frame
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.upset_bits: Set[int] = set()
         self._design_broken = False
         self.reprogram_count = 0

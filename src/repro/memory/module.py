@@ -73,7 +73,9 @@ class DdrModule:
             DDR4 = 64 — 4 GB and 8 GB modules).
         pattern_bit: the background pattern written by the correct
             loop: 1 for 0xFF banks, 0 for 0x00 banks.
-        rng: generator used for intermittent behaviour.
+        rng: generator used for intermittent behaviour; defaults to
+            the fixed-seed ``default_rng(0)`` so default-constructed
+            modules behave identically run to run.
     """
 
     def __init__(
@@ -98,7 +100,7 @@ class DdrModule:
         self.generation = generation
         self.capacity_gbit = capacity_gbit
         self.pattern_bit = pattern_bit
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
         self.cell_faults: Dict[int, CellFault] = {}
         self.sefi_faults: List[SefiFault] = []
 

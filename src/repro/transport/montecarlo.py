@@ -105,7 +105,9 @@ class SlabTransport:
         geometry: the slab stack.
         bath_temperature_k: thermal-bath temperature; moderation stops
             at ``kT`` of this bath.
-        rng: NumPy generator (seeded by the caller for determinism).
+        rng: NumPy generator (seeded by the caller; defaults to the
+            fixed-seed ``default_rng(0)`` so default-constructed
+            transports are deterministic).
     """
 
     def __init__(
@@ -121,7 +123,7 @@ class SlabTransport:
             )
         self.geometry = geometry
         self.bath_energy_ev = BOLTZMANN_EV_PER_K * bath_temperature_k
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
 
     # ------------------------------------------------------------------
 

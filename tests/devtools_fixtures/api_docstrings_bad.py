@@ -1,0 +1,16 @@
+"""Fixture: public names missing docstrings."""
+
+
+def undocumented_function():
+    return 1
+
+
+class UndocumentedClass:
+    pass
+
+
+class Documented:
+    """Has a class docstring but an undocumented public method."""
+
+    def undocumented_method(self):
+        return 2

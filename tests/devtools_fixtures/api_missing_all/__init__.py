@@ -1,0 +1,3 @@
+"""Fixture package: no ``__all__`` declared."""
+
+VALUE = 1

@@ -1,0 +1,5 @@
+"""Fixture package: ``__all__`` advertises a ghost and a duplicate."""
+
+VALUE = 1
+
+__all__ = ["VALUE", "VALUE", "does_not_exist"]

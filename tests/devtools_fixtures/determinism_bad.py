@@ -1,0 +1,34 @@
+"""Fixture: every REP001 determinism violation in one module."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded_module_alias():
+    """Unseeded default_rng via the np alias."""
+    return np.random.default_rng()
+
+
+def unseeded_from_import():
+    """Unseeded default_rng imported directly."""
+    return default_rng()
+
+
+def legacy_numpy():
+    """Legacy global-state numpy RNG."""
+    np.random.seed(4)
+    return np.random.rand(3)
+
+
+def stdlib_random():
+    """Stdlib random global state."""
+    return random.random() + random.randint(0, 10)
+
+
+def wall_clock():
+    """Wall-clock reads."""
+    return time.time(), datetime.now()

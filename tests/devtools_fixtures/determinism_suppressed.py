@@ -1,0 +1,13 @@
+"""Fixture: REP001 violations silenced by per-line pragmas."""
+
+import numpy as np
+
+
+def tolerated_unseeded():
+    """The pragma names the rule, so this line is clean."""
+    return np.random.default_rng()  # repro: noqa REP001
+
+
+def tolerated_blanket():
+    """A bare pragma suppresses every rule on the line."""
+    return np.random.rand(2)  # repro: noqa

@@ -1,0 +1,30 @@
+"""Fixture: result-module dataclasses for the REP004 frozen check."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class UnfrozenRecord:
+    """Pure record with no mutators — must be frozen, is not."""
+
+    value: float
+    label: str
+
+
+@dataclass(frozen=True)
+class FrozenRecord:
+    """Correctly frozen record."""
+
+    value: float
+
+
+@dataclass
+class Accumulator:
+    """Mutator methods exempt this class from the frozen check."""
+
+    events: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Accumulate one event."""
+        self.events.append(value)

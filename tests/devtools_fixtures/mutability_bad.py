@@ -1,0 +1,17 @@
+"""Fixture: mutable default arguments."""
+
+
+def shared_list(values=[]):
+    """Classic shared-default trap."""
+    values.append(1)
+    return values
+
+
+def shared_dict(mapping={}, *, tags=set()):
+    """Dict and set literals as defaults."""
+    return mapping, tags
+
+
+def shared_constructor(box=list()):
+    """Constructor call as a default."""
+    return box

@@ -1,0 +1,6 @@
+"""Fixture: bare physics parameter in a quantitative package."""
+
+
+def scaled_flux(flux, altitude):
+    """Both parameters are physical quantities without unit suffixes."""
+    return flux * altitude

@@ -1,0 +1,9 @@
+"""Fixture: REP002 unit-dimension mixing."""
+
+
+def mixed_transfer(sigma_cm2: float, energy_mev: float) -> float:
+    """Assigns an energy to an area and compares across dimensions."""
+    area_cm2 = energy_mev
+    if sigma_cm2 < energy_mev:
+        return area_cm2
+    return sigma_cm2

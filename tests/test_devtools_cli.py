@@ -1,0 +1,124 @@
+"""Exit-code and wiring tests for ``python -m repro lint``."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "devtools_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+
+def run_cli(argv):
+    """Invoke the CLI in-process; returns (exit_code, stdout)."""
+    import io
+    from contextlib import redirect_stdout
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+def test_lint_clean_fixture_exits_zero():
+    code, out = run_cli(
+        ["lint", str(FIXTURES / "determinism_clean.py"),
+         "--profile", "library"]
+    )
+    assert code == 0
+    assert "0 violations" in out
+
+
+def test_lint_dirty_fixture_exits_one_with_rep001():
+    code, out = run_cli(
+        ["lint", str(FIXTURES / "determinism_bad.py")]
+    )
+    assert code == 1
+    assert "REP001" in out
+    assert "unseeded default_rng" in out
+
+
+def test_lint_json_format():
+    code, out = run_cli(
+        ["lint", str(FIXTURES / "mutability_bad.py"), "--format", "json"]
+    )
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["counts"] == {"REP004": 4}
+
+
+def test_lint_select_and_ignore():
+    code, _ = run_cli(
+        ["lint", str(FIXTURES / "determinism_bad.py"),
+         "--select", "REP002,REP003"]
+    )
+    assert code == 0  # REP001 excluded by --select
+    code, _ = run_cli(
+        ["lint", str(FIXTURES / "determinism_bad.py"),
+         "--ignore", "REP001"]
+    )
+    assert code == 0
+
+
+def test_lint_unknown_rule_is_usage_error():
+    code, out = run_cli(
+        ["lint", str(FIXTURES / "determinism_clean.py"),
+         "--select", "REP999"]
+    )
+    assert code == 2
+    assert "REP999" in out
+
+
+def test_lint_missing_path_is_usage_error():
+    code, out = run_cli(["lint", "no/such/path.py"])
+    assert code == 2
+    assert "no such path" in out
+
+
+def test_lint_list_rules():
+    code, out = run_cli(["lint", "--list-rules"])
+    assert code == 0
+    for rule_id in ("REP001", "REP002", "REP003", "REP004"):
+        assert rule_id in out
+
+
+def test_module_invocation_on_repo_is_clean():
+    """Acceptance: ``python -m repro lint`` exits 0 on the real tree."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_module_invocation_on_dirty_fixture_fails():
+    """Acceptance: non-zero exit + REP001 on an unseeded fixture."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "lint",
+            str(FIXTURES / "determinism_bad.py"),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 1
+    assert "REP001" in proc.stdout

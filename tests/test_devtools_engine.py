@@ -1,0 +1,117 @@
+"""Engine-level tests: discovery, profiles, pragmas, reporters."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import (
+    LintEngine,
+    discover_files,
+    parse_pragma,
+    profile_for,
+    render_json,
+    render_text,
+)
+from repro.devtools.suppressions import ALL_RULES
+
+FIXTURES = Path(__file__).parent / "devtools_fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ------------------------------------------------------------- pragmas
+
+
+def test_parse_pragma_named_rules():
+    assert parse_pragma("x = 1  # repro: noqa REP001") == {"REP001"}
+    assert parse_pragma(
+        "x = 1  # repro: noqa REP001,REP004"
+    ) == {"REP001", "REP004"}
+    assert parse_pragma(
+        "x = 1  # repro: noqa REP001 REP002"
+    ) == {"REP001", "REP002"}
+
+
+def test_parse_pragma_blanket_and_absent():
+    assert parse_pragma("x = 1  # repro: noqa") is ALL_RULES
+    assert parse_pragma("x = 1  # plain comment") is None
+    assert parse_pragma("x = 1") is None
+
+
+# ------------------------------------------------------------ profiles
+
+
+def test_profile_for_routes_by_path():
+    assert profile_for(Path("src/repro/core/fit.py")) == "library"
+    assert profile_for(Path("tests/test_core_fit.py")) == "tests"
+    assert (
+        profile_for(Path("benchmarks/test_bench_avf.py")) == "benchmarks"
+    )
+    assert profile_for(Path("examples/quickstart.py")) == "tests"
+
+
+# ----------------------------------------------------------- discovery
+
+
+def test_discovery_skips_fixture_and_cache_dirs():
+    found = list(discover_files([REPO_ROOT / "tests"]))
+    assert found, "discovery found no test files"
+    assert all("devtools_fixtures" not in p.parts for p in found)
+    assert all("__pycache__" not in p.parts for p in found)
+
+
+def test_explicit_file_bypasses_excludes():
+    target = FIXTURES / "determinism_bad.py"
+    assert list(discover_files([target])) == [target]
+
+
+def test_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        list(discover_files([Path("no/such/dir")]))
+
+
+# -------------------------------------------------------- parse errors
+
+
+def test_syntax_error_reported_as_rep000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def incomplete(:\n")
+    report = LintEngine().lint_paths([bad])
+    assert report.parse_errors == 1
+    assert [v.rule_id for v in report.violations] == ["REP000"]
+    assert "syntax error" in report.violations[0].message
+
+
+# ----------------------------------------------------------- reporters
+
+
+def test_text_report_lists_locations_and_summary():
+    report = LintEngine(profile="library").lint_paths(
+        [FIXTURES / "units_bad.py"]
+    )
+    text = render_text(report, statistics=True)
+    assert "units_bad.py:" in text
+    assert "REP002" in text
+    assert text.endswith("violations in 1 files")
+
+
+def test_json_report_round_trips():
+    report = LintEngine(profile="library").lint_paths(
+        [FIXTURES / "mutability_bad.py"]
+    )
+    payload = json.loads(render_json(report))
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert payload["counts"] == {"REP004": 4}
+    assert all(
+        set(v) == {"rule", "path", "line", "col", "message"}
+        for v in payload["violations"]
+    )
+
+
+def test_clean_report_is_ok():
+    report = LintEngine(profile="library").lint_paths(
+        [FIXTURES / "determinism_clean.py"]
+    )
+    assert report.ok
+    assert render_text(report) == "0 violations in 1 files"

@@ -1,0 +1,190 @@
+"""Per-rule unit tests for the static-analysis pass.
+
+Each rule family is exercised three ways: a positive fixture (fires),
+a suppressed fixture (pragma silences it), and a clean fixture.
+Fixtures live under ``tests/devtools_fixtures/``; they are excluded
+from directory discovery and only linted here, explicitly.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import LintEngine
+
+FIXTURES = Path(__file__).parent / "devtools_fixtures"
+
+
+def lint_file(name, profile="library", **engine_kwargs):
+    """Lint one fixture file under a forced profile."""
+    engine = LintEngine(profile=profile, **engine_kwargs)
+    report = engine.lint_paths([FIXTURES / name])
+    return report
+
+
+def codes(report):
+    """Rule ids of the surviving violations, in order."""
+    return [v.rule_id for v in report.violations]
+
+
+# ---------------------------------------------------------------- REP001
+
+
+def test_rep001_flags_every_determinism_hazard():
+    report = lint_file("determinism_bad.py")
+    rep001 = [v for v in report.violations if v.rule_id == "REP001"]
+    messages = " ".join(v.message for v in rep001)
+    assert len(rep001) == 8
+    assert "unseeded default_rng" in messages
+    assert "legacy np.random.seed" in messages
+    assert "legacy np.random.rand" in messages
+    assert "stdlib random.random" in messages
+    assert "time.time()" in messages
+    assert "datetime.now()" in messages
+
+
+def test_rep001_suppressed_by_pragma():
+    report = lint_file("determinism_suppressed.py")
+    assert codes(report) == []
+    assert len(report.suppressed) == 2
+    assert {v.rule_id for v in report.suppressed} == {"REP001"}
+
+
+def test_rep001_clean_fixture_passes():
+    report = lint_file("determinism_clean.py")
+    assert codes(report) == []
+
+
+def test_rep001_wall_clock_tolerated_in_benchmarks_profile():
+    report = lint_file("determinism_bad.py", profile="benchmarks")
+    messages = " ".join(v.message for v in report.violations)
+    assert "time.time()" not in messages
+    assert "datetime.now()" not in messages
+    # RNG hygiene still applies to benchmarks.
+    assert "unseeded default_rng" in messages
+
+
+# ---------------------------------------------------------------- REP002
+
+
+def test_rep002_flags_cross_dimension_transfer_and_compare():
+    report = lint_file("units_bad.py")
+    rep002 = [v for v in report.violations if v.rule_id == "REP002"]
+    messages = " ".join(v.message for v in rep002)
+    assert len(rep002) == 2
+    assert "mixes unit dimensions" in messages
+    assert "'energy_mev'" in messages
+
+
+def test_rep002_flags_bare_physics_parameters():
+    report = lint_file(Path("physics") / "units_param_bad.py")
+    rep002 = [v for v in report.violations if v.rule_id == "REP002"]
+    assert len(rep002) == 2
+    names = " ".join(v.message for v in rep002)
+    assert "'flux'" in names and "'altitude'" in names
+
+
+def test_rep002_inactive_in_tests_profile():
+    report = lint_file("units_bad.py", profile="tests")
+    assert "REP002" not in codes(report)
+
+
+def test_rep002_suffix_registry():
+    from repro.devtools.rules.units import dimension_of, suffix_of
+
+    assert suffix_of("sigma_cm2") == "_cm2"
+    assert suffix_of("flux_per_cm2_h") == "_per_cm2_h"
+    assert suffix_of("plain_name") is None
+    # A bare suffix with no stem is not a unit-carrying identifier.
+    assert suffix_of("_cm2") is None
+    assert dimension_of("duration_h") == dimension_of("duration_hr")
+    assert dimension_of("energy_ev") != dimension_of("energy_mev")
+
+
+# ---------------------------------------------------------------- REP003
+
+
+def test_rep003_missing_all():
+    report = lint_file(Path("api_missing_all") / "__init__.py")
+    assert any(
+        v.rule_id == "REP003" and "__all__" in v.message
+        for v in report.violations
+    )
+
+
+def test_rep003_stale_and_duplicate_all_entries():
+    report = lint_file(Path("api_stale_all") / "__init__.py")
+    messages = [
+        v.message for v in report.violations if v.rule_id == "REP003"
+    ]
+    assert any("twice" in m for m in messages)
+    assert any("does_not_exist" in m for m in messages)
+
+
+def test_rep003_docstring_findings():
+    report = lint_file("api_docstrings_bad.py")
+    messages = [
+        v.message for v in report.violations if v.rule_id == "REP003"
+    ]
+    assert any("undocumented_function" in m for m in messages)
+    assert any("UndocumentedClass" in m for m in messages)
+    assert any("undocumented_method" in m for m in messages)
+
+
+def test_rep003_inactive_outside_library_profile():
+    report = lint_file("api_docstrings_bad.py", profile="tests")
+    assert "REP003" not in codes(report)
+
+
+# ---------------------------------------------------------------- REP004
+
+
+def test_rep004_mutable_defaults():
+    report = lint_file("mutability_bad.py")
+    rep004 = [v for v in report.violations if v.rule_id == "REP004"]
+    assert len(rep004) == 4  # [], {}, set(), list()
+    assert all("mutable default" in v.message for v in rep004)
+
+
+def test_rep004_mutable_defaults_active_in_tests_profile():
+    report = lint_file("mutability_bad.py", profile="tests")
+    assert "REP004" in codes(report)
+
+
+def test_rep004_frozen_result_dataclasses():
+    report = lint_file(Path("frozen") / "results.py")
+    rep004 = [v for v in report.violations if v.rule_id == "REP004"]
+    assert len(rep004) == 1
+    assert "UnfrozenRecord" in rep004[0].message
+
+
+def test_rep004_frozen_check_skips_non_result_modules():
+    source = (
+        '"""Doc."""\n'
+        "from dataclasses import dataclass\n\n\n"
+        "@dataclass\n"
+        "class Record:\n"
+        '    """Doc."""\n\n'
+        "    value: float\n"
+    )
+    engine = LintEngine(profile="library")
+    violations = engine.lint_source(source, path="src/repro/x/other.py")
+    assert [v for v in violations if v.rule_id == "REP004"] == []
+
+
+# ------------------------------------------------------------ selection
+
+
+def test_select_restricts_rules():
+    report = lint_file("determinism_bad.py", select=["REP003"])
+    assert "REP001" not in codes(report)
+
+
+def test_ignore_drops_rules():
+    report = lint_file("determinism_bad.py", ignore=["REP001"])
+    assert "REP001" not in codes(report)
+
+
+def test_unknown_rule_id_raises():
+    with pytest.raises(KeyError):
+        lint_file("determinism_clean.py", select=["REP999"])

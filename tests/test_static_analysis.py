@@ -1,0 +1,36 @@
+"""Repo-wide static-analysis gate.
+
+This is the tier-1 enforcement point: the whole of ``src/repro``,
+``tests`` and ``benchmarks`` must stay clean under the
+:mod:`repro.devtools` rules (with the per-directory relaxed profiles).
+If this test fails, run ``python -m repro lint`` for the same report
+and either fix the finding or, when the code is intentionally exempt,
+add a ``# repro: noqa REPxxx`` pragma with a justifying comment.
+"""
+
+from pathlib import Path
+
+from repro.devtools import lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_whole_tree_is_lint_clean():
+    roots = [
+        REPO_ROOT / "src" / "repro",
+        REPO_ROOT / "tests",
+        REPO_ROOT / "benchmarks",
+    ]
+    report = lint(paths=roots)
+    assert report.files_checked > 100  # the gate really saw the tree
+    formatted = "\n".join(v.format() for v in report.violations)
+    assert report.ok, (
+        "static-analysis violations (run `python -m repro lint`):\n"
+        + formatted
+    )
+
+
+def test_examples_are_lint_clean():
+    report = lint(paths=[REPO_ROOT / "examples"])
+    formatted = "\n".join(v.format() for v in report.violations)
+    assert report.ok, "examples/ violations:\n" + formatted
