@@ -5,13 +5,18 @@ codes (same device, same input, both beams — the paper's methodology),
 then prints the measured high-energy/thermal cross-section ratios with
 their 95 % confidence intervals next to the published values.
 
+The campaign runs under the supervised runtime (crash isolation,
+checkpointable state); set ``REPRO_SMOKE=1`` for a quick CI-sized
+pass with shorter exposures.
+
 Run:  python examples/beam_campaign.py
 """
 
+import os
+
 from repro.analysis import format_table
-from repro.beam import IrradiationCampaign, chipir, rotax
-from repro.devices import DEVICES
 from repro.faults.models import Outcome
+from repro.runtime.supervisor import CampaignRunner, figure4_plan
 
 #: Published Figure 4 ratios for the comparison column.
 PAPER_RATIOS = {
@@ -27,19 +32,20 @@ PAPER_RATIOS = {
 
 
 def main() -> None:
-    campaign = IrradiationCampaign(seed=2020)
-    chip, rot = chipir(), rotax()
-
-    for device in DEVICES.values():
-        for code in device.supported_codes:
-            # ChipIR can host several boards; ROTAX one at a time and
-            # thermal statistics need longer exposures.
-            campaign.expose_counting(chip, device, code, 1800.0)
-            campaign.expose_counting(rot, device, code, 4 * 3600.0)
+    # ChipIR can host several boards; ROTAX one at a time and
+    # thermal statistics need longer exposures.
+    smoke = bool(os.environ.get("REPRO_SMOKE"))
+    scale = 0.25 if smoke else 1.0
+    plan = figure4_plan(
+        chipir_duration_s=1800.0 * scale,
+        rotax_duration_s=4.0 * 3600.0 * scale,
+    )
+    outcome = CampaignRunner(plan, seed=2020).run()
+    campaign_result = outcome.result
 
     rows = []
     for name, (paper_sdc, paper_due) in PAPER_RATIOS.items():
-        sdc = campaign.result.beam_ratio(name, Outcome.SDC)
+        sdc = campaign_result.beam_ratio(name, Outcome.SDC)
         row = [
             name,
             f"{sdc.ratio:.2f} [{sdc.lower:.2f}, {sdc.upper:.2f}]",
@@ -48,7 +54,7 @@ def main() -> None:
         if paper_due is None:
             row += ["(DUEs never observed)", "-"]
         else:
-            due = campaign.result.beam_ratio(name, Outcome.DUE)
+            due = campaign_result.beam_ratio(name, Outcome.DUE)
             row += [
                 f"{due.ratio:.2f} [{due.lower:.2f}, {due.upper:.2f}]",
                 f"{paper_due:.2f}",

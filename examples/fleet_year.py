@@ -6,8 +6,14 @@ and reports the burstiness the FIT tables hide: how much of the annual
 error budget arrives on rainy days, and what the worst week looks
 like.
 
+The simulation runs under the supervised runtime (deadline-aware,
+checkpointable between days); set ``REPRO_SMOKE=1`` for a quick
+CI-sized pass over a 15-week season instead of the full year.
+
 Run:  python examples/fleet_year.py
 """
+
+import os
 
 import numpy as np
 
@@ -16,24 +22,29 @@ from repro.devices import get_device
 from repro.environment import LOS_ALAMOS, datacenter_scenario
 from repro.environment.modifiers import WeatherCondition
 from repro.faults.models import Outcome
+from repro.runtime.supervisor import FleetRunner
 
 
 def main() -> None:
     device = get_device("K20")
     room = datacenter_scenario(LOS_ALAMOS)
     fleet = 4000
+    n_days = 105 if os.environ.get("REPRO_SMOKE") else 365
 
     sim = FleetSimulator(
         device, room, n_devices=fleet,
         rain_probability=0.18, rain_persistence=0.55, seed=42,
     )
-    year = sim.run_year(years_since_solar_minimum=2.0)
+    outcome = FleetRunner(sim).run(
+        n_days=n_days, years_since_solar_minimum=2.0
+    )
+    year = outcome.result
 
     sdc = year.total(Outcome.SDC)
     due = year.total(Outcome.DUE)
     print(
-        f"{fleet} x {device.name} at {room.label}, one simulated"
-        " year:"
+        f"{fleet} x {device.name} at {room.label},"
+        f" {outcome.days_completed} simulated days:"
     )
     print(f"  SDCs: {sdc}   DUEs: {due}")
     print(
@@ -43,7 +54,8 @@ def main() -> None:
     )
 
     daily = np.array([d.sdc_count + d.due_count for d in year.days])
-    weekly = daily[: 52 * 7].reshape(52, 7).sum(axis=1)
+    n_weeks = len(daily) // 7
+    weekly = daily[: n_weeks * 7].reshape(n_weeks, 7).sum(axis=1)
     worst = int(np.argmax(weekly))
     print(
         f"  median week: {np.median(weekly):.0f} errors;"

@@ -12,7 +12,10 @@ Two fidelity levels:
   sensitivity.
 
 Both honour the paper's methodology: same device, same code, same
-input vector at both beamlines; only the beam changes.
+input vector at both beamlines; only the beam changes.  And both
+honour its *protocol*: a crashed execution is logged and the campaign
+continues (reboot-and-continue), with every harness intervention
+recorded — see :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
@@ -27,6 +30,13 @@ from repro.devices.model import Device
 from repro.faults.injector import random_injection_for
 from repro.faults.models import DueError, FaultKind, Outcome
 from repro.faults.sampler import sample_event_count
+from repro.runtime.errors import (
+    ConfigurationError,
+    ReproError,
+    require_position,
+    require_positive_duration_s,
+)
+from repro.runtime.events import EventKind, EventLog
 from repro.workloads.base import Workload
 
 
@@ -35,15 +45,56 @@ class IrradiationCampaign:
 
     Args:
         seed: campaign-level RNG seed; every exposure derives its own
-            stream, so campaigns are reproducible end to end.
+            stream from a ``SeedSequence`` spawn, so campaigns are
+            reproducible end to end — and resumable, because the
+            spawn position is the campaign's only RNG state (see
+            :attr:`spawn_position`).
+        event_log: optional harness-event sink; isolated workload
+            crashes are recorded there (the supervised runtime shares
+            one log across the whole run).
     """
 
-    def __init__(self, seed: int = 2020) -> None:
+    def __init__(
+        self,
+        seed: int = 2020,
+        event_log: Optional[EventLog] = None,
+    ) -> None:
         self._root = np.random.SeedSequence(seed)
+        self.seed = seed
+        self.event_log = event_log
         self.result = CampaignResult()
 
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(self._root.spawn(1)[0])
+
+    # ------------------------------------------------------------------
+    # Checkpointable RNG state
+    # ------------------------------------------------------------------
+
+    @property
+    def spawn_position(self) -> int:
+        """Number of exposure RNG streams spawned so far."""
+        return self._root.n_children_spawned
+
+    def restore_spawn_position(self, position: int) -> None:
+        """Fast-forward the seed sequence to a checkpointed position.
+
+        Raises:
+            ConfigurationError: if ``position`` is negative or behind
+                the streams already spawned (RNG state cannot rewind).
+        """
+        if position < 0:
+            raise ConfigurationError(
+                f"spawn position must be >= 0, got {position}"
+            )
+        current = self._root.n_children_spawned
+        if position < current:
+            raise ConfigurationError(
+                f"cannot rewind spawn position to {position}:"
+                f" {current} streams already spawned"
+            )
+        if position > current:
+            self._root.spawn(position - current)
 
     # ------------------------------------------------------------------
 
@@ -63,15 +114,17 @@ class IrradiationCampaign:
             code: workload name (must be supported by the device).
             duration_s: exposure time.
             position: board position (ChipIR derating).
+
+        Raises:
+            ConfigurationError: on a non-positive duration or an
+                invalid board position.
         """
-        if duration_s <= 0.0:
-            raise ValueError(
-                f"duration must be positive, got {duration_s}"
-            )
-        rng = self._rng()
+        duration_s = require_positive_duration_s(duration_s)
+        position = require_position(position)
         fluence = beamline.fluence(duration_s, position)
         sigma_sdc = device.sigma(beamline.kind, Outcome.SDC, code)
         sigma_due = device.sigma(beamline.kind, Outcome.DUE, code)
+        rng = self._rng()
         exposure = ExposureResult(
             device_name=device.name,
             code=code,
@@ -96,6 +149,12 @@ class IrradiationCampaign:
     ) -> ExposureResult:
         """Event-level exposure: every data strike runs the workload.
 
+        A workload execution that dies with anything other than a
+        :class:`~repro.faults.models.DueError` is *isolated*: counted
+        as a DUE-like harness event (mechanism ``harness crash``) and
+        the exposure continues — the paper's reboot-and-continue
+        protocol applied to the harness itself.
+
         Args:
             beamline: which beam.
             device: the DUT.
@@ -105,13 +164,18 @@ class IrradiationCampaign:
             position: board position.
             max_events: optional cap on simulated strikes (runtime
                 guard for long exposures).
+
+        Raises:
+            ConfigurationError: on a non-positive duration, invalid
+                position, negative ``max_events``, or a workload the
+                device was never tested with.
         """
-        if duration_s <= 0.0:
-            raise ValueError(
-                f"duration must be positive, got {duration_s}"
+        duration_s = require_positive_duration_s(duration_s)
+        position = require_position(position)
+        if max_events is not None and max_events < 0:
+            raise ConfigurationError(
+                f"max_events must be >= 0, got {max_events}"
             )
-        rng = self._rng()
-        fluence = beamline.fluence(duration_s, position)
         code_factor = 1.0
         if workload.name in device.code_factors:
             code_factor = float(device.code_factors[workload.name])
@@ -119,10 +183,12 @@ class IrradiationCampaign:
             device.supported_codes
             and workload.name not in device.supported_codes
         ):
-            raise ValueError(
+            raise ConfigurationError(
                 f"{device.name} was not tested with"
                 f" {workload.name!r}"
             )
+        rng = self._rng()
+        fluence = beamline.fluence(duration_s, position)
         sigma_data = device.data_sigma(beamline.kind) * code_factor
         sigma_control = (
             device.control_sigma(beamline.kind) * code_factor
@@ -132,10 +198,15 @@ class IrradiationCampaign:
         if max_events is not None:
             scale_total = n_data + n_control
             if scale_total > max_events and scale_total > 0:
+                # Floor both kept counts so their sum can never
+                # exceed the cap, then rescale the fluence by the
+                # fraction actually kept (not the requested fraction)
+                # to keep the cross-section estimator unbiased.
                 keep = max_events / scale_total
-                n_data = int(round(n_data * keep))
-                n_control = int(round(n_control * keep))
-                fluence *= keep
+                n_data = int(n_data * keep)
+                n_control = int(n_control * keep)
+                kept_total = n_data + n_control
+                fluence *= kept_total / scale_total
 
         exposure = ExposureResult(
             device_name=device.name,
@@ -150,6 +221,12 @@ class IrradiationCampaign:
                 output = workload.execute([injection])
             except DueError as due:
                 exposure.record(Outcome.DUE, due.mechanism)
+            except ReproError:
+                # Configuration/budget/transient errors are harness
+                # conditions the supervisor handles — not strikes.
+                raise
+            except Exception as exc:  # noqa: BLE001 — isolation point
+                self._isolate(exposure, workload, exc)
             else:
                 exposure.record(workload.classify(output))
         for _ in range(n_control):
@@ -158,3 +235,24 @@ class IrradiationCampaign:
             )
         self.result.add(exposure)
         return exposure
+
+    # ------------------------------------------------------------------
+
+    def _isolate(
+        self,
+        exposure: ExposureResult,
+        workload: Workload,
+        exc: Exception,
+    ) -> None:
+        """Record a crashed execution as a DUE-like harness event."""
+        mechanism = f"harness crash ({type(exc).__name__})"
+        exposure.record(Outcome.DUE, mechanism)
+        exposure.isolated_count += 1
+        if self.event_log is not None:
+            self.event_log.record(
+                EventKind.ISOLATION,
+                f"{exposure.device_name}/{workload.name}",
+                f"workload execution died with"
+                f" {type(exc).__name__}: {exc}; recorded as DUE and"
+                " continued",
+            )

@@ -16,8 +16,13 @@ from typing import Dict, List, Union
 from repro.beam.results import CampaignResult, ExposureResult
 from repro.faults.models import BeamKind
 
-#: Format version written into every logbook file.
-LOGBOOK_VERSION = 1
+#: Format version written into every logbook file.  Version 2 adds
+#: the robustness fields (``isolated``, ``degraded``); version-1
+#: files still load (the fields default to zero/False).
+LOGBOOK_VERSION = 2
+
+#: Versions :meth:`CampaignLogbook.from_dict` accepts.
+SUPPORTED_LOGBOOK_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -46,17 +51,7 @@ class CampaignLogbook:
             "notes": self.notes,
             "metadata": dict(self.metadata),
             "exposures": [
-                {
-                    "device": e.device_name,
-                    "code": e.code,
-                    "beam": e.beam.value,
-                    "fluence_per_cm2": e.fluence_per_cm2,
-                    "sdc": e.sdc_count,
-                    "due": e.due_count,
-                    "masked": e.masked_count,
-                    "due_mechanisms": dict(e.due_mechanisms),
-                }
-                for e in self.result.exposures
+                e.to_dict() for e in self.result.exposures
             ],
         }
 
@@ -68,27 +63,14 @@ class CampaignLogbook:
             ValueError: on a missing/unsupported format version.
         """
         version = data.get("version")
-        if version != LOGBOOK_VERSION:
+        if version not in SUPPORTED_LOGBOOK_VERSIONS:
             raise ValueError(
                 f"unsupported logbook version {version!r};"
-                f" expected {LOGBOOK_VERSION}"
+                f" expected one of {SUPPORTED_LOGBOOK_VERSIONS}"
             )
         result = CampaignResult()
         for raw in data.get("exposures", []):
-            result.add(
-                ExposureResult(
-                    device_name=raw["device"],
-                    code=raw["code"],
-                    beam=BeamKind(raw["beam"]),
-                    fluence_per_cm2=float(raw["fluence_per_cm2"]),
-                    sdc_count=int(raw["sdc"]),
-                    due_count=int(raw["due"]),
-                    masked_count=int(raw.get("masked", 0)),
-                    due_mechanisms=dict(
-                        raw.get("due_mechanisms", {})
-                    ),
-                )
-            )
+            result.add(ExposureResult.from_dict(raw))
         return cls(
             result=result,
             seed=int(data.get("seed", 0)),
@@ -150,4 +132,9 @@ def device_summary(logbook: CampaignLogbook) -> List[dict]:
     return rows
 
 
-__all__ = ["CampaignLogbook", "LOGBOOK_VERSION", "device_summary"]
+__all__ = [
+    "CampaignLogbook",
+    "LOGBOOK_VERSION",
+    "SUPPORTED_LOGBOOK_VERSIONS",
+    "device_summary",
+]

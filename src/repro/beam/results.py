@@ -53,6 +53,11 @@ class ExposureResult:
         fluence_per_cm2: delivered fluence.
         sdc_count / due_count / masked_count: observed outcomes.
         due_mechanisms: DUE mechanism histogram (event-level mode).
+        isolated_count: harness crashes isolated by the reboot-and-
+            continue protocol and counted as DUEs (never silent).
+        degraded: True when the supervised runtime downgraded this
+            exposure (event budget exhausted) — the counts are real
+            but came from a cheaper fidelity than requested.
     """
 
     device_name: str
@@ -63,6 +68,8 @@ class ExposureResult:
     due_count: int = 0
     masked_count: int = 0
     due_mechanisms: Dict[str, int] = field(default_factory=dict)
+    isolated_count: int = 0
+    degraded: bool = False
 
     def record(self, outcome: Outcome, mechanism: str = "") -> None:
         """Count one fault outcome."""
@@ -76,6 +83,40 @@ class ExposureResult:
                 )
         else:
             self.masked_count += 1
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready; logbooks and checkpoints)."""
+        return {
+            "device": self.device_name,
+            "code": self.code,
+            "beam": self.beam.value,
+            "fluence_per_cm2": self.fluence_per_cm2,
+            "sdc": self.sdc_count,
+            "due": self.due_count,
+            "masked": self.masked_count,
+            "due_mechanisms": dict(self.due_mechanisms),
+            "isolated": self.isolated_count,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExposureResult":
+        """Rebuild from :meth:`to_dict` output.
+
+        Robustness fields are optional so version-1 logbooks load.
+        """
+        return cls(
+            device_name=data["device"],
+            code=data["code"],
+            beam=BeamKind(data["beam"]),
+            fluence_per_cm2=float(data["fluence_per_cm2"]),
+            sdc_count=int(data["sdc"]),
+            due_count=int(data["due"]),
+            masked_count=int(data.get("masked", 0)),
+            due_mechanisms=dict(data.get("due_mechanisms", {})),
+            isolated_count=int(data.get("isolated", 0)),
+            degraded=bool(data.get("degraded", False)),
+        )
 
     def sdc_cross_section(self) -> CrossSectionEstimate:
         """SDC cross section with CI."""

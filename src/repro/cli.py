@@ -9,6 +9,8 @@ Examples::
     python -m repro water
     python -m repro shield --device K20
     python -m repro checkpoint --device K20 --site lanl --nodes 4000
+    python -m repro run --plan heterogeneous --checkpoint ck.json
+    python -m repro run --plan heterogeneous --checkpoint ck.json --resume
     python -m repro lint --statistics
 """
 
@@ -329,6 +331,66 @@ def cmd_avf(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Exit code for a supervised run stopped before plan completion.
+EXIT_INCOMPLETE = 3
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Supervised campaign with checkpoint/resume and budgets."""
+    from repro.beam.logbook import CampaignLogbook
+    from repro.runtime.budget import Budget
+    from repro.runtime.supervisor import (
+        PLAN_FACTORIES,
+        CampaignRunner,
+    )
+
+    plan = PLAN_FACTORIES[args.plan]()
+    budget = Budget(
+        wall_clock_s=args.deadline_s,
+        max_events=args.max_events,
+    )
+    runner = CampaignRunner(
+        plan,
+        seed=args.seed,
+        budget=budget,
+        checkpoint_path=args.checkpoint or None,
+        checkpoint_every=args.checkpoint_every,
+    )
+    outcome = runner.run(
+        resume=args.resume, max_steps=args.max_steps
+    )
+    status = "completed" if outcome.completed else "INCOMPLETE"
+    print(
+        f"plan {args.plan!r} {status}:"
+        f" {outcome.steps_completed}/{outcome.steps_total} steps,"
+        f" {outcome.events_used} simulated strikes,"
+        f" {outcome.isolation_count()} isolated,"
+        f" {outcome.degradation_count()} degraded"
+    )
+    for event in outcome.events:
+        print(f"  [{event.kind}] {event.label}: {event.message}")
+    if args.save:
+        CampaignLogbook(
+            result=outcome.result,
+            seed=args.seed,
+            notes=f"supervised {args.plan} plan via CLI",
+            metadata={"status": status},
+        ).save(args.save)
+        print(f"logbook written to {args.save}")
+    if args.report:
+        from pathlib import Path
+
+        Path(args.report).write_text(outcome.to_markdown())
+        print(f"report written to {args.report}")
+    if not outcome.completed and args.checkpoint:
+        print(
+            f"resume with: python -m repro run --plan {args.plan}"
+            f" --seed {args.seed} --checkpoint {args.checkpoint}"
+            " --resume"
+        )
+    return 0 if outcome.completed else EXIT_INCOMPLETE
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Static-analysis pass over the repo (see repro.devtools)."""
     from repro.devtools.cli import run_lint
@@ -415,6 +477,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--seed", type=int, default=2020)
     p.set_defaults(func=cmd_avf)
+
+    p = sub.add_parser(
+        "run",
+        help=(
+            "supervised campaign: checkpoint/resume, deadlines,"
+            " event budgets, crash isolation"
+        ),
+    )
+    p.add_argument(
+        "--plan", choices=("figure4", "heterogeneous"),
+        default="heterogeneous",
+        help="built-in exposure plan to execute",
+    )
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument(
+        "--checkpoint", default="",
+        help="JSON checkpoint path (enables resume)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="continue from the checkpoint instead of starting over",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="write a checkpoint after this many steps",
+    )
+    p.add_argument(
+        "--max-steps", type=int, default=None,
+        help="process at most this many steps, then stop",
+    )
+    p.add_argument(
+        "--max-events", type=int, default=None,
+        help="simulated-strike budget (degrades when exhausted)",
+    )
+    p.add_argument(
+        "--deadline-s", type=float, default=None,
+        help="wall-clock budget in seconds",
+    )
+    p.add_argument(
+        "--save", default="",
+        help="write a JSON campaign logbook to this path",
+    )
+    p.add_argument(
+        "--report", default="",
+        help="write the Markdown run report to this path",
+    )
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
         "lint",

@@ -16,6 +16,7 @@ from repro.core.fit import DeviceFitReport, FitCalculator
 from repro.devices.model import Device
 from repro.environment.scenario import FluxScenario
 from repro.faults.models import Outcome
+from repro.runtime.errors import require_non_empty
 
 #: Thermal share above which the assessment flags the device.
 THERMAL_SHARE_WARNING: float = 0.25
@@ -112,12 +113,10 @@ class RiskAssessment:
             code: optional specific workload.
 
         Raises:
-            ValueError: on an empty device or scenario list.
+            ConfigurationError: on an empty device or scenario list.
         """
-        if not devices or not scenarios:
-            raise ValueError(
-                "need at least one device and one scenario"
-            )
+        require_non_empty("devices", list(devices))
+        require_non_empty("scenarios", list(scenarios))
         report = AssessmentReport()
         for device in devices:
             for scenario in scenarios:

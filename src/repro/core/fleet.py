@@ -13,7 +13,7 @@ annual error budget arrives during storms.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -24,6 +24,11 @@ from repro.environment.modifiers import WeatherCondition
 from repro.environment.solar import solar_modulation_factor
 from repro.faults.models import Outcome
 from repro.physics.units import HOURS_PER_BILLION
+from repro.runtime.errors import (
+    ConfigurationError,
+    require_positive_int,
+    require_probability,
+)
 
 
 @dataclass(frozen=True)
@@ -43,6 +48,29 @@ class FleetDay:
     due_count: int
     expected_sdc: float
     expected_due: float
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready; fleet checkpoints)."""
+        return {
+            "day": self.day,
+            "weather": self.weather.value,
+            "sdc_count": self.sdc_count,
+            "due_count": self.due_count,
+            "expected_sdc": self.expected_sdc,
+            "expected_due": self.expected_due,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetDay":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            day=int(data["day"]),
+            weather=WeatherCondition(data["weather"]),
+            sdc_count=int(data["sdc_count"]),
+            due_count=int(data["due_count"]),
+            expected_sdc=float(data["expected_sdc"]),
+            expected_due=float(data["expected_due"]),
+        )
 
 
 @dataclass
@@ -110,20 +138,9 @@ class FleetSimulator:
         rain_persistence: float = 0.5,
         seed: int = 2020,
     ) -> None:
-        if n_devices <= 0:
-            raise ValueError(
-                f"fleet size must be positive, got {n_devices}"
-            )
-        if not 0.0 <= rain_probability < 1.0:
-            raise ValueError(
-                "rain probability must be in [0, 1),"
-                f" got {rain_probability}"
-            )
-        if not 0.0 <= rain_persistence < 1.0:
-            raise ValueError(
-                "rain persistence must be in [0, 1),"
-                f" got {rain_persistence}"
-            )
+        require_positive_int("fleet size (n_devices)", n_devices)
+        require_probability("rain_probability", rain_probability)
+        require_probability("rain_persistence", rain_persistence)
         self.device = device
         self.scenario = scenario.with_weather(
             WeatherCondition.SUNNY
@@ -131,8 +148,10 @@ class FleetSimulator:
         self.n_devices = n_devices
         self.rain_probability = rain_probability
         self.rain_persistence = rain_persistence
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.calculator = FitCalculator()
+        self._raining: Optional[bool] = None
 
     # ------------------------------------------------------------------
 
@@ -166,6 +185,81 @@ class FleetSimulator:
             )
         return tuple(out)
 
+    # ------------------------------------------------------------------
+    # Resumable stepping (the supervised runtime checkpoints between
+    # days; see repro.runtime.supervisor.FleetRunner)
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Draw the initial weather state; call before stepping."""
+        self._raining = bool(
+            self.rng.random() < self.rain_probability
+        )
+
+    def step_day(
+        self, day: int, years_since_solar_minimum: float = 0.0
+    ) -> FleetDay:
+        """Simulate one day and advance the weather chain.
+
+        Args:
+            day: day index from simulation start (non-negative).
+            years_since_solar_minimum: solar-cycle phase at day 0.
+
+        Raises:
+            ConfigurationError: if called before :meth:`start` or
+                with a negative day index.
+        """
+        if self._raining is None:
+            raise ConfigurationError(
+                "step_day() called before start(): the weather chain"
+                " has no initial state"
+            )
+        if day < 0:
+            raise ConfigurationError(
+                f"day index must be >= 0, got {day}"
+            )
+        weather = (
+            WeatherCondition.RAIN
+            if self._raining
+            else WeatherCondition.SUNNY
+        )
+        solar = solar_modulation_factor(
+            years_since_solar_minimum + day / 365.0
+        )
+        expected_sdc, expected_due = self._expected_daily(
+            weather, solar
+        )
+        record = FleetDay(
+            day=day,
+            weather=weather,
+            sdc_count=int(self.rng.poisson(expected_sdc)),
+            due_count=int(self.rng.poisson(expected_due)),
+            expected_sdc=expected_sdc,
+            expected_due=expected_due,
+        )
+        self._raining = self._transition(self._raining)
+        return record
+
+    def state_dict(self) -> dict:
+        """Checkpointable simulator state (RNG + weather chain).
+
+        Raises:
+            ConfigurationError: before :meth:`start` has been called.
+        """
+        if self._raining is None:
+            raise ConfigurationError(
+                "no state to checkpoint: call start() first"
+            )
+        return {
+            "rng_state": self.rng.bit_generator.state,
+            "raining": self._raining,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (byte-exact resume)."""
+        self.rng.bit_generator.state = state["rng_state"]
+        self._raining = bool(state["raining"])
+
     def run_year(
         self, years_since_solar_minimum: float = 0.0
     ) -> FleetYearResult:
@@ -175,30 +269,11 @@ class FleetSimulator:
             years_since_solar_minimum: solar-cycle phase at start.
         """
         result = FleetYearResult()
-        raining = self.rng.random() < self.rain_probability
+        self.start()
         for day in range(365):
-            weather = (
-                WeatherCondition.RAIN
-                if raining
-                else WeatherCondition.SUNNY
-            )
-            solar = solar_modulation_factor(
-                years_since_solar_minimum + day / 365.0
-            )
-            expected_sdc, expected_due = self._expected_daily(
-                weather, solar
-            )
             result.days.append(
-                FleetDay(
-                    day=day,
-                    weather=weather,
-                    sdc_count=int(self.rng.poisson(expected_sdc)),
-                    due_count=int(self.rng.poisson(expected_due)),
-                    expected_sdc=expected_sdc,
-                    expected_due=expected_due,
-                )
+                self.step_day(day, years_since_solar_minimum)
             )
-            raining = self._transition(raining)
         return result
 
 

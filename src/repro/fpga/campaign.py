@@ -15,6 +15,10 @@ import numpy as np
 from repro.analysis.poisson import cross_section
 from repro.faults.sampler import sample_event_count
 from repro.fpga.configuration import ConfigurationMemory, FpgaDesign
+from repro.runtime.errors import (
+    ConfigurationError,
+    require_positive_duration_s,
+)
 
 
 @dataclass(frozen=True)
@@ -65,7 +69,7 @@ class FpgaCampaign:
         seed: int = 2020,
     ) -> None:
         if sigma_config_bit_cm2 < 0.0:
-            raise ValueError(
+            raise ConfigurationError(
                 "cross section must be >= 0,"
                 f" got {sigma_config_bit_cm2}"
             )
@@ -85,13 +89,21 @@ class FpgaCampaign:
             flux_per_cm2_s: beam flux at the device.
             duration_s: exposure time.
             check_interval_s: output-check cadence.
+
+        Raises:
+            ConfigurationError: on a negative flux or non-positive
+                durations.
         """
         if flux_per_cm2_s < 0.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"flux must be >= 0, got {flux_per_cm2_s}"
             )
-        if duration_s <= 0.0 or check_interval_s <= 0.0:
-            raise ValueError("durations must be positive")
+        duration_s = require_positive_duration_s(duration_s)
+        if check_interval_s <= 0.0:
+            raise ConfigurationError(
+                "check interval must be positive,"
+                f" got {check_interval_s}"
+            )
         memory = ConfigurationMemory(self.design, rng=self.rng)
         # Device-level upset cross section scales with the design's
         # configuration footprint.

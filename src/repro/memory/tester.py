@@ -28,6 +28,10 @@ from repro.memory.errors import (
     FlipDirection,
 )
 from repro.memory.module import DdrModule
+from repro.runtime.errors import (
+    ConfigurationError,
+    require_positive_duration_s,
+)
 
 
 @dataclass(frozen=True)
@@ -183,17 +187,18 @@ class CorrectLoopTester:
 
         Returns:
             A :class:`DdrTestResult` with classified errors.
+
+        Raises:
+            ConfigurationError: on a negative flux, a non-positive
+                duration, or fewer than two read passes.
         """
         if flux_per_cm2_s < 0.0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"flux must be >= 0, got {flux_per_cm2_s}"
             )
-        if duration_s <= 0.0:
-            raise ValueError(
-                f"duration must be positive, got {duration_s}"
-            )
+        duration_s = require_positive_duration_s(duration_s)
         if n_passes < 2:
-            raise ValueError(
+            raise ConfigurationError(
                 f"need >= 2 read passes, got {n_passes}"
             )
         fluence = flux_per_cm2_s * duration_s

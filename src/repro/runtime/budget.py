@@ -1,0 +1,178 @@
+"""Budgets, deadlines, and the deterministic retry policy.
+
+Long campaigns run against two budgets: a **wall-clock deadline**
+(beam time is allocated by the hour) and an **event budget** (each
+simulated strike costs a workload execution).  The tracker answers
+"may I start this, and how much may it use" questions; the supervised
+runtime turns the answers into graceful degradation instead of a
+crash.
+
+The clock is injectable so tests — and deterministic resume — never
+depend on when they run; the default is ``time.monotonic`` which
+measures elapsed time only (no wall-clock reads).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.runtime.errors import (
+    BudgetExceededError,
+    ConfigurationError,
+    DeadlineExceededError,
+)
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits for one supervised run.
+
+    Attributes:
+        wall_clock_s: elapsed-time deadline (``None`` = unlimited).
+        max_events: total simulated-strike budget across all
+            exposures (``None`` = unlimited).
+    """
+
+    wall_clock_s: Optional[float] = None
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.wall_clock_s is not None and self.wall_clock_s <= 0.0:
+            raise ConfigurationError(
+                "wall-clock budget must be positive,"
+                f" got {self.wall_clock_s}"
+            )
+        if self.max_events is not None and self.max_events < 0:
+            raise ConfigurationError(
+                f"event budget must be >= 0, got {self.max_events}"
+            )
+
+
+class BudgetTracker:
+    """Tracks consumption against a :class:`Budget`.
+
+    Args:
+        budget: the limits (an all-``None`` budget never trips).
+        clock: zero-argument monotonic-seconds callable; injectable
+            for deterministic tests.
+        events_used: starting event consumption (checkpoint resume).
+    """
+
+    def __init__(
+        self,
+        budget: Optional[Budget] = None,
+        clock: Optional[Callable[[], float]] = None,
+        events_used: int = 0,
+    ) -> None:
+        if events_used < 0:
+            raise ConfigurationError(
+                f"events_used must be >= 0, got {events_used}"
+            )
+        self.budget = budget or Budget()
+        self._clock = clock or time.monotonic
+        self._start = self._clock()
+        self.events_used = int(events_used)
+
+    # -- wall clock ----------------------------------------------------
+
+    def elapsed_s(self) -> float:
+        """Elapsed seconds since the tracker was created."""
+        return self._clock() - self._start
+
+    def deadline_exceeded(self) -> bool:
+        """True once the wall-clock budget has run out."""
+        limit_s = self.budget.wall_clock_s
+        return limit_s is not None and self.elapsed_s() >= limit_s
+
+    def check_deadline(self, label: str = "run") -> None:
+        """Raise if the deadline has passed.
+
+        Raises:
+            DeadlineExceededError: when past the wall-clock budget.
+        """
+        if self.deadline_exceeded():
+            raise DeadlineExceededError(
+                f"{label}: wall-clock budget of"
+                f" {self.budget.wall_clock_s:.1f} s exhausted after"
+                f" {self.elapsed_s():.1f} s"
+            )
+
+    # -- event budget --------------------------------------------------
+
+    def events_remaining(self) -> Optional[int]:
+        """Events left in the budget (``None`` = unlimited)."""
+        if self.budget.max_events is None:
+            return None
+        return max(self.budget.max_events - self.events_used, 0)
+
+    def event_budget_exhausted(self) -> bool:
+        """True once every budgeted event has been spent."""
+        remaining = self.events_remaining()
+        return remaining is not None and remaining <= 0
+
+    def consume_events(self, n_events: int) -> None:
+        """Record ``n_events`` simulated strikes as spent.
+
+        Overspend is recorded (the exposure that spent it already
+        happened) — the *next* request sees an exhausted budget.
+        """
+        if n_events < 0:
+            raise ConfigurationError(
+                f"n_events must be >= 0, got {n_events}"
+            )
+        self.events_used += int(n_events)
+
+    def require_events(self, n_events: int, label: str = "run") -> None:
+        """Raise unless ``n_events`` fit in the remaining budget.
+
+        Raises:
+            BudgetExceededError: when the budget cannot cover it.
+        """
+        remaining = self.events_remaining()
+        if remaining is not None and n_events > remaining:
+            raise BudgetExceededError(
+                f"{label}: event budget exhausted"
+                f" ({self.events_used} used of"
+                f" {self.budget.max_events}; {n_events} requested)"
+            )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry-with-backoff for transient harness faults.
+
+    Attributes:
+        max_attempts: total tries, including the first (>= 1).
+        base_delay_s: backoff before the first retry.
+        multiplier: geometric growth factor between retries.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0.0:
+            raise ConfigurationError(
+                f"base_delay_s must be >= 0, got {self.base_delay_s}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delays_s(self) -> Tuple[float, ...]:
+        """Backoff before each retry (``max_attempts - 1`` entries)."""
+        return tuple(
+            self.base_delay_s * self.multiplier ** i
+            for i in range(self.max_attempts - 1)
+        )
+
+
+__all__ = ["Budget", "BudgetTracker", "RetryPolicy"]

@@ -1,0 +1,148 @@
+"""Typed exception hierarchy and argument validators.
+
+Library code raises these instead of bare built-ins so callers (and
+the supervised runtime) can distinguish *configuration* mistakes
+(fail fast, never retry) from *budget* exhaustion (stop gracefully,
+flag the result) from *checkpoint* trouble (retry, then surface) from
+*transient harness* faults (retry with backoff, then isolate).
+
+Every class also subclasses the built-in it historically replaced
+(``ValueError`` / ``RuntimeError``), so ``except ValueError`` call
+sites and existing tests keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ReproError(Exception):
+    """Base class for every error this library raises on purpose."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A caller-supplied argument or configuration is invalid.
+
+    Never retried: the same call will fail the same way.
+    """
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """A wall-clock or event budget was exhausted mid-run."""
+
+
+class DeadlineExceededError(BudgetExceededError):
+    """The wall-clock deadline passed before the work completed."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be written, read, or parsed."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint does not belong to the run trying to resume it."""
+
+
+class TransientHarnessError(ReproError, RuntimeError):
+    """A retryable harness fault (the beam-room power blip).
+
+    The supervised runtime retries these with deterministic backoff;
+    anything still failing after the last attempt is isolated.
+    """
+
+
+# ----------------------------------------------------------------------
+# Shared validators — one vocabulary of error messages everywhere.
+# ----------------------------------------------------------------------
+
+
+def require_positive_duration_s(duration_s: float) -> float:
+    """Validate an exposure/simulation duration in seconds.
+
+    Raises:
+        ConfigurationError: if ``duration_s`` is not a positive number.
+    """
+    if not isinstance(duration_s, (int, float)) or isinstance(
+        duration_s, bool
+    ):
+        raise ConfigurationError(
+            f"duration_s must be a number, got {type(duration_s).__name__}"
+        )
+    if duration_s <= 0.0:
+        raise ConfigurationError(
+            f"duration must be positive, got {duration_s};"
+            " pass the exposure length in seconds"
+        )
+    return float(duration_s)
+
+
+def require_position(position: int) -> int:
+    """Validate a board position (non-negative integer).
+
+    Raises:
+        ConfigurationError: if ``position`` is not an int ``>= 0``.
+    """
+    if isinstance(position, bool) or not isinstance(position, int):
+        raise ConfigurationError(
+            f"position must be an integer board index,"
+            f" got {type(position).__name__}"
+        )
+    if position < 0:
+        raise ConfigurationError(
+            f"position must be >= 0, got {position};"
+            " board 0 is closest to the beam exit"
+        )
+    return position
+
+
+def require_positive_int(name: str, value: int) -> int:
+    """Validate a strictly positive integer argument."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"{name} must be an integer, got {type(value).__name__}"
+        )
+    if value <= 0:
+        raise ConfigurationError(
+            f"{name} must be positive, got {value}"
+        )
+    return value
+
+
+def require_probability(name: str, value: float) -> float:
+    """Validate a probability in ``[0, 1)``."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(
+            f"{name} must be a number, got {type(value).__name__}"
+        )
+    if not 0.0 <= value < 1.0:
+        raise ConfigurationError(
+            f"{name} must be in [0, 1), got {value}"
+        )
+    return float(value)
+
+
+def require_non_empty(name: str, value: Sequence[T]) -> Sequence[T]:
+    """Validate that a sequence argument has at least one element."""
+    if not value:
+        raise ConfigurationError(
+            f"{name} must not be empty: pass at least one entry"
+        )
+    return value
+
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "BudgetExceededError",
+    "DeadlineExceededError",
+    "CheckpointError",
+    "CheckpointMismatchError",
+    "TransientHarnessError",
+    "require_positive_duration_s",
+    "require_position",
+    "require_positive_int",
+    "require_probability",
+    "require_non_empty",
+]

@@ -5,6 +5,8 @@ import pytest
 from repro.beam import IrradiationCampaign, chipir, rotax
 from repro.devices import get_device
 from repro.faults.models import BeamKind, Outcome
+from repro.runtime.errors import ConfigurationError
+from repro.runtime.events import EventKind, EventLog
 from repro.workloads import create_workload
 
 
@@ -124,3 +126,133 @@ class TestSimulatedMode:
             BeamKind.HIGH_ENERGY, Outcome.SDC, "HotSpot"
         )
         assert sigma_meas == pytest.approx(sigma_pub, rel=0.6)
+
+    def test_max_events_never_exceeded(self):
+        # Regression: int(round(n * keep)) on both halves could sum
+        # past the cap; flooring both makes overshoot impossible.
+        dev = get_device("K20")
+        workload = create_workload("MxM", n=16, block=8)
+        for seed in range(12):
+            campaign = IrradiationCampaign(seed=seed)
+            capped = campaign.expose_simulated(
+                chipir(), dev, workload, 36000.0, max_events=50
+            )
+            total = (
+                capped.sdc_count
+                + capped.due_count
+                + capped.masked_count
+            )
+            assert total <= 50, f"cap overrun with seed {seed}"
+
+    def test_max_events_rescales_fluence_by_kept_fraction(self):
+        campaign = IrradiationCampaign(seed=3)
+        dev = get_device("K20")
+        workload = create_workload("MxM", n=16, block=8)
+        capped = campaign.expose_simulated(
+            chipir(), dev, workload, 36000.0, max_events=50
+        )
+        total = (
+            capped.sdc_count
+            + capped.due_count
+            + capped.masked_count
+        )
+        full_fluence = chipir().fluence(36000.0)
+        # Fluence scaled by the *kept* fraction keeps the estimator
+        # sigma = events / fluence unbiased after the floor.
+        campaign2 = IrradiationCampaign(seed=3)
+        uncapped = campaign2.expose_simulated(
+            chipir(), dev, workload, 36000.0
+        )
+        raw_total = (
+            uncapped.sdc_count
+            + uncapped.due_count
+            + uncapped.masked_count
+        )
+        assert capped.fluence_per_cm2 == pytest.approx(
+            full_fluence * total / raw_total
+        )
+
+
+class TestValidation:
+    def test_typed_configuration_errors(self):
+        campaign = IrradiationCampaign(seed=0)
+        dev = get_device("K20")
+        with pytest.raises(ConfigurationError):
+            campaign.expose_counting(chipir(), dev, "MxM", -5.0)
+        with pytest.raises(ConfigurationError):
+            campaign.expose_counting(
+                chipir(), dev, "MxM", 60.0, position=-1
+            )
+        with pytest.raises(ConfigurationError):
+            campaign.expose_counting(
+                chipir(), dev, "MxM", 60.0, position=True
+            )
+        workload = create_workload("MxM", n=16, block=8)
+        with pytest.raises(ConfigurationError):
+            campaign.expose_simulated(
+                chipir(), dev, workload, 60.0, max_events=-1
+            )
+
+    def test_error_paths_consume_no_rng_spawn(self):
+        # Validation precedes the spawn, so a failed call cannot
+        # desynchronize a checkpointed campaign.
+        campaign = IrradiationCampaign(seed=0)
+        dev = get_device("K20")
+        with pytest.raises(ConfigurationError):
+            campaign.expose_counting(chipir(), dev, "MxM", -5.0)
+        assert campaign.spawn_position == 0
+
+    def test_restore_spawn_position_rejects_rewind(self):
+        campaign = IrradiationCampaign(seed=0)
+        campaign.expose_counting(
+            chipir(), get_device("K20"), "MxM", 60.0
+        )
+        with pytest.raises(ConfigurationError):
+            campaign.restore_spawn_position(0)
+        with pytest.raises(ConfigurationError):
+            campaign.restore_spawn_position(-1)
+
+
+class TestIsolation:
+    def test_crashing_execution_becomes_due_like_event(self):
+        log = EventLog()
+        campaign = IrradiationCampaign(seed=2, event_log=log)
+        dev = get_device("K20")
+        workload = create_workload("MxM", n=16, block=8)
+
+        def crash(_injections):
+            raise RuntimeError("harness wedged")
+
+        workload.execute = crash
+        exposure = campaign.expose_simulated(
+            chipir(), dev, workload, 3600.0, max_events=30
+        )
+        assert exposure.isolated_count > 0
+        assert exposure.due_count >= exposure.isolated_count
+        assert any(
+            "harness crash" in m for m in exposure.due_mechanisms
+        )
+        assert log.count(EventKind.ISOLATION) == (
+            exposure.isolated_count
+        )
+
+    def test_exposure_continues_past_crashes(self):
+        # Crashes on some strikes must not stop the others.
+        campaign = IrradiationCampaign(seed=2)
+        dev = get_device("K20")
+        workload = create_workload("MxM", n=16, block=8)
+        real_execute = type(workload).execute
+        calls = []
+
+        def flaky(injections):
+            calls.append(1)
+            if len(calls) % 3 == 0:
+                raise RuntimeError("sporadic")
+            return real_execute(workload, injections)
+
+        workload.execute = flaky
+        exposure = campaign.expose_simulated(
+            chipir(), dev, workload, 3600.0, max_events=30
+        )
+        assert exposure.isolated_count > 0
+        assert exposure.masked_count + exposure.sdc_count > 0

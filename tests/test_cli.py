@@ -130,3 +130,46 @@ class TestCheckpoint:
         out = capsys.readouterr().out
         assert "checkpoint every" in out
         assert "thunderstorm" in out
+
+
+class TestRun:
+    def test_supervised_plan_completes(self, capsys, tmp_path):
+        assert main(
+            [
+                "run", "--plan", "heterogeneous", "--seed", "4",
+                "--checkpoint", str(tmp_path / "ck.json"),
+                "--report", str(tmp_path / "report.md"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out
+        report = (tmp_path / "report.md").read_text()
+        assert "| isolated | degraded |" in report
+
+    def test_interrupted_run_exits_3_then_resumes(
+        self, capsys, tmp_path
+    ):
+        args = [
+            "run", "--plan", "heterogeneous", "--seed", "4",
+            "--checkpoint", str(tmp_path / "ck.json"),
+        ]
+        assert main(args + ["--max-steps", "1"]) == 3
+        out = capsys.readouterr().out
+        assert "INCOMPLETE" in out
+        assert "--resume" in out  # tells the user how to continue
+
+        assert main(args + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+
+    def test_event_budget_degrades_not_fails(self, capsys, tmp_path):
+        assert main(
+            [
+                "run", "--plan", "heterogeneous", "--seed", "4",
+                "--max-events", "1",
+                "--save", str(tmp_path / "log.json"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[degradation]" in out
+        assert (tmp_path / "log.json").exists()

@@ -1,0 +1,128 @@
+"""Checkpoint snapshots: round-trips, digests, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.beam import IrradiationCampaign, chipir
+from repro.devices import get_device
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    CampaignCheckpoint,
+    FleetCheckpoint,
+    plan_digest,
+)
+from repro.runtime.errors import (
+    CheckpointError,
+    CheckpointMismatchError,
+)
+
+
+def _campaign_snapshot():
+    campaign = IrradiationCampaign(seed=3)
+    campaign.expose_counting(
+        chipir(), get_device("K20"), "MxM", 1800.0
+    )
+    return CampaignCheckpoint(
+        seed=3,
+        digest=plan_digest([{"a": 1}]),
+        next_step=1,
+        spawn_position=campaign.spawn_position,
+        events_used=5,
+        exposures=[e.to_dict() for e in campaign.result.exposures],
+        events=[],
+    )
+
+
+class TestPlanDigest:
+    def test_stable_under_key_order(self):
+        assert plan_digest([{"a": 1, "b": 2}]) == plan_digest(
+            [{"b": 2, "a": 1}]
+        )
+
+    def test_distinguishes_plans(self):
+        assert plan_digest([{"a": 1}]) != plan_digest([{"a": 2}])
+
+
+class TestCampaignCheckpoint:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        snapshot = _campaign_snapshot()
+        snapshot.save(path)
+        loaded = CampaignCheckpoint.load(path)
+        assert loaded == snapshot
+
+    def test_restore_result_rebuilds_exposures(self):
+        snapshot = _campaign_snapshot()
+        result = snapshot.restore_result()
+        assert len(result.exposures) == 1
+        assert result.exposures[0].device_name == "K20"
+
+    def test_digest_mismatch_refused(self):
+        snapshot = _campaign_snapshot()
+        with pytest.raises(CheckpointMismatchError):
+            snapshot.require_digest(plan_digest([{"other": 1}]))
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{not json")
+        with pytest.raises(CheckpointError):
+            CampaignCheckpoint.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CampaignCheckpoint.load(tmp_path / "absent.json")
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        data = _campaign_snapshot().to_dict()
+        data["version"] = CHECKPOINT_VERSION + 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError):
+            CampaignCheckpoint.load(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        data = _campaign_snapshot().to_dict()
+        data["kind"] = "fleet"
+        path.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError):
+            CampaignCheckpoint.load(path)
+
+    def test_atomic_write_leaves_no_tmp_file(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _campaign_snapshot().save(path)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestFleetCheckpoint:
+    def test_round_trip(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(9)
+        snapshot = FleetCheckpoint(
+            seed=9,
+            digest=plan_digest([{"fleet": 1}]),
+            next_day=30,
+            rng_state=rng.bit_generator.state,
+            raining=True,
+            days=[{"day": 0}],
+            events=[],
+        )
+        path = tmp_path / "fleet.json"
+        snapshot.save(path)
+        loaded = FleetCheckpoint.load(path)
+        assert loaded.next_day == 30
+        assert loaded.raining is True
+        # The RNG state dict survives JSON exactly.
+        restored = np.random.default_rng(0)
+        restored.bit_generator.state = loaded.rng_state
+        reference = np.random.default_rng(9)
+        assert restored.random() == reference.random()
+
+    def test_campaign_file_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _campaign_snapshot().save(path)
+        with pytest.raises(CheckpointError):
+            FleetCheckpoint.load(path)

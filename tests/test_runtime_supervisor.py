@@ -1,0 +1,345 @@
+"""Supervised campaign execution: isolation, budgets, resume."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.budget import Budget, RetryPolicy
+from repro.runtime.errors import (
+    CheckpointMismatchError,
+    ConfigurationError,
+    TransientHarnessError,
+)
+from repro.runtime.events import EventKind
+from repro.runtime.supervisor import (
+    CampaignRunner,
+    ExposureStep,
+    FleetRunner,
+    Supervisor,
+    figure4_plan,
+    heterogeneous_plan,
+)
+from repro.workloads import create_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _plan():
+    return heterogeneous_plan(
+        duration_s=600.0, max_events_per_step=10
+    )
+
+
+class TestExposureStep:
+    def test_round_trip(self):
+        step = _plan()[0]
+        assert ExposureStep.from_dict(step.to_dict()) == step
+
+    def test_rejects_unknown_mode_and_beamline(self):
+        with pytest.raises(ConfigurationError):
+            ExposureStep("teleport", "chipir", "K20", "MxM", 60.0)
+        with pytest.raises(ConfigurationError):
+            ExposureStep("counting", "lansce", "K20", "MxM", 60.0)
+
+
+class TestSupervisorCall:
+    def test_retries_transient_faults_with_backoff(self):
+        slept = []
+        supervisor = Supervisor(
+            retry=RetryPolicy(
+                max_attempts=3, base_delay_s=0.1, multiplier=2.0
+            ),
+            sleep=slept.append,
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientHarnessError("beam dropped")
+            return "ok"
+
+        assert supervisor.call("x", flaky) == "ok"
+        assert slept == [0.1, 0.2]  # deterministic backoff
+        assert supervisor.events.count(EventKind.RETRY) == 2
+
+    def test_isolates_persistent_crash(self):
+        supervisor = Supervisor(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0),
+            sleep=lambda _s: None,
+        )
+
+        def doomed():
+            raise RuntimeError("fried board")
+
+        assert supervisor.isolate("x", doomed) is None
+        assert supervisor.events.count(EventKind.ISOLATION) == 1
+
+
+class TestCampaignRunner:
+    def test_uninterrupted_run_completes(self):
+        outcome = CampaignRunner(_plan(), seed=7).run()
+        assert outcome.completed
+        assert outcome.steps_completed == outcome.steps_total == 4
+        assert len(outcome.result.exposures) == 4
+        assert outcome.events_used > 0
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignRunner([], seed=1)
+
+    def test_resume_without_checkpoint_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignRunner(_plan(), seed=1).run(resume=True)
+
+    def test_kill_and_resume_is_byte_identical(self, tmp_path):
+        path = tmp_path / "ck.json"
+        reference = CampaignRunner(_plan(), seed=7).run()
+
+        first = CampaignRunner(
+            _plan(), seed=7, checkpoint_path=path
+        ).run(max_steps=2)
+        assert not first.completed
+        assert first.steps_completed == 2
+
+        resumed = CampaignRunner(
+            _plan(), seed=7, checkpoint_path=path
+        ).run(resume=True)
+        assert resumed.completed
+        assert [e.to_dict() for e in resumed.result.exposures] == [
+            e.to_dict() for e in reference.result.exposures
+        ]
+        kinds = [e.kind for e in resumed.events]
+        assert EventKind.RESUME in kinds
+
+    def test_resume_refuses_different_plan(self, tmp_path):
+        path = tmp_path / "ck.json"
+        CampaignRunner(_plan(), seed=7, checkpoint_path=path).run(
+            max_steps=1
+        )
+        other = CampaignRunner(
+            figure4_plan(), seed=7, checkpoint_path=path
+        )
+        with pytest.raises(CheckpointMismatchError):
+            other.run(resume=True)
+
+    def test_resume_refuses_different_seed(self, tmp_path):
+        path = tmp_path / "ck.json"
+        CampaignRunner(_plan(), seed=7, checkpoint_path=path).run(
+            max_steps=1
+        )
+        with pytest.raises(CheckpointMismatchError):
+            CampaignRunner(
+                _plan(), seed=8, checkpoint_path=path
+            ).run(resume=True)
+
+    def test_step_crash_is_isolated_and_run_continues(self):
+        calls = []
+
+        def factory(name, **kwargs):
+            calls.append(name)
+            if len(calls) == 2:
+                raise RuntimeError("harness wedged")
+            return create_workload(name, **kwargs)
+
+        outcome = CampaignRunner(
+            _plan(),
+            seed=7,
+            retry=RetryPolicy(max_attempts=1),
+            workload_factory=factory,
+        ).run()
+        assert outcome.completed  # DUE-like event, not an abort
+        assert outcome.isolation_count() == 1
+        assert len(outcome.result.exposures) == 3  # step 2 skipped
+        assert "harness wedged" in outcome.to_markdown()
+
+    def test_transient_fault_retried_then_succeeds(self):
+        state = {"failed": False}
+        slept = []
+
+        def factory(name, **kwargs):
+            if not state["failed"]:
+                state["failed"] = True
+                raise TransientHarnessError("beam interlock")
+            return create_workload(name, **kwargs)
+
+        outcome = CampaignRunner(
+            _plan(),
+            seed=7,
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.25),
+            sleep=slept.append,
+            workload_factory=factory,
+        ).run()
+        assert outcome.completed
+        assert outcome.isolation_count() == 0
+        assert len(outcome.result.exposures) == 4
+        assert slept == [0.25]
+        retries = [
+            e for e in outcome.events if e.kind == EventKind.RETRY
+        ]
+        assert len(retries) == 1
+        assert "beam interlock" in retries[0].message
+
+    def test_exhausted_event_budget_degrades_to_counting(self):
+        outcome = CampaignRunner(
+            _plan(), seed=7, budget=Budget(max_events=0)
+        ).run()
+        assert outcome.completed
+        assert outcome.events_used == 0
+        assert all(e.degraded for e in outcome.result.exposures)
+        assert outcome.degradation_count() == 4
+        # Degraded exposures still carry counting statistics.
+        assert any(
+            e.sdc_count + e.due_count > 0
+            for e in outcome.result.exposures
+        )
+
+    def test_tight_event_budget_caps_and_flags(self):
+        outcome = CampaignRunner(
+            _plan(), seed=7, budget=Budget(max_events=8)
+        ).run()
+        assert outcome.completed
+        assert outcome.events_used <= 8 + 10  # one overspend max
+        assert outcome.degradation_count() >= 1
+        assert any(e.degraded for e in outcome.result.exposures)
+
+    def test_deadline_stops_at_step_boundary(self, tmp_path):
+        now = [0.0]
+
+        def clock():
+            now[0] += 10.0
+            return now[0]
+
+        outcome = CampaignRunner(
+            _plan(),
+            seed=7,
+            budget=Budget(wall_clock_s=25.0),
+            checkpoint_path=tmp_path / "ck.json",
+            clock=clock,
+        ).run()
+        assert not outcome.completed
+        assert 0 < outcome.steps_completed < 4
+        kinds = [e.kind for e in outcome.events]
+        assert EventKind.DEADLINE in kinds
+        # The interrupted run can still be resumed to completion.
+        finished = CampaignRunner(
+            _plan(), seed=7, checkpoint_path=tmp_path / "ck.json"
+        ).run(resume=True)
+        assert finished.completed
+
+    def test_markdown_report_shows_robustness_columns(self):
+        outcome = CampaignRunner(
+            _plan(), seed=7, budget=Budget(max_events=0)
+        ).run()
+        text = outcome.to_markdown()
+        assert "| isolated | degraded |" in text
+        assert "## Harness events" in text
+        assert "**degradation**" in text
+        assert "completed: 4/4" in text
+
+
+class TestCliResume:
+    def test_fresh_process_resume_matches_uninterrupted(
+        self, tmp_path
+    ):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        base = [
+            sys.executable, "-m", "repro", "run",
+            "--plan", "heterogeneous", "--seed", "5",
+            "--checkpoint", str(tmp_path / "ck.json"),
+        ]
+        first = subprocess.run(
+            base + ["--max-steps", "2"],
+            env=env, capture_output=True, text=True,
+        )
+        assert first.returncode == 3, first.stderr
+        assert "INCOMPLETE" in first.stdout
+
+        second = subprocess.run(
+            base
+            + ["--resume", "--save", str(tmp_path / "log.json")],
+            env=env, capture_output=True, text=True,
+        )
+        assert second.returncode == 0, second.stderr
+        assert "resumed from" in second.stdout
+
+        from repro.beam.logbook import CampaignLogbook
+
+        logbook = CampaignLogbook.load(tmp_path / "log.json")
+        reference = CampaignRunner(
+            heterogeneous_plan(), seed=5
+        ).run()
+        assert [
+            e.to_dict() for e in logbook.result.exposures
+        ] == [e.to_dict() for e in reference.result.exposures]
+
+
+class TestFleetRunner:
+    def _runner(self, **kwargs):
+        from repro.core import FleetSimulator
+        from repro.devices import get_device
+        from repro.environment import LOS_ALAMOS, datacenter_scenario
+
+        sim = FleetSimulator(
+            get_device("K20"),
+            datacenter_scenario(LOS_ALAMOS),
+            n_devices=8000,
+            seed=11,
+        )
+        return FleetRunner(sim, **kwargs)
+
+    def test_matches_run_year(self):
+        outcome = self._runner().run(n_days=365)
+        reference = self._runner().simulator.run_year()
+        assert [d.to_dict() for d in outcome.result.days] == [
+            d.to_dict() for d in reference.days
+        ]
+
+    def test_deadline_then_resume_is_identical(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        reference = self._runner().run(n_days=120)
+
+        now = [0.0]
+
+        def clock():
+            now[0] += 0.05
+            return now[0]
+
+        first = self._runner(
+            checkpoint_path=path,
+            checkpoint_every_days=10,
+            budget=Budget(wall_clock_s=2.0),
+            clock=clock,
+        ).run(n_days=120)
+        assert not first.completed
+        assert 0 < first.days_completed < 120
+
+        resumed = self._runner(checkpoint_path=path).run(
+            n_days=120, resume=True
+        )
+        assert resumed.completed
+        assert [d.to_dict() for d in resumed.result.days] == [
+            d.to_dict() for d in reference.result.days
+        ]
+
+    def test_resume_refuses_different_fleet(self, tmp_path):
+        from repro.core import FleetSimulator
+        from repro.devices import get_device
+        from repro.environment import LOS_ALAMOS, datacenter_scenario
+
+        path = tmp_path / "fleet.json"
+        self._runner(checkpoint_path=path).run(n_days=10)
+        other_sim = FleetSimulator(
+            get_device("TitanX"),
+            datacenter_scenario(LOS_ALAMOS),
+            n_devices=8000,
+            seed=11,
+        )
+        with pytest.raises(CheckpointMismatchError):
+            FleetRunner(other_sim, checkpoint_path=path).run(
+                n_days=10, resume=True
+            )
