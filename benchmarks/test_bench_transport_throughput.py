@@ -1,0 +1,110 @@
+"""Throughput benchmark: scalar vs batch transport engines.
+
+Times both engines on the same slab/source configuration and writes
+``BENCH_transport.json`` at the repo root (histories/sec and speedup),
+so the performance trajectory is tracked across PRs.  The committed
+JSON is the "benchmark result" the batch-engine acceptance criterion
+points at: >= 10x scalar throughput at 1e5 histories.
+
+``REPRO_SMOKE=1`` shrinks the history count for CI smoke lanes; the
+smoke assertion only demands that the batch engine is not *slower*
+than the scalar loop, while the full run enforces the 10x bar.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.transport import WATER, Layer, SlabGeometry, SlabTransport
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_RESULT_PATH = _REPO_ROOT / "BENCH_transport.json"
+
+_SOURCE_ENERGY_EV = 1.0e6
+_THICKNESS_CM = 5.0
+
+
+def _time_engine(engine: str, n_histories: int) -> dict:
+    transport = SlabTransport(
+        SlabGeometry([Layer(WATER, _THICKNESS_CM)]),
+        rng=np.random.default_rng(2020),
+    )
+    start = time.perf_counter()
+    result = transport.run(
+        n_histories,
+        source_energy_ev=_SOURCE_ENERGY_EV,
+        engine=engine,
+    )
+    elapsed = time.perf_counter() - start
+    assert result.balance_check()
+    return {
+        "engine": engine,
+        "seconds": round(elapsed, 4),
+        "histories_per_s": round(n_histories / elapsed, 1),
+    }
+
+
+def _run_benchmark(smoke: bool) -> dict:
+    n_histories = 5_000 if smoke else 100_000
+    scalar = _time_engine("scalar", n_histories)
+    batch = _time_engine("batch", n_histories)
+    speedup = (
+        batch["histories_per_s"] / scalar["histories_per_s"]
+    )
+    return {
+        "benchmark": "slab transport throughput",
+        "geometry": f"water {_THICKNESS_CM} cm",
+        "source_energy_ev": _SOURCE_ENERGY_EV,
+        "n_histories": n_histories,
+        "smoke": smoke,
+        "scalar": scalar,
+        "batch": batch,
+        "speedup": round(speedup, 2),
+    }
+
+
+def test_bench_transport_throughput(benchmark, announce):
+    smoke = bool(os.environ.get("REPRO_SMOKE"))
+    payload = run_once(benchmark, _run_benchmark, smoke)
+
+    rows = [
+        [
+            entry["engine"],
+            f"{entry['seconds']:.3f}",
+            f"{entry['histories_per_s']:.0f}",
+        ]
+        for entry in (payload["scalar"], payload["batch"])
+    ]
+    rows.append(["speedup", "", f"{payload['speedup']:.1f}x"])
+    announce(
+        format_table(
+            ["engine", "seconds", "histories/s"],
+            rows,
+            title=(
+                f"Transport throughput — {payload['n_histories']}"
+                " histories, water slab"
+            ),
+        )
+    )
+
+    # Smoke lanes only guard the sign of the win (tiny runs are
+    # dominated by fixed overheads); the full benchmark enforces the
+    # acceptance bar.
+    if smoke:
+        assert payload["speedup"] >= 1.0, (
+            f"batch slower than scalar: {payload['speedup']:.2f}x"
+        )
+    else:
+        assert payload["speedup"] >= 10.0, (
+            f"batch speedup below 10x: {payload['speedup']:.2f}x"
+        )
+        _RESULT_PATH.write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )

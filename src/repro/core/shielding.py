@@ -97,6 +97,8 @@ class ShieldingEvaluator:
         n_neutrons: MC histories per transmission estimate.
         seed: MC seed.
         calculator: FIT engine.
+        engine: transport engine, ``"batch"`` (default) or
+            ``"scalar"``.
     """
 
     def __init__(
@@ -104,6 +106,7 @@ class ShieldingEvaluator:
         n_neutrons: int = 5000,
         seed: int = 2020,
         calculator: Optional[FitCalculator] = None,
+        engine: str = "batch",
     ) -> None:
         if n_neutrons <= 0:
             raise ValueError(
@@ -112,6 +115,7 @@ class ShieldingEvaluator:
         self.n_neutrons = n_neutrons
         self.seed = seed
         self.calculator = calculator or FitCalculator()
+        self.engine = engine
 
     def thermal_transmission(self, option: ShieldOption) -> float:
         """Thermal-band transmission of a shield (MC transport)."""
@@ -121,6 +125,7 @@ class ShieldingEvaluator:
             rotax_spectrum(),
             n_neutrons=self.n_neutrons,
             seed=self.seed,
+            engine=self.engine,
         )
         return result.thermal_transmission_fraction()
 

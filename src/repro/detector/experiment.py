@@ -82,6 +82,7 @@ def predicted_water_enhancement(
     thickness_cm: float = 5.08,
     n_neutrons: int = 8000,
     seed: int = 2019,
+    engine: str = "batch",
 ) -> float:
     """MC-transport prediction of the water albedo enhancement.
 
@@ -92,6 +93,7 @@ def predicted_water_enhancement(
     pushes the pure-albedo number toward the measured +24 %.
     """
     albedo, _ = thermal_albedo_enhancement(
-        WATER, thickness_cm, n_neutrons=n_neutrons, seed=seed
+        WATER, thickness_cm, n_neutrons=n_neutrons, seed=seed,
+        engine=engine,
     )
     return albedo

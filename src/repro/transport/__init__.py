@@ -12,6 +12,12 @@ from repro.transport.materials import (
     SILICON,
     WATER,
 )
+from repro.transport.batch import (
+    BatchTransportEngine,
+    DEFAULT_BATCH_SIZE,
+    HISTORIES_PER_STREAM,
+    scattered_energies_ev,
+)
 from repro.transport.montecarlo import (
     Layer,
     SlabGeometry,
@@ -38,6 +44,10 @@ __all__ = [
     "POLYETHYLENE",
     "SILICON",
     "WATER",
+    "BatchTransportEngine",
+    "DEFAULT_BATCH_SIZE",
+    "HISTORIES_PER_STREAM",
+    "scattered_energies_ev",
     "Layer",
     "SlabGeometry",
     "SlabTransport",

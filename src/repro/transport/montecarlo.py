@@ -67,6 +67,7 @@ class SlabGeometry:
         for layer in self.layers:
             bounds.append(bounds[-1] + layer.thickness_cm)
         self._bounds = np.asarray(bounds)
+        self._bounds.setflags(write=False)
 
     @property
     def total_thickness_cm(self) -> float:
@@ -83,6 +84,24 @@ class SlabGeometry:
             raise ValueError(f"position {x} outside the stack")
         idx = int(np.searchsorted(self._bounds, x, side="right")) - 1
         return min(max(idx, 0), len(self.layers) - 1)
+
+    @property
+    def bounds_cm(self) -> np.ndarray:
+        """Cached, read-only boundary array (0 … total thickness).
+
+        Unlike :meth:`boundaries` this does not copy; the transport
+        hot loops index it directly.
+        """
+        return self._bounds
+
+    def layer_indices(self, x_cm: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`layer_at` over an array of positions.
+
+        Positions are clamped into the stack rather than validated —
+        the transport engines only call this with in-stack positions.
+        """
+        idx = np.searchsorted(self._bounds, x_cm, side="right") - 1
+        return np.clip(idx, 0, len(self.layers) - 1)
 
     def boundaries(self) -> np.ndarray:
         """Layer boundary positions including 0 and the far face."""
@@ -124,6 +143,7 @@ class SlabTransport:
         self.geometry = geometry
         self.bath_energy_ev = BOLTZMANN_EV_PER_K * bath_temperature_k
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._batch = None  # lazily built BatchTransportEngine
 
     # ------------------------------------------------------------------
 
@@ -132,11 +152,29 @@ class SlabTransport:
         n_neutrons: int,
         source_energy_ev: float | None = None,
         source_spectrum: Spectrum | None = None,
+        engine: str = "batch",
+        batch_size: int | None = None,
+        n_workers: int | None = None,
     ) -> TransportResult:
         """Transport ``n_neutrons`` through the stack.
 
         Exactly one of ``source_energy_ev`` / ``source_spectrum`` must
         be given.  Neutrons start at ``x = 0`` moving in ``+x``.
+
+        Args:
+            n_neutrons: number of source histories.
+            source_energy_ev: monoenergetic source energy, eV.
+            source_spectrum: alternatively, a spectrum to sample.
+            engine: ``"batch"`` (vectorized, the default) or
+                ``"scalar"`` (the original per-history loop, kept as
+                the statistical oracle).  Both consume the transport's
+                ``rng`` stream, so repeated runs differ but a freshly
+                seeded transport is deterministic for either engine.
+            batch_size: batch engine only — histories co-resident per
+                vectorized sweep (rounded up to whole seed streams).
+                Tallies do not depend on it.
+            n_workers: batch engine only — optional process fan-out
+                for campaign-scale runs; tallies do not depend on it.
 
         Returns:
             A frozen :class:`TransportResult`.
@@ -147,16 +185,34 @@ class SlabTransport:
             raise ValueError(
                 "give exactly one of source_energy_ev/source_spectrum"
             )
+        if source_energy_ev is not None and source_energy_ev <= 0.0:
+            raise ValueError(
+                f"source energy must be positive,"
+                f" got {source_energy_ev}"
+            )
+        if engine == "batch":
+            # Deterministic hand-off: one integer drawn from the shared
+            # stream seeds the batch engine's SeedSequence tree, so the
+            # batch path has the same "same seed, same result /
+            # repeated runs differ" contract as the scalar loop.
+            entropy = int(self.rng.integers(0, 2**63))
+            return self._batch_engine().run(
+                n_neutrons,
+                source_energy_ev=source_energy_ev,
+                source_spectrum=source_spectrum,
+                seed=entropy,
+                batch_size=batch_size,
+                n_workers=n_workers,
+            )
+        if engine != "scalar":
+            raise ValueError(
+                f"engine must be 'batch' or 'scalar', got {engine!r}"
+            )
         if source_spectrum is not None:
             energies = source_spectrum.sample_energies(
                 self.rng, n_neutrons
             )
         else:
-            if source_energy_ev <= 0.0:
-                raise ValueError(
-                    f"source energy must be positive,"
-                    f" got {source_energy_ev}"
-                )
             energies = np.full(n_neutrons, float(source_energy_ev))
 
         tally = TransportTally()
@@ -167,6 +223,16 @@ class SlabTransport:
         assert result.balance_check(), "neutron balance violated"
         return result
 
+    def _batch_engine(self):
+        """Lazily built (and cached) vectorized engine for this slab."""
+        if getattr(self, "_batch", None) is None:
+            from repro.transport.batch import BatchTransportEngine
+
+            self._batch = BatchTransportEngine(
+                self.geometry, bath_energy_ev=self.bath_energy_ev
+            )
+        return self._batch
+
     # ------------------------------------------------------------------
 
     def _history(self, energy_ev: float, tally: TransportTally) -> None:
@@ -176,10 +242,17 @@ class SlabTransport:
         rng = self.rng
         geo = self.geometry
         total_thickness = geo.total_thickness_cm
+        # Hoisted out of the collision loop: the boundary array is
+        # immutable for the life of the geometry, and the layer lookup
+        # is a single searchsorted on it (the old code rebuilt a copy
+        # of the bounds and re-derived the index on every collision).
+        bounds = geo.bounds_cm
+        last_layer = len(geo.layers) - 1
 
         for _ in range(_MAX_COLLISIONS):
-            layer = geo.layers[geo.layer_at(x)]
-            mat = layer.material
+            idx = int(np.searchsorted(bounds, x, side="right")) - 1
+            idx = min(max(idx, 0), last_layer)
+            mat = geo.layers[idx].material
             sigma_t = mat.sigma_total_per_cm(energy_ev)
             if sigma_t <= 0.0:
                 # Vacuum-like layer: stream to the nearest face.
@@ -189,8 +262,6 @@ class SlabTransport:
                 step = distance * mu
                 new_x = x + step
                 # Does the flight cross the current layer's boundary?
-                bounds = geo.boundaries()
-                idx = geo.layer_at(x)
                 lo, hi = bounds[idx], bounds[idx + 1]
                 if new_x > hi or new_x < lo:
                     # Move to the boundary and re-sample in the next
@@ -237,6 +308,7 @@ def thermal_albedo_enhancement(
     n_neutrons: int = 20_000,
     incident_energy_ev: float = 1.0e6,
     seed: int = 2020,
+    engine: str = "batch",
 ) -> Tuple[float, float]:
     """Thermal albedo of a slab hit by fast neutrons.
 
@@ -246,6 +318,14 @@ def thermal_albedo_enhancement(
     albedo is the fractional *increase* of the local thermal
     population per unit incident fast flux.
 
+    Args:
+        material: moderator body material.
+        thickness_cm: slab thickness.
+        n_neutrons: MC histories.
+        incident_energy_ev: monoenergetic fast source energy.
+        seed: transport seed.
+        engine: transport engine, ``"batch"`` or ``"scalar"``.
+
     Returns:
         ``(albedo, stderr)``.
     """
@@ -254,7 +334,7 @@ def thermal_albedo_enhancement(
         geometry, rng=np.random.default_rng(seed)
     )
     result = transport.run(
-        n_neutrons, source_energy_ev=incident_energy_ev
+        n_neutrons, source_energy_ev=incident_energy_ev, engine=engine
     )
     return result.thermal_albedo(), result.thermal_albedo_stderr()
 
@@ -265,14 +345,18 @@ def shield_transmission(
     source_spectrum: Spectrum,
     n_neutrons: int = 20_000,
     seed: int = 2020,
+    engine: str = "batch",
 ) -> TransportResult:
     """Transport an incident spectrum through a shield layer.
 
     Used by the shielding ablation (experiment E9): cadmium sheets and
-    borated polyethylene vs the thermal band.
+    borated polyethylene vs the thermal band.  ``engine`` selects the
+    vectorized batch engine (default) or the scalar oracle.
     """
     geometry = SlabGeometry([Layer(material, thickness_cm)])
     transport = SlabTransport(
         geometry, rng=np.random.default_rng(seed)
     )
-    return transport.run(n_neutrons, source_spectrum=source_spectrum)
+    return transport.run(
+        n_neutrons, source_spectrum=source_spectrum, engine=engine
+    )

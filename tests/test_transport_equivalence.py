@@ -1,0 +1,302 @@
+"""Statistical-equivalence harness: batch engine vs the scalar oracle.
+
+The batch engine must reproduce the scalar engine's physics channel by
+channel — transmitted/reflected counts per band, absorptions per
+material, total collisions — within two-sided binomial/Poisson
+tolerance.  Both engines run with fixed seeds, so every test here is
+deterministic: a failure means the engines genuinely diverged, not
+that the dice were unlucky.
+
+Also pinned here: the batch determinism contract (same seed → same
+result; tallies independent of ``batch_size`` and ``n_workers``) and
+the exact-tally regression for the scalar hot-spot fix (boundary
+array hoisted out of the collision loop).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spectra.beamlines import rotax_spectrum
+from repro.transport.batch import BatchTransportEngine
+from repro.transport.materials import (
+    AIR,
+    BORATED_POLYETHYLENE,
+    CADMIUM,
+    CONCRETE,
+    POLYETHYLENE,
+    WATER,
+)
+from repro.transport.montecarlo import (
+    Layer,
+    SlabGeometry,
+    SlabTransport,
+)
+
+#: Reject at 4 sigma: with ~10 channels over ~7 fixtures the chance
+#: of a false alarm is ~1e-3, and the seeds are fixed anyway.
+_Z_MAX = 4.0
+
+N_HISTORIES = 20_000
+
+GEOMETRY_FIXTURES = [
+    pytest.param(
+        [Layer(WATER, 5.0)], {"source_energy_ev": 1.0e6},
+        id="water-5cm-fast",
+    ),
+    pytest.param(
+        [Layer(CONCRETE, 20.0)], {"source_energy_ev": 1.0e6},
+        id="concrete-20cm-fast",
+    ),
+    pytest.param(
+        [Layer(CADMIUM, 0.1)], {"source_spectrum": rotax_spectrum()},
+        id="cadmium-sheet-rotax",
+    ),
+    pytest.param(
+        [Layer(BORATED_POLYETHYLENE, 5.0)],
+        {"source_spectrum": rotax_spectrum()},
+        id="borated-poly-rotax",
+    ),
+    pytest.param(
+        [Layer(WATER, 2.0), Layer(CADMIUM, 0.1),
+         Layer(POLYETHYLENE, 3.0)],
+        {"source_energy_ev": 1.0e6},
+        id="water-cadmium-poly-stack",
+    ),
+    pytest.param(
+        [Layer(AIR, 10.0)], {"source_energy_ev": 1.0e6},
+        id="air-gap-fast",
+    ),
+    pytest.param(
+        [Layer(WATER, 5.0)], {"source_energy_ev": 0.0253},
+        id="water-5cm-thermal-source",
+    ),
+]
+
+
+def _count_channels(result):
+    """Per-channel event counts of a run, absorbed split by material."""
+    channels = {
+        name: getattr(result, name)
+        for name in (
+            "transmitted_thermal",
+            "transmitted_epithermal",
+            "transmitted_fast",
+            "reflected_thermal",
+            "reflected_epithermal",
+            "reflected_fast",
+            "absorbed",
+        )
+    }
+    for material, count in result.absorbed_by_material.items():
+        channels[f"absorbed[{material}]"] = count
+    return channels
+
+
+def _two_proportion_z(count_a, count_b, n):
+    """Two-sided z statistic for equal binomial proportions."""
+    pooled = (count_a + count_b) / (2.0 * n)
+    variance = max(pooled * (1.0 - pooled), 0.0) * 2.0 / n
+    if variance == 0.0:
+        return 0.0 if count_a == count_b else math.inf
+    return abs(count_a - count_b) / (n * math.sqrt(variance))
+
+
+def _run_pair(layers, source):
+    geometry = SlabGeometry(layers)
+    scalar = SlabTransport(
+        geometry, rng=np.random.default_rng(101)
+    ).run(N_HISTORIES, engine="scalar", **source)
+    batch = SlabTransport(
+        geometry, rng=np.random.default_rng(202)
+    ).run(N_HISTORIES, engine="batch", **source)
+    return scalar, batch
+
+
+class TestStatisticalEquivalence:
+    @pytest.mark.parametrize("layers,source", GEOMETRY_FIXTURES)
+    def test_channel_tallies_agree(self, layers, source):
+        scalar, batch = _run_pair(layers, source)
+        scalar_counts = _count_channels(scalar)
+        batch_counts = _count_channels(batch)
+        for channel in set(scalar_counts) | set(batch_counts):
+            z = _two_proportion_z(
+                scalar_counts.get(channel, 0),
+                batch_counts.get(channel, 0),
+                N_HISTORIES,
+            )
+            assert z < _Z_MAX, (
+                f"channel {channel}: scalar="
+                f"{scalar_counts.get(channel, 0)} batch="
+                f"{batch_counts.get(channel, 0)} z={z:.2f}"
+            )
+
+    @pytest.mark.parametrize("layers,source", GEOMETRY_FIXTURES)
+    def test_collision_counts_agree(self, layers, source):
+        """Total collisions are Poisson-scale equal.
+
+        Per-history collision counts are overdispersed relative to
+        Poisson (histories are multi-collision), so allow a 6-sigma
+        band on the naive scale plus a small relative floor.
+        """
+        scalar, batch = _run_pair(layers, source)
+        total = scalar.collisions + batch.collisions
+        if total == 0:
+            assert scalar.collisions == batch.collisions
+            return
+        z_scale = math.sqrt(total)
+        tolerance = 6.0 * z_scale + 0.01 * total
+        assert abs(scalar.collisions - batch.collisions) <= tolerance
+
+    @pytest.mark.parametrize("layers,source", GEOMETRY_FIXTURES)
+    def test_balance_holds_for_both_engines(self, layers, source):
+        scalar, batch = _run_pair(layers, source)
+        assert scalar.balance_check()
+        assert batch.balance_check()
+        assert scalar.source == batch.source == N_HISTORIES
+
+
+class TestBatchDeterminism:
+    def test_same_seed_same_result(self):
+        geometry = SlabGeometry([Layer(WATER, 5.0)])
+        runs = [
+            SlabTransport(
+                geometry, rng=np.random.default_rng(33)
+            ).run(12_000, source_energy_ev=1.0e6)
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_same_seed_same_result_spectrum_source(self):
+        engine = BatchTransportEngine(
+            SlabGeometry([Layer(BORATED_POLYETHYLENE, 3.0)])
+        )
+        first = engine.run(
+            9_000, source_spectrum=rotax_spectrum(), seed=77
+        )
+        second = engine.run(
+            9_000, source_spectrum=rotax_spectrum(), seed=77
+        )
+        assert first == second
+
+    def test_batch_size_invariance(self):
+        """Tallies must not depend on sweep width: randomness is keyed
+        to fixed-size seed streams, not to ``batch_size``."""
+        geometry = SlabGeometry(
+            [Layer(WATER, 2.0), Layer(CADMIUM, 0.1)]
+        )
+        engine = BatchTransportEngine(geometry)
+        results = [
+            engine.run(
+                20_000,
+                source_energy_ev=1.0e6,
+                seed=5,
+                batch_size=batch_size,
+            )
+            for batch_size in (1, 4096, 8192, 1_000_000)
+        ]
+        assert all(r == results[0] for r in results[1:])
+
+    def test_n_workers_invariance(self):
+        geometry = SlabGeometry([Layer(CONCRETE, 10.0)])
+        engine = BatchTransportEngine(geometry)
+        inline = engine.run(12_000, source_energy_ev=1.0e6, seed=8)
+        fanned = engine.run(
+            12_000, source_energy_ev=1.0e6, seed=8, n_workers=2
+        )
+        assert inline == fanned
+
+    def test_different_seeds_differ(self):
+        engine = BatchTransportEngine(SlabGeometry([Layer(WATER, 5.0)]))
+        a = engine.run(8_000, source_energy_ev=1.0e6, seed=1)
+        b = engine.run(8_000, source_energy_ev=1.0e6, seed=2)
+        assert a != b
+
+    def test_validation(self):
+        engine = BatchTransportEngine(SlabGeometry([Layer(WATER, 1.0)]))
+        with pytest.raises(ValueError):
+            engine.run(0, source_energy_ev=1.0)
+        with pytest.raises(ValueError):
+            engine.run(10)
+        with pytest.raises(ValueError):
+            engine.run(10, source_energy_ev=-1.0)
+        with pytest.raises(ValueError):
+            engine.run(10, source_energy_ev=1.0, batch_size=0)
+        with pytest.raises(ValueError):
+            engine.run(10, source_energy_ev=1.0, n_workers=0)
+        with pytest.raises(ValueError):
+            BatchTransportEngine(
+                SlabGeometry([Layer(WATER, 1.0)]), bath_energy_ev=0.0
+            )
+        with pytest.raises(ValueError):
+            SlabTransport(SlabGeometry([Layer(WATER, 1.0)])).run(
+                10, source_energy_ev=1.0, engine="warp"
+            )
+
+
+class TestScalarHoistRegression:
+    """Exact-tally goldens recorded from the pre-hoist scalar engine.
+
+    The fix moved ``geometry.boundaries()`` (a fresh copy per
+    collision) and the double ``layer_at`` call out of the collision
+    loop; it must not change a single draw, so the tallies must be
+    *identical* to the old implementation, not just statistically
+    close.
+    """
+
+    def _signature(self, result):
+        return (
+            result.source,
+            result.transmitted_thermal,
+            result.transmitted_epithermal,
+            result.transmitted_fast,
+            result.reflected_thermal,
+            result.reflected_epithermal,
+            result.reflected_fast,
+            result.absorbed,
+            result.collisions,
+            dict(result.absorbed_by_material),
+        )
+
+    def test_water_slab_golden(self):
+        transport = SlabTransport(
+            SlabGeometry([Layer(WATER, 5.0)]),
+            rng=np.random.default_rng(123),
+        )
+        result = transport.run(
+            2000, source_energy_ev=1.0e6, engine="scalar"
+        )
+        assert self._signature(result) == (
+            2000, 203, 83, 0, 317, 1210, 0, 187, 31811,
+            {"water": 187},
+        )
+
+    def test_layered_stack_golden(self):
+        transport = SlabTransport(
+            SlabGeometry(
+                [Layer(WATER, 2.0), Layer(CADMIUM, 0.1),
+                 Layer(POLYETHYLENE, 3.0)]
+            ),
+            rng=np.random.default_rng(7),
+        )
+        result = transport.run(
+            1500, source_energy_ev=1.0e6, engine="scalar"
+        )
+        assert self._signature(result) == (
+            1500, 56, 36, 0, 97, 913, 0, 398, 16770,
+            {"cadmium": 358, "polyethylene": 25, "water": 15},
+        )
+
+    def test_spectrum_source_golden(self):
+        transport = SlabTransport(
+            SlabGeometry([Layer(BORATED_POLYETHYLENE, 4.0)]),
+            rng=np.random.default_rng(42),
+        )
+        result = transport.run(
+            1500, source_spectrum=rotax_spectrum(), engine="scalar"
+        )
+        assert self._signature(result) == (
+            1500, 0, 0, 0, 291, 0, 0, 1209, 3382,
+            {"borated polyethylene": 1209},
+        )
