@@ -1,0 +1,38 @@
+"""Chaos instrumentation overhead when disabled.
+
+The fault-point contract is "zero overhead when disabled": one module
+global read and a ``None`` check per crossing.  This bench times a
+large batch of disabled crossings and asserts the per-crossing cost
+stays far below a microsecond — instrumenting the runtime must never
+tax production campaigns.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.chaos.faultpoints import enabled, fault_point
+
+N_CROSSINGS = 200_000
+
+
+def _cross_many() -> int:
+    for idx in range(N_CROSSINGS):
+        fault_point("supervisor.step", step=idx)
+    return N_CROSSINGS
+
+
+def test_bench_disabled_fault_point(benchmark, announce):
+    assert not enabled()
+    crossings = run_once(benchmark, _cross_many)
+
+    per_crossing_ns = benchmark.stats["mean"] / crossings * 1e9
+    announce(
+        "chaos off: "
+        f"{crossings} fault-point crossings, "
+        f"{per_crossing_ns:.0f} ns per crossing"
+    )
+
+    # A disabled crossing is a global read + None check (plus the
+    # kwargs dict build); anything near campaign-step cost would mean
+    # the instrumentation leaked into the hot path.
+    assert per_crossing_ns < 5_000

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.beam.beamline import Beamline
 from repro.beam.results import CampaignResult, ExposureResult
+from repro.chaos.faultpoints import fault_point
 from repro.devices.model import Device
 from repro.faults.injector import random_injection_for
 from repro.faults.models import DueError, FaultKind, Outcome
@@ -121,6 +122,11 @@ class IrradiationCampaign:
         """
         duration_s = require_positive_duration_s(duration_s)
         position = require_position(position)
+        # Before the exposure stream is spawned, so a supervised
+        # retry of this exposure replays identical draws.
+        fault_point(
+            "campaign.exposure", device=device.name, code=code
+        )
         fluence = beamline.fluence(duration_s, position)
         sigma_sdc = device.sigma(beamline.kind, Outcome.SDC, code)
         sigma_due = device.sigma(beamline.kind, Outcome.DUE, code)
@@ -187,6 +193,12 @@ class IrradiationCampaign:
                 f"{device.name} was not tested with"
                 f" {workload.name!r}"
             )
+        # Before the exposure stream is spawned (see expose_counting).
+        fault_point(
+            "campaign.exposure",
+            device=device.name,
+            code=workload.name,
+        )
         rng = self._rng()
         fluence = beamline.fluence(duration_s, position)
         sigma_data = device.data_sigma(beamline.kind) * code_factor

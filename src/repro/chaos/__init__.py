@@ -1,0 +1,56 @@
+"""Deterministic fault injection for the harness itself.
+
+``repro.faults`` models radiation upsets in the *device under test*;
+this package injects failures into the *runtime that runs the
+experiments* — crashed steps, killed processes, torn checkpoint
+writes, dead pool workers, stalled clocks — and proves the recovery
+machinery honours its contract (see :mod:`repro.chaos.invariants`).
+
+Only the leaf layers are re-exported here: production modules import
+:func:`fault_point` from this package, so pulling in the trial
+harness (which imports the supervised runtime) would be circular.
+Reach :mod:`repro.chaos.invariants` and :mod:`repro.chaos.trials`
+directly, or through ``python -m repro chaos``.
+"""
+
+from repro.chaos.actions import (
+    ALL_ACTIONS,
+    ChaosCrashError,
+    perform,
+)
+from repro.chaos.faultpoints import (
+    FAULT_POINTS,
+    FaultPoint,
+    activated,
+    actions_for,
+    enabled,
+    fault_point,
+    install,
+    site_names,
+    uninstall,
+)
+from repro.chaos.schedule import (
+    ChaosClock,
+    ChaosController,
+    ChaosSchedule,
+    ChaosSpec,
+)
+
+__all__ = [
+    "ALL_ACTIONS",
+    "ChaosClock",
+    "ChaosController",
+    "ChaosCrashError",
+    "ChaosSchedule",
+    "ChaosSpec",
+    "FAULT_POINTS",
+    "FaultPoint",
+    "activated",
+    "actions_for",
+    "enabled",
+    "fault_point",
+    "install",
+    "perform",
+    "site_names",
+    "uninstall",
+]

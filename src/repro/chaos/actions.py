@@ -1,0 +1,176 @@
+"""Failure actions a chaos controller can fire at a fault point.
+
+Each action reproduces one way real campaign infrastructure dies:
+
+* ``raise-transient`` — the beam-room power blip: a
+  :class:`~repro.runtime.errors.TransientHarnessError` the supervised
+  runtime must retry with backoff.
+* ``crash`` — a persistent harness bug: a plain exception (outside
+  the ``ReproError`` hierarchy on purpose) the runtime must isolate.
+* ``kill-process`` / ``kill-worker`` — the host reboot / OOM kill:
+  ``SIGKILL`` to the current process, no cleanup, no excuses.
+* ``delay`` — a hung device or stalled filesystem: the injected
+  clock jumps past the wall-clock budget.
+* ``torn-write`` — power loss mid-write: half the checkpoint bytes
+  land in the temp file, then a transient fault.
+* ``truncate`` / ``corrupt`` — storage rot: the checkpoint file on
+  disk is cut in half, or its payload is silently altered while
+  remaining valid JSON (the case only a checksum can catch).
+* ``duplicate`` — at-least-once delivery: a checkpoint write, a
+  checkpoint read, or a sweep-tally delivery happens twice; the
+  consumer must be idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+from pathlib import Path
+
+from repro.runtime.errors import TransientHarnessError
+
+#: Action name constants (JSON-stable, used in CLI verdict matrices).
+RAISE_TRANSIENT = "raise-transient"
+CRASH = "crash"
+KILL_PROCESS = "kill-process"
+KILL_WORKER = "kill-worker"
+DELAY = "delay"
+TORN_WRITE = "torn-write"
+TRUNCATE = "truncate"
+CORRUPT = "corrupt"
+DUPLICATE = "duplicate"
+
+#: Every action, in documentation order.
+ALL_ACTIONS = (
+    RAISE_TRANSIENT,
+    CRASH,
+    KILL_PROCESS,
+    KILL_WORKER,
+    DELAY,
+    TORN_WRITE,
+    TRUNCATE,
+    CORRUPT,
+    DUPLICATE,
+)
+
+#: Checkpoint payload fields whose value the ``corrupt`` action bumps
+#: (whichever exists first) — each changes resume *semantics*, so a
+#: reader without checksum verification resumes silently wrong.
+_CORRUPTIBLE_FIELDS = ("next_step", "next_day", "events_used")
+
+
+class ChaosCrashError(Exception):
+    """An injected persistent harness crash.
+
+    Deliberately **not** a ``ReproError``: the supervised runtime
+    retries only transient faults, so this must travel the isolation
+    path, exactly like an unexpected bug would.
+    """
+
+
+def perform(action: str, context: dict, controller) -> None:
+    """Execute ``action`` with the fault point's ``context``.
+
+    Args:
+        action: one of :data:`ALL_ACTIONS`.
+        context: the keyword arguments of the ``fault_point`` call.
+        controller: the firing controller (supplies the injected
+            clock and the configured delay for ``delay``).
+
+    Raises:
+        TransientHarnessError: for ``raise-transient`` and
+            ``torn-write`` (after tearing the temp file).
+        ChaosCrashError: for ``crash``.
+        ValueError: for an unknown action name.
+    """
+    if action == RAISE_TRANSIENT:
+        raise TransientHarnessError("chaos: injected transient fault")
+    if action == CRASH:
+        raise ChaosCrashError("chaos: injected harness crash")
+    if action in (KILL_PROCESS, KILL_WORKER):
+        os.kill(os.getpid(), signal.SIGKILL)
+        return  # pragma: no cover — unreachable
+    if action == DELAY:
+        controller.advance_clock()
+        return
+    if action == TORN_WRITE:
+        _torn_write(context)
+        raise TransientHarnessError("chaos: torn checkpoint write")
+    if action == TRUNCATE:
+        _truncate(Path(context["path"]))
+        return
+    if action == CORRUPT:
+        _corrupt(Path(context["path"]))
+        return
+    if action == DUPLICATE:
+        _duplicate(context)
+        return
+    raise ValueError(f"unknown chaos action {action!r}")
+
+
+def _torn_write(context: dict) -> None:
+    """Write only the first half of the payload to the temp file."""
+    tmp = Path(context["tmp"])
+    text = str(context["text"])
+    tmp.write_text(text[: len(text) // 2])
+
+
+def _truncate(path: Path) -> None:
+    """Cut the checkpoint file in half (storage-level truncation)."""
+    data = path.read_text()
+    path.write_text(data[: len(data) // 2])
+
+
+def _corrupt(path: Path) -> None:
+    """Alter the payload while keeping the file valid JSON.
+
+    The stored checksum is left untouched, so a checksum-verifying
+    reader raises ``CheckpointError`` while a naive reader resumes
+    from silently wrong state — the invariant the chaos suite exists
+    to catch.
+    """
+    data = json.loads(path.read_text())
+    for field in _CORRUPTIBLE_FIELDS:
+        if field in data:
+            data[field] = int(data[field]) + 1
+            break
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def _duplicate(context: dict) -> None:
+    """Deliver the site's payload a second time.
+
+    * ``batch.merge`` passes ``store``/``index``/``part``: redeliver
+      the same sweep tally into the accumulator.
+    * ``checkpoint.write`` passes ``tmp``/``path``/``text``: perform
+      one full extra write before the real one.
+    * ``checkpoint.load`` passes ``path``: read the file an extra
+      time and discard the result.
+    """
+    if "store" in context:
+        context["store"](context["index"], context["part"])
+        return
+    if "text" in context:
+        tmp = Path(context["tmp"])
+        tmp.write_text(str(context["text"]))
+        os.replace(tmp, Path(context["path"]))
+        return
+    if "path" in context:
+        json.loads(Path(context["path"]).read_text())
+
+
+__all__ = [
+    "ALL_ACTIONS",
+    "CORRUPT",
+    "CRASH",
+    "ChaosCrashError",
+    "DELAY",
+    "DUPLICATE",
+    "KILL_PROCESS",
+    "KILL_WORKER",
+    "RAISE_TRANSIENT",
+    "TORN_WRITE",
+    "TRUNCATE",
+    "perform",
+]

@@ -1,0 +1,132 @@
+"""The ``python -m repro chaos`` subcommand.
+
+Sweeps the (site, action) fault matrix with
+:class:`~repro.chaos.invariants.InvariantChecker` and prints a
+verdict per cell; ``--json`` additionally writes the machine-readable
+matrix.  Exit code 0 means every recovery invariant held in every
+trial; 1 means at least one violation (the printed matrix says
+which).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from pathlib import Path
+
+from repro.chaos.faultpoints import FAULT_POINTS, site_names
+
+#: Trials per matrix cell (fewer under ``REPRO_SMOKE=1`` CI runs).
+DEFAULT_TRIALS = 2
+SMOKE_TRIALS = 1
+
+
+def default_trials() -> int:
+    """Default trials/cell, honouring the ``REPRO_SMOKE`` switch."""
+    if os.environ.get("REPRO_SMOKE"):
+        return SMOKE_TRIALS
+    return DEFAULT_TRIALS
+
+
+def add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the chaos options to a subparser."""
+    parser.add_argument(
+        "--plan",
+        choices=("heterogeneous", "figure4"),
+        default="heterogeneous",
+        help="campaign plan the trials execute",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2020,
+        help="chaos seed (fire positions; independent of workloads)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None,
+        help=(
+            "trials per (site, action) cell (default:"
+            f" {DEFAULT_TRIALS}, or {SMOKE_TRIALS} under"
+            " REPRO_SMOKE=1)"
+        ),
+    )
+    parser.add_argument(
+        "--site", action="append", default=[],
+        help="restrict to this fault site (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--action", action="append", default=[],
+        help="restrict to this action (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--workdir", default="",
+        help=(
+            "scratch directory for trial checkpoints (default: a"
+            " fresh temporary directory)"
+        ),
+    )
+    parser.add_argument(
+        "--json", dest="json_path", default="",
+        help="also write the JSON verdict matrix to this path",
+    )
+    parser.add_argument(
+        "--list-sites", action="store_true",
+        help="print the declared fault sites and actions, then exit",
+    )
+
+
+def run_chaos(args: argparse.Namespace) -> int:
+    """Execute the chaos sweep described by parsed arguments."""
+    if args.list_sites:
+        for site in site_names():
+            point = FAULT_POINTS[site]
+            print(f"{site}: {', '.join(point.actions)}")
+        return 0
+    for site in args.site:
+        if site not in FAULT_POINTS:
+            print(
+                f"unknown site {site!r}; valid: {site_names()}"
+            )
+            return 2
+    known_actions = {
+        action
+        for point in FAULT_POINTS.values()
+        for action in point.actions
+    }
+    for action in args.action:
+        if action not in known_actions:
+            print(
+                f"unknown action {action!r};"
+                f" valid: {sorted(known_actions)}"
+            )
+            return 2
+
+    from repro.chaos.invariants import InvariantChecker
+
+    n_trials = (
+        args.trials if args.trials is not None else default_trials()
+    )
+    checker = InvariantChecker(
+        seed=args.seed,
+        n_trials=n_trials,
+        plan=args.plan,
+        workdir=args.workdir or None,
+    )
+    report = checker.run_matrix(
+        sites=args.site or None, actions=args.action or None
+    )
+    print(report.to_text())
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"verdict matrix written to {args.json_path}")
+    return 0 if report.ok() else 1
+
+
+__all__ = [
+    "DEFAULT_TRIALS",
+    "SMOKE_TRIALS",
+    "add_chaos_arguments",
+    "default_trials",
+    "run_chaos",
+]

@@ -1,0 +1,942 @@
+"""Replay chaos runs against clean runs and check recovery invariants.
+
+Every (site, action) cell of the chaos matrix runs the same small
+workload twice: once clean (cached per subsystem) and once — or N
+times — with the fault injected.  The :class:`InvariantChecker` then
+asserts the runtime's recovery *contract*, not merely survival:
+
+* **Byte-identical recovery.**  A retried, resumed, or
+  shard-recomputed run produces exactly the clean run's data (the
+  ``SeedSequence`` discipline makes this checkable as string
+  equality on canonical JSON).
+* **No observable invalid checkpoint.**  After a SIGKILL at any
+  instrumented instant, the checkpoint file is either absent or
+  loads cleanly; a stale ``*.tmp`` is swept on runner startup; a
+  checkpoint corrupted at rest raises ``CheckpointError`` rather
+  than resuming silently.
+* **Budgets hold under delay.**  After an injected clock jump, no
+  further step runs, a DEADLINE event is recorded, and the
+  checkpointed remainder resumes byte-identically.
+* **Worker death degrades, flagged.**  A killed pool worker's shards
+  are recomputed in-process with ``degraded_shards`` set and tallies
+  unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.chaos import actions as chaos_actions
+from repro.chaos import trials
+from repro.chaos.faultpoints import FAULT_POINTS, activated, site_names
+from repro.chaos.schedule import (
+    ChaosClock,
+    ChaosController,
+    ChaosSchedule,
+    ChaosSpec,
+)
+from repro.memory.errors import DDR_SENSITIVITIES
+from repro.memory.tester import CorrectLoopTester, DdrTestResult
+from repro.runtime.checkpoint import CampaignCheckpoint, FleetCheckpoint
+from repro.runtime.errors import CheckpointError, ConfigurationError
+from repro.runtime.events import EventKind, EventLog
+from repro.runtime.supervisor import (
+    Supervisor,
+    SupervisedCampaignResult,
+    SupervisedFleetResult,
+)
+from repro.spectra import ROTAX_THERMAL_FLUX
+from repro.transport.batch import BatchTransportEngine
+from repro.transport.materials import WATER
+from repro.transport.montecarlo import Layer, SlabGeometry
+from repro.transport.tallies import TransportResult
+
+#: Transport trial sizing: 2 seed streams, 2 single-stream shards.
+TRANSPORT_N_NEUTRONS = 8192
+TRANSPORT_BATCH_SIZE = 4096
+TRANSPORT_SOURCE_EV = 1.0e6
+TRANSPORT_SEED = 7
+
+#: DDR correct-loop trial sizing.
+DDR_GENERATION = 4
+DDR_CAPACITY_GBIT = 16.0
+DDR_DURATION_S = 600.0
+DDR_N_PASSES = 8
+DDR_SEED = 2020
+
+
+# ----------------------------------------------------------------------
+# Canonical forms (string equality == byte-identical data)
+# ----------------------------------------------------------------------
+
+
+def canon_exposures(outcome: SupervisedCampaignResult) -> str:
+    """Canonical JSON of a campaign run's exposure data."""
+    return json.dumps(
+        [e.to_dict() for e in outcome.result.exposures],
+        sort_keys=True,
+    )
+
+
+def canon_days(outcome: SupervisedFleetResult) -> str:
+    """Canonical JSON of a fleet run's per-day data."""
+    return json.dumps(
+        [d.to_dict() for d in outcome.result.days], sort_keys=True
+    )
+
+
+def canon_transport(result: TransportResult) -> str:
+    """Canonical JSON of transport tallies (degradation excluded —
+    a degraded run must still produce identical physics)."""
+    return json.dumps(
+        {
+            "source": result.source,
+            "transmitted": [
+                result.transmitted_thermal,
+                result.transmitted_epithermal,
+                result.transmitted_fast,
+            ],
+            "reflected": [
+                result.reflected_thermal,
+                result.reflected_epithermal,
+                result.reflected_fast,
+            ],
+            "absorbed": result.absorbed,
+            "collisions": result.collisions,
+            "by_material": dict(
+                sorted(result.absorbed_by_material.items())
+            ),
+        },
+        sort_keys=True,
+    )
+
+
+def canon_ddr(result: DdrTestResult) -> str:
+    """Canonical JSON of a DDR correct-loop run's classified errors."""
+    rows = sorted(
+        (
+            e.address,
+            e.category.value,
+            e.direction.value,
+            e.corrupted_bits,
+            e.first_pass,
+        )
+        for e in result.errors
+    )
+    return json.dumps(
+        {"fluence": result.fluence_per_cm2, "errors": rows},
+        sort_keys=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Verdicts
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One chaos trial's result.
+
+    Attributes:
+        fire_at: the site-crossing index the schedule targeted.
+        fired: the fault verifiably fired.
+        violations: invariant violations observed (empty = pass).
+    """
+
+    fire_at: int
+    fired: bool
+    violations: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON verdict matrix)."""
+        return {
+            "fire_at": self.fire_at,
+            "fired": self.fired,
+            "violations": list(self.violations),
+        }
+
+
+@dataclass
+class CellVerdict:
+    """All trials of one (site, action) matrix cell."""
+
+    site: str
+    action: str
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+
+    def violations(self) -> List[str]:
+        """Every violation across the cell's trials."""
+        out: List[str] = []
+        for outcome in self.outcomes:
+            out.extend(outcome.violations)
+        return out
+
+    def ok(self) -> bool:
+        """True when every trial upheld every invariant."""
+        return not self.violations()
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON verdict matrix)."""
+        return {
+            "site": self.site,
+            "action": self.action,
+            "ok": self.ok(),
+            "trials": [o.to_dict() for o in self.outcomes],
+        }
+
+
+@dataclass
+class ChaosReport:
+    """The full verdict matrix of one chaos sweep."""
+
+    seed: int
+    n_trials: int
+    cells: List[CellVerdict] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        """True when no cell violated any invariant."""
+        return all(cell.ok() for cell in self.cells)
+
+    def n_violations(self) -> int:
+        """Total violations across the matrix."""
+        return sum(len(cell.violations()) for cell in self.cells)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (the CLI's JSON output)."""
+        return {
+            "seed": self.seed,
+            "n_trials": self.n_trials,
+            "ok": self.ok(),
+            "n_violations": self.n_violations(),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def to_text(self) -> str:
+        """Human-readable verdict matrix."""
+        lines = [
+            f"chaos sweep: seed {self.seed},"
+            f" {self.n_trials} trial(s)/cell,"
+            f" {len(self.cells)} cell(s)"
+        ]
+        for cell in self.cells:
+            mark = "PASS" if cell.ok() else "FAIL"
+            fired = sum(1 for o in cell.outcomes if o.fired)
+            lines.append(
+                f"  [{mark}] {cell.site:18s} x {cell.action:15s}"
+                f" fired {fired}/{len(cell.outcomes)}"
+            )
+            for violation in cell.violations():
+                lines.append(f"         !! {violation}")
+        verdict = (
+            "all invariants held"
+            if self.ok()
+            else f"{self.n_violations()} invariant violation(s)"
+        )
+        lines.append(f"verdict: {verdict}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The checker
+# ----------------------------------------------------------------------
+
+
+class InvariantChecker:
+    """Runs the chaos matrix and verifies recovery invariants.
+
+    Args:
+        seed: chaos seed (drives fire positions; independent of all
+            workload seeds).
+        n_trials: trials per matrix cell.
+        plan: campaign plan name trials execute.
+        workdir: scratch directory for checkpoints/markers (a fresh
+            temporary directory by default).
+    """
+
+    def __init__(
+        self,
+        seed: int = 2020,
+        n_trials: int = 2,
+        plan: str = "heterogeneous",
+        workdir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if n_trials < 1:
+            raise ConfigurationError(
+                f"n_trials must be >= 1, got {n_trials}"
+            )
+        self.schedule = ChaosSchedule(seed)
+        self.seed = int(seed)
+        self.n_trials = int(n_trials)
+        self.plan = plan
+        self.plan_len = len(trials.build_campaign_plan(plan))
+        self.workdir = Path(
+            workdir
+            if workdir is not None
+            else tempfile.mkdtemp(prefix="repro-chaos-")
+        )
+        self._clean: Dict[str, str] = {}
+        self._engine: Optional[BatchTransportEngine] = None
+
+    # -- clean baselines (one per subsystem, cached) -------------------
+
+    def clean_campaign(self) -> str:
+        """Canonical exposures of the clean campaign run."""
+        if "campaign" not in self._clean:
+            outcome = trials.make_campaign_runner(plan=self.plan).run()
+            self._clean["campaign"] = canon_exposures(outcome)
+        return self._clean["campaign"]
+
+    def clean_fleet(self) -> str:
+        """Canonical days of the clean fleet run."""
+        if "fleet" not in self._clean:
+            outcome = trials.make_fleet_runner().run(
+                n_days=trials.FLEET_N_DAYS
+            )
+            self._clean["fleet"] = canon_days(outcome)
+        return self._clean["fleet"]
+
+    def clean_transport(self) -> str:
+        """Canonical tallies of the clean serial transport run."""
+        if "transport" not in self._clean:
+            self._clean["transport"] = canon_transport(
+                self._run_transport(n_workers=1)
+            )
+        return self._clean["transport"]
+
+    def clean_ddr(self) -> str:
+        """Canonical errors of the clean DDR correct-loop run."""
+        if "ddr" not in self._clean:
+            self._clean["ddr"] = canon_ddr(self._run_ddr())
+        return self._clean["ddr"]
+
+    def _run_transport(self, n_workers: int) -> TransportResult:
+        if self._engine is None:
+            self._engine = BatchTransportEngine(
+                SlabGeometry([Layer(WATER, 4.0)])
+            )
+        return self._engine.run(
+            TRANSPORT_N_NEUTRONS,
+            source_energy_ev=TRANSPORT_SOURCE_EV,
+            seed=TRANSPORT_SEED,
+            batch_size=TRANSPORT_BATCH_SIZE,
+            n_workers=n_workers,
+        )
+
+    @staticmethod
+    def _run_ddr() -> DdrTestResult:
+        tester = CorrectLoopTester(
+            DDR_SENSITIVITIES[DDR_GENERATION],
+            DDR_CAPACITY_GBIT,
+            seed=DDR_SEED,
+        )
+        return tester.run(
+            ROTAX_THERMAL_FLUX,
+            duration_s=DDR_DURATION_S,
+            n_passes=DDR_N_PASSES,
+        )
+
+    # -- matrix --------------------------------------------------------
+
+    def horizon(self, site: str, action: str) -> int:
+        """Fire-position range for one cell (rough crossings/run)."""
+        if action == chaos_actions.KILL_WORKER:
+            # Each pool worker sees only its own crossings; firing at
+            # the first guarantees the kill lands in every worker.
+            return 1
+        per_site = {
+            "supervisor.step": self.plan_len,
+            "campaign.exposure": self.plan_len,
+            "checkpoint.write": self.plan_len,
+            "checkpoint.load": 1,
+            "fleet.day": trials.FLEET_N_DAYS,
+            "batch.worker": 2,
+            "batch.merge": 2,
+            "memory.pass": DDR_N_PASSES,
+        }
+        return per_site[site]
+
+    def run_matrix(
+        self,
+        sites: Optional[Sequence[str]] = None,
+        actions: Optional[Sequence[str]] = None,
+    ) -> ChaosReport:
+        """Sweep the (site, action) matrix and collect verdicts.
+
+        Args:
+            sites: restrict to these sites (default: all declared).
+            actions: restrict to these actions (default: each site's
+                full declared set).
+        """
+        report = ChaosReport(seed=self.seed, n_trials=self.n_trials)
+        for site in site_names():
+            if sites and site not in sites:
+                continue
+            for action in FAULT_POINTS[site].actions:
+                if actions and action not in actions:
+                    continue
+                report.cells.append(self.check_cell(site, action))
+        return report
+
+    def check_cell(self, site: str, action: str) -> CellVerdict:
+        """Run every trial of one (site, action) cell."""
+        specs = self.schedule.trials(
+            site,
+            action,
+            self.n_trials,
+            self.horizon(site, action),
+            worker_only=(action == chaos_actions.KILL_WORKER),
+        )
+        verdict = CellVerdict(site=site, action=action)
+        for index, spec in enumerate(specs):
+            slug = f"{site.replace('.', '_')}-{action}-{index}"
+            tmpdir = self.workdir / slug
+            tmpdir.mkdir(parents=True, exist_ok=True)
+            violations, fired = self._run_trial(spec, tmpdir)
+            verdict.outcomes.append(
+                TrialOutcome(
+                    fire_at=spec.fire_at,
+                    fired=fired,
+                    violations=tuple(violations),
+                )
+            )
+        return verdict
+
+    def _run_trial(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        site = spec.site
+        if site in ("supervisor.step", "campaign.exposure"):
+            return self._trial_campaign_step(spec, tmpdir)
+        if site == "fleet.day":
+            return self._trial_fleet_day(spec, tmpdir)
+        if site == "checkpoint.write":
+            return self._trial_checkpoint_write(spec, tmpdir)
+        if site == "checkpoint.load":
+            return self._trial_checkpoint_load(spec, tmpdir)
+        if site == "batch.worker":
+            return self._trial_batch_worker(spec, tmpdir)
+        if site == "batch.merge":
+            return self._trial_batch_merge(spec, tmpdir)
+        if site == "memory.pass":
+            return self._trial_memory_pass(spec, tmpdir)
+        raise ConfigurationError(f"no trial harness for {site!r}")
+
+    # -- campaign-backed cells -----------------------------------------
+
+    def _trial_campaign_step(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        if spec.action == chaos_actions.KILL_PROCESS:
+            return self._kill_trial(spec, tmpdir, target="campaign")
+        if spec.action == chaos_actions.DELAY:
+            return self._delay_campaign_trial(spec, tmpdir)
+        checkpoint = tmpdir / "ck.json"
+        controller = ChaosController(spec)
+        with activated(controller):
+            outcome = trials.make_campaign_runner(
+                checkpoint, plan=self.plan
+            ).run()
+        violations: List[str] = []
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        clean = self.clean_campaign()
+        got = canon_exposures(outcome)
+        self._require_valid_checkpoint(
+            checkpoint, CampaignCheckpoint, violations
+        )
+        if spec.action == chaos_actions.RAISE_TRANSIENT:
+            if not outcome.completed:
+                violations.append(
+                    "transient fault was not ridden out (incomplete)"
+                )
+            if got != clean:
+                violations.append(
+                    "retried run diverged from clean run"
+                )
+            if not self._has_event(outcome.events, EventKind.RETRY):
+                violations.append("no RETRY event recorded")
+        else:  # crash
+            violations.extend(
+                self._check_isolated_crash(outcome, got, clean, spec)
+            )
+        return violations, fired
+
+    def _check_isolated_crash(
+        self,
+        outcome: SupervisedCampaignResult,
+        got: str,
+        clean: str,
+        spec: ChaosSpec,
+    ) -> List[str]:
+        """Crash isolation: skip exactly one step, keep the prefix,
+        and be reproducible under replay."""
+        violations: List[str] = []
+        if not outcome.completed:
+            violations.append(
+                "crash was not isolated (run incomplete)"
+            )
+        isolations = sum(
+            1
+            for e in outcome.events
+            if e.kind == EventKind.ISOLATION
+        )
+        if isolations != 1:
+            violations.append(
+                f"expected exactly 1 isolation, saw {isolations}"
+            )
+        clean_rows = json.loads(clean)
+        got_rows = json.loads(got)
+        k = spec.fire_at
+        if got_rows[:k] != clean_rows[:k]:
+            violations.append(
+                "pre-fault prefix diverged from clean run"
+            )
+        if len(got_rows) != len(clean_rows) - 1:
+            violations.append(
+                "isolated step was not exactly skipped"
+                f" ({len(got_rows)} vs {len(clean_rows)} exposures)"
+            )
+        # Replay determinism: the same chaos seed must reproduce the
+        # same degraded-but-valid result, or no violation report is
+        # ever debuggable.
+        with activated(ChaosController(spec)):
+            replay = trials.make_campaign_runner(plan=self.plan).run()
+        if canon_exposures(replay) != got:
+            violations.append(
+                "chaos run is not reproducible under replay"
+            )
+        return violations
+
+    def _delay_campaign_trial(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        checkpoint = tmpdir / "ck.json"
+        clock = ChaosClock()
+        controller = ChaosController(spec, clock=clock)
+        with activated(controller):
+            outcome = trials.make_campaign_runner(
+                checkpoint,
+                plan=self.plan,
+                clock=clock.monotonic,
+                wall_clock_budget_s=trials.DELAY_TRIAL_BUDGET_S,
+            ).run()
+        violations: List[str] = []
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        clean = self.clean_campaign()
+        last_step = self.plan_len - 1
+        if outcome.completed:
+            if spec.fire_at < last_step:
+                violations.append(
+                    "deadline not enforced after injected delay"
+                )
+            if canon_exposures(outcome) != clean:
+                violations.append("delayed run diverged from clean")
+            return violations, fired
+        if not self._has_event(outcome.events, EventKind.DEADLINE):
+            violations.append("no DEADLINE event after delay")
+        if outcome.steps_completed != spec.fire_at + 1:
+            violations.append(
+                "budget not respected: "
+                f"{outcome.steps_completed} steps ran, expected"
+                f" {spec.fire_at + 1}"
+            )
+        self._require_valid_checkpoint(
+            checkpoint,
+            CampaignCheckpoint,
+            violations,
+            expect_exists=True,
+        )
+        resumed = trials.make_campaign_runner(
+            checkpoint, plan=self.plan
+        ).run(resume=True)
+        if canon_exposures(resumed) != clean:
+            violations.append(
+                "resume after deadline diverged from clean run"
+            )
+        if not self._has_event(resumed.events, EventKind.RESUME):
+            violations.append("no RESUME event on resume")
+        return violations, fired
+
+    # -- fleet cells ---------------------------------------------------
+
+    def _trial_fleet_day(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        if spec.action == chaos_actions.KILL_PROCESS:
+            return self._kill_trial(spec, tmpdir, target="fleet")
+        checkpoint = tmpdir / "ck.json"
+        clean = self.clean_fleet()
+        violations: List[str] = []
+        if spec.action == chaos_actions.DELAY:
+            clock = ChaosClock()
+            controller = ChaosController(spec, clock=clock)
+            with activated(controller):
+                outcome = trials.make_fleet_runner(
+                    checkpoint,
+                    clock=clock.monotonic,
+                    wall_clock_budget_s=trials.DELAY_TRIAL_BUDGET_S,
+                ).run(n_days=trials.FLEET_N_DAYS)
+            fired = controller.fired()
+            if not fired:
+                violations.append("fault never fired")
+            if outcome.completed:
+                if spec.fire_at < trials.FLEET_N_DAYS - 1:
+                    violations.append(
+                        "deadline not enforced after injected delay"
+                    )
+                if canon_days(outcome) != clean:
+                    violations.append(
+                        "delayed run diverged from clean"
+                    )
+                return violations, fired
+            if not self._has_event(
+                outcome.events, EventKind.DEADLINE
+            ):
+                violations.append("no DEADLINE event after delay")
+            if outcome.days_completed != spec.fire_at + 1:
+                violations.append(
+                    "budget not respected:"
+                    f" {outcome.days_completed} days ran, expected"
+                    f" {spec.fire_at + 1}"
+                )
+            self._require_valid_checkpoint(
+                checkpoint,
+                FleetCheckpoint,
+                violations,
+                expect_exists=True,
+            )
+            resumed = trials.make_fleet_runner(checkpoint).run(
+                n_days=trials.FLEET_N_DAYS, resume=True
+            )
+            if canon_days(resumed) != clean:
+                violations.append(
+                    "resume after deadline diverged from clean run"
+                )
+            return violations, fired
+        # raise-transient
+        controller = ChaosController(spec)
+        with activated(controller):
+            outcome = trials.make_fleet_runner(checkpoint).run(
+                n_days=trials.FLEET_N_DAYS
+            )
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        if not outcome.completed:
+            violations.append(
+                "transient fault was not ridden out (incomplete)"
+            )
+        if canon_days(outcome) != clean:
+            violations.append("retried run diverged from clean run")
+        if not self._has_event(outcome.events, EventKind.RETRY):
+            violations.append("no RETRY event recorded")
+        return violations, fired
+
+    # -- checkpoint cells ----------------------------------------------
+
+    def _trial_checkpoint_write(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        if spec.action == chaos_actions.KILL_PROCESS:
+            return self._kill_trial(spec, tmpdir, target="campaign")
+        checkpoint = tmpdir / "ck.json"
+        controller = ChaosController(spec)
+        with activated(controller):
+            outcome = trials.make_campaign_runner(
+                checkpoint, plan=self.plan
+            ).run()
+        violations: List[str] = []
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        if not outcome.completed:
+            violations.append(
+                "checkpoint-write fault was not ridden out"
+            )
+        if canon_exposures(outcome) != self.clean_campaign():
+            violations.append("faulted run diverged from clean run")
+        self._require_valid_checkpoint(
+            checkpoint,
+            CampaignCheckpoint,
+            violations,
+            expect_exists=True,
+        )
+        tmp = checkpoint.with_suffix(checkpoint.suffix + ".tmp")
+        if tmp.exists():
+            violations.append(
+                "tmp file left behind after recovered write"
+            )
+        if spec.action in (
+            chaos_actions.RAISE_TRANSIENT,
+            chaos_actions.TORN_WRITE,
+        ) and not self._has_event(outcome.events, EventKind.RETRY):
+            violations.append("no RETRY event for failed write")
+        return violations, fired
+
+    def _trial_checkpoint_load(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        checkpoint = tmpdir / "ck.json"
+        # Produce a genuine mid-run checkpoint to attack.
+        trials.make_campaign_runner(checkpoint, plan=self.plan).run(
+            max_steps=2
+        )
+        violations: List[str] = []
+        controller = ChaosController(spec)
+        if spec.action == chaos_actions.DUPLICATE:
+            with activated(controller):
+                outcome = trials.make_campaign_runner(
+                    checkpoint, plan=self.plan
+                ).run(resume=True)
+            fired = controller.fired()
+            if not fired:
+                violations.append("fault never fired")
+            if canon_exposures(outcome) != self.clean_campaign():
+                violations.append(
+                    "double-read resume diverged from clean run"
+                )
+            return violations, fired
+        # truncate / corrupt: the resume MUST refuse.
+        with activated(controller):
+            try:
+                trials.make_campaign_runner(
+                    checkpoint, plan=self.plan
+                ).run(resume=True)
+            except CheckpointError:
+                pass
+            else:
+                violations.append(
+                    f"{spec.action} checkpoint resumed silently"
+                    " (expected CheckpointError)"
+                )
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        return violations, fired
+
+    # -- transport cells -----------------------------------------------
+
+    def _trial_batch_worker(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        del tmpdir
+        clean = self.clean_transport()
+        violations: List[str] = []
+        controller = ChaosController(spec)
+        if spec.action == chaos_actions.KILL_WORKER:
+            with activated(controller):
+                result = self._run_transport(n_workers=2)
+            # The kill fires in forked workers; the parent-side proof
+            # is the degradation flag plus unchanged tallies.
+            fired = result.degraded_shards > 0
+            if not fired:
+                violations.append(
+                    "worker kill produced no degraded shard"
+                )
+            if canon_transport(result) != clean:
+                violations.append(
+                    "post-worker-death tallies diverged from clean"
+                )
+            return violations, fired
+        with activated(controller):
+            result = self._run_transport(n_workers=1)
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        if result.degraded_shards != 1:
+            violations.append(
+                "shard failure not flagged"
+                f" (degraded_shards={result.degraded_shards})"
+            )
+        if canon_transport(result) != clean:
+            violations.append(
+                "retried-shard tallies diverged from clean"
+            )
+        return violations, fired
+
+    def _trial_batch_merge(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        del tmpdir
+        clean = self.clean_transport()
+        violations: List[str] = []
+        controller = ChaosController(spec)
+        with activated(controller):
+            result = self._run_transport(n_workers=1)
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        if canon_transport(result) != clean:
+            violations.append(
+                "merge-faulted tallies diverged from clean"
+            )
+        expected_degraded = (
+            1 if spec.action == chaos_actions.RAISE_TRANSIENT else 0
+        )
+        if result.degraded_shards != expected_degraded:
+            violations.append(
+                f"expected degraded_shards={expected_degraded},"
+                f" got {result.degraded_shards}"
+            )
+        return violations, fired
+
+    # -- memory cells --------------------------------------------------
+
+    def _trial_memory_pass(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        del tmpdir
+        clean = self.clean_ddr()
+        violations: List[str] = []
+        events = EventLog()
+        supervisor = Supervisor(events=events, sleep=trials._no_sleep)
+        controller = ChaosController(spec)
+        with activated(controller):
+            if spec.action == chaos_actions.RAISE_TRANSIENT:
+                result = supervisor.call("ddr", self._run_ddr)
+                fired = controller.fired()
+                if not fired:
+                    violations.append("fault never fired")
+                if canon_ddr(result) != clean:
+                    violations.append(
+                        "fresh-tester retry diverged from clean run"
+                    )
+                if events.count(EventKind.RETRY) < 1:
+                    violations.append("no RETRY event recorded")
+                return violations, fired
+            # crash: isolate, then a clean attempt must still match.
+            result = supervisor.isolate("ddr", self._run_ddr)
+            fired = controller.fired()
+            if not fired:
+                violations.append("fault never fired")
+            if result is not None:
+                violations.append("crash was not isolated")
+            if events.count(EventKind.ISOLATION) != 1:
+                violations.append("no ISOLATION event recorded")
+            retried = self._run_ddr()
+        if canon_ddr(retried) != clean:
+            violations.append(
+                "post-isolation clean run diverged from clean run"
+            )
+        return violations, fired
+
+    # -- kill (subprocess) trials --------------------------------------
+
+    def _kill_trial(
+        self, spec: ChaosSpec, tmpdir: Path, target: str
+    ) -> Tuple[List[str], bool]:
+        checkpoint = tmpdir / "ck.json"
+        marker = tmpdir / "marker"
+        armed = ChaosSpec(
+            site=spec.site,
+            action=spec.action,
+            fire_at=spec.fire_at,
+            max_fires=spec.max_fires,
+            worker_only=spec.worker_only,
+            marker_path=str(marker),
+        )
+        outcome = trials.run_kill_trial(
+            target, armed, checkpoint, plan=self.plan
+        )
+        violations: List[str] = []
+        fired = outcome.fired
+        if outcome.hung:
+            violations.append("chaos child hung past timeout")
+        if not fired:
+            violations.append("fault never fired (no marker)")
+        elif outcome.exit_code != -signal.SIGKILL:
+            violations.append(
+                f"child exited {outcome.exit_code},"
+                f" expected -{int(signal.SIGKILL)}"
+            )
+        snapshot_cls = (
+            CampaignCheckpoint
+            if target == "campaign"
+            else FleetCheckpoint
+        )
+        resumable = checkpoint.exists()
+        if resumable:
+            try:
+                snapshot_cls.load(checkpoint)
+            except CheckpointError as exc:
+                resumable = False
+                violations.append(
+                    f"checkpoint observable invalid after kill: {exc}"
+                )
+        # Constructing the recovery runner sweeps stale tmp files.
+        if target == "campaign":
+            runner = trials.make_campaign_runner(
+                checkpoint, plan=self.plan
+            )
+        else:
+            runner = trials.make_fleet_runner(checkpoint)
+        tmp = checkpoint.with_suffix(checkpoint.suffix + ".tmp")
+        if tmp.exists():
+            violations.append("stale tmp not cleaned on startup")
+        if target == "campaign":
+            recovered = runner.run(resume=resumable)
+            got = canon_exposures(recovered)
+            clean = self.clean_campaign()
+        else:
+            recovered = runner.run(
+                n_days=trials.FLEET_N_DAYS, resume=resumable
+            )
+            got = canon_days(recovered)
+            clean = self.clean_fleet()
+        if got != clean:
+            violations.append(
+                "recovered result diverged from clean run"
+            )
+        if resumable and not self._has_event(
+            recovered.events, EventKind.RESUME
+        ):
+            violations.append("no RESUME event after resume")
+        return violations, fired
+
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _has_event(events, kind: str) -> bool:
+        return any(e.kind == kind for e in events)
+
+    @staticmethod
+    def _require_valid_checkpoint(
+        path: Path,
+        snapshot_cls,
+        violations: List[str],
+        expect_exists: bool = False,
+    ) -> None:
+        """A checkpoint file, if observable, must always load."""
+        if not path.exists():
+            if expect_exists:
+                violations.append(
+                    f"expected checkpoint at {path.name}, found none"
+                )
+            return
+        try:
+            snapshot_cls.load(path)
+        except CheckpointError as exc:
+            violations.append(
+                f"checkpoint observable invalid: {exc}"
+            )
+
+
+__all__ = [
+    "CellVerdict",
+    "ChaosReport",
+    "InvariantChecker",
+    "TrialOutcome",
+    "canon_days",
+    "canon_ddr",
+    "canon_exposures",
+    "canon_transport",
+]

@@ -1,0 +1,245 @@
+"""Trial workloads and subprocess execution for chaos runs.
+
+The invariant checker replays the same small supervised workloads
+over and over — clean, faulted, killed, resumed — so their sizing
+lives here, shared between the parent process (clean baselines,
+in-process trials) and the forked children used for SIGKILL trials
+(a kill must hit a *real* separate process; nothing after SIGKILL
+runs, so the child proves the fault fired by the controller's marker
+file, written immediately before the kill).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.chaos.faultpoints import install
+from repro.chaos.schedule import ChaosController, ChaosSpec
+from repro.core.fleet import FleetSimulator
+from repro.devices import get_device
+from repro.environment import NEW_YORK, datacenter_scenario
+from repro.runtime.budget import Budget
+from repro.runtime.errors import ConfigurationError
+from repro.runtime.supervisor import (
+    CampaignRunner,
+    ExposureStep,
+    FleetRunner,
+    PLAN_FACTORIES,
+    heterogeneous_plan,
+)
+
+#: Campaign trial sizing (small simulated exposures; seconds per run).
+CAMPAIGN_DURATION_S = 300.0
+CAMPAIGN_MAX_EVENTS = 4
+CAMPAIGN_SEED = 2020
+
+#: Fleet trial sizing.
+FLEET_N_DAYS = 15
+FLEET_CHECKPOINT_EVERY_DAYS = 5
+FLEET_N_DEVICES = 5
+FLEET_SEED = 2020
+
+#: Wall-clock budget used by ``delay`` trials (the injected clock
+#: jumps far past it; real runs never get near it).
+DELAY_TRIAL_BUDGET_S = 60.0
+
+#: How long a forked chaos child may run before the trial is
+#: declared hung (a recovery invariant in itself).
+CHILD_TIMEOUT_S = 120.0
+
+
+def _no_sleep(_delay_s: float) -> None:
+    """Backoff sleeper that returns immediately (trials never wait)."""
+
+
+def build_campaign_plan(plan: str = "heterogeneous") -> List[ExposureStep]:
+    """The campaign plan chaos trials run, sized for speed.
+
+    Args:
+        plan: a :data:`~repro.runtime.supervisor.PLAN_FACTORIES`
+            name; ``heterogeneous`` (the default) is shrunk to
+            seconds-scale exposures.
+
+    Raises:
+        ConfigurationError: for an unknown plan name.
+    """
+    if plan == "heterogeneous":
+        return heterogeneous_plan(
+            duration_s=CAMPAIGN_DURATION_S,
+            max_events_per_step=CAMPAIGN_MAX_EVENTS,
+        )
+    if plan not in PLAN_FACTORIES:
+        raise ConfigurationError(
+            f"unknown plan {plan!r}; valid: {tuple(PLAN_FACTORIES)}"
+        )
+    return PLAN_FACTORIES[plan]()
+
+
+def make_campaign_runner(
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    plan: str = "heterogeneous",
+    clock: Optional[Callable[[], float]] = None,
+    wall_clock_budget_s: Optional[float] = None,
+) -> CampaignRunner:
+    """A trial-sized :class:`CampaignRunner` (no real backoff sleeps)."""
+    budget = (
+        Budget(wall_clock_s=wall_clock_budget_s)
+        if wall_clock_budget_s is not None
+        else None
+    )
+    return CampaignRunner(
+        build_campaign_plan(plan),
+        seed=CAMPAIGN_SEED,
+        budget=budget,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=1,
+        clock=clock,
+        sleep=_no_sleep,
+    )
+
+
+def make_fleet_runner(
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    clock: Optional[Callable[[], float]] = None,
+    wall_clock_budget_s: Optional[float] = None,
+) -> FleetRunner:
+    """A trial-sized :class:`FleetRunner` over a fresh simulator."""
+    simulator = FleetSimulator(
+        get_device("K20"),
+        datacenter_scenario(NEW_YORK),
+        n_devices=FLEET_N_DEVICES,
+        seed=FLEET_SEED,
+    )
+    budget = (
+        Budget(wall_clock_s=wall_clock_budget_s)
+        if wall_clock_budget_s is not None
+        else None
+    )
+    return FleetRunner(
+        simulator,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every_days=FLEET_CHECKPOINT_EVERY_DAYS,
+        budget=budget,
+        clock=clock,
+        sleep=_no_sleep,
+    )
+
+
+# ----------------------------------------------------------------------
+# Forked children for SIGKILL trials
+# ----------------------------------------------------------------------
+
+
+def _campaign_child(
+    spec_dict: dict, checkpoint_path: str, plan: str
+) -> None:
+    """Child entry: run a checkpointed campaign under chaos."""
+    install(ChaosController(ChaosSpec.from_dict(spec_dict)))
+    make_campaign_runner(checkpoint_path, plan=plan).run()
+
+
+def _fleet_child(
+    spec_dict: dict, checkpoint_path: str, plan: str
+) -> None:
+    """Child entry: run a checkpointed fleet simulation under chaos."""
+    del plan
+    install(ChaosController(ChaosSpec.from_dict(spec_dict)))
+    make_fleet_runner(checkpoint_path).run(n_days=FLEET_N_DAYS)
+
+
+#: Subprocess trial targets by workload name.
+CHILD_TARGETS: Dict[str, Callable[[dict, str, str], None]] = {
+    "campaign": _campaign_child,
+    "fleet": _fleet_child,
+}
+
+
+@dataclass(frozen=True)
+class SubprocessOutcome:
+    """What happened to a forked chaos child.
+
+    Attributes:
+        exit_code: the child's exit code (``-9`` = died to SIGKILL;
+            ``None`` only if it was still alive and got terminated).
+        hung: the child outlived :data:`CHILD_TIMEOUT_S`.
+        fired: the controller's marker file exists, proving the
+            fault fired before the process died.
+    """
+
+    exit_code: Optional[int]
+    hung: bool
+    fired: bool
+
+
+def run_kill_trial(
+    target: str,
+    spec: ChaosSpec,
+    checkpoint_path: Union[str, Path],
+    plan: str = "heterogeneous",
+    timeout_s: float = CHILD_TIMEOUT_S,
+) -> SubprocessOutcome:
+    """Run one workload in a forked child and let chaos kill it.
+
+    Args:
+        target: a :data:`CHILD_TARGETS` name.
+        spec: the injection (should carry a ``marker_path``; without
+            one a SIGKILL trial cannot prove the fault fired).
+        checkpoint_path: where the child checkpoints (inspected by
+            the caller afterwards).
+        plan: campaign plan name (campaign target only).
+        timeout_s: hang cutoff.
+
+    Raises:
+        ConfigurationError: for an unknown target name, or when
+            ``fork`` is unavailable (SIGKILL trials need inherited
+            module state).
+    """
+    if target not in CHILD_TARGETS:
+        raise ConfigurationError(
+            f"unknown kill-trial target {target!r};"
+            f" valid: {tuple(CHILD_TARGETS)}"
+        )
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ConfigurationError(
+            "SIGKILL trials require the 'fork' start method"
+        )
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(
+        target=CHILD_TARGETS[target],
+        args=(spec.to_dict(), str(checkpoint_path), plan),
+    )
+    child.start()
+    child.join(timeout_s)
+    hung = child.is_alive()
+    if hung:
+        child.kill()
+        child.join()
+    fired = (
+        spec.marker_path is not None
+        and Path(spec.marker_path).exists()
+    )
+    return SubprocessOutcome(
+        exit_code=child.exitcode, hung=hung, fired=fired
+    )
+
+
+__all__ = [
+    "CAMPAIGN_DURATION_S",
+    "CAMPAIGN_MAX_EVENTS",
+    "CAMPAIGN_SEED",
+    "CHILD_TARGETS",
+    "CHILD_TIMEOUT_S",
+    "DELAY_TRIAL_BUDGET_S",
+    "FLEET_CHECKPOINT_EVERY_DAYS",
+    "FLEET_N_DAYS",
+    "FLEET_N_DEVICES",
+    "FLEET_SEED",
+    "SubprocessOutcome",
+    "build_campaign_plan",
+    "make_campaign_runner",
+    "make_fleet_runner",
+    "run_kill_trial",
+]

@@ -12,6 +12,7 @@ Examples::
     python -m repro run --plan heterogeneous --checkpoint ck.json
     python -m repro run --plan heterogeneous --checkpoint ck.json --resume
     python -m repro lint --statistics
+    python -m repro chaos --trials 2 --json chaos.json
 """
 
 from __future__ import annotations
@@ -334,11 +335,17 @@ def cmd_avf(args: argparse.Namespace) -> int:
 #: Exit code for a supervised run stopped before plan completion.
 EXIT_INCOMPLETE = 3
 
+#: Exit code for a checkpoint that is corrupt, truncated, or belongs
+#: to a different run — resuming would silently produce wrong data,
+#: so the CLI refuses with a code scripts can branch on.
+EXIT_CHECKPOINT = 4
+
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Supervised campaign with checkpoint/resume and budgets."""
     from repro.beam.logbook import CampaignLogbook
     from repro.runtime.budget import Budget
+    from repro.runtime.errors import CheckpointError
     from repro.runtime.supervisor import (
         PLAN_FACTORIES,
         CampaignRunner,
@@ -356,9 +363,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         checkpoint_path=args.checkpoint or None,
         checkpoint_every=args.checkpoint_every,
     )
-    outcome = runner.run(
-        resume=args.resume, max_steps=args.max_steps
-    )
+    try:
+        outcome = runner.run(
+            resume=args.resume, max_steps=args.max_steps
+        )
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}")
+        print(
+            "the checkpoint was not used; re-run without --resume"
+            " to start over, or restore a valid checkpoint"
+        )
+        return EXIT_CHECKPOINT
     status = "completed" if outcome.completed else "INCOMPLETE"
     print(
         f"plan {args.plan!r} {status}:"
@@ -396,6 +411,13 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.cli import run_lint
 
     return run_lint(args)
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection sweep over the runtime (see repro.chaos)."""
+    from repro.chaos.cli import run_chaos
+
+    return run_chaos(args)
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -536,6 +558,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "chaos",
+        help=(
+            "deterministic fault injection: prove the runtime's"
+            " recovery invariants across the (site, action) matrix"
+        ),
+    )
+    from repro.chaos.cli import add_chaos_arguments
+
+    add_chaos_arguments(p)
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "validate",

@@ -21,6 +21,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.analysis.poisson import poisson_interval
+from repro.chaos.faultpoints import fault_point
 from repro.faults.sampler import sample_event_count
 from repro.memory.errors import (
     DdrSensitivity,
@@ -240,6 +241,10 @@ class CorrectLoopTester:
         )
 
         for pass_idx in range(n_passes):
+            # A failed read pass aborts the whole exposure — recovery
+            # means re-running it on a *fresh* tester (the generator
+            # is instance state), which the chaos suite enforces.
+            fault_point("memory.pass", pass_idx=pass_idx)
             # Strikes that arrive before this pass.
             for _ in range(int((cell_pass == pass_idx).sum())):
                 direction = self._sample_direction()

@@ -10,21 +10,40 @@ in a fresh process and still produce a byte-identical result:
 
 A digest of the plan is stored so a checkpoint can refuse to resume a
 *different* run (:class:`~repro.runtime.errors.CheckpointMismatchError`).
+
+Durability (format v3):
+
+* writes are write-to-tmp / fsync / rename / fsync-directory, so a
+  crash at any instant leaves either the previous checkpoint or the
+  new one — never a torn file (stale ``*.tmp`` leftovers are swept by
+  :func:`cleanup_stale_tmp` on runner startup);
+* every payload carries a SHA-256 ``checksum`` over its canonical
+  JSON, so a checkpoint that was silently altered on disk while
+  remaining valid JSON raises :class:`CheckpointError` instead of
+  resuming from wrong state.  Versions 1–2 (no checksum) still load,
+  with a :class:`UserWarning`.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
 
 from repro.beam.results import CampaignResult, ExposureResult
+from repro.chaos.faultpoints import fault_point
 from repro.runtime.errors import CheckpointError, CheckpointMismatchError
 
 #: Format version written into every checkpoint file.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 3
+
+#: Versions :func:`_check_version` accepts (older ones load with a
+#: warning and without checksum verification).
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def plan_digest(plan_dicts: List[dict]) -> str:
@@ -33,22 +52,128 @@ def plan_digest(plan_dicts: List[dict]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _write_json(path: Path, payload: dict) -> None:
-    """Atomically write ``payload`` as JSON (write-then-rename)."""
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 over the canonical JSON of ``payload`` sans checksum.
+
+    The ``checksum`` key itself is excluded so the digest can be both
+    computed at write time and re-verified at load time from the same
+    function.
+    """
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    canonical = json.dumps(body, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def verify_checksum(data: dict, path: Union[str, Path]) -> None:
+    """Validate the stored payload checksum of a loaded checkpoint.
+
+    Raises:
+        CheckpointError: when a v3+ checkpoint is missing its
+            checksum or the stored value does not match the payload
+            (the file was altered at rest).
+    """
+    version = data.get("version", 0)
+    if version < 3:
+        warnings.warn(
+            f"checkpoint {path} uses format v{version} (no payload"
+            " checksum); silent on-disk corruption cannot be"
+            " detected — rewrite it by running with --checkpoint",
+            UserWarning,
+            stacklevel=2,
+        )
+        return
+    stored = data.get("checksum")
+    if stored is None:
+        raise CheckpointError(
+            f"checkpoint {path} (v{version}) has no payload checksum"
+        )
+    expected = payload_checksum(data)
+    if stored != expected:
+        raise CheckpointError(
+            f"checkpoint {path} failed checksum verification"
+            f" (stored {str(stored)[:12]}…, payload"
+            f" {expected[:12]}…): file corrupted at rest"
+        )
+
+
+def cleanup_stale_tmp(path: Union[str, Path]) -> bool:
+    """Remove a leftover ``<path>.tmp`` from an interrupted write.
+
+    A crash between the tmp write and the rename leaks the tmp file;
+    runners call this on startup so the leak is bounded to one write.
+
+    Returns:
+        True when a stale tmp file was found and removed.
+    """
+    path = Path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
     try:
-        tmp.write_text(
-            json.dumps(payload, indent=2, sort_keys=True)
-        )
-        tmp.replace(path)
+        if tmp.exists():
+            tmp.unlink()
+            return True
+    except OSError:
+        # Best-effort sweep: an unreadable tmp never blocks startup.
+        return False
+    return False
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a rename to disk by fsyncing the parent directory.
+
+    Best-effort: some filesystems refuse O_RDONLY fsync on
+    directories, and durability of the *data* was already ensured by
+    the tmp-file fsync.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    """Durably and atomically write ``payload`` as JSON.
+
+    Write-to-tmp, fsync, rename, fsync-directory: a crash at any
+    point leaves the previous checkpoint (or no file), never a torn
+    one.
+    """
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
     except OSError as exc:
         raise CheckpointError(
             f"cannot write checkpoint {path}: {exc}"
         ) from exc
+    # The durable-tmp / not-yet-renamed instant: a crash here must
+    # leave the previous checkpoint intact and only leak the tmp.
+    fault_point(
+        "checkpoint.write",
+        path=str(path),
+        tmp=str(tmp),
+        text=text,
+    )
+    try:
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint {path}: {exc}"
+        ) from exc
+    _fsync_dir(path.parent)
 
 
 def _read_json(path: Path) -> dict:
     """Read and parse a checkpoint file."""
+    fault_point("checkpoint.load", path=str(path))
     try:
         data = json.loads(Path(path).read_text())
     except OSError as exc:
@@ -68,10 +193,10 @@ def _read_json(path: Path) -> dict:
 
 def _check_version(data: dict, path: Union[str, Path]) -> None:
     version = data.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise CheckpointError(
             f"unsupported checkpoint version {version!r} in {path};"
-            f" expected {CHECKPOINT_VERSION}"
+            f" supported: {SUPPORTED_VERSIONS}"
         )
 
 
@@ -98,8 +223,8 @@ class CampaignCheckpoint:
     events: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-ready)."""
-        return {
+        """Plain-dict form (JSON-ready, checksum included)."""
+        payload = {
             "version": CHECKPOINT_VERSION,
             "kind": "campaign",
             "seed": self.seed,
@@ -110,6 +235,8 @@ class CampaignCheckpoint:
             "exposures": list(self.exposures),
             "events": list(self.events),
         }
+        payload["checksum"] = payload_checksum(payload)
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignCheckpoint":
@@ -161,9 +288,15 @@ class CampaignCheckpoint:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "CampaignCheckpoint":
-        """Read a snapshot back from JSON."""
+        """Read a snapshot back from JSON.
+
+        Raises:
+            CheckpointError: on unreadable/invalid files, an
+                unsupported version, or a checksum mismatch.
+        """
         data = _read_json(Path(path))
         _check_version(data, path)
+        verify_checksum(data, path)
         return cls.from_dict(data)
 
 
@@ -190,8 +323,8 @@ class FleetCheckpoint:
     events: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-ready)."""
-        return {
+        """Plain-dict form (JSON-ready, checksum included)."""
+        payload = {
             "version": CHECKPOINT_VERSION,
             "kind": "fleet",
             "seed": self.seed,
@@ -202,6 +335,8 @@ class FleetCheckpoint:
             "days": list(self.days),
             "events": list(self.events),
         }
+        payload["checksum"] = payload_checksum(payload)
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "FleetCheckpoint":
@@ -245,15 +380,25 @@ class FleetCheckpoint:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "FleetCheckpoint":
-        """Read a snapshot back from JSON."""
+        """Read a snapshot back from JSON.
+
+        Raises:
+            CheckpointError: on unreadable/invalid files, an
+                unsupported version, or a checksum mismatch.
+        """
         data = _read_json(Path(path))
         _check_version(data, path)
+        verify_checksum(data, path)
         return cls.from_dict(data)
 
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "SUPPORTED_VERSIONS",
     "CampaignCheckpoint",
     "FleetCheckpoint",
+    "cleanup_stale_tmp",
+    "payload_checksum",
     "plan_digest",
+    "verify_checksum",
 ]

@@ -41,12 +41,14 @@ from typing import (
 from repro.beam.beamline import Beamline, chipir, rotax
 from repro.beam.campaign import IrradiationCampaign
 from repro.beam.results import CampaignResult
+from repro.chaos.faultpoints import fault_point
 from repro.core.fleet import FleetDay, FleetSimulator, FleetYearResult
 from repro.devices import DEVICES, get_device
 from repro.runtime.budget import Budget, BudgetTracker, RetryPolicy
 from repro.runtime.checkpoint import (
     CampaignCheckpoint,
     FleetCheckpoint,
+    cleanup_stale_tmp,
     plan_digest,
 )
 from repro.runtime.errors import (
@@ -354,6 +356,8 @@ class CampaignRunner:
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path else None
         )
+        if self.checkpoint_path is not None:
+            cleanup_stale_tmp(self.checkpoint_path)
         self.checkpoint_every = checkpoint_every
         self._clock = clock
         self._sleep = sleep
@@ -486,6 +490,10 @@ class CampaignRunner:
         step: ExposureStep,
         idx: int,
     ) -> None:
+        # Before any lookup and — critically — before the campaign
+        # spawns the step's RNG stream, so a retried step replays the
+        # exact draws of an unfaulted one.
+        fault_point("supervisor.step", step=idx, label=step.label())
         beamline = BEAMLINE_FACTORIES[step.beamline]()
         device = get_device(step.device)
         if step.mode == "counting":
@@ -630,6 +638,8 @@ class FleetRunner:
         self.checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path else None
         )
+        if self.checkpoint_path is not None:
+            cleanup_stale_tmp(self.checkpoint_path)
         self.checkpoint_every_days = checkpoint_every_days
         self.budget = budget or Budget()
         self.retry = retry or RetryPolicy()
@@ -689,7 +699,7 @@ class FleetRunner:
                 break
             record = supervisor.call(
                 f"day {day}",
-                lambda d=day: self.simulator.step_day(
+                lambda d=day: self._step_day(
                     d, years_since_solar_minimum
                 ),
             )
@@ -718,6 +728,14 @@ class FleetRunner:
         )
 
     # ------------------------------------------------------------------
+
+    def _step_day(
+        self, day: int, years_since_solar_minimum: float
+    ) -> FleetDay:
+        # Before the simulator touches its generator, so a retried
+        # day consumes exactly the draws of an unfaulted one.
+        fault_point("fleet.day", day=day)
+        return self.simulator.step_day(day, years_since_solar_minimum)
 
     def _restore(
         self,

@@ -31,12 +31,14 @@ every sweep, instead of being re-derived per collision.
 from __future__ import annotations
 
 import math
-import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.chaos.faultpoints import fault_point
 from repro.physics.constants import BOLTZMANN_EV_PER_K, ROOM_TEMPERATURE_K
 from repro.physics.units import (
     FAST_CUTOFF_EV,
@@ -321,8 +323,15 @@ def _simulate_sweep(
 
 
 def _sweep_worker(args):
-    """Top-level adapter so sweeps can run in a multiprocessing pool."""
-    return _simulate_sweep(*args)
+    """Top-level adapter so sweeps can run in a process pool.
+
+    Takes ``(shard_index, task_tuple)`` and returns
+    ``(shard_index, part)`` so results can be delivered by shard
+    identity regardless of completion order.
+    """
+    shard, task = args
+    fault_point("batch.worker", shard=shard)
+    return shard, _simulate_sweep(*task)
 
 
 # ----------------------------------------------------------------------
@@ -421,19 +430,99 @@ class BatchTransportEngine:
             for i in range(0, n_streams, per_sweep)
         ]
 
-        if n_workers is not None and n_workers > 1 and len(tasks) > 1:
-            with multiprocessing.Pool(
-                processes=min(n_workers, len(tasks))
-            ) as pool:
-                parts = pool.map(_sweep_worker, tasks)
-        else:
-            parts = [_simulate_sweep(*task) for task in tasks]
+        parts, degraded_shards = self._run_shards(tasks, n_workers)
 
         result = TransportResult.from_tally(
-            self._merge(n_neutrons, parts)
+            self._merge(n_neutrons, parts),
+            degraded_shards=degraded_shards,
         )
         assert result.balance_check(), "neutron balance violated"
         return result
+
+    def _run_shards(
+        self,
+        tasks: List[tuple],
+        n_workers: Optional[int],
+    ) -> Tuple[List[Tuple[np.ndarray, np.ndarray, int, int]], int]:
+        """Run every shard, riding out worker death and merge faults.
+
+        Each shard is a whole group of seed streams, so its tally is
+        a pure function of its task tuple: a shard that failed in a
+        pool worker (the process was killed, the executor broke, the
+        delivery faulted) is simply recomputed once in-process and
+        delivered again.  Shard-indexed delivery keeps the retry —
+        and any duplicated delivery — idempotent.
+
+        Returns:
+            ``(parts, degraded_shards)`` where ``parts`` is ordered
+            by shard index and ``degraded_shards`` counts shards that
+            needed the in-process fallback.
+
+        Raises:
+            Exception: whatever the in-process retry of a shard
+                raises — one retry is the recovery policy, a second
+                failure is a real bug.
+        """
+        parts: Dict[int, Tuple[np.ndarray, np.ndarray, int, int]] = {}
+
+        def _store(
+            shard: int,
+            part: Tuple[np.ndarray, np.ndarray, int, int],
+        ) -> None:
+            parts[shard] = part
+
+        def _deliver(
+            shard: int,
+            part: Tuple[np.ndarray, np.ndarray, int, int],
+        ) -> None:
+            fault_point(
+                "batch.merge", index=shard, part=part, store=_store
+            )
+            _store(shard, part)
+
+        failed: List[int] = []
+        if n_workers is not None and n_workers > 1 and len(tasks) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(tasks))
+            ) as pool:
+                futures = [
+                    pool.submit(_sweep_worker, (i, task))
+                    for i, task in enumerate(tasks)
+                ]
+                for i, future in enumerate(futures):
+                    try:
+                        shard, part = future.result()
+                        _deliver(shard, part)
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BrokenProcessPool:
+                        # The pool died under this shard (worker
+                        # SIGKILL / OOM); every not-yet-delivered
+                        # future fails the same way and each shard
+                        # falls back in-process.
+                        failed.append(i)
+                    except Exception:  # noqa: BLE001 — worker isolation point
+                        failed.append(i)
+        else:
+            for i, task in enumerate(tasks):
+                try:
+                    shard, part = _sweep_worker((i, task))
+                    _deliver(shard, part)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception:  # noqa: BLE001 — shard isolation point
+                    failed.append(i)
+
+        # One in-process retry per failed shard; determinism of the
+        # seed streams makes the recomputed tally bit-identical to
+        # what the lost worker would have produced.
+        for i in failed:
+            shard, part = _sweep_worker((i, tasks[i]))
+            _deliver(shard, part)
+
+        missing = [i for i in range(len(tasks)) if i not in parts]
+        assert not missing, f"shards never delivered: {missing}"
+        return [parts[i] for i in range(len(tasks))], len(failed)
 
     def _merge(
         self,

@@ -48,10 +48,23 @@ class TransportResult:
     absorbed: int
     collisions: int
     absorbed_by_material: Dict[str, int]
+    #: Shards the batch engine recomputed in-process after a pool
+    #: worker died or a delivery faulted.  Tallies are unaffected
+    #: (shards are deterministic), but the run did not go to plan —
+    #: mirrors the ``degraded`` flag on exposures.
+    degraded_shards: int = 0
 
     @classmethod
-    def from_tally(cls, tally: TransportTally) -> "TransportResult":
-        """Freeze a mutable tally."""
+    def from_tally(
+        cls, tally: TransportTally, degraded_shards: int = 0
+    ) -> "TransportResult":
+        """Freeze a mutable tally.
+
+        Args:
+            tally: the counters to freeze.
+            degraded_shards: shards that needed the in-process
+                fallback (batch engine only).
+        """
         return cls(
             source=tally.source,
             transmitted_thermal=tally.transmitted_thermal,
@@ -63,6 +76,7 @@ class TransportResult:
             absorbed=tally.absorbed,
             collisions=tally.collisions,
             absorbed_by_material=dict(tally.absorbed_by_material),
+            degraded_shards=degraded_shards,
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,105 @@
+"""The ``python -m repro chaos`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.chaos.cli import (
+    DEFAULT_TRIALS,
+    SMOKE_TRIALS,
+    default_trials,
+)
+from repro.chaos.faultpoints import FAULT_POINTS
+from repro.cli import main
+
+
+class TestArguments:
+    def test_list_sites(self, capsys):
+        assert main(["chaos", "--list-sites"]) == 0
+        out = capsys.readouterr().out
+        for site in FAULT_POINTS:
+            assert site in out
+
+    def test_unknown_site_rejected(self, capsys):
+        assert main(["chaos", "--site", "nope.nope"]) == 2
+        assert "unknown site" in capsys.readouterr().out
+
+    def test_unknown_action_rejected(self, capsys):
+        assert main(["chaos", "--action", "meteor"]) == 2
+        assert "unknown action" in capsys.readouterr().out
+
+    def test_default_trials_honours_smoke_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SMOKE", raising=False)
+        assert default_trials() == DEFAULT_TRIALS
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        assert default_trials() == SMOKE_TRIALS
+
+
+class TestSweep:
+    def test_single_cell_sweep_json(self, tmp_path, capsys):
+        out_json = tmp_path / "chaos.json"
+        code = main(
+            [
+                "chaos",
+                "--site",
+                "batch.merge",
+                "--action",
+                "duplicate",
+                "--trials",
+                "1",
+                "--workdir",
+                str(tmp_path / "work"),
+                "--json",
+                str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[PASS] batch.merge" in out
+        assert "all invariants held" in out
+        data = json.loads(out_json.read_text())
+        assert data["ok"] is True
+        assert data["cells"][0]["trials"][0]["fired"] is True
+
+    def test_violations_exit_1(self, tmp_path, monkeypatch):
+        # Disable checksum verification: the corrupt cell must fail
+        # the sweep, and the CLI must surface it as exit code 1.
+        from repro.runtime import checkpoint as checkpoint_module
+
+        monkeypatch.setattr(
+            checkpoint_module,
+            "verify_checksum",
+            lambda data, path: None,
+        )
+        code = main(
+            [
+                "chaos",
+                "--site",
+                "checkpoint.load",
+                "--action",
+                "corrupt",
+                "--trials",
+                "1",
+                "--workdir",
+                str(tmp_path / "work"),
+            ]
+        )
+        assert code == 1
+
+
+@pytest.mark.parametrize("flag", ["--site", "--action"])
+def test_filters_are_repeatable(flag, tmp_path):
+    args = [
+        "chaos",
+        "--trials",
+        "1",
+        "--workdir",
+        str(tmp_path / "work"),
+        "--site",
+        "batch.merge",
+    ]
+    if flag == "--action":
+        args += ["--action", "duplicate", "--action", "raise-transient"]
+    else:
+        args += ["--site", "checkpoint.load"]
+    assert main(args) == 0

@@ -1,0 +1,122 @@
+"""Worker death and shard-delivery faults in the batch engine.
+
+Shards are whole seed-stream groups, so the in-process retry after a
+failure recomputes bit-identical tallies; the only observable trace
+of trouble must be the ``degraded_shards`` flag.
+"""
+
+import pytest
+
+from repro.chaos.faultpoints import activated, uninstall
+from repro.chaos.schedule import ChaosController, ChaosSpec
+from repro.transport.batch import BatchTransportEngine
+from repro.transport.materials import WATER
+from repro.transport.montecarlo import Layer, SlabGeometry
+
+N_NEUTRONS = 8192  # two 4096-history seed streams -> two shards
+BATCH_SIZE = 4096
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_controller():
+    uninstall()
+    yield
+    uninstall()
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return BatchTransportEngine(SlabGeometry([Layer(WATER, 4.0)]))
+
+
+@pytest.fixture(scope="module")
+def clean(engine):
+    return engine.run(
+        N_NEUTRONS,
+        source_energy_ev=1.0e6,
+        seed=7,
+        batch_size=BATCH_SIZE,
+        n_workers=1,
+    )
+
+
+def _run(engine, n_workers):
+    return engine.run(
+        N_NEUTRONS,
+        source_energy_ev=1.0e6,
+        seed=7,
+        batch_size=BATCH_SIZE,
+        n_workers=n_workers,
+    )
+
+
+def _same_tallies(a, b):
+    return (
+        a.source == b.source
+        and a.transmitted == b.transmitted
+        and a.reflected == b.reflected
+        and a.absorbed == b.absorbed
+        and a.collisions == b.collisions
+        and a.absorbed_by_material == b.absorbed_by_material
+    )
+
+
+class TestCleanRuns:
+    def test_degraded_shards_zero_by_default(self, clean):
+        assert clean.degraded_shards == 0
+
+    def test_parallel_matches_serial(self, engine, clean):
+        parallel = _run(engine, n_workers=2)
+        assert _same_tallies(parallel, clean)
+        assert parallel.degraded_shards == 0
+
+
+class TestShardFailures:
+    @pytest.mark.parametrize("action", ["raise-transient", "crash"])
+    def test_failed_shard_retried_once(self, engine, clean, action):
+        controller = ChaosController(
+            ChaosSpec("batch.worker", action, fire_at=1)
+        )
+        with activated(controller):
+            result = _run(engine, n_workers=1)
+        assert controller.fired()
+        assert result.degraded_shards == 1
+        assert _same_tallies(result, clean)
+
+    def test_pool_worker_death_degrades_and_recovers(
+        self, engine, clean
+    ):
+        controller = ChaosController(
+            ChaosSpec(
+                "batch.worker",
+                "kill-worker",
+                fire_at=0,
+                worker_only=True,
+            )
+        )
+        with activated(controller):
+            result = _run(engine, n_workers=2)
+        # The SIGKILL lands in forked pool workers only; the parent
+        # recomputes their shards in-process and flags the run.
+        assert result.degraded_shards > 0
+        assert _same_tallies(result, clean)
+
+    def test_merge_fault_retried(self, engine, clean):
+        controller = ChaosController(
+            ChaosSpec("batch.merge", "raise-transient", fire_at=0)
+        )
+        with activated(controller):
+            result = _run(engine, n_workers=1)
+        assert controller.fired()
+        assert result.degraded_shards == 1
+        assert _same_tallies(result, clean)
+
+    def test_duplicate_delivery_idempotent(self, engine, clean):
+        controller = ChaosController(
+            ChaosSpec("batch.merge", "duplicate", fire_at=1)
+        )
+        with activated(controller):
+            result = _run(engine, n_workers=1)
+        assert controller.fired()
+        assert result.degraded_shards == 0
+        assert _same_tallies(result, clean)
