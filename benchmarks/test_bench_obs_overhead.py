@@ -1,0 +1,132 @@
+"""Observability overhead: disabled call sites and enabled tracing.
+
+The observability contract mirrors the chaos fault-point one — an
+uninstrumented process must pay only a module-global read plus a
+``None`` check per span/metric call site.  Two gates:
+
+* **Disabled**: a large batch of disabled span entries stays far
+  below a microsecond each.
+* **Enabled**: full tracing + metrics on the batch-transport
+  benchmark workload (1e5 histories; fewer under ``REPRO_SMOKE=1``)
+  costs <= 5 % wall time versus the unobserved run — spans sit at
+  step/run granularity, never in per-neutron loops, so the overhead
+  is fixed, not proportional.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import run_once
+from repro.obs.core import Observer, enabled, inc, observing, span
+from repro.obs.metrics import MetricsRegistry
+from repro.transport import Layer, SlabGeometry, SlabTransport, WATER
+
+N_CALLS = 200_000
+
+_SOURCE_ENERGY_EV = 1.0e6
+_THICKNESS_CM = 5.0
+
+#: Enabled-overhead gate: observed / unobserved wall-time ratio.  The
+#: margin above the 1.05 acceptance bar absorbs timer jitter on the
+#: short smoke workload; the workload itself keeps the measured
+#: overhead well below it.
+_MAX_ENABLED_RATIO = 1.05
+
+
+def _span_many() -> int:
+    for idx in range(N_CALLS):
+        with span("supervisor.step", step=idx):
+            pass
+    return N_CALLS
+
+
+def _inc_many() -> int:
+    for _ in range(N_CALLS):
+        inc("repro_exposures_total")
+    return N_CALLS
+
+
+def test_bench_disabled_span(benchmark, announce):
+    assert not enabled()
+    calls = run_once(benchmark, _span_many)
+
+    per_call_ns = benchmark.stats["mean"] / calls * 1e9
+    announce(
+        "obs off: "
+        f"{calls} span entries, {per_call_ns:.0f} ns per entry"
+    )
+
+    # A disabled span is a global read + None check returning the
+    # shared null span; anything near campaign-step cost would mean
+    # the instrumentation leaked into the hot path.
+    assert per_call_ns < 5_000
+
+
+def test_bench_disabled_counter(benchmark, announce):
+    assert not enabled()
+    calls = run_once(benchmark, _inc_many)
+
+    per_call_ns = benchmark.stats["mean"] / calls * 1e9
+    announce(
+        "obs off: "
+        f"{calls} counter incs, {per_call_ns:.0f} ns per call"
+    )
+    assert per_call_ns < 5_000
+
+
+def _transport_run(n_histories: int) -> float:
+    """One seeded batch-transport run; returns wall seconds."""
+    transport = SlabTransport(
+        SlabGeometry([Layer(WATER, _THICKNESS_CM)]),
+        rng=np.random.default_rng(2020),
+    )
+    start = time.perf_counter()
+    result = transport.run(
+        n_histories,
+        source_energy_ev=_SOURCE_ENERGY_EV,
+        engine="batch",
+    )
+    assert result.balance_check()
+    return time.perf_counter() - start
+
+
+def _measure_overhead(tmp_path, smoke: bool) -> dict:
+    n_histories = 5_000 if smoke else 100_000
+    # Warm-up outside both timed runs (imports, worker pools).
+    _transport_run(1_000)
+    baseline_s = min(_transport_run(n_histories) for _ in range(2))
+    observer = Observer(
+        trace_path=tmp_path / "trace.jsonl",
+        registry=MetricsRegistry(),
+    )
+    with observing(observer):
+        observed_s = min(
+            _transport_run(n_histories) for _ in range(2)
+        )
+    return {
+        "n_histories": n_histories,
+        "baseline_s": baseline_s,
+        "observed_s": observed_s,
+        "ratio": observed_s / baseline_s,
+    }
+
+
+def test_bench_enabled_overhead(benchmark, announce, tmp_path):
+    smoke = bool(os.environ.get("REPRO_SMOKE"))
+    payload = run_once(benchmark, _measure_overhead, tmp_path, smoke)
+
+    announce(
+        "obs on (trace + metrics): "
+        f"{payload['n_histories']} histories, "
+        f"baseline {payload['baseline_s']:.3f} s, "
+        f"observed {payload['observed_s']:.3f} s, "
+        f"ratio {payload['ratio']:.3f}"
+    )
+    assert payload["ratio"] <= _MAX_ENABLED_RATIO, (
+        f"enabled observability overhead {payload['ratio']:.3f}x"
+        f" exceeds {_MAX_ENABLED_RATIO}x"
+    )

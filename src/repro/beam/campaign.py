@@ -29,6 +29,7 @@ from repro.beam.results import CampaignResult, ExposureResult
 from repro.chaos.faultpoints import fault_point
 from repro.devices.model import Device
 from repro.faults.injector import random_injection_for
+from repro.obs import core as obs
 from repro.faults.models import DueError, FaultKind, Outcome
 from repro.faults.sampler import sample_event_count
 from repro.runtime.errors import (
@@ -122,25 +123,33 @@ class IrradiationCampaign:
         """
         duration_s = require_positive_duration_s(duration_s)
         position = require_position(position)
-        # Before the exposure stream is spawned, so a supervised
-        # retry of this exposure replays identical draws.
-        fault_point(
-            "campaign.exposure", device=device.name, code=code
-        )
-        fluence = beamline.fluence(duration_s, position)
-        sigma_sdc = device.sigma(beamline.kind, Outcome.SDC, code)
-        sigma_due = device.sigma(beamline.kind, Outcome.DUE, code)
-        rng = self._rng()
-        exposure = ExposureResult(
-            device_name=device.name,
+        with obs.span(
+            "campaign.exposure",
+            mode="counting",
+            device=device.name,
             code=code,
-            beam=beamline.kind,
-            fluence_per_cm2=fluence,
-            sdc_count=sample_event_count(rng, sigma_sdc, fluence),
-            due_count=sample_event_count(rng, sigma_due, fluence),
-        )
-        self.result.add(exposure)
-        return exposure
+            beam=beamline.kind.value,
+        ):
+            # Before the exposure stream is spawned, so a supervised
+            # retry of this exposure replays identical draws.
+            fault_point(
+                "campaign.exposure", device=device.name, code=code
+            )
+            fluence = beamline.fluence(duration_s, position)
+            sigma_sdc = device.sigma(beamline.kind, Outcome.SDC, code)
+            sigma_due = device.sigma(beamline.kind, Outcome.DUE, code)
+            rng = self._rng()
+            exposure = ExposureResult(
+                device_name=device.name,
+                code=code,
+                beam=beamline.kind,
+                fluence_per_cm2=fluence,
+                sdc_count=sample_event_count(rng, sigma_sdc, fluence),
+                due_count=sample_event_count(rng, sigma_due, fluence),
+            )
+            self.result.add(exposure)
+            self._count_exposure(exposure)
+            return exposure
 
     # ------------------------------------------------------------------
 
@@ -193,62 +202,87 @@ class IrradiationCampaign:
                 f"{device.name} was not tested with"
                 f" {workload.name!r}"
             )
-        # Before the exposure stream is spawned (see expose_counting).
-        fault_point(
+        with obs.span(
             "campaign.exposure",
+            mode="simulated",
             device=device.name,
             code=workload.name,
-        )
-        rng = self._rng()
-        fluence = beamline.fluence(duration_s, position)
-        sigma_data = device.data_sigma(beamline.kind) * code_factor
-        sigma_control = (
-            device.control_sigma(beamline.kind) * code_factor
-        )
-        n_data = sample_event_count(rng, sigma_data, fluence)
-        n_control = sample_event_count(rng, sigma_control, fluence)
-        if max_events is not None:
-            scale_total = n_data + n_control
-            if scale_total > max_events and scale_total > 0:
-                # Floor both kept counts so their sum can never
-                # exceed the cap, then rescale the fluence by the
-                # fraction actually kept (not the requested fraction)
-                # to keep the cross-section estimator unbiased.
-                keep = max_events / scale_total
-                n_data = int(n_data * keep)
-                n_control = int(n_control * keep)
-                kept_total = n_data + n_control
-                fluence *= kept_total / scale_total
-
-        exposure = ExposureResult(
-            device_name=device.name,
-            code=workload.name,
-            beam=beamline.kind,
-            fluence_per_cm2=fluence,
-        )
-        space = workload.injection_space()
-        for _ in range(n_data):
-            injection = random_injection_for(rng, space)
-            try:
-                output = workload.execute([injection])
-            except DueError as due:
-                exposure.record(Outcome.DUE, due.mechanism)
-            except ReproError:
-                # Configuration/budget/transient errors are harness
-                # conditions the supervisor handles — not strikes.
-                raise
-            except Exception as exc:  # noqa: BLE001 — isolation point
-                self._isolate(exposure, workload, exc)
-            else:
-                exposure.record(workload.classify(output))
-        for _ in range(n_control):
-            exposure.record(
-                Outcome.DUE, f"control upset ({FaultKind.CONTROL.value})"
+            beam=beamline.kind.value,
+        ):
+            # Before the exposure stream is spawned (see
+            # expose_counting).
+            fault_point(
+                "campaign.exposure",
+                device=device.name,
+                code=workload.name,
             )
-        self.result.add(exposure)
-        return exposure
+            rng = self._rng()
+            fluence = beamline.fluence(duration_s, position)
+            sigma_data = device.data_sigma(beamline.kind) * code_factor
+            sigma_control = (
+                device.control_sigma(beamline.kind) * code_factor
+            )
+            n_data = sample_event_count(rng, sigma_data, fluence)
+            n_control = sample_event_count(
+                rng, sigma_control, fluence
+            )
+            if max_events is not None:
+                scale_total = n_data + n_control
+                if scale_total > max_events and scale_total > 0:
+                    # Floor both kept counts so their sum can never
+                    # exceed the cap, then rescale the fluence by the
+                    # fraction actually kept (not the requested
+                    # fraction) to keep the cross-section estimator
+                    # unbiased.
+                    keep = max_events / scale_total
+                    n_data = int(n_data * keep)
+                    n_control = int(n_control * keep)
+                    kept_total = n_data + n_control
+                    fluence *= kept_total / scale_total
+
+            exposure = ExposureResult(
+                device_name=device.name,
+                code=workload.name,
+                beam=beamline.kind,
+                fluence_per_cm2=fluence,
+            )
+            space = workload.injection_space()
+            for _ in range(n_data):
+                injection = random_injection_for(rng, space)
+                try:
+                    output = workload.execute([injection])
+                except DueError as due:
+                    exposure.record(Outcome.DUE, due.mechanism)
+                except ReproError:
+                    # Configuration/budget/transient errors are
+                    # harness conditions the supervisor handles — not
+                    # strikes.
+                    raise
+                except Exception as exc:  # noqa: BLE001 — isolation
+                    self._isolate(exposure, workload, exc)
+                else:
+                    exposure.record(workload.classify(output))
+            for _ in range(n_control):
+                exposure.record(
+                    Outcome.DUE,
+                    f"control upset ({FaultKind.CONTROL.value})",
+                )
+            self.result.add(exposure)
+            self._count_exposure(exposure)
+            return exposure
 
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _count_exposure(exposure: ExposureResult) -> None:
+        """Feed the exposure/event counters for one completed exposure."""
+        obs.inc("repro_exposures_total")
+        obs.inc(
+            "repro_events_observed_total",
+            exposure.sdc_count
+            + exposure.due_count
+            + exposure.masked_count,
+        )
 
     def _isolate(
         self,

@@ -13,16 +13,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
 
+from repro import serde
 from repro.beam.results import CampaignResult, ExposureResult
 from repro.faults.models import BeamKind
 
 #: Format version written into every logbook file.  Version 2 adds
-#: the robustness fields (``isolated``, ``degraded``); version-1
-#: files still load (the fields default to zero/False).
-LOGBOOK_VERSION = 2
+#: the robustness fields (``isolated``, ``degraded``); version 3 adds
+#: the :mod:`repro.serde` schema tags.  Older files still load (the
+#: fields default to zero/False).
+LOGBOOK_VERSION = 3
 
 #: Versions :meth:`CampaignLogbook.from_dict` accepts.
-SUPPORTED_LOGBOOK_VERSIONS = (1, 2)
+SUPPORTED_LOGBOOK_VERSIONS = (1, 2, 3)
 
 
 @dataclass
@@ -44,30 +46,44 @@ class CampaignLogbook:
     # ------------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-ready)."""
-        return {
-            "version": LOGBOOK_VERSION,
-            "seed": self.seed,
-            "notes": self.notes,
-            "metadata": dict(self.metadata),
-            "exposures": [
-                e.to_dict() for e in self.result.exposures
-            ],
-        }
+        """Plain-dict form (JSON-ready).
+
+        Carries both the historical ``version`` field and the
+        :mod:`repro.serde` schema tags; the two always agree.
+        """
+        return serde.tag(
+            "logbook",
+            {
+                "version": LOGBOOK_VERSION,
+                "seed": self.seed,
+                "notes": self.notes,
+                "metadata": dict(self.metadata),
+                "exposures": [
+                    e.to_dict() for e in self.result.exposures
+                ],
+            },
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignLogbook":
         """Rebuild from a plain dict.
 
+        Versions 1–2 (pre-serde) load with a
+        :class:`DeprecationWarning`; their version comes from the
+        historical ``version`` field.
+
         Raises:
-            ValueError: on a missing/unsupported format version.
+            repro.serde.SchemaError: on a missing/unsupported format
+                version, or when the ``version`` field and the schema
+                tag disagree (a ``ValueError`` subclass, so older
+                callers keep working).
         """
-        version = data.get("version")
-        if version not in SUPPORTED_LOGBOOK_VERSIONS:
-            raise ValueError(
-                f"unsupported logbook version {version!r};"
-                f" expected one of {SUPPORTED_LOGBOOK_VERSIONS}"
-            )
+        serde.check(
+            "logbook",
+            data,
+            supported=SUPPORTED_LOGBOOK_VERSIONS,
+            legacy_key="version",
+        )
         result = CampaignResult()
         for raw in data.get("exposures", []):
             result.add(ExposureResult.from_dict(raw))

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import serde
 from repro.analysis.poisson import cross_section
 from repro.analysis.ratios import RateRatio, rate_ratio
 from repro.faults.models import BeamKind, Outcome
@@ -85,26 +86,41 @@ class ExposureResult:
             self.masked_count += 1
 
     def to_dict(self) -> dict:
-        """Plain-dict form (JSON-ready; logbooks and checkpoints)."""
-        return {
-            "device": self.device_name,
-            "code": self.code,
-            "beam": self.beam.value,
-            "fluence_per_cm2": self.fluence_per_cm2,
-            "sdc": self.sdc_count,
-            "due": self.due_count,
-            "masked": self.masked_count,
-            "due_mechanisms": dict(self.due_mechanisms),
-            "isolated": self.isolated_count,
-            "degraded": self.degraded,
-        }
+        """Plain-dict form (JSON-ready; logbooks and checkpoints).
+
+        Tagged by :func:`repro.serde.tag` with the ``exposure``
+        schema, so loaders can tell at a glance which era wrote the
+        payload.
+        """
+        return serde.tag(
+            "exposure",
+            {
+                "device": self.device_name,
+                "code": self.code,
+                "beam": self.beam.value,
+                "fluence_per_cm2": self.fluence_per_cm2,
+                "sdc": self.sdc_count,
+                "due": self.due_count,
+                "masked": self.masked_count,
+                "due_mechanisms": dict(self.due_mechanisms),
+                "isolated": self.isolated_count,
+                "degraded": self.degraded,
+            },
+        )
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExposureResult":
         """Rebuild from :meth:`to_dict` output.
 
-        Robustness fields are optional so version-1 logbooks load.
+        Untagged (pre-serde) payloads still load — with a
+        :class:`DeprecationWarning` — and the robustness fields are
+        optional so version-1 logbooks load.
+
+        Raises:
+            repro.serde.SchemaError: on a tagged payload whose
+                version this build does not understand.
         """
+        serde.check("exposure", data)
         return cls(
             device_name=data["device"],
             code=data["code"],

@@ -3,9 +3,10 @@
 Sweeps the (site, action) fault matrix with
 :class:`~repro.chaos.invariants.InvariantChecker` and prints a
 verdict per cell; ``--json`` additionally writes the machine-readable
-matrix.  Exit code 0 means every recovery invariant held in every
-trial; 1 means at least one violation (the printed matrix says
-which).
+matrix.  Exit codes follow :class:`repro.exitcodes.ExitCode`: ``OK``
+(0) means every recovery invariant held in every trial, ``FAILURE``
+(1) means at least one violation (the printed matrix says which),
+``USAGE`` (2) means an unknown ``--site``/``--action``.
 """
 
 from __future__ import annotations
@@ -14,12 +15,54 @@ import argparse
 import json
 import os
 from pathlib import Path
+from typing import List, Sequence
 
 from repro.chaos.faultpoints import FAULT_POINTS, site_names
+from repro.exitcodes import ExitCode
+from repro.runtime.errors import ConfigurationError
 
 #: Trials per matrix cell (fewer under ``REPRO_SMOKE=1`` CI runs).
 DEFAULT_TRIALS = 2
 SMOKE_TRIALS = 1
+
+
+def parse_sites(raw: Sequence[str]) -> List[str]:
+    """Validate ``--site`` values against the declared fault points.
+
+    Mirrors :meth:`repro.transport.montecarlo.Engine.coerce`: bare
+    strings stay the user interface, but unknown values fail fast
+    with the allowed set spelled out.
+
+    Raises:
+        ConfigurationError: on a site no fault point declares.
+    """
+    for site in raw:
+        if site not in FAULT_POINTS:
+            raise ConfigurationError(
+                f"unknown site {site!r}; allowed: {site_names()}"
+            )
+    return list(raw)
+
+
+def parse_actions(raw: Sequence[str]) -> List[str]:
+    """Validate ``--action`` values against the declared actions.
+
+    Raises:
+        ConfigurationError: on an action no fault point supports.
+    """
+    known = sorted(
+        {
+            action
+            for point in FAULT_POINTS.values()
+            for action in point.actions
+        }
+    )
+    for action in raw:
+        if action not in known:
+            raise ConfigurationError(
+                f"unknown action {action!r}; allowed: {tuple(known)}"
+            )
+    return list(raw)
 
 
 def default_trials() -> int:
@@ -80,25 +123,13 @@ def run_chaos(args: argparse.Namespace) -> int:
         for site in site_names():
             point = FAULT_POINTS[site]
             print(f"{site}: {', '.join(point.actions)}")
-        return 0
-    for site in args.site:
-        if site not in FAULT_POINTS:
-            print(
-                f"unknown site {site!r}; valid: {site_names()}"
-            )
-            return 2
-    known_actions = {
-        action
-        for point in FAULT_POINTS.values()
-        for action in point.actions
-    }
-    for action in args.action:
-        if action not in known_actions:
-            print(
-                f"unknown action {action!r};"
-                f" valid: {sorted(known_actions)}"
-            )
-            return 2
+        return ExitCode.OK
+    try:
+        sites = parse_sites(args.site)
+        actions = parse_actions(args.action)
+    except ConfigurationError as exc:
+        print(f"repro chaos: {exc}")
+        return ExitCode.USAGE
 
     from repro.chaos.invariants import InvariantChecker
 
@@ -112,7 +143,7 @@ def run_chaos(args: argparse.Namespace) -> int:
         workdir=args.workdir or None,
     )
     report = checker.run_matrix(
-        sites=args.site or None, actions=args.action or None
+        sites=sites or None, actions=actions or None
     )
     print(report.to_text())
     if args.json_path:
@@ -120,7 +151,7 @@ def run_chaos(args: argparse.Namespace) -> int:
             json.dumps(report.to_dict(), indent=2, sort_keys=True)
         )
         print(f"verdict matrix written to {args.json_path}")
-    return 0 if report.ok() else 1
+    return ExitCode.OK if report.ok() else ExitCode.FAILURE
 
 
 __all__ = [
@@ -128,5 +159,7 @@ __all__ = [
     "SMOKE_TRIALS",
     "add_chaos_arguments",
     "default_trials",
+    "parse_actions",
+    "parse_sites",
     "run_chaos",
 ]

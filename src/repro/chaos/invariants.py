@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import serde
 from repro.chaos import actions as chaos_actions
 from repro.chaos import trials
 from repro.chaos.faultpoints import FAULT_POINTS, activated, site_names
@@ -208,14 +209,21 @@ class ChaosReport:
         return sum(len(cell.violations()) for cell in self.cells)
 
     def to_dict(self) -> dict:
-        """Plain-dict form (the CLI's JSON output)."""
-        return {
-            "seed": self.seed,
-            "n_trials": self.n_trials,
-            "ok": self.ok(),
-            "n_violations": self.n_violations(),
-            "cells": [cell.to_dict() for cell in self.cells],
-        }
+        """Plain-dict form (the CLI's JSON output).
+
+        Tagged with the ``chaos-report`` schema via
+        :func:`repro.serde.tag`.
+        """
+        return serde.tag(
+            "chaos-report",
+            {
+                "seed": self.seed,
+                "n_trials": self.n_trials,
+                "ok": self.ok(),
+                "n_violations": self.n_violations(),
+                "cells": [cell.to_dict() for cell in self.cells],
+            },
+        )
 
     def to_text(self) -> str:
         """Human-readable verdict matrix."""

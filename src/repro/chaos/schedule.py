@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.chaos import actions as chaos_actions
 from repro.chaos.faultpoints import FAULT_POINTS, SupportsReach
+from repro.obs import core as obs
 from repro.runtime.errors import ConfigurationError
 
 #: How far the ``delay`` action jumps the injected clock, seconds.
@@ -170,6 +171,14 @@ class ChaosController(SupportsReach):
             return
         self.fires += 1
         self._mark()
+        obs.inc(
+            "repro_chaos_fires_total",
+            site=self.spec.site,
+            action=self.spec.action,
+        )
+        obs.event(
+            "chaos.fire", site=self.spec.site, action=self.spec.action
+        )
         chaos_actions.perform(self.spec.action, context, self)
 
     def advance_clock(self) -> None:

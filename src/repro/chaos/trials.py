@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Union
 
 from repro.chaos.faultpoints import install
 from repro.chaos.schedule import ChaosController, ChaosSpec
+from repro.obs import core as obs
 from repro.core.fleet import FleetSimulator
 from repro.devices import get_device
 from repro.environment import NEW_YORK, datacenter_scenario
@@ -206,24 +207,32 @@ def run_kill_trial(
         raise ConfigurationError(
             "SIGKILL trials require the 'fork' start method"
         )
-    ctx = multiprocessing.get_context("fork")
-    child = ctx.Process(
-        target=CHILD_TARGETS[target],
-        args=(spec.to_dict(), str(checkpoint_path), plan),
-    )
-    child.start()
-    child.join(timeout_s)
-    hung = child.is_alive()
-    if hung:
-        child.kill()
-        child.join()
-    fired = (
-        spec.marker_path is not None
-        and Path(spec.marker_path).exists()
-    )
-    return SubprocessOutcome(
-        exit_code=child.exitcode, hung=hung, fired=fired
-    )
+    with obs.span(
+        "chaos.trial",
+        target=target,
+        site=spec.site,
+        action=spec.action,
+        fire_at=spec.fire_at,
+    ):
+        obs.inc("repro_chaos_trials_total")
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(
+            target=CHILD_TARGETS[target],
+            args=(spec.to_dict(), str(checkpoint_path), plan),
+        )
+        child.start()
+        child.join(timeout_s)
+        hung = child.is_alive()
+        if hung:
+            child.kill()
+            child.join()
+        fired = (
+            spec.marker_path is not None
+            and Path(spec.marker_path).exists()
+        )
+        return SubprocessOutcome(
+            exit_code=child.exitcode, hung=hung, fired=fired
+        )
 
 
 __all__ = [

@@ -43,6 +43,7 @@ from repro.environment import (
     datacenter_scenario,
     outdoor_scenario,
 )
+from repro.exitcodes import ExitCode
 from repro.faults.models import Outcome
 from repro.memory import (
     CorrectLoopTester,
@@ -115,7 +116,7 @@ def cmd_assess(args: argparse.Namespace) -> int:
     print(report.to_table())
     for finding in report.findings:
         print(f"[{finding.severity}] {finding.message}")
-    return 0
+    return ExitCode.OK
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
@@ -161,14 +162,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             title="Virtual ChipIR + ROTAX campaign (Figure 4)",
         )
     )
-    return 0
+    return ExitCode.OK
 
 
 def cmd_top10(args: argparse.Namespace) -> int:
     """Top-10 supercomputer DDR FIT projection."""
     del args
     print(top10_table(project_top10()))
-    return 0
+    return ExitCode.OK
 
 
 def cmd_ddr(args: argparse.Namespace) -> int:
@@ -196,7 +197,7 @@ def cmd_ddr(args: argparse.Namespace) -> int:
             ),
         )
     )
-    return 0
+    return ExitCode.OK
 
 
 def cmd_water(args: argparse.Namespace) -> int:
@@ -209,7 +210,7 @@ def cmd_water(args: argparse.Namespace) -> int:
         f" thermal rate {result.measured_enhancement:+.1%}"
         " (paper: +24%)"
     )
-    return 0
+    return ExitCode.OK
 
 
 def cmd_shield(args: argparse.Namespace) -> int:
@@ -237,7 +238,7 @@ def cmd_shield(args: argparse.Namespace) -> int:
             title=f"Shielding options for {device.name}",
         )
     )
-    return 0
+    return ExitCode.OK
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -265,7 +266,7 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
         "Running the fair-weather plan through a thunderstorm costs"
         f" {penalty:.2%} efficiency vs re-planning."
     )
-    return 0
+    return ExitCode.OK
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -291,7 +292,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(text)
-    return 0
+    return ExitCode.OK
 
 
 def cmd_avf(args: argparse.Namespace) -> int:
@@ -329,28 +330,35 @@ def cmd_avf(args: argparse.Namespace) -> int:
         f"workload AVF: SDC {sdc:.2f}, DUE {due:.2f};"
         f" hottest surface: {hot.array!r} at stage {hot.stage!r}"
     )
-    return 0
+    return ExitCode.OK
 
 
-#: Exit code for a supervised run stopped before plan completion.
-EXIT_INCOMPLETE = 3
-
-#: Exit code for a checkpoint that is corrupt, truncated, or belongs
-#: to a different run — resuming would silently produce wrong data,
-#: so the CLI refuses with a code scripts can branch on.
-EXIT_CHECKPOINT = 4
+#: Backwards-compatible aliases for the centralized exit codes (see
+#: :class:`repro.exitcodes.ExitCode` for the documented table).
+EXIT_INCOMPLETE = ExitCode.INCOMPLETE
+EXIT_CHECKPOINT = ExitCode.CHECKPOINT
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Supervised campaign with checkpoint/resume and budgets."""
     from repro.beam.logbook import CampaignLogbook
+    from repro.obs import core as obs_core
+    from repro.obs.cli import export_metrics, observer_from_args
     from repro.runtime.budget import Budget
-    from repro.runtime.errors import CheckpointError
+    from repro.runtime.errors import (
+        CheckpointError,
+        ConfigurationError,
+    )
     from repro.runtime.supervisor import (
         PLAN_FACTORIES,
         CampaignRunner,
     )
 
+    try:
+        observer = observer_from_args(args)
+    except ConfigurationError as exc:
+        print(f"usage error: {exc}")
+        return ExitCode.USAGE
     plan = PLAN_FACTORIES[args.plan]()
     budget = Budget(
         wall_clock_s=args.deadline_s,
@@ -364,16 +372,27 @@ def cmd_run(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
     )
     try:
-        outcome = runner.run(
-            resume=args.resume, max_steps=args.max_steps
-        )
+        if observer is not None:
+            with obs_core.observing(observer):
+                outcome = runner.run(
+                    resume=args.resume, max_steps=args.max_steps
+                )
+            if args.metrics:
+                export_metrics(observer, args.metrics)
+                print(f"metrics written to {args.metrics}")
+            if args.trace:
+                print(f"trace written to {args.trace}")
+        else:
+            outcome = runner.run(
+                resume=args.resume, max_steps=args.max_steps
+            )
     except CheckpointError as exc:
         print(f"checkpoint error: {exc}")
         print(
             "the checkpoint was not used; re-run without --resume"
             " to start over, or restore a valid checkpoint"
         )
-        return EXIT_CHECKPOINT
+        return ExitCode.CHECKPOINT
     status = "completed" if outcome.completed else "INCOMPLETE"
     print(
         f"plan {args.plan!r} {status}:"
@@ -403,7 +422,16 @@ def cmd_run(args: argparse.Namespace) -> int:
             f" --seed {args.seed} --checkpoint {args.checkpoint}"
             " --resume"
         )
-    return 0 if outcome.completed else EXIT_INCOMPLETE
+    return (
+        ExitCode.OK if outcome.completed else ExitCode.INCOMPLETE
+    )
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Observability tooling (see repro.obs)."""
+    from repro.obs.cli import run_obs
+
+    return run_obs(args)
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -432,9 +460,9 @@ def cmd_validate(args: argparse.Namespace) -> int:
     print(validation_table(checks))
     if all_passed(checks):
         print("All paper anchors reproduced.")
-        return 0
+        return ExitCode.OK
     print("Some anchors FAILED — see the table above.")
-    return 1
+    return ExitCode.FAILURE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -545,7 +573,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default="",
         help="write the Markdown run report to this path",
     )
+    from repro.obs.cli import add_obs_arguments, add_observer_arguments
+
+    add_observer_arguments(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "obs",
+        help=(
+            "observability tooling: summarize a --trace file into"
+            " a run report"
+        ),
+    )
+    add_obs_arguments(p)
+    p.set_defaults(func=cmd_obs)
 
     p = sub.add_parser(
         "lint",

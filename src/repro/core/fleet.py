@@ -23,6 +23,7 @@ from repro.environment.scenario import FluxScenario
 from repro.environment.modifiers import WeatherCondition
 from repro.environment.solar import solar_modulation_factor
 from repro.faults.models import Outcome
+from repro.obs import core as obs
 from repro.physics.units import HOURS_PER_BILLION
 from repro.runtime.errors import (
     ConfigurationError,
@@ -268,13 +269,14 @@ class FleetSimulator:
         Args:
             years_since_solar_minimum: solar-cycle phase at start.
         """
-        result = FleetYearResult()
-        self.start()
-        for day in range(365):
-            result.days.append(
-                self.step_day(day, years_since_solar_minimum)
-            )
-        return result
+        with obs.span("fleet.year", n_days=365):
+            result = FleetYearResult()
+            self.start()
+            for day in range(365):
+                result.days.append(
+                    self.step_day(day, years_since_solar_minimum)
+                )
+            return result
 
 
 __all__ = ["FleetDay", "FleetSimulator", "FleetYearResult"]

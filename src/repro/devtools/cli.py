@@ -13,14 +13,17 @@ from typing import List, Optional, Sequence
 from repro.devtools.engine import LintEngine, LintReport
 from repro.devtools.registry import PROFILES, all_rules
 from repro.devtools.reporters import render_json, render_text
+from repro.exitcodes import ExitCode
 
 #: Default lint roots, relative to the working directory.
 DEFAULT_ROOTS = ("src/repro", "tests", "benchmarks")
 
-#: Exit codes: clean / violations found / bad invocation.
-EXIT_OK = 0
-EXIT_VIOLATIONS = 1
-EXIT_USAGE = 2
+#: Exit codes: clean / violations found / bad invocation.  Kept as
+#: module aliases for backwards compatibility; the canonical values
+#: live in :class:`repro.exitcodes.ExitCode`.
+EXIT_OK = ExitCode.OK
+EXIT_VIOLATIONS = ExitCode.FAILURE
+EXIT_USAGE = ExitCode.USAGE
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:

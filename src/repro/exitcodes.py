@@ -1,0 +1,40 @@
+"""Process exit codes shared by every ``repro`` subcommand.
+
+Historically each CLI module hard-coded its own bare integers
+(``cli.py`` used 0/3/4, ``chaos/cli.py`` 0/1/2, ``devtools/cli.py``
+0/1/2) which made the contract between the harness and its callers —
+CI jobs, batch schedulers, the chaos fork children — easy to drift.
+This module is now the single source of truth; the table is documented
+in the README ("Exit codes").
+
+Because :class:`ExitCode` is an :class:`enum.IntEnum`, members compare
+equal to the historical integers, so ``sys.exit(ExitCode.OK)`` and
+shell checks like ``test $? -eq 3`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ExitCode"]
+
+
+class ExitCode(enum.IntEnum):
+    """Exit codes returned by ``python -m repro`` subcommands.
+
+    ======================  =====  =========================================
+    member                  value  meaning
+    ======================  =====  =========================================
+    ``OK``                  0      command succeeded
+    ``FAILURE``             1      command ran but found violations/failures
+    ``USAGE``               2      bad arguments or unknown configuration
+    ``INCOMPLETE``          3      campaign stopped early (budget/deadline)
+    ``CHECKPOINT``          4      checkpoint missing, stale, or corrupt
+    ======================  =====  =========================================
+    """
+
+    OK = 0
+    FAILURE = 1
+    USAGE = 2
+    INCOMPLETE = 3
+    CHECKPOINT = 4

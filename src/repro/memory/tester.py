@@ -29,6 +29,7 @@ from repro.memory.errors import (
     FlipDirection,
 )
 from repro.memory.module import DdrModule
+from repro.obs import core as obs
 from repro.runtime.errors import (
     ConfigurationError,
     require_positive_duration_s,
@@ -193,6 +194,16 @@ class CorrectLoopTester:
             ConfigurationError: on a negative flux, a non-positive
                 duration, or fewer than two read passes.
         """
+        with obs.span("memory.run", n_passes=n_passes):
+            return self._run(flux_per_cm2_s, duration_s, n_passes)
+
+    def _run(
+        self,
+        flux_per_cm2_s: float,
+        duration_s: float,
+        n_passes: int,
+    ) -> DdrTestResult:
+        """The :meth:`run` body, inside the ``memory.run`` span."""
         if flux_per_cm2_s < 0.0:
             raise ConfigurationError(
                 f"flux must be >= 0, got {flux_per_cm2_s}"
@@ -245,6 +256,8 @@ class CorrectLoopTester:
             # means re-running it on a *fresh* tester (the generator
             # is instance state), which the chaos suite enforces.
             fault_point("memory.pass", pass_idx=pass_idx)
+            obs.event("memory.pass", pass_idx=pass_idx)
+            obs.inc("repro_memory_passes_total")
             # Strikes that arrive before this pass.
             for _ in range(int((cell_pass == pass_idx).sum())):
                 direction = self._sample_direction()
@@ -309,7 +322,7 @@ class CorrectLoopTester:
                     first_pass=first,
                 )
             )
-        for half, obs in sefi_seen:
+        for half, sefi in sefi_seen:
             direction = (
                 FlipDirection.ONE_TO_ZERO
                 if half == 1
@@ -317,11 +330,11 @@ class CorrectLoopTester:
             )
             result.errors.append(
                 ObservedError(
-                    address=obs.start,
+                    address=sefi.start,
                     category=ErrorCategory.SEFI,
                     direction=direction,
-                    corrupted_bits=obs.span,
-                    first_pass=obs.pass_idx,
+                    corrupted_bits=sefi.span,
+                    first_pass=sefi.pass_idx,
                 )
             )
         return result

@@ -1,0 +1,58 @@
+"""Observability: structured tracing, metrics, and profiling hooks.
+
+The harness analogue of a beamline's logbook camera.  One installable
+:class:`~repro.obs.core.Observer` (mirroring the chaos fault-point
+contract: a single module-global read when disabled) collects
+
+* **trace events** — JSON-lines records from named spans threaded
+  through the supervisor, checkpointing, campaigns, fleet simulation,
+  batch transport, the DDR tester, and chaos trials; monotonic
+  sequence numbers and injectable clocks keep traces byte-stable
+  under determinism tests;
+* **metrics** — counters, gauges, and timing histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry`, exportable as JSON or
+  Prometheus text;
+* **profiles** — per-span wall/CPU durations, plus an optional
+  ``cProfile`` capture of one flagged span.
+
+Reached from the shell via ``python -m repro run --trace PATH
+--metrics PATH`` and ``python -m repro obs summarize TRACE``.
+"""
+
+from repro.obs.core import (
+    NullSpan,
+    Observer,
+    Span,
+    active,
+    enabled,
+    event,
+    inc,
+    install,
+    observe,
+    observing,
+    set_gauge,
+    span,
+    uninstall,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import TraceSummary, render_report, summarize
+
+__all__ = [
+    "MetricsRegistry",
+    "NullSpan",
+    "Observer",
+    "Span",
+    "TraceSummary",
+    "active",
+    "enabled",
+    "event",
+    "inc",
+    "install",
+    "observe",
+    "observing",
+    "render_report",
+    "set_gauge",
+    "span",
+    "summarize",
+    "uninstall",
+]

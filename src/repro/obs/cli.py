@@ -1,0 +1,132 @@
+"""The ``python -m repro obs`` subcommand and run-flag plumbing.
+
+Two jobs:
+
+* ``repro obs summarize TRACE`` — render a JSON-lines trace into the
+  human-readable run report of :mod:`repro.obs.report`.
+* the ``--trace/--metrics/--profile-span/--profile-out`` options that
+  ``repro run`` grows: :func:`add_observer_arguments` attaches them,
+  :func:`observer_from_args` builds the matching
+  :class:`~repro.obs.core.Observer` (or ``None`` when no flag was
+  given), and :func:`export_metrics` writes the registry after the
+  run — Prometheus text when the path ends in ``.prom``, JSON
+  otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.exitcodes import ExitCode
+from repro.obs.core import Observer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import render_report, summarize
+
+__all__ = [
+    "add_obs_arguments",
+    "add_observer_arguments",
+    "export_metrics",
+    "observer_from_args",
+    "run_obs",
+]
+
+
+def add_observer_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the observability options to a run-style subparser."""
+    parser.add_argument(
+        "--trace", default="",
+        help="append JSON-lines trace records to this path",
+    )
+    parser.add_argument(
+        "--metrics", default="",
+        help=(
+            "write the metrics registry here after the run"
+            " (Prometheus text if the path ends in .prom, else JSON)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-span", default="",
+        help="capture a cProfile of every span with this name",
+    )
+    parser.add_argument(
+        "--profile-out", default="",
+        help=(
+            "where --profile-span dumps its pstats file"
+            " (default: <trace>.prof next to --trace)"
+        ),
+    )
+
+
+def observer_from_args(
+    args: argparse.Namespace,
+) -> Optional[Observer]:
+    """Build an :class:`Observer` from parsed run flags.
+
+    Returns ``None`` when no observability flag was given, so the
+    caller can skip installation entirely (zero overhead).
+
+    Raises:
+        repro.runtime.errors.ConfigurationError: when
+            ``--profile-span`` is given without a resolvable output
+            path.
+    """
+    if not (args.trace or args.metrics or args.profile_span):
+        return None
+    profile_out = args.profile_out
+    if args.profile_span and not profile_out:
+        if not args.trace:
+            from repro.runtime.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "--profile-span needs --profile-out (or --trace to"
+                " derive a default from)"
+            )
+        profile_out = str(Path(args.trace).with_suffix(".prof"))
+    return Observer(
+        trace_path=args.trace or None,
+        registry=MetricsRegistry() if args.metrics else None,
+        profile_span=args.profile_span,
+        profile_path=profile_out or None,
+    )
+
+
+def export_metrics(observer: Observer, path: str) -> None:
+    """Write the observer's registry to ``path`` (format by suffix)."""
+    registry = observer.registry
+    if registry is None:
+        return
+    if path.endswith(".prom"):
+        Path(path).write_text(
+            registry.to_prometheus(), encoding="utf-8"
+        )
+    else:
+        Path(path).write_text(
+            json.dumps(registry.to_dict(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+
+
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``obs`` sub-subcommands to a subparser."""
+    obs_sub = parser.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "summarize",
+        help="render a JSON-lines trace into a run report",
+    )
+    p.add_argument("trace", help="path to a --trace output file")
+
+
+def run_obs(args: argparse.Namespace) -> int:
+    """Execute the ``obs`` subcommand described by parsed arguments."""
+    if args.obs_command == "summarize":
+        trace = Path(args.trace)
+        if not trace.exists():
+            print(f"no trace file at {trace}")
+            return ExitCode.USAGE
+        print(render_report(summarize(trace)))
+        return ExitCode.OK
+    print(f"unknown obs subcommand {args.obs_command!r}")
+    return ExitCode.USAGE

@@ -1,0 +1,210 @@
+"""Counters, gauges, and timing histograms for harness telemetry.
+
+A :class:`MetricsRegistry` is a plain in-process accumulator — no
+threads, no sockets, no dependencies.  The runtime increments it
+through the module helpers in :mod:`repro.obs.core` (one global read
+when observability is off), and the CLI exports it after a run as
+JSON or Prometheus text exposition format.
+
+Metric naming follows Prometheus conventions: ``repro_*_total`` for
+counters, plain gauges, and ``*_seconds`` histograms with fixed
+bucket bounds (suffix ``_s``: all observed values are seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKET_BOUNDS_S",
+    "HistogramState",
+    "MetricsRegistry",
+]
+
+#: Histogram bucket upper bounds, seconds.  Spans range from
+#: sub-millisecond checkpoint writes to multi-minute campaigns.
+DEFAULT_BUCKET_BOUNDS_S: Tuple[float, ...] = (
+    0.0001,
+    0.001,
+    0.01,
+    0.1,
+    1.0,
+    10.0,
+    60.0,
+    600.0,
+)
+
+#: A metric identity: name plus sorted ``(label, value)`` pairs.
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+@dataclass
+class HistogramState:
+    """One histogram series: bucket counts, total count, and sum.
+
+    Attributes:
+        bounds_s: bucket upper bounds, seconds (ascending).
+        bucket_counts: observations at or below each bound.
+        count: total observations.
+        sum_s: sum of observed values, seconds.
+    """
+
+    bounds_s: Tuple[float, ...] = DEFAULT_BUCKET_BOUNDS_S
+    bucket_counts: List[int] = field(default_factory=list)
+    count: int = 0
+    sum_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        """Size the bucket array to the bounds."""
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * len(self.bounds_s)
+
+    def observe(self, value_s: float) -> None:
+        """Record one observation (seconds).
+
+        ``bucket_counts`` are per-bucket (not cumulative); values
+        above the last bound land only in ``count``/``sum_s`` (the
+        implicit ``+Inf`` bucket).
+        """
+        self.count += 1
+        self.sum_s += value_s
+        for i, bound_s in enumerate(self.bounds_s):
+            if value_s <= bound_s:
+                self.bucket_counts[i] += 1
+                break
+
+
+class MetricsRegistry:
+    """In-process metric store: counters, gauges, histograms.
+
+    Series are keyed by metric name plus an optional label set, e.g.
+    ``registry.inc("repro_retries_total", task="ddr")``.  Exports are
+    deterministic: series render sorted by name then labels.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, float] = {}
+        self._histograms: Dict[_Key, HistogramState] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1, **labels: str) -> None:
+        """Add ``amount`` to a counter series (creating it at zero)."""
+        key = _key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge series to ``value``."""
+        self._gauges[_key(name, labels)] = value
+
+    def observe(self, name: str, value_s: float, **labels: str) -> None:
+        """Record one histogram observation (seconds)."""
+        key = _key(name, labels)
+        state = self._histograms.get(key)
+        if state is None:
+            state = self._histograms[key] = HistogramState()
+        state.observe(value_s)
+
+    # -- reading -------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> float:
+        """Current value of a counter series (0 if never touched)."""
+        return self._counters.get(_key(name, labels), 0)
+
+    def gauge(self, name: str, **labels: str) -> float:
+        """Current value of a gauge series (0.0 if never set)."""
+        return self._gauges.get(_key(name, labels), 0.0)
+
+    def histogram(self, name: str, **labels: str) -> HistogramState:
+        """A histogram series' state (empty if never observed)."""
+        return self._histograms.get(_key(name, labels), HistogramState())
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every series."""
+        return {
+            "counters": {
+                _series_name(key): value
+                for key, value in sorted(self._counters.items())
+            },
+            "gauges": {
+                _series_name(key): value
+                for key, value in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _series_name(key): {
+                    "bounds_s": list(state.bounds_s),
+                    "buckets": list(state.bucket_counts),
+                    "count": state.count,
+                    "sum_s": state.sum_s,
+                }
+                for key, state in sorted(self._histograms.items())
+            },
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in sorted({key[0] for key in self._counters}):
+            lines.append(f"# TYPE {metric} counter")
+            for key, value in sorted(self._counters.items()):
+                if key[0] == metric:
+                    lines.append(f"{_series_name(key)} {_num(value)}")
+        for metric in sorted({key[0] for key in self._gauges}):
+            lines.append(f"# TYPE {metric} gauge")
+            for key, value in sorted(self._gauges.items()):
+                if key[0] == metric:
+                    lines.append(f"{_series_name(key)} {_num(value)}")
+        for metric in sorted({key[0] for key in self._histograms}):
+            lines.append(f"# TYPE {metric} histogram")
+            for key, state in sorted(self._histograms.items()):
+                if key[0] != metric:
+                    continue
+                cumulative = 0
+                for bound_s, n in zip(
+                    state.bounds_s, state.bucket_counts
+                ):
+                    cumulative += n
+                    lines.append(_bucket_line(key, bound_s, cumulative))
+                lines.append(_bucket_line(key, None, state.count))
+                lines.append(
+                    f"{_series_name(key, suffix='_sum')}"
+                    f" {_num(state.sum_s)}"
+                )
+                lines.append(
+                    f"{_series_name(key, suffix='_count')} {state.count}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _key(name: str, labels: Dict[str, str]) -> _Key:
+    """Normalize a (name, labels) pair into a dict key."""
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(key: _Key, suffix: str = "") -> str:
+    """Render ``name{label="value"}`` for exports."""
+    name, labels = key
+    if not labels:
+        return name + suffix
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{suffix}{{{body}}}"
+
+
+def _bucket_line(key: _Key, bound_s, cumulative: int) -> str:
+    """One ``_bucket`` sample line with the ``le`` label appended."""
+    name, labels = key
+    le = "+Inf" if bound_s is None else _num(bound_s)
+    pairs = list(labels) + [("le", le)]
+    body = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return f"{name}_bucket{{{body}}} {cumulative}"
+
+
+def _num(value: float) -> str:
+    """Render a number without a trailing ``.0`` for integers."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)

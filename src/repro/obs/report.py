@@ -1,0 +1,151 @@
+"""Render a JSON-lines trace into a human-readable run report.
+
+Backs ``python -m repro obs summarize``.  The report aggregates the
+paired ``begin``/``end`` span records per span name — call counts,
+total/mean/max wall time, CPU time — plus point-event counts, so a
+campaign's trace reads like a trip log instead of raw JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+__all__ = ["SpanStats", "TraceSummary", "render_report", "summarize"]
+
+
+@dataclass
+class SpanStats:
+    """Aggregate of every completed span with one name.
+
+    Attributes:
+        name: the span name.
+        count: completed spans.
+        total_wall_s / total_cpu_s: summed durations, seconds.
+        max_wall_s: slowest single span, seconds.
+        errors: spans that exited with an exception.
+    """
+
+    name: str
+    count: int = 0
+    total_wall_s: float = 0.0
+    total_cpu_s: float = 0.0
+    max_wall_s: float = 0.0
+    errors: int = 0
+
+    def mean_wall_s(self) -> float:
+        """Mean wall time per span, seconds (0.0 when empty)."""
+        return self.total_wall_s / self.count if self.count else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything the report renders, parsed from one trace file.
+
+    Attributes:
+        n_records: total trace records read.
+        n_open_spans: ``begin`` records with no matching ``end``
+            (a crash or an in-flight snapshot).
+        spans: per-name aggregates, first-seen order.
+        points: point-event counts by name, first-seen order.
+        wall_span_s: last ``t_s`` minus first ``t_s`` (the trace's
+            own clock; 0.0 for an empty trace).
+    """
+
+    n_records: int = 0
+    n_open_spans: int = 0
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+    points: Dict[str, int] = field(default_factory=dict)
+    wall_span_s: float = 0.0
+
+
+def summarize(path: Union[str, Path]) -> TraceSummary:
+    """Parse and aggregate one JSON-lines trace file.
+
+    Malformed lines (e.g. one torn by a SIGKILL mid-write) are
+    skipped, not fatal — a crashed run's trace must still summarize.
+    """
+    summary = TraceSummary()
+    open_begins = 0
+    t_first_s = None
+    t_last_s = None
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        summary.n_records += 1
+        t_s = record.get("t_s")
+        if isinstance(t_s, (int, float)):
+            if t_first_s is None:
+                t_first_s = t_s
+            t_last_s = t_s
+        kind = record.get("kind")
+        name = str(record.get("name", ""))
+        if kind == "begin":
+            open_begins += 1
+        elif kind == "end":
+            open_begins = max(0, open_begins - 1)
+            stats = summary.spans.get(name)
+            if stats is None:
+                stats = summary.spans[name] = SpanStats(name=name)
+            attrs = record.get("attrs", {})
+            wall_s = float(attrs.get("wall_s", 0.0))
+            stats.count += 1
+            stats.total_wall_s += wall_s
+            stats.total_cpu_s += float(attrs.get("cpu_s", 0.0))
+            stats.max_wall_s = max(stats.max_wall_s, wall_s)
+            if "error" in attrs:
+                stats.errors += 1
+        elif kind == "point":
+            summary.points[name] = summary.points.get(name, 0) + 1
+    summary.n_open_spans = open_begins
+    if t_first_s is not None and t_last_s is not None:
+        summary.wall_span_s = t_last_s - t_first_s
+    return summary
+
+
+def render_report(summary: TraceSummary) -> str:
+    """Format a :class:`TraceSummary` as the CLI's run report."""
+    lines: List[str] = [
+        f"trace: {summary.n_records} record(s),"
+        f" {summary.wall_span_s:.6f} s trace-clock span"
+    ]
+    if summary.n_open_spans:
+        lines.append(
+            f"  !! {summary.n_open_spans} span(s) never closed"
+            " (crash or in-flight snapshot)"
+        )
+    if summary.spans:
+        lines.append("spans:")
+        lines.append(
+            "  {:<22s} {:>6s} {:>12s} {:>12s} {:>12s}".format(
+                "name", "count", "total_s", "mean_s", "max_s"
+            )
+        )
+        for stats in summary.spans.values():
+            mark = (
+                f"  [{stats.errors} error(s)]" if stats.errors else ""
+            )
+            lines.append(
+                "  {:<22s} {:>6d} {:>12.6f} {:>12.6f} {:>12.6f}{}".format(
+                    stats.name,
+                    stats.count,
+                    stats.total_wall_s,
+                    stats.mean_wall_s(),
+                    stats.max_wall_s,
+                    mark,
+                )
+            )
+    if summary.points:
+        lines.append("events:")
+        for name, count in summary.points.items():
+            lines.append(f"  {name:<22s} {count:>6d}")
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ from typing import Dict, List, Union
 
 from repro.beam.results import CampaignResult, ExposureResult
 from repro.chaos.faultpoints import fault_point
+from repro.obs import core as obs
 from repro.runtime.errors import CheckpointError, CheckpointMismatchError
 
 #: Format version written into every checkpoint file.
@@ -142,53 +143,65 @@ def _write_json(path: Path, payload: dict) -> None:
     Write-to-tmp, fsync, rename, fsync-directory: a crash at any
     point leaves the previous checkpoint (or no file), never a torn
     one.
+
+    Traced as the ``checkpoint.write`` span; the span carries no path
+    attribute so traces stay byte-identical across working
+    directories.
     """
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    text = json.dumps(payload, indent=2, sort_keys=True)
-    try:
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-    except OSError as exc:
-        raise CheckpointError(
-            f"cannot write checkpoint {path}: {exc}"
-        ) from exc
-    # The durable-tmp / not-yet-renamed instant: a crash here must
-    # leave the previous checkpoint intact and only leak the tmp.
-    fault_point(
-        "checkpoint.write",
-        path=str(path),
-        tmp=str(tmp),
-        text=text,
-    )
-    try:
-        os.replace(tmp, path)
-    except OSError as exc:
-        raise CheckpointError(
-            f"cannot write checkpoint {path}: {exc}"
-        ) from exc
-    _fsync_dir(path.parent)
+    with obs.span("checkpoint.write"):
+        obs.inc("repro_checkpoint_writes_total")
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint {path}: {exc}"
+            ) from exc
+        # The durable-tmp / not-yet-renamed instant: a crash here must
+        # leave the previous checkpoint intact and only leak the tmp.
+        fault_point(
+            "checkpoint.write",
+            path=str(path),
+            tmp=str(tmp),
+            text=text,
+        )
+        try:
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint {path}: {exc}"
+            ) from exc
+        _fsync_dir(path.parent)
 
 
 def _read_json(path: Path) -> dict:
-    """Read and parse a checkpoint file."""
-    fault_point("checkpoint.load", path=str(path))
-    try:
-        data = json.loads(Path(path).read_text())
-    except OSError as exc:
-        raise CheckpointError(
-            f"cannot read checkpoint {path}: {exc}"
-        ) from exc
-    except json.JSONDecodeError as exc:
-        raise CheckpointError(
-            f"checkpoint {path} is not valid JSON: {exc}"
-        ) from exc
-    if not isinstance(data, dict):
-        raise CheckpointError(
-            f"checkpoint {path} has no top-level object"
-        )
-    return data
+    """Read and parse a checkpoint file.
+
+    Traced as the ``checkpoint.load`` span (path-free, like the write
+    span, so traces stay location-independent).
+    """
+    with obs.span("checkpoint.load"):
+        obs.inc("repro_checkpoint_loads_total")
+        fault_point("checkpoint.load", path=str(path))
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint {path}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {path} is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise CheckpointError(
+                f"checkpoint {path} has no top-level object"
+            )
+        return data
 
 
 def _check_version(data: dict, path: Union[str, Path]) -> None:

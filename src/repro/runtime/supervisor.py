@@ -44,6 +44,7 @@ from repro.beam.results import CampaignResult
 from repro.chaos.faultpoints import fault_point
 from repro.core.fleet import FleetDay, FleetSimulator, FleetYearResult
 from repro.devices import DEVICES, get_device
+from repro.obs import core as obs
 from repro.runtime.budget import Budget, BudgetTracker, RetryPolicy
 from repro.runtime.checkpoint import (
     CampaignCheckpoint,
@@ -204,6 +205,10 @@ class Supervisor:
                     f" {delay_s:.3f} s backoff",
                     step,
                 )
+                obs.inc("repro_retries_total")
+                obs.event(
+                    "supervisor.retry", label=label, step=step
+                )
                 self._sleep(delay_s)
         return fn()
 
@@ -229,6 +234,10 @@ class Supervisor:
                 f"crashed with {type(exc).__name__}: {exc};"
                 " recorded and continued (reboot-and-continue)",
                 step,
+            )
+            obs.inc("repro_isolations_total")
+            obs.event(
+                "supervisor.isolation", label=label, step=step
             )
             return None
 
@@ -386,6 +395,19 @@ class CampaignRunner:
             CheckpointMismatchError: when the checkpoint belongs to
                 a different plan or seed.
         """
+        with obs.span(
+            "run.campaign",
+            steps_total=len(self.plan),
+            resume=bool(resume),
+        ):
+            return self._run_segment(resume, max_steps)
+
+    def _run_segment(
+        self,
+        resume: bool,
+        max_steps: Optional[int],
+    ) -> SupervisedCampaignResult:
+        """The :meth:`run` body, inside the ``run.campaign`` span."""
         events = EventLog()
         campaign = IrradiationCampaign(self.seed, event_log=events)
         start_step = 0
@@ -421,13 +443,16 @@ class CampaignRunner:
                 )
                 break
             step = self.plan[idx]
-            supervisor.isolate(
-                step.label(),
-                lambda s=step, i=idx: self._execute(
-                    campaign, supervisor, tracker, s, i
-                ),
-                step=idx,
-            )
+            with obs.span(
+                "supervisor.step", step=idx, label=step.label()
+            ):
+                supervisor.isolate(
+                    step.label(),
+                    lambda s=step, i=idx: self._execute(
+                        campaign, supervisor, tracker, s, i
+                    ),
+                    step=idx,
+                )
             steps_done = idx + 1
             segment += 1
             if (
@@ -519,6 +544,7 @@ class CampaignRunner:
                 " expose_simulated -> expose_counting",
                 idx,
             )
+            obs.inc("repro_degradations_total")
             exposure = campaign.expose_counting(
                 beamline,
                 device,
@@ -541,6 +567,7 @@ class CampaignRunner:
                 + (f" (step asked for {cap})" if cap else ""),
                 idx,
             )
+            obs.inc("repro_degradations_total")
             cap = remaining
         workload = self._workload_factory(
             step.code, **dict(step.workload_args)
@@ -673,6 +700,20 @@ class FleetRunner:
                 a different fleet configuration.
         """
         require_positive_int("n_days", n_days)
+        with obs.span(
+            "run.fleet", n_days=n_days, resume=bool(resume)
+        ):
+            return self._run_segment(
+                n_days, years_since_solar_minimum, resume
+            )
+
+    def _run_segment(
+        self,
+        n_days: int,
+        years_since_solar_minimum: float,
+        resume: bool,
+    ) -> SupervisedFleetResult:
+        """The :meth:`run` body, inside the ``run.fleet`` span."""
         events = EventLog()
         result = FleetYearResult()
         start_day = 0
@@ -732,10 +773,14 @@ class FleetRunner:
     def _step_day(
         self, day: int, years_since_solar_minimum: float
     ) -> FleetDay:
-        # Before the simulator touches its generator, so a retried
-        # day consumes exactly the draws of an unfaulted one.
-        fault_point("fleet.day", day=day)
-        return self.simulator.step_day(day, years_since_solar_minimum)
+        with obs.span("fleet.day", day=day):
+            obs.inc("repro_fleet_days_total")
+            # Before the simulator touches its generator, so a retried
+            # day consumes exactly the draws of an unfaulted one.
+            fault_point("fleet.day", day=day)
+            return self.simulator.step_day(
+                day, years_since_solar_minimum
+            )
 
     def _restore(
         self,

@@ -1,0 +1,156 @@
+"""Unified result serialization: schema tags and version checks.
+
+Every result record the harness persists — exposures, transport
+tallies, chaos verdicts, logbooks — historically rolled its own
+``to_dict``/``from_dict`` with ad-hoc (or absent) versioning.  This
+module centralizes the contract:
+
+* :func:`tag` stamps a payload with ``"schema"`` (the record kind) and
+  ``"schema_version"`` (the kind's current format version from
+  :data:`SCHEMA_VERSIONS`).
+* :func:`check` validates an incoming payload and returns the version
+  to decode as.  Untagged legacy payloads still load — they resolve to
+  the kind's legacy version (or a ``legacy_key`` such as the logbook's
+  historical ``"version"`` field) under a :class:`DeprecationWarning`.
+
+Version mismatches raise :class:`SchemaError`, a ``ValueError``
+subclass, so callers that historically caught ``ValueError`` keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Optional, Sequence
+
+__all__ = [
+    "SCHEMA_KEY",
+    "SCHEMA_VERSIONS",
+    "SchemaError",
+    "VERSION_KEY",
+    "check",
+    "tag",
+]
+
+#: Payload key naming the record kind.
+SCHEMA_KEY = "schema"
+
+#: Payload key carrying the record's format version.
+VERSION_KEY = "schema_version"
+
+#: Current format version per record kind.  Bump a kind's entry when
+#: its payload shape changes; teach its ``from_dict`` the old shapes.
+SCHEMA_VERSIONS = {
+    # v1: untagged dicts (pre-serde); v2 adds the schema tags.
+    "exposure": 2,
+    # First tagged release: TransportResult previously had no dict
+    # form at all.
+    "transport": 1,
+    # v1: untagged chaos verdict matrices; v2 adds the schema tags.
+    "chaos-report": 2,
+    # v1/v2: logbook's own "version" field; v3 adds the schema tags.
+    "logbook": 3,
+}
+
+
+class SchemaError(ValueError):
+    """A payload declares a kind or version the decoder cannot read."""
+
+
+def tag(kind: str, body: dict) -> dict:
+    """Stamp ``body`` with the schema kind and current version.
+
+    Args:
+        kind: record kind; must appear in :data:`SCHEMA_VERSIONS`.
+        body: the payload fields (not mutated; a new dict returns).
+
+    Raises:
+        SchemaError: on an undeclared kind, or if ``body`` already
+            carries conflicting schema keys.
+    """
+    current = _current_version(kind)
+    for key in (SCHEMA_KEY, VERSION_KEY):
+        if key in body:
+            raise SchemaError(
+                f"payload already carries {key!r}; refusing to"
+                " double-tag"
+            )
+    tagged = dict(body)
+    tagged[SCHEMA_KEY] = kind
+    tagged[VERSION_KEY] = current
+    return tagged
+
+
+def check(
+    kind: str,
+    data: dict,
+    supported: Optional[Sequence[int]] = None,
+    legacy_key: str = "",
+) -> int:
+    """Validate a payload's schema declaration; return its version.
+
+    Args:
+        kind: expected record kind.
+        data: the payload to inspect.
+        supported: versions the caller can decode (default: 1 through
+            the kind's current version).
+        legacy_key: payload key older formats used for their version
+            (e.g. the logbook's ``"version"``).  When the payload has
+            no ``schema_version``, the legacy key's value is used; a
+            payload carrying *both* with different values is rejected.
+
+    Returns:
+        The version to decode the payload as.  Untagged payloads
+        resolve to the legacy key's value, or 1, and emit a
+        :class:`DeprecationWarning` — re-save to upgrade them.
+
+    Raises:
+        SchemaError: wrong kind tag, conflicting version
+            declarations, or a version outside ``supported``.
+    """
+    current = _current_version(kind)
+    declared_kind = data.get(SCHEMA_KEY)
+    if declared_kind is not None and declared_kind != kind:
+        raise SchemaError(
+            f"expected a {kind!r} payload, got {declared_kind!r}"
+        )
+    version = data.get(VERSION_KEY)
+    legacy = data.get(legacy_key) if legacy_key else None
+    if version is None:
+        version = legacy
+        if version is None:
+            version = 1
+        warnings.warn(
+            f"loading untagged legacy {kind} payload (treated as"
+            f" version {version}); re-save to upgrade to version"
+            f" {current}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    elif legacy is not None and legacy != version:
+        raise SchemaError(
+            f"conflicting {kind} version declarations:"
+            f" {legacy_key}={legacy!r} vs {VERSION_KEY}={version!r}"
+        )
+    allowed = (
+        tuple(supported)
+        if supported is not None
+        else tuple(range(1, current + 1))
+    )
+    if version not in allowed:
+        raise SchemaError(
+            f"unsupported {kind} version {version!r};"
+            f" expected one of {allowed}"
+        )
+    return int(version)
+
+
+def _current_version(kind: str) -> int:
+    """The kind's current version, or a :class:`SchemaError`."""
+    try:
+        return SCHEMA_VERSIONS[kind]
+    except KeyError:
+        raise SchemaError(
+            f"unknown schema kind {kind!r};"
+            f" declared: {sorted(SCHEMA_VERSIONS)}"
+        ) from None

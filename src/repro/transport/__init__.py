@@ -19,6 +19,7 @@ from repro.transport.batch import (
     scattered_energies_ev,
 )
 from repro.transport.montecarlo import (
+    Engine,
     Layer,
     SlabGeometry,
     SlabTransport,
@@ -48,6 +49,7 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "HISTORIES_PER_STREAM",
     "scattered_energies_ev",
+    "Engine",
     "Layer",
     "SlabGeometry",
     "SlabTransport",

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.chaos.faultpoints import fault_point
+from repro.obs import core as obs
 from repro.physics.constants import BOLTZMANN_EV_PER_K, ROOM_TEMPERATURE_K
 from repro.physics.units import (
     FAST_CUTOFF_EV,
@@ -430,12 +431,25 @@ class BatchTransportEngine:
             for i in range(0, n_streams, per_sweep)
         ]
 
-        parts, degraded_shards = self._run_shards(tasks, n_workers)
-
-        result = TransportResult.from_tally(
-            self._merge(n_neutrons, parts),
-            degraded_shards=degraded_shards,
-        )
+        with obs.span(
+            "transport.run",
+            histories=n_neutrons,
+            shards=len(tasks),
+        ) as sp:
+            parts, degraded_shards = self._run_shards(
+                tasks, n_workers
+            )
+            result = TransportResult.from_tally(
+                self._merge(n_neutrons, parts),
+                degraded_shards=degraded_shards,
+            )
+        obs.inc("repro_transport_histories_total", n_neutrons)
+        if degraded_shards:
+            obs.inc("repro_shard_retries_total", degraded_shards)
+        if sp.elapsed_s > 0:
+            obs.set_gauge(
+                "repro_histories_per_s", n_neutrons / sp.elapsed_s
+            )
         assert result.balance_check(), "neutron balance violated"
         return result
 

@@ -19,14 +19,16 @@ that reproduces the Tin-II +24 % step (experiment E5) and the
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.physics.constants import BOLTZMANN_EV_PER_K, ROOM_TEMPERATURE_K
 from repro.physics.interactions import scattered_energy
 from repro.physics.units import THERMAL_CUTOFF_EV, FAST_CUTOFF_EV
+from repro.runtime.errors import ConfigurationError
 from repro.spectra.spectrum import Spectrum
 from repro.transport.materials import Material
 from repro.transport.tallies import TransportResult, TransportTally
@@ -108,6 +110,42 @@ class SlabGeometry:
         return self._bounds.copy()
 
 
+class Engine(enum.Enum):
+    """Validated transport-engine selector.
+
+    Replaces the bare ``"batch"`` / ``"scalar"`` strings:
+    :meth:`coerce` still accepts those strings (every existing call
+    site keeps working) but rejects anything else with a
+    :class:`~repro.runtime.errors.ConfigurationError` naming the
+    allowed set, instead of failing deep inside a run.
+    """
+
+    BATCH = "batch"
+    SCALAR = "scalar"
+
+    @classmethod
+    def coerce(cls, value: Union[str, "Engine"]) -> "Engine":
+        """Normalize a user-supplied engine selector.
+
+        Args:
+            value: an :class:`Engine` member or its string value.
+
+        Raises:
+            repro.runtime.errors.ConfigurationError: for anything
+                else (the message lists the allowed values).
+        """
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            allowed = tuple(member.value for member in cls)
+            raise ConfigurationError(
+                f"unknown transport engine {value!r};"
+                f" allowed: {allowed}"
+            ) from None
+
+
 def _classify(energy_ev: float) -> str:
     """Band label for a leaking neutron."""
     if energy_ev < THERMAL_CUTOFF_EV:
@@ -152,7 +190,7 @@ class SlabTransport:
         n_neutrons: int,
         source_energy_ev: float | None = None,
         source_spectrum: Spectrum | None = None,
-        engine: str = "batch",
+        engine: Union[str, Engine] = Engine.BATCH,
         batch_size: int | None = None,
         n_workers: int | None = None,
     ) -> TransportResult:
@@ -165,11 +203,13 @@ class SlabTransport:
             n_neutrons: number of source histories.
             source_energy_ev: monoenergetic source energy, eV.
             source_spectrum: alternatively, a spectrum to sample.
-            engine: ``"batch"`` (vectorized, the default) or
-                ``"scalar"`` (the original per-history loop, kept as
-                the statistical oracle).  Both consume the transport's
-                ``rng`` stream, so repeated runs differ but a freshly
-                seeded transport is deterministic for either engine.
+            engine: :attr:`Engine.BATCH` (vectorized, the default) or
+                :attr:`Engine.SCALAR` (the original per-history loop,
+                kept as the statistical oracle); the strings
+                ``"batch"`` / ``"scalar"`` are accepted.  Both consume
+                the transport's ``rng`` stream, so repeated runs
+                differ but a freshly seeded transport is deterministic
+                for either engine.
             batch_size: batch engine only — histories co-resident per
                 vectorized sweep (rounded up to whole seed streams).
                 Tallies do not depend on it.
@@ -178,7 +218,12 @@ class SlabTransport:
 
         Returns:
             A frozen :class:`TransportResult`.
+
+        Raises:
+            repro.runtime.errors.ConfigurationError: for an unknown
+                ``engine`` selector.
         """
+        engine = Engine.coerce(engine)
         if n_neutrons <= 0:
             raise ValueError(f"need n_neutrons > 0, got {n_neutrons}")
         if (source_energy_ev is None) == (source_spectrum is None):
@@ -190,7 +235,7 @@ class SlabTransport:
                 f"source energy must be positive,"
                 f" got {source_energy_ev}"
             )
-        if engine == "batch":
+        if engine is Engine.BATCH:
             # Deterministic hand-off: one integer drawn from the shared
             # stream seeds the batch engine's SeedSequence tree, so the
             # batch path has the same "same seed, same result /
@@ -203,10 +248,6 @@ class SlabTransport:
                 seed=entropy,
                 batch_size=batch_size,
                 n_workers=n_workers,
-            )
-        if engine != "scalar":
-            raise ValueError(
-                f"engine must be 'batch' or 'scalar', got {engine!r}"
             )
         if source_spectrum is not None:
             energies = source_spectrum.sample_energies(
@@ -308,7 +349,7 @@ def thermal_albedo_enhancement(
     n_neutrons: int = 20_000,
     incident_energy_ev: float = 1.0e6,
     seed: int = 2020,
-    engine: str = "batch",
+    engine: Union[str, Engine] = Engine.BATCH,
 ) -> Tuple[float, float]:
     """Thermal albedo of a slab hit by fast neutrons.
 
@@ -324,7 +365,8 @@ def thermal_albedo_enhancement(
         n_neutrons: MC histories.
         incident_energy_ev: monoenergetic fast source energy.
         seed: transport seed.
-        engine: transport engine, ``"batch"`` or ``"scalar"``.
+        engine: transport engine (:class:`Engine` or its string
+            value).
 
     Returns:
         ``(albedo, stderr)``.
@@ -345,7 +387,7 @@ def shield_transmission(
     source_spectrum: Spectrum,
     n_neutrons: int = 20_000,
     seed: int = 2020,
-    engine: str = "batch",
+    engine: Union[str, Engine] = Engine.BATCH,
 ) -> TransportResult:
     """Transport an incident spectrum through a shield layer.
 

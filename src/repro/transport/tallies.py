@@ -6,6 +6,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro import serde
+
 
 @dataclass
 class TransportTally:
@@ -77,6 +79,59 @@ class TransportResult:
             collisions=tally.collisions,
             absorbed_by_material=dict(tally.absorbed_by_material),
             degraded_shards=degraded_shards,
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form, tagged with the ``transport`` schema."""
+        return serde.tag(
+            "transport",
+            {
+                "source": self.source,
+                "transmitted_thermal": self.transmitted_thermal,
+                "transmitted_epithermal": (
+                    self.transmitted_epithermal
+                ),
+                "transmitted_fast": self.transmitted_fast,
+                "reflected_thermal": self.reflected_thermal,
+                "reflected_epithermal": self.reflected_epithermal,
+                "reflected_fast": self.reflected_fast,
+                "absorbed": self.absorbed,
+                "collisions": self.collisions,
+                "absorbed_by_material": dict(
+                    self.absorbed_by_material
+                ),
+                "degraded_shards": self.degraded_shards,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransportResult":
+        """Rebuild from :meth:`to_dict` output.
+
+        Raises:
+            repro.serde.SchemaError: on a wrong kind tag or an
+                unsupported version.
+        """
+        serde.check("transport", data)
+        return cls(
+            source=int(data["source"]),
+            transmitted_thermal=int(data["transmitted_thermal"]),
+            transmitted_epithermal=int(
+                data["transmitted_epithermal"]
+            ),
+            transmitted_fast=int(data["transmitted_fast"]),
+            reflected_thermal=int(data["reflected_thermal"]),
+            reflected_epithermal=int(data["reflected_epithermal"]),
+            reflected_fast=int(data["reflected_fast"]),
+            absorbed=int(data["absorbed"]),
+            collisions=int(data["collisions"]),
+            absorbed_by_material={
+                str(k): int(v)
+                for k, v in data.get(
+                    "absorbed_by_material", {}
+                ).items()
+            },
+            degraded_shards=int(data.get("degraded_shards", 0)),
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,153 @@
+"""Observability CLI plumbing: run flags and ``repro obs``."""
+
+import argparse
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exitcodes import ExitCode
+from repro.obs.cli import observer_from_args
+from repro.runtime.errors import ConfigurationError
+
+
+def _args(**overrides):
+    defaults = {
+        "trace": "",
+        "metrics": "",
+        "profile_span": "",
+        "profile_out": "",
+    }
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+class TestObserverFromArgs:
+    def test_no_flags_no_observer(self):
+        assert observer_from_args(_args()) is None
+
+    def test_trace_only(self, tmp_path):
+        observer = observer_from_args(
+            _args(trace=str(tmp_path / "t.jsonl"))
+        )
+        assert observer.trace_path == tmp_path / "t.jsonl"
+        assert observer.registry is None
+
+    def test_metrics_only(self, tmp_path):
+        observer = observer_from_args(
+            _args(metrics=str(tmp_path / "m.json"))
+        )
+        assert observer.trace_path is None
+        assert observer.registry is not None
+
+    def test_profile_out_defaults_next_to_trace(self, tmp_path):
+        observer = observer_from_args(
+            _args(
+                trace=str(tmp_path / "t.jsonl"),
+                profile_span="run.campaign",
+            )
+        )
+        assert observer.profile_path == tmp_path / "t.prof"
+
+    def test_profile_span_alone_is_a_usage_error(self):
+        with pytest.raises(ConfigurationError):
+            observer_from_args(_args(profile_span="run.campaign"))
+
+
+class TestRunWithObservability:
+    def _run(self, tmp_path, *extra):
+        return main(
+            [
+                "run",
+                "--plan",
+                "heterogeneous",
+                "--checkpoint",
+                str(tmp_path / "ck.json"),
+                *extra,
+            ]
+        )
+
+    def test_trace_and_metrics_written(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        code = self._run(
+            tmp_path,
+            "--trace", str(trace),
+            "--metrics", str(metrics),
+        )
+        assert code is ExitCode.OK
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "metrics written to" in out
+        assert trace.stat().st_size > 0
+        data = json.loads(metrics.read_text())
+        assert data["counters"]["repro_exposures_total"] > 0
+
+    def test_prometheus_suffix_selects_text_format(
+        self, tmp_path, capsys
+    ):
+        metrics = tmp_path / "m.prom"
+        code = self._run(tmp_path, "--metrics", str(metrics))
+        assert code is ExitCode.OK
+        capsys.readouterr()
+        text = metrics.read_text()
+        assert "# TYPE repro_exposures_total counter" in text
+
+    def test_profile_span_without_sink_is_usage(
+        self, tmp_path, capsys
+    ):
+        code = self._run(tmp_path, "--profile-span", "run.campaign")
+        assert code is ExitCode.USAGE
+        assert "usage error" in capsys.readouterr().out
+
+    def test_profile_span_dumps_stats(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        code = self._run(
+            tmp_path,
+            "--trace", str(trace),
+            "--profile-span", "run.campaign",
+        )
+        assert code is ExitCode.OK
+        capsys.readouterr()
+        assert (tmp_path / "t.prof").stat().st_size > 0
+
+    def test_run_without_flags_installs_nothing(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.core import enabled
+
+        code = self._run(tmp_path)
+        assert code is ExitCode.OK
+        assert not enabled()
+        capsys.readouterr()
+
+
+class TestObsSummarize:
+    def test_summarize_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert (
+            main(
+                [
+                    "run",
+                    "--plan",
+                    "heterogeneous",
+                    "--checkpoint",
+                    str(tmp_path / "ck.json"),
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            is ExitCode.OK
+        )
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(trace)]) is ExitCode.OK
+        out = capsys.readouterr().out
+        assert "run.campaign" in out
+        assert "supervisor.step" in out
+
+    def test_missing_trace_is_usage(self, tmp_path, capsys):
+        code = main(
+            ["obs", "summarize", str(tmp_path / "missing.jsonl")]
+        )
+        assert code is ExitCode.USAGE
+        assert "no trace file" in capsys.readouterr().out

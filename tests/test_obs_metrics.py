@@ -1,0 +1,152 @@
+"""Metrics registry: counters, gauges, histograms, exports."""
+
+import json
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS_S,
+    HistogramState,
+    MetricsRegistry,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_exposures_total")
+        registry.inc("repro_exposures_total", 4)
+        assert registry.counter("repro_exposures_total") == 5
+
+    def test_untouched_counter_reads_zero(self):
+        assert MetricsRegistry().counter("nope_total") == 0
+
+    def test_labels_split_series(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_chaos_fires_total", site="a.b")
+        registry.inc("repro_chaos_fires_total", site="c.d")
+        registry.inc("repro_chaos_fires_total", site="a.b")
+        assert (
+            registry.counter("repro_chaos_fires_total", site="a.b")
+            == 2
+        )
+        assert (
+            registry.counter("repro_chaos_fires_total", site="c.d")
+            == 1
+        )
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.inc("m_total", a="1", b="2")
+        assert registry.counter("m_total", b="2", a="1") == 1
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_histories_per_s", 10.0)
+        registry.set_gauge("repro_histories_per_s", 20.0)
+        assert registry.gauge("repro_histories_per_s") == 20.0
+
+    def test_unset_gauge_reads_zero(self):
+        assert MetricsRegistry().gauge("nope") == 0.0
+
+
+class TestHistograms:
+    def test_observations_land_in_first_matching_bucket(self):
+        state = HistogramState(bounds_s=(0.1, 1.0, 10.0))
+        state.observe(0.05)
+        state.observe(0.5)
+        state.observe(0.5)
+        state.observe(5.0)
+        assert state.bucket_counts == [1, 2, 1]
+        assert state.count == 4
+        assert state.sum_s == 6.05
+
+    def test_overflow_lands_only_in_inf(self):
+        state = HistogramState(bounds_s=(0.1,))
+        state.observe(99.0)
+        assert state.bucket_counts == [0]
+        assert state.count == 1
+        assert state.sum_s == 99.0
+
+    def test_registry_observe_uses_default_bounds(self):
+        registry = MetricsRegistry()
+        registry.observe("repro_span_seconds", 0.005, span="step")
+        state = registry.histogram(
+            "repro_span_seconds", span="step"
+        )
+        assert state.bounds_s == DEFAULT_BUCKET_BOUNDS_S
+        assert sum(state.bucket_counts) == 1
+
+
+class TestExports:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_exposures_total", 2)
+        registry.inc("repro_chaos_fires_total", site="a.b")
+        registry.set_gauge("repro_histories_per_s", 125.5)
+        registry.observe("repro_span_seconds", 0.005, span="step")
+        registry.observe("repro_span_seconds", 0.05, span="step")
+        return registry
+
+    def test_to_dict_is_json_ready_and_sorted(self):
+        data = self._registry().to_dict()
+        json.dumps(data)
+        assert data["counters"] == {
+            'repro_chaos_fires_total{site="a.b"}': 1,
+            "repro_exposures_total": 2,
+        }
+        assert data["gauges"] == {
+            "repro_histories_per_s": 125.5
+        }
+        hist = data["histograms"]['repro_span_seconds{span="step"}']
+        assert hist["count"] == 2
+        assert hist["sum_s"] == 0.055
+
+    def test_prometheus_counters_and_gauges(self):
+        text = self._registry().to_prometheus()
+        assert "# TYPE repro_exposures_total counter" in text
+        assert "repro_exposures_total 2" in text
+        assert 'repro_chaos_fires_total{site="a.b"} 1' in text
+        assert "# TYPE repro_histories_per_s gauge" in text
+        assert "repro_histories_per_s 125.5" in text
+
+    def test_prometheus_histogram_is_cumulative(self):
+        lines = self._registry().to_prometheus().splitlines()
+        buckets = [
+            line
+            for line in lines
+            if line.startswith("repro_span_seconds_bucket")
+        ]
+        # 0.005 <= 0.01, 0.05 <= 0.1: cumulative counts step 0, 0,
+        # 1, 2 and stay 2 through +Inf.
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == [0, 0, 1, 2, 2, 2, 2, 2, 2]
+        assert 'le="+Inf"' in buckets[-1]
+        assert (
+            'repro_span_seconds_sum{span="step"} 0.055' in lines
+        )
+        assert (
+            'repro_span_seconds_count{span="step"} 2' in lines
+        )
+
+    def test_prometheus_integers_render_bare(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 3.0)
+        assert "g 3\n" in registry.to_prometheus()
+
+    def test_empty_registry_exports_cleanly(self):
+        registry = MetricsRegistry()
+        assert registry.to_prometheus() == ""
+        assert registry.to_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_exports_are_deterministic(self):
+        first = self._registry()
+        second = self._registry()
+        assert first.to_prometheus() == second.to_prometheus()
+        assert json.dumps(first.to_dict(), sort_keys=True) == (
+            json.dumps(second.to_dict(), sort_keys=True)
+        )

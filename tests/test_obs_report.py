@@ -1,0 +1,120 @@
+"""Trace summarization behind ``python -m repro obs summarize``."""
+
+import json
+
+from repro.obs.core import Observer, observing, span, event
+from repro.obs.report import render_report, summarize
+
+from tests.test_obs_trace import stepping_clock
+
+
+def write_trace(path, records):
+    path.write_text(
+        "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+    )
+
+
+def test_summarize_real_trace(tmp_path):
+    path = tmp_path / "t.jsonl"
+    observer = Observer(
+        trace_path=path,
+        clock=stepping_clock(),
+        cpu_clock=stepping_clock(0.5),
+    )
+    with observing(observer):
+        with span("step", idx=0):
+            event("retry")
+        with span("step", idx=1):
+            pass
+    summary = summarize(path)
+    assert summary.n_records == 5
+    assert summary.n_open_spans == 0
+    assert summary.points == {"retry": 1}
+    stats = summary.spans["step"]
+    assert stats.count == 2
+    assert stats.total_wall_s > 0.0
+    assert stats.max_wall_s >= stats.mean_wall_s()
+
+
+def test_open_spans_counted(tmp_path):
+    path = tmp_path / "t.jsonl"
+    write_trace(
+        path,
+        [
+            {"seq": 0, "kind": "begin", "name": "a", "t_s": 0.0},
+            {"seq": 1, "kind": "begin", "name": "b", "t_s": 1.0},
+        ],
+    )
+    summary = summarize(path)
+    assert summary.n_open_spans == 2
+    assert summary.wall_span_s == 1.0
+    assert "never closed" in render_report(summary)
+
+
+def test_torn_trailing_line_is_skipped(tmp_path):
+    path = tmp_path / "t.jsonl"
+    write_trace(
+        path,
+        [{"seq": 0, "kind": "point", "name": "e", "t_s": 0.0}],
+    )
+    with path.open("a") as sink:
+        sink.write('{"seq": 1, "kind": "po')  # SIGKILL mid-write
+    summary = summarize(path)
+    assert summary.n_records == 1
+    assert summary.points == {"e": 1}
+
+
+def test_error_spans_reported(tmp_path):
+    path = tmp_path / "t.jsonl"
+    write_trace(
+        path,
+        [
+            {"seq": 0, "kind": "begin", "name": "s", "t_s": 0.0},
+            {
+                "seq": 1,
+                "kind": "end",
+                "name": "s",
+                "t_s": 1.0,
+                "attrs": {
+                    "wall_s": 1.0,
+                    "cpu_s": 0.5,
+                    "error": "KeyError",
+                },
+            },
+        ],
+    )
+    summary = summarize(path)
+    assert summary.spans["s"].errors == 1
+    assert "1 error(s)" in render_report(summary)
+
+
+def test_empty_trace_summarizes(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text("")
+    summary = summarize(path)
+    assert summary.n_records == 0
+    assert summary.wall_span_s == 0.0
+    assert "0 record(s)" in render_report(summary)
+
+
+def test_report_lists_spans_and_events(tmp_path):
+    path = tmp_path / "t.jsonl"
+    write_trace(
+        path,
+        [
+            {"seq": 0, "kind": "begin", "name": "s", "t_s": 0.0},
+            {
+                "seq": 1,
+                "kind": "end",
+                "name": "s",
+                "t_s": 0.25,
+                "attrs": {"wall_s": 0.25, "cpu_s": 0.1},
+            },
+            {"seq": 2, "kind": "point", "name": "fire", "t_s": 0.3},
+        ],
+    )
+    report = render_report(summarize(path))
+    assert "spans:" in report
+    assert "s" in report
+    assert "events:" in report
+    assert "fire" in report

@@ -1,0 +1,241 @@
+"""Structured tracing core: observer lifecycle, spans, determinism."""
+
+import json
+
+import pytest
+
+from repro.obs.core import (
+    NullSpan,
+    Observer,
+    SPAN_HISTOGRAM,
+    Span,
+    active,
+    enabled,
+    event,
+    inc,
+    install,
+    observe,
+    observing,
+    set_gauge,
+    span,
+    uninstall,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def stepping_clock(step_s=1.0):
+    """A deterministic fake clock: 0.0, step, 2*step, ..."""
+    state = {"t_s": -step_s}
+
+    def clock():
+        state["t_s"] += step_s
+        return state["t_s"]
+
+    return clock
+
+
+class TestDisabled:
+    def test_off_by_default(self):
+        assert not enabled()
+        assert active() is None
+
+    def test_span_returns_shared_null_span(self):
+        first = span("anything", step=1)
+        second = span("anything.else")
+        assert isinstance(first, NullSpan)
+        assert first is second
+
+    def test_null_span_is_reentrant_and_transparent(self):
+        null = span("x")
+        with null as outer:
+            with null as inner:
+                assert outer is inner
+        assert null.elapsed_s == 0.0
+
+    def test_null_span_never_swallows(self):
+        with pytest.raises(RuntimeError):
+            with span("x"):
+                raise RuntimeError("boom")
+
+    def test_metric_helpers_are_noops(self):
+        event("e")
+        inc("c")
+        set_gauge("g", 1.0)
+        observe("h", 0.5)
+
+
+class TestLifecycle:
+    def test_install_uninstall(self):
+        observer = Observer()
+        install(observer)
+        try:
+            assert enabled()
+            assert active() is observer
+        finally:
+            uninstall()
+        assert not enabled()
+
+    def test_double_install_rejected(self):
+        install(Observer())
+        try:
+            with pytest.raises(RuntimeError):
+                install(Observer())
+        finally:
+            uninstall()
+
+    def test_uninstall_idempotent(self):
+        uninstall()
+        uninstall()
+        assert not enabled()
+
+    def test_observing_uninstalls_on_error(self):
+        observer = Observer()
+        with pytest.raises(ValueError):
+            with observing(observer):
+                assert active() is observer
+                raise ValueError("boom")
+        assert not enabled()
+
+    def test_uninstall_closes_sink(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        observer = Observer(trace_path=path)
+        with observing(observer):
+            event("e")
+        assert observer._sink is None
+
+    def test_profile_span_requires_path(self):
+        with pytest.raises(ValueError):
+            Observer(profile_span="run.campaign")
+
+
+class TestTraceRecords:
+    def _records(self, path):
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+
+    def test_span_emits_begin_end_with_sequence(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        observer = Observer(
+            trace_path=path,
+            clock=stepping_clock(),
+            cpu_clock=stepping_clock(0.5),
+        )
+        with observing(observer):
+            with span("step", idx=3) as live:
+                event("ping", n=1)
+            assert isinstance(live, Span)
+            assert live.elapsed_s > 0.0
+        records = self._records(path)
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert [r["kind"] for r in records] == [
+            "begin", "point", "end",
+        ]
+        begin, ping, end = records
+        assert begin["name"] == "step"
+        assert begin["attrs"] == {"idx": 3}
+        assert ping["attrs"] == {"n": 1}
+        # Wall clock ticks at enter, each record emit, and exit.
+        assert end["attrs"]["wall_s"] == pytest.approx(3.0)
+        assert end["attrs"]["cpu_s"] == pytest.approx(0.5)
+        assert "error" not in end["attrs"]
+
+    def test_failing_span_marks_error_and_reraises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with observing(Observer(trace_path=path)):
+            with pytest.raises(KeyError):
+                with span("step"):
+                    raise KeyError("missing")
+        end = self._records(path)[-1]
+        assert end["kind"] == "end"
+        assert end["attrs"]["error"] == "KeyError"
+
+    def test_records_are_key_sorted_json(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with observing(Observer(trace_path=path)):
+            event("e", z=1, a=2)
+        line = path.read_text().splitlines()[0]
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True
+        )
+
+    def test_sink_appends_across_observers(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for _ in range(2):
+            with observing(Observer(trace_path=path)):
+                event("segment")
+        assert len(self._records(path)) == 2
+
+    def test_sink_creates_parent_directory(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        with observing(Observer(trace_path=path)):
+            event("e")
+        assert path.exists()
+
+    def test_injected_clock_makes_traces_byte_identical(
+        self, tmp_path
+    ):
+        def run(path):
+            observer = Observer(
+                trace_path=path,
+                clock=stepping_clock(),
+                cpu_clock=stepping_clock(),
+            )
+            with observing(observer):
+                with span("outer", label="a"):
+                    event("mid", k="v")
+            return path.read_bytes()
+
+        first = run(tmp_path / "one" / "t.jsonl")
+        second = run(tmp_path / "two" / "t.jsonl")
+        assert first == second
+        assert first
+
+
+class TestMetricsHelpers:
+    def test_helpers_feed_registry(self):
+        registry = MetricsRegistry()
+        with observing(Observer(registry=registry)):
+            inc("repro_retries_total")
+            inc("repro_retries_total", 2)
+            set_gauge("repro_histories_per_s", 125.0)
+            observe("custom_seconds", 0.02)
+        assert registry.counter("repro_retries_total") == 3
+        assert registry.gauge("repro_histories_per_s") == 125.0
+        assert registry.histogram("custom_seconds").count == 1
+
+    def test_completed_spans_feed_span_histogram(self):
+        registry = MetricsRegistry()
+        with observing(Observer(registry=registry)):
+            with span("step"):
+                pass
+            with span("step"):
+                pass
+        state = registry.histogram(SPAN_HISTOGRAM, span="step")
+        assert state.count == 2
+
+    def test_tracing_only_observer_skips_metrics(self, tmp_path):
+        observer = Observer(trace_path=tmp_path / "t.jsonl")
+        with observing(observer):
+            inc("repro_retries_total")
+            with span("step"):
+                pass
+
+
+class TestProfiling:
+    def test_profile_span_dumps_stats(self, tmp_path):
+        prof = tmp_path / "run.prof"
+        observer = Observer(
+            profile_span="hot", profile_path=prof
+        )
+        with observing(observer):
+            with span("cold"):
+                pass
+            with span("hot"):
+                sum(range(100))
+        assert prof.exists()
+        import pstats
+
+        stats = pstats.Stats(str(prof))
+        assert stats.total_calls >= 1

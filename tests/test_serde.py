@@ -1,0 +1,200 @@
+"""Unified result serialization: schema tags and version checks."""
+
+import warnings
+
+import pytest
+
+from repro import serde
+from repro.beam.logbook import (
+    CampaignLogbook,
+    LOGBOOK_VERSION,
+)
+from repro.beam.results import (
+    CampaignResult,
+    ExposureResult,
+)
+from repro.faults.models import BeamKind
+from repro.transport.tallies import TransportResult, TransportTally
+
+
+def _exposure():
+    result = ExposureResult(
+        device_name="ddr3",
+        code="matmul",
+        beam=BeamKind.THERMAL,
+        fluence_per_cm2=1e10,
+        sdc_count=3,
+        due_count=1,
+        masked_count=7,
+        due_mechanisms={"hang": 1},
+        isolated_count=1,
+        degraded=True,
+    )
+    return result
+
+
+class TestTag:
+    def test_tag_stamps_kind_and_version(self):
+        tagged = serde.tag("exposure", {"device": "x"})
+        assert tagged[serde.SCHEMA_KEY] == "exposure"
+        assert tagged[serde.VERSION_KEY] == (
+            serde.SCHEMA_VERSIONS["exposure"]
+        )
+        assert tagged["device"] == "x"
+
+    def test_tag_does_not_mutate_body(self):
+        body = {"device": "x"}
+        serde.tag("exposure", body)
+        assert body == {"device": "x"}
+
+    def test_tag_rejects_unknown_kind(self):
+        with pytest.raises(serde.SchemaError):
+            serde.tag("spectrogram", {})
+
+    def test_tag_refuses_double_tagging(self):
+        tagged = serde.tag("exposure", {})
+        with pytest.raises(serde.SchemaError):
+            serde.tag("exposure", tagged)
+
+
+class TestCheck:
+    def test_tagged_payload_passes_silently(self):
+        tagged = serde.tag("transport", {"source": 1})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert serde.check("transport", tagged) == 1
+
+    def test_wrong_kind_rejected(self):
+        tagged = serde.tag("transport", {})
+        with pytest.raises(serde.SchemaError):
+            serde.check("exposure", tagged)
+
+    def test_untagged_payload_warns_and_defaults_to_v1(self):
+        with pytest.warns(DeprecationWarning):
+            assert serde.check("exposure", {"device": "x"}) == 1
+
+    def test_untagged_payload_uses_legacy_key(self):
+        with pytest.warns(DeprecationWarning):
+            version = serde.check(
+                "logbook",
+                {"version": 2},
+                supported=(1, 2, 3),
+                legacy_key="version",
+            )
+        assert version == 2
+
+    def test_conflicting_versions_rejected(self):
+        data = serde.tag("logbook", {})
+        data["version"] = 1
+        with pytest.raises(serde.SchemaError):
+            serde.check("logbook", data, legacy_key="version")
+
+    def test_agreeing_versions_accepted(self):
+        data = serde.tag("logbook", {})
+        data["version"] = LOGBOOK_VERSION
+        assert (
+            serde.check("logbook", data, legacy_key="version")
+            == LOGBOOK_VERSION
+        )
+
+    def test_future_version_rejected(self):
+        data = serde.tag("exposure", {})
+        data[serde.VERSION_KEY] = 99
+        with pytest.raises(serde.SchemaError):
+            serde.check("exposure", data)
+
+    def test_supported_overrides_default_range(self):
+        data = serde.tag("exposure", {})
+        with pytest.raises(serde.SchemaError):
+            serde.check("exposure", data, supported=(1,))
+
+
+class TestExposureRoundTrip:
+    def test_round_trip(self):
+        original = _exposure()
+        data = original.to_dict()
+        assert data[serde.SCHEMA_KEY] == "exposure"
+        restored = ExposureResult.from_dict(data)
+        assert restored == original
+
+    def test_legacy_untagged_payload_loads_with_warning(self):
+        data = _exposure().to_dict()
+        del data[serde.SCHEMA_KEY]
+        del data[serde.VERSION_KEY]
+        with pytest.warns(DeprecationWarning):
+            restored = ExposureResult.from_dict(data)
+        assert restored == _exposure()
+
+
+class TestTransportRoundTrip:
+    def _result(self):
+        tally = TransportTally(
+            source=100,
+            transmitted_thermal=10,
+            transmitted_epithermal=5,
+            transmitted_fast=15,
+            reflected_thermal=20,
+            reflected_epithermal=2,
+            reflected_fast=3,
+            collisions=940,
+        )
+        for _ in range(45):
+            tally.record_absorption("water")
+        return TransportResult.from_tally(tally, degraded_shards=2)
+
+    def test_round_trip(self):
+        original = self._result()
+        restored = TransportResult.from_dict(original.to_dict())
+        assert restored == original
+        assert restored.balance_check()
+
+    def test_wrong_kind_rejected(self):
+        data = self._result().to_dict()
+        data[serde.SCHEMA_KEY] = "exposure"
+        with pytest.raises(serde.SchemaError):
+            TransportResult.from_dict(data)
+
+
+class TestLogbookRoundTrip:
+    def _logbook(self):
+        result = CampaignResult()
+        result.add(_exposure())
+        return CampaignLogbook(
+            result=result,
+            seed=2020,
+            notes="trip one",
+            metadata={"facility": "thermal column"},
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "logbook.json"
+        self._logbook().save(path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            restored = CampaignLogbook.load(path)
+        assert restored.seed == 2020
+        assert restored.result.exposures == [_exposure()]
+
+    def test_tag_agrees_with_version_field(self):
+        data = self._logbook().to_dict()
+        assert data["version"] == LOGBOOK_VERSION
+        assert data[serde.VERSION_KEY] == LOGBOOK_VERSION
+
+    def test_v2_logbook_loads_with_warning(self):
+        data = self._logbook().to_dict()
+        del data[serde.SCHEMA_KEY]
+        del data[serde.VERSION_KEY]
+        data["version"] = 2
+        for raw in data["exposures"]:
+            del raw[serde.SCHEMA_KEY]
+            del raw[serde.VERSION_KEY]
+        with pytest.warns(DeprecationWarning):
+            restored = CampaignLogbook.from_dict(data)
+        assert restored.result.exposures == [_exposure()]
+
+    def test_unknown_version_rejected(self):
+        data = self._logbook().to_dict()
+        data["version"] = 99
+        data[serde.VERSION_KEY] = 99
+        with pytest.raises(serde.SchemaError):
+            CampaignLogbook.from_dict(data)

@@ -1,0 +1,106 @@
+"""The validated ``Engine`` selector replacing bare engine strings."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.errors import ConfigurationError
+from repro.transport import Engine, SlabTransport
+from repro.transport.materials import WATER
+from repro.transport.montecarlo import Layer, SlabGeometry
+
+
+def _transport():
+    return SlabTransport(
+        SlabGeometry([Layer(WATER, 1.0)]),
+        rng=np.random.default_rng(42),
+    )
+
+
+class TestCoerce:
+    def test_enum_passes_through(self):
+        assert Engine.coerce(Engine.BATCH) is Engine.BATCH
+        assert Engine.coerce(Engine.SCALAR) is Engine.SCALAR
+
+    def test_strings_still_accepted(self):
+        assert Engine.coerce("batch") is Engine.BATCH
+        assert Engine.coerce("scalar") is Engine.SCALAR
+
+    def test_unknown_string_names_the_allowed_set(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            Engine.coerce("warp")
+        message = str(excinfo.value)
+        assert "warp" in message
+        assert "batch" in message
+        assert "scalar" in message
+
+    def test_configuration_error_is_a_value_error(self):
+        # Callers that historically caught ValueError keep working.
+        with pytest.raises(ValueError):
+            Engine.coerce("warp")
+
+
+class TestRunDispatch:
+    def test_enum_and_string_agree(self):
+        by_enum = _transport().run(
+            n_neutrons=200,
+            source_energy_ev=1e6,
+            engine=Engine.SCALAR,
+        )
+        by_string = _transport().run(
+            n_neutrons=200,
+            source_energy_ev=1e6,
+            engine="scalar",
+        )
+        assert by_enum == by_string
+
+    def test_default_engine_is_batch(self):
+        import inspect
+
+        signature = inspect.signature(SlabTransport.run)
+        assert signature.parameters["engine"].default is Engine.BATCH
+
+    def test_unknown_engine_rejected_before_running(self):
+        with pytest.raises(ConfigurationError):
+            _transport().run(
+                n_neutrons=10,
+                source_energy_ev=1e6,
+                engine="quantum",
+            )
+
+
+class TestChaosParsingMirror:
+    """The same coerce pattern applied to chaos --site/--action."""
+
+    def test_known_sites_pass(self):
+        from repro.chaos.cli import parse_sites
+        from repro.chaos.faultpoints import site_names
+
+        sites = list(site_names())[:2]
+        assert parse_sites(sites) == sites
+
+    def test_unknown_site_names_the_allowed_set(self):
+        from repro.chaos.cli import parse_sites
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            parse_sites(["nope.nope"])
+        assert "nope.nope" in str(excinfo.value)
+        assert "allowed" in str(excinfo.value)
+
+    def test_unknown_action_rejected(self):
+        from repro.chaos.cli import parse_actions
+
+        with pytest.raises(ConfigurationError):
+            parse_actions(["meteor"])
+
+    def test_known_actions_pass(self):
+        from repro.chaos.cli import parse_actions
+        from repro.chaos.faultpoints import FAULT_POINTS
+
+        action = sorted(
+            {
+                a
+                for point in FAULT_POINTS.values()
+                for a in point.actions
+            }
+        )[0]
+        assert parse_actions([action]) == [action]
