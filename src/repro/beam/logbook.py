@@ -151,6 +151,5 @@ def device_summary(logbook: CampaignLogbook) -> List[dict]:
 __all__ = [
     "CampaignLogbook",
     "LOGBOOK_VERSION",
-    "SUPPORTED_LOGBOOK_VERSIONS",
     "device_summary",
 ]

@@ -162,8 +162,6 @@ def _duplicate(context: dict) -> None:
 
 __all__ = [
     "ALL_ACTIONS",
-    "CORRUPT",
-    "CRASH",
     "ChaosCrashError",
     "DELAY",
     "DUPLICATE",
@@ -171,6 +169,5 @@ __all__ = [
     "KILL_WORKER",
     "RAISE_TRANSIENT",
     "TORN_WRITE",
-    "TRUNCATE",
     "perform",
 ]

@@ -939,12 +939,6 @@ class InvariantChecker:
 
 
 __all__ = [
-    "CellVerdict",
     "ChaosReport",
     "InvariantChecker",
-    "TrialOutcome",
-    "canon_days",
-    "canon_ddr",
-    "canon_exposures",
-    "canon_transport",
 ]

@@ -236,17 +236,9 @@ def run_kill_trial(
 
 
 __all__ = [
-    "CAMPAIGN_DURATION_S",
-    "CAMPAIGN_MAX_EVENTS",
-    "CAMPAIGN_SEED",
-    "CHILD_TARGETS",
     "CHILD_TIMEOUT_S",
     "DELAY_TRIAL_BUDGET_S",
-    "FLEET_CHECKPOINT_EVERY_DAYS",
     "FLEET_N_DAYS",
-    "FLEET_N_DEVICES",
-    "FLEET_SEED",
-    "SubprocessOutcome",
     "build_campaign_plan",
     "make_campaign_runner",
     "make_fleet_runner",

@@ -52,8 +52,10 @@ class TinII:
 
     tube: He3Tube = field(default_factory=He3Tube)
     shield: CadmiumShield = field(default_factory=CadmiumShield)
+    #: Counting noise defaults to seed 0 so two default-constructed
+    #: detector pairs report identical measurements.
     rng: np.random.Generator = field(
-        default_factory=np.random.default_rng
+        default_factory=lambda: np.random.default_rng(0)
     )
 
     # ------------------------------------------------------------------

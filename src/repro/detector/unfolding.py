@@ -15,6 +15,7 @@ subsystems.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -104,10 +105,19 @@ def response_matrix(
             geometry = SlabGeometry(
                 [Layer(POLYETHYLENE, float(thickness))]
             )
+            # Per-configuration stream key derived with sha256, not
+            # hash(): builtin hash of a str is salted per process
+            # (PYTHONHASHSEED), which would unseed the responses.
+            key = int.from_bytes(
+                hashlib.sha256(
+                    f"{round(thickness, 6)}:{band}".encode("utf-8")
+                ).digest()[:4],
+                "big",
+            )
             transport = SlabTransport(
                 geometry,
                 rng=np.random.default_rng(
-                    seed + hash((round(thickness, 6), band)) % 100000
+                    np.random.SeedSequence([seed, key])
                 ),
             )
             result = transport.run(
@@ -205,7 +215,6 @@ def simulate_measurement(
 
 
 __all__ = [
-    "BAND_ENERGIES",
     "BANDS",
     "UnfoldingResult",
     "response_matrix",

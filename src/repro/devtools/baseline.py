@@ -1,0 +1,172 @@
+"""Committed lint baseline with a monotone-shrink ratchet.
+
+The project pass (``repro lint --project``) compares its findings
+against a committed baseline file.  The contract:
+
+* a finding **not** in the baseline is *new* and fails the run —
+  debt never grows;
+* a baseline entry matching **no** finding is *stale* and also fails
+  the run — fixed debt must leave the ledger (run with
+  ``--update-baseline``), so the baseline shrinks monotonically;
+* ``--update-baseline`` rewrites the file as the *intersection* of
+  the current findings and the existing entries.  It can drop stale
+  entries but can never admit a new finding, so the only way the
+  file grows is a human editing it in review.
+
+Entries are keyed ``(rule, path, message)`` — line numbers shift on
+every unrelated edit, so they are deliberately not part of the
+identity.  The repo commits an *empty* baseline: the analyzer landed
+clean, and the ratchet keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.devtools.engine import LintReport
+from repro.devtools.violations import Violation
+
+#: The committed baseline, relative to the working directory.
+DEFAULT_BASELINE_PATH = Path("lint-baseline.json")
+
+#: The identity of one baselined finding.
+_Key = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding: rule id, file path, exact message."""
+
+    rule: str
+    path: str
+    message: str
+
+    @property
+    def key(self) -> _Key:
+        """Tuple identity used for matching against findings."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        """Render like a violation line, without line/column."""
+        return f"{self.path}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of checking a report against a baseline.
+
+    Attributes:
+        report: the input report with baselined findings removed —
+            what remains is *new* debt.
+        matched: entries that covered at least one finding.
+        stale: entries that covered nothing (must be removed).
+    """
+
+    report: LintReport
+    matched: Tuple[BaselineEntry, ...]
+    stale: Tuple[BaselineEntry, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing is new and nothing is stale."""
+        return self.report.ok and not self.stale
+
+
+def violation_key(violation: Violation) -> _Key:
+    """Baseline identity of a violation (line numbers excluded)."""
+    return (violation.rule_id, violation.path, violation.message)
+
+
+def load_baseline(
+    path: Union[str, Path] = DEFAULT_BASELINE_PATH,
+) -> List[BaselineEntry]:
+    """Read a baseline file; a missing file is an empty baseline.
+
+    Raises:
+        ValueError: on a malformed file — a broken ledger must not
+            silently accept every finding.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=str(e["rule"]),
+                path=str(e["path"]),
+                message=str(e["message"]),
+            )
+            for e in payload["entries"]
+        ]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(f"malformed baseline {path}: {exc}") from exc
+    return entries
+
+
+def save_baseline(
+    entries: Sequence[BaselineEntry],
+    path: Union[str, Path] = DEFAULT_BASELINE_PATH,
+) -> None:
+    """Write a baseline file (sorted, stable formatting)."""
+    payload = {
+        "entries": [
+            {"rule": e.rule, "path": e.path, "message": e.message}
+            for e in sorted(entries, key=lambda e: e.key)
+        ]
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def apply_baseline(
+    report: LintReport, entries: Sequence[BaselineEntry]
+) -> BaselineResult:
+    """Split a report into new findings and matched/stale entries."""
+    by_key = {e.key: e for e in entries}
+    new: List[Violation] = []
+    matched_keys = set()
+    for violation in report.violations:
+        key = violation_key(violation)
+        if key in by_key:
+            matched_keys.add(key)
+        else:
+            new.append(violation)
+    matched = tuple(
+        e for e in entries if e.key in matched_keys
+    )
+    stale = tuple(
+        e for e in entries if e.key not in matched_keys
+    )
+    filtered = LintReport(
+        violations=tuple(new),
+        suppressed=report.suppressed,
+        files_checked=report.files_checked,
+        parse_errors=report.parse_errors,
+    )
+    return BaselineResult(report=filtered, matched=matched, stale=stale)
+
+
+def shrunk_baseline(
+    report: LintReport, entries: Sequence[BaselineEntry]
+) -> List[BaselineEntry]:
+    """The ratcheted update: current findings ∩ existing entries."""
+    current = {violation_key(v) for v in report.violations}
+    return [e for e in entries if e.key in current]
+
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineResult",
+    "DEFAULT_BASELINE_PATH",
+    "apply_baseline",
+    "load_baseline",
+    "save_baseline",
+    "shrunk_baseline",
+    "violation_key",
+]

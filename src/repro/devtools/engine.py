@@ -102,6 +102,64 @@ class LintEngine:
             parse_errors=errors,
         )
 
+    def lint_project(
+        self,
+        roots: Iterable[Path],
+        report_paths: Optional[Iterable[str]] = None,
+    ) -> LintReport:
+        """Run the whole-program REP1xx rules once over ``roots``.
+
+        One :class:`~repro.devtools.xref.ProjectIndex` is built over
+        every root — tests and benchmarks included, so the usage
+        analyses (REP102/REP104) see the whole consumer base — then
+        each project-scope rule runs against it.  Per-line ``# repro:
+        noqa`` pragmas are honoured at each finding's anchor line.
+
+        Args:
+            roots: directories/files to index.
+            report_paths: when given, findings outside this path set
+                are dropped after analysis — the ``--changed`` mode:
+                the symbol table stays whole-program, the report is
+                incremental.
+        """
+        # Imported lazily: the builder imports this module's
+        # discovery helpers at import time.
+        from repro.devtools.registry import project_rules_for
+        from repro.devtools.xref import build_project
+
+        index = build_project(list(roots), profile=self.profile)
+        scoped = (
+            {str(Path(p)) for p in report_paths}
+            if report_paths is not None
+            else None
+        )
+        violations: List[Violation] = []
+        suppressed: List[Violation] = []
+        for path in index.parse_errors:
+            violations.append(
+                _io_violation(Path(path), "file failed to parse")
+            )
+        for rule in project_rules_for(self.select, self.ignore):
+            for violation in rule.check_project(index):
+                module = index.modules.get(violation.path)
+                if module is not None and module.suppressions.is_suppressed(
+                    violation.line, violation.rule_id
+                ):
+                    suppressed.append(violation)
+                    continue
+                violations.append(violation)
+        if scoped is not None:
+            violations = [v for v in violations if v.path in scoped]
+            suppressed = [v for v in suppressed if v.path in scoped]
+        violations.sort(key=Violation.sort_key)
+        suppressed.sort(key=Violation.sort_key)
+        return LintReport(
+            violations=tuple(violations),
+            suppressed=tuple(suppressed),
+            files_checked=len(index.modules),
+            parse_errors=len(index.parse_errors),
+        )
+
     def lint_source(
         self,
         source: str,
@@ -211,7 +269,6 @@ def _io_violation(path: Path, message: str) -> Violation:
 
 
 __all__ = [
-    "DEFAULT_EXCLUDED_DIRS",
     "LintEngine",
     "LintReport",
     "discover_files",

@@ -82,6 +82,9 @@ class Rule:
     name: str = ""
     description: str = ""
     profiles: FrozenSet[str] = frozenset(PROFILES)
+    #: ``file`` rules see one module at a time; ``project`` rules
+    #: (REP1xx) run once over the whole-program index.
+    scope: str = "file"
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         """Yield violations found in ``ctx``; override in subclasses."""
@@ -94,6 +97,39 @@ class Rule:
         return Violation(
             rule_id=self.rule_id,
             path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (the REP1xx family).
+
+    Project rules never see a :class:`FileContext`; the engine builds
+    one :class:`repro.devtools.xref.ProjectIndex` and hands it to
+    :meth:`check_project` once per run.  Findings are anchored at the
+    file/line they concern, and per-line ``# repro: noqa`` pragmas are
+    honoured at that anchor by the engine.
+    """
+
+    scope = "project"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Project rules do not run per file."""
+        return iter(())
+
+    def check_project(self, index) -> Iterator[Violation]:
+        """Yield violations over a whole-program index; override."""
+        raise NotImplementedError
+
+    def project_violation(
+        self, path: str, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node`` in ``path``."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             message=message,
@@ -150,9 +186,35 @@ def rules_for(
     return [
         rule
         for rule in all_rules()
-        if rule.rule_id in chosen
+        if rule.scope == "file"
+        and rule.rule_id in chosen
         and rule.rule_id not in dropped
         and profile in rule.profiles
+    ]
+
+
+def project_rules_for(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[ProjectRule]:
+    """Active project-scope rules after --select / --ignore filters.
+
+    Unknown ids raise :class:`KeyError` only when they name no rule of
+    either scope, so one ``--select`` list can mix per-file and
+    project codes.
+    """
+    _ensure_loaded()
+    chosen = set(select) if select else set(_REGISTRY)
+    dropped = set(ignore) if ignore else set()
+    for rule_id in chosen | dropped:
+        if rule_id not in _REGISTRY:
+            raise KeyError(f"unknown rule id {rule_id!r}")
+    return [
+        rule
+        for rule in all_rules()
+        if isinstance(rule, ProjectRule)
+        and rule.rule_id in chosen
+        and rule.rule_id not in dropped
     ]
 
 

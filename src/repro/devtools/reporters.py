@@ -35,6 +35,79 @@ def render_json(report: LintReport) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def render_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 output, for GitHub code-scanning upload.
+
+    One run, one driver (``repro-lint``); the ``rules`` array carries
+    metadata only for rules that actually fired, and parse failures
+    (``REP000``) fall back to a synthetic descriptor.
+    """
+    from repro.devtools.registry import _REGISTRY, _ensure_loaded
+    from repro.devtools.violations import SYNTAX_ERROR_RULE
+
+    _ensure_loaded()
+    fired = sorted({v.rule_id for v in report.violations})
+    rules = []
+    for rule_id in fired:
+        rule = _REGISTRY.get(rule_id)
+        if rule is not None:
+            name, text = rule.name, rule.description
+        elif rule_id == SYNTAX_ERROR_RULE:
+            name, text = "parse-error", "file failed to parse"
+        else:
+            name, text = rule_id.lower(), rule_id
+        rules.append(
+            {
+                "id": rule_id,
+                "name": name,
+                "shortDescription": {"text": text},
+            }
+        )
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(v.line, 1),
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in report.violations
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/example/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
 def rule_counts(report: LintReport) -> Dict[str, int]:
     """Violation tally per rule id."""
     return dict(Counter(v.rule_id for v in report.violations))
@@ -51,4 +124,4 @@ def _summary_line(report: LintReport) -> str:
     )
 
 
-__all__ = ["render_json", "render_text", "rule_counts"]
+__all__ = ["render_json", "render_sarif", "render_text"]

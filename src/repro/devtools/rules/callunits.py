@@ -1,0 +1,155 @@
+"""REP103 — call-site unit consistency.
+
+REP002 polices unit suffixes *within* one file: direct assignments
+and comparisons between identifiers of different dimensions.  REP103
+propagates the same suffix dimensions *across* function boundaries
+through the project call graph:
+
+* an **argument mismatch** — ``f(energy_mev)`` where ``f``'s
+  parameter is ``energy_ev`` — fails at the argument;
+* a **return mismatch** — a function whose name carries one suffix
+  returning an identifier that carries another (``def
+  dose_h(...): return elapsed_s``), or an assignment binding a
+  suffixed call result to a name of a different dimension
+  (``duration_s = exposure_h(...)``) — fails at the return or
+  assignment.
+
+As in REP002, anything *computed* is out of scope: a binary
+expression may legitimately contain a conversion factor, so only
+bare name/attribute operands are compared.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.rules.units import dimension_of, suffix_of
+from repro.devtools.violations import Violation
+
+
+def _expr_dimension(expr: ast.expr) -> Optional[str]:
+    """Dimension carried by a bare name/attribute, else ``None``."""
+    if isinstance(expr, ast.Name):
+        return dimension_of(expr.id)
+    if isinstance(expr, ast.Attribute):
+        return dimension_of(expr.attr)
+    return None
+
+
+def _expr_label(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return "<expression>"
+
+
+@register
+class CallSiteUnitsRule(ProjectRule):
+    """Propagate unit-suffix dimensions through calls and returns."""
+
+    rule_id = "REP103"
+    name = "call-site-units"
+    description = (
+        "unit-suffixed values must keep their dimension across call"
+        " arguments and returns"
+    )
+
+    def check_project(self, index) -> Iterator[Violation]:
+        for module in index.modules.values():
+            if not module.is_library:
+                continue
+            yield from self._check_arguments(index, module)
+            yield from self._check_returns(module)
+            yield from self._check_assignments(index, module)
+
+    # -- arguments -----------------------------------------------------
+
+    def _check_arguments(self, index, module) -> Iterator[Violation]:
+        for site in module.call_sites:
+            info = index.resolve_callable(site.target)
+            if info is None:
+                continue
+            for position, arg in enumerate(site.node.args):
+                if position >= len(info.params):
+                    break  # *args tail — nothing to compare against
+                yield from self._compare(
+                    module, arg, info, info.params[position]
+                )
+            for keyword in site.node.keywords:
+                if keyword.arg is None or keyword.arg not in info.params:
+                    continue
+                yield from self._compare(
+                    module, keyword.value, info, keyword.arg
+                )
+
+    def _compare(self, module, arg, info, param) -> Iterator[Violation]:
+        param_dim = dimension_of(param)
+        arg_dim = _expr_dimension(arg)
+        if param_dim is None or arg_dim is None:
+            return
+        if param_dim != arg_dim:
+            yield self.project_violation(
+                module.path,
+                arg,
+                f"argument {_expr_label(arg)!r} carries {arg_dim}"
+                f" ({suffix_of(_expr_label(arg))}) but parameter"
+                f" {param!r} of {info.name}() expects {param_dim}",
+            )
+
+    # -- returns -------------------------------------------------------
+
+    def _check_returns(self, module) -> Iterator[Violation]:
+        functions = list(module.functions.values())
+        for cls in module.classes.values():
+            functions.extend(cls.methods.values())
+        for info in functions:
+            func_dim = dimension_of(info.name)
+            if func_dim is None or info.node is None:
+                continue
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Return) or node.value is None:
+                    continue
+                value_dim = _expr_dimension(node.value)
+                if value_dim is not None and value_dim != func_dim:
+                    yield self.project_violation(
+                        module.path,
+                        node,
+                        f"{info.name}() is suffixed as {func_dim} but"
+                        f" returns {_expr_label(node.value)!r}"
+                        f" ({value_dim})",
+                    )
+
+    # -- assignments from suffixed calls -------------------------------
+
+    def _check_assignments(self, index, module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if len(node.targets) != 1 or not isinstance(
+                node.targets[0], ast.Name
+            ):
+                continue
+            target_dim = dimension_of(node.targets[0].id)
+            if target_dim is None or not isinstance(node.value, ast.Call):
+                continue
+            func = node.value.func
+            callee = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if callee is None:
+                continue
+            callee_dim = dimension_of(callee)
+            if callee_dim is not None and callee_dim != target_dim:
+                yield self.project_violation(
+                    module.path,
+                    node,
+                    f"{node.targets[0].id!r} carries {target_dim} but"
+                    f" {callee}() is suffixed as {callee_dim}",
+                )

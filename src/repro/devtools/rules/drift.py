@@ -1,0 +1,125 @@
+"""REP102 — registry drift.
+
+PR 5–6 made fault-point, span, metric, and event names first-class:
+``repro.chaos.faultpoints`` declares ``FAULT_POINTS`` and
+``repro.obs.metrics`` declares ``METRICS``/``SPANS``/``EVENTS``.  The
+drift rule keeps call sites and registries in lock-step, in both
+directions:
+
+* an **orphan call site** — a name literal passed to ``fault_point``,
+  ``span``, ``event``, ``inc``, ``set_gauge``, or ``observe`` that no
+  registry declares — fails at the call site;
+* a **dead registration** — a declared name no library call site or
+  string literal ever references — fails at the registration line.
+
+Registries are read from the AST (module-level dict literals and
+``_declare(...)`` calls), never imported, so fixture projects can
+carry their own.  A registry kind with no declaration anywhere is
+skipped entirely rather than flagging every call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.violations import Violation
+
+#: Call-chain tails recognised as instrument calls, by registry kind.
+#: Resolution is deliberately loose (``obs.span``, ``observer.span``
+#: and ``self._obs.span`` all count): a name passed here is an
+#: instrument name whichever object carries the method.
+INSTRUMENT_TAILS: Dict[str, str] = {
+    "fault_point": "fault-point",
+    "span": "span",
+    "event": "event",
+    "inc": "metric",
+    "set_gauge": "metric",
+    "observe": "metric",
+}
+
+
+def instrument_uses(
+    module,
+) -> Iterator[Tuple[str, str, ast.expr]]:
+    """Yield ``(kind, name, literal node)`` for instrument calls."""
+    for site in module.call_sites:
+        if not site.chain:
+            continue
+        kind = INSTRUMENT_TAILS.get(site.chain[-1])
+        if kind is None or not site.node.args:
+            continue
+        first = site.node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(
+            first.value, str
+        ):
+            yield kind, first.value, first
+
+
+@register
+class RegistryDriftRule(ProjectRule):
+    """Keep instrument name registries and call sites in lock-step."""
+
+    rule_id = "REP102"
+    name = "registry-drift"
+    description = (
+        "instrument names at call sites and in the chaos/obs"
+        " registries must match in both directions"
+    )
+
+    def check_project(self, index) -> Iterator[Violation]:
+        registered: Dict[str, Set[str]] = {}
+        for kind, decls in index.registries.items():
+            names = registered.setdefault(kind, set())
+            for decl in decls:
+                names.update(decl.names)
+
+        used: Dict[str, Set[str]] = {kind: set() for kind in registered}
+        for module in index.modules.values():
+            if not module.is_library:
+                continue
+            for kind, name, node in instrument_uses(module):
+                if kind not in registered:
+                    continue  # no registry of this kind anywhere
+                used[kind].add(name)
+                if name not in registered[kind]:
+                    yield self.project_violation(
+                        module.path,
+                        node,
+                        f"{kind} name {name!r} is not declared in the"
+                        f" {kind} registry",
+                    )
+
+        for kind, decls in index.registries.items():
+            for decl in decls:
+                for name, lineno in sorted(decl.names.items()):
+                    if name in used[kind]:
+                        continue
+                    if self._named_elsewhere(index, decl, name):
+                        continue
+                    yield Violation(
+                        rule_id=self.rule_id,
+                        path=decl.path,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"dead registration: {kind} name {name!r}"
+                            " is never used at any call site"
+                        ),
+                    )
+
+    @staticmethod
+    def _named_elsewhere(index, decl, name: str) -> bool:
+        """True when ``name`` appears as a literal outside its registry.
+
+        Catches indirection like ``SPAN_HISTOGRAM =
+        "repro_span_seconds"`` feeding a method call the chain
+        matcher cannot see.
+        """
+        for module in index.modules.values():
+            if not module.is_library or module.path == decl.path:
+                continue
+            if name in module.string_literals:
+                return True
+        return False

@@ -1,0 +1,85 @@
+"""REP104 — stale exports.
+
+An ``__all__`` entry is a promise that someone consumes the symbol.
+The rule cross-references every library ``__all__`` against the whole
+project's import graph — ``from m import x``, ``import m`` plus
+``m.x`` attribute access, star-imports, and package-``__init__``
+re-export chains all count as consumption.  Entries nothing imports
+are stale: either the symbol's audience disappeared in a refactor, or
+the export was aspirational.  Both rot the public-API surface that
+REP003 audits, so both fail.
+
+The index is built over library *and* test/benchmark roots, so a
+symbol consumed only by the test suite is still a live export.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set, Tuple
+
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.violations import Violation
+
+
+@register
+class StaleExportsRule(ProjectRule):
+    """Flag ``__all__`` entries never imported anywhere else."""
+
+    rule_id = "REP104"
+    name = "stale-exports"
+    description = (
+        "__all__ entries must be imported somewhere else in the"
+        " project"
+    )
+
+    def check_project(self, index) -> Iterator[Violation]:
+        # A symbol may be spelled many ways — imported from its
+        # defining module, from a re-exporting package __init__, or
+        # accessed as an attribute.  Both the usage set and the
+        # __all__ entries are canonicalized to the *defining*
+        # ``(module, symbol)`` pair before comparing, so any spelling
+        # keeps an export alive.
+        used: Set[Tuple[str, str]] = set()
+        starred: Set[str] = set()
+        for module in index.modules.values():
+            starred.update(module.star_imports)
+            for pair in module.imported_symbols | module.attr_accesses:
+                used.add(self._canonical(index, *pair))
+
+        for module in index.modules.values():
+            if not module.is_library or module.dunder_all is None:
+                continue
+            if module.name in starred:
+                continue
+            for symbol in module.dunder_all:
+                if symbol.startswith("__") and symbol.endswith("__"):
+                    continue  # __version__ etc.: packaging surface
+                if self._canonical(index, module.name, symbol) in used:
+                    continue
+                yield Violation(
+                    rule_id=self.rule_id,
+                    path=module.path,
+                    line=module.dunder_all_line,
+                    col=0,
+                    message=(
+                        f"stale export: __all__ entry {symbol!r} is"
+                        " never imported anywhere else in the project"
+                    ),
+                )
+
+    @staticmethod
+    def _canonical(
+        index, owner: str, symbol: str, depth: int = 0
+    ) -> Tuple[str, str]:
+        """Chase re-export chains to the defining module."""
+        module = index.by_name.get(owner)
+        if module is None or depth > 5:
+            return (owner, symbol)
+        target = module.imports.get(symbol)
+        if target:
+            next_owner, _, next_symbol = target.rpartition(".")
+            if next_owner and next_symbol:
+                return StaleExportsRule._canonical(
+                    index, next_owner, next_symbol, depth + 1
+                )
+        return (owner, symbol)

@@ -1,0 +1,42 @@
+"""REP101 — interprocedural seed-flow.
+
+Per-file REP001 catches a literal ``default_rng()`` with no argument;
+REP101 generalizes the determinism contract across module boundaries.
+Every RNG construction in library code must take entropy that traces
+— through local assignments, ``self`` attributes, dataclass fields,
+project-function returns, and deterministic derivations like
+``SeedSequence.spawn()`` or ``sha256().digest()`` — back to either a
+seed **parameter** (the caller decides) or a documented **constant**.
+Call sites feeding untraceable entropy into another function's seed
+parameter are flagged too, via a worklist fixpoint over the project
+call graph.  The analysis lives in
+:mod:`repro.devtools.xref.taint`; this module adapts its findings to
+the rule interface.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.violations import Violation
+
+
+@register
+class SeedFlowRule(ProjectRule):
+    """Flag RNG entropy that no caller controls."""
+
+    rule_id = "REP101"
+    name = "seed-flow"
+    description = (
+        "RNG entropy must flow from a seed parameter or a documented"
+        " constant (interprocedural)"
+    )
+
+    def check_project(self, index) -> Iterator[Violation]:
+        from repro.devtools.xref.taint import SeedFlowAnalysis
+
+        for finding in SeedFlowAnalysis(index).run():
+            yield self.project_violation(
+                finding.path, finding.node, finding.message
+            )

@@ -1,0 +1,40 @@
+"""Whole-program analysis layer for the ``repro`` linter.
+
+The per-file rules (REP001–REP004) see one module at a time; the
+``xref`` layer parses the whole project once and exposes the three
+structures cross-module rules need:
+
+* a **symbol table** — every module keyed by dotted name, with its
+  functions, classes (and dataclass fields), ``__all__`` declaration,
+  and name registries (``FAULT_POINTS``, ``METRICS``, ``SPANS``,
+  ``EVENTS``);
+* an **import graph** — per-module maps from local aliases to fully
+  qualified targets, including relative imports and re-export chains;
+* a **call graph** — every call site with its target resolved through
+  the import maps (module functions, classes → ``__init__``,
+  ``self.`` methods).
+
+:mod:`repro.devtools.xref.taint` runs the REP101 seed-flow analysis
+on top; the REP1xx rules in :mod:`repro.devtools.rules` consume the
+index via :class:`ProjectIndex`.
+"""
+
+from repro.devtools.xref.model import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    RegistryDecl,
+)
+from repro.devtools.xref.builder import build_project
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "RegistryDecl",
+    "build_project",
+]

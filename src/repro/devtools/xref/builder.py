@@ -1,0 +1,500 @@
+"""Build a :class:`ProjectIndex` from source trees.
+
+Two passes:
+
+1. **Parse** every Python file reachable from the roots and collect
+   the per-module facts: import maps, function/class/dataclass
+   definitions, ``__all__`` declarations, name-registry declarations
+   (``FAULT_POINTS`` / ``METRICS`` / ``SPANS`` / ``EVENTS``), string
+   literals, and raw call/attribute chains.
+2. **Resolve** call targets and attribute accesses through the import
+   maps, now that every module's dotted name is known.
+
+Nothing is imported or executed: a file full of deliberate seeded
+violations (a test fixture) is as safe to index as the library.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.devtools.engine import discover_files, profile_for
+from repro.devtools.suppressions import SuppressionIndex
+from repro.devtools.xref.model import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    REGISTRY_VARIABLES,
+    RegistryDecl,
+)
+
+
+def build_project(
+    roots: Sequence[Path],
+    profile: Optional[str] = None,
+) -> ProjectIndex:
+    """Index every Python file reachable from ``roots``.
+
+    Args:
+        roots: files or directories (directories are walked with the
+            engine's discovery rules).
+        profile: force one lint profile for every module instead of
+            deriving it from each file's path.
+
+    Returns:
+        The populated :class:`ProjectIndex`; unparseable files are
+        recorded in ``parse_errors`` and otherwise skipped.
+    """
+    index = ProjectIndex()
+    for file_path in discover_files(roots):
+        _parse_module(index, file_path, profile)
+    _resolve(index)
+    return index
+
+
+# ----------------------------------------------------------------------
+# Pass 1 — parse and collect
+# ----------------------------------------------------------------------
+
+
+def _parse_module(
+    index: ProjectIndex, file_path: Path, profile: Optional[str]
+) -> None:
+    path = str(file_path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=path)
+    except (OSError, UnicodeDecodeError, SyntaxError):
+        index.parse_errors.append(path)
+        return
+    module = ModuleInfo(
+        path=path,
+        name=_module_name(file_path),
+        source=source,
+        tree=tree,
+        profile=profile or profile_for(Path(path)),
+        suppressions=SuppressionIndex(source),
+    )
+    _collect_imports(module)
+    _collect_definitions(module)
+    _collect_dunder_all(module)
+    _collect_registries(module)
+    _collect_strings(module)
+    _collect_calls_and_attrs(module)
+    index.modules[path] = module
+    if module.name:
+        index.by_name[module.name] = module
+    for info in module.functions.values():
+        index.functions[info.fqn] = info
+    for cls in module.classes.values():
+        index.classes[f"{module.name}.{cls.name}" if module.name else cls.name] = cls
+    for decl in module.registries.values():
+        index.registries.setdefault(decl.kind, []).append(decl)
+
+
+def _module_name(file_path: Path) -> str:
+    """Dotted module name, derived from the package structure.
+
+    Walks up while ``__init__.py`` markers exist; a file outside any
+    package gets its bare stem as a name.
+    """
+    resolved = file_path.resolve()
+    parts: List[str] = []
+    if resolved.name != "__init__.py":
+        parts.append(resolved.stem)
+    directory = resolved.parent
+    while (directory / "__init__.py").exists():
+        parts.append(directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(reversed(parts))
+
+
+def _collect_imports(module: ModuleInfo) -> None:
+    is_init = Path(module.path).name == "__init__.py"
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module.imports[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    module.imports[root] = root
+                module.imported_modules.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            source = _resolve_from(module.name, is_init, node)
+            if source is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    module.star_imports.append(source)
+                    continue
+                local = alias.asname or alias.name
+                module.imports[local] = f"{source}.{alias.name}"
+                module.imported_symbols.add((source, alias.name))
+
+
+def _resolve_from(
+    module_name: str, is_init: bool, node: ast.ImportFrom
+) -> Optional[str]:
+    """Absolute module path an ``ImportFrom`` pulls from."""
+    if node.level == 0:
+        return node.module
+    parts = module_name.split(".") if module_name else []
+    if not is_init and parts:
+        parts = parts[:-1]
+    ascend = node.level - 1
+    if ascend:
+        if ascend > len(parts):
+            return None
+        parts = parts[: len(parts) - ascend]
+    if node.module:
+        parts = parts + node.module.split(".")
+    return ".".join(parts) if parts else None
+
+
+def _collect_definitions(module: ModuleInfo) -> None:
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _function_info(module, node, class_name=None)
+            module.functions[info.qualname] = info
+        elif isinstance(node, ast.ClassDef):
+            _collect_class(module, node)
+
+
+def _collect_class(module: ModuleInfo, node: ast.ClassDef) -> None:
+    cls = ClassInfo(
+        name=node.name,
+        module=module.name,
+        path=module.path,
+        lineno=node.lineno,
+        is_dataclass=any(
+            _decorator_name(d) == "dataclass" for d in node.decorator_list
+        ),
+    )
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = _function_info(module, item, class_name=node.name)
+            cls.methods[item.name] = info
+            module.functions[info.qualname] = info
+            if item.name == "__init__":
+                _collect_init_attrs(cls, item)
+        elif isinstance(item, ast.AnnAssign) and isinstance(
+            item.target, ast.Name
+        ):
+            cls.fields.append((item.target.id, item.value))
+    module.classes[node.name] = cls
+
+
+def _collect_init_attrs(
+    cls: ClassInfo, init: ast.FunctionDef
+) -> None:
+    for node in ast.walk(init):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and value is not None
+            ):
+                cls.init_attr_sources.setdefault(target.attr, value)
+
+
+def _function_info(
+    module: ModuleInfo,
+    node: ast.AST,
+    class_name: Optional[str],
+) -> FunctionInfo:
+    args = node.args
+    ordered = [*args.posonlyargs, *args.args]
+    if class_name is not None and ordered:
+        if ordered[0].arg in ("self", "cls"):
+            ordered = ordered[1:]
+    params = [a.arg for a in ordered] + [a.arg for a in args.kwonlyargs]
+    defaults: Dict[str, ast.expr] = {}
+    if args.defaults:
+        for arg, default in zip(
+            ordered[len(ordered) - len(args.defaults):], args.defaults
+        ):
+            defaults[arg.arg] = default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            defaults[arg.arg] = default
+    qualname = (
+        f"{class_name}.{node.name}" if class_name else node.name
+    )
+    return FunctionInfo(
+        name=node.name,
+        qualname=qualname,
+        module=module.name,
+        path=module.path,
+        lineno=node.lineno,
+        params=tuple(params),
+        defaults=defaults,
+        vararg=args.vararg is not None,
+        kwarg=args.kwarg is not None,
+        class_name=class_name,
+        node=node,
+    )
+
+
+def _decorator_name(node: ast.expr) -> str:
+    """Trailing identifier of a decorator expression."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _collect_dunder_all(module: ModuleInfo) -> None:
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                names = _literal_strings(value)
+                if names is not None:
+                    module.dunder_all = tuple(names)
+                    module.dunder_all_line = node.lineno
+                return
+
+
+def _literal_strings(node: ast.expr) -> Optional[List[str]]:
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    names: List[str] = []
+    for element in node.elts:
+        if not (
+            isinstance(element, ast.Constant)
+            and isinstance(element.value, str)
+        ):
+            return None
+        names.append(element.value)
+    return names
+
+
+def _collect_registries(module: ModuleInfo) -> None:
+    declared_vars: Dict[str, RegistryDecl] = {}
+    declare_calls: List[Tuple[str, int]] = []
+    for node in module.tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            value = node.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in REGISTRY_VARIABLES
+                ):
+                    decl = RegistryDecl(
+                        kind=REGISTRY_VARIABLES[target.id],
+                        module=module.name,
+                        path=module.path,
+                    )
+                    if isinstance(value, ast.Dict):
+                        for key in value.keys:
+                            if isinstance(key, ast.Constant) and isinstance(
+                                key.value, str
+                            ):
+                                decl.names[key.value] = key.lineno
+                                module._registry_key_nodes.add(id(key))
+                    declared_vars[target.id] = decl
+        elif (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id.lstrip("_") in ("declare", "declare_site")
+            and node.value.args
+            and isinstance(node.value.args[0], ast.Constant)
+            and isinstance(node.value.args[0].value, str)
+        ):
+            declare_calls.append(
+                (node.value.args[0].value, node.value.args[0].lineno)
+            )
+            module._registry_key_nodes.add(id(node.value.args[0]))
+    # `_declare("name", ...)` calls populate the FAULT_POINTS dict the
+    # module assigned (possibly empty) earlier.
+    if declare_calls and "FAULT_POINTS" in declared_vars:
+        decl = declared_vars["FAULT_POINTS"]
+        for name, lineno in declare_calls:
+            decl.names.setdefault(name, lineno)
+    for decl in declared_vars.values():
+        module.registries[decl.kind] = decl
+
+
+def _collect_strings(module: ModuleInfo) -> None:
+    docstrings = set()
+    scopes: Iterable[ast.AST] = [module.tree] + [
+        n
+        for n in ast.walk(module.tree)
+        if isinstance(
+            n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+    ]
+    for scope in scopes:
+        body = getattr(scope, "body", [])
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            docstrings.add(id(body[0].value))
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and id(node) not in docstrings
+            and id(node) not in module._registry_key_nodes
+        ):
+            module.string_literals.add(node.value)
+
+
+def _collect_calls_and_attrs(module: ModuleInfo) -> None:
+    collector = _CallCollector(module)
+    collector.visit(module.tree)
+
+
+class _CallCollector(ast.NodeVisitor):
+    """Record call sites (with enclosing function) and attr chains."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self._class_stack: List[str] = []
+        self._func_stack: List[FunctionInfo] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        qualname = (
+            f"{self._class_stack[-1]}.{node.name}"
+            if self._class_stack
+            else node.name
+        )
+        info = self.module.functions.get(qualname)
+        pushed = False
+        if info is not None and not self._func_stack:
+            self._func_stack.append(info)
+            pushed = True
+        self.generic_visit(node)
+        if pushed:
+            self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = _dotted(node.func)
+        self.module.call_sites.append(
+            CallSite(
+                path=self.module.path,
+                module=self.module.name,
+                node=node,
+                chain=chain,
+                target=None,
+                caller=self._func_stack[-1] if self._func_stack else None,
+            )
+        )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        chain = _dotted(node)
+        if chain is not None and len(chain) >= 2:
+            self.module.attr_chains.append(chain)
+        self.generic_visit(node)
+
+
+def _dotted(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+# Pass 2 — resolve through the import maps
+# ----------------------------------------------------------------------
+
+
+def _resolve(index: ProjectIndex) -> None:
+    for module in index.modules.values():
+        for site in module.call_sites:
+            site.target = _resolve_chain(module, site.chain, site.caller)
+            index.call_sites.append(site)
+        for chain in module.attr_chains:
+            access = _resolve_attr(index, module, chain)
+            if access is not None:
+                module.attr_accesses.add(access)
+
+
+def _resolve_chain(
+    module: ModuleInfo,
+    chain: Optional[Tuple[str, ...]],
+    caller: Optional[FunctionInfo],
+) -> Optional[str]:
+    """Fully qualified target of a name-rooted call chain."""
+    if chain is None:
+        return None
+    root = chain[0]
+    if root == "self" and caller is not None and caller.class_name:
+        if len(chain) == 2:
+            base = f"{module.name}." if module.name else ""
+            return f"{base}{caller.class_name}.{chain[1]}"
+        return None
+    if root in module.imports:
+        return ".".join((module.imports[root],) + chain[1:])
+    if root in module.functions or root in module.classes:
+        prefix = f"{module.name}." if module.name else ""
+        return prefix + ".".join(chain)
+    return None
+
+
+def _resolve_attr(
+    index: ProjectIndex,
+    module: ModuleInfo,
+    chain: Tuple[str, ...],
+) -> Optional[Tuple[str, str]]:
+    """``(module fqn, attribute)`` for a chain rooted at an import."""
+    root = chain[0]
+    target = module.imports.get(root)
+    if target is None:
+        return None
+    full = tuple(target.split(".")) + chain[1:]
+    for cut in range(len(full) - 1, 0, -1):
+        prefix = ".".join(full[:cut])
+        if prefix in index.by_name:
+            return prefix, full[cut]
+    return None
+
+
+__all__ = ["build_project"]

@@ -1,0 +1,302 @@
+"""Data model for the whole-program analysis index.
+
+Everything here is a plain container: :mod:`repro.devtools.xref.builder`
+fills the structures in, the REP1xx project rules read them.  The
+model is deliberately syntactic — it records what the source says
+(imports, definitions, call chains) and resolves names through import
+maps, without executing anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devtools.suppressions import SuppressionIndex
+
+#: Module-level constant names recognised as machine-readable name
+#: registries (see REP102).  ``FAULT_POINTS`` lives in
+#: :mod:`repro.chaos.faultpoints`; ``METRICS``/``SPANS``/``EVENTS``
+#: live in :mod:`repro.obs.metrics`.
+REGISTRY_VARIABLES = {
+    "FAULT_POINTS": "fault-point",
+    "METRICS": "metric",
+    "SPANS": "span",
+    "EVENTS": "event",
+}
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition (or a synthesized init).
+
+    Attributes:
+        name: bare function name.
+        qualname: ``name`` or ``Class.name`` within the module.
+        module: dotted module name the definition lives in.
+        path: file path of the module.
+        lineno: definition line.
+        params: parameter names in call order (``self``/``cls``
+            excluded for methods).
+        defaults: parameter name → default expression, for parameters
+            that have one.
+        vararg: True when the signature has ``*args``.
+        kwarg: True when the signature has ``**kwargs``.
+        class_name: owning class for methods, else ``None``.
+        node: the definition node (a ``ClassDef`` for synthesized
+            dataclass inits).
+        is_synthesized: True for a dataclass ``__init__`` synthesized
+            from field declarations.
+    """
+
+    name: str
+    qualname: str
+    module: str
+    path: str
+    lineno: int
+    params: Tuple[str, ...]
+    defaults: Dict[str, ast.expr] = field(default_factory=dict)
+    vararg: bool = False
+    kwarg: bool = False
+    class_name: Optional[str] = None
+    node: Optional[ast.AST] = None
+    is_synthesized: bool = False
+
+    @property
+    def fqn(self) -> str:
+        """Fully qualified ``module.qualname``."""
+        return f"{self.module}.{self.qualname}" if self.module else self.qualname
+
+
+@dataclass
+class ClassInfo:
+    """One class definition.
+
+    Attributes:
+        name: class name.
+        module: dotted module name.
+        path: file path of the module.
+        lineno: definition line.
+        methods: method name → :class:`FunctionInfo`.
+        is_dataclass: True when decorated with ``@dataclass``.
+        fields: annotated class-level assignments in declaration
+            order, as ``(name, default expression or None)`` — for
+            dataclasses these are the synthesized ``__init__``
+            parameters.
+        init_attr_sources: ``self.X = expr`` assignments made in the
+            explicit ``__init__``, keyed by attribute name.
+    """
+
+    name: str
+    module: str
+    path: str
+    lineno: int
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    is_dataclass: bool = False
+    fields: List[Tuple[str, Optional[ast.expr]]] = field(
+        default_factory=list
+    )
+    init_attr_sources: Dict[str, ast.expr] = field(default_factory=dict)
+
+
+@dataclass
+class RegistryDecl:
+    """One machine-readable name registry declared in a module.
+
+    Attributes:
+        kind: registry kind label (``fault-point``, ``metric``,
+            ``span``, ``event``).
+        module: dotted module name declaring the registry.
+        path: file path of the declaring module.
+        names: registered name → declaration line number.
+    """
+
+    kind: str
+    module: str
+    path: str
+    names: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One call expression with its resolution.
+
+    Attributes:
+        path: file the call appears in.
+        module: dotted module name of that file.
+        node: the ``ast.Call`` node.
+        chain: the dotted name chain of the callee (``("obs",
+            "span")``), or ``None`` when not name-rooted.
+        target: fully qualified callee after import resolution, or
+            ``None`` when unresolvable.
+        caller: enclosing function/method, or ``None`` at module
+            level.
+    """
+
+    path: str
+    module: str
+    node: ast.Call
+    chain: Optional[Tuple[str, ...]]
+    target: Optional[str]
+    caller: Optional[FunctionInfo]
+
+    @property
+    def lineno(self) -> int:
+        """Source line of the call."""
+        return self.node.lineno
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the project rules need to know about one module."""
+
+    path: str
+    name: str
+    source: str
+    tree: ast.Module
+    profile: str
+    suppressions: SuppressionIndex
+    #: local alias → fully qualified import target (module or symbol).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: modules star-imported (``from m import *``).
+    star_imports: List[str] = field(default_factory=list)
+    #: ``(module fqn, symbol)`` pairs from ``from m import symbol``.
+    imported_symbols: Set[Tuple[str, str]] = field(default_factory=set)
+    #: module fqns named in plain ``import m`` statements.
+    imported_modules: Set[str] = field(default_factory=set)
+    #: raw attribute chains seen in the module (for pass-2 resolution).
+    attr_chains: List[Tuple[str, ...]] = field(default_factory=list)
+    #: resolved ``(module fqn, attribute)`` accesses (pass 2).
+    attr_accesses: Set[Tuple[str, str]] = field(default_factory=set)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    dunder_all: Optional[Tuple[str, ...]] = None
+    dunder_all_line: int = 0
+    registries: Dict[str, RegistryDecl] = field(default_factory=dict)
+    #: string constants outside registry declarations and docstrings.
+    string_literals: Set[str] = field(default_factory=set)
+    call_sites: List[CallSite] = field(default_factory=list)
+    #: AST node ids of registry declaration keys (builder-internal).
+    _registry_key_nodes: Set[int] = field(default_factory=set, repr=False)
+
+    @property
+    def is_library(self) -> bool:
+        """True for modules linted under the ``library`` profile."""
+        return self.profile == "library"
+
+
+class ProjectIndex:
+    """The whole-program index the REP1xx rules consume.
+
+    Attributes:
+        modules: path → :class:`ModuleInfo` for every parsed file.
+        by_name: dotted module name → :class:`ModuleInfo`.
+        functions: fully qualified name → :class:`FunctionInfo`.
+        classes: fully qualified name → :class:`ClassInfo`.
+        call_sites: every call site in the project.
+        registries: registry kind → declarations found project-wide.
+        parse_errors: files skipped because they failed to parse.
+    """
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_name: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.call_sites: List[CallSite] = []
+        self.registries: Dict[str, List[RegistryDecl]] = {}
+        self.parse_errors: List[str] = []
+
+    # -- lookups -------------------------------------------------------
+
+    def module_for(self, dotted: str) -> Optional[ModuleInfo]:
+        """The module registered under ``dotted``, if any."""
+        return self.by_name.get(dotted)
+
+    def resolve_callable(
+        self, fqn: Optional[str], _depth: int = 0
+    ) -> Optional[FunctionInfo]:
+        """Resolve ``fqn`` to a project function, chasing re-exports.
+
+        Handles plain functions, classes (resolved to their explicit
+        or synthesized ``__init__``), ``Class.method`` paths, and
+        package ``__init__`` re-export chains up to a small depth.
+        """
+        if fqn is None or _depth > 4:
+            return None
+        direct = self.functions.get(fqn)
+        if direct is not None:
+            return direct
+        cls = self.classes.get(fqn)
+        if cls is not None:
+            return self._init_of(cls)
+        # Chase one re-export hop: module part + symbol tail.
+        parts = fqn.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = self.by_name.get(".".join(parts[:cut]))
+            if module is None:
+                continue
+            tail = parts[cut:]
+            head = tail[0]
+            if head in module.imports:
+                rest = "".join("." + p for p in tail[1:])
+                return self.resolve_callable(
+                    module.imports[head] + rest, _depth + 1
+                )
+            for star in module.star_imports:
+                resolved = self.resolve_callable(
+                    star + "." + ".".join(tail), _depth + 1
+                )
+                if resolved is not None:
+                    return resolved
+            return None
+        return None
+
+    def _init_of(self, cls: ClassInfo) -> Optional[FunctionInfo]:
+        """A class's ``__init__`` — explicit, or dataclass-synthesized."""
+        explicit = cls.methods.get("__init__")
+        if explicit is not None:
+            return explicit
+        if cls.is_dataclass:
+            return FunctionInfo(
+                name="__init__",
+                qualname=f"{cls.name}.__init__",
+                module=cls.module,
+                path=cls.path,
+                lineno=cls.lineno,
+                params=tuple(name for name, _ in cls.fields),
+                defaults={
+                    name: default
+                    for name, default in cls.fields
+                    if default is not None
+                },
+                class_name=cls.name,
+                node=None,
+                is_synthesized=True,
+            )
+        return None
+
+    def class_of(self, info: FunctionInfo) -> Optional[ClassInfo]:
+        """The owning class of a method, if any."""
+        if info.class_name is None:
+            return None
+        module = self.by_name.get(info.module)
+        if module is None:
+            return None
+        return module.classes.get(info.class_name)
+
+    def callers_of(self, fqn: str) -> List[CallSite]:
+        """Call sites whose resolved target is ``fqn``."""
+        return [c for c in self.call_sites if c.target == fqn]
+
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "REGISTRY_VARIABLES",
+    "RegistryDecl",
+]

@@ -1,0 +1,738 @@
+"""Interprocedural seed-flow (taint) analysis for REP101.
+
+The determinism contract says every RNG must be constructed from
+entropy the *caller* controls: a seed parameter or a documented
+constant.  The per-file REP001 rule catches the obvious break (a
+no-argument ``default_rng()``); this module catches the cross-module
+ones:
+
+* a seed expression that traces to an **entropy source** rather than
+  a parameter or constant (``SeedSequence()`` with no entropy,
+  ``time``/``os.urandom``-ish values, unresolvable names);
+* a *call site* that feeds untraceable entropy into another
+  function's seed parameter — found by propagating "this parameter is
+  a seed" facts backwards through the project call graph to a
+  fixpoint;
+* a bare **reference** to an unseeded constructor used as a factory
+  (``field(default_factory=np.random.default_rng)``), which per-file
+  rules miss because no call expression appears.
+
+The classifier is syntactic and conservative in what it *reports*:
+expressions it cannot resolve outside the patterns below are flagged,
+and a deliberate exception is documented with ``# repro: noqa
+REP101`` at the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.devtools.xref.model import (
+    CallSite,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+
+#: Fully qualified RNG / seed-sequence constructors.
+RNG_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+    }
+)
+
+#: Constructors that draw OS entropy when called with no argument.
+#: ``default_rng()``/``RandomState()`` are already REP001 findings;
+#: REP101 owns the ``SeedSequence()`` family, which REP001 misses.
+_UNSEEDED_WHEN_BARE: FrozenSet[str] = frozenset(
+    {
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.Philox",
+        "numpy.random.MT19937",
+        "numpy.random.SFC64",
+    }
+)
+
+#: Method tails that derive new values deterministically from their
+#: receiver — classification passes through to the receiver.
+_PASSTHROUGH_METHODS = frozenset(
+    {
+        "spawn", "generate_state", "jumped", "digest", "hexdigest",
+        "encode", "to_bytes", "item", "copy",
+    }
+)
+
+#: Callables that derive deterministically from their arguments —
+#: classification passes through to every argument.
+_PASSTHROUGH_CALLS = frozenset(
+    {
+        "int", "float", "abs", "min", "max", "sum", "len", "str",
+        "bytes", "round", "sorted", "tuple", "list", "enumerate",
+        "zip", "range", "int.from_bytes", "hashlib.sha256",
+        "hashlib.sha1", "hashlib.md5", "hashlib.blake2b",
+    }
+)
+
+#: A seed requirement: (function fqn, parameter name).
+_Req = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class SeedFinding:
+    """One seed-flow violation.
+
+    Attributes:
+        path: file the finding anchors in.
+        node: AST node to anchor the report at.
+        message: human-readable explanation.
+    """
+
+    path: str
+    node: ast.AST
+    message: str
+
+
+class _Classification:
+    """Outcome of tracing one expression's entropy source."""
+
+    __slots__ = ("ok", "requirements", "reason")
+
+    def __init__(
+        self,
+        ok: bool,
+        requirements: Optional[Set[_Req]] = None,
+        reason: str = "",
+    ) -> None:
+        self.ok = ok
+        self.requirements = requirements or set()
+        self.reason = reason
+
+    @classmethod
+    def good(cls, requirements: Optional[Set[_Req]] = None):
+        """A traceable source, possibly conditional on parameters."""
+        return cls(True, requirements)
+
+    @classmethod
+    def bad(cls, reason: str):
+        """An untraceable source."""
+        return cls(False, reason=reason)
+
+
+class SeedFlowAnalysis:
+    """Run the REP101 analysis over a :class:`ProjectIndex`."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.findings: List[SeedFinding] = []
+        self._seen_findings: Set[Tuple[str, int, str]] = set()
+        self._local_assigns: Dict[int, Dict[str, List[ast.expr]]] = {}
+        self._sites_by_fqn: Dict[str, List[CallSite]] = {}
+
+    # -- entry point ---------------------------------------------------
+
+    def run(self) -> List[SeedFinding]:
+        """Classify every RNG construction; propagate to a fixpoint."""
+        self._index_call_sites()
+        pending: List[_Req] = []
+        seen_reqs: Set[_Req] = set()
+        for module in self.index.modules.values():
+            if not module.is_library:
+                continue
+            pending.extend(self._scan_module(module))
+            self._scan_factory_references(module)
+        while pending:
+            req = pending.pop()
+            if req in seen_reqs:
+                continue
+            seen_reqs.add(req)
+            pending.extend(self._check_callers(req))
+        return self.findings
+
+    # -- phase A: RNG constructions ------------------------------------
+
+    def _scan_module(self, module: ModuleInfo) -> List[_Req]:
+        requirements: List[_Req] = []
+        for site in module.call_sites:
+            if site.target not in RNG_CONSTRUCTORS:
+                continue
+            seed = _seed_argument(site.node)
+            if seed is None:
+                if site.target in _UNSEEDED_WHEN_BARE:
+                    self._report(
+                        module.path,
+                        site.node,
+                        f"{site.target.rsplit('.', 1)[1]}() with no"
+                        " entropy draws from the OS: pass a seed"
+                        " parameter or a documented constant",
+                    )
+                continue
+            outcome = self._classify(seed, module, site.caller, set(), 0)
+            if not outcome.ok:
+                self._report(
+                    module.path,
+                    site.node,
+                    "RNG entropy does not flow from a seed parameter"
+                    f" or documented constant ({outcome.reason})",
+                )
+            else:
+                requirements.extend(outcome.requirements)
+        return requirements
+
+    def _scan_factory_references(self, module: ModuleInfo) -> None:
+        """Flag bare unseeded-constructor references used as values."""
+        for site in module.call_sites:
+            for value in list(site.node.args) + [
+                kw.value for kw in site.node.keywords
+            ]:
+                chain = _dotted(value)
+                if chain is None:
+                    continue
+                target = _resolve_value_chain(module, chain)
+                if target in RNG_CONSTRUCTORS:
+                    self._report(
+                        module.path,
+                        value,
+                        f"reference to {target.rsplit('.', 1)[1]} used"
+                        " as a zero-argument factory constructs an"
+                        " unseeded generator; wrap it in a lambda with"
+                        " a documented seed",
+                    )
+
+    # -- phase B: interprocedural propagation --------------------------
+
+    def _index_call_sites(self) -> None:
+        for site in self.index.call_sites:
+            info = self.index.resolve_callable(site.target)
+            if info is not None:
+                self._sites_by_fqn.setdefault(info.fqn, []).append(site)
+
+    def _check_callers(self, req: _Req) -> List[_Req]:
+        fqn, param = req
+        info = self.index.functions.get(fqn)
+        if info is None:
+            info = self._synthesized(fqn)
+        new_reqs: List[_Req] = []
+        for site in self._sites_by_fqn.get(fqn, ()):
+            module = self.index.modules.get(site.path)
+            if module is None or not module.is_library:
+                continue
+            bound = _bind_argument(site.node, info, param)
+            if bound is _OMITTED:
+                default = info.defaults.get(param) if info else None
+                if default is None:
+                    continue
+                outcome = self._classify(
+                    default,
+                    self.index.modules.get(info.path, module),
+                    None,
+                    set(),
+                    0,
+                )
+                if not outcome.ok:
+                    self._report(
+                        module.path,
+                        site.node,
+                        f"default for seed parameter {param!r} of"
+                        f" {info.name}() is not a documented constant"
+                        f" ({outcome.reason})",
+                    )
+                continue
+            outcome = self._classify(bound, module, site.caller, set(), 0)
+            if not outcome.ok:
+                self._report(
+                    module.path,
+                    bound,
+                    f"argument for seed parameter {param!r} of"
+                    f" {info.name if info else fqn}() does not flow"
+                    " from a seed parameter or documented constant"
+                    f" ({outcome.reason})",
+                )
+            else:
+                new_reqs.extend(outcome.requirements)
+        return new_reqs
+
+    def _synthesized(self, fqn: str) -> Optional[FunctionInfo]:
+        if fqn.endswith(".__init__"):
+            cls = self.index.classes.get(fqn[: -len(".__init__")])
+            if cls is not None:
+                return self.index._init_of(cls)
+        return None
+
+    # -- the expression classifier -------------------------------------
+
+    def _classify(
+        self,
+        expr: ast.expr,
+        module: ModuleInfo,
+        caller: Optional[FunctionInfo],
+        visiting: Set[Tuple[int, str]],
+        depth: int,
+    ) -> _Classification:
+        if depth > 12:
+            return _Classification.bad("trace too deep")
+        if isinstance(expr, ast.Constant):
+            return _Classification.good()
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            return self._classify_all(
+                expr.elts, module, caller, visiting, depth
+            )
+        if isinstance(expr, ast.JoinedStr):
+            parts = [
+                v.value
+                for v in expr.values
+                if isinstance(v, ast.FormattedValue)
+            ]
+            return self._classify_all(parts, module, caller, visiting, depth)
+        if isinstance(expr, ast.BinOp):
+            return self._classify_all(
+                [expr.left, expr.right], module, caller, visiting, depth
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return self._classify(
+                expr.operand, module, caller, visiting, depth + 1
+            )
+        if isinstance(expr, ast.Subscript):
+            return self._classify(
+                expr.value, module, caller, visiting, depth + 1
+            )
+        if isinstance(expr, ast.IfExp):
+            return self._classify_all(
+                [expr.body, expr.orelse], module, caller, visiting, depth
+            )
+        if isinstance(expr, ast.Starred):
+            return self._classify(
+                expr.value, module, caller, visiting, depth + 1
+            )
+        if isinstance(expr, ast.Name):
+            return self._classify_name(
+                expr.id, module, caller, visiting, depth
+            )
+        if isinstance(expr, ast.Attribute):
+            return self._classify_attribute(
+                expr, module, caller, visiting, depth
+            )
+        if isinstance(expr, ast.Call):
+            return self._classify_call(
+                expr, module, caller, visiting, depth
+            )
+        if isinstance(expr, ast.Lambda):
+            return self._classify(
+                expr.body, module, caller, visiting, depth + 1
+            )
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+            return self._classify(
+                expr.elt, module, caller, visiting, depth + 1
+            )
+        return _Classification.bad(
+            f"unrecognised {type(expr).__name__} expression"
+        )
+
+    def _classify_all(
+        self, exprs, module, caller, visiting, depth
+    ) -> _Classification:
+        requirements: Set[_Req] = set()
+        for expr in exprs:
+            outcome = self._classify(
+                expr, module, caller, visiting, depth + 1
+            )
+            if not outcome.ok:
+                return outcome
+            requirements |= outcome.requirements
+        return _Classification.good(requirements)
+
+    def _classify_name(
+        self,
+        name: str,
+        module: ModuleInfo,
+        caller: Optional[FunctionInfo],
+        visiting: Set[Tuple[int, str]],
+        depth: int,
+    ) -> _Classification:
+        key = (id(caller.node) if caller and caller.node else id(module), name)
+        if key in visiting:
+            return _Classification.bad(f"cyclic trace of {name!r}")
+        visiting = visiting | {key}
+        if caller is not None:
+            if name in caller.params:
+                return _Classification.good({(caller.fqn, name)})
+            sources = self._locals(caller).get(name)
+            if sources:
+                return self._classify_all(
+                    sources, module, caller, visiting, depth
+                )
+        # Module-level constant?
+        module_value = _module_assignment(module, name)
+        if module_value is not None:
+            return self._classify(
+                module_value, module, None, visiting, depth + 1
+            )
+        # Imported from a project module?
+        if name in module.imports:
+            target = module.imports[name]
+            owner_name, _, symbol = target.rpartition(".")
+            owner = self.index.by_name.get(owner_name)
+            if owner is not None:
+                value = _module_assignment(owner, symbol)
+                if value is not None:
+                    return self._classify(
+                        value, owner, None, visiting, depth + 1
+                    )
+            return _Classification.bad(f"imported value {target!r}")
+        return _Classification.bad(f"unresolvable name {name!r}")
+
+    def _classify_attribute(
+        self,
+        expr: ast.Attribute,
+        module: ModuleInfo,
+        caller: Optional[FunctionInfo],
+        visiting: Set[Tuple[int, str]],
+        depth: int,
+    ) -> _Classification:
+        chain = _dotted(expr)
+        if chain is None:
+            return _Classification.bad("computed attribute access")
+        if (
+            caller is not None
+            and chain[0] != "self"
+            and chain[0] in caller.params
+        ):
+            # An attribute of a parameter (``args.seed``) is
+            # caller-controlled: deterministic given caller input.
+            return _Classification.good({(caller.fqn, chain[0])})
+        if chain[0] == "self" and caller is not None:
+            cls = self.index.class_of(caller)
+            if cls is None or len(chain) != 2:
+                return _Classification.bad("untraceable self attribute")
+            attr = chain[1]
+            source = cls.init_attr_sources.get(attr)
+            if source is not None:
+                init = cls.methods.get("__init__")
+                return self._classify(
+                    source, module, init, visiting, depth + 1
+                )
+            if cls.is_dataclass:
+                for field_name, default in cls.fields:
+                    if field_name != attr:
+                        continue
+                    init = self.index._init_of(cls)
+                    if default is None:
+                        return _Classification.good(
+                            {(init.fqn, field_name)}
+                        )
+                    return self._classify(
+                        default, module, None, visiting, depth + 1
+                    )
+            return _Classification.bad(
+                f"self.{attr} is not assigned in __init__"
+            )
+        # A constant on a project module (pkg.CONST)?
+        target = _resolve_value_chain(module, chain)
+        if target is not None:
+            owner_name, _, symbol = target.rpartition(".")
+            owner = self.index.by_name.get(owner_name)
+            if owner is not None:
+                value = _module_assignment(owner, symbol)
+                if value is not None:
+                    return self._classify(
+                        value, owner, None, visiting, depth + 1
+                    )
+            return _Classification.bad(f"external value {target!r}")
+        return _Classification.bad(
+            "attribute " + ".".join(chain)
+        )
+
+    def _classify_call(
+        self,
+        expr: ast.Call,
+        module: ModuleInfo,
+        caller: Optional[FunctionInfo],
+        visiting: Set[Tuple[int, str]],
+        depth: int,
+    ) -> _Classification:
+        chain = _dotted(expr.func)
+        tail = chain[-1] if chain else ""
+        # Deterministic derivations: spawn()/digest()/encode()/...
+        # Matched on the attribute name alone so chained receivers
+        # (``sha256(x).digest()``) pass through too.
+        if (
+            isinstance(expr.func, ast.Attribute)
+            and expr.func.attr in _PASSTHROUGH_METHODS
+        ):
+            return self._classify(
+                expr.func.value, module, caller, visiting, depth + 1
+            )
+        target = (
+            _resolve_value_chain(module, chain) if chain else None
+        )
+        dotted = ".".join(chain) if chain else ""
+        if (
+            tail in _PASSTHROUGH_CALLS
+            or dotted in _PASSTHROUGH_CALLS
+            or (target or "") in _PASSTHROUGH_CALLS
+        ):
+            return self._classify_all(
+                list(expr.args) + [kw.value for kw in expr.keywords],
+                module,
+                caller,
+                visiting,
+                depth,
+            )
+        if target in RNG_CONSTRUCTORS:
+            seed = _seed_argument(expr)
+            if seed is None:
+                # Reported separately where it is a violation.
+                return _Classification.good()
+            return self._classify(seed, module, caller, visiting, depth + 1)
+        if target == "dataclasses.field" or tail == "field":
+            return self._classify_field_call(
+                expr, module, caller, visiting, depth
+            )
+        # A project function whose returns we can trace one hop.
+        info = self.index.resolve_callable(target)
+        if info is not None and info.node is not None:
+            return self._classify_project_call(
+                expr, info, module, caller, visiting, depth
+            )
+        return _Classification.bad(f"call to {dotted or 'expression'}()")
+
+    def _classify_field_call(
+        self, expr, module, caller, visiting, depth
+    ) -> _Classification:
+        for kw in expr.keywords:
+            if kw.arg == "default_factory":
+                chain = _dotted(kw.value)
+                target = (
+                    _resolve_value_chain(module, chain) if chain else None
+                )
+                if target in RNG_CONSTRUCTORS:
+                    return _Classification.bad(
+                        f"default_factory={chain[-1]} draws OS entropy"
+                    )
+                if isinstance(kw.value, ast.Lambda):
+                    return self._classify(
+                        kw.value.body, module, caller, visiting, depth + 1
+                    )
+                return _Classification.good()
+            if kw.arg == "default":
+                return self._classify(
+                    kw.value, module, caller, visiting, depth + 1
+                )
+        return _Classification.good()
+
+    def _classify_project_call(
+        self,
+        expr: ast.Call,
+        info: FunctionInfo,
+        module: ModuleInfo,
+        caller: Optional[FunctionInfo],
+        visiting: Set[Tuple[int, str]],
+        depth: int,
+    ) -> _Classification:
+        key = (id(info.node), "<returns>")
+        if key in visiting or depth > 8:
+            return _Classification.bad(
+                f"recursive trace through {info.name}()"
+            )
+        visiting = visiting | {key}
+        owner = self.index.modules.get(info.path)
+        if owner is None:
+            return _Classification.bad(f"call to {info.fqn}()")
+        returns = [
+            n.value
+            for n in ast.walk(info.node)
+            if isinstance(n, ast.Return) and n.value is not None
+        ]
+        if not returns:
+            return _Classification.bad(
+                f"{info.name}() has no traceable return value"
+            )
+        requirements: Set[_Req] = set()
+        for value in returns:
+            outcome = self._classify(
+                value, owner, info, visiting, depth + 1
+            )
+            if not outcome.ok:
+                return _Classification.bad(
+                    f"return of {info.name}() ({outcome.reason})"
+                )
+            requirements |= outcome.requirements
+        # Map the callee's own parameter requirements through this
+        # call's arguments.
+        mapped: Set[_Req] = set()
+        for req_fqn, req_param in requirements:
+            if req_fqn != info.fqn:
+                mapped.add((req_fqn, req_param))
+                continue
+            bound = _bind_argument(expr, info, req_param)
+            if bound is _OMITTED:
+                default = info.defaults.get(req_param)
+                if default is None:
+                    return _Classification.bad(
+                        f"{info.name}() requires seed parameter"
+                        f" {req_param!r}"
+                    )
+                outcome = self._classify(
+                    default, owner, None, visiting, depth + 1
+                )
+            else:
+                outcome = self._classify(
+                    bound, module, caller, visiting, depth + 1
+                )
+            if not outcome.ok:
+                return _Classification.bad(
+                    f"argument {req_param!r} of {info.name}()"
+                    f" ({outcome.reason})"
+                )
+            mapped |= outcome.requirements
+        return _Classification.good(mapped)
+
+    # -- plumbing ------------------------------------------------------
+
+    def _locals(
+        self, info: FunctionInfo
+    ) -> Dict[str, List[ast.expr]]:
+        key = id(info.node)
+        cached = self._local_assigns.get(key)
+        if cached is not None:
+            return cached
+        assigns: Dict[str, List[ast.expr]] = {}
+        if info.node is not None:
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        for name in _target_names(target):
+                            assigns.setdefault(name, []).append(node.value)
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                    and isinstance(node.target, ast.Name)
+                ):
+                    assigns.setdefault(node.target.id, []).append(node.value)
+                elif isinstance(node, (ast.For, ast.comprehension)):
+                    iterable = node.iter
+                    for name in _target_names(node.target):
+                        assigns.setdefault(name, []).append(iterable)
+        self._local_assigns[key] = assigns
+        return assigns
+
+    def _report(self, path: str, node: ast.AST, message: str) -> None:
+        key = (path, getattr(node, "lineno", 1), message)
+        if key in self._seen_findings:
+            return
+        self._seen_findings.add(key)
+        self.findings.append(SeedFinding(path, node, message))
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+#: Sentinel for "no argument bound to this parameter at a call site".
+_OMITTED = object()
+
+
+def _seed_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The seed/entropy argument of an RNG constructor call."""
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg in ("seed", "entropy"):
+            return kw.value
+    return None
+
+
+def _bind_argument(
+    call: ast.Call, info: Optional[FunctionInfo], param: str
+):
+    """The expression bound to ``param`` at ``call``, or ``_OMITTED``."""
+    if info is None:
+        return _OMITTED
+    for kw in call.keywords:
+        if kw.arg == param:
+            return kw.value
+        if kw.arg is None:  # **kwargs forwarding — untraceable
+            return _OMITTED
+    try:
+        position = info.params.index(param)
+    except ValueError:
+        return _OMITTED
+    if position < len(call.args):
+        arg = call.args[position]
+        if isinstance(arg, ast.Starred):
+            return _OMITTED
+        return arg
+    return _OMITTED
+
+
+def _module_assignment(
+    module: ModuleInfo, name: str
+) -> Optional[ast.expr]:
+    """The value expression of a module-level ``name = ...``."""
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+            and node.value is not None
+        ):
+            return node.value
+    return None
+
+
+def _resolve_value_chain(
+    module: ModuleInfo, chain: Optional[Tuple[str, ...]]
+) -> Optional[str]:
+    """Fully qualified name of a value chain, via the import map."""
+    if not chain:
+        return None
+    root = chain[0]
+    if root in module.imports:
+        return ".".join((module.imports[root],) + chain[1:])
+    if len(chain) == 1 and (
+        root in module.functions or root in module.classes
+    ):
+        prefix = f"{module.name}." if module.name else ""
+        return prefix + root
+    return None
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    """Plain names bound by an assignment/loop target."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: List[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def _dotted(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return tuple(reversed(parts))
+
+
+__all__ = ["SeedFlowAnalysis"]

@@ -142,7 +142,6 @@ def thermal_flux_aboard_per_h(
 
 
 __all__ = [
-    "FEET_PER_M",
     "PFOTZER_ALTITUDE_M",
     "FlightSegment",
     "cruise_acceleration",

@@ -34,10 +34,13 @@ from repro.obs.core import (
     span,
     uninstall,
 )
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import EVENTS, METRICS, SPANS, MetricsRegistry
 from repro.obs.report import TraceSummary, render_report, summarize
 
 __all__ = [
+    "EVENTS",
+    "METRICS",
+    "SPANS",
     "MetricsRegistry",
     "NullSpan",
     "Observer",

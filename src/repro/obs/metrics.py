@@ -18,9 +18,64 @@ from typing import Dict, List, Tuple
 
 __all__ = [
     "DEFAULT_BUCKET_BOUNDS_S",
+    "EVENTS",
     "HistogramState",
+    "METRICS",
     "MetricsRegistry",
+    "SPANS",
 ]
+
+# ---------------------------------------------------------------------
+# Machine-readable name registries.
+#
+# Every span, event, and metric name used at a call site must be
+# declared here, and every declaration must have a call site — the
+# REP102 registry-drift rule (``repro lint --project``) enforces both
+# directions, the same way ``FAULT_POINTS`` anchors chaos site names
+# in :mod:`repro.chaos.faultpoints`.
+# ---------------------------------------------------------------------
+
+#: Registered metric names → one-line description.
+METRICS: Dict[str, str] = {
+    "repro_retries_total": "supervised step retries",
+    "repro_isolations_total": "steps isolated after retry exhaustion",
+    "repro_degradations_total": "campaign results degraded by isolation",
+    "repro_fleet_days_total": "fleet-days simulated",
+    "repro_checkpoint_writes_total": "checkpoint files written",
+    "repro_checkpoint_loads_total": "checkpoint files loaded",
+    "repro_chaos_fires_total": "chaos faults injected",
+    "repro_chaos_trials_total": "chaos trials executed",
+    "repro_exposures_total": "beam exposures simulated",
+    "repro_events_observed_total": "SDC/DUE events tallied",
+    "repro_transport_histories_total": "Monte Carlo histories run",
+    "repro_shard_retries_total": "batch transport shard retries",
+    "repro_histories_per_s": "transport throughput gauge",
+    "repro_memory_passes_total": "memory test passes completed",
+    "repro_span_seconds": "wall-clock histogram over all spans",
+}
+
+#: Registered span names → one-line description.
+SPANS: Dict[str, str] = {
+    "run.campaign": "one accelerated campaign end to end",
+    "run.fleet": "one fleet simulation end to end",
+    "supervisor.step": "one supervised campaign step",
+    "fleet.day": "one simulated fleet day",
+    "fleet.year": "one simulated fleet year",
+    "checkpoint.write": "checkpoint serialization and fsync",
+    "checkpoint.load": "checkpoint read and validation",
+    "chaos.trial": "one chaos trial subprocess",
+    "campaign.exposure": "one beam exposure",
+    "transport.run": "one batch transport execution",
+    "memory.run": "one memory test campaign",
+}
+
+#: Registered event names → one-line description.
+EVENTS: Dict[str, str] = {
+    "supervisor.retry": "a supervised step was retried",
+    "supervisor.isolation": "a step was isolated",
+    "chaos.fire": "a chaos fault fired",
+    "memory.pass": "a memory test pass completed",
+}
 
 #: Histogram bucket upper bounds, seconds.  Spans range from
 #: sub-millisecond checkpoint writes to multi-minute campaigns.

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Union
 
-__all__ = ["SpanStats", "TraceSummary", "render_report", "summarize"]
+__all__ = ["TraceSummary", "render_report", "summarize"]
 
 
 @dataclass

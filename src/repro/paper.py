@@ -154,8 +154,6 @@ def all_anchors() -> Tuple[str, ...]:
 
 
 __all__ = [
-    "PAPER_VALUES",
-    "PaperValue",
     "all_anchors",
     "citation",
     "paper_value",

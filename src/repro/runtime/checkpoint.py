@@ -407,11 +407,9 @@ class FleetCheckpoint:
 
 __all__ = [
     "CHECKPOINT_VERSION",
-    "SUPPORTED_VERSIONS",
     "CampaignCheckpoint",
     "FleetCheckpoint",
     "cleanup_stale_tmp",
     "payload_checksum",
     "plan_digest",
-    "verify_checksum",
 ]

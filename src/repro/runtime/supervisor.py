@@ -912,12 +912,10 @@ PLAN_FACTORIES: Dict[str, Callable[[], List[ExposureStep]]] = {
 
 
 __all__ = [
-    "BEAMLINE_FACTORIES",
     "CampaignRunner",
     "ExposureStep",
     "FleetRunner",
     "PLAN_FACTORIES",
-    "STEP_MODES",
     "Supervisor",
     "SupervisedCampaignResult",
     "SupervisedFleetResult",

@@ -101,6 +101,5 @@ __all__ = [
     "absorber_transmission",
     "diffusion_coefficient_cm",
     "diffusion_length_cm",
-    "transport_cross_section_per_cm",
     "uncollided_transmission",
 ]

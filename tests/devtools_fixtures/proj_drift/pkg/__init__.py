@@ -1,0 +1,1 @@
+"""Registry-drift (REP102) fixture package."""

@@ -1,0 +1,27 @@
+"""Call sites for the drift fixture."""
+
+
+def fault_point(site, **context):
+    """Local stand-in for the chaos hook."""
+
+
+def span(name, **attrs):
+    """Local stand-in for the obs span helper."""
+
+
+def event(name, **attrs):
+    """Local stand-in for the obs event helper."""
+
+
+def inc(name, amount=1):
+    """Local stand-in for the obs counter helper."""
+
+
+def run():
+    """Registered names, one orphan, and one silenced orphan."""
+    fault_point("used.site")
+    span("app.step")
+    event("app.tick")
+    inc("fixture_used_total")
+    inc("fixture_orphan_total")
+    inc("fixture_orphan_quiet_total")  # repro: noqa REP102

@@ -1,0 +1,20 @@
+"""Instrument name registries for the drift fixture."""
+
+FAULT_POINTS = {
+    "used.site": "fires in app.run",
+    "dead.site": "registered but never used anywhere",
+}
+
+METRICS = {
+    "fixture_used_total": "incremented in app.run",
+    "fixture_dead_total": "registered but never incremented",
+    "fixture_dead_quiet_total": "accepted debt",  # repro: noqa REP102
+}
+
+SPANS = {
+    "app.step": "opened in app.run",
+}
+
+EVENTS = {
+    "app.tick": "emitted in app.run",
+}

@@ -1,0 +1,5 @@
+"""Stale-exports (REP104) fixture package: re-exports ``used_fn``."""
+
+from pkg.mod import used_fn
+
+__all__ = ["used_fn"]

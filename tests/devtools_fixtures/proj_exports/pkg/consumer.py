@@ -1,0 +1,8 @@
+"""Consumes ``used_fn`` through the package __init__."""
+
+from pkg import used_fn
+
+
+def use():
+    """Keeps the re-export chain alive."""
+    return used_fn()

@@ -1,0 +1,13 @@
+"""One consumed export, one stale export."""
+
+__all__ = ["stale_fn", "used_fn"]
+
+
+def used_fn():
+    """Consumed via the package re-export."""
+    return 1
+
+
+def stale_fn():
+    """Never imported by anyone."""
+    return 2

@@ -1,0 +1,8 @@
+"""A deliberately external-facing export, silenced."""
+
+__all__ = ["silent_fn"]  # repro: noqa REP104
+
+
+def silent_fn():
+    """Exported for external consumers only."""
+    return 3

@@ -1,0 +1,1 @@
+"""Seed-flow (REP101) fixture package."""

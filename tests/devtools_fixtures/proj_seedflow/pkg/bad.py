@@ -1,0 +1,35 @@
+"""Seed-flow violations: every RNG here draws uncontrolled entropy."""
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def fresh_sequence():
+    """``SeedSequence()`` with no entropy draws from the OS."""
+    return np.random.SeedSequence()
+
+
+def pid_entropy():
+    """An entropy source no caller controls."""
+    return np.random.default_rng(os.getpid())
+
+
+@dataclass
+class Detector:
+    """A bare constructor reference as a factory is unseeded."""
+
+    rng: np.random.Generator = field(
+        default_factory=np.random.default_rng
+    )
+
+
+def make(seed):
+    """Well-behaved constructor; callers must control ``seed``."""
+    return np.random.default_rng(seed)
+
+
+def entry():
+    """Feeds untraceable entropy into ``make``'s seed parameter."""
+    return make(os.getpid())

@@ -1,0 +1,8 @@
+"""Deliberate entropy draws, silenced with pragmas."""
+
+import numpy as np
+
+
+def fresh():
+    """OS entropy on purpose (exploratory tooling)."""
+    return np.random.SeedSequence()  # repro: noqa REP101

@@ -1,0 +1,1 @@
+"""Call-site units (REP103) fixture package."""

@@ -1,0 +1,24 @@
+"""Unit-suffix mismatches across call boundaries."""
+
+
+def absorb(energy_ev):
+    """Expects electron-volts."""
+    return energy_ev
+
+
+def duration_h(elapsed_s):
+    """Suffixed as hours but returns seconds."""
+    return elapsed_s
+
+
+def elapsed_s():
+    """Seconds."""
+    return 1.0
+
+
+def caller(energy_mev, energy_kev):
+    """Feeds the wrong dimensions positionally and by keyword."""
+    absorb(energy_mev)
+    absorb(energy_ev=energy_kev)
+    total_h = elapsed_s()
+    return total_h

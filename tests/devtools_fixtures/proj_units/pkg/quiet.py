@@ -1,0 +1,16 @@
+"""Computed conversions and a silenced deliberate pass."""
+
+
+def absorb(energy_ev):
+    """Expects electron-volts."""
+    return energy_ev
+
+
+def convert(energy_mev):
+    """A computed expression may carry its own conversion factor."""
+    return absorb(energy_mev * 1.0e6)
+
+
+def forced(energy_mev):
+    """Deliberate raw pass, documented."""
+    return absorb(energy_mev)  # repro: noqa REP103

@@ -1,0 +1,150 @@
+"""Baseline ratchet tests: load/save, apply, monotone shrink.
+
+The contract under test (see :mod:`repro.devtools.baseline`):
+new findings fail, stale entries fail, and ``--update-baseline``
+computes an intersection — it can only ever shrink the ledger.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.baseline import (
+    BaselineEntry,
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+    shrunk_baseline,
+    violation_key,
+)
+from repro.devtools.engine import LintReport
+from repro.devtools.violations import Violation
+
+
+def make_violation(rule="REP101", path="pkg/a.py", line=7, message="leak"):
+    return Violation(
+        rule_id=rule, path=path, line=line, col=0, message=message
+    )
+
+
+def make_entry(rule="REP101", path="pkg/a.py", message="leak"):
+    return BaselineEntry(rule=rule, path=path, message=message)
+
+
+class TestKeying:
+    def test_key_excludes_line_numbers(self):
+        a = make_violation(line=7)
+        b = make_violation(line=99)
+        assert violation_key(a) == violation_key(b)
+        assert violation_key(a) == make_entry().key
+
+    def test_key_distinguishes_message(self):
+        assert violation_key(make_violation(message="x")) != (
+            violation_key(make_violation(message="y"))
+        )
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entries = [make_entry(), make_entry(path="pkg/b.py")]
+        save_baseline(entries, path)
+        assert load_baseline(path) == sorted(
+            entries, key=lambda e: e.key
+        )
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_missing_entries_key_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+    def test_save_is_sorted_and_newline_terminated(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(
+            [make_entry(path="z.py"), make_entry(path="a.py")], path
+        )
+        text = path.read_text()
+        assert text.endswith("\n")
+        payload = json.loads(text)
+        assert [e["path"] for e in payload["entries"]] == [
+            "a.py",
+            "z.py",
+        ]
+
+
+class TestApply:
+    def test_new_finding_fails(self):
+        report = LintReport(violations=(make_violation(),))
+        outcome = apply_baseline(report, [])
+        assert isinstance(outcome, BaselineResult)
+        assert not outcome.ok
+        assert outcome.report.violations == report.violations
+
+    def test_baselined_finding_is_filtered(self):
+        report = LintReport(violations=(make_violation(),))
+        outcome = apply_baseline(report, [make_entry()])
+        assert outcome.ok
+        assert outcome.report.violations == ()
+        assert outcome.matched == (make_entry(),)
+        assert outcome.stale == ()
+
+    def test_stale_entry_fails_even_with_clean_report(self):
+        outcome = apply_baseline(
+            LintReport(violations=()), [make_entry()]
+        )
+        assert not outcome.ok
+        assert outcome.stale == (make_entry(),)
+        # The report itself is clean — only the ledger is dirty.
+        assert outcome.report.ok
+
+    def test_match_survives_line_drift(self):
+        report = LintReport(violations=(make_violation(line=500),))
+        outcome = apply_baseline(report, [make_entry()])
+        assert outcome.ok
+
+
+class TestShrink:
+    def test_update_drops_stale_entries(self):
+        report = LintReport(violations=(make_violation(),))
+        entries = [make_entry(), make_entry(path="gone.py")]
+        assert shrunk_baseline(report, entries) == [make_entry()]
+
+    def test_update_never_admits_new_findings(self):
+        report = LintReport(
+            violations=(
+                make_violation(),
+                make_violation(path="new.py"),
+            )
+        )
+        # Only the already-accepted entry survives; the new finding
+        # does not enter the ledger.
+        assert shrunk_baseline(report, [make_entry()]) == [
+            make_entry()
+        ]
+
+    def test_clean_report_empties_the_ledger(self):
+        assert (
+            shrunk_baseline(LintReport(violations=()), [make_entry()])
+            == []
+        )
+
+    def test_ratchet_is_monotone_over_repeated_updates(self):
+        entries = [make_entry(), make_entry(path="gone.py")]
+        report = LintReport(violations=(make_violation(),))
+        sizes = []
+        for _ in range(3):
+            entries = shrunk_baseline(report, entries)
+            sizes.append(len(entries))
+        assert sizes == [1, 1, 1]

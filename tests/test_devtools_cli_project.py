@@ -1,0 +1,352 @@
+"""CLI tests for the project pass: SARIF, --changed, baselines.
+
+Covers the three new ``repro lint`` modes end to end:
+
+* ``--format sarif`` — schema-shape of the 2.1.0 document;
+* ``--project`` — whole-program REP1xx pass with the baseline
+  ratchet (match / new / stale / --update-baseline);
+* ``--changed`` — incremental reporting against a git merge-base,
+  per-file and combined with ``--project``;
+* suppression edge cases at the engine level (multi-id pragmas,
+  unknown ids, blanket ``noqa``).
+"""
+
+import io
+import json
+import subprocess
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.baseline import (
+    BaselineEntry,
+    save_baseline,
+    violation_key,
+)
+from repro.devtools.cli import changed_paths, lint_project
+from repro.devtools.engine import LintEngine
+from repro.devtools.reporters import render_sarif
+
+FIXTURES = Path(__file__).parent / "devtools_fixtures"
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+# ------------------------------------------------------------- SARIF
+
+
+class TestSarif:
+    def test_document_shape(self):
+        report = LintEngine(profile="library").lint_paths(
+            [FIXTURES / "units_bad.py"]
+        )
+        doc = json.loads(render_sarif(report))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        assert len(doc["runs"]) == 1
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {r["id"] for r in driver["rules"]} == {"REP002"}
+        results = doc["runs"][0]["results"]
+        assert results, "expected findings for units_bad.py"
+        for result in results:
+            assert result["ruleId"] == "REP002"
+            assert result["level"] == "error"
+            assert result["message"]["text"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"].endswith(
+                "units_bad.py"
+            )
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+
+    def test_clean_report_has_empty_results(self):
+        report = LintEngine(profile="library").lint_paths(
+            [FIXTURES / "determinism_clean.py"]
+        )
+        doc = json.loads(render_sarif(report))
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_cli_format_sarif(self):
+        code, out = run_cli(
+            ["lint", str(FIXTURES / "determinism_bad.py"),
+             "--format", "sarif"]
+        )
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["version"] == "2.1.0"
+        assert any(
+            r["ruleId"] == "REP001" for r in doc["runs"][0]["results"]
+        )
+
+
+# ----------------------------------------------------- --project CLI
+
+
+class TestProjectMode:
+    ROOT = str(FIXTURES / "proj_exports")
+
+    def finding(self):
+        report = lint_project(
+            paths=[Path(self.ROOT)],
+            select=["REP104"],
+            profile="library",
+        )
+        assert len(report.violations) == 1
+        return report.violations[0]
+
+    def args(self, baseline):
+        return [
+            "lint", "--project", self.ROOT,
+            "--select", "REP104",
+            "--profile", "library",
+            "--baseline", str(baseline),
+        ]
+
+    def test_new_finding_fails(self, tmp_path):
+        code, out = run_cli(self.args(tmp_path / "baseline.json"))
+        assert code == 1
+        assert "REP104" in out
+        assert "stale_fn" in out
+
+    def test_baselined_finding_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        entry = violation_key(self.finding())
+        save_baseline(
+            [BaselineEntry(rule=entry[0], path=entry[1], message=entry[2])],
+            baseline,
+        )
+        code, out = run_cli(self.args(baseline))
+        assert code == 0, out
+        assert "0 violations" in out
+
+    def test_stale_entry_fails(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        save_baseline(
+            [
+                BaselineEntry(
+                    rule="REP104",
+                    path="pkg/ghost.py",
+                    message="never existed",
+                )
+            ],
+            baseline,
+        )
+        code, out = run_cli(self.args(baseline))
+        assert code == 1
+        assert "stale baseline entry" in out
+
+    def test_update_baseline_only_shrinks(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        entry = violation_key(self.finding())
+        save_baseline(
+            [
+                BaselineEntry(
+                    rule=entry[0], path=entry[1], message=entry[2]
+                ),
+                BaselineEntry(
+                    rule="REP104",
+                    path="pkg/ghost.py",
+                    message="never existed",
+                ),
+            ],
+            baseline,
+        )
+        code, out = run_cli(
+            self.args(baseline) + ["--update-baseline"]
+        )
+        assert code == 0, out
+        assert "kept 1 of 2 entries" in out
+        payload = json.loads(baseline.read_text())
+        assert len(payload["entries"]) == 1
+        assert payload["entries"][0]["message"] == entry[2]
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{broken")
+        code, out = run_cli(self.args(baseline))
+        assert code == 2
+        assert "malformed baseline" in out
+
+
+# ------------------------------------------------------- --changed
+
+
+def git(cwd, *argv):
+    subprocess.run(
+        ("git",) + argv, cwd=cwd, check=True, capture_output=True
+    )
+
+
+@pytest.fixture
+def tmp_repo(tmp_path, monkeypatch):
+    """A throwaway git repo with one clean commit on ``main``."""
+    git(tmp_path, "init", "-q", "-b", "main")
+    git(tmp_path, "config", "user.email", "dev@example.com")
+    git(tmp_path, "config", "user.name", "dev")
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text('"""Fixture package."""\n')
+    (pkg / "stable.py").write_text(
+        '"""Unchanged module."""\n\nVALUE = 1\n'
+    )
+    (pkg / "touched.py").write_text(
+        '"""Will be modified."""\n\nOTHER = 2\n'
+    )
+    git(tmp_path, "add", ".")
+    git(tmp_path, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestChangedPaths:
+    def test_clean_tree_is_empty(self, tmp_repo):
+        assert changed_paths(base="main") == []
+
+    def test_modified_and_untracked_files_listed(self, tmp_repo):
+        (tmp_repo / "pkg" / "touched.py").write_text(
+            '"""Modified."""\n\nOTHER = 3\n'
+        )
+        (tmp_repo / "pkg" / "fresh.py").write_text(
+            '"""Untracked."""\n'
+        )
+        (tmp_repo / "notes.txt").write_text("not python\n")
+        assert changed_paths(base="main") == [
+            Path("pkg/touched.py"),
+            Path("pkg/fresh.py"),
+        ]
+
+    def test_deleted_file_excluded(self, tmp_repo):
+        (tmp_repo / "pkg" / "touched.py").unlink()
+        assert changed_paths(base="main") == []
+
+    def test_bad_base_raises(self, tmp_repo):
+        with pytest.raises(RuntimeError):
+            changed_paths(base="no-such-ref")
+
+
+class TestChangedCli:
+    def test_empty_change_set_is_clean(self, tmp_repo):
+        code, out = run_cli(["lint", "--changed", "--base", "main"])
+        assert code == 0
+        assert "0 violations" in out
+
+    def test_only_changed_files_reported(self, tmp_repo):
+        # Introduce violations in BOTH a committed-then-modified file
+        # and an unchanged one; only the former may be reported.
+        (tmp_repo / "pkg" / "touched.py").write_text(
+            '"""Modified."""\n\n'
+            "import numpy as np\n\n"
+            "rng = np.random.default_rng()\n"
+        )
+        git(tmp_repo, "add", "pkg/touched.py")
+        git(tmp_repo, "commit", "-q", "-m", "hide violation in base")
+        git(
+            tmp_repo, "checkout", "-q", "-b", "feature",
+        )
+        (tmp_repo / "pkg" / "fresh.py").write_text(
+            '"""New on the branch."""\n\n'
+            "import numpy as np\n\n"
+            "rng = np.random.default_rng()\n"
+        )
+        code, out = run_cli(["lint", "--changed", "--base", "main"])
+        assert code == 1
+        assert "fresh.py" in out
+        assert "touched.py" not in out
+
+    def test_bad_base_is_usage_error(self, tmp_repo):
+        code, out = run_cli(
+            ["lint", "--changed", "--base", "no-such-ref"]
+        )
+        assert code == 2
+        assert "no merge base" in out
+
+    def test_project_mode_reports_only_changed_files(self, tmp_repo):
+        # Both modules gain a stale export, but only touched.py is
+        # modified after the base commit: the index must still be
+        # whole-program (the rule needs every import site) while the
+        # report stays scoped to the change set.
+        (tmp_repo / "pkg" / "stable.py").write_text(
+            '"""Unchanged module."""\n\n'
+            '__all__ = ["old_ghost"]\n\n\n'
+            "def old_ghost():\n    return 1\n"
+        )
+        git(tmp_repo, "add", ".")
+        git(tmp_repo, "commit", "-q", "-m", "stale export in base")
+        (tmp_repo / "pkg" / "touched.py").write_text(
+            '"""Modified."""\n\n'
+            '__all__ = ["new_ghost"]\n\n\n'
+            "def new_ghost():\n    return 2\n"
+        )
+        code, out = run_cli(
+            [
+                "lint", "--project", "pkg",
+                "--changed", "--base", "main",
+                "--select", "REP104",
+                "--profile", "library",
+                "--baseline", "absent-baseline.json",
+            ]
+        )
+        assert code == 1
+        assert "new_ghost" in out
+        assert "old_ghost" not in out
+
+
+# ------------------------------------------- suppression edge cases
+
+
+class TestSuppressionEdgeCases:
+    def lint_source(self, tmp_path, source):
+        target = tmp_path / "mod.py"
+        target.write_text(source)
+        return LintEngine(profile="library").lint_paths([target])
+
+    def test_multi_id_pragma_suppresses_each_listed_rule(
+        self, tmp_path
+    ):
+        report = self.lint_source(
+            tmp_path,
+            '"""Mod."""\n\n'
+            "import numpy as np\n\n"
+            "rng = np.random.default_rng()"
+            "  # repro: noqa REP001,REP004\n",
+        )
+        assert report.ok
+        assert [v.rule_id for v in report.suppressed] == ["REP001"]
+
+    def test_unknown_id_does_not_suppress(self, tmp_path):
+        report = self.lint_source(
+            tmp_path,
+            '"""Mod."""\n\n'
+            "import numpy as np\n\n"
+            "rng = np.random.default_rng()  # repro: noqa REP999\n",
+        )
+        assert [v.rule_id for v in report.violations] == ["REP001"]
+        assert report.suppressed == ()
+
+    def test_other_rule_id_does_not_suppress(self, tmp_path):
+        report = self.lint_source(
+            tmp_path,
+            '"""Mod."""\n\n'
+            "import numpy as np\n\n"
+            "rng = np.random.default_rng()  # repro: noqa REP002\n",
+        )
+        assert [v.rule_id for v in report.violations] == ["REP001"]
+
+    def test_blanket_noqa_suppresses_everything(self, tmp_path):
+        report = self.lint_source(
+            tmp_path,
+            '"""Mod."""\n\n'
+            "import numpy as np\n\n"
+            "rng = np.random.default_rng()  # repro: noqa\n",
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1

@@ -1,0 +1,129 @@
+"""Whole-program index tests: symbol table, import graph, call graph.
+
+The fixture mini-projects under ``tests/devtools_fixtures/proj_*``
+are parsed with :func:`repro.devtools.xref.build_project`; these
+tests pin the structures the REP1xx rules consume.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.xref import ProjectIndex, build_project
+
+FIXTURES = Path(__file__).parent / "devtools_fixtures"
+
+
+@pytest.fixture(scope="module")
+def exports_index():
+    return build_project(
+        [FIXTURES / "proj_exports"], profile="library"
+    )
+
+
+@pytest.fixture(scope="module")
+def seedflow_index():
+    return build_project(
+        [FIXTURES / "proj_seedflow"], profile="library"
+    )
+
+
+class TestSymbolTable:
+    def test_modules_keyed_by_dotted_name(self, exports_index):
+        assert {"pkg", "pkg.mod", "pkg.consumer", "pkg.quiet"} <= set(
+            exports_index.by_name
+        )
+
+    def test_functions_fully_qualified(self, exports_index):
+        assert "pkg.mod.used_fn" in exports_index.functions
+        assert "pkg.mod.stale_fn" in exports_index.functions
+
+    def test_dunder_all_recorded(self, exports_index):
+        mod = exports_index.by_name["pkg.mod"]
+        assert mod.dunder_all == ("stale_fn", "used_fn")
+        assert mod.dunder_all_line > 0
+
+    def test_dataclass_fields_recorded(self, seedflow_index):
+        cls = seedflow_index.classes["pkg.clean.Sampler"]
+        assert cls.is_dataclass
+        assert [name for name, _ in cls.fields] == ["seed", "rng"]
+
+
+class TestImportGraph:
+    def test_from_import_recorded(self, exports_index):
+        consumer = exports_index.by_name["pkg.consumer"]
+        assert ("pkg", "used_fn") in consumer.imported_symbols
+        assert consumer.imports["used_fn"] == "pkg.used_fn"
+
+    def test_reexport_chain_resolves_to_definition(
+        self, exports_index
+    ):
+        info = exports_index.resolve_callable("pkg.used_fn")
+        assert info is not None
+        assert info.fqn == "pkg.mod.used_fn"
+
+
+class TestCallGraph:
+    def test_local_call_resolved(self, seedflow_index):
+        targets = {
+            site.target
+            for site in seedflow_index.call_sites
+            if site.path.endswith("bad.py")
+        }
+        assert "pkg.bad.make" in targets
+
+    def test_numpy_constructors_resolved_through_alias(
+        self, seedflow_index
+    ):
+        targets = {
+            site.target for site in seedflow_index.call_sites
+        }
+        assert "numpy.random.default_rng" in targets
+        assert "numpy.random.SeedSequence" in targets
+
+    def test_dataclass_init_synthesized(self, seedflow_index):
+        info = seedflow_index.resolve_callable("pkg.clean.Sampler")
+        assert info is not None
+        assert info.is_synthesized
+        assert info.params == ("seed", "rng")
+        assert "seed" in info.defaults
+
+
+class TestRegistries:
+    def test_dict_registries_collected(self):
+        index = build_project(
+            [FIXTURES / "proj_drift"], profile="library"
+        )
+        kinds = set(index.registries)
+        assert kinds == {"fault-point", "metric", "span", "event"}
+        metric_names = set(index.registries["metric"][0].names)
+        assert "fixture_used_total" in metric_names
+        assert "fixture_dead_total" in metric_names
+
+    def test_registry_keys_not_in_string_literals(self):
+        index = build_project(
+            [FIXTURES / "proj_drift"], profile="library"
+        )
+        registry = next(
+            m
+            for m in index.modules.values()
+            if m.path.endswith("registry.py")
+        )
+        # Keys must not mask the dead-registration check by counting
+        # as ordinary literals in their own module.
+        assert "dead.site" not in registry.string_literals
+
+
+class TestParseErrors:
+    def test_broken_file_recorded_not_fatal(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text('"""Fine."""\nX = 1\n')
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        index = build_project([tmp_path], profile="library")
+        assert isinstance(index, ProjectIndex)
+        assert len(index.parse_errors) == 1
+        assert index.parse_errors[0].endswith("broken.py")
+        assert any(
+            m.path.endswith("good.py") for m in index.modules.values()
+        )

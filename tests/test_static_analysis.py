@@ -2,15 +2,20 @@
 
 This is the tier-1 enforcement point: the whole of ``src/repro``,
 ``tests`` and ``benchmarks`` must stay clean under the
-:mod:`repro.devtools` rules (with the per-directory relaxed profiles).
-If this test fails, run ``python -m repro lint`` for the same report
-and either fix the finding or, when the code is intentionally exempt,
-add a ``# repro: noqa REPxxx`` pragma with a justifying comment.
+:mod:`repro.devtools` rules (with the per-directory relaxed profiles),
+and the whole-program REP1xx pass over the project must stay within
+the committed baseline (``lint-baseline.json`` — empty, and ratcheted
+so it can only shrink).  If this test fails, run ``python -m repro
+lint`` (or ``python -m repro lint --project``) for the same report and
+either fix the finding or, when the code is intentionally exempt, add
+a ``# repro: noqa REPxxx`` pragma with a justifying comment.
 """
 
 from pathlib import Path
 
 from repro.devtools import lint
+from repro.devtools.baseline import apply_baseline, load_baseline
+from repro.devtools.cli import lint_project
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -34,3 +39,31 @@ def test_examples_are_lint_clean():
     report = lint(paths=[REPO_ROOT / "examples"])
     formatted = "\n".join(v.format() for v in report.violations)
     assert report.ok, "examples/ violations:\n" + formatted
+
+
+def test_project_pass_stays_within_baseline():
+    """Whole-program REP1xx gate with the baseline ratchet.
+
+    New cross-module findings fail here; stale baseline entries fail
+    too, so fixed debt must leave ``lint-baseline.json`` via
+    ``python -m repro lint --project --update-baseline``.
+    """
+    roots = [
+        REPO_ROOT / "src" / "repro",
+        REPO_ROOT / "tests",
+        REPO_ROOT / "benchmarks",
+        REPO_ROOT / "examples",
+    ]
+    report = lint_project(paths=roots)
+    assert report.files_checked > 100
+    entries = load_baseline(REPO_ROOT / "lint-baseline.json")
+    outcome = apply_baseline(report, entries)
+    formatted = "\n".join(
+        v.format() for v in outcome.report.violations
+    )
+    stale = "\n".join(e.format() for e in outcome.stale)
+    assert outcome.ok, (
+        "project-pass violations (run `python -m repro lint"
+        " --project`):\n" + formatted
+        + ("\nstale baseline entries:\n" + stale if stale else "")
+    )
