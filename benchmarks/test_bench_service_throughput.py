@@ -1,0 +1,191 @@
+"""FIT service benchmark: request latency and coalescing hit-rate.
+
+Boots a live server on an ephemeral port and times sequential fit
+queries end to end (socket, parse, admission, compute, serialize) for
+p50/p99 latency, then runs the 100-client thundering-herd storm from
+the chaos trials in-process — where ``asyncio.gather`` guarantees
+every client is in flight together — to measure how many requests the
+coalescer absorbed.  Writes ``BENCH_service.json`` at the repo root so
+the service's performance trajectory is tracked across PRs.
+
+``REPRO_SMOKE=1`` shrinks the query counts for CI smoke lanes; both
+modes enforce the coalescing acceptance bar (one computation for the
+identical-query storm).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from conftest import run_once
+from repro.analysis import format_table
+from repro.chaos.trials import (
+    SERVICE_STORM_CLIENTS,
+    make_service,
+    run_service_storm,
+    service_request_line,
+)
+from repro.service import (
+    AdmissionController,
+    FitService,
+    QueryExecutor,
+    ServiceClient,
+)
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_RESULT_PATH = _REPO_ROOT / "BENCH_service.json"
+
+
+def _no_sleep(_delay_s: float) -> None:
+    """Backoff sleeper (benchmarks never wait out retries)."""
+
+
+class _LiveServer:
+    """A FitService on an ephemeral port, driven by a daemon thread."""
+
+    def __init__(self, service: FitService) -> None:
+        self.service = service
+        self.loop = asyncio.new_event_loop()
+        self.port = 0
+        self._server = None
+        started = threading.Event()
+
+        async def boot():
+            self._server = await asyncio.start_server(
+                service.handle_connection, "127.0.0.1", 0
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            started.set()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(boot())
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        started.wait(10.0)
+
+    def stop(self) -> None:
+        def shutdown():
+            self._server.close()
+            for task in asyncio.all_tasks(self.loop):
+                task.cancel()
+            self.loop.call_soon(self.loop.stop)
+
+        self.loop.call_soon_threadsafe(shutdown)
+        self.thread.join(timeout=10.0)
+        self.service.close()
+
+
+def _percentile(sorted_ms, fraction: float) -> float:
+    index = min(
+        len(sorted_ms) - 1, int(len(sorted_ms) * fraction)
+    )
+    return sorted_ms[index]
+
+
+def _time_requests(n_requests: int) -> dict:
+    service = FitService(
+        executor=QueryExecutor(sleep=_no_sleep),
+        admission=AdmissionController(max_inflight=256),
+    )
+    server = _LiveServer(service)
+    latencies_ms = []
+    try:
+        client = ServiceClient(
+            "127.0.0.1", server.port, timeout_s=30.0
+        )
+        try:
+            params = {"device": "K20", "site": "nyc", "room": True}
+            for _ in range(n_requests):
+                start = time.perf_counter()
+                response = client.query("fit", params)
+                latencies_ms.append(
+                    (time.perf_counter() - start) * 1000.0
+                )
+                assert response["ok"]
+        finally:
+            client.close()
+    finally:
+        server.stop()
+    latencies_ms.sort()
+    return {
+        "n_requests": n_requests,
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 3),
+        "p99_ms": round(_percentile(latencies_ms, 0.99), 3),
+        "requests_per_s": round(
+            1000.0 * n_requests / sum(latencies_ms), 1
+        ),
+    }
+
+
+def _storm(n_clients: int) -> dict:
+    service = make_service()
+    try:
+        outputs = run_service_storm(
+            service, service_request_line(), n_clients
+        )
+    finally:
+        service.close()
+    computations = service.executor.compute_count
+    assert len(set(outputs)) == 1, "storm payloads diverged"
+    return {
+        "clients": n_clients,
+        "computations": computations,
+        "coalescing_hit_rate": round(
+            1.0 - computations / n_clients, 4
+        ),
+    }
+
+
+def _run_benchmark(smoke: bool) -> dict:
+    n_requests = 30 if smoke else 300
+    latency = _time_requests(n_requests)
+    storm = _storm(SERVICE_STORM_CLIENTS)
+    return {
+        "benchmark": "FIT service throughput",
+        "smoke": smoke,
+        "latency": latency,
+        "storm": storm,
+    }
+
+
+def test_bench_service_throughput(benchmark, announce):
+    smoke = bool(os.environ.get("REPRO_SMOKE"))
+    payload = run_once(benchmark, _run_benchmark, smoke)
+
+    latency = payload["latency"]
+    storm = payload["storm"]
+    announce(
+        format_table(
+            ["measure", "value"],
+            [
+                ["requests", str(latency["n_requests"])],
+                ["p50 latency", f"{latency['p50_ms']:.2f} ms"],
+                ["p99 latency", f"{latency['p99_ms']:.2f} ms"],
+                ["requests/s", f"{latency['requests_per_s']:.0f}"],
+                ["storm clients", str(storm["clients"])],
+                ["computations", str(storm["computations"])],
+                [
+                    "coalescing hit-rate",
+                    f"{storm['coalescing_hit_rate']:.2%}",
+                ],
+            ],
+            title="FIT service — fit query latency + herd storm",
+        )
+    )
+
+    # Acceptance: the 100-client identical-query storm performs
+    # exactly one underlying computation.
+    assert storm["computations"] == 1, storm
+    assert storm["coalescing_hit_rate"] >= 0.9
+    if not smoke:
+        _RESULT_PATH.write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )

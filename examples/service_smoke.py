@@ -1,0 +1,165 @@
+"""End-to-end smoke drive of the FIT query service.
+
+Boots ``python -m repro serve`` on an ephemeral port as a real child
+process, then exercises the acceptance shape from the service design:
+100 concurrent identical transmission queries (a thundering herd the
+coalescer and cache must collapse to one underlying computation) plus
+10 distinct queries, a ``/metrics`` scrape proving the single
+computation, and a SIGTERM clean shutdown with exit code 0.
+
+This doubles as the CI ``service-smoke`` job driver and a worked
+example of the blocking client API.
+
+Run:  PYTHONPATH=src python examples/service_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from repro.service import ServiceClient
+
+IDENTICAL_CLIENTS = 100
+IDENTICAL_PARAMS = {
+    "shield": "water",
+    "n_neutrons": 2048,
+    "seed": 2020,
+}
+DISTINCT_QUERIES = [
+    ("flux", {"site": site, "room": room})
+    for site in ("nyc", "leadville", "lanl", "isis")
+    for room in (True, False)
+] + [
+    ("fit", {"device": "K20", "site": "nyc", "room": True}),
+    ("fit", {"device": "K20", "site": "leadville", "room": False}),
+]
+
+
+def _boot(cache_dir: str) -> "tuple[subprocess.Popen, int]":
+    """Start the serve subcommand; return (process, bound port)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--cache-dir", cache_dir,
+            # The herd must all be admitted at once (coalesced
+            # waiters still count as in-flight requests).
+            "--max-inflight", str(IDENTICAL_CLIENTS + 8),
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env={**os.environ, "PYTHONUNBUFFERED": "1"},
+    )
+    line = proc.stdout.readline().strip()
+    prefix = "repro service listening on "
+    if not line.startswith(prefix):
+        proc.kill()
+        raise SystemExit(f"unexpected serve banner: {line!r}")
+    port = int(line.rsplit(":", 1)[1])
+    return proc, port
+
+
+def _storm(port: int) -> None:
+    """Fire the identical-query herd from concurrent threads."""
+    barrier = threading.Barrier(IDENTICAL_CLIENTS)
+    payloads = []
+    failures = []
+    lock = threading.Lock()
+
+    def one_client() -> None:
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout_s=60.0)
+            try:
+                barrier.wait(timeout=30.0)
+                response = client.query(
+                    "transmission", dict(IDENTICAL_PARAMS)
+                )
+            finally:
+                client.close()
+            with lock:
+                payloads.append(
+                    repr(response["result"])
+                )
+        except Exception as exc:  # noqa: BLE001 — smoke reporter
+            with lock:
+                failures.append(f"{type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=one_client)
+        for _ in range(IDENTICAL_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    assert not failures, failures[:3]
+    assert len(payloads) == IDENTICAL_CLIENTS
+    assert len(set(payloads)) == 1, "herd results diverged"
+    print(f"herd: {IDENTICAL_CLIENTS} clients, 1 distinct payload")
+
+
+def _metric(text: str, name: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    return 0.0
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        proc, port = _boot(cache_dir)
+        try:
+            _storm(port)
+
+            client = ServiceClient("127.0.0.1", port, timeout_s=60.0)
+            try:
+                for kind, params in DISTINCT_QUERIES:
+                    response = client.query(kind, params)
+                    assert response["ok"], response
+                metrics = client.metrics()
+            finally:
+                client.close()
+            print(
+                f"distinct: {len(DISTINCT_QUERIES)} queries answered"
+            )
+
+            # One computation for the identical herd, one per
+            # distinct query; everything else was coalesced into an
+            # in-flight computation or served from the cache.
+            misses = _metric(
+                metrics, "repro_service_cache_misses_total"
+            )
+            expected = 1 + len(DISTINCT_QUERIES)
+            assert misses == expected, (misses, expected)
+            absorbed = _metric(
+                metrics, "repro_service_coalesced_total"
+            ) + _metric(metrics, "repro_service_cache_hits_total")
+            assert absorbed == IDENTICAL_CLIENTS - 1, absorbed
+            requests = _metric(
+                metrics, "repro_service_requests_total"
+            )
+            assert requests == IDENTICAL_CLIENTS + len(
+                DISTINCT_QUERIES
+            ), requests
+            print(
+                f"metrics: {misses:.0f} computations,"
+                f" {absorbed:.0f} requests absorbed"
+            )
+
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, proc.returncode
+        assert "clean shutdown" in out, out
+        print("service smoke: clean shutdown, exit 0")
+
+
+if __name__ == "__main__":
+    main()

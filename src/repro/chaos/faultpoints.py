@@ -137,6 +137,31 @@ _declare(
     "a DDR correct-loop read pass about to start",
     actions=("raise-transient", "crash"),
 )
+_declare(
+    "service.cache_write",
+    "repro.service.cache",
+    "a service result-cache entry about to be renamed into place"
+    " (tmp written and fsynced)",
+    actions=("raise-transient", "torn-write", "crash"),
+)
+_declare(
+    "service.dispatch",
+    "repro.service.compute",
+    "a FIT query about to execute (in-process or in a pool worker)",
+    actions=("raise-transient", "crash", "kill-worker"),
+)
+_declare(
+    "service.handoff",
+    "repro.service.coalesce",
+    "a coalesced result about to be handed to its waiting clients",
+    actions=("raise-transient", "crash"),
+)
+_declare(
+    "service.respond",
+    "repro.service.server",
+    "a service response about to be serialized onto the wire",
+    actions=("raise-transient", "crash"),
+)
 
 
 def fault_point(site: str, **context) -> None:

@@ -20,6 +20,12 @@ asserts the runtime's recovery *contract*, not merely survival:
 * **Worker death degrades, flagged.**  A killed pool worker's shards
   are recomputed in-process with ``degraded_shards`` set and tallies
   unchanged.
+* **The FIT service stays correct under failure.**  A corrupt or
+  torn cache entry is quarantined and recomputed, never served; a
+  thundering herd of identical queries costs one computation and
+  every waiter gets byte-identical bytes — or one clean shared
+  error; a SIGKILL'd service worker yields a degraded-flagged
+  response rather than a hang or an unhandled exception.
 """
 
 from __future__ import annotations
@@ -112,6 +118,23 @@ def canon_transport(result: TransportResult) -> str:
             "by_material": dict(
                 sorted(result.absorbed_by_material.items())
             ),
+        },
+        sort_keys=True,
+    )
+
+
+def canon_service(line: str) -> str:
+    """Canonical JSON of a service response's data-bearing fields.
+
+    ``cached`` is deliberately excluded: a hit and a miss must carry
+    identical *data*, which is exactly what this canon compares.
+    """
+    data = json.loads(line)
+    return json.dumps(
+        {
+            "ok": data.get("ok"),
+            "result": data.get("result"),
+            "degraded": data.get("degraded"),
         },
         sort_keys=True,
     )
@@ -323,6 +346,19 @@ class InvariantChecker:
             self._clean["ddr"] = canon_ddr(self._run_ddr())
         return self._clean["ddr"]
 
+    def clean_service(self) -> str:
+        """Canonical response of the clean service trial query."""
+        if "service" not in self._clean:
+            service = trials.make_service()
+            try:
+                line = trials.run_service_lines(
+                    service, [trials.service_request_line()]
+                )[0]
+            finally:
+                service.close()
+            self._clean["service"] = canon_service(line)
+        return self._clean["service"]
+
     def _run_transport(self, n_workers: int) -> TransportResult:
         if self._engine is None:
             self._engine = BatchTransportEngine(
@@ -366,6 +402,11 @@ class InvariantChecker:
             "batch.worker": 2,
             "batch.merge": 2,
             "memory.pass": DDR_N_PASSES,
+            # One crossing per trial request for every service site.
+            "service.cache_write": 1,
+            "service.dispatch": 1,
+            "service.handoff": 1,
+            "service.respond": 1,
         }
         return per_site[site]
 
@@ -433,6 +474,14 @@ class InvariantChecker:
             return self._trial_batch_merge(spec, tmpdir)
         if site == "memory.pass":
             return self._trial_memory_pass(spec, tmpdir)
+        if site == "service.cache_write":
+            return self._trial_service_cache(spec, tmpdir)
+        if site == "service.handoff":
+            return self._trial_service_handoff(spec, tmpdir)
+        if site == "service.dispatch":
+            return self._trial_service_dispatch(spec, tmpdir)
+        if site == "service.respond":
+            return self._trial_service_respond(spec, tmpdir)
         raise ConfigurationError(f"no trial harness for {site!r}")
 
     # -- campaign-backed cells -----------------------------------------
@@ -834,6 +883,258 @@ class InvariantChecker:
         if canon_ddr(retried) != clean:
             violations.append(
                 "post-isolation clean run diverged from clean run"
+            )
+        return violations, fired
+
+    # -- FIT-service cells ---------------------------------------------
+
+    def _trial_service_cache(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        """Cache-write faults: responses unharmed, no torn entry."""
+        cache_dir = tmpdir / "cache"
+        clean = self.clean_service()
+        violations: List[str] = []
+        line = trials.service_request_line()
+        controller = ChaosController(spec)
+        service = trials.make_service(cache_dir=cache_dir)
+        try:
+            with activated(controller):
+                out = trials.run_service_lines(service, [line])[0]
+        finally:
+            service.close()
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        if canon_service(out) != clean:
+            violations.append(
+                "cache-write fault leaked into the response"
+            )
+        # A fresh service over the same directory: its init sweeps
+        # stale tmp files, and its first answer proves the cache
+        # either holds a complete entry or none at all.
+        service2 = trials.make_service(cache_dir=cache_dir)
+        try:
+            stale = list(cache_dir.rglob("*.tmp"))
+            if stale:
+                violations.append(
+                    "stale cache tmp not swept on startup:"
+                    f" {[p.name for p in stale]}"
+                )
+            out2 = trials.run_service_lines(service2, [line])[0]
+        finally:
+            service2.close()
+        if canon_service(out2) != clean:
+            violations.append(
+                "post-fault cache state corrupted the next response"
+            )
+        cached = json.loads(out2).get("cached")
+        if spec.action == chaos_actions.CRASH:
+            # The one write attempt crashed; no entry may exist.
+            if cached:
+                violations.append(
+                    "crashed cache write left a served entry"
+                )
+        elif not cached:
+            # Transient/torn faults are retried to success.
+            violations.append(
+                "retried cache write did not produce a hit"
+            )
+        return violations, fired
+
+    def _trial_service_handoff(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        """Coalescer handoff faults: one shared clean error, then a
+        full thundering herd resolved by one computation."""
+        del tmpdir
+        clean = self.clean_service()
+        violations: List[str] = []
+        line = trials.service_request_line()
+        controller = ChaosController(spec)
+        service = trials.make_service()
+        try:
+            with activated(controller):
+                faulted = trials.run_service_storm(service, line, 8)
+            fired = controller.fired()
+            if not fired:
+                violations.append("fault never fired")
+            if len(set(faulted)) != 1:
+                violations.append(
+                    "coalesced waiters saw different handoff"
+                    " failures"
+                )
+            for response in set(faulted):
+                data = json.loads(response)
+                if data.get("ok") is not False:
+                    violations.append(
+                        "handoff fault did not surface as an error"
+                    )
+                elif data["error"]["code"] != "internal":
+                    violations.append(
+                        "handoff fault surfaced with code"
+                        f" {data['error']['code']!r}"
+                    )
+            if service.executor.compute_count != 1:
+                violations.append(
+                    "faulted storm was not coalesced"
+                    f" ({service.executor.compute_count}"
+                    " computations)"
+                )
+            # Fires exhausted: the full storm must now succeed with
+            # byte-identical payloads from a single computation.
+            before = service.executor.compute_count
+            with activated(controller):
+                storm = trials.run_service_storm(
+                    service, line, trials.SERVICE_STORM_CLIENTS
+                )
+        finally:
+            service.close()
+        if len(set(storm)) != 1:
+            violations.append(
+                "storm responses were not byte-identical"
+                f" ({len(set(storm))} distinct)"
+            )
+        if canon_service(storm[0]) != clean:
+            violations.append(
+                "storm response diverged from clean run"
+            )
+        computed = service.executor.compute_count - before
+        if computed != 1:
+            violations.append(
+                f"storm of {trials.SERVICE_STORM_CLIENTS} cost"
+                f" {computed} computations, expected 1"
+            )
+        return violations, fired
+
+    def _trial_service_dispatch(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        """Dispatch faults: retry, isolate, or degrade — never wedge."""
+        del tmpdir
+        clean = self.clean_service()
+        violations: List[str] = []
+        line = trials.service_request_line()
+        if spec.action == chaos_actions.KILL_WORKER:
+            controller = ChaosController(spec)
+            service = trials.make_service(n_workers=2)
+            try:
+                with activated(controller):
+                    # Fork the pool inside activation so workers
+                    # inherit the armed controller.
+                    service.executor.warm()
+                    out = trials.run_service_lines(
+                        service, [line]
+                    )[0]
+                data = json.loads(out)
+                # The kill fires inside a forked worker; the
+                # parent-side proof is the degradation flag.
+                fired = bool(data.get("degraded"))
+                if not fired:
+                    violations.append(
+                        "worker kill produced no degraded response"
+                    )
+                if data.get("ok") is not True:
+                    violations.append(
+                        "worker kill surfaced as an error response"
+                    )
+                if data.get("degraded_reason") != "worker-retry":
+                    violations.append(
+                        "degraded_reason is"
+                        f" {data.get('degraded_reason')!r},"
+                        " expected 'worker-retry'"
+                    )
+                if canon_service(out) != clean.replace(
+                    '"degraded": false', '"degraded": true'
+                ):
+                    violations.append(
+                        "post-worker-death result diverged from"
+                        " clean"
+                    )
+                # Outside activation a rebuilt pool must serve a
+                # clean, undegraded answer — killed, not wedged.
+                out2 = trials.run_service_lines(service, [line])[0]
+                if canon_service(out2) != clean:
+                    violations.append(
+                        "service did not recover after worker kill"
+                    )
+            finally:
+                service.close()
+            return violations, fired
+        controller = ChaosController(spec)
+        service = trials.make_service()
+        try:
+            with activated(controller):
+                out = trials.run_service_lines(service, [line])[0]
+            fired = controller.fired()
+            if not fired:
+                violations.append("fault never fired")
+            data = json.loads(out)
+            if spec.action == chaos_actions.RAISE_TRANSIENT:
+                if canon_service(out) != clean:
+                    violations.append(
+                        "retried dispatch diverged from clean run"
+                    )
+                if service.executor.events.count(EventKind.RETRY) < 1:
+                    violations.append("no RETRY event recorded")
+            else:  # crash
+                if data.get("ok") is not False:
+                    violations.append(
+                        "dispatch crash did not surface as an error"
+                    )
+                elif data["error"]["code"] != "internal":
+                    violations.append(
+                        "dispatch crash surfaced with code"
+                        f" {data['error']['code']!r}"
+                    )
+            # The next query must come back clean either way.
+            out2 = trials.run_service_lines(service, [line])[0]
+        finally:
+            service.close()
+        if canon_service(out2) != clean:
+            violations.append(
+                "service did not recover after dispatch fault"
+            )
+        return violations, fired
+
+    def _trial_service_respond(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        """Serialization faults: a structured error line, then clean."""
+        del tmpdir
+        clean = self.clean_service()
+        violations: List[str] = []
+        line = trials.service_request_line()
+        controller = ChaosController(spec)
+        service = trials.make_service()
+        try:
+            with activated(controller):
+                out = trials.run_service_lines(service, [line])[0]
+            fired = controller.fired()
+            if not fired:
+                violations.append("fault never fired")
+            try:
+                data = json.loads(out)
+            except ValueError:
+                violations.append(
+                    "respond fault produced an unparsable line"
+                )
+            else:
+                if data.get("ok") is not False:
+                    violations.append(
+                        "respond fault did not surface as an error"
+                    )
+                elif data["error"]["code"] != "internal":
+                    violations.append(
+                        "respond fault surfaced with code"
+                        f" {data['error']['code']!r}"
+                    )
+            out2 = trials.run_service_lines(service, [line])[0]
+        finally:
+            service.close()
+        if canon_service(out2) != clean:
+            violations.append(
+                "service did not recover after respond fault"
             )
         return violations, fired
 

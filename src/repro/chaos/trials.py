@@ -11,6 +11,8 @@ file, written immediately before the kill).
 
 from __future__ import annotations
 
+import asyncio
+import json
 import multiprocessing
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,6 +33,10 @@ from repro.runtime.supervisor import (
     PLAN_FACTORIES,
     heterogeneous_plan,
 )
+from repro.service.admission import AdmissionController
+from repro.service.compute import QueryExecutor
+from repro.service.cache import ResultCache
+from repro.service.server import FitService
 
 #: Campaign trial sizing (small simulated exposures; seconds per run).
 CAMPAIGN_DURATION_S = 300.0
@@ -127,6 +133,86 @@ def make_fleet_runner(
         clock=clock,
         sleep=_no_sleep,
     )
+
+
+# ----------------------------------------------------------------------
+# FIT-service trial workloads
+# ----------------------------------------------------------------------
+
+#: Monte Carlo histories per service trial query (seconds-scale).
+SERVICE_N_NEUTRONS = 2048
+SERVICE_SEED = 2020
+#: Clients in the thundering-herd coalescing trial.
+SERVICE_STORM_CLIENTS = 100
+
+
+def make_service(
+    cache_dir: Optional[Union[str, Path]] = None,
+    n_workers: int = 1,
+) -> FitService:
+    """A trial-sized :class:`FitService` (no real backoff sleeps).
+
+    Args:
+        cache_dir: enable the durable result cache rooted here.
+        n_workers: transmission worker processes (>1 enables the
+            fork pool the kill-worker trials target).
+    """
+    cache = (
+        ResultCache(cache_dir, sleep=_no_sleep)
+        if cache_dir is not None
+        else None
+    )
+    return FitService(
+        executor=QueryExecutor(n_workers=n_workers, sleep=_no_sleep),
+        cache=cache,
+        admission=AdmissionController(max_inflight=256),
+    )
+
+
+def service_request_line(request_id: str = "t1") -> str:
+    """The canonical transmission request line service trials send."""
+    return json.dumps(
+        {
+            "id": request_id,
+            "kind": "transmission",
+            "params": {
+                "shield": "water",
+                "n_neutrons": SERVICE_N_NEUTRONS,
+                "seed": SERVICE_SEED,
+            },
+        },
+        sort_keys=True,
+    )
+
+
+def run_service_lines(
+    service: FitService, lines: List[str]
+) -> List[str]:
+    """Answer request lines sequentially on a fresh event loop."""
+
+    async def _run() -> List[str]:
+        return [await service.handle_line(line) for line in lines]
+
+    return asyncio.run(_run())
+
+
+def run_service_storm(
+    service: FitService, line: str, n_clients: int
+) -> List[str]:
+    """Answer ``n_clients`` concurrent copies of one request line.
+
+    ``asyncio.gather`` schedules every handler task before any of
+    them can complete, so all clients are guaranteed to be in flight
+    together — the thundering-herd shape the coalescer must collapse
+    to a single computation.
+    """
+
+    async def _run() -> List[str]:
+        return await asyncio.gather(
+            *[service.handle_line(line) for _ in range(n_clients)]
+        )
+
+    return asyncio.run(_run())
 
 
 # ----------------------------------------------------------------------
@@ -239,8 +325,13 @@ __all__ = [
     "CHILD_TIMEOUT_S",
     "DELAY_TRIAL_BUDGET_S",
     "FLEET_N_DAYS",
+    "SERVICE_STORM_CLIENTS",
     "build_campaign_plan",
     "make_campaign_runner",
     "make_fleet_runner",
+    "make_service",
     "run_kill_trial",
+    "run_service_lines",
+    "run_service_storm",
+    "service_request_line",
 ]

@@ -13,6 +13,7 @@ Examples::
     python -m repro run --plan heterogeneous --checkpoint ck.json --resume
     python -m repro lint --statistics
     python -m repro chaos --trials 2 --json chaos.json
+    python -m repro serve --port 7920 --cache-dir /tmp/fit-cache
 """
 
 from __future__ import annotations
@@ -341,6 +342,8 @@ EXIT_CHECKPOINT = ExitCode.CHECKPOINT
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Supervised campaign with checkpoint/resume and budgets."""
+    import signal
+
     from repro.beam.logbook import CampaignLogbook
     from repro.obs import core as obs_core
     from repro.obs.cli import export_metrics, observer_from_args
@@ -364,12 +367,32 @@ def cmd_run(args: argparse.Namespace) -> int:
         wall_clock_s=args.deadline_s,
         max_events=args.max_events,
     )
+    # Graceful interrupt: SIGINT/SIGTERM raise a flag the runner
+    # polls between steps, so the final checkpoint still flushes and
+    # the process exits with a distinct, scriptable code instead of
+    # dying mid-write.
+    interrupt_flag = {"hit": False}
+
+    def _on_signal(signum: int, frame) -> None:
+        del signum, frame
+        interrupt_flag["hit"] = True
+
+    previous_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous_handlers[signum] = signal.signal(
+                signum, _on_signal
+            )
+        except (ValueError, OSError):
+            # Not the main thread (embedded use): run uninterrupted.
+            break
     runner = CampaignRunner(
         plan,
         seed=args.seed,
         budget=budget,
         checkpoint_path=args.checkpoint or None,
         checkpoint_every=args.checkpoint_every,
+        interrupt=lambda: interrupt_flag["hit"],
     )
     try:
         if observer is not None:
@@ -393,7 +416,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             " to start over, or restore a valid checkpoint"
         )
         return ExitCode.CHECKPOINT
+    finally:
+        for signum, handler in previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
     status = "completed" if outcome.completed else "INCOMPLETE"
+    if outcome.interrupted:
+        status = "INTERRUPTED"
     print(
         f"plan {args.plan!r} {status}:"
         f" {outcome.steps_completed}/{outcome.steps_total} steps,"
@@ -422,9 +453,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             f" --seed {args.seed} --checkpoint {args.checkpoint}"
             " --resume"
         )
+    if outcome.interrupted:
+        return ExitCode.INTERRUPTED
     return (
         ExitCode.OK if outcome.completed else ExitCode.INCOMPLETE
     )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Long-running FIT query service (see repro.service)."""
+    from repro.service.cli import run_serve
+
+    return run_serve(args)
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
@@ -577,6 +617,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_observer_arguments(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "serve",
+        help=(
+            "fault-tolerant FIT query service: NDJSON protocol,"
+            " result cache, coalescing, admission control"
+        ),
+    )
+    from repro.service.cli import add_serve_arguments
+
+    add_serve_arguments(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "obs",

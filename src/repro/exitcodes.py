@@ -30,6 +30,7 @@ class ExitCode(enum.IntEnum):
     ``USAGE``               2      bad arguments or unknown configuration
     ``INCOMPLETE``          3      campaign stopped early (budget/deadline)
     ``CHECKPOINT``          4      checkpoint missing, stale, or corrupt
+    ``INTERRUPTED``         5      SIGINT/SIGTERM; final checkpoint flushed
     ======================  =====  =========================================
     """
 
@@ -38,3 +39,4 @@ class ExitCode(enum.IntEnum):
     USAGE = 2
     INCOMPLETE = 3
     CHECKPOINT = 4
+    INTERRUPTED = 5

@@ -52,6 +52,36 @@ METRICS: Dict[str, str] = {
     "repro_histories_per_s": "transport throughput gauge",
     "repro_memory_passes_total": "memory test passes completed",
     "repro_span_seconds": "wall-clock histogram over all spans",
+    "repro_retries_exhausted_total": (
+        "supervised calls that failed every budgeted attempt"
+    ),
+    "repro_service_requests_total": "FIT service queries received",
+    "repro_service_errors_total": (
+        "FIT service structured errors returned"
+    ),
+    "repro_service_cache_hits_total": "service result-cache hits",
+    "repro_service_cache_misses_total": "service result-cache misses",
+    "repro_service_cache_writes_total": (
+        "service result-cache entries durably written"
+    ),
+    "repro_service_cache_write_failures_total": (
+        "service result-cache writes abandoned after retries"
+    ),
+    "repro_service_cache_quarantined_total": (
+        "corrupt service cache entries quarantined"
+    ),
+    "repro_service_coalesced_total": (
+        "service queries attached to an in-flight computation"
+    ),
+    "repro_service_shed_total": (
+        "service queries rejected by admission control"
+    ),
+    "repro_service_degraded_total": (
+        "service responses flagged as degraded"
+    ),
+    "repro_service_breaker_open": (
+        "service circuit breaker state (1 = batch engine disabled)"
+    ),
 }
 
 #: Registered span names → one-line description.
@@ -67,6 +97,7 @@ SPANS: Dict[str, str] = {
     "campaign.exposure": "one beam exposure",
     "transport.run": "one batch transport execution",
     "memory.run": "one memory test campaign",
+    "service.request": "one FIT service query end to end",
 }
 
 #: Registered event names → one-line description.
@@ -75,6 +106,10 @@ EVENTS: Dict[str, str] = {
     "supervisor.isolation": "a step was isolated",
     "chaos.fire": "a chaos fault fired",
     "memory.pass": "a memory test pass completed",
+    "supervisor.exhausted": (
+        "a supervised call failed its final retry attempt"
+    ),
+    "service.shutdown": "the FIT service began graceful shutdown",
 }
 
 #: Histogram bucket upper bounds, seconds.  Spans range from

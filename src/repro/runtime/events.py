@@ -25,9 +25,11 @@ class EventKind:
     CHECKPOINT = "checkpoint"
     RESUME = "resume"
     DEADLINE = "deadline"
+    INTERRUPT = "interrupt"
 
     ALL = (
         ISOLATION, DEGRADATION, RETRY, CHECKPOINT, RESUME, DEADLINE,
+        INTERRUPT,
     )
 
 

@@ -210,7 +210,17 @@ class Supervisor:
                     "supervisor.retry", label=label, step=step
                 )
                 self._sleep(delay_s)
-        return fn()
+        try:
+            return fn()
+        except retry_on:
+            # Terminal exhaustion: every budgeted attempt failed.
+            # Counted separately from per-attempt retries so operators
+            # can tell "rode it out" from "gave up".
+            obs.inc("repro_retries_exhausted_total")
+            obs.event(
+                "supervisor.exhausted", label=label, step=step
+            )
+            raise
 
     def isolate(
         self,
@@ -254,6 +264,9 @@ class SupervisedCampaignResult:
         steps_total: plan length.
         events_used: simulated strikes consumed from the budget.
         elapsed_s: wall-clock spent in this segment.
+        interrupted: True when a SIGINT/SIGTERM-style interrupt
+            stopped the run at a step boundary (a final checkpoint
+            was still flushed).
     """
 
     result: CampaignResult
@@ -263,6 +276,7 @@ class SupervisedCampaignResult:
     steps_total: int = 0
     events_used: int = 0
     elapsed_s: float = 0.0
+    interrupted: bool = False
 
     def isolation_count(self) -> int:
         """Harness crashes isolated during the run."""
@@ -342,6 +356,11 @@ class CampaignRunner:
         workload_factory: injectable workload constructor
             (``create_workload`` signature); tests use it to plant
             crashing or transiently-failing workloads.
+        interrupt: zero-argument poll the runner checks at every step
+            boundary; returning True stops the segment gracefully
+            (final checkpoint flushed, ``interrupted`` flagged).  The
+            CLI wires its signal handlers here so SIGINT/SIGTERM
+            never tears a step in half.
     """
 
     def __init__(
@@ -355,6 +374,7 @@ class CampaignRunner:
         clock: Optional[Callable[[], float]] = None,
         sleep: Optional[Callable[[float], None]] = None,
         workload_factory: Optional[Callable[..., object]] = None,
+        interrupt: Optional[Callable[[], bool]] = None,
     ) -> None:
         require_non_empty("plan", list(plan))
         require_positive_int("checkpoint_every", checkpoint_every)
@@ -371,6 +391,7 @@ class CampaignRunner:
         self._clock = clock
         self._sleep = sleep
         self._workload_factory = workload_factory or create_workload
+        self._interrupt = interrupt
         self.digest = plan_digest([s.to_dict() for s in self.plan])
 
     # ------------------------------------------------------------------
@@ -423,7 +444,17 @@ class CampaignRunner:
 
         steps_done = start_step
         segment = 0
+        interrupted = False
         for idx in range(start_step, len(self.plan)):
+            if self._interrupt is not None and self._interrupt():
+                interrupted = True
+                events.record(
+                    EventKind.INTERRUPT,
+                    "campaign",
+                    f"interrupt received before step {idx};"
+                    " flushing final checkpoint and stopping",
+                )
+                break
             if max_steps is not None and segment >= max_steps:
                 events.record(
                     EventKind.DEADLINE,
@@ -476,6 +507,7 @@ class CampaignRunner:
             steps_total=len(self.plan),
             events_used=tracker.events_used,
             elapsed_s=tracker.elapsed_s(),
+            interrupted=interrupted,
         )
 
     # ------------------------------------------------------------------

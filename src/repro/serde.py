@@ -50,6 +50,11 @@ SCHEMA_VERSIONS = {
     "chaos-report": 2,
     # v1/v2: logbook's own "version" field; v3 adds the schema tags.
     "logbook": 3,
+    # First tagged release: the FIT query service's wire responses.
+    "service-response": 1,
+    # First tagged release: durable on-disk result-cache entries
+    # (carry their own SHA-256 payload checksum).
+    "service-cache-entry": 1,
 }
 
 

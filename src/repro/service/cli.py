@@ -1,0 +1,190 @@
+"""``repro serve`` — boot the FIT query service.
+
+Wires the service stack (cache, executor, admission, coalescer) to
+an asyncio TCP server, installs SIGINT/SIGTERM handlers for graceful
+shutdown, and prints the bound address on stdout in a
+machine-parseable line (``--port 0`` asks the kernel for an
+ephemeral port; CI's smoke job parses the line to find it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+from pathlib import Path
+from typing import Dict, Optional, Set
+
+from repro.exitcodes import ExitCode
+from repro.obs import core as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.budget import Budget
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache
+from repro.service.compute import QueryExecutor
+from repro.service.server import FitService
+
+__all__ = ["add_serve_arguments", "load_plans", "run_serve"]
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro serve`` arguments to a subparser."""
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7920,
+        help="TCP port to bind; 0 = ephemeral (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--plan-root",
+        type=Path,
+        default=None,
+        help="directory of *.json query presets clients may"
+        " reference by plan name",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="durable result-cache directory (default: no cache)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="transmission worker processes (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="global concurrent-query ceiling (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tenant-events",
+        type=int,
+        default=0,
+        help="per-tenant query budget; 0 = unbudgeted"
+        " (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="write an observability trace to this JSONL path",
+    )
+
+
+def load_plans(plan_root: Optional[Path]) -> Dict[str, dict]:
+    """Load named query presets from ``<plan_root>/*.json``.
+
+    Each file's stem is the plan name; unparsable files are skipped
+    with a warning line rather than aborting boot.
+    """
+    plans: Dict[str, dict] = {}
+    if plan_root is None or not plan_root.is_dir():
+        return plans
+    for path in sorted(plan_root.glob("*.json")):
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(
+                f"repro serve: skipping plan {path.name}: {exc}",
+                flush=True,
+            )
+            continue
+        if isinstance(data, dict):
+            plans[path.stem] = data
+    return plans
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Entry point for ``repro serve``; blocks until shutdown."""
+    cache = (
+        ResultCache(args.cache_dir)
+        if args.cache_dir is not None
+        else None
+    )
+    executor = QueryExecutor(n_workers=args.workers)
+    executor.warm()
+    default_budget = (
+        Budget(max_events=args.tenant_events)
+        if args.tenant_events > 0
+        else None
+    )
+    service = FitService(
+        executor=executor,
+        cache=cache,
+        admission=AdmissionController(
+            max_inflight=args.max_inflight,
+            default_budget=default_budget,
+        ),
+        plans=load_plans(args.plan_root),
+    )
+    observer = obs.Observer(
+        trace_path=args.trace, registry=MetricsRegistry()
+    )
+    try:
+        with obs.observing(observer):
+            asyncio.run(_serve_async(service, args.host, args.port))
+    finally:
+        service.close()
+    return int(ExitCode.OK)
+
+
+async def _serve_async(
+    service: FitService, host: str, port: int
+) -> None:
+    """Run the TCP server until SIGINT/SIGTERM."""
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = []
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):
+            signal.signal(signum, lambda *_: stop.set())
+    connections: Set["asyncio.Task"] = set()
+
+    async def handle(reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            connections.add(task)
+            task.add_done_callback(connections.discard)
+        await service.handle_connection(reader, writer)
+
+    server = await asyncio.start_server(handle, host, port)
+    addr = server.sockets[0].getsockname()
+    print(
+        f"repro service listening on {addr[0]}:{addr[1]}",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        service.begin_shutdown()
+        server.close()
+        await service.coalescer.drain()
+        for task in list(connections):
+            task.cancel()
+        if connections:
+            await asyncio.gather(
+                *connections, return_exceptions=True
+            )
+        try:
+            # 3.12.1+ waits for connection handlers here; ours are
+            # already cancelled, so this should be instant — the
+            # timeout is a belt against stragglers.
+            await asyncio.wait_for(server.wait_closed(), timeout=5.0)
+        except asyncio.TimeoutError:
+            pass
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+    print("repro service: clean shutdown", flush=True)

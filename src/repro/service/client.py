@@ -1,0 +1,176 @@
+"""Blocking NDJSON client for the FIT query service.
+
+:class:`ServiceClient` owns its own timeout and retry policy,
+independent of the server's: connection failures and dropped sockets
+are retried with the same bounded deterministic backoff the runtime
+uses (:class:`~repro.runtime.budget.RetryPolicy`), reconnecting
+between attempts.  Structured server errors are surfaced as
+:class:`~repro.service.protocol.ServiceError` — they are *answers*,
+not transport failures, and are never retried here (the error code
+tells the caller which ones are worth retrying).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Callable, Optional
+
+from repro.runtime.budget import RetryPolicy
+from repro.service.protocol import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Synchronous client speaking the service's NDJSON protocol.
+
+    Args:
+        host: server host.
+        port: server port.
+        timeout_s: socket timeout per I/O operation, and the
+            default ``timeout_ms`` advertised to the server.
+        retry: transport-failure backoff policy.
+        sleep: injectable backoff sleeper.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 10.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._sleep = time.sleep if sleep is None else sleep
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # -- transport -----------------------------------------------------
+
+    def _connect(self):
+        """Ensure a live connection; return its buffered file."""
+        if self._file is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+            self._file = self._sock.makefile("rwb")
+        return self._file
+
+    def _disconnect(self) -> None:
+        """Drop the current connection (idempotent)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Close the client's connection."""
+        self._disconnect()
+
+    def _exchange(self, line: bytes) -> bytes:
+        """One request/response round trip on a live connection."""
+        handle = self._connect()
+        handle.write(line)
+        handle.flush()
+        response = handle.readline()
+        if not response:
+            raise ConnectionError(
+                "service closed the connection mid-request"
+            )
+        return response
+
+    def request(self, body: dict) -> dict:
+        """Send one raw request dict; return the decoded response.
+
+        Transport failures (refused/reset/closed connections) are
+        retried with backoff on a fresh connection; the last failure
+        propagates.
+        """
+        line = (
+            json.dumps(body, sort_keys=True).encode("utf-8") + b"\n"
+        )
+        for delay_s in self._retry.delays_s():
+            try:
+                return json.loads(self._exchange(line))
+            except (OSError, ConnectionError, ValueError):
+                self._disconnect()
+                self._sleep(delay_s)
+        return json.loads(self._exchange(line))
+
+    # -- protocol ------------------------------------------------------
+
+    def query(
+        self,
+        kind: str,
+        params: Optional[dict] = None,
+        tenant: str = "default",
+        timeout_ms: Optional[float] = None,
+        plan: Optional[str] = None,
+    ) -> dict:
+        """Run one query and return its success envelope.
+
+        Raises:
+            ServiceError: for any structured error response, with
+                the server's error ``code`` and ``message``.
+        """
+        self._next_id += 1
+        body: dict = {
+            "id": f"c{self._next_id}",
+            "kind": kind,
+            "params": dict(params or {}),
+            "tenant": tenant,
+            "timeout_ms": (
+                self.timeout_s * 1000.0
+                if timeout_ms is None
+                else timeout_ms
+            ),
+        }
+        if plan is not None:
+            body["plan"] = plan
+        response = self.request(body)
+        if not isinstance(response, dict):
+            raise ConnectionError(
+                f"malformed service response: {response!r}"
+            )
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        raise ServiceError(
+            error.get("code", "internal"),
+            error.get("message", "malformed error response"),
+            request_id=str(response.get("id", "")),
+        )
+
+    def metrics(self) -> str:
+        """Scrape the server's ``/metrics`` Prometheus text."""
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        ) as sock:
+            sock.sendall(
+                b"GET /metrics HTTP/1.0\r\n"
+                b"Host: repro-service\r\n\r\n"
+            )
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        raw = b"".join(chunks).decode("utf-8", errors="replace")
+        _, _, payload = raw.partition("\r\n\r\n")
+        return payload

@@ -1,0 +1,377 @@
+"""Query execution: worker pool, bounded retry, circuit breaker.
+
+The execution layer turns a validated
+:class:`~repro.service.protocol.Query` into a plain result dict,
+surviving the ways real compute backends die:
+
+* **Transient faults** are retried with the supervisor's bounded
+  deterministic backoff (:class:`~repro.runtime.supervisor.Supervisor`
+  around every dispatch).
+* **Worker death** (a SIGKILL'd pool process) breaks the pool; the
+  executor rebuilds it and recomputes the query in-process, flagging
+  the response ``degraded`` — the service answer is late, never
+  wrong, never a hang.
+* **Repeated shard/worker failure** trips a :class:`CircuitBreaker`
+  that downgrades ``engine="batch"`` transmission queries to the
+  scalar oracle until enough consecutive successes close it again
+  (the supervisor's degrade-don't-die policy, applied to engines).
+
+``_execute_query`` is a module-level function on purpose: it must be
+picklable for the ``fork`` process pool, and it hosts the
+``service.dispatch`` fault point so chaos can kill a *worker*
+mid-query.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.chaos.faultpoints import fault_point
+from repro.core.fit import FitCalculator
+from repro.devices import get_device
+from repro.environment import (
+    WeatherCondition,
+    datacenter_scenario,
+    outdoor_scenario,
+)
+from repro.faults.models import BeamKind, Outcome
+from repro.obs import core as obs
+from repro.runtime.budget import RetryPolicy
+from repro.runtime.events import EventLog
+from repro.runtime.supervisor import Supervisor
+from repro.service.protocol import SERVICE_SITES, SHIELDS, Query
+from repro.spectra.beamlines import rotax_spectrum
+from repro.transport.montecarlo import shield_transmission
+
+__all__ = [
+    "CircuitBreaker",
+    "ExecutionOutcome",
+    "QueryExecutor",
+]
+
+
+def _scenario(payload: dict):
+    """Build the flux scenario a query describes."""
+    site = SERVICE_SITES[payload["site"]]
+    weather = (
+        WeatherCondition.RAIN
+        if payload["rain"]
+        else WeatherCondition.SUNNY
+    )
+    if payload["room"]:
+        return datacenter_scenario(
+            site,
+            liquid_cooled=not payload["air_cooled"],
+            weather=weather,
+        )
+    return outdoor_scenario(site, weather=weather)
+
+
+def _decomposition(decomp) -> dict:
+    """JSON-ready form of one FIT decomposition."""
+    return {
+        "fit_high_energy": decomp.fit_high_energy,
+        "fit_thermal": decomp.fit_thermal,
+        "total": decomp.total,
+        "thermal_share": (
+            decomp.thermal_share if decomp.total > 0.0 else None
+        ),
+    }
+
+
+def _fit(payload: dict) -> dict:
+    """FIT decomposition for a device in a scenario."""
+    device = get_device(payload["device"])
+    scenario = _scenario(payload)
+    code = payload["code"] or None
+    report = FitCalculator().report(device, scenario, code)
+    return {
+        "device": device.name,
+        "code": payload["code"],
+        "scenario": scenario.label,
+        "sdc": _decomposition(report.sdc),
+        "due": _decomposition(report.due),
+        "total_fit": report.total_fit,
+        "mtbf_h": (
+            report.mtbf_hours() if report.total_fit > 0.0 else None
+        ),
+    }
+
+
+def _cross_section(payload: dict) -> dict:
+    """Per-beam cross sections and HE/thermal ratios."""
+    device = get_device(payload["device"])
+    code = payload["code"] or None
+    out: dict = {"device": device.name, "code": payload["code"]}
+    for outcome in (Outcome.SDC, Outcome.DUE):
+        sigma_he = device.sigma(BeamKind.HIGH_ENERGY, outcome, code)
+        sigma_th = device.sigma(BeamKind.THERMAL, outcome, code)
+        out[outcome.value.lower()] = {
+            "sigma_high_energy_cm2": sigma_he,
+            "sigma_thermal_cm2": sigma_th,
+            "ratio": (
+                sigma_he / sigma_th if sigma_th > 0.0 else None
+            ),
+        }
+    return out
+
+
+def _flux(payload: dict) -> dict:
+    """Environmental flux description of a scenario."""
+    scenario = _scenario(payload)
+    return {
+        "scenario": scenario.label,
+        "fast_flux_per_h": scenario.fast_flux_per_h(),
+        "thermal_flux_per_h": scenario.thermal_flux_per_h(),
+        "thermal_to_fast_ratio": scenario.thermal_to_fast_ratio(),
+    }
+
+
+def _transmission(payload: dict) -> dict:
+    """Monte Carlo shield transmission (the expensive kind)."""
+    material = SHIELDS[payload["shield"]][0]
+    result = shield_transmission(
+        material,
+        payload["thickness_cm"],
+        rotax_spectrum(),
+        n_neutrons=payload["n_neutrons"],
+        seed=payload["seed"],
+        engine=payload["engine"],
+    )
+    return {
+        "shield": payload["shield"],
+        "thickness_cm": payload["thickness_cm"],
+        "engine": payload["engine"],
+        "thermal_transmission": (
+            result.thermal_transmission_fraction()
+        ),
+        "transport": result.to_dict(),
+    }
+
+
+_KIND_HANDLERS = {
+    "fit": _fit,
+    "cross-section": _cross_section,
+    "flux": _flux,
+    "transmission": _transmission,
+}
+
+
+def _execute_query(payload: dict) -> dict:
+    """Compute one canonical query payload (pool-worker entry).
+
+    Module-level and dict-in/dict-out so the ``fork`` pool can pickle
+    both ends; the ``service.dispatch`` fault point sits before any
+    RNG work so a retried query replays identical draws.
+    """
+    fault_point("service.dispatch", kind=payload.get("kind", ""))
+    return _KIND_HANDLERS[payload["kind"]](payload)
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over the batch transport engine.
+
+    Deterministic on purpose — no clocks, no probabilities: the
+    breaker opens after ``failure_threshold`` consecutive dispatch
+    failures and closes again after ``recovery_successes``
+    consecutive successes, so chaos trials can assert its exact
+    state.
+
+    Args:
+        failure_threshold: consecutive failures that open it.
+        recovery_successes: consecutive successes that close it.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 2,
+        recovery_successes: int = 4,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                "failure_threshold must be >= 1,"
+                f" got {failure_threshold}"
+            )
+        if recovery_successes < 1:
+            raise ValueError(
+                "recovery_successes must be >= 1,"
+                f" got {recovery_successes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_successes = recovery_successes
+        self._consecutive_failures = 0
+        self._successes_while_open = 0
+        self._open = False
+
+    @property
+    def open(self) -> bool:
+        """True while batch-engine dispatch is disabled."""
+        return self._open
+
+    def record_failure(self) -> None:
+        """Count one dispatch failure; may open the breaker."""
+        self._consecutive_failures += 1
+        self._successes_while_open = 0
+        if self._consecutive_failures >= self.failure_threshold:
+            self._open = True
+        obs.set_gauge(
+            "repro_service_breaker_open", 1.0 if self._open else 0.0
+        )
+
+    def record_success(self) -> None:
+        """Count one clean dispatch; may close the breaker."""
+        self._consecutive_failures = 0
+        if self._open:
+            self._successes_while_open += 1
+            if self._successes_while_open >= self.recovery_successes:
+                self._open = False
+                self._successes_while_open = 0
+        obs.set_gauge(
+            "repro_service_breaker_open", 1.0 if self._open else 0.0
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """One executed query: its result plus degradation flags.
+
+    Attributes:
+        result: the computed result dict.
+        degraded: True when the service had to fall back (worker
+            death recompute, breaker-forced scalar engine).
+        reason: machine-readable degradation cause (``""`` = clean;
+            ``worker-retry`` / ``breaker-open``).
+    """
+
+    result: dict
+    degraded: bool = False
+    reason: str = ""
+
+
+class QueryExecutor:
+    """Executes queries with retry, pooling, and degradation.
+
+    Args:
+        n_workers: transmission queries dispatch to a ``fork``
+            process pool of this size when > 1 (other kinds are
+            cheap and always run in-process).
+        retry: transient-fault backoff policy around every dispatch.
+        sleep: injectable backoff sleeper.
+        breaker: injectable circuit breaker (tests/chaos assert its
+            transitions).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        self.n_workers = n_workers
+        self.breaker = (
+            breaker if breaker is not None else CircuitBreaker()
+        )
+        self.events = EventLog()
+        self._supervisor = Supervisor(
+            retry=retry,
+            events=self.events,
+            sleep=time.sleep if sleep is None else sleep,
+        )
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Queries actually computed (the coalescing tests' witness).
+        self.compute_count = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def warm(self) -> None:
+        """Pre-spawn the worker pool from the current thread.
+
+        Forking from the main thread before the server's event loop
+        and executor threads exist avoids fork-while-threaded
+        hazards; a no-op for in-process executors.
+        """
+        if self.n_workers > 1:
+            self._ensure_pool()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            # Spawn the workers eagerly so they inherit current
+            # process state (the chaos controller, for one).
+            self._pool.submit(_noop).result()
+        return self._pool
+
+    # -- execution -----------------------------------------------------
+
+    def execute(self, query: Query) -> ExecutionOutcome:
+        """Compute one query; degrade rather than fail or hang."""
+        payload = query.to_dict()
+        degraded = False
+        reason = ""
+        if (
+            query.kind == "transmission"
+            and query.engine == "batch"
+            and self.breaker.open
+        ):
+            payload["engine"] = "scalar"
+            degraded = True
+            reason = "breaker-open"
+        result, worker_died = self._supervisor.call(
+            query.kind, lambda: self._dispatch(payload)
+        )
+        self.compute_count += 1
+        if worker_died:
+            degraded = True
+            reason = reason or "worker-retry"
+            self.breaker.record_failure()
+        elif query.kind == "transmission":
+            if result.get("transport", {}).get("degraded_shards", 0):
+                self.breaker.record_failure()
+            else:
+                self.breaker.record_success()
+        if degraded:
+            obs.inc("repro_service_degraded_total")
+        return ExecutionOutcome(
+            result=result, degraded=degraded, reason=reason
+        )
+
+    def _dispatch(self, payload: dict) -> Tuple[dict, bool]:
+        """Run one payload; survive pool-worker death.
+
+        Returns:
+            ``(result, worker_died)`` — when the pool broke (a
+            worker was SIGKILL'd mid-query) the result comes from an
+            in-process recompute and ``worker_died`` is True.
+        """
+        if self.n_workers <= 1 or payload["kind"] != "transmission":
+            return _execute_query(payload), False
+        try:
+            pool = self._ensure_pool()
+            return pool.submit(_execute_query, payload).result(), False
+        except BrokenProcessPool:
+            self.close()
+            return _execute_query(payload), True
+
+
+def _noop() -> None:
+    """Pool warm-up task (forces eager worker spawn)."""

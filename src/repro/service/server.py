@@ -1,0 +1,289 @@
+"""The FIT query service: NDJSON protocol handler and HTTP metrics.
+
+:class:`FitService` wires the layers together: parse → admit →
+cache → coalesce → execute → cache-fill → respond.  Its contract is
+that **every line in produces exactly one line out** — a success
+envelope or a structured error with a code from
+:data:`~repro.service.protocol.ERROR_CODES` — and no client input or
+backend failure escapes as an unhandled exception.
+
+The same listening socket also answers plain ``GET /metrics`` (and
+``/healthz``) HTTP requests: a connection whose first bytes look
+like an HTTP request line is served a Prometheus scrape instead of
+the NDJSON loop, so one port carries both queries and telemetry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Dict, Optional
+
+from repro.chaos.faultpoints import fault_point
+from repro.obs import core as obs
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache
+from repro.service.coalesce import Coalescer
+from repro.service.compute import QueryExecutor
+from repro.service.protocol import (
+    ServiceError,
+    encode_response,
+    error_body,
+    ok_body,
+    parse_request,
+)
+
+__all__ = ["FitService"]
+
+
+class FitService:
+    """One FIT query service instance (transport-agnostic core).
+
+    Args:
+        executor: query execution layer (defaults to in-process).
+        cache: durable result cache (``None`` disables caching).
+        admission: admission controller (defaults to permissive).
+        coalescer: request coalescer (defaults to a fresh one).
+        plans: named query presets clients may reference by
+            ``plan``; loaded from ``--plan-root`` by the CLI.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[QueryExecutor] = None,
+        cache: Optional[ResultCache] = None,
+        admission: Optional[AdmissionController] = None,
+        coalescer: Optional[Coalescer] = None,
+        plans: Optional[Dict[str, dict]] = None,
+    ) -> None:
+        self.executor = (
+            executor if executor is not None else QueryExecutor()
+        )
+        self.cache = cache
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController()
+        )
+        self.coalescer = (
+            coalescer if coalescer is not None else Coalescer()
+        )
+        self.plans = dict(plans or {})
+        self._closing = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    def begin_shutdown(self) -> None:
+        """Refuse new queries; in-flight ones run to completion."""
+        if not self._closing:
+            self._closing = True
+            obs.event("service.shutdown")
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+        self.executor.close()
+
+    # -- request path --------------------------------------------------
+
+    async def handle_line(self, line: str) -> str:
+        """Answer one NDJSON request line with one response line."""
+        try:
+            request = parse_request(line, self.plans)
+        except ServiceError as exc:
+            return self._error_line(exc.request_id, exc)
+        if self._closing:
+            return self._error_line(
+                request.request_id,
+                ServiceError(
+                    "shutting-down",
+                    "service is shutting down; retry elsewhere",
+                ),
+            )
+        timeout_s = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else 0.0
+        )
+        with obs.span("service.request", kind=request.query.kind):
+            obs.inc("repro_service_requests_total")
+            started_s = time.monotonic()
+            try:
+                self.admission.admit(
+                    request.tenant,
+                    request.query.kind,
+                    timeout_s,
+                )
+            except ServiceError as exc:
+                return self._error_line(request.request_id, exc)
+            try:
+                envelope = await self._answer(request, timeout_s)
+            except asyncio.TimeoutError:
+                return self._error_line(
+                    request.request_id,
+                    ServiceError(
+                        "deadline",
+                        f"query missed its {timeout_s:.3f} s"
+                        " deadline",
+                    ),
+                )
+            except ServiceError as exc:
+                return self._error_line(request.request_id, exc)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 — wire boundary
+                return self._error_line(
+                    request.request_id,
+                    ServiceError(
+                        "internal",
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+            finally:
+                self.admission.release()
+                self.admission.observe_latency(
+                    request.query.kind,
+                    time.monotonic() - started_s,
+                )
+        return self._ok_line(request.request_id, envelope)
+
+    async def _answer(self, request, timeout_s: float) -> dict:
+        """Produce the success envelope for an admitted request."""
+        query = request.query
+        key = query.cache_key()
+
+        def job() -> dict:
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    obs.inc("repro_service_cache_hits_total")
+                    return {
+                        "result": cached,
+                        "cached": True,
+                        "degraded": False,
+                        "degraded_reason": "",
+                    }
+                obs.inc("repro_service_cache_misses_total")
+            outcome = self.executor.execute(query)
+            # Degraded answers (scalar fallback, worker recompute)
+            # are correct but second-choice; caching them would pin
+            # the degradation past recovery.
+            if self.cache is not None and not outcome.degraded:
+                self.cache.put(key, query, outcome.result)
+            return {
+                "result": outcome.result,
+                "cached": False,
+                "degraded": outcome.degraded,
+                "degraded_reason": outcome.reason,
+            }
+
+        if timeout_s > 0.0:
+            return await asyncio.wait_for(
+                self.coalescer.get_or_compute(key, job),
+                timeout=timeout_s,
+            )
+        return await self.coalescer.get_or_compute(key, job)
+
+    # -- response encoding ---------------------------------------------
+
+    def _ok_line(self, request_id: str, envelope: dict) -> str:
+        """Encode a success envelope; degrade to an error line."""
+        body = ok_body(request_id, envelope)
+        try:
+            # Last instant before bytes hit the wire: a fault here
+            # must become a structured error, not a dropped line.
+            fault_point(
+                "service.respond", request_id=request_id
+            )
+            return encode_response(body)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # noqa: BLE001 — wire boundary
+            return self._error_line(
+                request_id,
+                ServiceError(
+                    "internal",
+                    f"response serialization failed:"
+                    f" {type(exc).__name__}: {exc}",
+                ),
+            )
+
+    def _error_line(
+        self, request_id: str, error: ServiceError
+    ) -> str:
+        """Encode a structured error line (fault-free path)."""
+        obs.inc("repro_service_errors_total", code=error.code)
+        return encode_response(error_body(request_id, error))
+
+    # -- connection handling -------------------------------------------
+
+    async def handle_connection(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        """Serve one client connection (NDJSON or HTTP scrape)."""
+        try:
+            first = await reader.readline()
+            if first.startswith(b"GET "):
+                await self._serve_http(first, reader, writer)
+                return
+            while first:
+                line = first.decode("utf-8", errors="replace")
+                if line.strip():
+                    response = await self.handle_line(line)
+                    writer.write(response.encode("utf-8") + b"\n")
+                    await writer.drain()
+                first = await reader.readline()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _serve_http(
+        self,
+        request_line: bytes,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+    ) -> None:
+        """Answer one HTTP/1.0-style GET on the shared port."""
+        while True:
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+        parts = request_line.decode("ascii", errors="replace").split()
+        target = parts[1] if len(parts) > 1 else "/"
+        if target == "/metrics":
+            observer = obs.active()
+            registry = (
+                observer.registry if observer is not None else None
+            )
+            text = (
+                registry.to_prometheus()
+                if registry is not None
+                else ""
+            )
+            status = "200 OK"
+            content_type = "text/plain; version=0.0.4"
+        elif target == "/healthz":
+            text = json.dumps(
+                {"status": "shutting-down" if self._closing else "ok"}
+            )
+            status = "200 OK"
+            content_type = "application/json"
+        else:
+            text = f"no route for {target}\n"
+            status = "404 Not Found"
+            content_type = "text/plain"
+        body = text.encode("utf-8")
+        writer.write(
+            (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("ascii")
+            + body
+        )
+        await writer.drain()

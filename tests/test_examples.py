@@ -32,6 +32,7 @@ def _load(name: str):
         ("ddr_memory_test", "SECDED"),
         ("avionics", "transatlantic"),
         ("fleet_year", "rainy days"),
+        ("service_smoke", "clean shutdown"),
     ],
 )
 def test_example_runs(capsys, name, expected):
@@ -49,7 +50,7 @@ def test_all_examples_covered():
     tested = {
         "quickstart", "datacenter_fit", "autonomous_vehicle",
         "beam_campaign", "ddr_memory_test", "avionics",
-        "fleet_year",
+        "fleet_year", "service_smoke",
     }
     assert scripts == tested, (
         "new example scripts must be added to test_example_runs"

@@ -1,0 +1,467 @@
+"""FIT service: protocol, cache, coalescing, admission, execution."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.obs import core as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.budget import Budget, RetryPolicy
+from repro.service import (
+    AdmissionController,
+    CircuitBreaker,
+    Coalescer,
+    FitService,
+    Query,
+    QueryExecutor,
+    ResultCache,
+    ServiceError,
+)
+from repro.service.cache import QUARANTINE_SUFFIX
+from repro.service.cli import load_plans
+from repro.service.protocol import MAX_N_NEUTRONS, parse_request
+
+
+def _no_sleep(_delay_s: float) -> None:
+    """Backoff sleeper for tests (never waits)."""
+
+
+def _service(cache_dir=None, n_workers=1) -> FitService:
+    cache = (
+        ResultCache(cache_dir, sleep=_no_sleep)
+        if cache_dir is not None
+        else None
+    )
+    return FitService(
+        executor=QueryExecutor(n_workers=n_workers, sleep=_no_sleep),
+        cache=cache,
+        admission=AdmissionController(max_inflight=256),
+    )
+
+
+def _line(request_id="q1", kind="flux", params=None, **extra) -> str:
+    body = {
+        "id": request_id,
+        "kind": kind,
+        "params": params if params is not None else {"site": "nyc"},
+    }
+    body.update(extra)
+    return json.dumps(body)
+
+
+def _answer(service: FitService, line: str) -> dict:
+    return json.loads(asyncio.run(service.handle_line(line)))
+
+
+# -- protocol ----------------------------------------------------------
+
+
+def test_parse_request_roundtrip():
+    request = parse_request(
+        _line(params={"site": "leadville", "room": True}), {}
+    )
+    assert request.request_id == "q1"
+    assert request.tenant == "default"
+    assert request.query.kind == "flux"
+    assert request.query.site == "leadville"
+    assert request.query.room is True
+
+
+@pytest.mark.parametrize(
+    "line,code",
+    [
+        ("not json", "bad-request"),
+        ("[]", "bad-request"),
+        (json.dumps({"kind": "flux"}), "bad-request"),
+        (_line(kind="nope"), "bad-request"),
+        (_line(params={"site": "atlantis"}), "bad-request"),
+        (_line(params={"bogus_param": 1}), "bad-request"),
+        (_line(params={"room": "yes"}), "bad-request"),
+        (_line(timeout_ms=-1), "bad-request"),
+        (_line(timeout_ms=True), "bad-request"),
+        (
+            _line(kind="fit", params={"device": "K20", "code": "XXX"}),
+            "bad-request",
+        ),
+        (
+            _line(
+                kind="transmission",
+                params={
+                    "n_neutrons": MAX_N_NEUTRONS + 1,
+                    "shield": "water",
+                },
+            ),
+            "bad-request",
+        ),
+        (_line(plan="ghost", params={}), "unknown-plan"),
+    ],
+)
+def test_parse_request_rejects(line, code):
+    with pytest.raises(ServiceError) as excinfo:
+        parse_request(line, {})
+    assert excinfo.value.code == code
+
+
+def test_load_plans_reads_json_and_skips_unparsable(tmp_path, capsys):
+    (tmp_path / "night.json").write_text(
+        '{"kind": "flux", "params": {"site": "lanl"}}'
+    )
+    (tmp_path / "broken.json").write_text("{nope")
+    plans = load_plans(tmp_path)
+    assert list(plans) == ["night"]
+    assert plans["night"]["params"]["site"] == "lanl"
+    assert "broken.json" in capsys.readouterr().out
+
+
+def test_plan_presets_merge_with_request_params():
+    plans = {
+        "night": {
+            "kind": "flux",
+            "params": {"site": "lanl", "rain": True},
+        }
+    }
+    request = parse_request(
+        _line(plan="night", params={"rain": False}), plans
+    )
+    assert request.query.site == "lanl"
+    assert request.query.rain is False
+
+
+def test_cache_key_depends_on_seed_but_not_field_order():
+    base = Query.from_params(
+        "transmission", {"shield": "water", "n_neutrons": 64}
+    )
+    reordered = Query.from_params(
+        "transmission", {"n_neutrons": 64, "shield": "water"}
+    )
+    reseeded = Query.from_params(
+        "transmission",
+        {"shield": "water", "n_neutrons": 64, "seed": 1},
+    )
+    assert base.cache_key() == reordered.cache_key()
+    assert base.cache_key() != reseeded.cache_key()
+    assert base.digest() == reseeded.digest()
+
+
+def test_invalid_error_code_is_rejected():
+    with pytest.raises(ValueError):
+        ServiceError("not-a-code", "nope")
+
+
+# -- durable cache -----------------------------------------------------
+
+
+def _cached_entry(tmp_path):
+    """A service with one durably cached flux result."""
+    service = _service(cache_dir=tmp_path / "cache")
+    first = _answer(service, _line())
+    assert first["ok"] and not first["cached"]
+    key = Query.from_params("flux", {"site": "nyc"}).cache_key()
+    path = service.cache.entry_path(key)
+    assert path.exists()
+    return service, key, path
+
+
+def test_cache_hit_serves_identical_payload(tmp_path):
+    service, _key, _path = _cached_entry(tmp_path)
+    hit = _answer(service, _line())
+    assert hit["cached"] is True
+    miss_again = _answer(service, _line(params={"site": "isis"}))
+    assert miss_again["cached"] is False
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    ["truncate", "bitflip", "wrong-checksum", "wrong-key"],
+)
+def test_corrupt_cache_entries_quarantined_and_recomputed(
+    tmp_path, corrupt
+):
+    service, key, path = _cached_entry(tmp_path)
+    clean = _answer(service, _line())
+    raw = path.read_text()
+    if corrupt == "truncate":
+        path.write_text(raw[: len(raw) // 2])
+    elif corrupt == "bitflip":
+        flipped = raw.replace('"', "'", 1)
+        path.write_text(flipped)
+    elif corrupt == "wrong-checksum":
+        data = json.loads(raw)
+        data["result"]["fast_flux_per_h"] = 1.0e9
+        path.write_text(json.dumps(data, indent=2, sort_keys=True))
+    else:  # wrong-key
+        data = json.loads(raw)
+        data["key"] = "0" * 64
+        from repro.runtime.checkpoint import payload_checksum
+
+        del data["checksum"]
+        data["checksum"] = payload_checksum(data)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+    registry = MetricsRegistry()
+    with obs.observing(obs.Observer(registry=registry)):
+        assert service.cache.get(key) is None
+        recomputed = _answer(service, _line())
+    quarantined = path.with_name(path.name + QUARANTINE_SUFFIX)
+    assert quarantined.exists()
+    assert (
+        registry.counter("repro_service_cache_quarantined_total") == 1
+    )
+    # The recomputed answer matches the pre-corruption one and was
+    # re-cached durably.
+    assert recomputed["ok"]
+    assert recomputed["cached"] is False
+    assert recomputed["result"] == clean["result"]
+    assert service.cache.get(key) == clean["result"]
+
+
+def test_stale_tmp_swept_on_init(tmp_path):
+    root = tmp_path / "cache"
+    (root / "ab").mkdir(parents=True)
+    stale = root / "ab" / "abc.json.tmp"
+    stale.write_text("half a wri")
+    ResultCache(root, sleep=_no_sleep)
+    assert not stale.exists()
+
+
+def test_cache_write_failure_is_abandoned_not_raised(tmp_path):
+    cache = ResultCache(
+        tmp_path / "cache",
+        retry=RetryPolicy(max_attempts=2),
+        sleep=_no_sleep,
+    )
+    query = Query.from_params("flux", {"site": "nyc"})
+    cache.entry_path = lambda key: tmp_path / "\0bad" / "x.json"
+    registry = MetricsRegistry()
+    with obs.observing(obs.Observer(registry=registry)):
+        stored = cache.put("deadbeef", query, {"v": 1})
+    assert stored is False
+    assert (
+        registry.counter("repro_service_cache_write_failures_total")
+        == 1
+    )
+
+
+# -- coalescing --------------------------------------------------------
+
+
+def test_storm_of_identical_queries_computes_once():
+    service = _service()
+    line = _line(
+        kind="transmission",
+        params={"shield": "water", "n_neutrons": 512},
+    )
+
+    async def storm():
+        return await asyncio.gather(
+            *[service.handle_line(line) for _ in range(100)]
+        )
+
+    registry = MetricsRegistry()
+    with obs.observing(obs.Observer(registry=registry)):
+        responses = asyncio.run(storm())
+    assert len(set(responses)) == 1
+    assert json.loads(responses[0])["ok"]
+    assert service.executor.compute_count == 1
+    assert registry.counter("repro_service_coalesced_total") == 99
+
+
+def test_distinct_queries_are_not_coalesced():
+    service = _service()
+
+    async def two():
+        return await asyncio.gather(
+            service.handle_line(_line(params={"site": "nyc"})),
+            service.handle_line(_line(params={"site": "isis"})),
+        )
+
+    first, second = (json.loads(r) for r in asyncio.run(two()))
+    assert first["result"] != second["result"]
+    assert service.executor.compute_count == 2
+
+
+def test_coalescer_survives_initiator_cancellation():
+    release = threading.Event()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        assert release.wait(5.0)
+        return {"v": 42}
+
+    async def main():
+        coalescer = Coalescer()
+        initiator = asyncio.create_task(
+            coalescer.get_or_compute("k", compute)
+        )
+        while not calls:
+            await asyncio.sleep(0.01)
+        follower = asyncio.create_task(
+            coalescer.get_or_compute("k", compute)
+        )
+        await asyncio.sleep(0.01)
+        initiator.cancel()
+        release.set()
+        result = await follower
+        with pytest.raises(asyncio.CancelledError):
+            await initiator
+        await coalescer.drain()
+        return result
+
+    assert asyncio.run(main()) == {"v": 42}
+    assert len(calls) == 1
+
+
+def test_coalesced_error_is_shared_cleanly():
+    calls = []
+
+    def compute():
+        calls.append(1)
+        raise RuntimeError("backend down")
+
+    async def main():
+        coalescer = Coalescer()
+        waiters = [
+            asyncio.create_task(
+                coalescer.get_or_compute("k", compute)
+            )
+            for _ in range(5)
+        ]
+        results = await asyncio.gather(
+            *waiters, return_exceptions=True
+        )
+        await coalescer.drain()
+        return results
+
+    results = asyncio.run(main())
+    assert len(results) == 5
+    assert all(
+        isinstance(r, RuntimeError) and str(r) == "backend down"
+        for r in results
+    )
+    assert len(calls) == 1
+
+
+# -- admission control -------------------------------------------------
+
+
+def test_admission_sheds_past_max_inflight():
+    admission = AdmissionController(max_inflight=2)
+    admission.admit("a", "flux", 0.0)
+    admission.admit("a", "flux", 0.0)
+    with pytest.raises(ServiceError) as excinfo:
+        admission.admit("a", "flux", 0.0)
+    assert excinfo.value.code == "overloaded"
+    admission.release()
+    admission.admit("a", "flux", 0.0)
+
+
+def test_admission_enforces_tenant_budgets():
+    admission = AdmissionController(
+        default_budget=Budget(max_events=2)
+    )
+    admission.admit("ci", "flux", 0.0)
+    admission.admit("ci", "flux", 0.0)
+    with pytest.raises(ServiceError) as excinfo:
+        admission.admit("ci", "flux", 0.0)
+    assert excinfo.value.code == "budget-exhausted"
+    # Budgets are per tenant: another tenant is unaffected.
+    admission.admit("other", "flux", 0.0)
+
+
+def test_admission_rejects_unmeetable_deadlines():
+    admission = AdmissionController()
+    admission.observe_latency("transmission", 2.0)
+    with pytest.raises(ServiceError) as excinfo:
+        admission.admit("a", "transmission", 0.5)
+    assert excinfo.value.code == "deadline"
+    # A generous deadline is admitted.
+    admission.admit("a", "transmission", 10.0)
+
+
+def test_service_maps_admission_errors_to_responses():
+    service = FitService(
+        executor=QueryExecutor(sleep=_no_sleep),
+        admission=AdmissionController(
+            max_inflight=256, default_budget=Budget(max_events=1)
+        ),
+    )
+    first = _answer(service, _line())
+    assert first["ok"]
+    second = _answer(service, _line(request_id="q2"))
+    assert second["ok"] is False
+    assert second["error"]["code"] == "budget-exhausted"
+    assert second["id"] == "q2"
+
+
+# -- execution and degradation ----------------------------------------
+
+
+def test_breaker_opens_and_degrades_batch_to_scalar():
+    breaker = CircuitBreaker(failure_threshold=2)
+    assert not breaker.open
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.open
+    executor = QueryExecutor(sleep=_no_sleep, breaker=breaker)
+    query = Query.from_params(
+        "transmission",
+        {"shield": "water", "n_neutrons": 256, "engine": "batch"},
+    )
+    outcome = executor.execute(query)
+    assert outcome.degraded
+    assert outcome.reason == "breaker-open"
+    assert outcome.result["engine"] == "scalar"
+
+
+def test_breaker_closes_after_recovery_successes():
+    breaker = CircuitBreaker(
+        failure_threshold=1, recovery_successes=2
+    )
+    breaker.record_failure()
+    assert breaker.open
+    breaker.record_success()
+    assert breaker.open
+    breaker.record_success()
+    assert not breaker.open
+
+
+def test_degraded_results_are_not_cached(tmp_path):
+    breaker = CircuitBreaker(failure_threshold=1)
+    breaker.record_failure()
+    service = FitService(
+        executor=QueryExecutor(sleep=_no_sleep, breaker=breaker),
+        cache=ResultCache(tmp_path / "cache", sleep=_no_sleep),
+        admission=AdmissionController(max_inflight=256),
+    )
+    line = _line(
+        kind="transmission",
+        params={"shield": "water", "n_neutrons": 256},
+    )
+    degraded = _answer(service, line)
+    assert degraded["degraded"] is True
+    key = Query.from_params(
+        "transmission", {"shield": "water", "n_neutrons": 256}
+    ).cache_key()
+    assert service.cache.get(key) is None
+
+
+def test_shutting_down_code_after_begin_shutdown():
+    service = _service()
+    service.begin_shutdown()
+    response = _answer(service, _line())
+    assert response["ok"] is False
+    assert response["error"]["code"] == "shutting-down"
+
+
+def test_unknown_internal_failures_become_structured_errors():
+    service = _service()
+    service.executor.execute = lambda query: 1 / 0
+    response = _answer(service, _line())
+    assert response["ok"] is False
+    assert response["error"]["code"] == "internal"
+    assert "ZeroDivisionError" in response["error"]["message"]

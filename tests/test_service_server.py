@@ -1,0 +1,177 @@
+"""FIT service over real sockets: client, metrics, shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs import core as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.budget import RetryPolicy
+from repro.service import (
+    AdmissionController,
+    FitService,
+    QueryExecutor,
+    ServiceClient,
+    ServiceError,
+)
+
+
+def _no_sleep(_delay_s: float) -> None:
+    """Backoff sleeper for tests (never waits)."""
+
+
+class _LiveServer:
+    """A FitService bound to an ephemeral port on a daemon thread."""
+
+    def __init__(self, service: FitService) -> None:
+        self.service = service
+        self.loop = asyncio.new_event_loop()
+        self.port = 0
+        self._server = None
+        started = threading.Event()
+
+        async def boot():
+            self._server = await asyncio.start_server(
+                service.handle_connection, "127.0.0.1", 0
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            started.set()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(boot())
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(10.0)
+
+    def stop(self) -> None:
+        def shutdown():
+            self._server.close()
+            # Cancel lingering connection handlers so their writers
+            # close while the loop is still alive.
+            for task in asyncio.all_tasks(self.loop):
+                task.cancel()
+            self.loop.call_soon(self.loop.stop)
+
+        self.loop.call_soon_threadsafe(shutdown)
+        self.thread.join(timeout=10.0)
+        self.service.close()
+
+
+@pytest.fixture
+def live():
+    service = FitService(
+        executor=QueryExecutor(sleep=_no_sleep),
+        admission=AdmissionController(max_inflight=256),
+        plans={
+            "leadroom": {
+                "kind": "flux",
+                "params": {"site": "leadville", "room": True},
+            }
+        },
+    )
+    registry = MetricsRegistry()
+    with obs.observing(obs.Observer(registry=registry)):
+        server = _LiveServer(service)
+        try:
+            yield server, registry
+        finally:
+            server.stop()
+
+
+def test_client_query_roundtrip(live):
+    server, _registry = live
+    client = ServiceClient("127.0.0.1", server.port, timeout_s=30.0)
+    try:
+        response = client.query(
+            "fit", {"device": "K20", "site": "nyc", "room": True}
+        )
+        assert response["ok"]
+        assert response["result"]["total_fit"] > 0
+        # Ids increment per request on one connection.
+        again = client.query("flux", {"site": "isis"})
+        assert again["id"] != response["id"]
+    finally:
+        client.close()
+
+
+def test_client_surfaces_structured_errors(live):
+    server, _registry = live
+    client = ServiceClient("127.0.0.1", server.port, timeout_s=30.0)
+    try:
+        with pytest.raises(ServiceError) as excinfo:
+            client.query("fit", {"device": "not-a-device"})
+        assert excinfo.value.code == "bad-request"
+        # The connection stays usable after a structured error.
+        assert client.query("flux", {})["ok"]
+    finally:
+        client.close()
+
+
+def test_client_uses_named_plans(live):
+    server, _registry = live
+    client = ServiceClient("127.0.0.1", server.port, timeout_s=30.0)
+    try:
+        response = client.query("", plan="leadroom")
+        assert response["ok"]
+        assert "Leadville" in response["result"]["scenario"]
+    finally:
+        client.close()
+
+
+def test_client_retries_transport_failures():
+    # No server on this port: every connect fails, the policy's
+    # attempts are consumed, and the last failure propagates.
+    sleeps = []
+    client = ServiceClient(
+        "127.0.0.1",
+        1,
+        timeout_s=0.2,
+        retry=RetryPolicy(max_attempts=3),
+        sleep=sleeps.append,
+    )
+    with pytest.raises(OSError):
+        client.request({"id": "x", "kind": "flux", "params": {}})
+    assert len(sleeps) == 2
+
+
+def test_metrics_endpoint_scrapes_prometheus_text(live):
+    server, _registry = live
+    client = ServiceClient("127.0.0.1", server.port, timeout_s=30.0)
+    try:
+        client.query("flux", {})
+        text = client.metrics()
+    finally:
+        client.close()
+    assert "# TYPE repro_service_requests_total counter" in text
+    assert "repro_service_requests_total 1" in text
+    assert 'span="service.request"' in text
+
+
+def test_http_unknown_route_is_404():
+    import socket
+
+    service = FitService(
+        executor=QueryExecutor(sleep=_no_sleep),
+        admission=AdmissionController(max_inflight=256),
+    )
+    server = _LiveServer(service)
+    try:
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=10.0
+        ) as sock:
+            sock.sendall(b"GET /nope HTTP/1.0\r\n\r\n")
+            raw = b""
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+        assert raw.startswith(b"HTTP/1.0 404")
+    finally:
+        server.stop()
