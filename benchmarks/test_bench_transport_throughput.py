@@ -1,14 +1,18 @@
-"""Throughput benchmark: scalar vs batch transport engines.
+"""Throughput benchmark: scalar vs batch vs deterministic engines.
 
-Times both engines on the same slab/source configuration and writes
+Times the engines on the same slab/source configurations and writes
 ``BENCH_transport.json`` at the repo root (histories/sec and speedup),
 so the performance trajectory is tracked across PRs.  The committed
-JSON is the "benchmark result" the batch-engine acceptance criterion
-points at: >= 10x scalar throughput at 1e5 histories.
+JSON is the "benchmark result" two acceptance criteria point at:
 
-``REPRO_SMOKE=1`` shrinks the history count for CI smoke lanes; the
-smoke assertion only demands that the batch engine is not *slower*
-than the scalar loop, while the full run enforces the 10x bar.
+* single point — batch >= 10x scalar throughput at 1e5 histories;
+* thickness sweep — the deterministic multigroup engine >= 10x the
+  batch engine's wall clock over the committed water sweep (one
+  noise-free solve per point vs 1e5 histories per point).
+
+``REPRO_SMOKE=1`` shrinks the history counts for CI smoke lanes; the
+smoke assertions only demand that the faster engine is not *slower*
+than its baseline, while the full run enforces the 10x bars.
 """
 
 from __future__ import annotations
@@ -29,6 +33,10 @@ _RESULT_PATH = _REPO_ROOT / "BENCH_transport.json"
 
 _SOURCE_ENERGY_EV = 1.0e6
 _THICKNESS_CM = 5.0
+
+#: The committed sweep scenario for the deterministic lane: water
+#: shield thicknesses, one transmission answer per point.
+_SWEEP_THICKNESSES_CM = (1.0, 2.0, 3.0, 4.0, 5.0)
 
 
 def _time_engine(engine: str, n_histories: int) -> dict:
@@ -51,12 +59,51 @@ def _time_engine(engine: str, n_histories: int) -> dict:
     }
 
 
+def _time_sweep(engine: str, n_histories: int) -> dict:
+    """One engine over the committed thickness sweep.
+
+    Each point builds a fresh ``SlabTransport`` — exactly what a
+    shielding scan does — so the deterministic lane pays its full
+    per-geometry setup (mesh + response matrices) every point and
+    only the module-level condensation cache carries over.
+    """
+    start = time.perf_counter()
+    for thickness_cm in _SWEEP_THICKNESSES_CM:
+        transport = SlabTransport(
+            SlabGeometry([Layer(WATER, thickness_cm)]),
+            rng=np.random.default_rng(2020),
+        )
+        result = transport.run(
+            n_histories,
+            source_energy_ev=_SOURCE_ENERGY_EV,
+            engine=engine,
+        )
+        assert result.balance_check()
+    elapsed = time.perf_counter() - start
+    return {
+        "engine": engine,
+        "n_histories_per_point": n_histories,
+        "seconds": round(elapsed, 4),
+        "seconds_per_point": round(
+            elapsed / len(_SWEEP_THICKNESSES_CM), 4
+        ),
+    }
+
+
 def _run_benchmark(smoke: bool) -> dict:
     n_histories = 5_000 if smoke else 100_000
     scalar = _time_engine("scalar", n_histories)
     batch = _time_engine("batch", n_histories)
     speedup = (
         batch["histories_per_s"] / scalar["histories_per_s"]
+    )
+    # Deterministic sweep lane: n_neutrons is 1 because the answer
+    # is a noise-free fraction — the comparison is per sweep point.
+    sweep_histories = 10_000 if smoke else 100_000
+    batch_sweep = _time_sweep("batch", sweep_histories)
+    deterministic_sweep = _time_sweep("deterministic", 1)
+    sweep_speedup = (
+        batch_sweep["seconds"] / deterministic_sweep["seconds"]
     )
     return {
         "benchmark": "slab transport throughput",
@@ -67,6 +114,12 @@ def _run_benchmark(smoke: bool) -> dict:
         "scalar": scalar,
         "batch": batch,
         "speedup": round(speedup, 2),
+        "sweep": {
+            "thicknesses_cm": list(_SWEEP_THICKNESSES_CM),
+            "batch": batch_sweep,
+            "deterministic": deterministic_sweep,
+            "speedup": round(sweep_speedup, 2),
+        },
     }
 
 
@@ -83,6 +136,18 @@ def test_bench_transport_throughput(benchmark, announce):
         for entry in (payload["scalar"], payload["batch"])
     ]
     rows.append(["speedup", "", f"{payload['speedup']:.1f}x"])
+    sweep = payload["sweep"]
+    for entry in (sweep["batch"], sweep["deterministic"]):
+        rows.append(
+            [
+                f"sweep:{entry['engine']}",
+                f"{entry['seconds']:.3f}",
+                f"{entry['seconds_per_point']:.4f} s/pt",
+            ]
+        )
+    rows.append(
+        ["sweep speedup", "", f"{sweep['speedup']:.1f}x"]
+    )
     announce(
         format_table(
             ["engine", "seconds", "histories/s"],
@@ -96,14 +161,22 @@ def test_bench_transport_throughput(benchmark, announce):
 
     # Smoke lanes only guard the sign of the win (tiny runs are
     # dominated by fixed overheads); the full benchmark enforces the
-    # acceptance bar.
+    # acceptance bars.
     if smoke:
         assert payload["speedup"] >= 1.0, (
             f"batch slower than scalar: {payload['speedup']:.2f}x"
         )
+        assert sweep["speedup"] >= 1.0, (
+            "deterministic sweep slower than batch:"
+            f" {sweep['speedup']:.2f}x"
+        )
     else:
         assert payload["speedup"] >= 10.0, (
             f"batch speedup below 10x: {payload['speedup']:.2f}x"
+        )
+        assert sweep["speedup"] >= 10.0, (
+            "deterministic sweep speedup below 10x:"
+            f" {sweep['speedup']:.2f}x"
         )
         _RESULT_PATH.write_text(
             json.dumps(payload, indent=2) + "\n"

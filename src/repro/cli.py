@@ -216,7 +216,9 @@ def cmd_water(args: argparse.Namespace) -> int:
 
 def cmd_shield(args: argparse.Namespace) -> int:
     """Shielding trade-off analysis."""
-    evaluator = ShieldingEvaluator(n_neutrons=args.histories)
+    evaluator = ShieldingEvaluator(
+        n_neutrons=args.histories, engine=args.engine
+    )
     device = get_device(args.device[0] if args.device else "K20")
     scenario = _scenario(args)
     rows = []
@@ -556,6 +558,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("shield", help="shielding trade-off analysis")
     p.add_argument("--device", action="append", default=[])
     p.add_argument("--histories", type=int, default=2000)
+    p.add_argument(
+        "--engine",
+        choices=["batch", "scalar", "deterministic"],
+        default="batch",
+        help="transport engine (deterministic = noise-free"
+        " multigroup solve, --histories inert)",
+    )
     _add_site_args(p)
     p.set_defaults(func=cmd_shield)
 

@@ -97,8 +97,10 @@ class ShieldingEvaluator:
         n_neutrons: MC histories per transmission estimate.
         seed: MC seed.
         calculator: FIT engine.
-        engine: transport engine, ``"batch"`` (default) or
-            ``"scalar"``.
+        engine: transport engine — ``"batch"`` (default),
+            ``"scalar"``, or ``"deterministic"`` (noise-free
+            multigroup solve; ``n_neutrons``/``seed`` are then
+            inert).
     """
 
     def __init__(

@@ -50,6 +50,12 @@ METRICS: Dict[str, str] = {
     "repro_transport_histories_total": "Monte Carlo histories run",
     "repro_shard_retries_total": "batch transport shard retries",
     "repro_histories_per_s": "transport throughput gauge",
+    "repro_deterministic_solves_total": (
+        "deterministic multigroup transport solves"
+    ),
+    "repro_deterministic_iterations_total": (
+        "deterministic solver source iterations swept"
+    ),
     "repro_memory_passes_total": "memory test passes completed",
     "repro_span_seconds": "wall-clock histogram over all spans",
     "repro_retries_exhausted_total": (
@@ -96,6 +102,9 @@ SPANS: Dict[str, str] = {
     "chaos.trial": "one chaos trial subprocess",
     "campaign.exposure": "one beam exposure",
     "transport.run": "one batch transport execution",
+    "transport.deterministic": (
+        "one deterministic multigroup solve"
+    ),
     "memory.run": "one memory test campaign",
     "service.request": "one FIT service query end to end",
 }

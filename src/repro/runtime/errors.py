@@ -53,6 +53,16 @@ class TransientHarnessError(ReproError, RuntimeError):
     """
 
 
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver exhausted its iteration budget.
+
+    Raised by the deterministic transport engine when a source
+    iteration cannot reach its tolerance within ``max_iterations``
+    sweeps.  Not retried: the same solve diverges the same way —
+    loosen the tolerance, raise the budget, or refine the setup.
+    """
+
+
 # ----------------------------------------------------------------------
 # Shared validators — one vocabulary of error messages everywhere.
 # ----------------------------------------------------------------------
@@ -140,6 +150,7 @@ __all__ = [
     "CheckpointError",
     "CheckpointMismatchError",
     "TransientHarnessError",
+    "ConvergenceError",
     "require_positive_duration_s",
     "require_position",
     "require_positive_int",

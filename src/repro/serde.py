@@ -55,6 +55,12 @@ SCHEMA_VERSIONS = {
     # First tagged release: durable on-disk result-cache entries
     # (carry their own SHA-256 payload checksum).
     "service-cache-entry": 1,
+    # First tagged release: the deterministic engine's noise-free
+    # counterpart to "transport" (fractions instead of counts).
+    "deterministic-transport": 1,
+    # First tagged release: group-collapsed cross-section tables
+    # (the golden-test payload for the condensation step).
+    "collapsed-material": 1,
 }
 
 

@@ -99,8 +99,10 @@ SHIELDS: Dict[str, Tuple[Material, float]] = {
 #: parameter that directly buys CPU time).
 MAX_N_NEUTRONS = 200_000
 
-#: Transport engines a transmission query may request.
-_ENGINES = ("batch", "scalar")
+#: Transport engines a transmission query may request.  The
+#: deterministic engine ignores ``n_neutrons``/``seed`` (its answer
+#: is a noise-free fraction) but both stay admission-controlled.
+_ENGINES = ("batch", "scalar", "deterministic")
 
 
 class ServiceError(ReproError):

@@ -32,6 +32,12 @@ from repro.transport.analytic import (
     diffusion_length_cm,
     uncollided_transmission,
 )
+from repro.transport.multigroup import (
+    DeterministicTransportEngine,
+    DeterministicTransportResult,
+    GroupStructure,
+    fine_structure,
+)
 from repro.transport.tallies import TransportResult, TransportTally
 
 __all__ = [
@@ -59,6 +65,10 @@ __all__ = [
     "diffusion_coefficient_cm",
     "diffusion_length_cm",
     "uncollided_transmission",
+    "DeterministicTransportEngine",
+    "DeterministicTransportResult",
+    "GroupStructure",
+    "fine_structure",
     "TransportResult",
     "TransportTally",
 ]

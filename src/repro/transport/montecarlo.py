@@ -21,7 +21,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.transport.multigroup.solver import (
+        DeterministicTransportResult,
+    )
 
 import numpy as np
 
@@ -118,10 +123,20 @@ class Engine(enum.Enum):
     site keeps working) but rejects anything else with a
     :class:`~repro.runtime.errors.ConfigurationError` naming the
     allowed set, instead of failing deep inside a run.
+
+    Members:
+        BATCH: vectorized Monte Carlo (the default) — statistical
+            answers with binomial error bars.
+        SCALAR: the original per-history Monte Carlo loop, kept as
+            the statistical oracle.
+        DETERMINISTIC: the multigroup discrete-ordinates solver —
+            noise-free fractional answers, no RNG use, and orders of
+            magnitude faster for wide parameter sweeps.
     """
 
     BATCH = "batch"
     SCALAR = "scalar"
+    DETERMINISTIC = "deterministic"
 
     @classmethod
     def coerce(cls, value: Union[str, "Engine"]) -> "Engine":
@@ -181,7 +196,11 @@ class SlabTransport:
         self.geometry = geometry
         self.bath_energy_ev = BOLTZMANN_EV_PER_K * bath_temperature_k
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        self._batch = None  # lazily built BatchTransportEngine
+        # Engine slots: every engine attribute exists from birth (a
+        # ``getattr(self, ..., None)`` probe used to paper over the
+        # missing attribute) and is built lazily exactly once.
+        self._batch = None  # BatchTransportEngine
+        self._deterministic = None  # DeterministicTransportEngine
 
     # ------------------------------------------------------------------
 
@@ -193,7 +212,7 @@ class SlabTransport:
         engine: Union[str, Engine] = Engine.BATCH,
         batch_size: int | None = None,
         n_workers: int | None = None,
-    ) -> TransportResult:
+    ) -> Union[TransportResult, "DeterministicTransportResult"]:
         """Transport ``n_neutrons`` through the stack.
 
         Exactly one of ``source_energy_ev`` / ``source_spectrum`` must
@@ -203,13 +222,18 @@ class SlabTransport:
             n_neutrons: number of source histories.
             source_energy_ev: monoenergetic source energy, eV.
             source_spectrum: alternatively, a spectrum to sample.
-            engine: :attr:`Engine.BATCH` (vectorized, the default) or
+            engine: :attr:`Engine.BATCH` (vectorized, the default),
                 :attr:`Engine.SCALAR` (the original per-history loop,
-                kept as the statistical oracle); the strings
-                ``"batch"`` / ``"scalar"`` are accepted.  Both consume
-                the transport's ``rng`` stream, so repeated runs
-                differ but a freshly seeded transport is deterministic
-                for either engine.
+                kept as the statistical oracle) or
+                :attr:`Engine.DETERMINISTIC` (the noise-free
+                multigroup solver); the strings ``"batch"`` /
+                ``"scalar"`` / ``"deterministic"`` are accepted.  The
+                MC engines consume the transport's ``rng`` stream, so
+                repeated runs differ but a freshly seeded transport
+                is deterministic; the deterministic engine never
+                touches the stream — repeat solves are bit-identical
+                (answers are fractions per source neutron, so
+                ``n_neutrons`` does not affect them).
             batch_size: batch engine only — histories co-resident per
                 vectorized sweep (rounded up to whole seed streams).
                 Tallies do not depend on it.
@@ -217,7 +241,9 @@ class SlabTransport:
                 for campaign-scale runs; tallies do not depend on it.
 
         Returns:
-            A frozen :class:`TransportResult`.
+            A frozen :class:`TransportResult` (MC engines) or the
+            accessor-compatible ``DeterministicTransportResult``
+            (deterministic engine).
 
         Raises:
             repro.runtime.errors.ConfigurationError: for an unknown
@@ -234,6 +260,15 @@ class SlabTransport:
             raise ValueError(
                 f"source energy must be positive,"
                 f" got {source_energy_ev}"
+            )
+        if engine is Engine.DETERMINISTIC:
+            # No RNG use at all: the solver is a pure function of the
+            # geometry and the source.  ``n_neutrons`` is validated
+            # for interface symmetry but the answer is per source
+            # neutron.
+            return self._deterministic_engine().run(
+                source_energy_ev=source_energy_ev,
+                source_spectrum=source_spectrum,
             )
         if engine is Engine.BATCH:
             # Deterministic hand-off: one integer drawn from the shared
@@ -266,13 +301,25 @@ class SlabTransport:
 
     def _batch_engine(self):
         """Lazily built (and cached) vectorized engine for this slab."""
-        if getattr(self, "_batch", None) is None:
+        if self._batch is None:
             from repro.transport.batch import BatchTransportEngine
 
             self._batch = BatchTransportEngine(
                 self.geometry, bath_energy_ev=self.bath_energy_ev
             )
         return self._batch
+
+    def _deterministic_engine(self):
+        """Lazily built (and cached) multigroup solver for this slab."""
+        if self._deterministic is None:
+            from repro.transport.multigroup.solver import (
+                DeterministicTransportEngine,
+            )
+
+            self._deterministic = DeterministicTransportEngine(
+                self.geometry, bath_energy_ev=self.bath_energy_ev
+            )
+        return self._deterministic
 
     # ------------------------------------------------------------------
 
@@ -388,12 +435,13 @@ def shield_transmission(
     n_neutrons: int = 20_000,
     seed: int = 2020,
     engine: Union[str, Engine] = Engine.BATCH,
-) -> TransportResult:
+) -> Union[TransportResult, "DeterministicTransportResult"]:
     """Transport an incident spectrum through a shield layer.
 
     Used by the shielding ablation (experiment E9): cadmium sheets and
     borated polyethylene vs the thermal band.  ``engine`` selects the
-    vectorized batch engine (default) or the scalar oracle.
+    vectorized batch engine (default), the scalar oracle, or the
+    noise-free deterministic multigroup solver.
     """
     geometry = SlabGeometry([Layer(material, thickness_cm)])
     transport = SlabTransport(

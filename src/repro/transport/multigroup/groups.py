@@ -1,0 +1,188 @@
+"""Energy group structures for the deterministic multigroup solver.
+
+A :class:`GroupStructure` is an ascending array of energy edges; group
+``g`` spans ``[edges[g], edges[g + 1])`` with the group index growing
+with energy.  Named few-group structures follow the SNeq convention of
+a thermal cut at 0.625 eV; the production default is a fine
+lethargy-uniform grid with edges forced onto the band cutoffs
+(0.5 eV / 10 MeV) so the deterministic engine classifies leakage into
+thermal/epithermal/fast bands *exactly* like the Monte Carlo engines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple, Union
+
+import numpy as np
+
+from repro.physics.units import FAST_CUTOFF_EV, THERMAL_CUTOFF_EV
+from repro.runtime.errors import ConfigurationError
+
+__all__ = [
+    "GroupStructure",
+    "STRUCTURES",
+    "fine_structure",
+]
+
+#: Default span of the fine structure: comfortably below the room
+#: temperature bath (~0.0253 eV) up to 20 MeV (the SNeq top edge).
+DEFAULT_EMIN_EV = 1.0e-3
+DEFAULT_EMAX_EV = 2.0e7
+
+
+class GroupStructure:
+    """A validated multigroup energy mesh.
+
+    Args:
+        edges_ev: strictly increasing, positive energy edges (eV);
+            at least two.
+        name: label used in cache keys and reports.
+
+    Raises:
+        repro.runtime.errors.ConfigurationError: on fewer than two
+            edges, non-positive edges, or non-monotone edges.
+    """
+
+    def __init__(self, edges_ev, name: str = "custom") -> None:
+        edges = np.asarray(edges_ev, dtype=float)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ConfigurationError(
+                f"need at least two group edges, got {edges.size}"
+            )
+        if not np.all(edges > 0.0):
+            raise ConfigurationError(
+                "group edges must be positive (log-energy mesh);"
+                f" got min {edges.min()}"
+            )
+        if not np.all(np.diff(edges) > 0.0):
+            raise ConfigurationError(
+                "group edges must be strictly increasing"
+            )
+        self.name = str(name)
+        self.edges_ev = edges
+        self.edges_ev.setflags(write=False)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_groups(self) -> int:
+        """Number of energy groups."""
+        return self.edges_ev.size - 1
+
+    @property
+    def midpoints_ev(self) -> np.ndarray:
+        """Geometric group midpoints (lethargy centres), eV."""
+        return np.sqrt(self.edges_ev[:-1] * self.edges_ev[1:])
+
+    @property
+    def key(self) -> Tuple:
+        """Hashable identity for condensation caches."""
+        return (self.name, self.edges_ev.tobytes())
+
+    def group_index(self, energy_ev: Union[float, np.ndarray]):
+        """Group index containing ``energy_ev`` (clamped to range).
+
+        Energies below the bottom edge land in group 0 and energies at
+        or above the top edge in the last group — the solver treats
+        out-of-range energy continuously, so clamping only affects
+        bookkeeping.
+        """
+        idx = np.searchsorted(self.edges_ev, energy_ev, side="right") - 1
+        idx = np.clip(idx, 0, self.n_groups - 1)
+        if np.isscalar(energy_ev):
+            return int(idx)
+        return idx
+
+    def band_of_group(self, group: int) -> str:
+        """Band label (thermal/epithermal/fast) of one group.
+
+        Classified at the geometric midpoint; exact whenever no group
+        straddles a band cutoff (true by construction for
+        :func:`fine_structure`, approximate for coarse named
+        structures such as ``sneq-2``).
+        """
+        mid = float(self.midpoints_ev[group])
+        if mid < THERMAL_CUTOFF_EV:
+            return "thermal"
+        if mid < FAST_CUTOFF_EV:
+            return "epithermal"
+        return "fast"
+
+    @classmethod
+    def named(cls, name: str) -> "GroupStructure":
+        """Look up a registered structure by name.
+
+        Raises:
+            repro.runtime.errors.ConfigurationError: for an unknown
+                name (the message lists the registered ones).
+        """
+        try:
+            return STRUCTURES[name]()
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown group structure {name!r};"
+                f" registered: {sorted(STRUCTURES)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupStructure({self.name!r}, groups={self.n_groups},"
+            f" span=[{self.edges_ev[0]:.3g},"
+            f" {self.edges_ev[-1]:.3g}] eV)"
+        )
+
+
+def fine_structure(
+    emin_ev: float = DEFAULT_EMIN_EV,
+    emax_ev: float = DEFAULT_EMAX_EV,
+    groups_per_decade: int = 10,
+) -> GroupStructure:
+    """Lethargy-uniform grid with edges forced onto the band cutoffs.
+
+    The nearest interior edge (in lethargy) is snapped onto each band
+    cutoff inside the span, so no group straddles 0.5 eV or 10 MeV and
+    the deterministic leakage bands match :func:`_classify` exactly.
+    """
+    if emin_ev <= 0.0 or emax_ev <= emin_ev:
+        raise ConfigurationError(
+            f"need 0 < emin < emax, got [{emin_ev}, {emax_ev}]"
+        )
+    if groups_per_decade < 1:
+        raise ConfigurationError(
+            f"need groups_per_decade >= 1, got {groups_per_decade}"
+        )
+    decades = np.log10(emax_ev / emin_ev)
+    n_groups = max(int(round(decades * groups_per_decade)), 1)
+    edges = np.geomspace(emin_ev, emax_ev, n_groups + 1)
+    for cutoff_ev in (THERMAL_CUTOFF_EV, FAST_CUTOFF_EV):
+        if not emin_ev < cutoff_ev < emax_ev:
+            continue
+        interior = np.log(edges[1:-1] / cutoff_ev)
+        edges[1 + int(np.argmin(np.abs(interior)))] = cutoff_ev
+    return GroupStructure(
+        edges, name=f"fine-{groups_per_decade}pd"
+    )
+
+
+def _sneq_2() -> GroupStructure:
+    """SNeq-style two-group split at the 0.625 eV thermal cut."""
+    return GroupStructure(
+        [DEFAULT_EMIN_EV, 0.625, DEFAULT_EMAX_EV], name="sneq-2"
+    )
+
+
+def _bands_3() -> GroupStructure:
+    """Three groups matching the paper's thermal/epithermal/fast bands."""
+    return GroupStructure(
+        [DEFAULT_EMIN_EV, THERMAL_CUTOFF_EV, FAST_CUTOFF_EV,
+         DEFAULT_EMAX_EV],
+        name="bands-3",
+    )
+
+
+#: Named structure registry: name -> zero-argument factory.
+STRUCTURES: Dict[str, Callable[[], GroupStructure]] = {
+    "sneq-2": _sneq_2,
+    "bands-3": _bands_3,
+    "fine": fine_structure,
+}

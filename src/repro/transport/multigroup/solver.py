@@ -1,0 +1,726 @@
+"""Deterministic multigroup discrete-ordinates slab solver.
+
+The third transport engine: same :class:`SlabGeometry`/material inputs
+as the Monte Carlo engines, zero statistical noise, zero RNG use.
+
+Numerical scheme
+----------------
+
+* **Angle** — Gauss-Legendre S_N quadrature on ``mu in [-1, 1]``
+  (weights sum to 2); isotropic emission puts ``q / 2`` per unit
+  ``mu``.
+* **Space** — step-characteristics differencing:
+  ``psi_out = a psi_in + (1 - a) s`` with ``a = exp(-tau)`` and the
+  balance-consistent cell average ``psi_bar = r psi_in + (1 - r) s``,
+  ``r = (1 - a) / tau`` — positive fluxes for any cell thickness and
+  *machine-exact* particle balance per cell.  Because the sweep is
+  affine in the emission density, each group's sweep is assembled
+  *once* into a response matrix (scalar flux and boundary-current
+  response to a unit isotropic emission per cell, built in log-space
+  so thick stacks underflow benignly); a source iteration is then a
+  single ``C x C`` mat-vec instead of a cell-by-cell sweep.
+* **Energy** — the collapsed scattering matrix has no upscatter above
+  the thermal bath, so groups are solved once each in descending
+  energy order; only the *within-group* source iteration iterates,
+  with Aitken extrapolation to tame the near-unity spectral radius of
+  the bath group in good moderators (``c ~ 0.99`` for water).
+* **Sources** — the uncollided beam is attenuated with the
+  *continuous-energy* cross sections (no condensation error) and its
+  first collisions are distributed into groups with the continuous
+  scatter kernel; only the collided flux is multigroup.
+
+The iteration budget surfaces through
+:class:`~repro.runtime.errors.ConvergenceError`; solver effort is
+observable via the ``transport.deterministic`` span and the
+``repro_deterministic_*`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import serde
+from repro.obs import core as obs
+from repro.runtime.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    require_positive_int,
+)
+from repro.spectra.spectrum import Spectrum
+from repro.transport.montecarlo import SlabGeometry, _classify
+from repro.transport.multigroup.condense import (
+    CollapsedMaterial,
+    _outgoing_rows,
+    collapse,
+)
+from repro.transport.multigroup.groups import (
+    GroupStructure,
+    fine_structure,
+)
+
+__all__ = [
+    "DeterministicTransportEngine",
+    "DeterministicTransportResult",
+]
+
+#: Target optical thickness per mesh cell (at the most opaque group).
+_TAU_TARGET = 0.25
+
+#: Mesh-size guard rails: cells per layer and per stack.
+_MIN_CELLS_PER_LAYER = 2
+_MAX_TOTAL_CELLS = 512
+
+#: Source-energy quadrature points per spectrum bin.
+_POINTS_PER_SOURCE_BIN = 4
+
+#: Balance slack accepted by ``balance_check`` — iteration residual,
+#: not statistical noise.
+_BALANCE_TOL = 1.0e-6
+
+
+@dataclass(frozen=True)
+class DeterministicTransportResult:
+    """Noise-free analogue of :class:`TransportResult`.
+
+    Channels are *fractions per source neutron* (``source`` is 1.0 by
+    construction) instead of the MC engines' integer counts, but every
+    accessor of :class:`~repro.transport.tallies.TransportResult` is
+    mirrored so downstream consumers (shielding evaluator, service,
+    CLI) work unchanged; the statistical-error accessors return 0.
+
+    Attributes:
+        iterations: total within-group source iterations performed.
+        balance_residual: ``|1 - (transmitted + reflected +
+            absorbed)|`` — bounded by the iteration tolerance.
+        absorbed_by_layer: absorbed fraction per geometry layer.
+    """
+
+    source: float
+    transmitted_thermal: float
+    transmitted_epithermal: float
+    transmitted_fast: float
+    reflected_thermal: float
+    reflected_epithermal: float
+    reflected_fast: float
+    absorbed: float
+    collisions: float
+    absorbed_by_material: Dict[str, float]
+    absorbed_by_layer: Tuple[float, ...]
+    iterations: int
+    balance_residual: float
+
+    # -- serde ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form tagged ``deterministic-transport``."""
+        return serde.tag(
+            "deterministic-transport",
+            {
+                "source": self.source,
+                "transmitted_thermal": self.transmitted_thermal,
+                "transmitted_epithermal": (
+                    self.transmitted_epithermal
+                ),
+                "transmitted_fast": self.transmitted_fast,
+                "reflected_thermal": self.reflected_thermal,
+                "reflected_epithermal": self.reflected_epithermal,
+                "reflected_fast": self.reflected_fast,
+                "absorbed": self.absorbed,
+                "collisions": self.collisions,
+                "absorbed_by_material": dict(
+                    self.absorbed_by_material
+                ),
+                "absorbed_by_layer": list(self.absorbed_by_layer),
+                "iterations": self.iterations,
+                "balance_residual": self.balance_residual,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeterministicTransportResult":
+        """Rebuild from :meth:`to_dict` output."""
+        serde.check("deterministic-transport", data)
+        return cls(
+            source=float(data["source"]),
+            transmitted_thermal=float(data["transmitted_thermal"]),
+            transmitted_epithermal=float(
+                data["transmitted_epithermal"]
+            ),
+            transmitted_fast=float(data["transmitted_fast"]),
+            reflected_thermal=float(data["reflected_thermal"]),
+            reflected_epithermal=float(
+                data["reflected_epithermal"]
+            ),
+            reflected_fast=float(data["reflected_fast"]),
+            absorbed=float(data["absorbed"]),
+            collisions=float(data["collisions"]),
+            absorbed_by_material={
+                str(k): float(v)
+                for k, v in data.get(
+                    "absorbed_by_material", {}
+                ).items()
+            },
+            absorbed_by_layer=tuple(
+                float(v) for v in data.get("absorbed_by_layer", ())
+            ),
+            iterations=int(data["iterations"]),
+            balance_residual=float(data["balance_residual"]),
+        )
+
+    # -- TransportResult-compatible accessors --------------------------
+
+    @property
+    def transmitted(self) -> float:
+        """Fraction leaving through the far face (any energy)."""
+        return (
+            self.transmitted_thermal
+            + self.transmitted_epithermal
+            + self.transmitted_fast
+        )
+
+    @property
+    def reflected(self) -> float:
+        """Fraction leaving back through the entry face."""
+        return (
+            self.reflected_thermal
+            + self.reflected_epithermal
+            + self.reflected_fast
+        )
+
+    def transmission_fraction(self) -> float:
+        """Fraction of source neutrons transmitted (any energy)."""
+        return self.transmitted
+
+    def thermal_transmission_fraction(self) -> float:
+        """Fraction transmitted below the cadmium cutoff."""
+        return self.transmitted_thermal
+
+    def thermal_albedo(self) -> float:
+        """Fraction reflected back as thermal neutrons."""
+        return self.reflected_thermal
+
+    def thermal_albedo_stderr(self) -> float:
+        """Zero: deterministic answers carry no statistical error."""
+        return 0.0
+
+    def absorption_fraction(self) -> float:
+        """Fraction absorbed anywhere in the stack."""
+        return self.absorbed
+
+    def mean_collisions(self) -> float:
+        """Expected collisions per source neutron."""
+        return self.collisions
+
+    def balance_check(self) -> bool:
+        """True if the stack conserves neutrons to iteration slack."""
+        return self.balance_residual <= _BALANCE_TOL
+
+
+class DeterministicTransportEngine:
+    """S_N multigroup solver over a :class:`SlabGeometry`.
+
+    Built once per geometry (attenuation tables are precomputed per
+    group/ordinate/cell); :meth:`run` is then a pure function of the
+    source — no RNG anywhere, so repeat solves are bit-identical.
+
+    Args:
+        geometry: the slab stack.
+        bath_energy_ev: thermal-bath energy (moderation floor).
+        structure: group structure; defaults to the fine
+            band-aligned grid of :func:`fine_structure`.
+        sn_order: Gauss-Legendre quadrature order (positive even —
+            an odd order would place an ordinate at ``mu = 0``).
+        tolerance: relative convergence tolerance on the scalar flux
+            of each within-group iteration.
+        max_iterations: iteration budget *per group*; exhausting it
+            raises :class:`~repro.runtime.errors.ConvergenceError`.
+    """
+
+    def __init__(
+        self,
+        geometry: SlabGeometry,
+        bath_energy_ev: float,
+        structure: Optional[GroupStructure] = None,
+        sn_order: int = 8,
+        tolerance: float = 1.0e-9,
+        max_iterations: int = 2000,
+    ) -> None:
+        require_positive_int("sn_order", sn_order)
+        if sn_order % 2 != 0:
+            raise ConfigurationError(
+                f"sn_order must be even, got {sn_order}"
+            )
+        require_positive_int("max_iterations", max_iterations)
+        if not 0.0 < tolerance < 1.0:
+            raise ConfigurationError(
+                f"tolerance must be in (0, 1), got {tolerance}"
+            )
+        self.geometry = geometry
+        self.bath_energy_ev = float(bath_energy_ev)
+        self.structure = (
+            structure if structure is not None else fine_structure()
+        )
+        self.sn_order = sn_order
+        self.tolerance = float(tolerance)
+        self.max_iterations = max_iterations
+
+        self.tables: Tuple[CollapsedMaterial, ...] = tuple(
+            collapse(
+                layer.material, self.structure, self.bath_energy_ev
+            )
+            for layer in geometry.layers
+        )
+        self.bath_group = self.tables[0].bath_group
+
+        nodes, weights = np.polynomial.legendre.leggauss(sn_order)
+        positive = nodes > 0.0
+        #: Positive half-set; the negative half mirrors it.
+        self.mu = nodes[positive]
+        self.weights = weights[positive]
+
+        self._build_mesh()
+        self._build_tables()
+
+    # -- geometry discretization ---------------------------------------
+
+    def _build_mesh(self) -> None:
+        """Choose per-layer cell counts from optical thickness."""
+        layers = self.geometry.layers
+        opacities = [
+            float(np.max(table.sigma_total_per_cm_g()))
+            for table in self.tables
+        ]
+        counts = [
+            max(
+                int(np.ceil(layer.thickness_cm * sig / _TAU_TARGET)),
+                _MIN_CELLS_PER_LAYER,
+            )
+            for layer, sig in zip(layers, opacities)
+        ]
+        total = sum(counts)
+        if total > _MAX_TOTAL_CELLS:
+            scale = _MAX_TOTAL_CELLS / total
+            counts = [
+                max(int(n * scale), _MIN_CELLS_PER_LAYER)
+                for n in counts
+            ]
+        dx_cm: List[float] = []
+        cell_layer: List[int] = []
+        for index, (layer, n_cells) in enumerate(
+            zip(layers, counts)
+        ):
+            dx_cm.extend([layer.thickness_cm / n_cells] * n_cells)
+            cell_layer.extend([index] * n_cells)
+        self.dx_cm = np.asarray(dx_cm)
+        self.cell_layer = np.asarray(cell_layer, dtype=int)
+        self.n_cells = self.dx_cm.size
+
+    def _build_tables(self) -> None:
+        """Precompute per-(group, ordinate, cell) sweep coefficients."""
+        n_groups = self.structure.n_groups
+        sigma_t = np.empty((n_groups, self.n_cells))
+        sigma_a = np.empty((n_groups, self.n_cells))
+        sigma_s = np.empty((n_groups, self.n_cells))
+        for index, table in enumerate(self.tables):
+            cells = self.cell_layer == index
+            sigma_t[:, cells] = table.sigma_total_per_cm_g()[:, None]
+            sigma_a[:, cells] = table.sigma_absorb_per_cm_g[:, None]
+            sigma_s[:, cells] = table.sigma_scatter_per_cm_g[:, None]
+        self.sigma_t = sigma_t
+        self.sigma_a = sigma_a
+        self.sigma_s = sigma_s
+        # tau[g, m, c]: optical thickness of cell c at ordinate m.
+        tau = (
+            sigma_t[:, None, :]
+            * self.dx_cm[None, None, :]
+            / self.mu[None, :, None]
+        )
+        tau = np.maximum(tau, 1.0e-12)
+        self._tau = tau
+        self._atten = np.exp(-tau)
+        # r = (1 - a) / tau via expm1: stable down to tau -> 0.
+        self._avg_weight = -np.expm1(-tau) / tau
+        # In-group scattering probability per (group, cell).
+        in_group = np.empty((n_groups, self.n_cells))
+        for index, table in enumerate(self.tables):
+            cells = self.cell_layer == index
+            in_group[:, cells] = np.diagonal(table.transfer)[:, None]
+        self._in_group = in_group
+        # Strict-lower-triangle mask shared by every group response.
+        self._lower = np.tril(
+            np.ones((self.n_cells, self.n_cells)), k=-1
+        )
+        # Per-group response operators, built on first use.
+        self._responses: Dict[
+            int, Tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+
+    def _group_response(
+        self, g: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sweep operator of group ``g`` as a response matrix.
+
+        Returns ``(flux, right, left)`` where ``flux[i, j]`` is the
+        scalar flux in cell ``i`` per unit isotropic emission density
+        in cell ``j`` and ``right``/``left`` are the outgoing
+        partial-current responses at the far/entry faces.  Both sweep
+        directions share the same ``|mu|`` half-set, so the negative
+        sweep is the positive one on the mirrored cell axis.
+        """
+        cached = self._responses.get(g)
+        if cached is not None:
+            return cached
+        tau = self._tau[g]  # (M, C)
+        atten = self._atten[g]
+        avg_weight = self._avg_weight[g]
+        # Emitted angular flux leaving the source cell, per unit
+        # emission density: (1 - a) / (2 sigma_t).
+        emit = (1.0 - atten) / (2.0 * self.sigma_t[g])[None, :]
+        # Attenuation between cells in log-space: path[m, i, j] =
+        # prod(a_k, j < k < i) = exp(-(T[i-1] - T[j])); underflow of
+        # long paths cleanly rounds to zero transmission.  The clamp
+        # only touches the j >= i region, which the mask zeroes.
+        total_tau = np.cumsum(tau, axis=1)
+        depth = total_tau[:, None, :] - (total_tau - tau)[:, :, None]
+        path = np.exp(np.minimum(depth, 0.0))
+        lower = self._lower
+        # Positive direction: cell i sees emission from j < i, so the
+        # cell-average response is r_i * emit_j * path[i, j].  The
+        # negative direction mirrors it — emission from j > i, same
+        # |mu| set, same path lengths — which is the transposed path
+        # pattern with r_i / emit_j in the same roles.
+        masked = path * lower[None, :, :]
+        flux = np.einsum(
+            "m,mi,mij,mj->ij", self.weights, avg_weight, masked, emit
+        )
+        flux += np.einsum(
+            "m,mi,mji,mj->ij", self.weights, avg_weight, masked, emit
+        )
+        # Self-term (1 - r_i) / (2 sigma_t_i), once per direction.
+        diag = (
+            self.weights[:, None]
+            * (1.0 - avg_weight)
+            / (2.0 * self.sigma_t[g])[None, :]
+        ).sum(axis=0)
+        flux[np.diag_indices(self.n_cells)] += 2.0 * diag
+        # Outgoing partial currents: emission attenuated through the
+        # cells beyond it (far face) or before it (entry face).
+        through = np.exp(-(total_tau[:, -1][:, None] - total_tau))
+        right = (
+            (self.weights * self.mu)[:, None] * emit * through
+        ).sum(axis=0)
+        back = np.exp(-(total_tau - tau))
+        left = (
+            (self.weights * self.mu)[:, None] * emit * back
+        ).sum(axis=0)
+        response = (flux, right, left)
+        self._responses[g] = response
+        return response
+
+    # -- public API ----------------------------------------------------
+
+    def run(
+        self,
+        source_energy_ev: Optional[float] = None,
+        source_spectrum: Optional[Spectrum] = None,
+    ) -> DeterministicTransportResult:
+        """Solve the slab for a normal-incidence beam source.
+
+        Exactly one of ``source_energy_ev`` / ``source_spectrum``
+        must be given — the same contract as
+        :meth:`SlabTransport.run`, minus the history count (the
+        answer is per source neutron).
+
+        Raises:
+            repro.runtime.errors.ConvergenceError: if any group's
+                source iteration exhausts ``max_iterations``.
+        """
+        if (source_energy_ev is None) == (source_spectrum is None):
+            raise ConfigurationError(
+                "give exactly one of source_energy_ev/source_spectrum"
+            )
+        if source_energy_ev is not None and source_energy_ev <= 0.0:
+            raise ConfigurationError(
+                f"source energy must be positive,"
+                f" got {source_energy_ev}"
+            )
+        with obs.span(
+            "transport.deterministic",
+            groups=self.structure.n_groups,
+            cells=self.n_cells,
+            sn_order=self.sn_order,
+        ):
+            result = self._solve(source_energy_ev, source_spectrum)
+            obs.inc("repro_deterministic_solves_total")
+            obs.inc(
+                "repro_deterministic_iterations_total",
+                result.iterations,
+            )
+        return result
+
+    # -- solve pipeline ------------------------------------------------
+
+    def _source_points(
+        self,
+        source_energy_ev: Optional[float],
+        source_spectrum: Optional[Spectrum],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Quadrature (energies, weights) describing the source.
+
+        A spectrum is sampled like ``Spectrum.sample_energies``
+        distributes histories: bins weighted by flux, lethargy-flat
+        within a bin — here as fixed quadrature points instead of
+        random draws.
+        """
+        if source_energy_ev is not None:
+            return (
+                np.asarray([float(source_energy_ev)]),
+                np.asarray([1.0]),
+            )
+        assert source_spectrum is not None
+        total = source_spectrum.total_flux()
+        if total <= 0.0:
+            raise ConfigurationError(
+                "cannot solve for an empty source spectrum"
+            )
+        energies: List[float] = []
+        weights: List[float] = []
+        offsets = (
+            np.arange(_POINTS_PER_SOURCE_BIN) + 0.5
+        ) / _POINTS_PER_SOURCE_BIN
+        edges = source_spectrum.edges
+        for g, flux in enumerate(source_spectrum.group_flux):
+            if flux <= 0.0:
+                continue
+            lo, hi = edges[g], edges[g + 1]
+            points = lo * (hi / lo) ** offsets
+            energies.extend(points.tolist())
+            weights.extend(
+                [flux / total / _POINTS_PER_SOURCE_BIN]
+                * _POINTS_PER_SOURCE_BIN
+            )
+        return np.asarray(energies), np.asarray(weights)
+
+    def _solve(
+        self,
+        source_energy_ev: Optional[float],
+        source_spectrum: Optional[Spectrum],
+    ) -> DeterministicTransportResult:
+        energies, weights = self._source_points(
+            source_energy_ev, source_spectrum
+        )
+        layers = self.geometry.layers
+        n_layers = len(layers)
+        n_groups = self.structure.n_groups
+
+        # ---- uncollided beam, continuous in energy -------------------
+        # sig_*[k, l]: continuous cross sections per source energy
+        # and layer.
+        sig_t = np.asarray(
+            [
+                [
+                    layer.material.sigma_total_per_cm(float(e))
+                    for layer in layers
+                ]
+                for e in energies
+            ]
+        )
+        sig_a = np.asarray(
+            [
+                [
+                    layer.material.sigma_absorb_per_cm(float(e))
+                    for layer in layers
+                ]
+                for e in energies
+            ]
+        )
+        sig_t_cells = sig_t[:, self.cell_layer]
+        tau_edges = np.concatenate(
+            [
+                np.zeros((energies.size, 1)),
+                np.cumsum(
+                    sig_t_cells * self.dx_cm[None, :], axis=1
+                ),
+            ],
+            axis=1,
+        )
+        survival = np.exp(-tau_edges)
+        # First collisions per (energy point, cell), per source
+        # neutron.
+        first_collisions = survival[:, :-1] - survival[:, 1:]
+        absorb_frac = np.where(
+            sig_t_cells > 0.0,
+            sig_a[:, self.cell_layer] / np.maximum(
+                sig_t_cells, 1.0e-300
+            ),
+            0.0,
+        )
+        weighted_fc = first_collisions * weights[:, None]
+        fc_absorbed_cells = (weighted_fc * absorb_frac).sum(axis=0)
+        fc_scattered = weighted_fc * (1.0 - absorb_frac)
+        collisions = float(weighted_fc.sum())
+
+        transmitted = {"thermal": 0.0, "epithermal": 0.0, "fast": 0.0}
+        reflected = {"thermal": 0.0, "epithermal": 0.0, "fast": 0.0}
+        for e, w, through in zip(
+            energies, weights, survival[:, -1]
+        ):
+            transmitted[_classify(float(e))] += float(w * through)
+
+        # First-collision source density per (group, cell): the
+        # continuous scatter kernel of each layer's material maps the
+        # source energies into groups.
+        qfc = np.zeros((n_groups, self.n_cells))
+        for index in range(n_layers):
+            cells = np.flatnonzero(self.cell_layer == index)
+            if cells.size == 0:
+                continue
+            rows = _outgoing_rows(
+                layers[index].material,
+                energies,
+                self.structure,
+                self.bath_energy_ev,
+            )
+            qfc[:, cells] = (
+                rows.T @ fc_scattered[:, cells]
+            ) / self.dx_cm[None, cells]
+
+        # ---- collided flux: descending-energy group sweep ------------
+        phi = np.zeros((n_groups, self.n_cells))
+        inscatter = np.zeros((n_groups, self.n_cells))
+        current_right = np.zeros(n_groups)
+        current_left = np.zeros(n_groups)
+        iterations = 0
+        bath = self.bath_group
+        for g in range(n_groups - 1, bath - 1, -1):
+            q_fixed = qfc[g] + inscatter[g]
+            if float(q_fixed.max()) <= 0.0:
+                continue
+            phi_g, right, left, iters = self._solve_group(g, q_fixed)
+            iterations += iters
+            phi[g] = phi_g
+            current_right[g] = right
+            current_left[g] = left
+            if g == bath:
+                continue
+            # Bank this group's downscatter for the groups below.
+            for index, table in enumerate(self.tables):
+                cells = self.cell_layer == index
+                rate = self.sigma_s[g, cells] * phi_g[cells]
+                inscatter[bath:g, cells] += (
+                    table.transfer[g, bath:g][:, None] * rate[None, :]
+                )
+
+        # ---- tallies -------------------------------------------------
+        absorbed_cells = fc_absorbed_cells + (
+            self.sigma_a * phi
+        ).sum(axis=0) * self.dx_cm
+        collisions += float(
+            ((self.sigma_t * phi) * self.dx_cm[None, :]).sum()
+        )
+        absorbed_by_layer = [0.0] * n_layers
+        absorbed_by_material: Dict[str, float] = {}
+        for index, layer in enumerate(layers):
+            amount = float(
+                absorbed_cells[self.cell_layer == index].sum()
+            )
+            absorbed_by_layer[index] = amount
+            name = layer.material.name
+            absorbed_by_material[name] = (
+                absorbed_by_material.get(name, 0.0) + amount
+            )
+        for g in range(n_groups):
+            band = self.structure.band_of_group(g)
+            transmitted[band] += float(current_right[g])
+            reflected[band] += float(current_left[g])
+        absorbed = float(absorbed_cells.sum())
+        balance_residual = abs(
+            1.0
+            - (
+                sum(transmitted.values())
+                + sum(reflected.values())
+                + absorbed
+            )
+        )
+        return DeterministicTransportResult(
+            source=1.0,
+            transmitted_thermal=transmitted["thermal"],
+            transmitted_epithermal=transmitted["epithermal"],
+            transmitted_fast=transmitted["fast"],
+            reflected_thermal=reflected["thermal"],
+            reflected_epithermal=reflected["epithermal"],
+            reflected_fast=reflected["fast"],
+            absorbed=absorbed,
+            collisions=collisions,
+            absorbed_by_material=absorbed_by_material,
+            absorbed_by_layer=tuple(absorbed_by_layer),
+            iterations=iterations,
+            balance_residual=balance_residual,
+        )
+
+    def _solve_group(
+        self, g: int, q_fixed: np.ndarray
+    ) -> Tuple[np.ndarray, float, float, int]:
+        """Converge the within-group source iteration for group ``g``.
+
+        Returns ``(phi, J_right, J_left, iterations)`` where the
+        partial currents come from a final consistency sweep off the
+        converged flux.
+
+        Raises:
+            repro.runtime.errors.ConvergenceError: when
+                ``max_iterations`` sweeps do not reach ``tolerance``.
+        """
+        flux_of, right_of, left_of = self._group_response(g)
+        reemit = self._in_group[g] * self.sigma_s[g]
+
+        phi = np.zeros(self.n_cells)
+        prev_diff = None
+        prev_rho = None
+        cooldown = 0
+        for iteration in range(1, self.max_iterations + 1):
+            phi_new = flux_of @ (q_fixed + reemit * phi)
+            diff = float(np.abs(phi_new - phi).max())
+            scale = max(float(phi_new.max()), 1.0e-300)
+            if diff <= self.tolerance * scale:
+                emission = q_fixed + reemit * phi_new
+                return (
+                    flux_of @ emission,
+                    float(right_of @ emission),
+                    float(left_of @ emission),
+                    iteration,
+                )
+            rho = (
+                diff / prev_diff
+                if prev_diff is not None and prev_diff > 0.0
+                else None
+            )
+            if cooldown > 0:
+                cooldown -= 1
+            elif (
+                rho is not None
+                and prev_rho is not None
+                and 0.2 < rho < 0.99999
+                and abs(rho - prev_rho) < 0.01 * rho
+            ):
+                # Aitken/Lyusternik: jump along the dominant error
+                # mode, then let the transient settle before judging
+                # the ratio again.
+                phi_new = phi_new + (rho / (1.0 - rho)) * (
+                    phi_new - phi
+                )
+                np.maximum(phi_new, 0.0, out=phi_new)
+                cooldown = 3
+                rho = None
+                diff = None
+            prev_rho = rho
+            prev_diff = diff
+            phi = phi_new
+        raise ConvergenceError(
+            f"group {g} source iteration did not reach"
+            f" tolerance {self.tolerance:g} within"
+            f" {self.max_iterations} sweeps"
+        )

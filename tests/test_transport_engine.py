@@ -20,10 +20,15 @@ class TestCoerce:
     def test_enum_passes_through(self):
         assert Engine.coerce(Engine.BATCH) is Engine.BATCH
         assert Engine.coerce(Engine.SCALAR) is Engine.SCALAR
+        assert (
+            Engine.coerce(Engine.DETERMINISTIC)
+            is Engine.DETERMINISTIC
+        )
 
     def test_strings_still_accepted(self):
         assert Engine.coerce("batch") is Engine.BATCH
         assert Engine.coerce("scalar") is Engine.SCALAR
+        assert Engine.coerce("deterministic") is Engine.DETERMINISTIC
 
     def test_unknown_string_names_the_allowed_set(self):
         with pytest.raises(ConfigurationError) as excinfo:
@@ -32,6 +37,7 @@ class TestCoerce:
         assert "warp" in message
         assert "batch" in message
         assert "scalar" in message
+        assert "deterministic" in message
 
     def test_configuration_error_is_a_value_error(self):
         # Callers that historically caught ValueError keep working.
@@ -66,6 +72,59 @@ class TestRunDispatch:
                 source_energy_ev=1e6,
                 engine="quantum",
             )
+
+    def test_deterministic_dispatch_returns_noise_free_result(self):
+        from repro.transport import DeterministicTransportResult
+
+        result = _transport().run(
+            n_neutrons=1,
+            source_energy_ev=1e6,
+            engine="deterministic",
+        )
+        assert isinstance(result, DeterministicTransportResult)
+        assert result.thermal_albedo_stderr() == 0.0
+
+
+class TestEngineSlotReuse:
+    """Lazy engines are initialized in ``__init__`` and built once.
+
+    Regression for the old ``getattr(self, "_batch", None)`` probe:
+    every engine slot is now a real attribute from construction, and
+    repeat dispatches reuse the same engine instance (the
+    deterministic engine's response matrices make rebuilding
+    expensive).
+    """
+
+    def test_slots_exist_before_first_run(self):
+        transport = _transport()
+        assert transport._batch is None
+        assert transport._deterministic is None
+
+    def test_engines_constructed_once_and_reused(self):
+        transport = _transport()
+        transport.run(
+            n_neutrons=50, source_energy_ev=1e6, engine="batch"
+        )
+        batch = transport._batch
+        assert batch is not None
+        transport.run(
+            n_neutrons=50, source_energy_ev=1e6, engine="batch"
+        )
+        assert transport._batch is batch
+
+        transport.run(
+            n_neutrons=1,
+            source_energy_ev=1e6,
+            engine="deterministic",
+        )
+        deterministic = transport._deterministic
+        assert deterministic is not None
+        transport.run(
+            n_neutrons=1,
+            source_energy_ev=1e6,
+            engine="deterministic",
+        )
+        assert transport._deterministic is deterministic
 
 
 class TestChaosParsingMirror:

@@ -1,11 +1,29 @@
-"""Statistical-equivalence harness: batch engine vs the scalar oracle.
+"""Cross-validation harness for the three transport engines.
 
-The batch engine must reproduce the scalar engine's physics channel by
-channel — transmitted/reflected counts per band, absorptions per
-material, total collisions — within two-sided binomial/Poisson
-tolerance.  Both engines run with fixed seeds, so every test here is
-deterministic: a failure means the engines genuinely diverged, not
-that the dice were unlucky.
+Three independent implementations answer the same physics question:
+the ``scalar`` Monte Carlo oracle, the vectorized ``batch`` Monte
+Carlo engine, and the noise-free ``deterministic`` multigroup solver.
+Every pair must agree channel by channel — transmitted/reflected
+fractions per band, absorptions per material, total collisions — and
+each comparison uses the tolerance its error model justifies:
+
+* **batch vs scalar** — both are statistical estimates of the *same*
+  distribution, so channels match under a two-proportion z test at
+  ``_Z_MAX`` sigma.
+* **deterministic vs either MC engine** — the deterministic answer
+  has no variance, so it must sit within ``_K_SIGMA`` binomial
+  standard errors of the MC estimate, plus ``_ABS_FLOOR`` absolute
+  slack for channels the MC run barely populates (a one-count channel
+  has a wildly misestimated sigma).  Collisions carry a
+  ``_COLL_REL`` *relative* allowance on top of the Poisson band:
+  collision counts are the channel most sensitive to the multigroup
+  condensation bias (a ~1% within-group spectrum error compounds
+  over ~15 scatters in a thick moderator).
+
+All runs use fixed seeds, so every test here is deterministic: a
+failure means two engines genuinely diverged, not that the dice were
+unlucky.  ``TestBrokenEngineCanary`` proves the contract has teeth by
+mis-condensing a cross section and watching the harness object.
 
 Also pinned here: the batch determinism contract (same seed → same
 result; tallies independent of ``batch_size`` and ``n_workers``) and
@@ -13,6 +31,7 @@ the exact-tally regression for the scalar hot-spot fix (boundary
 array hoisted out of the collision loop).
 """
 
+import dataclasses
 import math
 
 import numpy as np
@@ -34,9 +53,26 @@ from repro.transport.montecarlo import (
     SlabTransport,
 )
 
-#: Reject at 4 sigma: with ~10 channels over ~7 fixtures the chance
-#: of a false alarm is ~1e-3, and the seeds are fixed anyway.
+#: MC-vs-MC gate.  Reject at 4 sigma: with ~10 channels over ~7
+#: fixtures the chance of a false alarm is ~1e-3, and the seeds are
+#: fixed anyway.
 _Z_MAX = 4.0
+
+#: Deterministic-vs-MC gate, fraction channels: the deterministic
+#: value must lie within ``k`` binomial standard errors of the MC
+#: estimate.  k = 5 at 20k histories leaves ~2x headroom over the
+#: worst observed channel (absorbed in thick water, ~2.5 sigma of
+#: condensation bias) without masking a real physics divergence.
+_K_SIGMA = 5.0
+
+#: Absolute slack for near-empty channels (MC sees 0-2 counts, so
+#: the binomial sigma itself is noise).  10 counts at 20k histories.
+_ABS_FLOOR = 5.0e-4
+
+#: Deterministic-vs-MC gate, collisions: relative condensation-bias
+#: allowance on top of the Poisson band (worst observed: 1.9% in
+#: 5 cm water; air-gap noise is covered by the Poisson term).
+_COLL_REL = 0.03
 
 N_HISTORIES = 20_000
 
@@ -103,15 +139,98 @@ def _two_proportion_z(count_a, count_b, n):
     return abs(count_a - count_b) / (n * math.sqrt(variance))
 
 
+#: One run of each engine per fixture, shared across the whole
+#: module: the MC runs dominate the suite's wall clock and every
+#: comparison below reuses the same three results.
+_RUN_CACHE = {}
+
+
+def _fixture_key(layers, source):
+    layer_key = tuple(
+        (layer.material.name, layer.thickness_cm) for layer in layers
+    )
+    source_key = tuple(
+        sorted(
+            (name, "spectrum" if name == "source_spectrum" else value)
+            for name, value in source.items()
+        )
+    )
+    return layer_key, source_key
+
+
+def _runs(layers, source):
+    """Cached ``{engine: result}`` for one geometry fixture."""
+    key = _fixture_key(layers, source)
+    cached = _RUN_CACHE.get(key)
+    if cached is None:
+        geometry = SlabGeometry(layers)
+        cached = _RUN_CACHE[key] = {
+            "scalar": SlabTransport(
+                geometry, rng=np.random.default_rng(101)
+            ).run(N_HISTORIES, engine="scalar", **source),
+            "batch": SlabTransport(
+                geometry, rng=np.random.default_rng(202)
+            ).run(N_HISTORIES, engine="batch", **source),
+            "deterministic": SlabTransport(geometry).run(
+                1, engine="deterministic", **source
+            ),
+        }
+    return cached
+
+
 def _run_pair(layers, source):
-    geometry = SlabGeometry(layers)
-    scalar = SlabTransport(
-        geometry, rng=np.random.default_rng(101)
-    ).run(N_HISTORIES, engine="scalar", **source)
-    batch = SlabTransport(
-        geometry, rng=np.random.default_rng(202)
-    ).run(N_HISTORIES, engine="batch", **source)
-    return scalar, batch
+    runs = _runs(layers, source)
+    return runs["scalar"], runs["batch"]
+
+
+def _assert_deterministic_close(det, mc, n):
+    """The deterministic-vs-MC tolerance contract, one MC run.
+
+    Fraction channels: ``|det - mc/n| <= _K_SIGMA * sigma +
+    _ABS_FLOOR`` with the binomial ``sigma = sqrt(p(1-p)/n)``
+    (floored at one count so empty channels still carry slack).
+    Collisions: ``_COLL_REL`` relative plus a 6-sigma Poisson band.
+    """
+    channels = list(_FRACTION_CHANNELS)
+    mc_counts = dict(mc.absorbed_by_material)
+    det_fracs = dict(det.absorbed_by_material)
+    for name in set(mc_counts) | set(det_fracs):
+        channels.append(f"absorbed[{name}]")
+    for channel in channels:
+        if channel.startswith("absorbed["):
+            name = channel[len("absorbed["):-1]
+            p_mc = mc_counts.get(name, 0) / n
+            p_det = det_fracs.get(name, 0.0)
+        else:
+            p_mc = getattr(mc, channel) / n
+            p_det = getattr(det, channel)
+        sigma = math.sqrt(max(p_mc * (1.0 - p_mc), 1.0 / n) / n)
+        tolerance = _K_SIGMA * sigma + _ABS_FLOOR
+        assert abs(p_det - p_mc) <= tolerance, (
+            f"channel {channel}: deterministic={p_det:.6g}"
+            f" mc={p_mc:.6g} tolerance={tolerance:.3g}"
+        )
+    mc_coll = mc.collisions / n
+    coll_tol = (
+        _COLL_REL * mc_coll
+        + 6.0 * math.sqrt(max(mc.collisions, 1.0)) / n
+        + 1.0e-4
+    )
+    assert abs(det.collisions - mc_coll) <= coll_tol, (
+        f"collisions: deterministic={det.collisions:.6g}"
+        f" mc={mc_coll:.6g} tolerance={coll_tol:.3g}"
+    )
+
+
+_FRACTION_CHANNELS = (
+    "transmitted_thermal",
+    "transmitted_epithermal",
+    "transmitted_fast",
+    "reflected_thermal",
+    "reflected_epithermal",
+    "reflected_fast",
+    "absorbed",
+)
 
 
 class TestStatisticalEquivalence:
@@ -155,6 +274,85 @@ class TestStatisticalEquivalence:
         assert scalar.balance_check()
         assert batch.balance_check()
         assert scalar.source == batch.source == N_HISTORIES
+
+
+class TestThreeEngineCrossValidation:
+    """Deterministic solver vs both Monte Carlo engines, per fixture.
+
+    The comparison is asymmetric by design: the deterministic value
+    is exact for its (condensed) physics model, so the tolerance is
+    purely the MC standard error plus the documented condensation
+    allowances — see the module docstring for the k per channel.
+    """
+
+    @pytest.mark.parametrize("mc_engine", ["scalar", "batch"])
+    @pytest.mark.parametrize("layers,source", GEOMETRY_FIXTURES)
+    def test_deterministic_matches_mc(
+        self, layers, source, mc_engine
+    ):
+        runs = _runs(layers, source)
+        _assert_deterministic_close(
+            runs["deterministic"], runs[mc_engine], N_HISTORIES
+        )
+
+    @pytest.mark.parametrize("layers,source", GEOMETRY_FIXTURES)
+    def test_deterministic_balance_is_machine_tight(
+        self, layers, source
+    ):
+        """No statistical slack: T + R + A = 1 to iteration tolerance."""
+        det = _runs(layers, source)["deterministic"]
+        assert det.balance_check()
+        assert det.balance_residual <= 1.0e-6
+        assert det.source == 1.0
+
+    @pytest.mark.parametrize("layers,source", GEOMETRY_FIXTURES)
+    def test_deterministic_layer_split_sums_to_absorbed(
+        self, layers, source
+    ):
+        det = _runs(layers, source)["deterministic"]
+        assert len(det.absorbed_by_layer) == len(layers)
+        assert sum(det.absorbed_by_layer) == pytest.approx(
+            det.absorbed, abs=1.0e-9
+        )
+
+
+class TestBrokenEngineCanary:
+    """Prove the cross-validation harness actually rejects bad physics.
+
+    A tolerance contract that never fires is indistinguishable from
+    no contract; here the condensation step is deliberately broken
+    (absorption tripled) and the harness must flag the divergence.
+    """
+
+    def test_miscondensed_absorption_is_caught(self, monkeypatch):
+        from repro.transport.multigroup import solver as solver_module
+
+        real_collapse = solver_module.collapse
+
+        def broken_collapse(material, structure, bath_energy_ev,
+                            points_per_group=8):
+            table = real_collapse(
+                material, structure, bath_energy_ev,
+                points_per_group=points_per_group,
+            )
+            return dataclasses.replace(
+                table,
+                sigma_absorb_per_cm_g=(
+                    table.sigma_absorb_per_cm_g * 3.0
+                ),
+            )
+
+        monkeypatch.setattr(
+            solver_module, "collapse", broken_collapse
+        )
+        det = SlabTransport(
+            SlabGeometry([Layer(WATER, 5.0)])
+        ).run(1, source_energy_ev=1.0e6, engine="deterministic")
+        mc = _runs(
+            [Layer(WATER, 5.0)], {"source_energy_ev": 1.0e6}
+        )["batch"]
+        with pytest.raises(AssertionError):
+            _assert_deterministic_close(det, mc, N_HISTORIES)
 
 
 class TestBatchDeterminism:

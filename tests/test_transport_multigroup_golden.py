@@ -1,0 +1,81 @@
+"""Golden regression tests for cross-section condensation.
+
+The collapsed tables for two reference materials are committed under
+``tests/data/`` and compared *exactly* (``==`` on the ``to_dict``
+form, not approximately): condensation is pure float arithmetic with
+no RNG, so any bitwise drift means the collapse algorithm changed —
+which silently re-biases every deterministic solve and must be a
+deliberate, golden-regenerating decision, not an accident.
+
+Regenerate after an intentional physics change with::
+
+    python -c "
+    import json
+    from repro.physics.constants import (
+        BOLTZMANN_EV_PER_K, ROOM_TEMPERATURE_K)
+    from repro.transport.materials import WATER, CADMIUM
+    from repro.transport.multigroup import GroupStructure, collapse
+    bath = BOLTZMANN_EV_PER_K * ROOM_TEMPERATURE_K
+    for material, name, path in [
+        (WATER, 'sneq-2', 'tests/data/collapsed_water_sneq2.json'),
+        (CADMIUM, 'bands-3',
+         'tests/data/collapsed_cadmium_bands3.json'),
+    ]:
+        table = collapse(material, GroupStructure.named(name), bath)
+        with open(path, 'w') as fh:
+            json.dump(table.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write('\\n')
+    "
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.physics.constants import (
+    BOLTZMANN_EV_PER_K,
+    ROOM_TEMPERATURE_K,
+)
+from repro.transport.materials import CADMIUM, WATER
+from repro.transport.multigroup import (
+    CollapsedMaterial,
+    GroupStructure,
+    collapse,
+)
+
+_DATA = pathlib.Path(__file__).parent / "data"
+
+_BATH_EV = BOLTZMANN_EV_PER_K * ROOM_TEMPERATURE_K
+
+GOLDENS = [
+    pytest.param(
+        WATER, "sneq-2", "collapsed_water_sneq2.json",
+        id="water-sneq2",
+    ),
+    pytest.param(
+        CADMIUM, "bands-3", "collapsed_cadmium_bands3.json",
+        id="cadmium-bands3",
+    ),
+]
+
+
+@pytest.mark.parametrize("material,structure_name,filename", GOLDENS)
+def test_condensation_matches_golden(
+    material, structure_name, filename
+):
+    structure = GroupStructure.named(structure_name)
+    table = collapse(material, structure, _BATH_EV)
+    golden = json.loads((_DATA / filename).read_text())
+    # Round-trip through JSON so float reprs compare like for like.
+    assert json.loads(json.dumps(table.to_dict())) == golden
+
+
+@pytest.mark.parametrize("material,structure_name,filename", GOLDENS)
+def test_golden_roundtrips_through_serde(
+    material, structure_name, filename
+):
+    golden = json.loads((_DATA / filename).read_text())
+    table = CollapsedMaterial.from_dict(golden)
+    assert table.material_name == material.name
+    assert json.loads(json.dumps(table.to_dict())) == golden

@@ -1,0 +1,210 @@
+"""Property-based tests for the deterministic multigroup engine.
+
+Hypothesis drives randomized layer stacks, source energies, and group
+structures through :class:`DeterministicTransportEngine` and the
+condensation step, asserting the invariants that must hold for
+*every* input, not just the committed fixtures:
+
+* particle balance — transmitted + reflected + absorbed = 1 to the
+  iteration tolerance, with no statistical slack;
+* non-negativity of every channel;
+* bit-identical repeat solves — the engine owns no RNG, so two
+  engines built from scratch must agree to the last bit;
+* group-structure sanity — edges strictly increasing, band
+  classification consistent with group midpoints;
+* condensation bounds — the collapsed cross sections are averages of
+  the continuous-energy data, so each group value lies inside the
+  continuous min/max over that group (exactly: scattering is
+  energy-flat, absorption is 1/v and therefore bracketed by its
+  edge values);
+* no upscatter above the thermal bath — a collapsed transfer row can
+  only reach groups at or below the incident one, except for the
+  bath floor.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.physics.constants import (
+    BOLTZMANN_EV_PER_K,
+    ROOM_TEMPERATURE_K,
+)
+from repro.transport.materials import (
+    AIR,
+    BORATED_POLYETHYLENE,
+    CADMIUM,
+    CONCRETE,
+    POLYETHYLENE,
+    SILICON,
+    WATER,
+)
+from repro.transport.montecarlo import Layer, SlabGeometry
+from repro.transport.multigroup import (
+    DeterministicTransportEngine,
+    GroupStructure,
+    STRUCTURES,
+    collapse,
+    fine_structure,
+)
+
+_BATH_EV = BOLTZMANN_EV_PER_K * ROOM_TEMPERATURE_K
+
+_MATERIALS = [
+    WATER,
+    CONCRETE,
+    POLYETHYLENE,
+    BORATED_POLYETHYLENE,
+    CADMIUM,
+    AIR,
+    SILICON,
+]
+
+_layer = st.builds(
+    Layer,
+    st.sampled_from(_MATERIALS),
+    st.floats(min_value=0.05, max_value=4.0),
+)
+
+_stack = st.lists(_layer, min_size=1, max_size=3)
+
+_energy = st.floats(min_value=1.0e-2, max_value=2.0e7)
+
+#: Coarse structure for the solve-level properties: the invariants
+#: are structure-independent and a small group count keeps the
+#: hypothesis examples fast.
+_COARSE = GroupStructure(
+    (1.0e-3, 0.5, 1.0e2, 1.0e5, 1.0e7, 2.0e7),
+    name="coarse-test",
+)
+
+
+def _channels(result):
+    return [
+        result.transmitted_thermal,
+        result.transmitted_epithermal,
+        result.transmitted_fast,
+        result.reflected_thermal,
+        result.reflected_epithermal,
+        result.reflected_fast,
+        result.absorbed,
+        result.collisions,
+        *result.absorbed_by_material.values(),
+        *result.absorbed_by_layer,
+    ]
+
+
+class TestSolveInvariants:
+    @given(layers=_stack, energy_ev=_energy)
+    @settings(max_examples=20, deadline=None)
+    def test_balance_and_nonnegativity(self, layers, energy_ev):
+        engine = DeterministicTransportEngine(
+            SlabGeometry(layers), _BATH_EV, structure=_COARSE
+        )
+        result = engine.run(source_energy_ev=energy_ev)
+        assert result.balance_check()
+        assert all(value >= 0.0 for value in _channels(result))
+        total = (
+            result.transmitted + result.reflected + result.absorbed
+        )
+        assert abs(total - 1.0) <= 1.0e-6
+
+    @given(layers=_stack, energy_ev=_energy)
+    @settings(max_examples=10, deadline=None)
+    def test_repeat_solves_are_bit_identical(
+        self, layers, energy_ev
+    ):
+        """No RNG anywhere: rebuilt engines agree to the last bit."""
+        geometry = SlabGeometry(layers)
+        first = DeterministicTransportEngine(
+            geometry, _BATH_EV, structure=_COARSE
+        ).run(source_energy_ev=energy_ev)
+        second = DeterministicTransportEngine(
+            geometry, _BATH_EV, structure=_COARSE
+        ).run(source_energy_ev=energy_ev)
+        assert first == second
+
+
+class TestGroupStructures:
+    @given(name=st.sampled_from(sorted(STRUCTURES)))
+    def test_named_structures_have_monotone_edges(self, name):
+        structure = STRUCTURES[name]()
+        edges = structure.edges_ev
+        assert edges.size >= 2
+        assert np.all(edges > 0.0)
+        assert np.all(np.diff(edges) > 0.0)
+
+    @given(
+        emin=st.floats(min_value=1.0e-4, max_value=1.0e-2),
+        decades=st.integers(min_value=6, max_value=11),
+        per_decade=st.integers(min_value=2, max_value=12),
+    )
+    def test_fine_structure_edges_monotone(
+        self, emin, decades, per_decade
+    ):
+        structure = fine_structure(
+            emin_ev=emin,
+            emax_ev=emin * 10.0**decades,
+            groups_per_decade=per_decade,
+        )
+        assert np.all(np.diff(structure.edges_ev) > 0.0)
+
+    def test_fine_structure_respects_band_cutoffs(self):
+        """No group straddles 0.5 eV or 1e7 eV, so each group's band
+        classification is exact, not a midpoint approximation."""
+        edges = fine_structure().edges_ev
+        for cutoff in (0.5, 1.0e7):
+            inside = (edges[:-1] < cutoff) & (cutoff < edges[1:])
+            assert not inside.any()
+
+    @given(energy_ev=_energy)
+    def test_group_index_brackets_energy(self, energy_ev):
+        structure = fine_structure()
+        g = structure.group_index(energy_ev)
+        assert 0 <= g < structure.n_groups
+        lo, hi = structure.edges_ev[g], structure.edges_ev[g + 1]
+        if lo <= energy_ev <= hi:
+            return  # in-span: exact (closed) bracket
+        # Out-of-span energies clamp to the nearest end group.
+        assert g in (0, structure.n_groups - 1)
+
+
+class TestCondensationBounds:
+    @given(material=st.sampled_from(_MATERIALS))
+    def test_collapsed_sigma_bounded_by_continuous(self, material):
+        """Each group value is an average of the continuous data, so
+        it lies within the continuous min/max over the group: the
+        scattering cross section is energy-flat (equal everywhere)
+        and 1/v absorption is bracketed by its edge values."""
+        structure = fine_structure()
+        table = collapse(material, structure, _BATH_EV)
+        sigma_s = material.sigma_scatter_per_cm(1.0)
+        assert np.allclose(
+            table.sigma_scatter_per_cm_g, sigma_s, rtol=1e-12
+        )
+        lo = structure.edges_ev[:-1]
+        hi = structure.edges_ev[1:]
+        upper = material.sigma_absorb_per_cm(1.0) / np.sqrt(lo)
+        lower = material.sigma_absorb_per_cm(1.0) / np.sqrt(hi)
+        sigma_a = table.sigma_absorb_per_cm_g
+        assert np.all(sigma_a <= upper * (1.0 + 1e-12))
+        assert np.all(sigma_a >= lower * (1.0 - 1e-12))
+
+    @given(material=st.sampled_from(_MATERIALS))
+    def test_no_upscatter_above_bath(self, material):
+        """transfer[g_in, g_out] > 0 requires bath_group <= g_out <=
+        max(g_in, bath_group): elastic scattering only loses energy,
+        except the thermal-bath floor which re-emits at the bath."""
+        structure = fine_structure()
+        table = collapse(material, structure, _BATH_EV)
+        g_in, g_out = np.nonzero(table.transfer)
+        ceiling = np.maximum(g_in, table.bath_group)
+        assert np.all(g_out >= table.bath_group)
+        assert np.all(g_out <= ceiling)
+
+    @given(material=st.sampled_from(_MATERIALS))
+    def test_transfer_rows_are_stochastic(self, material):
+        table = collapse(material, fine_structure(), _BATH_EV)
+        assert np.all(table.transfer >= 0.0)
+        assert np.allclose(
+            table.transfer.sum(axis=1), 1.0, atol=1e-12
+        )
