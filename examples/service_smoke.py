@@ -5,7 +5,8 @@ process, then exercises the acceptance shape from the service design:
 100 concurrent identical transmission queries (a thundering herd the
 coalescer and cache must collapse to one underlying computation) plus
 10 distinct queries, a ``/metrics`` scrape proving the single
-computation, and a SIGTERM clean shutdown with exit code 0.
+computation, and a SIGTERM graceful shutdown with the interrupted
+exit code (5), mirroring ``repro run``.
 
 This doubles as the CI ``service-smoke`` job driver and a worked
 example of the blocking client API.
@@ -21,6 +22,7 @@ import tempfile
 import threading
 import time
 
+from repro.exitcodes import ExitCode
 from repro.service import ServiceClient
 
 IDENTICAL_CLIENTS = 100
@@ -156,9 +158,11 @@ def main() -> None:
             if proc.poll() is None:
                 proc.kill()
                 proc.communicate()
-        assert proc.returncode == 0, proc.returncode
+        assert proc.returncode == int(ExitCode.INTERRUPTED), (
+            proc.returncode
+        )
         assert "clean shutdown" in out, out
-        print("service smoke: clean shutdown, exit 0")
+        print("service smoke: clean shutdown, exit 5 (interrupted)")
 
 
 if __name__ == "__main__":

@@ -57,7 +57,7 @@ ALL_ACTIONS = (
 #: Checkpoint payload fields whose value the ``corrupt`` action bumps
 #: (whichever exists first) — each changes resume *semantics*, so a
 #: reader without checksum verification resumes silently wrong.
-_CORRUPTIBLE_FIELDS = ("next_step", "next_day", "events_used")
+_CORRUPTIBLE_FIELDS = ("next_step", "next_day", "events_used", "seq")
 
 
 class ChaosCrashError(Exception):
@@ -110,10 +110,26 @@ def perform(action: str, context: dict, controller) -> None:
 
 
 def _torn_write(context: dict) -> None:
-    """Write only the first half of the payload to the temp file."""
+    """Write only the first half of the payload to the temp file.
+
+    With an ``offset`` in the context (the study ledger, which
+    appends in place rather than tmp-then-rename), the tear keeps
+    every byte before the offset intact and leaves half the new
+    record dangling — exactly what power loss mid-append produces.
+    """
     tmp = Path(context["tmp"])
     text = str(context["text"])
-    tmp.write_text(text[: len(text) // 2])
+    half = text[: len(text) // 2]
+    if "offset" in context:
+        offset = int(context["offset"])
+        with open(tmp, "r+b") as handle:
+            handle.truncate(offset)
+            handle.seek(offset)
+            handle.write(half.encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        return
+    tmp.write_text(half)
 
 
 def _truncate(path: Path) -> None:
@@ -123,19 +139,33 @@ def _truncate(path: Path) -> None:
 
 
 def _corrupt(path: Path) -> None:
-    """Alter the payload while keeping the file valid JSON.
+    """Alter the payload while keeping the file parseable.
 
     The stored checksum is left untouched, so a checksum-verifying
     reader raises ``CheckpointError`` while a naive reader resumes
     from silently wrong state — the invariant the chaos suite exists
-    to catch.
+    to catch.  A JSON-lines file (the study ledger) gets its first
+    record altered in place; a whole-file JSON document (a
+    checkpoint) is rewritten as before.
     """
-    data = json.loads(path.read_text())
+    raw = path.read_text()
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError:
+        lines = raw.split("\n")
+        lines[0] = json.dumps(_bump(json.loads(lines[0])), sort_keys=True)
+        path.write_text("\n".join(lines))
+        return
+    path.write_text(json.dumps(_bump(data), indent=2, sort_keys=True))
+
+
+def _bump(data: dict) -> dict:
+    """Increment the first corruptible field present (in place)."""
     for field in _CORRUPTIBLE_FIELDS:
         if field in data:
             data[field] = int(data[field]) + 1
             break
-    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+    return data
 
 
 def _duplicate(context: dict) -> None:

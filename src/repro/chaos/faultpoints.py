@@ -162,6 +162,42 @@ _declare(
     "a service response about to be serialized onto the wire",
     actions=("raise-transient", "crash"),
 )
+_declare(
+    "studies.ledger_append",
+    "repro.studies.ledger",
+    "a study ledger record just made durable (written and fsynced)",
+    actions=(
+        "raise-transient",
+        "torn-write",
+        "kill-process",
+        "duplicate",
+        "truncate",
+        "corrupt",
+    ),
+    kill_safe=True,
+)
+_declare(
+    "studies.shard_dispatch",
+    "repro.studies.scheduler",
+    "a study shard about to evaluate (before any RNG work)",
+    actions=("raise-transient", "crash", "kill-process"),
+    kill_safe=True,
+)
+_declare(
+    "studies.shard_commit",
+    "repro.studies.store",
+    "a shard result about to be renamed into the content-addressed"
+    " store (tmp written and fsynced)",
+    actions=("raise-transient", "kill-process", "duplicate"),
+    kill_safe=True,
+)
+_declare(
+    "studies.quarantine",
+    "repro.studies.scheduler",
+    "a poison shard about to be quarantined in the ledger",
+    actions=("raise-transient", "kill-process"),
+    kill_safe=True,
+)
 
 
 def fault_point(site: str, **context) -> None:

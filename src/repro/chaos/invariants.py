@@ -26,6 +26,12 @@ asserts the runtime's recovery *contract*, not merely survival:
   every waiter gets byte-identical bytes — or one clean shared
   error; a SIGKILL'd service worker yields a degraded-flagged
   response rather than a hang or an unhandled exception.
+* **The study ledger never lies.**  After a SIGKILL, a torn append,
+  or a duplicate delivery at any study fault point, replaying the
+  write-ahead ledger and resuming yields the clean run's report
+  byte-for-byte with every shard committed exactly once; a ledger
+  corrupted or truncated at rest is detected (``LedgerError``) or
+  recovered identically — never resumed silently wrong.
 """
 
 from __future__ import annotations
@@ -58,6 +64,8 @@ from repro.runtime.supervisor import (
     SupervisedFleetResult,
 )
 from repro.spectra import ROTAX_THERMAL_FLUX
+from repro.studies.ledger import LedgerError
+from repro.studies.report import StudyReport
 from repro.transport.batch import BatchTransportEngine
 from repro.transport.materials import WATER
 from repro.transport.montecarlo import Layer, SlabGeometry
@@ -138,6 +146,15 @@ def canon_service(line: str) -> str:
         },
         sort_keys=True,
     )
+
+
+def canon_study(report: StudyReport) -> str:
+    """Canonical JSON of a study's merged report.
+
+    Built purely from durable state, so a kill-and-resume run must
+    reproduce it byte-for-byte.
+    """
+    return json.dumps(report.to_dict(), sort_keys=True)
 
 
 def canon_ddr(result: DdrTestResult) -> str:
@@ -346,6 +363,24 @@ class InvariantChecker:
             self._clean["ddr"] = canon_ddr(self._run_ddr())
         return self._clean["ddr"]
 
+    def clean_study(self) -> str:
+        """Canonical report of the clean study trial run."""
+        if "study" not in self._clean:
+            workdir = self.workdir / "clean-study"
+            outcome = trials.make_study_scheduler(workdir).run()
+            self._clean["study"] = canon_study(outcome.report)
+        return self._clean["study"]
+
+    def clean_study_poison(self) -> str:
+        """Canonical report of the clean poison-shard study run."""
+        if "study-poison" not in self._clean:
+            workdir = self.workdir / "clean-study-poison"
+            outcome = trials.make_study_scheduler(
+                workdir, poison=True
+            ).run()
+            self._clean["study-poison"] = canon_study(outcome.report)
+        return self._clean["study-poison"]
+
     def clean_service(self) -> str:
         """Canonical response of the clean service trial query."""
         if "service" not in self._clean:
@@ -407,6 +442,13 @@ class InvariantChecker:
             "service.dispatch": 1,
             "service.handoff": 1,
             "service.respond": 1,
+            # Study: started + 4 shard commits + finished = 6
+            # appends; 4 dispatches; 4 store publishes; 1 quarantine
+            # (the poison trial's single poison shard).
+            "studies.ledger_append": 6,
+            "studies.shard_dispatch": 4,
+            "studies.shard_commit": 4,
+            "studies.quarantine": 1,
         }
         return per_site[site]
 
@@ -482,6 +524,14 @@ class InvariantChecker:
             return self._trial_service_dispatch(spec, tmpdir)
         if site == "service.respond":
             return self._trial_service_respond(spec, tmpdir)
+        if site == "studies.ledger_append":
+            return self._trial_studies_ledger(spec, tmpdir)
+        if site == "studies.shard_dispatch":
+            return self._trial_studies_dispatch(spec, tmpdir)
+        if site == "studies.shard_commit":
+            return self._trial_studies_commit(spec, tmpdir)
+        if site == "studies.quarantine":
+            return self._trial_studies_quarantine(spec, tmpdir)
         raise ConfigurationError(f"no trial harness for {site!r}")
 
     # -- campaign-backed cells -----------------------------------------
@@ -1135,6 +1185,278 @@ class InvariantChecker:
         if canon_service(out2) != clean:
             violations.append(
                 "service did not recover after respond fault"
+            )
+        return violations, fired
+
+    # -- study cells ---------------------------------------------------
+
+    def _trial_studies_ledger(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        """Ledger-append faults: healed, skipped, or refused — the
+        replayed state is never silently wrong."""
+        if spec.action == chaos_actions.KILL_PROCESS:
+            return self._studies_kill_trial(spec, tmpdir, "study")
+        clean = self.clean_study()
+        violations: List[str] = []
+        workdir = tmpdir / "study"
+        controller = ChaosController(spec)
+        scheduler = trials.make_study_scheduler(workdir)
+        outcome = None
+        with activated(controller):
+            try:
+                outcome = scheduler.run()
+            except LedgerError:
+                pass
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        recoverable = spec.action in (
+            chaos_actions.RAISE_TRANSIENT,
+            chaos_actions.TORN_WRITE,
+            chaos_actions.DUPLICATE,
+        )
+        if recoverable:
+            if outcome is None:
+                violations.append(
+                    f"{spec.action} ledger append was not ridden out"
+                )
+            elif outcome.status != "complete":
+                violations.append(
+                    f"run ended {outcome.status!r}, expected complete"
+                )
+            elif canon_study(outcome.report) != clean:
+                violations.append(
+                    "faulted run diverged from clean run"
+                )
+            else:
+                try:
+                    resumed = trials.make_study_scheduler(
+                        workdir
+                    ).run()
+                except LedgerError as exc:
+                    violations.append(
+                        f"recovered ledger refused replay: {exc}"
+                    )
+                else:
+                    if canon_study(resumed.report) != clean:
+                        violations.append(
+                            "resume diverged from clean run"
+                        )
+            return violations, fired
+        # truncate / corrupt (storage rot): either every subsequent
+        # replay refuses with LedgerError, or — for a truncation that
+        # merely looks like a torn tail — resume recovers the clean
+        # report exactly.  Silent divergence is the only violation.
+        detected = outcome is None
+        if not detected:
+            try:
+                resumed = trials.make_study_scheduler(workdir).run()
+            except LedgerError:
+                detected = True
+            else:
+                if spec.action == chaos_actions.CORRUPT:
+                    violations.append(
+                        "corrupt ledger record resumed silently"
+                    )
+                elif canon_study(resumed.report) != clean:
+                    violations.append(
+                        "truncated ledger resumed to a wrong report"
+                    )
+                return violations, fired
+        # The refusal must be durable: a later resume attempt must
+        # keep raising rather than append onto a corrupt ledger.
+        try:
+            trials.make_study_scheduler(workdir).run()
+        except LedgerError:
+            pass
+        else:
+            violations.append(
+                f"{spec.action} ledger refusal was not durable"
+            )
+        return violations, fired
+
+    def _trial_studies_dispatch(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        """Dispatch faults: retried or failure-counted, never wedged,
+        tallies unchanged."""
+        if spec.action == chaos_actions.KILL_PROCESS:
+            return self._studies_kill_trial(spec, tmpdir, "study")
+        clean = self.clean_study()
+        violations: List[str] = []
+        workdir = tmpdir / "study"
+        controller = ChaosController(spec)
+        scheduler = trials.make_study_scheduler(workdir)
+        with activated(controller):
+            outcome = scheduler.run()
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        if outcome.status != "complete":
+            violations.append(
+                f"dispatch fault was not ridden out"
+                f" ({outcome.status})"
+            )
+        if canon_study(outcome.report) != clean:
+            violations.append(
+                "dispatch-faulted run diverged from clean run"
+            )
+        state = scheduler.ledger.replay()
+        if spec.action == chaos_actions.RAISE_TRANSIENT:
+            if scheduler.events.count(EventKind.RETRY) < 1:
+                violations.append("no RETRY event recorded")
+            if state.failures:
+                violations.append(
+                    "transient dispatch fault recorded a"
+                    f" deterministic failure: {dict(state.failures)}"
+                )
+        else:  # crash
+            if sum(state.failures.values()) != 1:
+                violations.append(
+                    "expected exactly 1 ledgered failure, saw"
+                    f" {dict(state.failures)}"
+                )
+        return violations, fired
+
+    def _trial_studies_commit(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        """Result-publish faults: retried idempotently, no torn tmp."""
+        if spec.action == chaos_actions.KILL_PROCESS:
+            return self._studies_kill_trial(spec, tmpdir, "study")
+        clean = self.clean_study()
+        violations: List[str] = []
+        workdir = tmpdir / "study"
+        controller = ChaosController(spec)
+        scheduler = trials.make_study_scheduler(workdir)
+        with activated(controller):
+            outcome = scheduler.run()
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        if outcome.status != "complete":
+            violations.append(
+                f"commit fault was not ridden out ({outcome.status})"
+            )
+        if canon_study(outcome.report) != clean:
+            violations.append(
+                "commit-faulted run diverged from clean run"
+            )
+        stale = list((workdir / "store").rglob("*.tmp"))
+        if stale:
+            violations.append(
+                "torn shard tmp left behind:"
+                f" {[p.name for p in stale]}"
+            )
+        return violations, fired
+
+    def _trial_studies_quarantine(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        """Quarantine faults: the poison shard lands in quarantine
+        exactly once and the study degrades instead of wedging."""
+        if spec.action == chaos_actions.KILL_PROCESS:
+            return self._studies_kill_trial(
+                spec, tmpdir, "study-poison"
+            )
+        clean = self.clean_study_poison()
+        violations: List[str] = []
+        workdir = tmpdir / "study"
+        controller = ChaosController(spec)
+        scheduler = trials.make_study_scheduler(workdir, poison=True)
+        with activated(controller):
+            outcome = scheduler.run()
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        if outcome.status != "degraded":
+            violations.append(
+                f"poison study ended {outcome.status!r},"
+                " expected degraded"
+            )
+        if canon_study(outcome.report) != clean:
+            violations.append(
+                "quarantine-faulted run diverged from clean"
+                " poison run"
+            )
+        state = scheduler.ledger.replay()
+        expected = (trials.STUDY_POISON_SHARD,)
+        if tuple(sorted(state.quarantined)) != expected:
+            violations.append(
+                f"quarantined {sorted(state.quarantined)},"
+                f" expected {list(expected)}"
+            )
+        return violations, fired
+
+    def _studies_kill_trial(
+        self, spec: ChaosSpec, tmpdir: Path, target: str
+    ) -> Tuple[List[str], bool]:
+        """SIGKILL a study child mid-run; resume must be byte-exact."""
+        workdir = tmpdir / "study"
+        workdir.mkdir(parents=True, exist_ok=True)
+        marker = tmpdir / "marker"
+        armed = ChaosSpec(
+            site=spec.site,
+            action=spec.action,
+            fire_at=spec.fire_at,
+            max_fires=spec.max_fires,
+            worker_only=spec.worker_only,
+            marker_path=str(marker),
+        )
+        outcome = trials.run_kill_trial(target, armed, workdir)
+        violations: List[str] = []
+        fired = outcome.fired
+        if outcome.hung:
+            violations.append("chaos child hung past timeout")
+        if not fired:
+            violations.append("fault never fired (no marker)")
+        elif outcome.exit_code != -signal.SIGKILL:
+            violations.append(
+                f"child exited {outcome.exit_code},"
+                f" expected -{int(signal.SIGKILL)}"
+            )
+        poison = target == "study-poison"
+        clean = (
+            self.clean_study_poison()
+            if poison
+            else self.clean_study()
+        )
+        scheduler = trials.make_study_scheduler(
+            workdir, poison=poison
+        )
+        try:
+            resumed = scheduler.run()
+        except LedgerError as exc:
+            violations.append(
+                f"ledger observable invalid after kill: {exc}"
+            )
+            return violations, fired
+        expected = "degraded" if poison else "complete"
+        if resumed.status != expected:
+            violations.append(
+                f"resume ended {resumed.status!r},"
+                f" expected {expected}"
+            )
+        if canon_study(resumed.report) != clean:
+            violations.append(
+                "resumed result diverged from clean run"
+            )
+        stale = list((workdir / "store").rglob("*.tmp"))
+        if stale:
+            violations.append(
+                "stale shard tmp survived resume:"
+                f" {[p.name for p in stale]}"
+            )
+        # replay() raises on any double-committed shard, so a clean
+        # replay plus the exact committed count proves each shard was
+        # counted exactly once.
+        state = scheduler.ledger.replay()
+        n_expected = scheduler.spec.n_shards - (1 if poison else 0)
+        if len(state.committed) != n_expected:
+            violations.append(
+                f"{len(state.committed)} shards committed,"
+                f" expected {n_expected}"
             )
         return violations, fired
 

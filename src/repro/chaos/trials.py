@@ -24,7 +24,7 @@ from repro.obs import core as obs
 from repro.core.fleet import FleetSimulator
 from repro.devices import get_device
 from repro.environment import NEW_YORK, datacenter_scenario
-from repro.runtime.budget import Budget
+from repro.runtime.budget import Budget, RetryPolicy
 from repro.runtime.errors import ConfigurationError
 from repro.runtime.supervisor import (
     CampaignRunner,
@@ -34,9 +34,12 @@ from repro.runtime.supervisor import (
     heterogeneous_plan,
 )
 from repro.service.admission import AdmissionController
-from repro.service.compute import QueryExecutor
+from repro.service.compute import CircuitBreaker, QueryExecutor
 from repro.service.cache import ResultCache
 from repro.service.server import FitService
+from repro.studies.evaluate import evaluate_shard
+from repro.studies.scheduler import ENGINE_CASCADE, StudyScheduler
+from repro.studies.spec import Shard, StudySpec
 
 #: Campaign trial sizing (small simulated exposures; seconds per run).
 CAMPAIGN_DURATION_S = 300.0
@@ -216,6 +219,71 @@ def run_service_storm(
 
 
 # ----------------------------------------------------------------------
+# Study trial workloads
+# ----------------------------------------------------------------------
+
+#: Monte Carlo histories per study trial point (seconds-scale).
+STUDY_N_NEUTRONS = 256
+STUDY_SEED = 2020
+#: The shard the poison trial's evaluator always crashes.
+STUDY_POISON_SHARD = 0
+#: Deterministic failures before the poison shard quarantines.
+STUDY_POISON_FAILURES = 2
+
+
+def make_study_spec(poison: bool = False) -> StudySpec:
+    """The 2x2 study grid chaos trials run (one point per shard)."""
+    return StudySpec(
+        name="chaos-study",
+        axes={
+            "site": ("leadville", "nyc"),
+            "shield": ("none", "cadmium"),
+        },
+        seed=STUDY_SEED,
+        n_neutrons=STUDY_N_NEUTRONS,
+        shard_size=1,
+        max_shard_failures=(
+            STUDY_POISON_FAILURES if poison else 3
+        ),
+    )
+
+
+def poison_evaluate(
+    shard: Shard, spec: StudySpec, engine: str
+) -> dict:
+    """Evaluator that deterministically crashes one shard forever."""
+    if shard.index == STUDY_POISON_SHARD:
+        raise ValueError("chaos: poison shard")
+    return evaluate_shard(shard, spec, engine)
+
+
+def make_study_scheduler(
+    workdir: Union[str, Path], poison: bool = False
+) -> StudyScheduler:
+    """A trial-sized :class:`StudyScheduler` rooted at ``workdir``.
+
+    Breakers get an unreachable threshold so the engine cascade never
+    engages: the trial canon must depend only on durable state, not
+    on how many failures this particular process happened to see
+    (breaker state is in-memory and resets on resume).  The cascade
+    itself is covered by deterministic unit tests.
+    """
+    workdir = Path(workdir)
+    return StudyScheduler(
+        make_study_spec(poison=poison),
+        ledger_path=workdir / "ledger.jsonl",
+        store_root=workdir / "store",
+        retry=RetryPolicy(),
+        sleep=_no_sleep,
+        evaluate=poison_evaluate if poison else None,
+        breakers={
+            engine: CircuitBreaker(failure_threshold=10**6)
+            for engine in ENGINE_CASCADE
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # Forked children for SIGKILL trials
 # ----------------------------------------------------------------------
 
@@ -237,10 +305,30 @@ def _fleet_child(
     make_fleet_runner(checkpoint_path).run(n_days=FLEET_N_DAYS)
 
 
+def _study_child(
+    spec_dict: dict, workdir: str, plan: str
+) -> None:
+    """Child entry: run a durable study under chaos."""
+    del plan
+    install(ChaosController(ChaosSpec.from_dict(spec_dict)))
+    make_study_scheduler(workdir).run()
+
+
+def _study_poison_child(
+    spec_dict: dict, workdir: str, plan: str
+) -> None:
+    """Child entry: run a study with a poison shard under chaos."""
+    del plan
+    install(ChaosController(ChaosSpec.from_dict(spec_dict)))
+    make_study_scheduler(workdir, poison=True).run()
+
+
 #: Subprocess trial targets by workload name.
 CHILD_TARGETS: Dict[str, Callable[[dict, str, str], None]] = {
     "campaign": _campaign_child,
     "fleet": _fleet_child,
+    "study": _study_child,
+    "study-poison": _study_poison_child,
 }
 
 
@@ -326,10 +414,12 @@ __all__ = [
     "DELAY_TRIAL_BUDGET_S",
     "FLEET_N_DAYS",
     "SERVICE_STORM_CLIENTS",
+    "STUDY_POISON_SHARD",
     "build_campaign_plan",
     "make_campaign_runner",
     "make_fleet_runner",
     "make_service",
+    "make_study_scheduler",
     "run_kill_trial",
     "run_service_lines",
     "run_service_storm",

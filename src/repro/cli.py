@@ -469,6 +469,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return run_serve(args)
 
 
+def cmd_studies(args: argparse.Namespace) -> int:
+    """Durable sharded studies (see repro.studies)."""
+    from repro.studies.cli import run_studies
+
+    return run_studies(args)
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Observability tooling (see repro.obs)."""
     from repro.obs.cli import run_obs
@@ -638,6 +645,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_serve_arguments(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "studies",
+        help=(
+            "durable sharded studies: crash-tolerant FIT sweeps"
+            " with a write-ahead ledger and poison-shard quarantine"
+        ),
+    )
+    from repro.studies.cli import add_studies_arguments
+
+    add_studies_arguments(p)
+    p.set_defaults(func=cmd_studies)
 
     p = sub.add_parser(
         "obs",

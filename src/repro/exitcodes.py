@@ -31,6 +31,9 @@ class ExitCode(enum.IntEnum):
     ``INCOMPLETE``          3      campaign stopped early (budget/deadline)
     ``CHECKPOINT``          4      checkpoint missing, stale, or corrupt
     ``INTERRUPTED``         5      SIGINT/SIGTERM; final checkpoint flushed
+    ``DEGRADED``            6      finished, but with quarantined poison
+                                   shards or engine fallbacks (see
+                                   ``repro studies``)
     ======================  =====  =========================================
     """
 
@@ -40,3 +43,4 @@ class ExitCode(enum.IntEnum):
     INCOMPLETE = 3
     CHECKPOINT = 4
     INTERRUPTED = 5
+    DEGRADED = 6

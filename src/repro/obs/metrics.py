@@ -88,6 +88,22 @@ METRICS: Dict[str, str] = {
     "repro_service_breaker_open": (
         "service circuit breaker state (1 = batch engine disabled)"
     ),
+    "repro_service_cache_swept_total": (
+        "orphaned cache tmp files swept at server start"
+    ),
+    "repro_study_shards_total": "study shards committed",
+    "repro_study_shards_degraded_total": (
+        "study shards served by a fallback engine"
+    ),
+    "repro_study_shards_quarantined_total": (
+        "poison study shards quarantined"
+    ),
+    "repro_study_ledger_appends_total": (
+        "study write-ahead-ledger records durably appended"
+    ),
+    "repro_study_ledger_replays_total": (
+        "study write-ahead-ledger replays"
+    ),
 }
 
 #: Registered span names → one-line description.
@@ -107,6 +123,8 @@ SPANS: Dict[str, str] = {
     ),
     "memory.run": "one memory test campaign",
     "service.request": "one FIT service query end to end",
+    "study.run": "one sharded study end to end",
+    "study.shard": "one study shard evaluation attempt",
 }
 
 #: Registered event names → one-line description.
@@ -119,6 +137,7 @@ EVENTS: Dict[str, str] = {
         "a supervised call failed its final retry attempt"
     ),
     "service.shutdown": "the FIT service began graceful shutdown",
+    "study.quarantine": "a poison study shard was quarantined",
 }
 
 #: Histogram bucket upper bounds, seconds.  Spans range from

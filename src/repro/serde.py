@@ -61,6 +61,15 @@ SCHEMA_VERSIONS = {
     # First tagged release: group-collapsed cross-section tables
     # (the golden-test payload for the condensation step).
     "collapsed-material": 1,
+    # First tagged release: declarative sharded-study specifications.
+    "study-spec": 1,
+    # First tagged release: one write-ahead-ledger record (carries
+    # its own SHA-256 payload checksum and sequence number).
+    "study-ledger-record": 1,
+    # First tagged release: durable content-addressed shard results.
+    "study-shard-result": 1,
+    # First tagged release: the merged study report.
+    "study-report": 1,
 }
 
 

@@ -58,7 +58,9 @@ class ResultCache:
         self.root = Path(root)
         self._retry = retry if retry is not None else RetryPolicy()
         self._sleep = time.sleep if sleep is None else sleep
-        self._sweep_stale_tmp()
+        #: Stale ``*.tmp`` files removed at construction — exposed so
+        #: ``repro serve`` can count the sweep in a metric.
+        self.swept_on_init = self._sweep_stale_tmp()
 
     # -- lookup --------------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.service.admission import AdmissionController
 from repro.service.cache import ResultCache
 from repro.service.compute import QueryExecutor
 from repro.service.server import FitService
+from repro.studies.service import StudyGateway
 
 __all__ = ["add_serve_arguments", "load_plans", "run_serve"]
 
@@ -79,6 +80,20 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write an observability trace to this JSONL path",
     )
+    parser.add_argument(
+        "--study-root",
+        type=Path,
+        default=None,
+        help="durable root for study ledgers and shard results;"
+        " enables the study-submit/status/cancel verbs",
+    )
+    parser.add_argument(
+        "--drain-s",
+        type=float,
+        default=5.0,
+        help="seconds to let in-flight work finish after"
+        " SIGINT/SIGTERM before cancelling (default: %(default)s)",
+    )
 
 
 def load_plans(plan_root: Optional[Path]) -> Dict[str, dict]:
@@ -105,7 +120,13 @@ def load_plans(plan_root: Optional[Path]) -> Dict[str, dict]:
 
 
 def run_serve(args: argparse.Namespace) -> int:
-    """Entry point for ``repro serve``; blocks until shutdown."""
+    """Entry point for ``repro serve``; blocks until shutdown.
+
+    Exits :data:`ExitCode.INTERRUPTED` after a graceful
+    SIGINT/SIGTERM shutdown, mirroring ``repro run``: the service
+    stops accepting, drains in-flight work within ``--drain-s``,
+    flushes metrics, and only then returns.
+    """
     cache = (
         ResultCache(args.cache_dir)
         if args.cache_dir is not None
@@ -118,6 +139,11 @@ def run_serve(args: argparse.Namespace) -> int:
         if args.tenant_events > 0
         else None
     )
+    studies = (
+        StudyGateway(args.study_root)
+        if args.study_root is not None
+        else None
+    )
     service = FitService(
         executor=executor,
         cache=cache,
@@ -126,22 +152,48 @@ def run_serve(args: argparse.Namespace) -> int:
             default_budget=default_budget,
         ),
         plans=load_plans(args.plan_root),
+        studies=studies,
     )
     observer = obs.Observer(
         trace_path=args.trace, registry=MetricsRegistry()
     )
+    interrupted = False
     try:
         with obs.observing(observer):
-            asyncio.run(_serve_async(service, args.host, args.port))
+            if cache is not None:
+                obs.inc(
+                    "repro_service_cache_swept_total",
+                    cache.swept_on_init,
+                )
+            interrupted = asyncio.run(
+                _serve_async(
+                    service,
+                    args.host,
+                    args.port,
+                    drain_s=args.drain_s,
+                )
+            )
+            if studies is not None:
+                studies.drain(args.drain_s)
     finally:
         service.close()
+    if interrupted:
+        return int(ExitCode.INTERRUPTED)
     return int(ExitCode.OK)
 
 
 async def _serve_async(
-    service: FitService, host: str, port: int
-) -> None:
-    """Run the TCP server until SIGINT/SIGTERM."""
+    service: FitService,
+    host: str,
+    port: int,
+    drain_s: float = 5.0,
+) -> bool:
+    """Run the TCP server until SIGINT/SIGTERM.
+
+    Returns:
+        True when shutdown was triggered by a signal (always, at
+        present — the server has no other way to stop).
+    """
     loop = asyncio.get_running_loop()
     stop = asyncio.Event()
     installed = []
@@ -166,12 +218,30 @@ async def _serve_async(
         f"repro service listening on {addr[0]}:{addr[1]}",
         flush=True,
     )
+    interrupted = False
     try:
         await stop.wait()
+        interrupted = True
     finally:
+        # Stop accepting, then give in-flight work a bounded window
+        # before cancelling what remains.
         service.begin_shutdown()
         server.close()
-        await service.coalescer.drain()
+        deadline = loop.time() + max(0.0, drain_s)
+        try:
+            await asyncio.wait_for(
+                service.coalescer.drain(),
+                timeout=max(0.0, deadline - loop.time()),
+            )
+        except asyncio.TimeoutError:
+            pass
+        if connections:
+            # Idle NDJSON connections never end on their own; the
+            # deadline bounds how long a busy one may hold shutdown.
+            await asyncio.wait(
+                list(connections),
+                timeout=max(0.0, deadline - loop.time()),
+            )
         for task in list(connections):
             task.cancel()
         if connections:
@@ -188,3 +258,4 @@ async def _serve_async(
         for signum in installed:
             loop.remove_signal_handler(signum)
     print("repro service: clean shutdown", flush=True)
+    return interrupted

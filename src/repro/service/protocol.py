@@ -51,6 +51,7 @@ __all__ = [
     "ERROR_CODES",
     "MAX_N_NEUTRONS",
     "QUERY_KINDS",
+    "STUDY_KINDS",
     "Query",
     "Request",
     "SERVICE_SITES",
@@ -64,6 +65,10 @@ __all__ = [
 
 #: Computations the service answers, by request ``kind``.
 QUERY_KINDS = ("fit", "cross-section", "flux", "transmission")
+
+#: Study control-plane verbs, answered by the study gateway rather
+#: than the query path (see :mod:`repro.studies.service`).
+STUDY_KINDS = ("study-submit", "study-status", "study-cancel")
 
 #: Structured error codes a response's ``error.code`` may carry.
 ERROR_CODES = (

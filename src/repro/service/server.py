@@ -18,7 +18,7 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.chaos.faultpoints import fault_point
 from repro.obs import core as obs
@@ -27,6 +27,7 @@ from repro.service.cache import ResultCache
 from repro.service.coalesce import Coalescer
 from repro.service.compute import QueryExecutor
 from repro.service.protocol import (
+    STUDY_KINDS,
     ServiceError,
     encode_response,
     error_body,
@@ -34,7 +35,21 @@ from repro.service.protocol import (
     parse_request,
 )
 
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from repro.studies.service import StudyGateway
+
 __all__ = ["FitService"]
+
+
+def _peek_kind(line: str) -> Optional[str]:
+    """The request's ``kind`` when the line is a JSON object."""
+    try:
+        data = json.loads(line)
+    except ValueError:
+        return None
+    if isinstance(data, dict) and isinstance(data.get("kind"), str):
+        return data["kind"]
+    return None
 
 
 class FitService:
@@ -47,6 +62,9 @@ class FitService:
         coalescer: request coalescer (defaults to a fresh one).
         plans: named query presets clients may reference by
             ``plan``; loaded from ``--plan-root`` by the CLI.
+        studies: study gateway answering the
+            ``study-submit``/``study-status``/``study-cancel`` verbs
+            (``None`` rejects them with a structured error).
     """
 
     def __init__(
@@ -56,6 +74,7 @@ class FitService:
         admission: Optional[AdmissionController] = None,
         coalescer: Optional[Coalescer] = None,
         plans: Optional[Dict[str, dict]] = None,
+        studies: Optional["StudyGateway"] = None,
     ) -> None:
         self.executor = (
             executor if executor is not None else QueryExecutor()
@@ -70,6 +89,7 @@ class FitService:
             coalescer if coalescer is not None else Coalescer()
         )
         self.plans = dict(plans or {})
+        self.studies = studies
         self._closing = False
 
     # -- lifecycle -----------------------------------------------------
@@ -88,6 +108,8 @@ class FitService:
 
     async def handle_line(self, line: str) -> str:
         """Answer one NDJSON request line with one response line."""
+        if _peek_kind(line) in STUDY_KINDS:
+            return await self._handle_study(line)
         try:
             request = parse_request(line, self.plans)
         except ServiceError as exc:
@@ -146,6 +168,68 @@ class FitService:
                     time.monotonic() - started_s,
                 )
         return self._ok_line(request.request_id, envelope)
+
+    async def _handle_study(self, line: str) -> str:
+        """Answer one study verb (submit / status / cancel).
+
+        Study verbs bypass query parsing and admission: they are
+        control-plane operations whose heavy lifting runs on the
+        gateway's background thread, not on the event loop.
+        """
+        data = json.loads(line)
+        request_id = str(data.get("id", ""))
+        if not request_id:
+            return self._error_line(
+                "",
+                ServiceError(
+                    "bad-request",
+                    "request must carry a non-empty string 'id'",
+                ),
+            )
+        if self._closing:
+            return self._error_line(
+                request_id,
+                ServiceError(
+                    "shutting-down",
+                    "service is shutting down; retry elsewhere",
+                ),
+            )
+        if self.studies is None:
+            return self._error_line(
+                request_id,
+                ServiceError(
+                    "bad-request",
+                    "study verbs are disabled; start the server"
+                    " with --study-root",
+                ),
+            )
+        with obs.span("service.request", kind=str(data["kind"])):
+            obs.inc("repro_service_requests_total")
+            try:
+                result = await asyncio.to_thread(
+                    self.studies.handle, data
+                )
+            except ServiceError as exc:
+                return self._error_line(request_id, exc)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 — wire boundary
+                return self._error_line(
+                    request_id,
+                    ServiceError(
+                        "internal",
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                )
+        return self._ok_line(
+            request_id,
+            {
+                "result": result,
+                "cached": False,
+                "degraded": False,
+                "degraded_reason": "",
+            },
+        )
 
     async def _answer(self, request, timeout_s: float) -> dict:
         """Produce the success envelope for an admitted request."""

@@ -1,0 +1,42 @@
+"""Durable sharded studies: declarative sweeps that survive crashes.
+
+A *study* is a declarative FIT sweep over an axis grid (site x device
+x weather x cooling x shielding) compiled into a deterministic shard
+plan and executed by a crash-tolerant scheduler:
+
+* :mod:`repro.studies.spec` — :class:`StudySpec`: the validated grid,
+  its deterministic shard plan, and the content-addressed digests the
+  durability story hangs off.
+* :mod:`repro.studies.ledger` — an append-only, fsync'd write-ahead
+  ledger of serde-tagged, checksummed records; a SIGKILL at any
+  instant resumes byte-identically, torn tails are healed on replay.
+* :mod:`repro.studies.store` — idempotent content-addressed shard
+  results keyed on ``(shard digest, seed)`` (the service-cache key
+  scheme).
+* :mod:`repro.studies.scheduler` — :class:`StudyScheduler`:
+  at-least-once shards with deterministic retry backoff, poison-shard
+  quarantine after N failures, and a batch -> deterministic -> scalar
+  engine-degradation cascade behind per-engine circuit breakers.
+* :mod:`repro.studies.report` — the merged study report with per-shard
+  degradation flags and MC tallies.
+* :mod:`repro.studies.cli` / :mod:`repro.studies.service` — the
+  ``repro studies`` subcommands and the NDJSON service verbs
+  (``study-submit`` / ``study-status`` / ``study-cancel``).
+"""
+
+from repro.studies.ledger import LedgerError, StudyLedger
+from repro.studies.report import StudyReport
+from repro.studies.scheduler import StudyOutcome, StudyScheduler
+from repro.studies.spec import Shard, StudySpec
+from repro.studies.store import ShardResultStore
+
+__all__ = [
+    "LedgerError",
+    "Shard",
+    "ShardResultStore",
+    "StudyLedger",
+    "StudyOutcome",
+    "StudyReport",
+    "StudyScheduler",
+    "StudySpec",
+]

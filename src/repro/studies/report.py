@@ -1,0 +1,172 @@
+"""The merged study report: rows, tallies, degradation flags.
+
+Built purely from durable state (the replayed ledger plus the
+content-addressed result store), so the report after a kill-and-resume
+is byte-identical to the report of an uninterrupted run — the chaos
+invariant cells diff exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import serde
+from repro.studies.evaluate import evaluate_shard
+from repro.studies.ledger import LedgerState
+from repro.studies.spec import StudySpec
+from repro.studies.store import ShardResultStore
+
+__all__ = ["StudyReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class StudyReport:
+    """One study's merged, durable-state-derived result.
+
+    Attributes:
+        name: the spec's study name.
+        digest: the spec digest the ledger is bound to.
+        status: ``complete`` (every shard committed cleanly),
+            ``degraded`` (all shards resolved, but some quarantined
+            or served by a fallback engine), or ``incomplete``
+            (shards still pending).
+        n_shards: shard-plan size.
+        committed: sorted committed shard indices.
+        quarantined: sorted poison-shard indices.
+        degraded_shards: per-shard degradation flags
+            ``(shard, engine, reason)`` for every committed shard
+            that fell back.
+        rows: per-point result rows in grid order.
+        tallies: merged MC tallies across all committed shards.
+    """
+
+    name: str
+    digest: str
+    status: str
+    n_shards: int
+    committed: Tuple[int, ...]
+    quarantined: Tuple[int, ...]
+    degraded_shards: Tuple[Dict[str, object], ...]
+    rows: Tuple[dict, ...]
+    tallies: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Serde-tagged JSON-ready form."""
+        return serde.tag(
+            "study-report",
+            {
+                "name": self.name,
+                "digest": self.digest,
+                "status": self.status,
+                "n_shards": self.n_shards,
+                "committed": list(self.committed),
+                "quarantined": list(self.quarantined),
+                "degraded_shards": [
+                    dict(d) for d in self.degraded_shards
+                ],
+                "rows": [dict(r) for r in self.rows],
+                "tallies": dict(self.tallies),
+            },
+        )
+
+    def to_text(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"study {self.name} [{self.digest[:12]}]: {self.status}",
+            f"  shards: {len(self.committed)}/{self.n_shards}"
+            f" committed, {len(self.quarantined)} quarantined,"
+            f" {len(self.degraded_shards)} degraded",
+        ]
+        for entry in self.degraded_shards:
+            lines.append(
+                f"  degraded shard {entry['shard']}:"
+                f" engine={entry['engine']}"
+                f" reason={entry['reason']}"
+            )
+        for shard in self.quarantined:
+            lines.append(f"  quarantined shard {shard}: poison")
+        tallies = self.tallies
+        lines.append(
+            "  tallies: source={mc_source}"
+            " transmitted_thermal={mc_transmitted_thermal}".format(
+                **tallies
+            )
+        )
+        for row in self.rows:
+            point = row["point"]
+            label = "/".join(
+                point[axis]
+                for axis in (
+                    "site",
+                    "device",
+                    "weather",
+                    "cooling",
+                    "shield",
+                )
+            )
+            lines.append(
+                f"  {label}: FIT={row['shielded_total_fit']:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def build_report(
+    spec: StudySpec,
+    state: LedgerState,
+    store: Optional[ShardResultStore],
+) -> StudyReport:
+    """Assemble the report for ``spec`` from durable state.
+
+    A committed shard whose store entry went missing is recomputed
+    in place (shards are deterministic), keeping the report total —
+    never silently dropped.
+    """
+    shards = spec.shards()
+    rows: List[dict] = []
+    tallies = {"mc_source": 0, "mc_transmitted_thermal": 0}
+    degraded: List[Dict[str, object]] = []
+    for shard in shards:
+        body = state.committed.get(shard.index)
+        if body is None:
+            continue
+        payload = (
+            store.get(spec.shard_key(shard))
+            if store is not None
+            else None
+        )
+        if payload is None:
+            payload = evaluate_shard(
+                shard, spec, str(body.get("engine", spec.engine))
+            )
+        rows.extend(payload["rows"])
+        for key in tallies:
+            tallies[key] += int(payload["tallies"][key])
+        if body.get("degraded"):
+            degraded.append(
+                {
+                    "shard": shard.index,
+                    "engine": body.get("engine", ""),
+                    "reason": body.get("reason", ""),
+                }
+            )
+    committed = tuple(sorted(state.committed))
+    quarantined = tuple(sorted(state.quarantined))
+    pending = len(shards) - len(committed) - len(quarantined)
+    if pending > 0:
+        status = "incomplete"
+    elif quarantined or degraded:
+        status = "degraded"
+    else:
+        status = "complete"
+    return StudyReport(
+        name=spec.name,
+        digest=spec.digest(),
+        status=status,
+        n_shards=len(shards),
+        committed=committed,
+        quarantined=quarantined,
+        degraded_shards=tuple(degraded),
+        rows=tuple(rows),
+        tallies=tallies,
+    )

@@ -1,0 +1,348 @@
+"""The crash-tolerant study scheduler.
+
+Executes a :class:`~repro.studies.spec.StudySpec`'s shard plan with
+the robustness contract the runtime already gives campaigns, applied
+to whole grids:
+
+* **Durability** — every state transition is a write-ahead-ledger
+  record, fsynced before the scheduler acts on it.  Re-running the
+  same command after a SIGKILL replays the ledger and continues;
+  committed shards are never recomputed and never double-counted.
+* **At-least-once, idempotent** — a shard that crashed between its
+  result write and its commit record is re-executed; its
+  content-addressed result key lands on the same bytes, so the merged
+  report is byte-identical either way.
+* **Retry, then quarantine** — transient faults retry on the
+  runtime's deterministic backoff; a shard that fails
+  ``max_shard_failures`` times deterministically is quarantined as
+  poison and the study completes ``degraded`` instead of wedging.
+* **Engine-degradation cascade** — per-engine circuit breakers (the
+  service idiom) walk batch -> deterministic -> scalar under repeated
+  failures or budget pressure; every fallback is flagged on the shard
+  in the report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Set, Union
+
+from repro.chaos.faultpoints import fault_point
+from repro.obs import core as obs
+from repro.runtime.budget import Budget, BudgetTracker, RetryPolicy
+from repro.runtime.events import EventLog
+from repro.runtime.supervisor import Supervisor
+from repro.runtime.errors import TransientHarnessError
+from repro.service.compute import CircuitBreaker
+from repro.studies.evaluate import evaluate_shard
+from repro.studies.ledger import StudyLedger
+from repro.studies.report import StudyReport, build_report
+from repro.studies.spec import Shard, StudySpec
+from repro.studies.store import ShardResultStore
+
+__all__ = ["ENGINE_CASCADE", "StudyOutcome", "StudyScheduler"]
+
+#: Fallback order under failure or budget pressure.  The batch MC
+#: engine is the default answer; the deterministic solver is the
+#: cheap noise-free fallback; the scalar oracle is the engine of last
+#: resort (it shares no vectorized code with batch).
+ENGINE_CASCADE = ("batch", "deterministic", "scalar")
+
+
+@dataclass(frozen=True)
+class StudyOutcome:
+    """One scheduler run's result.
+
+    Attributes:
+        status: ``complete`` / ``degraded`` / ``incomplete``.
+        interrupted: True when an interrupt callback stopped the run
+            between shards.
+        report: the merged durable-state report.
+    """
+
+    status: str
+    interrupted: bool
+    report: StudyReport
+
+
+class StudyScheduler:
+    """Runs a study's shard plan durably (see module docstring).
+
+    Args:
+        spec: the study to run.
+        ledger_path: write-ahead ledger file (created on first run;
+            an existing ledger resumes, after a spec-digest check).
+        store_root: content-addressed shard-result directory.
+        budget: optional wall-clock/event budget; the run stops
+            cleanly (``incomplete``) at the deadline, and degrades
+            the engine under budget pressure before that.
+        retry: transient-fault backoff policy.
+        sleep: injectable backoff sleeper.
+        clock: injectable monotonic clock for the budget tracker.
+        interrupt: polled between shards; returning True stops the
+            run cleanly (``incomplete``, ``interrupted`` flagged).
+        evaluate: shard evaluation hook (tests and chaos trials
+            inject failures); defaults to the real evaluator.
+        max_shards: stop after committing/quarantining this many
+            shards this run (``None`` = no limit) — the smoke jobs'
+            deterministic mid-run stop.
+        breakers: injectable per-engine circuit breakers.
+    """
+
+    def __init__(
+        self,
+        spec: StudySpec,
+        ledger_path: Union[str, Path],
+        store_root: Union[str, Path],
+        budget: Optional[Budget] = None,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        clock: Optional[Callable[[], float]] = None,
+        interrupt: Optional[Callable[[], bool]] = None,
+        evaluate: Optional[
+            Callable[[Shard, StudySpec, str], dict]
+        ] = None,
+        max_shards: Optional[int] = None,
+        breakers: Optional[Dict[str, CircuitBreaker]] = None,
+    ) -> None:
+        self.spec = spec
+        self.budget = budget
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._clock = clock if clock is not None else time.monotonic
+        self._interrupt = interrupt
+        self._evaluate = (
+            evaluate if evaluate is not None else evaluate_shard
+        )
+        self._max_shards = max_shards
+        self.ledger = StudyLedger(
+            ledger_path, retry=self._retry, sleep=self._sleep
+        )
+        self.store = ShardResultStore(
+            store_root, retry=self._retry, sleep=self._sleep
+        )
+        self.breakers = (
+            breakers
+            if breakers is not None
+            else {engine: CircuitBreaker() for engine in ENGINE_CASCADE}
+        )
+        self.events = EventLog()
+        self._supervisor = Supervisor(
+            retry=self._retry, events=self.events, sleep=self._sleep
+        )
+        self._committed: Dict[int, dict] = {}
+        self._failures: Dict[int, int] = {}
+        self._quarantined: Set[int] = set()
+
+    # -- the run -------------------------------------------------------
+
+    def run(self) -> StudyOutcome:
+        """Execute (or resume) the study; never wedges.
+
+        Raises:
+            repro.studies.ledger.LedgerError: when the ledger is
+                corrupt or belongs to a different spec — detected
+                up front, never silently resumed.
+        """
+        with obs.span("study.run", study=self.spec.name):
+            state = self.ledger.require_spec_digest(self.spec.digest())
+            if state.started is None:
+                self.ledger.append(
+                    "study-started",
+                    {
+                        "digest": self.spec.digest(),
+                        "name": self.spec.name,
+                        "n_shards": self.spec.n_shards,
+                    },
+                )
+            self._committed = dict(state.committed)
+            self._failures = dict(state.failures)
+            self._quarantined = set(state.quarantined)
+            tracker = (
+                BudgetTracker(self.budget, clock=self._clock)
+                if self.budget is not None
+                else None
+            )
+            interrupted = False
+            resolved_this_run = 0
+            for shard in self.spec.shards():
+                if (
+                    shard.index in self._committed
+                    or shard.index in self._quarantined
+                ):
+                    continue
+                if self._interrupt is not None and self._interrupt():
+                    interrupted = True
+                    break
+                if tracker is not None and tracker.deadline_exceeded():
+                    break
+                if (
+                    self._max_shards is not None
+                    and resolved_this_run >= self._max_shards
+                ):
+                    break
+                self._run_shard(shard, tracker)
+                resolved_this_run += 1
+            report = build_report(
+                self.spec, self._replayed_state(), self.store
+            )
+            if (
+                report.status in ("complete", "degraded")
+                and state.finished is None
+            ):
+                self.ledger.append(
+                    "study-finished", {"status": report.status}
+                )
+            return StudyOutcome(
+                status=report.status,
+                interrupted=interrupted,
+                report=report,
+            )
+
+    def _replayed_state(self):
+        """Fresh durable view (what a resume would actually see)."""
+        return self.ledger.replay()
+
+    # -- one shard -----------------------------------------------------
+
+    def _run_shard(
+        self, shard: Shard, tracker: Optional[BudgetTracker]
+    ) -> None:
+        """Drive one shard to committed or quarantined."""
+        key = self.spec.shard_key(shard)
+        failures = self._failures.get(shard.index, 0)
+        while True:
+            stored = self.store.get(key)
+            if stored is not None:
+                # At-least-once residue: the work is durable already
+                # (this run or a killed predecessor); commit it
+                # verbatim so resume stays byte-identical.
+                self._commit(shard, key, stored)
+                return
+            engine, reason = self._pick_engine(tracker)
+            try:
+                payload = self._supervisor.call(
+                    f"shard-{shard.index}",
+                    lambda: self._dispatch(shard, engine),
+                    step=shard.index,
+                )
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except TransientHarnessError:
+                # Retries exhausted: deterministic enough to count.
+                failures = self._record_failure(
+                    shard, engine, "TransientHarnessError", failures
+                )
+            except Exception as exc:  # noqa: BLE001 — quarantine path
+                failures = self._record_failure(
+                    shard, engine, type(exc).__name__, failures
+                )
+            else:
+                self.breakers[engine].record_success()
+                degraded = engine != self.spec.engine
+                payload["degraded"] = degraded
+                payload["reason"] = reason if degraded else ""
+                self.store.put(key, payload)
+                self._commit(shard, key, payload)
+                return
+            if failures >= self.spec.max_shard_failures:
+                self._quarantine(shard, failures)
+                return
+
+    def _dispatch(self, shard: Shard, engine: str) -> dict:
+        """One evaluation attempt (the chaos dispatch window)."""
+        with obs.span(
+            "study.shard", shard=shard.index, engine=engine
+        ):
+            fault_point(
+                "studies.shard_dispatch",
+                shard=shard.index,
+                engine=engine,
+            )
+            return self._evaluate(shard, self.spec, engine)
+
+    def _pick_engine(
+        self, tracker: Optional[BudgetTracker]
+    ) -> "tuple[str, str]":
+        """Walk the cascade; returns (engine, degradation reason)."""
+        start = ENGINE_CASCADE.index(self.spec.engine)
+        order = ENGINE_CASCADE[start:]
+        pressure = (
+            tracker is not None
+            and tracker.budget.wall_clock_s is not None
+            and tracker.elapsed_s()
+            >= 0.5 * tracker.budget.wall_clock_s
+        )
+        reason = ""
+        for engine in order:
+            if (
+                pressure
+                and engine == self.spec.engine
+                and len(order) > 1
+            ):
+                reason = "budget-pressure"
+                continue
+            if self.breakers[engine].open:
+                reason = reason or "breaker-open"
+                continue
+            return engine, reason
+        return order[-1], reason or "breaker-open"
+
+    # -- durable transitions -------------------------------------------
+
+    def _commit(self, shard: Shard, key: str, payload: dict) -> None:
+        """Record a shard's durable result in the ledger."""
+        self.ledger.append(
+            "shard-committed",
+            {
+                "shard": shard.index,
+                "key": key,
+                "engine": payload.get("engine", self.spec.engine),
+                "degraded": bool(payload.get("degraded", False)),
+                "reason": payload.get("reason", ""),
+            },
+        )
+        self._committed[shard.index] = {"shard": shard.index}
+        obs.inc("repro_study_shards_total")
+        if payload.get("degraded"):
+            obs.inc("repro_study_shards_degraded_total")
+
+    def _record_failure(
+        self, shard: Shard, engine: str, error: str, failures: int
+    ) -> int:
+        """Count one deterministic shard failure durably."""
+        failures += 1
+        self._failures[shard.index] = failures
+        self.breakers[engine].record_failure()
+        self.ledger.append(
+            "shard-failed",
+            {
+                "shard": shard.index,
+                "engine": engine,
+                "error": error,
+                "failures": failures,
+            },
+        )
+        return failures
+
+    def _quarantine(self, shard: Shard, failures: int) -> None:
+        """Mark a poison shard aside; the study degrades, not wedges."""
+        attempts = self._retry.delays_s() + (None,)
+        for delay_s in attempts:
+            try:
+                fault_point("studies.quarantine", shard=shard.index)
+            except TransientHarnessError:
+                if delay_s is None:
+                    raise
+                self._sleep(delay_s)
+                continue
+            break
+        self.ledger.append(
+            "shard-quarantined",
+            {"shard": shard.index, "failures": failures},
+        )
+        self._quarantined.add(shard.index)
+        obs.event("study.quarantine", shard=shard.index)
+        obs.inc("repro_study_shards_quarantined_total")

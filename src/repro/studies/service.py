@@ -1,0 +1,255 @@
+"""Study verbs for the FIT service: submit / status / cancel.
+
+The :class:`StudyGateway` lets NDJSON clients drive durable studies
+on a running ``repro serve`` instance.  A submitted study runs on a
+background thread against the same crash-tolerant scheduler the CLI
+uses — the service process dying mid-study loses nothing; resubmitting
+the same spec resumes from the ledger.
+
+Wire shapes (each is one request line; responses use the service's
+standard envelope):
+
+* ``{"id": "s1", "kind": "study-submit", "spec": {...study spec...}}``
+  -> ``result`` carries the study digest and ``state``
+  (``accepted`` or ``running``).
+* ``{"id": "s2", "kind": "study-status", "study": "<digest>"}``
+  -> ``result`` carries ``state`` (``running``/``idle``),
+  ``status`` (``complete``/``degraded``/``incomplete``), and shard
+  counts, all derived from the replayed ledger.
+* ``{"id": "s3", "kind": "study-cancel", "study": "<digest>"}``
+  -> asks the running study to stop at the next shard boundary
+  (durable state is already on disk; a later submit resumes).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.runtime.errors import ConfigurationError
+from repro.service.protocol import STUDY_KINDS, ServiceError
+from repro.studies.ledger import LedgerError, StudyLedger
+from repro.studies.scheduler import StudyOutcome, StudyScheduler
+from repro.studies.spec import StudySpec
+
+__all__ = ["STUDY_KINDS", "StudyGateway"]
+
+#: Default seconds a draining gateway waits for running studies.
+DRAIN_DEADLINE_S = 10.0
+
+
+@dataclass
+class _StudyJob:
+    """One background study execution."""
+
+    spec: StudySpec
+    stop: threading.Event
+    thread: Optional[threading.Thread] = None
+    outcome: Optional[StudyOutcome] = None
+    error: str = ""
+
+
+class StudyGateway:
+    """Background study runner behind the service's study verbs.
+
+    Args:
+        root: durable root; each study's ledger lives under its
+            digest, and all studies share one content-addressed
+            result store (identical shard work is computed once).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._jobs: Dict[str, _StudyJob] = {}
+        self._lock = threading.Lock()
+
+    # -- layout ----------------------------------------------------------
+
+    def paths(self, digest: str) -> Tuple[Path, Path]:
+        """(ledger path, store root) for one study digest."""
+        return (
+            self.root / digest[:16] / "ledger.jsonl",
+            self.root / "store",
+        )
+
+    # -- verb dispatch ---------------------------------------------------
+
+    def handle(self, data: dict) -> dict:
+        """Answer one study-verb request (already JSON-decoded).
+
+        Raises:
+            ServiceError: ``bad-request`` for malformed verbs or
+                specs, ``internal`` for a corrupt ledger.
+        """
+        kind = data.get("kind")
+        if kind == "study-submit":
+            return self.submit(data.get("spec"))
+        if kind == "study-status":
+            return self.status(self._digest_of(data))
+        if kind == "study-cancel":
+            return self.cancel(self._digest_of(data))
+        raise ServiceError(
+            "bad-request",
+            f"unknown study verb {kind!r}; valid: {STUDY_KINDS}",
+        )
+
+    @staticmethod
+    def _digest_of(data: dict) -> str:
+        digest = data.get("study")
+        if not isinstance(digest, str) or not digest:
+            raise ServiceError(
+                "bad-request",
+                "study verb needs a non-empty string 'study'"
+                " (the digest study-submit returned)",
+            )
+        return digest
+
+    # -- verbs -----------------------------------------------------------
+
+    def submit(self, spec_data) -> dict:
+        """Start (or resume) a study; idempotent on the digest."""
+        if not isinstance(spec_data, dict):
+            raise ServiceError(
+                "bad-request",
+                "study-submit needs a 'spec' object",
+            )
+        try:
+            spec = StudySpec.from_dict(spec_data)
+        except ConfigurationError as exc:
+            raise ServiceError(
+                "bad-request", f"bad study spec: {exc}"
+            ) from exc
+        digest = spec.digest()
+        with self._lock:
+            job = self._jobs.get(digest)
+            if job is not None and job.thread is not None:
+                if job.thread.is_alive():
+                    return {"study": digest, "state": "running"}
+            job = _StudyJob(spec=spec, stop=threading.Event())
+            ledger_path, store_root = self.paths(digest)
+            scheduler = StudyScheduler(
+                spec,
+                ledger_path=ledger_path,
+                store_root=store_root,
+                interrupt=job.stop.is_set,
+            )
+
+            def run() -> None:
+                try:
+                    job.outcome = scheduler.run()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:  # noqa: BLE001 — wire boundary
+                    job.error = f"{type(exc).__name__}: {exc}"
+
+            job.thread = threading.Thread(
+                target=run,
+                name=f"repro-study-{digest[:8]}",
+                daemon=True,
+            )
+            self._jobs[digest] = job
+            job.thread.start()
+        return {"study": digest, "state": "accepted"}
+
+    def status(self, digest: str) -> dict:
+        """Durable-state status for one study digest."""
+        with self._lock:
+            job = self._jobs.get(digest)
+        running = (
+            job is not None
+            and job.thread is not None
+            and job.thread.is_alive()
+        )
+        ledger_path, _ = self.paths(digest)
+        if not ledger_path.exists():
+            if job is None:
+                raise ServiceError(
+                    "bad-request",
+                    f"unknown study {digest[:16]!r}",
+                )
+            # Submitted but no record durable yet.
+            return {
+                "study": digest,
+                "state": "running" if running else "idle",
+                "status": "incomplete",
+                "n_shards": job.spec.n_shards,
+                "committed": 0,
+                "quarantined": 0,
+                "error": job.error,
+            }
+        try:
+            state = StudyLedger(ledger_path).replay()
+        except LedgerError as exc:
+            raise ServiceError(
+                "internal", f"study ledger corrupt: {exc}"
+            ) from exc
+        n_shards = int((state.started or {}).get("n_shards", 0))
+        pending = (
+            n_shards - len(state.committed) - len(state.quarantined)
+        )
+        degraded = bool(state.quarantined) or any(
+            body.get("degraded")
+            for body in state.committed.values()
+        )
+        status = (
+            "incomplete"
+            if pending > 0
+            else ("degraded" if degraded else "complete")
+        )
+        return {
+            "study": digest,
+            "state": "running" if running else "idle",
+            "status": status,
+            "n_shards": n_shards,
+            "committed": len(state.committed),
+            "quarantined": len(state.quarantined),
+            "error": job.error if job is not None else "",
+        }
+
+    def cancel(self, digest: str) -> dict:
+        """Stop a running study at its next shard boundary."""
+        with self._lock:
+            job = self._jobs.get(digest)
+        if job is None:
+            ledger_path, _ = self.paths(digest)
+            if not ledger_path.exists():
+                raise ServiceError(
+                    "bad-request",
+                    f"unknown study {digest[:16]!r}",
+                )
+            return {
+                "study": digest,
+                "state": "idle",
+                "cancelled": False,
+            }
+        job.stop.set()
+        running = job.thread is not None and job.thread.is_alive()
+        return {
+            "study": digest,
+            "state": "running" if running else "idle",
+            "cancelled": running,
+        }
+
+    # -- lifecycle -------------------------------------------------------
+
+    def drain(self, deadline_s: float = DRAIN_DEADLINE_S) -> bool:
+        """Stop every running study and wait for the threads.
+
+        Durable state makes this safe at any instant; the deadline
+        only bounds how long shutdown blocks.
+
+        Returns:
+            True when every study thread exited within the deadline.
+        """
+        with self._lock:
+            jobs = list(self._jobs.values())
+        for job in jobs:
+            job.stop.set()
+        clean = True
+        for job in jobs:
+            if job.thread is not None:
+                job.thread.join(timeout=max(0.0, deadline_s))
+                clean = clean and not job.thread.is_alive()
+        return clean

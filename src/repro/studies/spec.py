@@ -1,0 +1,288 @@
+"""Study specifications: validated axis grids and shard plans.
+
+A :class:`StudySpec` names a grid of FIT evaluation points (the
+cartesian product of its axes) and how to shard it.  Everything
+downstream — ledger identity, shard cache keys, per-point RNG seeds —
+derives deterministically from the spec, so two processes holding the
+same spec always agree on the plan, and a sharded run is bit-equal to
+the same grid run unsharded (the per-point seeds do not depend on the
+sharding).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro import serde
+from repro.devices.catalog import DEVICES
+from repro.runtime.checkpoint import plan_digest
+from repro.runtime.errors import ConfigurationError
+from repro.service.protocol import MAX_N_NEUTRONS, SERVICE_SITES, SHIELDS
+from repro.transport.montecarlo import Engine
+
+__all__ = ["AXES", "Shard", "StudySpec"]
+
+#: Allowed values per axis, in canonical (sorted) order.  A spec may
+#: list any non-empty subset per axis; unlisted axes collapse to the
+#: first canonical value.
+AXES: Dict[str, Tuple[str, ...]] = {
+    "cooling": ("liquid", "air", "outdoor"),
+    "device": tuple(sorted(DEVICES)),
+    "shield": ("none",) + tuple(sorted(SHIELDS)),
+    "site": tuple(sorted(SERVICE_SITES)),
+    "weather": ("sunny", "overcast", "rain"),
+}
+
+#: Default value used for axes the spec leaves out.
+AXIS_DEFAULTS: Dict[str, str] = {
+    "cooling": "liquid",
+    "device": "K20",
+    "shield": "none",
+    "site": "nyc",
+    "weather": "sunny",
+}
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One schedulable unit: a contiguous slice of the point grid.
+
+    Attributes:
+        index: position in the shard plan (0-based).
+        points: the grid points this shard evaluates, each a full
+            axis->value dict.
+    """
+
+    index: int
+    points: Tuple[Dict[str, str], ...]
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """A declarative sharded FIT study over an axis grid.
+
+    Args:
+        name: human label (also the ledger's display name).
+        axes: axis name -> tuple of values; every value must belong
+            to that axis's vocabulary in :data:`AXES`.  Missing axes
+            take :data:`AXIS_DEFAULTS`.
+        seed: master seed; per-point MC seeds derive from it and the
+            point content (never from the sharding).
+        n_neutrons: MC histories per shielded point.
+        shard_size: grid points per shard.
+        max_shard_failures: deterministic failures before a shard is
+            quarantined as poison.
+        engine: requested transport engine (the top of the
+            degradation cascade).
+    """
+
+    name: str
+    axes: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    seed: int = 2020
+    n_neutrons: int = 2048
+    shard_size: int = 1
+    max_shard_failures: int = 3
+    engine: str = "batch"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("study name must be non-empty")
+        clean: Dict[str, Tuple[str, ...]] = {}
+        for axis, values in dict(self.axes).items():
+            if axis not in AXES:
+                raise ConfigurationError(
+                    f"unknown study axis {axis!r};"
+                    f" allowed: {tuple(sorted(AXES))}"
+                )
+            values = tuple(values)
+            if not values:
+                raise ConfigurationError(
+                    f"axis {axis!r} must list at least one value"
+                )
+            if len(set(values)) != len(values):
+                raise ConfigurationError(
+                    f"axis {axis!r} repeats a value: {values}"
+                )
+            for value in values:
+                if value not in AXES[axis]:
+                    raise ConfigurationError(
+                        f"axis {axis!r} value {value!r} not in"
+                        f" {AXES[axis]}"
+                    )
+            clean[axis] = values
+        object.__setattr__(self, "axes", clean)
+        if self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be >= 0, got {self.seed}"
+            )
+        if not 0 < self.n_neutrons <= MAX_N_NEUTRONS:
+            raise ConfigurationError(
+                f"n_neutrons must be in (0, {MAX_N_NEUTRONS}],"
+                f" got {self.n_neutrons}"
+            )
+        if self.shard_size < 1:
+            raise ConfigurationError(
+                f"shard_size must be >= 1, got {self.shard_size}"
+            )
+        if self.max_shard_failures < 1:
+            raise ConfigurationError(
+                "max_shard_failures must be >= 1,"
+                f" got {self.max_shard_failures}"
+            )
+        # Normalizes and validates in one step.
+        object.__setattr__(
+            self, "engine", Engine.coerce(self.engine).value
+        )
+
+    # -- the grid ------------------------------------------------------
+
+    def points(self) -> List[Dict[str, str]]:
+        """Every grid point, in deterministic order.
+
+        Axes iterate in sorted-name order; values in the order the
+        spec lists them.  Each point carries *all* axes (defaults
+        filled in) so point digests are insensitive to which axes the
+        spec spelled out.
+        """
+        names = sorted(AXES)
+        columns = [
+            self.axes.get(axis, (AXIS_DEFAULTS[axis],))
+            for axis in names
+        ]
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*columns)
+        ]
+
+    def shards(self) -> List[Shard]:
+        """The deterministic shard plan: the grid in fixed chunks."""
+        points = self.points()
+        return [
+            Shard(
+                index=i // self.shard_size,
+                points=tuple(points[i : i + self.shard_size]),
+            )
+            for i in range(0, len(points), self.shard_size)
+        ]
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        n_points = len(self.points())
+        return -(-n_points // self.shard_size)
+
+    # -- digests and seeds ---------------------------------------------
+
+    def digest(self) -> str:
+        """SHA-256 identity of the whole study (ledger guard)."""
+        return plan_digest([self._body()])
+
+    def point_seed(self, point: Dict[str, str]) -> int:
+        """Deterministic MC seed for one grid point.
+
+        Derived from the master seed and the point *content* only —
+        never the sharding — so sharded and unsharded runs of the
+        same grid draw identical histories.
+        """
+        material = hashlib.sha256(
+            plan_digest(
+                [
+                    {
+                        "point": point,
+                        "seed": self.seed,
+                        "n_neutrons": self.n_neutrons,
+                        "engine": self.engine,
+                    }
+                ]
+            ).encode("ascii")
+        ).digest()
+        return int.from_bytes(material[:4], "big")
+
+    def shard_digest(self, shard: Shard) -> str:
+        """Content digest of one shard's work (index-free)."""
+        return plan_digest(
+            [
+                {
+                    "points": list(shard.points),
+                    "n_neutrons": self.n_neutrons,
+                    "engine": self.engine,
+                }
+            ]
+        )
+
+    def shard_key(self, shard: Shard) -> str:
+        """Content-addressed result key: (shard digest, seed).
+
+        The service-cache key scheme, so identical shard work under
+        the same seed lands on the same stored result no matter which
+        study or attempt computed it.
+        """
+        return hashlib.sha256(
+            f"{self.shard_digest(shard)}:{self.seed}".encode("ascii")
+        ).hexdigest()
+
+    # -- serde ---------------------------------------------------------
+
+    def _body(self) -> dict:
+        return {
+            "name": self.name,
+            "axes": {k: list(v) for k, v in sorted(self.axes.items())},
+            "seed": self.seed,
+            "n_neutrons": self.n_neutrons,
+            "shard_size": self.shard_size,
+            "max_shard_failures": self.max_shard_failures,
+            "engine": self.engine,
+        }
+
+    def to_dict(self) -> dict:
+        """Serde-tagged JSON-ready form."""
+        return serde.tag("study-spec", self._body())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudySpec":
+        """Rebuild a spec from :meth:`to_dict` or a hand-written dict.
+
+        Hand-authored spec files may omit the serde tag; tagged input
+        is version-checked.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"study spec must be an object, got {type(data).__name__}"
+            )
+        if serde.SCHEMA_KEY in data:
+            serde.check("study-spec", data)
+        known = (
+            "name",
+            "axes",
+            "seed",
+            "n_neutrons",
+            "shard_size",
+            "max_shard_failures",
+            "engine",
+        )
+        extra = (
+            set(data)
+            - set(known)
+            - {serde.SCHEMA_KEY, serde.VERSION_KEY}
+        )
+        if extra:
+            raise ConfigurationError(
+                f"unknown study spec fields: {sorted(extra)}"
+            )
+        if "name" not in data:
+            raise ConfigurationError("study spec needs a 'name'")
+        axes = data.get("axes", {})
+        if not isinstance(axes, dict):
+            raise ConfigurationError("'axes' must be an object")
+        return cls(
+            name=str(data["name"]),
+            axes={k: tuple(v) for k, v in axes.items()},
+            seed=int(data.get("seed", 2020)),
+            n_neutrons=int(data.get("n_neutrons", 2048)),
+            shard_size=int(data.get("shard_size", 1)),
+            max_shard_failures=int(data.get("max_shard_failures", 3)),
+            engine=str(data.get("engine", "batch")),
+        )

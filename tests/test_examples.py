@@ -33,6 +33,7 @@ def _load(name: str):
         ("avionics", "transatlantic"),
         ("fleet_year", "rainy days"),
         ("service_smoke", "clean shutdown"),
+        ("studies_smoke", "byte-identical"),
     ],
 )
 def test_example_runs(capsys, name, expected):
@@ -50,7 +51,7 @@ def test_all_examples_covered():
     tested = {
         "quickstart", "datacenter_fit", "autonomous_vehicle",
         "beam_campaign", "ddr_memory_test", "avionics",
-        "fleet_year", "service_smoke",
+        "fleet_year", "service_smoke", "studies_smoke",
     }
     assert scripts == tested, (
         "new example scripts must be added to test_example_runs"

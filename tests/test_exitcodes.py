@@ -13,6 +13,7 @@ class TestExitCode:
         assert ExitCode.INCOMPLETE == 3
         assert ExitCode.CHECKPOINT == 4
         assert ExitCode.INTERRUPTED == 5
+        assert ExitCode.DEGRADED == 6
 
     def test_is_int_enum(self):
         assert issubclass(ExitCode, IntEnum)
@@ -24,7 +25,7 @@ class TestExitCode:
         assert ExitCode(3) is ExitCode.INCOMPLETE
 
     def test_members_are_distinct_and_complete(self):
-        assert [m.value for m in ExitCode] == [0, 1, 2, 3, 4, 5]
+        assert [m.value for m in ExitCode] == [0, 1, 2, 3, 4, 5, 6]
 
 
 class TestAliases:

@@ -222,10 +222,18 @@ def test_corrupt_cache_entries_quarantined_and_recomputed(
 def test_stale_tmp_swept_on_init(tmp_path):
     root = tmp_path / "cache"
     (root / "ab").mkdir(parents=True)
+    (root / "cd").mkdir(parents=True)
     stale = root / "ab" / "abc.json.tmp"
     stale.write_text("half a wri")
-    ResultCache(root, sleep=_no_sleep)
+    other = root / "cd" / "cde.json.tmp"
+    other.write_text("another torn write")
+    cache = ResultCache(root, sleep=_no_sleep)
     assert not stale.exists()
+    assert not other.exists()
+    # `repro serve` publishes this count as
+    # repro_service_cache_swept_total at boot.
+    assert cache.swept_on_init == 2
+    assert ResultCache(root, sleep=_no_sleep).swept_on_init == 0
 
 
 def test_cache_write_failure_is_abandoned_not_raised(tmp_path):

@@ -1,0 +1,193 @@
+"""``repro studies``: exit codes, resume flow, report rebuild."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exitcodes import ExitCode
+
+
+def _write_spec(tmp_path, **overrides):
+    spec = {
+        "name": "cli-study",
+        "axes": {"site": ["nyc", "leadville"]},
+        "n_neutrons": 128,
+        "seed": 5,
+    }
+    spec.update(overrides)
+    path = tmp_path / "study.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+def _run_args(tmp_path, spec_path, *extra):
+    return [
+        "studies", "run",
+        "--spec", str(spec_path),
+        "--ledger", str(tmp_path / "ledger.jsonl"),
+        "--store", str(tmp_path / "store"),
+        *extra,
+    ]
+
+
+class TestPlan:
+    def test_plan_prints_shards(self, tmp_path, capsys):
+        spec_path = _write_spec(tmp_path)
+        assert main(["studies", "plan", "--spec", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 points in 2 shards" in out
+        assert "shard 0" in out and "shard 1" in out
+
+    def test_missing_spec_is_usage_error(self, tmp_path, capsys):
+        code = main(
+            ["studies", "plan", "--spec", str(tmp_path / "no.json")]
+        )
+        assert code == int(ExitCode.USAGE)
+        assert "not found" in capsys.readouterr().out
+
+    def test_invalid_spec_is_usage_error(self, tmp_path, capsys):
+        spec_path = _write_spec(tmp_path, engine="warp")
+        code = main(["studies", "plan", "--spec", str(spec_path)])
+        assert code == int(ExitCode.USAGE)
+
+
+class TestRun:
+    def test_complete_exits_ok(self, tmp_path, capsys):
+        spec_path = _write_spec(tmp_path)
+        report_path = tmp_path / "report.json"
+        code = main(
+            _run_args(tmp_path, spec_path, "--json", str(report_path))
+        )
+        assert code == int(ExitCode.OK)
+        out = capsys.readouterr().out
+        assert "complete" in out
+        report = json.loads(report_path.read_text())
+        assert report["status"] == "complete"
+        assert report["committed"] == [0, 1]
+
+    def test_max_shards_exits_incomplete_then_resumes(
+        self, tmp_path, capsys
+    ):
+        spec_path = _write_spec(tmp_path)
+        code = main(
+            _run_args(tmp_path, spec_path, "--max-shards", "1")
+        )
+        assert code == int(ExitCode.INCOMPLETE)
+        assert "resume with:" in capsys.readouterr().out
+        assert main(_run_args(tmp_path, spec_path)) == int(
+            ExitCode.OK
+        )
+
+    def test_corrupt_ledger_exits_checkpoint(self, tmp_path, capsys):
+        spec_path = _write_spec(tmp_path)
+        assert main(_run_args(tmp_path, spec_path)) == int(
+            ExitCode.OK
+        )
+        capsys.readouterr()
+        ledger = tmp_path / "ledger.jsonl"
+        lines = ledger.read_text().splitlines()
+        record = json.loads(lines[0])
+        record["body"]["n_shards"] = 99  # stale checksum
+        lines[0] = json.dumps(record, sort_keys=True)
+        ledger.write_text("\n".join(lines) + "\n")
+        code = main(_run_args(tmp_path, spec_path))
+        assert code == int(ExitCode.CHECKPOINT)
+        assert "ledger error" in capsys.readouterr().out
+
+    def test_degraded_exits_degraded(self, tmp_path, capsys):
+        """A ledger with a quarantined shard reports degraded (6)."""
+        spec_path = _write_spec(tmp_path, max_shard_failures=1)
+        from repro.runtime.budget import RetryPolicy
+        from repro.studies.scheduler import StudyScheduler
+        from repro.studies.spec import StudySpec
+
+        def poison(shard, spec, engine):
+            from repro.studies.evaluate import evaluate_shard
+
+            if shard.index == 0:
+                raise ValueError("poison")
+            return evaluate_shard(shard, spec, engine)
+
+        StudyScheduler(
+            StudySpec.from_dict(
+                json.loads(spec_path.read_text())
+            ),
+            ledger_path=tmp_path / "ledger.jsonl",
+            store_root=tmp_path / "store",
+            retry=RetryPolicy(),
+            sleep=lambda _s: None,
+            evaluate=poison,
+        ).run()
+        code = main(_run_args(tmp_path, spec_path))
+        assert code == int(ExitCode.DEGRADED)
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        assert "quarantined shard 0" in out
+
+
+class TestReport:
+    def test_report_rebuilds_from_durable_state(
+        self, tmp_path, capsys
+    ):
+        spec_path = _write_spec(tmp_path)
+        assert main(_run_args(tmp_path, spec_path)) == int(
+            ExitCode.OK
+        )
+        run_out = capsys.readouterr().out
+        report_path = tmp_path / "rebuilt.json"
+        code = main(
+            [
+                "studies", "report",
+                "--spec", str(spec_path),
+                "--ledger", str(tmp_path / "ledger.jsonl"),
+                "--store", str(tmp_path / "store"),
+                "--json", str(report_path),
+            ]
+        )
+        assert code == int(ExitCode.OK)
+        report_out = capsys.readouterr().out
+        # The rebuilt summary matches the run's summary.
+        assert report_out.splitlines()[0] == run_out.splitlines()[0]
+        assert json.loads(report_path.read_text())["status"] == (
+            "complete"
+        )
+
+    def test_report_on_corrupt_ledger_exits_checkpoint(
+        self, tmp_path, capsys
+    ):
+        spec_path = _write_spec(tmp_path)
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text(
+            json.dumps(
+                {
+                    "schema": "study-ledger-record",
+                    "schema_version": 1,
+                    "seq": 0,
+                    "type": "study-started",
+                    "body": {},
+                    "checksum": "0" * 64,
+                }
+            )
+            + "\n"
+        )
+        code = main(
+            [
+                "studies", "report",
+                "--spec", str(spec_path),
+                "--ledger", str(ledger),
+                "--store", str(tmp_path / "store"),
+            ]
+        )
+        assert code == int(ExitCode.CHECKPOINT)
+
+
+class TestParser:
+    def test_studies_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["studies"])
+
+    def test_run_requires_ledger_and_store(self, tmp_path):
+        spec_path = _write_spec(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["studies", "run", "--spec", str(spec_path)])

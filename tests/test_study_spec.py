@@ -1,0 +1,161 @@
+"""StudySpec: grid determinism, shard plans, digests, serde."""
+
+import pytest
+
+from repro.runtime.errors import ConfigurationError
+from repro.studies.spec import AXES, AXIS_DEFAULTS, StudySpec
+
+
+def _spec(**overrides):
+    base = {
+        "name": "unit",
+        "axes": {"site": ("nyc", "leadville"), "shield": ("none", "water")},
+    }
+    base.update(overrides)
+    return StudySpec(**base)
+
+
+class TestGrid:
+    def test_points_cover_cartesian_product(self):
+        spec = _spec()
+        points = spec.points()
+        assert len(points) == 4
+        seen = {(p["site"], p["shield"]) for p in points}
+        assert seen == {
+            ("nyc", "none"),
+            ("nyc", "water"),
+            ("leadville", "none"),
+            ("leadville", "water"),
+        }
+
+    def test_unlisted_axes_take_defaults(self):
+        for point in _spec().points():
+            assert point["device"] == AXIS_DEFAULTS["device"]
+            assert point["cooling"] == AXIS_DEFAULTS["cooling"]
+            assert point["weather"] == AXIS_DEFAULTS["weather"]
+
+    def test_point_order_is_deterministic(self):
+        assert _spec().points() == _spec().points()
+
+    def test_every_point_carries_every_axis(self):
+        for point in _spec().points():
+            assert sorted(point) == sorted(AXES)
+
+
+class TestShardPlan:
+    def test_shard_size_one(self):
+        spec = _spec()
+        shards = spec.shards()
+        assert [s.index for s in shards] == [0, 1, 2, 3]
+        assert all(len(s.points) == 1 for s in shards)
+        assert spec.n_shards == 4
+
+    def test_uneven_tail_shard(self):
+        spec = _spec(shard_size=3)
+        shards = spec.shards()
+        assert [len(s.points) for s in shards] == [3, 1]
+        assert spec.n_shards == 2
+
+    def test_sharding_never_reorders_points(self):
+        spec_1 = _spec(shard_size=1)
+        spec_3 = _spec(shard_size=3)
+        flat_1 = [p for s in spec_1.shards() for p in s.points]
+        flat_3 = [p for s in spec_3.shards() for p in s.points]
+        assert flat_1 == flat_3 == spec_1.points()
+
+
+class TestDigestsAndSeeds:
+    def test_digest_is_stable_and_spec_sensitive(self):
+        assert _spec().digest() == _spec().digest()
+        assert _spec().digest() != _spec(seed=3).digest()
+        assert _spec().digest() != _spec(shard_size=2).digest()
+
+    def test_point_seed_ignores_sharding(self):
+        """The bedrock of shard/unshard equivalence."""
+        spec_1 = _spec(shard_size=1)
+        spec_4 = _spec(shard_size=4)
+        for point in spec_1.points():
+            assert spec_1.point_seed(point) == spec_4.point_seed(point)
+
+    def test_point_seed_depends_on_master_seed_and_point(self):
+        spec = _spec()
+        points = spec.points()
+        seeds = [spec.point_seed(p) for p in points]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds != [_spec(seed=3).point_seed(p) for p in points]
+
+    def test_shard_key_is_index_free(self):
+        """Identical work -> identical store key, wherever it sits."""
+        spec = _spec()
+        shard = spec.shards()[2]
+        moved = type(shard)(index=7, points=shard.points)
+        assert spec.shard_key(shard) == spec.shard_key(moved)
+
+    def test_shard_key_depends_on_seed(self):
+        shard = _spec().shards()[0]
+        assert _spec().shard_key(shard) != _spec(seed=3).shard_key(
+            shard
+        )
+
+
+class TestValidation:
+    def test_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            StudySpec(name="")
+
+    def test_unknown_axis(self):
+        with pytest.raises(ConfigurationError):
+            _spec(axes={"flavour": ("up",)})
+
+    def test_unknown_axis_value(self):
+        with pytest.raises(ConfigurationError):
+            _spec(axes={"site": ("atlantis",)})
+
+    def test_empty_axis(self):
+        with pytest.raises(ConfigurationError):
+            _spec(axes={"site": ()})
+
+    def test_repeated_axis_value(self):
+        with pytest.raises(ConfigurationError):
+            _spec(axes={"site": ("nyc", "nyc")})
+
+    def test_bad_numbers(self):
+        for overrides in (
+            {"seed": -1},
+            {"n_neutrons": 0},
+            {"n_neutrons": 10**9},
+            {"shard_size": 0},
+            {"max_shard_failures": 0},
+        ):
+            with pytest.raises(ConfigurationError):
+                _spec(**overrides)
+
+    def test_bad_engine(self):
+        with pytest.raises(ConfigurationError):
+            _spec(engine="warp")
+
+
+class TestSerde:
+    def test_round_trip(self):
+        spec = _spec(seed=11, shard_size=2, engine="deterministic")
+        clone = StudySpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+
+    def test_untagged_dict_accepted(self):
+        clone = StudySpec.from_dict(
+            {"name": "bare", "axes": {"site": ["nyc"]}}
+        )
+        assert clone.name == "bare"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudySpec.from_dict({"name": "x", "sharding": 2})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudySpec.from_dict({"axes": {}})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StudySpec.from_dict(["not", "a", "spec"])
