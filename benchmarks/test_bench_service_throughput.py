@@ -5,8 +5,12 @@ queries end to end (socket, parse, admission, compute, serialize) for
 p50/p99 latency, then runs the 100-client thundering-herd storm from
 the chaos trials in-process — where ``asyncio.gather`` guarantees
 every client is in flight together — to measure how many requests the
-coalescer absorbed.  Writes ``BENCH_service.json`` at the repo root so
-the service's performance trajectory is tracked across PRs.
+coalescer absorbed.  A third lane times the transport facade serving
+in-envelope transmission queries from a certified surrogate artifact
+(the ``repro surrogate build`` fast path) and enforces the sub-
+millisecond p50 acceptance bar.  Writes ``BENCH_service.json`` at the
+repo root so the service's performance trajectory is tracked across
+PRs.
 
 ``REPRO_SMOKE=1`` shrinks the query counts for CI smoke lanes; both
 modes enforce the coalescing acceptance bar (one computation for the
@@ -18,18 +22,22 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import tempfile
 import threading
 import time
 from pathlib import Path
 
 from conftest import run_once
 from repro.analysis import format_table
+from repro.chaos import trials
 from repro.chaos.trials import (
     SERVICE_STORM_CLIENTS,
     make_service,
     run_service_storm,
     service_request_line,
 )
+from repro.transport import api as transport_api
+from repro.transport.surrogate import SurrogateStore
 from repro.service import (
     AdmissionController,
     FitService,
@@ -144,15 +152,45 @@ def _storm(n_clients: int) -> dict:
     }
 
 
+def _surrogate_lane(n_queries: int) -> dict:
+    """Facade latency serving one in-envelope query from a surface."""
+    with tempfile.TemporaryDirectory() as root:
+        trials.make_surrogate_root(root)
+        store = SurrogateStore(root)
+        query = trials.surrogate_query()
+        transport_api.answer(query, store=store)  # warm the store
+        latencies_ms = []
+        hits = 0
+        for _ in range(n_queries):
+            start = time.perf_counter()
+            served = transport_api.answer(query, store=store)
+            latencies_ms.append(
+                (time.perf_counter() - start) * 1000.0
+            )
+            if served.provenance.engine == "surrogate":
+                hits += 1
+        bound = served.provenance.error_bound
+    latencies_ms.sort()
+    return {
+        "n_queries": n_queries,
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 3),
+        "p99_ms": round(_percentile(latencies_ms, 0.99), 3),
+        "hit_rate": round(hits / n_queries, 4),
+        "certified_bound": round(bound, 6),
+    }
+
+
 def _run_benchmark(smoke: bool) -> dict:
     n_requests = 30 if smoke else 300
     latency = _time_requests(n_requests)
     storm = _storm(SERVICE_STORM_CLIENTS)
+    surrogate = _surrogate_lane(50 if smoke else 200)
     return {
         "benchmark": "FIT service throughput",
         "smoke": smoke,
         "latency": latency,
         "storm": storm,
+        "surrogate": surrogate,
     }
 
 
@@ -162,6 +200,7 @@ def test_bench_service_throughput(benchmark, announce):
 
     latency = payload["latency"]
     storm = payload["storm"]
+    surrogate = payload["surrogate"]
     announce(
         format_table(
             ["measure", "value"],
@@ -176,15 +215,31 @@ def test_bench_service_throughput(benchmark, announce):
                     "coalescing hit-rate",
                     f"{storm['coalescing_hit_rate']:.2%}",
                 ],
+                [
+                    "surrogate p50",
+                    f"{surrogate['p50_ms']:.3f} ms",
+                ],
+                [
+                    "surrogate p99",
+                    f"{surrogate['p99_ms']:.3f} ms",
+                ],
+                [
+                    "surrogate hit-rate",
+                    f"{surrogate['hit_rate']:.2%}",
+                ],
             ],
             title="FIT service — fit query latency + herd storm",
         )
     )
 
     # Acceptance: the 100-client identical-query storm performs
-    # exactly one underlying computation.
+    # exactly one underlying computation, and an in-envelope query
+    # is served from the certified surface in under a millisecond.
     assert storm["computations"] == 1, storm
     assert storm["coalescing_hit_rate"] >= 0.9
+    assert surrogate["hit_rate"] >= 0.9, surrogate
+    assert surrogate["p50_ms"] < 1.0, surrogate
+    assert 0.0 < surrogate["certified_bound"] <= 0.005, surrogate
     if not smoke:
         _RESULT_PATH.write_text(
             json.dumps(payload, indent=2) + "\n"

@@ -122,16 +122,31 @@ def main() -> None:
                 for kind, params in DISTINCT_QUERIES:
                     response = client.query(kind, params)
                     assert response["ok"], response
+                    # Only transport answers carry a provenance
+                    # stamp (protocol v2).
+                    assert response["provenance"] is None
+                stamped = client.query(
+                    "transmission",
+                    dict(IDENTICAL_PARAMS),
+                    accuracy={"rel_err": 0.05, "confidence": 0.95},
+                )
+                provenance = stamped["provenance"]
+                assert provenance["engine"] == "batch", provenance
+                assert provenance["requested_engine"] == "batch"
                 metrics = client.metrics()
             finally:
                 client.close()
             print(
-                f"distinct: {len(DISTINCT_QUERIES)} queries answered"
+                f"distinct: {len(DISTINCT_QUERIES)} queries answered,"
+                f" transport provenance from"
+                f" {provenance['engine']!r}"
             )
 
             # One computation for the identical herd, one per
-            # distinct query; everything else was coalesced into an
-            # in-flight computation or served from the cache.
+            # distinct query; everything else — including the
+            # stamped replay of the herd's query — was coalesced
+            # into an in-flight computation or served from the
+            # cache.
             misses = _metric(
                 metrics, "repro_service_cache_misses_total"
             )
@@ -140,11 +155,11 @@ def main() -> None:
             absorbed = _metric(
                 metrics, "repro_service_coalesced_total"
             ) + _metric(metrics, "repro_service_cache_hits_total")
-            assert absorbed == IDENTICAL_CLIENTS - 1, absorbed
+            assert absorbed == IDENTICAL_CLIENTS, absorbed
             requests = _metric(
                 metrics, "repro_service_requests_total"
             )
-            assert requests == IDENTICAL_CLIENTS + len(
+            assert requests == IDENTICAL_CLIENTS + 1 + len(
                 DISTINCT_QUERIES
             ), requests
             print(

@@ -57,7 +57,13 @@ ALL_ACTIONS = (
 #: Checkpoint payload fields whose value the ``corrupt`` action bumps
 #: (whichever exists first) — each changes resume *semantics*, so a
 #: reader without checksum verification resumes silently wrong.
-_CORRUPTIBLE_FIELDS = ("next_step", "next_day", "events_used", "seq")
+_CORRUPTIBLE_FIELDS = (
+    "next_step",
+    "next_day",
+    "events_used",
+    "seq",
+    "n_points",
+)
 
 
 class ChaosCrashError(Exception):

@@ -198,6 +198,12 @@ _declare(
     actions=("raise-transient", "kill-process"),
     kill_safe=True,
 )
+_declare(
+    "surrogate.artifact_load",
+    "repro.transport.surrogate.store",
+    "a surrogate artifact about to be read and checksum-validated",
+    actions=("raise-transient", "truncate", "corrupt"),
+)
 
 
 def fault_point(site: str, **context) -> None:

@@ -66,9 +66,14 @@ from repro.runtime.supervisor import (
 from repro.spectra import ROTAX_THERMAL_FLUX
 from repro.studies.ledger import LedgerError
 from repro.studies.report import StudyReport
+from repro.transport import api as transport_api
 from repro.transport.batch import BatchTransportEngine
 from repro.transport.materials import WATER
 from repro.transport.montecarlo import Layer, SlabGeometry
+from repro.transport.surrogate.store import (
+    QUARANTINE_SUFFIX,
+    SurrogateStore,
+)
 from repro.transport.tallies import TransportResult
 
 #: Transport trial sizing: 2 seed streams, 2 single-stream shards.
@@ -83,6 +88,11 @@ DDR_CAPACITY_GBIT = 16.0
 DDR_DURATION_S = 600.0
 DDR_N_PASSES = 8
 DDR_SEED = 2020
+
+#: Max |fallback - surrogate| on the trial query's headline value.
+#: Both sides sit near zero for the cadmium trial slab; the slack
+#: absorbs the live engine's MC noise at trial history counts.
+SURROGATE_TRIAL_TOL = 0.05
 
 
 # ----------------------------------------------------------------------
@@ -449,6 +459,8 @@ class InvariantChecker:
             "studies.shard_dispatch": 4,
             "studies.shard_commit": 4,
             "studies.quarantine": 1,
+            # One artifact load per fresh store.
+            "surrogate.artifact_load": 1,
         }
         return per_site[site]
 
@@ -532,6 +544,8 @@ class InvariantChecker:
             return self._trial_studies_commit(spec, tmpdir)
         if site == "studies.quarantine":
             return self._trial_studies_quarantine(spec, tmpdir)
+        if site == "surrogate.artifact_load":
+            return self._trial_surrogate_load(spec, tmpdir)
         raise ConfigurationError(f"no trial harness for {site!r}")
 
     # -- campaign-backed cells -----------------------------------------
@@ -1458,6 +1472,86 @@ class InvariantChecker:
                 f"{len(state.committed)} shards committed,"
                 f" expected {n_expected}"
             )
+        return violations, fired
+
+    # -- surrogate cells -----------------------------------------------
+
+    def _trial_surrogate_load(
+        self, spec: ChaosSpec, tmpdir: Path
+    ) -> Tuple[List[str], bool]:
+        """Artifact-load faults: the facade always answers.
+
+        A truncated or corrupted artifact is quarantined on first
+        read and the query falls back to a live engine with honest
+        provenance (no surrogate digest); a transient read error is
+        a miss, not a quarantine — the artifact survives and a fresh
+        store serves it again.
+        """
+        root = tmpdir / "surrogate"
+        digest = trials.make_surrogate_root(root)
+        # The helper's query carries the trial workload's documented
+        # constant seed; taint cannot see through its return value.
+        query = trials.surrogate_query()
+        clean = transport_api.answer(
+            query, store=SurrogateStore(root)  # repro: noqa REP101
+        )
+        violations: List[str] = []
+        if clean.provenance.engine != "surrogate":
+            violations.append(
+                "clean pass did not serve from the surrogate"
+                f" ({clean.provenance.engine!r})"
+            )
+        controller = ChaosController(spec)
+        with activated(controller):
+            chaos = transport_api.answer(
+                query, store=SurrogateStore(root)  # repro: noqa REP101
+            )
+        fired = controller.fired()
+        if not fired:
+            violations.append("fault never fired")
+        if not 0.0 <= chaos.value <= 1.0:
+            violations.append(
+                f"chaos answer is not a fraction: {chaos.value}"
+            )
+        if abs(chaos.value - clean.value) > SURROGATE_TRIAL_TOL:
+            violations.append(
+                "fallback answer diverged from the certified one:"
+                f" {chaos.value} vs {clean.value}"
+            )
+        quarantined = list(root.glob("*" + QUARANTINE_SUFFIX))
+        if spec.action == chaos_actions.RAISE_TRANSIENT:
+            if chaos.provenance.engine == "surrogate":
+                violations.append(
+                    "transient load fault did not miss the surrogate"
+                )
+            if quarantined:
+                violations.append(
+                    "transient fault quarantined a healthy artifact"
+                )
+            retry = transport_api.answer(
+                query, store=SurrogateStore(root)  # repro: noqa REP101
+            )
+            if retry.provenance.engine != "surrogate":
+                violations.append(
+                    "artifact not served again after transient fault"
+                )
+            elif retry.provenance.artifact_digest != digest:
+                violations.append(
+                    "retry served a different artifact"
+                )
+        else:  # truncate / corrupt
+            if chaos.provenance.engine == "surrogate":
+                violations.append(
+                    f"{spec.action}d artifact still served the query"
+                )
+            if chaos.provenance.artifact_digest:
+                violations.append(
+                    "fallback answer claims an artifact digest"
+                )
+            if not quarantined:
+                violations.append(
+                    f"{spec.action}d artifact was not quarantined"
+                )
         return violations, fired
 
     # -- kill (subprocess) trials --------------------------------------

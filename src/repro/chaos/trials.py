@@ -37,9 +37,18 @@ from repro.service.admission import AdmissionController
 from repro.service.compute import CircuitBreaker, QueryExecutor
 from repro.service.cache import ResultCache
 from repro.service.server import FitService
+from repro.spectra.beamlines import rotax_spectrum
 from repro.studies.evaluate import evaluate_shard
 from repro.studies.scheduler import ENGINE_CASCADE, StudyScheduler
 from repro.studies.spec import Shard, StudySpec
+from repro.transport.api import TransportQuery
+from repro.transport.materials import CADMIUM
+from repro.transport.surrogate import (
+    SurfaceSpec,
+    SurrogateStore,
+    build_artifact,
+)
+from repro.transport.surrogate.build import log_grid
 
 #: Campaign trial sizing (small simulated exposures; seconds per run).
 CAMPAIGN_DURATION_S = 300.0
@@ -280,6 +289,75 @@ def make_study_scheduler(
             engine: CircuitBreaker(failure_threshold=10**6)
             for engine in ENGINE_CASCADE
         },
+    )
+
+
+# ----------------------------------------------------------------------
+# Surrogate trial workloads
+# ----------------------------------------------------------------------
+
+#: Held-out MC histories per certification point — enough that the
+#: certified bound beats the serving floor, so the clean pass is a
+#: surrogate hit (seconds-scale; the artifact is built once).
+SURROGATE_CERT_HISTORIES = 4000
+#: Grid points of the trial surface (interpolation gap shrinks with
+#: grid density; below ~9 the gap alone exceeds the serving floor).
+SURROGATE_N_POINTS = 9
+SURROGATE_SEED = 2020
+#: In-envelope query thickness (mid-grid).
+SURROGATE_THICKNESS_CM = 0.1
+
+_surrogate_artifact_cache: List[dict] = []
+
+
+def surrogate_artifact() -> dict:
+    """The tiny cadmium artifact surrogate trials share.
+
+    Memoized per process: the build runs a deterministic grid fill
+    plus MC certification, and every (action, trial) cell wants the
+    same bytes anyway.
+    """
+    if not _surrogate_artifact_cache:
+        spec = SurfaceSpec(
+            mode="transmission",
+            material=CADMIUM,
+            thickness_cm=log_grid(0.025, 0.4, SURROGATE_N_POINTS),
+            source_spectrum=rotax_spectrum(),
+        )
+        _surrogate_artifact_cache.append(
+            build_artifact(
+                "chaos-trial",
+                # Seed taint cannot see through the list literal; the
+                # build seed is the documented constant above.
+                [spec],  # repro: noqa REP101
+                cert_histories=SURROGATE_CERT_HISTORIES,
+                seed=SURROGATE_SEED,
+            )
+        )
+    return _surrogate_artifact_cache[0]
+
+
+def make_surrogate_root(root: Union[str, Path]) -> str:
+    """Write the shared trial artifact under ``root``.
+
+    Returns:
+        The artifact's content digest.
+    """
+    artifact = surrogate_artifact()
+    SurrogateStore(root).save(artifact)
+    return str(artifact["checksum"])
+
+
+def surrogate_query() -> TransportQuery:
+    """The canonical in-envelope query surrogate trials ask."""
+    return TransportQuery(
+        mode="transmission",
+        material=CADMIUM,
+        thickness_cm=SURROGATE_THICKNESS_CM,
+        source_spectrum=rotax_spectrum(),
+        n_neutrons=SERVICE_N_NEUTRONS,
+        seed=SURROGATE_SEED,
+        engine="auto",
     )
 
 

@@ -216,6 +216,10 @@ def cmd_water(args: argparse.Namespace) -> int:
 
 def cmd_shield(args: argparse.Namespace) -> int:
     """Shielding trade-off analysis."""
+    if getattr(args, "surrogate_root", ""):
+        from repro.transport import api as transport_api
+
+        transport_api.configure(args.surrogate_root)
     evaluator = ShieldingEvaluator(
         n_neutrons=args.histories, engine=args.engine
     )
@@ -476,6 +480,13 @@ def cmd_studies(args: argparse.Namespace) -> int:
     return run_studies(args)
 
 
+def cmd_surrogate(args: argparse.Namespace) -> int:
+    """Surrogate artifact tooling (see repro.transport.surrogate)."""
+    from repro.transport.surrogate.cli import run_surrogate
+
+    return run_surrogate(args)
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Observability tooling (see repro.obs)."""
     from repro.obs.cli import run_obs
@@ -567,10 +578,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--histories", type=int, default=2000)
     p.add_argument(
         "--engine",
-        choices=["batch", "scalar", "deterministic"],
+        choices=["auto", "batch", "scalar", "deterministic",
+                 "surrogate"],
         default="batch",
-        help="transport engine (deterministic = noise-free"
-        " multigroup solve, --histories inert)",
+        help="transport engine policy (deterministic = noise-free"
+        " multigroup solve, --histories inert; auto/surrogate"
+        " serve from certified surfaces, see --surrogate-root)",
+    )
+    p.add_argument(
+        "--surrogate-root",
+        default="",
+        help="certified surrogate artifact directory (from"
+        " 'repro surrogate build'); used by engine=auto/surrogate",
     )
     _add_site_args(p)
     p.set_defaults(func=cmd_shield)
@@ -657,6 +676,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_studies_arguments(p)
     p.set_defaults(func=cmd_studies)
+
+    p = sub.add_parser(
+        "surrogate",
+        help=(
+            "certified transport response surfaces: build and"
+            " inspect content-addressed surrogate artifacts"
+        ),
+    )
+    from repro.transport.surrogate.cli import add_surrogate_arguments
+
+    add_surrogate_arguments(p)
+    p.set_defaults(func=cmd_surrogate)
 
     p = sub.add_parser(
         "obs",

@@ -18,12 +18,12 @@ from repro.devices.model import Device
 from repro.environment.scenario import FluxScenario
 from repro.faults.models import Outcome
 from repro.spectra.beamlines import rotax_spectrum
+from repro.transport.api import AccuracyTarget, TransportQuery, answer
 from repro.transport.materials import (
     BORATED_POLYETHYLENE,
     CADMIUM,
     Material,
 )
-from repro.transport.montecarlo import shield_transmission
 
 
 @dataclass(frozen=True)
@@ -97,10 +97,12 @@ class ShieldingEvaluator:
         n_neutrons: MC histories per transmission estimate.
         seed: MC seed.
         calculator: FIT engine.
-        engine: transport engine — ``"batch"`` (default),
-            ``"scalar"``, or ``"deterministic"`` (noise-free
-            multigroup solve; ``n_neutrons``/``seed`` are then
-            inert).
+        engine: transport engine policy — ``"batch"`` (default),
+            ``"scalar"``, ``"deterministic"`` (noise-free multigroup
+            solve; ``n_neutrons``/``seed`` are then inert), or
+            ``"auto"``/``"surrogate"`` to let the facade serve from
+            a certified response surface when one covers the query.
+        accuracy: accuracy target handed to the transport facade.
     """
 
     def __init__(
@@ -109,6 +111,7 @@ class ShieldingEvaluator:
         seed: int = 2020,
         calculator: Optional[FitCalculator] = None,
         engine: str = "batch",
+        accuracy: Optional[AccuracyTarget] = None,
     ) -> None:
         if n_neutrons <= 0:
             raise ValueError(
@@ -118,18 +121,24 @@ class ShieldingEvaluator:
         self.seed = seed
         self.calculator = calculator or FitCalculator()
         self.engine = engine
+        self.accuracy = accuracy or AccuracyTarget()
 
     def thermal_transmission(self, option: ShieldOption) -> float:
-        """Thermal-band transmission of a shield (MC transport)."""
-        result = shield_transmission(
-            option.material,
-            option.thickness_cm,
-            rotax_spectrum(),
-            n_neutrons=self.n_neutrons,
-            seed=self.seed,
-            engine=self.engine,
+        """Thermal-band transmission of a shield (via the transport
+        facade; the engine policy decides who answers)."""
+        result = answer(
+            TransportQuery(
+                mode="transmission",
+                material=option.material,
+                thickness_cm=option.thickness_cm,
+                source_spectrum=rotax_spectrum(),
+                n_neutrons=self.n_neutrons,
+                seed=self.seed,
+                engine=self.engine,
+                accuracy=self.accuracy,
+            )
         )
-        return result.thermal_transmission_fraction()
+        return result.result.thermal_transmission_fraction()
 
     def evaluate(
         self,

@@ -20,8 +20,8 @@ from repro.detector.tin2 import CountSample, TinII
 from repro.environment.modifiers import WATER_COOLING
 from repro.environment.scenario import FluxScenario
 from repro.environment.sites import LOS_ALAMOS
+from repro.transport.api import TransportQuery, answer
 from repro.transport.materials import WATER
-from repro.transport.montecarlo import thermal_albedo_enhancement
 
 
 @dataclass(frozen=True)
@@ -92,8 +92,15 @@ def predicted_water_enhancement(
     The geometry factor (solid angle of the box over the detector)
     pushes the pure-albedo number toward the measured +24 %.
     """
-    albedo, _ = thermal_albedo_enhancement(
-        WATER, thickness_cm, n_neutrons=n_neutrons, seed=seed,
-        engine=engine,
+    served = answer(
+        TransportQuery(
+            mode="albedo",
+            material=WATER,
+            thickness_cm=thickness_cm,
+            source_energy_ev=1.0e6,
+            n_neutrons=n_neutrons,
+            seed=seed,
+            engine=engine,
+        )
     )
-    return albedo
+    return served.result.thermal_albedo()

@@ -1,0 +1,65 @@
+"""REP105 — legacy transport entrypoints.
+
+The free functions ``shield_transmission`` and
+``thermal_albedo_enhancement`` predate the typed
+:class:`~repro.transport.api.TransportQuery` facade.  They survive as
+``DeprecationWarning`` shims so external scripts keep working, but
+in-repo library code must route transport through
+``repro.transport.api.answer`` — the facade is where accuracy
+targets, the surrogate fast path, and the shared engine cascade
+live, and callers that bypass it silently opt out of all three.
+
+The rule walks every resolved call site in library modules (tests
+and benchmarks may exercise the shims deliberately) and flags calls
+whose target is one of the legacy entrypoints, in any spelling —
+direct module call, package re-export, or bare import.  The
+``repro.transport`` package itself is exempt: it is where the shims
+are defined and delegated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.devtools.registry import ProjectRule, register
+from repro.devtools.violations import Violation
+
+#: Fully qualified spellings of the legacy transport entrypoints.
+LEGACY_TARGETS = frozenset(
+    {
+        "repro.transport.montecarlo.shield_transmission",
+        "repro.transport.shield_transmission",
+        "repro.transport.montecarlo.thermal_albedo_enhancement",
+        "repro.transport.thermal_albedo_enhancement",
+    }
+)
+
+
+@register
+class LegacyTransportRule(ProjectRule):
+    """Flag library calls to deprecated transport free functions."""
+
+    rule_id = "REP105"
+    name = "legacy-transport-entrypoint"
+    description = (
+        "library code must use the TransportQuery facade, not the"
+        " deprecated transport free functions"
+    )
+
+    def check_project(self, index) -> Iterator[Violation]:
+        for module in index.modules.values():
+            if not module.is_library:
+                continue
+            if module.name.startswith("repro.transport"):
+                continue  # the shims' own home; delegation lives here
+            for site in module.call_sites:
+                if site.target not in LEGACY_TARGETS:
+                    continue
+                short = site.target.rpartition(".")[2]
+                yield self.project_violation(
+                    module.path,
+                    site.node,
+                    f"legacy transport entrypoint: {short}() is a"
+                    " deprecated shim; build a TransportQuery and"
+                    " call repro.transport.api.answer() instead",
+                )

@@ -83,7 +83,12 @@ _PASSTHROUGH_CALLS = frozenset(
     }
 )
 
-#: A seed requirement: (function fqn, parameter name).
+#: A seed requirement: (function fqn, parameter spec).  The spec is
+#: either a bare parameter name (``"seed"``) or an attribute-qualified
+#: one (``"query.seed"``) when only a single field of the parameter
+#: feeds the RNG — qualification lets call sites that construct a
+#: dataclass inline (``answer(TransportQuery(..., seed=s))``) be
+#: checked at the field, not the whole construction.
 _Req = Tuple[str, str]
 
 
@@ -217,7 +222,8 @@ class SeedFlowAnalysis:
                 self._sites_by_fqn.setdefault(info.fqn, []).append(site)
 
     def _check_callers(self, req: _Req) -> List[_Req]:
-        fqn, param = req
+        fqn, spec = req
+        param, _, attr = spec.partition(".")
         info = self.index.functions.get(fqn)
         if info is None:
             info = self._synthesized(fqn)
@@ -247,12 +253,14 @@ class SeedFlowAnalysis:
                         f" ({outcome.reason})",
                     )
                 continue
-            outcome = self._classify(bound, module, site.caller, set(), 0)
+            outcome = self._classify_bound(
+                bound, attr, module, site.caller, 0
+            )
             if not outcome.ok:
                 self._report(
                     module.path,
                     bound,
-                    f"argument for seed parameter {param!r} of"
+                    f"argument for seed parameter {spec!r} of"
                     f" {info.name if info else fqn}() does not flow"
                     " from a seed parameter or documented constant"
                     f" ({outcome.reason})",
@@ -260,6 +268,63 @@ class SeedFlowAnalysis:
             else:
                 new_reqs.extend(outcome.requirements)
         return new_reqs
+
+    def _classify_bound(
+        self,
+        bound: ast.expr,
+        attr: str,
+        module: ModuleInfo,
+        caller: Optional[FunctionInfo],
+        depth: int,
+    ) -> _Classification:
+        """Classify a call-site argument, refined to one field.
+
+        When the requirement is attribute-qualified (``query.seed``),
+        only that field of the bound object feeds the RNG, so a
+        dataclass constructed inline is checked at the field
+        expression, a plain parameter propagates the qualified
+        requirement to its own callers, and a local name chases its
+        assignments.  Anything else falls back to classifying the
+        whole expression, which is conservative but never weaker
+        than the unqualified analysis.
+        """
+        if not attr or depth > 4:
+            return self._classify(bound, module, caller, set(), 0)
+        if isinstance(bound, ast.Name) and caller is not None:
+            if bound.id in caller.params:
+                return _Classification.good(
+                    {(caller.fqn, f"{bound.id}.{attr}")}
+                )
+            sources = self._locals(caller).get(bound.id)
+            if sources:
+                requirements: Set[_Req] = set()
+                for source in sources:
+                    outcome = self._classify_bound(
+                        source, attr, module, caller, depth + 1
+                    )
+                    if not outcome.ok:
+                        return outcome
+                    requirements |= outcome.requirements
+                return _Classification.good(requirements)
+        if isinstance(bound, ast.Call):
+            chain = _dotted(bound.func)
+            target = (
+                _resolve_value_chain(module, chain) if chain else None
+            )
+            init = self.index.resolve_callable(target)
+            if init is not None and init.name == "__init__":
+                field_expr = _bind_argument(bound, init, attr)
+                if field_expr is not _OMITTED:
+                    return self._classify(
+                        field_expr, module, caller, set(), 0
+                    )
+                default = init.defaults.get(attr)
+                if default is not None:
+                    owner = self.index.modules.get(init.path, module)
+                    return self._classify(
+                        default, owner, None, set(), 0
+                    )
+        return self._classify(bound, module, caller, set(), 0)
 
     def _synthesized(self, fqn: str) -> Optional[FunctionInfo]:
         if fqn.endswith(".__init__"):
@@ -408,7 +473,13 @@ class SeedFlowAnalysis:
         ):
             # An attribute of a parameter (``args.seed``) is
             # caller-controlled: deterministic given caller input.
-            return _Classification.good({(caller.fqn, chain[0])})
+            # Single-level accesses qualify the requirement with the
+            # field name so call sites constructing the object
+            # inline are checked at that field alone.
+            spec = (
+                ".".join(chain) if len(chain) == 2 else chain[0]
+            )
+            return _Classification.good({(caller.fqn, spec)})
         if chain[0] == "self" and caller is not None:
             cls = self.index.class_of(caller)
             if cls is None or len(chain) != 2:

@@ -104,6 +104,18 @@ METRICS: Dict[str, str] = {
     "repro_study_ledger_replays_total": (
         "study write-ahead-ledger replays"
     ),
+    "repro_surrogate_hits_total": (
+        "transport queries served from a certified surrogate surface"
+    ),
+    "repro_surrogate_misses_total": (
+        "surrogate-eligible queries the surfaces could not serve"
+    ),
+    "repro_surrogate_fallbacks_total": (
+        "surrogate-policy queries answered by a live engine instead"
+    ),
+    "repro_surrogate_quarantined_total": (
+        "corrupt surrogate artifacts quarantined at load"
+    ),
 }
 
 #: Registered span names → one-line description.
@@ -125,6 +137,9 @@ SPANS: Dict[str, str] = {
     "service.request": "one FIT service query end to end",
     "study.run": "one sharded study end to end",
     "study.shard": "one study shard evaluation attempt",
+    "surrogate.build": (
+        "one surrogate artifact build (grid fill + certification)"
+    ),
 }
 
 #: Registered event names → one-line description.
@@ -138,6 +153,9 @@ EVENTS: Dict[str, str] = {
     ),
     "service.shutdown": "the FIT service began graceful shutdown",
     "study.quarantine": "a poison study shard was quarantined",
+    "surrogate.artifact_quarantined": (
+        "a corrupt surrogate artifact was quarantined"
+    ),
 }
 
 #: Histogram bucket upper bounds, seconds.  Spans range from

@@ -50,8 +50,9 @@ SCHEMA_VERSIONS = {
     "chaos-report": 2,
     # v1/v2: logbook's own "version" field; v3 adds the schema tags.
     "logbook": 3,
-    # First tagged release: the FIT query service's wire responses.
-    "service-response": 1,
+    # v1: result/cached/degraded envelope; v2 adds the accuracy-aware
+    # "provenance" block (engine used, error bound, artifact digest).
+    "service-response": 2,
     # First tagged release: durable on-disk result-cache entries
     # (carry their own SHA-256 payload checksum).
     "service-cache-entry": 1,
@@ -70,6 +71,12 @@ SCHEMA_VERSIONS = {
     "study-shard-result": 1,
     # First tagged release: the merged study report.
     "study-report": 1,
+    # First tagged release: certified surrogate response-surface
+    # bundles (carry their own SHA-256 payload checksum).
+    "surrogate-artifact": 1,
+    # First tagged release: a surface-served transport answer
+    # (fractions plus certified per-channel bounds).
+    "surrogate-transport": 1,
 }
 
 

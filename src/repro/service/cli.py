@@ -25,6 +25,7 @@ from repro.service.cache import ResultCache
 from repro.service.compute import QueryExecutor
 from repro.service.server import FitService
 from repro.studies.service import StudyGateway
+from repro.transport import api as transport_api
 
 __all__ = ["add_serve_arguments", "load_plans", "run_serve"]
 
@@ -88,6 +89,14 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         " enables the study-submit/status/cancel verbs",
     )
     parser.add_argument(
+        "--surrogate-root",
+        type=Path,
+        default=None,
+        help="directory of certified surrogate artifacts (from"
+        " 'repro surrogate build'); enables sub-millisecond"
+        " surrogate answers for engine=auto/surrogate queries",
+    )
+    parser.add_argument(
         "--drain-s",
         type=float,
         default=5.0,
@@ -132,6 +141,11 @@ def run_serve(args: argparse.Namespace) -> int:
         if args.cache_dir is not None
         else None
     )
+    surrogate_root = getattr(args, "surrogate_root", None)
+    if surrogate_root is not None:
+        # Configure the process-wide store before the pool warms so
+        # forked transmission workers inherit it.
+        transport_api.configure(str(surrogate_root))
     executor = QueryExecutor(n_workers=args.workers)
     executor.warm()
     default_budget = (

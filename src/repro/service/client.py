@@ -121,8 +121,14 @@ class ServiceClient:
         tenant: str = "default",
         timeout_ms: Optional[float] = None,
         plan: Optional[str] = None,
+        accuracy: Optional[dict] = None,
     ) -> dict:
         """Run one query and return its success envelope.
+
+        Args:
+            accuracy: optional accuracy target for transmission
+                queries, e.g. ``{"rel_err": 0.05,
+                "confidence": 0.95}`` (protocol v2).
 
         Raises:
             ServiceError: for any structured error response, with
@@ -131,6 +137,7 @@ class ServiceClient:
         self._next_id += 1
         body: dict = {
             "id": f"c{self._next_id}",
+            "v": 2,
             "kind": kind,
             "params": dict(params or {}),
             "tenant": tenant,
@@ -140,6 +147,8 @@ class ServiceClient:
                 else timeout_ms
             ),
         }
+        if accuracy is not None:
+            body["accuracy"] = dict(accuracy)
         if plan is not None:
             body["plan"] = plan
         response = self.request(body)

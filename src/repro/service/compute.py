@@ -12,9 +12,10 @@ surviving the ways real compute backends die:
   the response ``degraded`` — the service answer is late, never
   wrong, never a hang.
 * **Repeated shard/worker failure** trips a :class:`CircuitBreaker`
-  that downgrades ``engine="batch"`` transmission queries to the
-  scalar oracle until enough consecutive successes close it again
-  (the supervisor's degrade-don't-die policy, applied to engines).
+  that blocks the batch engine; blocked transmission queries walk
+  the shared cascade policy of :mod:`repro.transport.api`
+  (batch -> deterministic -> scalar, same as the studies scheduler)
+  until enough consecutive successes close the breaker again.
 
 ``_execute_query`` is a module-level function on purpose: it must be
 picklable for the ``fork`` process pool, and it hosts the
@@ -45,7 +46,7 @@ from repro.runtime.events import EventLog
 from repro.runtime.supervisor import Supervisor
 from repro.service.protocol import SERVICE_SITES, SHIELDS, Query
 from repro.spectra.beamlines import rotax_spectrum
-from repro.transport.montecarlo import shield_transmission
+from repro.transport.api import AccuracyTarget, TransportQuery, answer
 
 __all__ = [
     "CircuitBreaker",
@@ -132,24 +133,41 @@ def _flux(payload: dict) -> dict:
 
 
 def _transmission(payload: dict) -> dict:
-    """Monte Carlo shield transmission (the expensive kind)."""
+    """Shield transmission through the transport facade.
+
+    The facade negotiates who answers: a certified surrogate
+    surface, or a live engine picked by the shared cascade policy
+    (``payload["blocked"]`` lists engines the breaker disabled).
+    """
     material = SHIELDS[payload["shield"]][0]
-    result = shield_transmission(
-        material,
-        payload["thickness_cm"],
-        rotax_spectrum(),
-        n_neutrons=payload["n_neutrons"],
-        seed=payload["seed"],
-        engine=payload["engine"],
+    served = answer(
+        TransportQuery(
+            mode="transmission",
+            material=material,
+            thickness_cm=payload["thickness_cm"],
+            source_spectrum=rotax_spectrum(),
+            n_neutrons=payload["n_neutrons"],
+            seed=payload["seed"],
+            engine=payload["engine"],
+            accuracy=AccuracyTarget(
+                rel_err=payload.get("rel_err", 0.05),
+                confidence=payload.get("confidence", 0.95),
+            ),
+        ),
+        blocked=frozenset(payload.get("blocked", ())),
     )
+    result = served.result
     return {
         "shield": payload["shield"],
         "thickness_cm": payload["thickness_cm"],
-        "engine": payload["engine"],
+        # The engine that actually answered (the policy asked for
+        # is in provenance.requested_engine).
+        "engine": served.provenance.engine,
         "thermal_transmission": (
             result.thermal_transmission_fraction()
         ),
         "transport": result.to_dict(),
+        "provenance": served.provenance.to_dict(),
     }
 
 
@@ -242,14 +260,18 @@ class ExecutionOutcome:
     Attributes:
         result: the computed result dict.
         degraded: True when the service had to fall back (worker
-            death recompute, breaker-forced scalar engine).
+            death recompute, breaker-forced engine downgrade,
+            surrogate fallback).
         reason: machine-readable degradation cause (``""`` = clean;
-            ``worker-retry`` / ``breaker-open``).
+            e.g. ``worker-retry`` / ``breaker-open``).
+        provenance: the transport facade's provenance block, for
+            kinds that have one (transmission).
     """
 
     result: dict
     degraded: bool = False
     reason: str = ""
+    provenance: Optional[dict] = None
 
 
 class QueryExecutor:
@@ -326,20 +348,25 @@ class QueryExecutor:
     def execute(self, query: Query) -> ExecutionOutcome:
         """Compute one query; degrade rather than fail or hang."""
         payload = query.to_dict()
-        degraded = False
-        reason = ""
-        if (
-            query.kind == "transmission"
-            and query.engine == "batch"
-            and self.breaker.open
-        ):
-            payload["engine"] = "scalar"
-            degraded = True
-            reason = "breaker-open"
+        if query.kind == "transmission" and self.breaker.open:
+            # Hand the open breaker to the shared cascade policy
+            # (transport.api) instead of hard-coding a downgrade —
+            # batch-blocked queries walk batch -> deterministic ->
+            # scalar, same as the studies scheduler.
+            payload["blocked"] = ["batch"]
         result, worker_died = self._supervisor.call(
             query.kind, lambda: self._dispatch(payload)
         )
         self.compute_count += 1
+        provenance = (
+            result.get("provenance")
+            if isinstance(result, dict)
+            else None
+        )
+        degraded = bool(provenance and provenance.get("degraded"))
+        reason = (
+            str(provenance.get("reason", "")) if degraded else ""
+        )
         if worker_died:
             degraded = True
             reason = reason or "worker-retry"
@@ -352,7 +379,10 @@ class QueryExecutor:
         if degraded:
             obs.inc("repro_service_degraded_total")
         return ExecutionOutcome(
-            result=result, degraded=degraded, reason=reason
+            result=result,
+            degraded=degraded,
+            reason=reason,
+            provenance=provenance,
         )
 
     def _dispatch(self, payload: dict) -> Tuple[dict, bool]:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from repro import serde
@@ -50,6 +50,7 @@ from repro.transport.materials import (
 __all__ = [
     "ERROR_CODES",
     "MAX_N_NEUTRONS",
+    "PROTOCOL_VERSIONS",
     "QUERY_KINDS",
     "STUDY_KINDS",
     "Query",
@@ -104,10 +105,17 @@ SHIELDS: Dict[str, Tuple[Material, float]] = {
 #: parameter that directly buys CPU time).
 MAX_N_NEUTRONS = 200_000
 
-#: Transport engines a transmission query may request.  The
-#: deterministic engine ignores ``n_neutrons``/``seed`` (its answer
-#: is a noise-free fraction) but both stay admission-controlled.
-_ENGINES = ("batch", "scalar", "deterministic")
+#: Transport engine policies a transmission query may request
+#: (:data:`repro.transport.api.ENGINE_POLICIES`).  The deterministic
+#: engine and the surrogate ignore ``n_neutrons``/``seed`` (their
+#: answers are noise-free fractions) but both stay
+#: admission-controlled.
+_ENGINES = ("auto", "batch", "deterministic", "scalar", "surrogate")
+
+#: Wire protocol versions this server accepts.  v1 requests carry no
+#: ``accuracy`` field (defaults apply); v2 adds ``accuracy`` on
+#: requests and ``provenance`` on responses.
+PROTOCOL_VERSIONS = (1, 2)
 
 
 class ServiceError(ReproError):
@@ -159,7 +167,11 @@ class Query:
         thickness_cm: shield thickness (transmission).
         n_neutrons: Monte Carlo histories (transmission).
         seed: RNG seed (transmission; part of the cache key).
-        engine: requested transport engine (transmission).
+        engine: requested transport engine policy (transmission).
+        rel_err: accuracy target — max relative error on the
+            headline value (transmission; gates surrogate serving).
+        confidence: accuracy target — min coverage of the error
+            bound (transmission).
     """
 
     kind: str
@@ -174,6 +186,8 @@ class Query:
     n_neutrons: int = 0
     seed: int = 2020
     engine: str = "batch"
+    rel_err: float = 0.05
+    confidence: float = 0.95
 
     @classmethod
     def from_params(cls, kind: str, params: dict) -> "Query":
@@ -287,6 +301,14 @@ class Query:
             "engine": str(engine),
         }
 
+    def with_accuracy(
+        self, rel_err: float, confidence: float
+    ) -> "Query":
+        """A copy carrying an explicit accuracy target."""
+        return replace(
+            self, rel_err=rel_err, confidence=confidence
+        )
+
     # -- canonical forms -----------------------------------------------
 
     def to_dict(self) -> dict:
@@ -304,6 +326,8 @@ class Query:
             "n_neutrons": self.n_neutrons,
             "seed": self.seed,
             "engine": self.engine,
+            "rel_err": self.rel_err,
+            "confidence": self.confidence,
         }
 
     def digest(self) -> str:
@@ -351,6 +375,60 @@ class Request:
     query: Query
 
 
+def _parse_accuracy(
+    data: dict, request_id: str
+) -> Optional[Tuple[float, float]]:
+    """Validate an optional top-level ``accuracy`` object.
+
+    Returns:
+        ``(rel_err, confidence)`` when present, else ``None``.
+    """
+    raw = data.get("accuracy")
+    if raw is None:
+        return None
+    if not isinstance(raw, dict):
+        raise ServiceError(
+            "bad-request",
+            f"accuracy must be a JSON object, got {raw!r}",
+            request_id,
+        )
+    unknown = sorted(set(raw) - {"rel_err", "confidence"})
+    if unknown:
+        raise ServiceError(
+            "bad-request",
+            f"unknown accuracy field(s) {unknown};"
+            " allowed: ['confidence', 'rel_err']",
+            request_id,
+        )
+    rel_err = raw.get("rel_err", 0.05)
+    confidence = raw.get("confidence", 0.95)
+    for name, value in (
+        ("rel_err", rel_err), ("confidence", confidence)
+    ):
+        if not isinstance(value, (int, float)) or isinstance(
+            value, bool
+        ):
+            raise ServiceError(
+                "bad-request",
+                f"accuracy.{name} must be a number, got {value!r}",
+                request_id,
+            )
+    if not 0.0 < float(rel_err) <= 1.0:
+        raise ServiceError(
+            "bad-request",
+            f"accuracy.rel_err must be in (0, 1], got {rel_err}",
+            request_id,
+        )
+    if not 0.0 < float(confidence) < 1.0:
+        raise ServiceError(
+            "bad-request",
+            "accuracy.confidence must be in (0, 1),"
+            f" got {confidence}",
+            request_id,
+        )
+    return float(rel_err), float(confidence)
+
+
 def parse_request(line: str, plans: Dict[str, dict]) -> Request:
     """Parse and validate one request line.
 
@@ -361,8 +439,9 @@ def parse_request(line: str, plans: Dict[str, dict]) -> Request:
             params (and kind), overridden by its own ``params``.
 
     Raises:
-        ServiceError: ``bad-request`` for malformed JSON/fields, or
-            ``unknown-plan`` for an undeclared plan name.
+        ServiceError: ``bad-request`` for malformed JSON/fields, an
+            unsupported protocol version, or ``unknown-plan`` for an
+            undeclared plan name.
     """
     try:
         data = json.loads(line)
@@ -380,6 +459,19 @@ def parse_request(line: str, plans: Dict[str, dict]) -> Request:
             "bad-request",
             "request must carry a non-empty string 'id'",
         )
+    version = data.get("v", 1)
+    if (
+        isinstance(version, bool)
+        or not isinstance(version, int)
+        or version not in PROTOCOL_VERSIONS
+    ):
+        raise ServiceError(
+            "bad-request",
+            f"unsupported protocol version {version!r};"
+            f" this server speaks {PROTOCOL_VERSIONS}",
+            request_id,
+        )
+    accuracy = _parse_accuracy(data, request_id)
     kind = data.get("kind", "")
     params = data.get("params", {})
     plan_name = data.get("plan")
@@ -419,6 +511,8 @@ def parse_request(line: str, plans: Dict[str, dict]) -> Request:
         raise ServiceError(
             exc.code, exc.message, request_id
         ) from exc
+    if accuracy is not None and query.kind == "transmission":
+        query = query.with_accuracy(*accuracy)
     return Request(
         request_id=request_id,
         tenant=str(data.get("tenant", "default")),

@@ -228,6 +228,7 @@ class FitService:
                 "cached": False,
                 "degraded": False,
                 "degraded_reason": "",
+                "provenance": None,
             },
         )
 
@@ -246,10 +247,15 @@ class FitService:
                         "cached": True,
                         "degraded": False,
                         "degraded_reason": "",
+                        "provenance": (
+                            cached.get("provenance")
+                            if isinstance(cached, dict)
+                            else None
+                        ),
                     }
                 obs.inc("repro_service_cache_misses_total")
             outcome = self.executor.execute(query)
-            # Degraded answers (scalar fallback, worker recompute)
+            # Degraded answers (engine fallback, worker recompute)
             # are correct but second-choice; caching them would pin
             # the degradation past recovery.
             if self.cache is not None and not outcome.degraded:
@@ -259,6 +265,7 @@ class FitService:
                 "cached": False,
                 "degraded": outcome.degraded,
                 "degraded_reason": outcome.reason,
+                "provenance": outcome.provenance,
             }
 
         if timeout_s > 0.0:

@@ -23,7 +23,7 @@ from repro.environment import (
 from repro.service.protocol import SERVICE_SITES, SHIELDS
 from repro.spectra.beamlines import rotax_spectrum
 from repro.studies.spec import Shard, StudySpec
-from repro.transport.montecarlo import shield_transmission
+from repro.transport.api import TransportQuery, answer
 
 __all__ = ["evaluate_shard"]
 
@@ -71,23 +71,31 @@ def evaluate_point(
     }
     if point["shield"] != "none":
         material, thickness_cm = SHIELDS[point["shield"]]
-        result = shield_transmission(
-            material,
-            thickness_cm,
-            rotax_spectrum(),
-            n_neutrons=n_neutrons,
-            seed=seed,
-            engine=engine,
+        served = answer(
+            TransportQuery(
+                mode="transmission",
+                material=material,
+                thickness_cm=thickness_cm,
+                source_spectrum=rotax_spectrum(),
+                n_neutrons=n_neutrons,
+                seed=seed,
+                engine=engine,
+            )
         )
+        result = served.result
         fraction = result.thermal_transmission_fraction()
         row["shield_transmission"] = fraction
-        row["engine"] = engine
+        # The engine that actually answered, not the policy asked
+        # for — "auto" may resolve to the surrogate or any live
+        # engine.
+        row["engine"] = served.provenance.engine
         row["shielded_total_fit"] = (
             fit_high_energy + fit_thermal * fraction
         )
-        if engine != "deterministic":
+        if served.provenance.engine in ("batch", "scalar"):
             # MC engines count histories; the deterministic solver
-            # answers in fractions (no tallies to merge).
+            # and the surrogate answer in fractions (no tallies to
+            # merge).
             row["mc_source"] = int(result.source)
             row["mc_transmitted_thermal"] = int(
                 result.transmitted_thermal

@@ -41,14 +41,15 @@ from repro.studies.ledger import StudyLedger
 from repro.studies.report import StudyReport, build_report
 from repro.studies.spec import Shard, StudySpec
 from repro.studies.store import ShardResultStore
+from repro.transport.api import LIVE_CASCADE, pick_live_engine
 
 __all__ = ["ENGINE_CASCADE", "StudyOutcome", "StudyScheduler"]
 
-#: Fallback order under failure or budget pressure.  The batch MC
-#: engine is the default answer; the deterministic solver is the
-#: cheap noise-free fallback; the scalar oracle is the engine of last
-#: resort (it shares no vectorized code with batch).
-ENGINE_CASCADE = ("batch", "deterministic", "scalar")
+#: Fallback order under failure or budget pressure — the shared
+#: cascade policy from :mod:`repro.transport.api` (the service
+#: breaker walks the same sequence).  Kept as a name here for
+#: backwards compatibility.
+ENGINE_CASCADE = LIVE_CASCADE
 
 
 @dataclass(frozen=True)
@@ -240,7 +241,7 @@ class StudyScheduler:
                     shard, engine, type(exc).__name__, failures
                 )
             else:
-                self.breakers[engine].record_success()
+                self._breaker_for(engine).record_success()
                 degraded = engine != self.spec.engine
                 payload["degraded"] = degraded
                 payload["reason"] = reason if degraded else ""
@@ -266,29 +267,33 @@ class StudyScheduler:
     def _pick_engine(
         self, tracker: Optional[BudgetTracker]
     ) -> "tuple[str, str]":
-        """Walk the cascade; returns (engine, degradation reason)."""
-        start = ENGINE_CASCADE.index(self.spec.engine)
-        order = ENGINE_CASCADE[start:]
+        """Walk the shared cascade; returns (engine, reason).
+
+        Negotiation policies (``auto``/``surrogate``) pass through
+        to the evaluator unless a live fallback is being forced —
+        the transport facade resolves them per query.
+        """
         pressure = (
             tracker is not None
             and tracker.budget.wall_clock_s is not None
             and tracker.elapsed_s()
             >= 0.5 * tracker.budget.wall_clock_s
         )
-        reason = ""
-        for engine in order:
-            if (
-                pressure
-                and engine == self.spec.engine
-                and len(order) > 1
-            ):
-                reason = "budget-pressure"
-                continue
-            if self.breakers[engine].open:
-                reason = reason or "breaker-open"
-                continue
-            return engine, reason
-        return order[-1], reason or "breaker-open"
+        blocked = frozenset(
+            engine
+            for engine in LIVE_CASCADE
+            if self.breakers[engine].open
+        )
+        engine, reason = pick_live_engine(
+            self.spec.engine,
+            blocked=blocked,
+            budget_pressure=pressure,
+        )
+        if self.spec.engine not in LIVE_CASCADE and not reason:
+            # Nothing forced a downgrade: keep the policy so the
+            # facade can serve shielded points from the surrogate.
+            return self.spec.engine, ""
+        return engine, reason
 
     # -- durable transitions -------------------------------------------
 
@@ -309,13 +314,21 @@ class StudyScheduler:
         if payload.get("degraded"):
             obs.inc("repro_study_shards_degraded_total")
 
+    def _breaker_for(self, engine: str) -> CircuitBreaker:
+        """Breaker bucket for an engine string.  Negotiation
+        policies (``auto``/``surrogate``) resolve to live engines
+        per query, so their health is charged to the cascade head."""
+        if engine in self.breakers:
+            return self.breakers[engine]
+        return self.breakers[LIVE_CASCADE[0]]
+
     def _record_failure(
         self, shard: Shard, engine: str, error: str, failures: int
     ) -> int:
         """Count one deterministic shard failure durably."""
         failures += 1
         self._failures[shard.index] = failures
-        self.breakers[engine].record_failure()
+        self._breaker_for(engine).record_failure()
         self.ledger.append(
             "shard-failed",
             {

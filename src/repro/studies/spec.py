@@ -21,7 +21,7 @@ from repro.devices.catalog import DEVICES
 from repro.runtime.checkpoint import plan_digest
 from repro.runtime.errors import ConfigurationError
 from repro.service.protocol import MAX_N_NEUTRONS, SERVICE_SITES, SHIELDS
-from repro.transport.montecarlo import Engine
+from repro.transport.api import coerce_policy
 
 __all__ = ["AXES", "Shard", "StudySpec"]
 
@@ -75,8 +75,10 @@ class StudySpec:
         shard_size: grid points per shard.
         max_shard_failures: deterministic failures before a shard is
             quarantined as poison.
-        engine: requested transport engine (the top of the
-            degradation cascade).
+        engine: requested transport engine policy (the top of the
+            degradation cascade; ``"auto"`` lets shielded points be
+            served from a certified surrogate surface when one is
+            configured).
     """
 
     name: str
@@ -134,7 +136,7 @@ class StudySpec:
             )
         # Normalizes and validates in one step.
         object.__setattr__(
-            self, "engine", Engine.coerce(self.engine).value
+            self, "engine", coerce_policy(self.engine)
         )
 
     # -- the grid ------------------------------------------------------

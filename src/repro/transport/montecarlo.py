@@ -400,31 +400,38 @@ def thermal_albedo_enhancement(
 ) -> Tuple[float, float]:
     """Thermal albedo of a slab hit by fast neutrons.
 
-    Models the paper's detector experiment: ambient fast/epithermal
-    neutrons strike a nearby moderator body, which reflects a
-    thermalized fraction back at the device/detector.  The returned
-    albedo is the fractional *increase* of the local thermal
-    population per unit incident fast flux.
-
-    Args:
-        material: moderator body material.
-        thickness_cm: slab thickness.
-        n_neutrons: MC histories.
-        incident_energy_ev: monoenergetic fast source energy.
-        seed: transport seed.
-        engine: transport engine (:class:`Engine` or its string
-            value).
+    .. deprecated::
+        Use :func:`repro.transport.api.answer` with an ``"albedo"``
+        :class:`~repro.transport.api.TransportQuery` instead; this
+        shim survives one release and never consults the surrogate.
 
     Returns:
         ``(albedo, stderr)``.
     """
-    geometry = SlabGeometry([Layer(material, thickness_cm)])
-    transport = SlabTransport(
-        geometry, rng=np.random.default_rng(seed)
+    import warnings
+
+    from repro.transport import api
+
+    warnings.warn(
+        "thermal_albedo_enhancement() is deprecated; build a"
+        " repro.transport.api.TransportQuery(mode='albedo', ...)"
+        " and call repro.transport.api.answer()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    result = transport.run(
-        n_neutrons, source_energy_ev=incident_energy_ev, engine=engine
+    answer = api.answer(
+        api.TransportQuery(
+            mode="albedo",
+            material=material,
+            thickness_cm=thickness_cm,
+            source_energy_ev=incident_energy_ev,
+            n_neutrons=n_neutrons,
+            seed=seed,
+            engine=Engine.coerce(engine).value,
+        ),
+        store=None,
     )
+    result = answer.result
     return result.thermal_albedo(), result.thermal_albedo_stderr()
 
 
@@ -438,15 +445,33 @@ def shield_transmission(
 ) -> Union[TransportResult, "DeterministicTransportResult"]:
     """Transport an incident spectrum through a shield layer.
 
-    Used by the shielding ablation (experiment E9): cadmium sheets and
-    borated polyethylene vs the thermal band.  ``engine`` selects the
-    vectorized batch engine (default), the scalar oracle, or the
-    noise-free deterministic multigroup solver.
+    .. deprecated::
+        Use :func:`repro.transport.api.answer` with a
+        ``"transmission"`` :class:`~repro.transport.api.TransportQuery`
+        instead; this shim survives one release and never consults
+        the surrogate.
     """
-    geometry = SlabGeometry([Layer(material, thickness_cm)])
-    transport = SlabTransport(
-        geometry, rng=np.random.default_rng(seed)
+    import warnings
+
+    from repro.transport import api
+
+    warnings.warn(
+        "shield_transmission() is deprecated; build a"
+        " repro.transport.api.TransportQuery(mode='transmission',"
+        " ...) and call repro.transport.api.answer()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return transport.run(
-        n_neutrons, source_spectrum=source_spectrum, engine=engine
+    answer = api.answer(
+        api.TransportQuery(
+            mode="transmission",
+            material=material,
+            thickness_cm=thickness_cm,
+            source_spectrum=source_spectrum,
+            n_neutrons=n_neutrons,
+            seed=seed,
+            engine=Engine.coerce(engine).value,
+        ),
+        store=None,
     )
+    return answer.result

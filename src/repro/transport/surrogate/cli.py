@@ -1,0 +1,190 @@
+"""``repro surrogate`` — build and inspect surrogate artifacts.
+
+``build`` fills and certifies response surfaces (deterministic grid
+fill, held-out batch-MC certification) and persists them as
+content-addressed artifacts under ``--out``; ``info`` lists what a
+store root contains and the certified bounds each surface carries.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.exitcodes import ExitCode
+from repro.spectra.beamlines import rotax_spectrum
+from repro.transport.surrogate.build import (
+    ALBEDO_SOURCE_EV,
+    DEFAULT_CERT_HISTORIES,
+    DEFAULT_K_SIGMA,
+    DEFAULT_N_POINTS,
+    DEFAULT_SHIELD_THICKNESS_CM,
+    SurfaceSpec,
+    _ENVELOPE_SPAN,
+    build_artifact,
+    log_grid,
+)
+from repro.transport.surrogate.store import SurrogateStore
+
+__all__ = ["add_surrogate_arguments", "run_surrogate"]
+
+#: Shield name -> material, mirroring the service's SHIELDS table.
+_SHIELD_MATERIALS = {
+    "cadmium": "cadmium",
+    "borated-poly": "borated polyethylene",
+    "water": "water",
+    "concrete": "concrete",
+}
+
+
+def add_surrogate_arguments(
+    parser: argparse.ArgumentParser,
+) -> None:
+    """Attach ``repro surrogate`` arguments to a subparser."""
+    sub = parser.add_subparsers(dest="surrogate_cmd", required=True)
+
+    b = sub.add_parser(
+        "build",
+        help="fill + certify response surfaces into a store root",
+    )
+    b.add_argument(
+        "--out",
+        type=Path,
+        required=True,
+        help="store root to write the artifact into",
+    )
+    b.add_argument(
+        "--name",
+        default="default",
+        help="artifact name (default: %(default)s)",
+    )
+    b.add_argument(
+        "--shield",
+        action="append",
+        choices=sorted(_SHIELD_MATERIALS),
+        default=None,
+        help="restrict to these shields (repeatable;"
+        " default: all four plus water/concrete albedo)",
+    )
+    b.add_argument(
+        "--points",
+        type=int,
+        default=DEFAULT_N_POINTS,
+        help="grid points per surface (default: %(default)s)",
+    )
+    b.add_argument(
+        "--cert-histories",
+        type=int,
+        default=DEFAULT_CERT_HISTORIES,
+        help="held-out MC histories per certification point"
+        " (default: %(default)s)",
+    )
+    b.add_argument(
+        "--k-sigma",
+        type=float,
+        default=DEFAULT_K_SIGMA,
+        help="certification sigma multiplier"
+        " (default: %(default)s)",
+    )
+    b.add_argument(
+        "--seed",
+        type=int,
+        default=2020,
+        help="certification MC seed (default: %(default)s)",
+    )
+
+    i = sub.add_parser(
+        "info", help="list a store root's certified surfaces"
+    )
+    i.add_argument(
+        "--root",
+        type=Path,
+        required=True,
+        help="store root to inspect",
+    )
+
+
+def _build_specs(args: argparse.Namespace) -> list:
+    """Surface specs for the requested shields."""
+    from repro.transport.materials import (
+        BORATED_POLYETHYLENE,
+        CADMIUM,
+        CONCRETE,
+        WATER,
+    )
+
+    materials = {
+        "cadmium": CADMIUM,
+        "borated-poly": BORATED_POLYETHYLENE,
+        "water": WATER,
+        "concrete": CONCRETE,
+    }
+    shields = args.shield or sorted(materials)
+    spectrum = rotax_spectrum()
+    specs = []
+    for shield in shields:
+        material = materials[shield]
+        t_ref = DEFAULT_SHIELD_THICKNESS_CM[material.name]
+        grid = log_grid(
+            t_ref / _ENVELOPE_SPAN,
+            t_ref * _ENVELOPE_SPAN,
+            args.points,
+        )
+        specs.append(
+            SurfaceSpec(
+                mode="transmission",
+                material=material,
+                thickness_cm=grid,
+                source_spectrum=spectrum,
+            )
+        )
+        if shield in ("water", "concrete"):
+            specs.append(
+                SurfaceSpec(
+                    mode="albedo",
+                    material=material,
+                    thickness_cm=grid,
+                    source_energy_ev=ALBEDO_SOURCE_EV,
+                )
+            )
+    return specs
+
+
+def run_surrogate(args: argparse.Namespace) -> int:
+    """Entry point for ``repro surrogate``."""
+    if args.surrogate_cmd == "build":
+        specs = _build_specs(args)
+        artifact = build_artifact(
+            args.name,
+            specs,
+            cert_histories=args.cert_histories,
+            k_sigma=args.k_sigma,
+            seed=args.seed,
+        )
+        path = SurrogateStore(args.out).save(artifact)
+        print(
+            f"surrogate artifact {args.name!r}:"
+            f" {len(specs)} surfaces,"
+            f" {artifact['n_points']} grid points,"
+            f" cert {args.cert_histories} histories"
+            f" @ k={args.k_sigma:g}"
+        )
+        print(f"written: {path}")
+        return int(ExitCode.OK)
+    store = SurrogateStore(args.root)
+    digests = store.digests()
+    if not digests:
+        print(f"no valid surrogate artifacts under {args.root}")
+        return int(ExitCode.OK)
+    for digest in digests:
+        print(f"artifact {digest[:16]}…")
+    for surface, digest in store.surfaces():
+        grid = surface.thickness_cm
+        print(
+            f"  {surface.mode:<12} {surface.material:<22}"
+            f" [{grid[0]:.3g}, {grid[-1]:.3g}] cm"
+            f"  bound({surface.headline})"
+            f"={surface.certified_bound():.2e}"
+            f"  conf={surface.confidence:.6f}"
+        )
+    return int(ExitCode.OK)

@@ -1,0 +1,181 @@
+"""Content-addressed surrogate artifact store.
+
+Artifacts live as ``<root>/<digest>.json`` where ``digest`` is the
+payload's SHA-256 checksum — the filename *is* the content address,
+so a partially-written or tampered file is detectable without any
+sidecar metadata.  Loading re-derives the checksum and serde-checks
+the envelope; anything that fails is quarantined (renamed to
+``*.quarantined``) and skipped, never served.  The
+``surrogate.artifact_load`` chaos fault point sits directly on the
+load path so the matrix can prove corrupt artifacts degrade to a
+live engine instead of poisoning answers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import serde
+from repro.chaos.faultpoints import fault_point
+from repro.obs import core as obs
+from repro.runtime.checkpoint import payload_checksum
+from repro.runtime.errors import TransientHarnessError
+from repro.transport.surrogate.surface import ResponseSurface
+
+__all__ = ["SurrogateStore", "QUARANTINE_SUFFIX"]
+
+#: Rename suffix for artifacts that fail validation (mirrors the
+#: service result cache's quarantine idiom).
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+class SurrogateStore:
+    """Load/save checksummed surrogate artifacts under one root.
+
+    Loading is lazy and cached: the first lookup scans the root,
+    validates every artifact, and indexes its surfaces by
+    ``(mode, material, source)``; later lookups are dict hits.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._loaded = False
+        # (mode, material, source) -> list of (surface, digest);
+        # later artifacts may widen coverage of the same family.
+        self._surfaces: Dict[
+            Tuple[str, str, str], List[Tuple[ResponseSurface, str]]
+        ] = {}
+        self._digests: List[str] = []
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, artifact: dict) -> Path:
+        """Persist an artifact at its content address.
+
+        Returns:
+            Path of the written ``<digest>.json``.
+        """
+        serde.check("surrogate-artifact", artifact)
+        digest = payload_checksum(artifact)
+        if artifact.get("checksum") != digest:
+            raise ValueError(
+                "artifact checksum does not match its body"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.root / f"{digest}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(artifact, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        # Invalidate the cache so the next lookup sees the new file.
+        self._loaded = False
+        self._surfaces.clear()
+        self._digests.clear()
+        return path
+
+    # -- loading -------------------------------------------------------
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        target = path.with_name(path.name + QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, target)
+        except OSError:
+            return
+        obs.inc(
+            "repro_surrogate_quarantined_total", reason=reason
+        )
+        obs.event(
+            "surrogate.artifact_quarantined",
+            path=str(path),
+            reason=reason,
+        )
+
+    def _load_file(self, path: Path) -> Optional[dict]:
+        """Validate one artifact file; quarantine on any defect."""
+        fault_point("surrogate.artifact_load", path=str(path))
+        try:
+            artifact = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self._quarantine(path, reason="unreadable")
+            return None
+        try:
+            serde.check("surrogate-artifact", artifact)
+        except Exception:
+            self._quarantine(path, reason="schema")
+            return None
+        digest = payload_checksum(artifact)
+        if artifact.get("checksum") != digest:
+            self._quarantine(path, reason="checksum")
+            return None
+        if path.name != f"{digest}.json":
+            self._quarantine(path, reason="address")
+            return None
+        return artifact
+
+    def _load_all(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                artifact = self._load_file(path)
+            except TransientHarnessError:
+                # Injected transient: skip this artifact for now
+                # (miss, not quarantine) — a fresh store retries.
+                continue
+            if artifact is None:
+                continue
+            digest = str(artifact["checksum"])
+            self._digests.append(digest)
+            for data in artifact["surfaces"]:
+                try:
+                    surface = ResponseSurface.from_dict(data)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                key = (surface.mode, surface.material, surface.source)
+                self._surfaces.setdefault(key, []).append(
+                    (surface, digest)
+                )
+
+    # -- queries -------------------------------------------------------
+
+    def digests(self) -> List[str]:
+        """Digests of every valid artifact under the root."""
+        self._load_all()
+        return list(self._digests)
+
+    def surfaces(self) -> List[Tuple[ResponseSurface, str]]:
+        """Every loaded ``(surface, digest)`` pair, family-sorted."""
+        self._load_all()
+        pairs: List[Tuple[ResponseSurface, str]] = []
+        for key in sorted(self._surfaces):
+            pairs.extend(self._surfaces[key])
+        return pairs
+
+    def lookup(
+        self,
+        mode: str,
+        material: str,
+        source: str,
+        thickness_cm: float,
+    ) -> Optional[Tuple[ResponseSurface, str]]:
+        """The first certified surface covering a query, or None.
+
+        Returns:
+            ``(surface, artifact_digest)`` when some loaded surface
+            of the (mode, material, source) family has the thickness
+            inside its envelope.
+        """
+        self._load_all()
+        for surface, digest in self._surfaces.get(
+            (mode, material, source), ()
+        ):
+            if surface.in_envelope(thickness_cm):
+                return surface, digest
+        return None

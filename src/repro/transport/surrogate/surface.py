@@ -1,0 +1,437 @@
+"""Response surfaces: log-space interpolators with certified bounds.
+
+A :class:`ResponseSurface` answers one (mode, material, source)
+family of transport questions over a thickness envelope.  Grid values
+come from the deterministic multigroup engine (noise-free), the
+per-channel ``bounds`` from a held-out batch-MC certification pass
+(:mod:`repro.transport.surrogate.build`), so a served answer carries
+an error bar that was *measured*, not assumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import serde
+from repro.spectra.spectrum import Spectrum
+
+__all__ = [
+    "CHANNELS",
+    "FRACTION_CHANNELS",
+    "ResponseSurface",
+    "SurrogateTransportResult",
+    "mono_source_key",
+    "spectrum_source_key",
+    "z_for_confidence",
+]
+
+#: Every channel a surface carries, in canonical order.  The first
+#: seven are fractions per source neutron; ``collisions`` is a mean
+#: count per source neutron (may exceed 1).
+FRACTION_CHANNELS = (
+    "transmitted_thermal",
+    "transmitted_epithermal",
+    "transmitted_fast",
+    "reflected_thermal",
+    "reflected_epithermal",
+    "reflected_fast",
+    "absorbed",
+)
+CHANNELS = FRACTION_CHANNELS + ("collisions",)
+
+#: Headline channel per surface mode — the number callers actually
+#: consume, whose certified bound gates serving.
+HEADLINE = {
+    "transmission": "transmitted_thermal",
+    "albedo": "reflected_thermal",
+}
+
+#: Log-interpolation floor: channel values below this are treated as
+#: zero (log-space cannot represent 0 exactly).
+_LOG_FLOOR = 1.0e-12
+
+#: Absolute accuracy floor when judging whether a certified bound
+#: meets a relative target.  A surface cannot be certified tighter
+#: than the MC it was certified *against* resolves (k-sigma at the
+#: certification history count is a few 1e-3 for mid-range
+#: fractions), so demanding better than this floor would mean no
+#: surface ever serves; callers needing tighter answers should
+#: request a live engine with more histories.
+ABS_SERVE_FLOOR = 5.0e-3
+
+
+def z_for_confidence(confidence: float) -> float:
+    """Two-sided normal quantile: smallest ``z`` with
+    ``erf(z / sqrt(2)) >= confidence``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    lo, hi = 0.0, 10.0
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if math.erf(mid / math.sqrt(2.0)) < confidence:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+#: Relative slack on the envelope edges (grid endpoints are inside).
+_EDGE_RTOL = 1.0e-9
+
+
+def spectrum_source_key(spectrum: Spectrum) -> str:
+    """Content key for a spectrum source (name + shape digest)."""
+    digest = hashlib.sha256()
+    digest.update(np.asarray(spectrum.edges, dtype=float).tobytes())
+    digest.update(
+        np.asarray(spectrum.group_flux, dtype=float).tobytes()
+    )
+    return f"spectrum:{spectrum.name}:{digest.hexdigest()[:16]}"
+
+
+def mono_source_key(energy_ev: float) -> str:
+    """Content key for a monoenergetic source."""
+    return f"mono:{float(energy_ev)!r}"
+
+
+@dataclass(frozen=True)
+class SurrogateTransportResult:
+    """A surface-served answer, accessor-compatible with the engines.
+
+    Channels are fractions per source neutron (``source`` is 1.0),
+    mirroring ``DeterministicTransportResult``; the ``*_stderr``
+    accessors return the surface's *certified bound* for the channel
+    — an honest error bar, unlike the deterministic engine's zero.
+    """
+
+    source: float
+    transmitted_thermal: float
+    transmitted_epithermal: float
+    transmitted_fast: float
+    reflected_thermal: float
+    reflected_epithermal: float
+    reflected_fast: float
+    absorbed: float
+    collisions: float
+    bounds: Dict[str, float]
+
+    def to_dict(self) -> dict:
+        """Plain-dict form tagged ``surrogate-transport``."""
+        return serde.tag(
+            "surrogate-transport",
+            {
+                "source": self.source,
+                "transmitted_thermal": self.transmitted_thermal,
+                "transmitted_epithermal": (
+                    self.transmitted_epithermal
+                ),
+                "transmitted_fast": self.transmitted_fast,
+                "reflected_thermal": self.reflected_thermal,
+                "reflected_epithermal": self.reflected_epithermal,
+                "reflected_fast": self.reflected_fast,
+                "absorbed": self.absorbed,
+                "collisions": self.collisions,
+                "bounds": dict(self.bounds),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SurrogateTransportResult":
+        """Rebuild from :meth:`to_dict` output."""
+        serde.check("surrogate-transport", data)
+        return cls(
+            source=float(data["source"]),
+            transmitted_thermal=float(data["transmitted_thermal"]),
+            transmitted_epithermal=float(
+                data["transmitted_epithermal"]
+            ),
+            transmitted_fast=float(data["transmitted_fast"]),
+            reflected_thermal=float(data["reflected_thermal"]),
+            reflected_epithermal=float(data["reflected_epithermal"]),
+            reflected_fast=float(data["reflected_fast"]),
+            absorbed=float(data["absorbed"]),
+            collisions=float(data["collisions"]),
+            bounds={
+                str(k): float(v)
+                for k, v in data.get("bounds", {}).items()
+            },
+        )
+
+    # -- TransportResult-compatible accessors --------------------------
+
+    @property
+    def transmitted(self) -> float:
+        """Total transmitted fraction (any energy)."""
+        return (
+            self.transmitted_thermal
+            + self.transmitted_epithermal
+            + self.transmitted_fast
+        )
+
+    @property
+    def reflected(self) -> float:
+        """Total reflected fraction (any energy)."""
+        return (
+            self.reflected_thermal
+            + self.reflected_epithermal
+            + self.reflected_fast
+        )
+
+    def transmission_fraction(self) -> float:
+        """Fraction of source neutrons transmitted (any energy)."""
+        return self.transmitted
+
+    def thermal_transmission_fraction(self) -> float:
+        """Fraction transmitted below the cadmium cutoff."""
+        return self.transmitted_thermal
+
+    def thermal_albedo(self) -> float:
+        """Fraction reflected back as thermal neutrons."""
+        return self.reflected_thermal
+
+    def thermal_albedo_stderr(self) -> float:
+        """Certified bound on :meth:`thermal_albedo`."""
+        return self.bounds.get("reflected_thermal", 0.0)
+
+    def absorption_fraction(self) -> float:
+        """Fraction absorbed anywhere in the stack."""
+        return self.absorbed
+
+    def mean_collisions(self) -> float:
+        """Average collisions per source neutron."""
+        return self.collisions
+
+    def balance_check(self) -> bool:
+        """Leakage + absorption within interpolation slack of 1."""
+        total = self.transmitted + self.reflected + self.absorbed
+        slack = sum(
+            self.bounds.get(c, 0.0) for c in FRACTION_CHANNELS
+        )
+        return abs(total - 1.0) <= max(slack, 1.0e-3)
+
+
+@dataclass(frozen=True)
+class ResponseSurface:
+    """One certified interpolator family over a thickness envelope.
+
+    The certification (two-proportion-z style, as in the engine
+    equivalence harness) records, per channel, the worst held-out
+    ``gap = |predicted - MC|`` and the worst MC standard error
+    ``sigma``.  The certified bound at coverage ``c`` is
+    ``max(gap, z_c * sigma)``: the measured disagreement when it is
+    statistically significant, the certification's own resolution
+    limit when it is not — charging sub-noise gaps in full would
+    just re-count the MC noise.
+
+    Attributes:
+        mode: ``"transmission"`` or ``"albedo"``.
+        material: material name the surface was built for.
+        source: content key of the source
+            (:func:`spectrum_source_key` / :func:`mono_source_key`).
+        thickness_cm: ascending thickness grid (the envelope).
+        channels: channel name -> grid values (deterministic fill).
+        gaps: channel name -> worst held-out ``|predicted - MC|``.
+        sigmas: channel name -> worst held-out MC standard error.
+        k_sigma: the certification's sigma multiplier.
+        confidence: two-sided normal coverage of ``k_sigma`` — the
+            maximum coverage this surface can certify at.
+    """
+
+    mode: str
+    material: str
+    source: str
+    thickness_cm: Tuple[float, ...]
+    channels: Dict[str, Tuple[float, ...]]
+    gaps: Dict[str, float]
+    sigmas: Dict[str, float]
+    k_sigma: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if self.mode not in HEADLINE:
+            raise ValueError(
+                f"unknown surface mode {self.mode!r};"
+                f" allowed: {tuple(HEADLINE)}"
+            )
+        grid = tuple(float(t) for t in self.thickness_cm)
+        if len(grid) < 2:
+            raise ValueError("surface needs >= 2 grid points")
+        if any(t <= 0.0 for t in grid):
+            raise ValueError("grid thicknesses must be positive")
+        if any(b >= a for b, a in zip(grid, grid[1:])):
+            raise ValueError("grid must be strictly increasing")
+        object.__setattr__(self, "thickness_cm", grid)
+        for channel in CHANNELS:
+            values = self.channels.get(channel)
+            if values is None or len(values) != len(grid):
+                raise ValueError(
+                    f"channel {channel!r} must carry one value per"
+                    f" grid point"
+                )
+            if (
+                channel not in self.gaps
+                or channel not in self.sigmas
+            ):
+                raise ValueError(
+                    f"channel {channel!r} missing certification"
+                    f" gap/sigma"
+                )
+
+    @property
+    def headline(self) -> str:
+        """The mode's headline channel name."""
+        return HEADLINE[self.mode]
+
+    # -- envelope ------------------------------------------------------
+
+    def in_envelope(self, thickness_cm: float) -> bool:
+        """True when a thickness lies inside the certified grid."""
+        lo = self.thickness_cm[0] * (1.0 - _EDGE_RTOL)
+        hi = self.thickness_cm[-1] * (1.0 + _EDGE_RTOL)
+        return lo <= thickness_cm <= hi
+
+    # -- interpolation -------------------------------------------------
+
+    def predict(self, channel: str, thickness_cm: float) -> float:
+        """Interpolate one channel (log-thickness, log-value).
+
+        Raises:
+            ValueError: outside the envelope or unknown channel.
+        """
+        if channel not in self.channels:
+            raise ValueError(f"unknown channel {channel!r}")
+        if not self.in_envelope(thickness_cm):
+            raise ValueError(
+                f"thickness {thickness_cm} cm outside the certified"
+                f" envelope [{self.thickness_cm[0]},"
+                f" {self.thickness_cm[-1]}] cm"
+            )
+        grid = np.log(np.asarray(self.thickness_cm))
+        values = np.asarray(self.channels[channel], dtype=float)
+        logs = np.log(np.maximum(values, _LOG_FLOOR))
+        raw = float(
+            np.exp(np.interp(math.log(thickness_cm), grid, logs))
+        )
+        if raw <= 10.0 * _LOG_FLOOR:
+            raw = 0.0
+        if channel in FRACTION_CHANNELS:
+            return min(max(raw, 0.0), 1.0)
+        return max(raw, 0.0)
+
+    def evaluate(self, thickness_cm: float) -> SurrogateTransportResult:
+        """Interpolate every channel into a served result."""
+        values = {
+            channel: self.predict(channel, thickness_cm)
+            for channel in CHANNELS
+        }
+        return SurrogateTransportResult(
+            source=1.0, bounds=self.bounds, **values
+        )
+
+    # -- the accuracy contract -----------------------------------------
+
+    @property
+    def bounds(self) -> Dict[str, float]:
+        """Per-channel certified bounds at the build's full
+        ``k_sigma`` coverage."""
+        return {
+            channel: max(
+                self.gaps[channel],
+                self.k_sigma * self.sigmas[channel],
+            )
+            for channel in CHANNELS
+        }
+
+    def certified_bound(
+        self,
+        channel: Optional[str] = None,
+        confidence: Optional[float] = None,
+    ) -> float:
+        """The certified absolute bound for a channel (default
+        headline) at a coverage level (default: the build's full
+        ``k_sigma`` coverage)."""
+        channel = channel or self.headline
+        if confidence is None:
+            z = self.k_sigma
+        else:
+            z = min(z_for_confidence(confidence), self.k_sigma)
+        return max(self.gaps[channel], z * self.sigmas[channel])
+
+    def meets(
+        self,
+        thickness_cm: float,
+        rel_err: float,
+        confidence: float,
+    ) -> bool:
+        """Does the headline bound satisfy an accuracy target here?
+
+        The target is met when the certification's coverage reaches
+        ``confidence`` and the certified bound at that coverage is
+        within ``rel_err`` of the predicted headline value (with the
+        :data:`ABS_SERVE_FLOOR` absolute floor — the certification's
+        own resolution).
+        """
+        if confidence > self.confidence:
+            return False
+        predicted = self.predict(self.headline, thickness_cm)
+        allowed = max(rel_err * predicted, ABS_SERVE_FLOOR)
+        return (
+            self.certified_bound(confidence=confidence) <= allowed
+        )
+
+    # -- serde ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (untagged; artifacts tag the bundle)."""
+        return {
+            "mode": self.mode,
+            "material": self.material,
+            "source": self.source,
+            "thickness_cm": list(self.thickness_cm),
+            "channels": {
+                channel: list(values)
+                for channel, values in sorted(self.channels.items())
+            },
+            "gaps": {
+                channel: float(gap)
+                for channel, gap in sorted(self.gaps.items())
+            },
+            "sigmas": {
+                channel: float(sigma)
+                for channel, sigma in sorted(self.sigmas.items())
+            },
+            "k_sigma": self.k_sigma,
+            "confidence": self.confidence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResponseSurface":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            mode=str(data["mode"]),
+            material=str(data["material"]),
+            source=str(data["source"]),
+            thickness_cm=tuple(
+                float(t) for t in data["thickness_cm"]
+            ),
+            channels={
+                str(channel): tuple(float(v) for v in values)
+                for channel, values in data["channels"].items()
+            },
+            gaps={
+                str(channel): float(gap)
+                for channel, gap in data["gaps"].items()
+            },
+            sigmas={
+                str(channel): float(sigma)
+                for channel, sigma in data["sigmas"].items()
+            },
+            k_sigma=float(data["k_sigma"]),
+            confidence=float(data["confidence"]),
+        )

@@ -1,0 +1,1 @@
+"""Legacy-entrypoint fixture: flagged, suppressed, and clean calls."""

@@ -1,0 +1,14 @@
+"""Library code still routing transport through the legacy shims."""
+
+from repro.transport import thermal_albedo_enhancement
+from repro.transport.montecarlo import shield_transmission
+
+
+def through_module(material, thickness_cm):
+    """Direct module-path call to the deprecated free function."""
+    return shield_transmission(material, thickness_cm)
+
+
+def through_reexport(material, thickness_cm):
+    """The package re-export spelling is the same entrypoint."""
+    return thermal_albedo_enhancement(material, thickness_cm)

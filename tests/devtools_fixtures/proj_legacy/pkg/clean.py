@@ -1,0 +1,17 @@
+"""Facade-first transport: what migrated callers look like."""
+
+from repro.transport.api import TransportQuery, answer
+
+
+def through_facade(material, thickness_cm, spectrum, seed):
+    """Typed query through the facade — not a legacy entrypoint."""
+    served = answer(
+        TransportQuery(
+            mode="transmission",
+            material=material,
+            thickness_cm=thickness_cm,
+            source_spectrum=spectrum,
+            seed=seed,
+        )
+    )
+    return served.value

@@ -1,0 +1,8 @@
+"""A deliberate legacy call, silenced with a pragma."""
+
+from repro.transport.montecarlo import shield_transmission
+
+
+def golden_comparison(material, thickness_cm):
+    """Pins the shim's output against the facade in a benchmark."""
+    return shield_transmission(material, thickness_cm)  # repro: noqa REP105

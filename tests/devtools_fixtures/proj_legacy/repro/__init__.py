@@ -1,0 +1,1 @@
+"""Stub ``repro`` namespace for the transport-package exemption."""

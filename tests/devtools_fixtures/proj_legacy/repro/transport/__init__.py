@@ -1,0 +1,1 @@
+"""Stub ``repro.transport`` package (the shims' own home)."""

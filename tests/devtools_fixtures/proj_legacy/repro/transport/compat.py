@@ -1,0 +1,8 @@
+"""Inside ``repro.transport`` the shims may call each other freely."""
+
+from repro.transport.montecarlo import shield_transmission
+
+
+def delegate(material, thickness_cm):
+    """Shim-to-shim delegation is exempt from REP105."""
+    return shield_transmission(material, thickness_cm)

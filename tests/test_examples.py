@@ -34,6 +34,7 @@ def _load(name: str):
         ("fleet_year", "rainy days"),
         ("service_smoke", "clean shutdown"),
         ("studies_smoke", "byte-identical"),
+        ("surrogate_smoke", "hit rate"),
     ],
 )
 def test_example_runs(capsys, name, expected):
@@ -52,6 +53,7 @@ def test_all_examples_covered():
         "quickstart", "datacenter_fit", "autonomous_vehicle",
         "beam_campaign", "ddr_memory_test", "avionics",
         "fleet_year", "service_smoke", "studies_smoke",
+        "surrogate_smoke",
     }
     assert scripts == tested, (
         "new example scripts must be added to test_example_runs"

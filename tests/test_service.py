@@ -409,7 +409,10 @@ def test_service_maps_admission_errors_to_responses():
 # -- execution and degradation ----------------------------------------
 
 
-def test_breaker_opens_and_degrades_batch_to_scalar():
+def test_breaker_opens_and_degrades_down_shared_cascade():
+    # An open breaker blocks batch; the shared transport cascade
+    # (batch -> deterministic -> scalar) picks the next engine, the
+    # same walk the study scheduler takes.
     breaker = CircuitBreaker(failure_threshold=2)
     assert not breaker.open
     breaker.record_failure()
@@ -423,7 +426,10 @@ def test_breaker_opens_and_degrades_batch_to_scalar():
     outcome = executor.execute(query)
     assert outcome.degraded
     assert outcome.reason == "breaker-open"
-    assert outcome.result["engine"] == "scalar"
+    assert outcome.result["engine"] == "deterministic"
+    assert outcome.provenance["engine"] == "deterministic"
+    assert outcome.provenance["requested_engine"] == "batch"
+    assert outcome.provenance["degraded"] is True
 
 
 def test_breaker_closes_after_recovery_successes():
